@@ -1,0 +1,46 @@
+//! Propagation benchmarks: graph generation and cascade simulation — the
+//! costs behind the E5 race sweeps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tn_propagation::cascade::{assign_accounts, independent_cascade, CascadeConfig};
+use tn_propagation::network::barabasi_albert;
+
+fn bench_graph_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barabasi_albert");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| barabasi_albert(black_box(n), 3, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("independent_cascade");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let graph = barabasi_albert(n, 3, 7);
+        let accounts = assign_accounts(n, 0.1, 0.05, 7);
+        let seeds: Vec<usize> = (0..5).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| {
+                independent_cascade(
+                    black_box(g),
+                    &accounts,
+                    &seeds,
+                    &[],
+                    &CascadeConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_gen, bench_cascade
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Consensus benchmarks: full PBFT and PoA runs committing a fixed
+//! request load on the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tn_consensus::harness::{run_pbft, run_poa, Workload};
+use tn_consensus::sim::NetworkConfig;
+
+fn bench_pbft(c: &mut Criterion) {
+    let workload = Workload { n_requests: 50, interarrival: 5, payload_size: 64 };
+    let mut group = c.benchmark_group("pbft_commit_50");
+    group.sample_size(10);
+    for n in [4usize, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let stats = run_pbft(n, &[], &workload, NetworkConfig::default(), 2_000_000);
+                assert_eq!(stats.committed, 50);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_poa(c: &mut Criterion) {
+    let workload = Workload { n_requests: 50, interarrival: 5, payload_size: 64 };
+    let mut group = c.benchmark_group("poa_commit_50");
+    group.sample_size(10);
+    for n in [4usize, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let stats = run_poa(n, &[], &workload, NetworkConfig::default(), 2_000_000);
+                assert_eq!(stats.committed, 50);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pbft, bench_poa
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks for the cryptographic substrate: hashing, signing,
+//! verification and Merkle proofs. These costs dominate chain throughput
+//! (every news action is a signed transaction).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tn_crypto::merkle::{leaf_hash, MerkleTree};
+use tn_crypto::sha256::sha256;
+use tn_crypto::Keypair;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xabu8; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256(black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = Keypair::from_seed(b"bench signer");
+    let msg = sha256(b"benchmark message");
+    let sig = kp.sign(&msg);
+    c.bench_function("schnorr_sign", |b| b.iter(|| kp.sign(black_box(&msg))));
+    c.bench_function("schnorr_verify", |b| {
+        b.iter(|| assert!(kp.public().verify(black_box(&msg), black_box(&sig))))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [64usize, 1024] {
+        let leaves: Vec<_> = (0..n).map(|i| leaf_hash(&(i as u64).to_le_bytes())).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, l| {
+            b.iter(|| MerkleTree::from_leaves(black_box(l.clone())))
+        });
+        let tree = MerkleTree::from_leaves(leaves.clone());
+        let proof = tree.prove(n / 2).expect("in range");
+        let root = tree.root();
+        group.bench_with_input(BenchmarkId::new("verify_proof", n), &proof, |b, p| {
+            b.iter(|| assert!(p.verify(black_box(&leaves[n / 2]), black_box(&root))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_schnorr, bench_merkle
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! End-to-end platform benchmarks: the cost of the full publish → block →
+//! index pipeline and of combined-rank queries — the operation mix the
+//! Figure-2 ecosystem runs at scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tn_core::platform::{Platform, PlatformConfig};
+use tn_core::roles::Role;
+use tn_crypto::Keypair;
+use tn_supplychain::ops::PropagationOp;
+
+struct Bench {
+    platform: Platform,
+    journalist: Keypair,
+    room: u64,
+    item: tn_crypto::Hash256,
+    counter: u64,
+}
+
+fn setup() -> Bench {
+    let mut platform = Platform::new(PlatformConfig::default());
+    let publisher = Keypair::from_seed(b"bench publisher");
+    let journalist = Keypair::from_seed(b"bench journalist");
+    platform.register_identity(&publisher, "Bench Press", &[Role::Publisher]);
+    platform.register_identity(
+        &journalist,
+        "Bench Journalist",
+        &[Role::ContentCreator, Role::Consumer],
+    );
+    platform.produce_block().expect("identities");
+    platform.create_publisher_platform(&publisher, "Bench Press").expect("press");
+    platform.produce_block().expect("block");
+    let pid = platform.newsrooms().find_platform("Bench Press").expect("registered");
+    platform.create_news_room(&publisher, pid, "energy").expect("room");
+    platform.produce_block().expect("block");
+    let room = platform.newsrooms().rooms().next().expect("room").0;
+    platform
+        .authorize_journalist(&publisher, room, &journalist.address())
+        .expect("authz");
+    platform.produce_block().expect("block");
+    let fact = platform.factdb().iter().next().expect("seeded").clone();
+    let item = platform
+        .publish_news(&journalist, room, &fact.topic, &fact.content,
+                      vec![(fact.id(), PropagationOp::Cite)])
+        .expect("publish");
+    platform.produce_block().expect("block");
+    Bench { platform, journalist, room, item, counter: 0 }
+}
+
+fn bench_publish_and_block(c: &mut Criterion) {
+    let mut b = setup();
+    let fact = b.platform.factdb().iter().next().expect("seeded").clone();
+    c.bench_function("platform_publish_plus_block", |bench| {
+        bench.iter(|| {
+            b.counter += 1;
+            let content = format!("{} Update number {}.", fact.content, b.counter);
+            b.platform
+                .publish_news(
+                    &b.journalist,
+                    b.room,
+                    &fact.topic,
+                    &content,
+                    vec![(fact.id(), PropagationOp::Insert)],
+                )
+                .expect("publish");
+            b.platform.produce_block().expect("block")
+        })
+    });
+}
+
+fn bench_rank_query(c: &mut Criterion) {
+    let b = setup();
+    c.bench_function("platform_rank_item", |bench| {
+        bench.iter(|| b.platform.rank_item(black_box(&b.item)).expect("rank"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_publish_and_block, bench_rank_query
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Supply-chain benchmarks: graph construction, full-graph trace-back and
+//! single-item queries — the costs behind E1/E9.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tn_supplychain::synth::{generate, SynthConfig};
+
+fn config(n_items: usize) -> SynthConfig {
+    SynthConfig {
+        n_fact_roots: 50,
+        n_honest: 20,
+        n_fakers: 5,
+        n_items,
+        seed: 5,
+        ..SynthConfig::default()
+    }
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth_build");
+    group.sample_size(10);
+    for n in [200usize, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| generate(black_box(&config(n))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    for n in [200usize, 800] {
+        let synth = generate(&config(n));
+        group.bench_with_input(BenchmarkId::new("all", n), &synth, |b, s| {
+            b.iter(|| s.graph.trace_all())
+        });
+        let last = synth.graph.iter().last().expect("nonempty").id;
+        group.bench_with_input(BenchmarkId::new("single", n), &synth, |b, s| {
+            b.iter(|| s.graph.trace_back(black_box(&last)).expect("known"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_trace
+}
+criterion_main!(benches);

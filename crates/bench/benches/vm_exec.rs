@@ -1,0 +1,63 @@
+//! Contract-VM benchmarks: arithmetic loops, storage churn and the
+//! built-in ranking contract — the execution costs behind §VII's
+//! "scalable smart contract" concern.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tn_chain::state::TxExecutor;
+use tn_contracts::asm::assemble;
+use tn_contracts::builtin::{ranking_submit, RankingContract};
+use tn_contracts::executor::ContractRegistry;
+use tn_crypto::sha256::sha256;
+use tn_crypto::Keypair;
+
+fn bench_vm_loop(c: &mut Criterion) {
+    // Sum 1..=1000 in a tight VM loop.
+    let code = assemble(
+        "push 0\npush 1000\nloop:\ndup 0\nnot\npush end\njmpif\ndup 0\nswap 2\nadd\nswap 1\npush 1\nsub\npush loop\njmp\nend:\npop\npush 1\nret",
+    )
+    .expect("assembles");
+    let mut reg = ContractRegistry::new();
+    let deployer = Keypair::from_seed(b"vm bench").address();
+    let addr = reg.deploy(&deployer, 0, &code).expect("deploys");
+    c.bench_function("vm_loop_1000", |b| {
+        b.iter(|| reg.call(black_box(&deployer), &addr, &[], 1_000_000).expect("runs"))
+    });
+}
+
+fn bench_vm_storage(c: &mut Criterion) {
+    // 50 storage writes + reads per call.
+    let mut src = String::new();
+    for i in 0..50 {
+        src.push_str(&format!("push {i}\npush {}\nsstore\n", i * 7));
+    }
+    for i in 0..50 {
+        src.push_str(&format!("push {i}\nsload\npop\n"));
+    }
+    src.push_str("halt");
+    let code = assemble(&src).expect("assembles");
+    let mut reg = ContractRegistry::new();
+    let deployer = Keypair::from_seed(b"vm bench 2").address();
+    let addr = reg.deploy(&deployer, 0, &code).expect("deploys");
+    c.bench_function("vm_storage_50rw", |b| {
+        b.iter(|| reg.call(black_box(&deployer), &addr, &[], 1_000_000).expect("runs"))
+    });
+}
+
+fn bench_builtin_rating(c: &mut Criterion) {
+    let owner = Keypair::from_seed(b"rating owner").address();
+    let mut reg = ContractRegistry::new();
+    let addr = reg.install_builtin(Box::new(RankingContract::new(owner)));
+    let rater = Keypair::from_seed(b"rater").address();
+    let item = sha256(b"benchmark item");
+    let input = ranking_submit(&item, 80);
+    c.bench_function("builtin_submit_rating", |b| {
+        b.iter(|| reg.call(black_box(&rater), &addr, &input, 10_000).expect("runs"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vm_loop, bench_vm_storage, bench_builtin_rating
+}
+criterion_main!(benches);

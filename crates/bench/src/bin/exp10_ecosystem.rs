@@ -1,0 +1,97 @@
+//! E10 — End-to-end ecosystem (Figure 2): all five roles act through the
+//! real platform over multiple rounds; measures rank separation, factual
+//! database growth and ledger volume, with and without the AI detector.
+//!
+//! Run: `cargo run -p tn-bench --release --bin exp10_ecosystem`
+
+use serde::Serialize;
+use tn_bench::{banner, Report};
+use tn_core::ecosystem::{run_ecosystem, EcosystemConfig};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    variant: &'static str,
+    round: usize,
+    published: usize,
+    fake_published: usize,
+    mean_rank_factual: f64,
+    mean_rank_fake: f64,
+    separation: f64,
+    mean_consumer_points: f64,
+    factdb_size: usize,
+    chain_height: u64,
+}
+
+fn main() {
+    banner("E10", "figure-2 ecosystem simulation");
+    let mut rows = Vec::new();
+
+    for (variant, detector_round) in
+        [("with AI detector (round 3)", Some(3)), ("no AI detector", None)]
+    {
+        let result = run_ecosystem(&EcosystemConfig {
+            rounds: 8,
+            detector_round,
+            ..EcosystemConfig::default()
+        })
+        .expect("simulation runs");
+        for r in &result.rounds {
+            rows.push(Row {
+                variant,
+                round: r.round,
+                published: r.published,
+                fake_published: r.fake_published,
+                mean_rank_factual: r.mean_rank_factual,
+                mean_rank_fake: r.mean_rank_fake,
+                separation: r.mean_rank_factual - r.mean_rank_fake,
+                mean_consumer_points: r.mean_consumer_points,
+                factdb_size: r.factdb_size,
+                chain_height: r.chain_height,
+            });
+        }
+        println!(
+            "[{variant}] final separation {:.1}, factdb {} records, {} blocks, accountability {}",
+            result.final_separation,
+            result.platform.factdb().len(),
+            result.platform.height(),
+            {
+                let fakes: Vec<_> = result.truth.iter().filter(|(_, f)| *f).collect();
+                let found = fakes
+                    .iter()
+                    .filter(|(id, _)| {
+                        result.platform.origin_of(id).expect("known").is_some()
+                    })
+                    .count();
+                format!("{found}/{}", fakes.len())
+            }
+        );
+    }
+
+    println!(
+        "\n{:<28} {:>5} {:>6} {:>5} {:>12} {:>10} {:>10} {:>8} {:>8} {:>7}",
+        "variant", "round", "publ.", "fake", "rank(fact)", "rank(fake)", "separation", "points", "factdb", "height"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>5} {:>6} {:>5} {:>12.1} {:>10.1} {:>10.1} {:>8.1} {:>8} {:>7}",
+            r.variant,
+            r.round,
+            r.published,
+            r.fake_published,
+            r.mean_rank_factual,
+            r.mean_rank_fake,
+            r.separation,
+            r.mean_consumer_points,
+            r.factdb_size,
+            r.chain_height
+        );
+    }
+    println!(
+        "\nshape check: factual items consistently outrank fake ones from round one \
+         (provenance + crowd), the AI detector widens the gap once shipped, the factual \
+         database grows as checkers attest new records, consumers accumulate incentive \
+         points for confirmed-accurate ratings (the §V reward economy, paid through the \
+         incentive contract), and every action is on-chain."
+    );
+    Report::new("E10", "ecosystem simulation", rows).write_json();
+}

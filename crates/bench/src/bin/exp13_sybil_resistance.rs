@@ -1,0 +1,89 @@
+//! E13 (extension) — Sybil resistance of the crowd-ranking mechanisms.
+//!
+//! Paper anchor: §V requires "identification verified persons" and §IV
+//! argues accountability prevents the biases of anonymous crowd counting.
+//! This experiment quantifies why: an attacker mints S fresh identities
+//! (each costing the platform's identity grant) and has them all vote to
+//! whitewash a fake story / smear a factual one. Aggregators compared:
+//! naive majority, posterior-mean reputation weighting, and
+//! evidence-discounted weighting (weight × evidence/(evidence+k)).
+//!
+//! Run: `cargo run -p tn-bench --release --bin exp13_sybil_resistance`
+
+use serde::Serialize;
+use tn_bench::{banner, Report};
+use tn_crowdrank::aggregate::{evidence_weighted, majority, reputation_weighted, Vote};
+use tn_crowdrank::reputation::ReputationLedger;
+use tn_crypto::{Address, Hash256, Keypair};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    sybils: usize,
+    majority_correct: bool,
+    posterior_weighted_correct: bool,
+    evidence_weighted_correct: bool,
+    evidence_confidence: f64,
+}
+
+fn addr(tag: &str, i: usize) -> Address {
+    Keypair::from_seed(format!("e13-{tag}-{i}").as_bytes()).address()
+}
+
+fn main() {
+    banner("E13", "Sybil-swarm attack on the ranking mechanisms");
+    // 12 honest raters, each with 25 confirmed-correct ratings of history.
+    let honest: Vec<Address> = (0..12).map(|i| addr("honest", i)).collect();
+    let mut ledger = ReputationLedger::new();
+    for _ in 0..25 {
+        for h in &honest {
+            ledger.record(h, true);
+        }
+    }
+    let story: Hash256 = tn_crypto::sha256::sha256(b"the contested story");
+
+    let mut rows = Vec::new();
+    for &sybils in &[0usize, 6, 12, 25, 50, 100, 400] {
+        let mut votes: Vec<Vote> = honest
+            .iter()
+            .map(|h| Vote { voter: *h, item: story, factual: true })
+            .collect();
+        for i in 0..sybils {
+            votes.push(Vote { voter: addr("sybil", i), item: story, factual: false });
+        }
+        let m = &majority(&votes)[0];
+        let w = &reputation_weighted(&votes, &ledger)[0];
+        let e = &evidence_weighted(&votes, &ledger, 10.0)[0];
+        rows.push(Row {
+            sybils,
+            majority_correct: m.factual,
+            posterior_weighted_correct: w.factual,
+            evidence_weighted_correct: e.factual,
+            evidence_confidence: e.confidence,
+        });
+    }
+
+    println!(
+        "{:>7} {:>10} {:>20} {:>19} {:>12}",
+        "sybils", "majority", "posterior-weighted", "evidence-weighted", "confidence"
+    );
+    for r in &rows {
+        println!(
+            "{:>7} {:>10} {:>20} {:>19} {:>12.3}",
+            r.sybils,
+            r.majority_correct,
+            r.posterior_weighted_correct,
+            r.evidence_weighted_correct,
+            r.evidence_confidence
+        );
+    }
+    println!(
+        "\nshape check: majority falls as soon as the swarm matches the honest raters (ties break \
+         conservative); posterior-mean weighting falls a little later (each fresh identity \
+         still carries the 0.5 prior, so ~2× honest weight buys the attack); \
+         evidence-discounted weighting never falls — minting identities is free but \
+         *confirmed history* cannot be minted, so a fresh swarm of any size weighs ~nothing. \
+         The defense is exactly the paper's pairing of verified identity with recorded, \
+         confirmable behaviour."
+    );
+    Report::new("E13", "sybil resistance", rows).write_json();
+}

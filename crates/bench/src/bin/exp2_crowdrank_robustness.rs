@@ -1,0 +1,83 @@
+//! E2 — Crowd-ranking robustness: decision accuracy vs fraction of
+//! malicious validators, for naive majority vs the platform's
+//! reputation-weighted and truth-discovery aggregation.
+//!
+//! Paper anchor: §IV's claim that "accountability and traceability …
+//! can prevent bias concerns that might be originated from traditional
+//! majority decided crowd sourcing mechanisms".
+//!
+//! Run: `cargo run -p tn-bench --release --bin exp2_crowdrank_robustness`
+
+use serde::Serialize;
+use tn_bench::{banner, Report};
+use tn_crowdrank::sim::{run, SimConfig, Strategy};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    malicious_fraction: f64,
+    majority_accuracy: f64,
+    weighted_accuracy: f64,
+    truth_discovery_accuracy: f64,
+    weighted_late_accuracy: f64,
+    honest_weight: f64,
+    malicious_weight: f64,
+}
+
+fn main() {
+    banner("E2", "ranking accuracy vs malicious-validator fraction");
+    let total = 24usize;
+    let mut rows = Vec::new();
+
+    for &frac in &[0.0, 0.125, 0.25, 0.375, 0.45, 0.5] {
+        let n_malicious = ((total as f64) * frac).round() as usize;
+        let config = SimConfig {
+            n_honest: total - n_malicious,
+            n_malicious,
+            honest_error: 0.12,
+            rounds: 25,
+            items_per_round: 20,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let maj = run(&config, Strategy::Majority);
+        let rep = run(&config, Strategy::ReputationWeighted);
+        let td = run(&config, Strategy::TruthDiscovery);
+        let late =
+            rep.accuracy_per_round.iter().rev().take(5).sum::<f64>() / 5.0;
+        rows.push(Row {
+            malicious_fraction: frac,
+            majority_accuracy: maj.overall_accuracy,
+            weighted_accuracy: rep.overall_accuracy,
+            truth_discovery_accuracy: td.overall_accuracy,
+            weighted_late_accuracy: late,
+            honest_weight: rep.honest_weight,
+            malicious_weight: rep.malicious_weight,
+        });
+    }
+
+    println!(
+        "{:>9} {:>10} {:>10} {:>12} {:>14} {:>9} {:>9}",
+        "mal.frac", "majority", "weighted", "truth-disc", "weighted-late", "rep(hon)", "rep(mal)"
+    );
+    for r in &rows {
+        println!(
+            "{:>9.3} {:>10.3} {:>10.3} {:>12.3} {:>14.3} {:>9.2} {:>9.2}",
+            r.malicious_fraction,
+            r.majority_accuracy,
+            r.weighted_accuracy,
+            r.truth_discovery_accuracy,
+            r.weighted_late_accuracy,
+            r.honest_weight,
+            r.malicious_weight
+        );
+    }
+    println!(
+        "\nshape check: majority degrades steeply as the malicious fraction approaches 0.5 \
+         (honest noise makes it fail even earlier). Truth discovery needs no history and \
+         matches it up to ~3/8 malicious, but flips to the adversaries' mirror solution \
+         near parity. Reputation weighting grounded in confirmed outcomes is the only \
+         mechanism that stays accurate through the 50% mark — the paper's case for \
+         accountability over anonymous majorities."
+    );
+    Report::new("E2", "crowd-ranking robustness", rows).write_json();
+}

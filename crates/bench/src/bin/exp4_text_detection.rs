@@ -1,0 +1,138 @@
+//! E4 — Fake-text detection under the conditions the paper highlights:
+//! (a) a learning curve over training-set size — reproducing the cited
+//! challenge that "the training materials are still insufficient" [28];
+//! (b) a subtlety sweep — overt emotional fakes vs mild insinuation,
+//! where content-only detection degrades.
+//!
+//! All evaluation is cross-seed: the test corpus is generated from a
+//! different random world than the training corpus.
+//!
+//! Paper anchor: Figure 1's "fake text detection" component; §II's cited
+//! detectors (TI-CNN [11], WVU [29], stance [33]); §I's 72.3 %
+//! modified-factual statistic.
+//!
+//! Run: `cargo run -p tn-bench --release --bin exp4_text_detection`
+
+use serde::Serialize;
+use tn_aidetect::corpus::{generate_news_corpus, NewsCorpusConfig};
+use tn_aidetect::ensemble::{EnsembleDetector, EnsembleWeights};
+use tn_aidetect::lexicon::LexiconFeatures;
+use tn_aidetect::logreg::{LogRegConfig, LogisticRegression};
+use tn_aidetect::metrics::evaluate;
+use tn_aidetect::naive_bayes::NaiveBayes;
+use tn_bench::{banner, Report};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    sweep: &'static str,
+    model: String,
+    train_docs: usize,
+    subtlety: f64,
+    accuracy: f64,
+    f1: f64,
+    auc: f64,
+}
+
+fn corpora(
+    train_per_class: usize,
+    subtlety: f64,
+) -> (Vec<tn_aidetect::corpus::LabeledDoc>, Vec<tn_aidetect::corpus::LabeledDoc>) {
+    let train = generate_news_corpus(&NewsCorpusConfig {
+        n_factual: train_per_class,
+        n_fake: train_per_class,
+        subtlety,
+        seed: 7,
+        ..NewsCorpusConfig::default()
+    });
+    let test = generate_news_corpus(&NewsCorpusConfig {
+        n_factual: 250,
+        n_fake: 250,
+        subtlety,
+        seed: 7777, // different synthetic world
+        ..NewsCorpusConfig::default()
+    });
+    (train, test)
+}
+
+fn main() {
+    banner("E4", "text detection: learning curve and subtlety sweep");
+    let mut rows = Vec::new();
+
+    // --- (a) learning curve at fixed subtlety 0.5 ------------------------
+    for &n_train in &[8usize, 25, 75, 250] {
+        let (train, test) = corpora(n_train, 0.5);
+        let nb = NaiveBayes::train(&train);
+        let lr = LogisticRegression::train(&train, &LogRegConfig::default());
+        let ens = EnsembleDetector::train(&train, EnsembleWeights::default());
+        type Scorer = Box<dyn Fn(&str) -> f64>;
+        let models: Vec<(String, Scorer)> = vec![
+            ("naive bayes".into(), Box::new(move |t: &str| nb.prob_fake(t))),
+            ("logistic regression".into(), Box::new(move |t: &str| lr.prob_fake(t))),
+            ("ensemble".into(), Box::new(move |t: &str| ens.prob_fake(t))),
+        ];
+        for (name, f) in models {
+            let preds: Vec<(bool, f64)> =
+                test.iter().map(|d| (d.fake, f(&d.text))).collect();
+            let m = evaluate(&preds, 0.5);
+            rows.push(Row {
+                sweep: "learning-curve",
+                model: name,
+                train_docs: 2 * n_train,
+                subtlety: 0.5,
+                accuracy: m.accuracy,
+                f1: m.f1,
+                auc: m.auc,
+            });
+        }
+    }
+
+    // --- (b) subtlety sweep at fixed 500 training docs --------------------
+    for &subtlety in &[0.0, 0.5, 0.9] {
+        let (train, test) = corpora(250, subtlety);
+        let nb = NaiveBayes::train(&train);
+        let lr = LogisticRegression::train(&train, &LogRegConfig::default());
+        let ens = EnsembleDetector::train(&train, EnsembleWeights::default());
+        type Scorer2 = Box<dyn Fn(&str) -> f64>;
+        let models: Vec<(String, Scorer2)> = vec![
+            (
+                "lexicon heuristic".into(),
+                Box::new(|t: &str| LexiconFeatures::extract(t).heuristic_score()),
+            ),
+            ("naive bayes".into(), Box::new(move |t: &str| nb.prob_fake(t))),
+            ("logistic regression".into(), Box::new(move |t: &str| lr.prob_fake(t))),
+            ("ensemble".into(), Box::new(move |t: &str| ens.prob_fake(t))),
+        ];
+        for (name, f) in models {
+            let preds: Vec<(bool, f64)> =
+                test.iter().map(|d| (d.fake, f(&d.text))).collect();
+            let m = evaluate(&preds, 0.5);
+            rows.push(Row {
+                sweep: "subtlety",
+                model: name,
+                train_docs: 500,
+                subtlety,
+                accuracy: m.accuracy,
+                f1: m.f1,
+                auc: m.auc,
+            });
+        }
+    }
+
+    println!(
+        "{:<16} {:<22} {:>10} {:>9} {:>9} {:>7} {:>7}",
+        "sweep", "model", "train", "subtlety", "accuracy", "f1", "auc"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:<22} {:>10} {:>9.1} {:>9.3} {:>7.3} {:>7.3}",
+            r.sweep, r.model, r.train_docs, r.subtlety, r.accuracy, r.f1, r.auc
+        );
+    }
+    println!(
+        "\nshape check: accuracy climbs with training volume (the cited \"insufficient \
+         training data\" problem is visible at the small end), and every content-only \
+         detector degrades as fakes get subtler — the regime where the platform's \
+         provenance signal (E3) has to carry detection."
+    );
+    Report::new("E4", "text detection sweeps", rows).write_json();
+}

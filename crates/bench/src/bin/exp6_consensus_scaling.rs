@@ -1,0 +1,168 @@
+//! E6 — Consensus scaling and parallel contract execution.
+//!
+//! Part A: PBFT vs PoA throughput/latency/message-cost as the validator
+//! set grows (4→31), plus fault-tolerance spot checks.
+//! Part B: speedup of executing independent contract transactions on
+//! 1→8 workers — the authors' ICDCS 2018 "distributed parallel blockchain"
+//! idea.
+//!
+//! Paper anchor: §VII ("demands a high performance blockchain network …
+//! scalable smart contract running in blockchain") and §IV's reference to
+//! the ICDCS 2018 mechanism.
+//!
+//! Run: `cargo run -p tn-bench --release --bin exp6_consensus_scaling`
+
+use std::time::Instant;
+
+use serde::Serialize;
+use tn_bench::{banner, Report};
+use tn_chain::state::TxExecutor;
+use tn_consensus::harness::{run_pbft, run_poa, Workload};
+use tn_consensus::sim::NetworkConfig;
+use tn_contracts::asm::assemble;
+use tn_contracts::executor::ContractRegistry;
+use tn_contracts::parallel::{execute_parallel, CallTask};
+use tn_crypto::Keypair;
+
+#[derive(Debug, Serialize)]
+struct ConsensusRow {
+    protocol: &'static str,
+    n_validators: usize,
+    crashed: usize,
+    committed: usize,
+    throughput_per_ktick: f64,
+    p50_latency: u64,
+    p95_latency: u64,
+    messages_per_commit: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ParallelRow {
+    workers: usize,
+    tasks: usize,
+    millis: f64,
+    speedup: f64,
+}
+
+fn main() {
+    banner("E6", "consensus scaling (PBFT vs PoA) and parallel execution");
+    let workload = Workload { n_requests: 200, interarrival: 4, payload_size: 64 };
+    let mut rows = Vec::new();
+
+    for &n in &[4usize, 7, 13, 19, 31] {
+        let pbft = run_pbft(n, &[], &workload, NetworkConfig::default(), 5_000_000);
+        rows.push(ConsensusRow {
+            protocol: "pbft",
+            n_validators: n,
+            crashed: 0,
+            committed: pbft.committed,
+            throughput_per_ktick: pbft.throughput,
+            p50_latency: pbft.p50_latency,
+            p95_latency: pbft.p95_latency,
+            messages_per_commit: pbft.messages_per_commit,
+        });
+        let poa = run_poa(n, &[], &workload, NetworkConfig::default(), 5_000_000);
+        rows.push(ConsensusRow {
+            protocol: "poa",
+            n_validators: n,
+            crashed: 0,
+            committed: poa.committed,
+            throughput_per_ktick: poa.throughput,
+            p50_latency: poa.p50_latency,
+            p95_latency: poa.p95_latency,
+            messages_per_commit: poa.messages_per_commit,
+        });
+    }
+    // Fault tolerance spot checks.
+    let faulty = run_pbft(7, &[5, 6], &workload, NetworkConfig::default(), 5_000_000);
+    rows.push(ConsensusRow {
+        protocol: "pbft(f=2 crash)",
+        n_validators: 7,
+        crashed: 2,
+        committed: faulty.committed,
+        throughput_per_ktick: faulty.throughput,
+        p50_latency: faulty.p50_latency,
+        p95_latency: faulty.p95_latency,
+        messages_per_commit: faulty.messages_per_commit,
+    });
+
+    println!(
+        "{:<17} {:>4} {:>8} {:>10} {:>11} {:>9} {:>9} {:>12}",
+        "protocol", "n", "crashed", "committed", "thru/ktick", "p50 lat", "p95 lat", "msgs/commit"
+    );
+    for r in &rows {
+        println!(
+            "{:<17} {:>4} {:>8} {:>10} {:>11.2} {:>9} {:>9} {:>12.1}",
+            r.protocol,
+            r.n_validators,
+            r.crashed,
+            r.committed,
+            r.throughput_per_ktick,
+            r.p50_latency,
+            r.p95_latency,
+            r.messages_per_commit
+        );
+    }
+    Report::new("E6", "consensus scaling", rows).write_json();
+
+    // ---- Part B: parallel contract execution -----------------------------
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("\nparallel execution of independent contract calls (host has {cores} core(s)):");
+    // A compute-heavy contract: loop summing 1..=400, then bump a counter.
+    let code = assemble(
+        "push 0\npush 400\nloop:\ndup 0\nnot\npush end\njmpif\ndup 0\nswap 2\nadd\nswap 1\npush 1\nsub\npush loop\njmp\nend:\npop\npop\npush 0\npush 0\nsload\npush 1\nadd\nsstore\nhalt",
+    )
+    .expect("assembles");
+    let deployer = Keypair::from_seed(b"e6 deployer").address();
+    let n_contracts = 64;
+    let calls_per_contract = 24;
+
+    let build_registry = || {
+        let mut reg = ContractRegistry::new();
+        let addrs: Vec<_> = (0..n_contracts)
+            .map(|i| reg.deploy(&deployer, i as u64, &code).expect("deploys"))
+            .collect();
+        (reg, addrs)
+    };
+    let (_, addrs) = build_registry();
+    let tasks: Vec<CallTask> = (0..n_contracts * calls_per_contract)
+        .map(|i| CallTask {
+            caller: deployer,
+            contract: addrs[i % n_contracts],
+            input: vec![],
+            gas_limit: 1_000_000,
+        })
+        .collect();
+
+    let mut prows = Vec::new();
+    let mut baseline = 0.0f64;
+    for &workers in &[1usize, 2, 4, 8] {
+        let (mut reg, _) = build_registry();
+        let t0 = Instant::now();
+        let results = execute_parallel(&mut reg, &tasks, workers);
+        let millis = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+        if workers == 1 {
+            baseline = millis;
+        }
+        prows.push(ParallelRow {
+            workers,
+            tasks: tasks.len(),
+            millis,
+            speedup: baseline / millis,
+        });
+    }
+    println!("{:>8} {:>7} {:>10} {:>9}", "workers", "tasks", "millis", "speedup");
+    for r in &prows {
+        println!("{:>8} {:>7} {:>10.1} {:>9.2}", r.workers, r.tasks, r.millis, r.speedup);
+    }
+    println!(
+        "\nshape check: PBFT message cost grows superlinearly with n (quadratic broadcast) \
+         while PoA stays at O(n) — the trust/performance trade-off — and PBFT keeps full \
+         throughput with f crashed replicas. Parallel contract execution preserves \
+         per-contract semantics exactly (verified by tests) and its wall-clock speedup is \
+         bounded by the host's cores: near-linear on multi-core machines, flat when only \
+         one core is available (as reported above)."
+    );
+    Report::new("E6b", "parallel contract execution", prows).write_json();
+}

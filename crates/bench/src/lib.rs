@@ -1,0 +1,82 @@
+//! Shared reporting helpers for the experiment binaries.
+//!
+//! Each `expN_*` binary regenerates one experiment from EXPERIMENTS.md:
+//! it prints a human-readable table to stdout and writes the same rows as
+//! JSON under `results/` so EXPERIMENTS.md stays regenerable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A simple experiment report: a header comment plus tabular rows.
+#[derive(Debug, Serialize)]
+pub struct Report<R: Serialize> {
+    /// Experiment id, e.g. `"E2"`.
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// The measured rows.
+    pub rows: Vec<R>,
+}
+
+impl<R: Serialize> Report<R> {
+    /// Creates a report.
+    pub fn new(id: &'static str, title: &'static str, rows: Vec<R>) -> Self {
+        Report { id, title, rows }
+    }
+
+    /// Writes the report as pretty JSON to `results/<id>.json` (the
+    /// directory is created if needed). Prints the path written.
+    pub fn write_json(&self) {
+        let dir = Path::new("results");
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("warning: could not create results dir: {e}");
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => match fs::write(&path, json) {
+                Ok(()) => println!("\n[written {}]", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!("warning: could not serialize report: {e}"),
+        }
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("=== {id}: {title} ===\n");
+}
+
+/// Formats a float tersely.
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        x: u32,
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = Report::new("E0", "test", vec![Row { x: 1 }, Row { x: 2 }]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"E0\""));
+        assert!(json.contains("\"x\":2"));
+    }
+
+    #[test]
+    fn float_format() {
+        assert_eq!(f(1.23456), "1.235");
+    }
+}

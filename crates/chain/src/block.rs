@@ -1,0 +1,291 @@
+//! Blocks and block headers.
+
+use tn_crypto::merkle::merkle_root;
+use tn_crypto::sha256::tagged_hash;
+use tn_crypto::{Address, Hash256, Keypair, PublicKey, Signature};
+
+use crate::codec::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use crate::error::ChainError;
+use crate::transaction::Transaction;
+
+/// A block header: the hash-linked, proposer-signed commitment to a batch
+/// of transactions and the resulting state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Parent block id ([`Hash256::ZERO`] for genesis).
+    pub parent: Hash256,
+    /// Merkle root over the block's transaction ids.
+    pub tx_root: Hash256,
+    /// State commitment after executing this block.
+    pub state_root: Hash256,
+    /// Logical timestamp (simulation ticks or milliseconds).
+    pub timestamp: u64,
+    /// Proposer account.
+    pub proposer: Address,
+}
+
+impl BlockHeader {
+    /// The header digest that the proposer signs and that serves as the
+    /// block id.
+    pub fn digest(&self) -> Hash256 {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        tagged_hash("TN/block", &enc.finish())
+    }
+}
+
+impl Encodable for BlockHeader {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.height)
+            .put_hash(&self.parent)
+            .put_hash(&self.tx_root)
+            .put_hash(&self.state_root)
+            .put_u64(self.timestamp)
+            .put_hash(self.proposer.as_hash());
+    }
+}
+
+impl Decodable for BlockHeader {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockHeader {
+            height: dec.get_u64()?,
+            parent: dec.get_hash()?,
+            tx_root: dec.get_hash()?,
+            state_root: dec.get_hash()?,
+            timestamp: dec.get_u64()?,
+            proposer: Address::from_hash(dec.get_hash()?),
+        })
+    }
+}
+
+/// A full block: header, proposer signature, and transaction list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Proposer's public key.
+    pub proposer_key: PublicKey,
+    /// Proposer's signature over the header digest.
+    pub signature: Signature,
+    /// Ordered transactions.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// Computes the Merkle root of a transaction list (what `tx_root` must
+    /// equal).
+    pub fn compute_tx_root(txs: &[Transaction]) -> Hash256 {
+        merkle_root(txs.iter().map(|t| t.id().into_bytes()))
+    }
+
+    /// Assembles and signs a block.
+    pub fn build(
+        proposer: &Keypair,
+        height: u64,
+        parent: Hash256,
+        state_root: Hash256,
+        timestamp: u64,
+        transactions: Vec<Transaction>,
+    ) -> Block {
+        let header = BlockHeader {
+            height,
+            parent,
+            tx_root: Block::compute_tx_root(&transactions),
+            state_root,
+            timestamp,
+            proposer: proposer.address(),
+        };
+        let signature = proposer.sign(&header.digest());
+        Block { header, proposer_key: *proposer.public(), signature, transactions }
+    }
+
+    /// The block id (header digest).
+    pub fn id(&self) -> Hash256 {
+        self.header.digest()
+    }
+
+    /// Builds a Merkle inclusion proof for the transaction at `index`
+    /// against this block's `tx_root`. Returns `None` when out of range.
+    ///
+    /// Verify with [`Block::verify_tx_proof`] — this is what lets a light
+    /// client check "this news event is really on-chain" from the header
+    /// alone.
+    pub fn prove_tx(&self, index: usize) -> Option<tn_crypto::merkle::MerkleProof> {
+        if index >= self.transactions.len() {
+            return None;
+        }
+        let tree = tn_crypto::merkle::MerkleTree::from_leaves(
+            self.transactions
+                .iter()
+                .map(|t| tn_crypto::merkle::leaf_hash(t.id().as_bytes()))
+                .collect(),
+        );
+        tree.prove(index)
+    }
+
+    /// Verifies that a transaction with id `tx_id` is committed under
+    /// `tx_root` by `proof`.
+    pub fn verify_tx_proof(
+        tx_id: &Hash256,
+        proof: &tn_crypto::merkle::MerkleProof,
+        tx_root: &Hash256,
+    ) -> bool {
+        proof.verify(&tn_crypto::merkle::leaf_hash(tx_id.as_bytes()), tx_root)
+    }
+
+    /// Structural validation: proposer signature, proposer address
+    /// consistency, tx-root match, and per-transaction signatures.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::AddressMismatch`], [`ChainError::BadSignature`] or
+    /// [`ChainError::BadTxRoot`].
+    pub fn verify_structure(&self) -> Result<(), ChainError> {
+        if self.proposer_key.address() != self.header.proposer {
+            return Err(ChainError::AddressMismatch);
+        }
+        if !self.proposer_key.verify(&self.header.digest(), &self.signature) {
+            return Err(ChainError::BadSignature);
+        }
+        if Block::compute_tx_root(&self.transactions) != self.header.tx_root {
+            return Err(ChainError::BadTxRoot);
+        }
+        for tx in &self.transactions {
+            tx.verify()?;
+        }
+        Ok(())
+    }
+}
+
+impl Encodable for Block {
+    fn encode(&self, enc: &mut Encoder) {
+        self.header.encode(enc);
+        enc.put_bytes(&self.proposer_key.to_compressed());
+        enc.put_bytes(&self.signature.to_bytes());
+        enc.put_varint(self.transactions.len() as u64);
+        for tx in &self.transactions {
+            tx.encode(enc);
+        }
+    }
+}
+
+impl Decodable for Block {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let header = BlockHeader::decode(dec)?;
+        let pk: [u8; 33] =
+            dec.get_bytes()?.try_into().map_err(|_| DecodeError::BadLength(33))?;
+        let proposer_key =
+            PublicKey::from_compressed(&pk).ok_or(DecodeError::BadTag(0xfe))?;
+        let sig: [u8; 65] =
+            dec.get_bytes()?.try_into().map_err(|_| DecodeError::BadLength(65))?;
+        let signature = Signature::from_bytes(&sig).ok_or(DecodeError::BadTag(0xff))?;
+        let n = dec.get_varint()?;
+        if n > 1_000_000 {
+            return Err(DecodeError::BadLength(n));
+        }
+        let mut transactions = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            transactions.push(Transaction::decode(dec)?);
+        }
+        Ok(Block { header, proposer_key, signature, transactions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Payload;
+
+    fn sample_block() -> (Keypair, Block) {
+        let proposer = Keypair::from_seed(b"proposer");
+        let alice = Keypair::from_seed(b"alice");
+        let txs = vec![
+            Transaction::signed(&alice, 0, 1, Payload::Blob { tag: 1, data: vec![1] }),
+            Transaction::signed(&alice, 1, 1, Payload::Blob { tag: 1, data: vec![2] }),
+        ];
+        let block = Block::build(
+            &proposer,
+            1,
+            tn_crypto::sha256::sha256(b"genesis"),
+            tn_crypto::sha256::sha256(b"state"),
+            1000,
+            txs,
+        );
+        (proposer, block)
+    }
+
+    #[test]
+    fn built_block_verifies() {
+        let (_, block) = sample_block();
+        block.verify_structure().expect("valid");
+    }
+
+    #[test]
+    fn block_round_trips() {
+        let (_, block) = sample_block();
+        let decoded = Block::from_bytes(&block.to_bytes()).expect("decodes");
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.id(), block.id());
+    }
+
+    #[test]
+    fn tampered_tx_list_detected() {
+        let (_, mut block) = sample_block();
+        block.transactions.pop();
+        assert_eq!(block.verify_structure(), Err(ChainError::BadTxRoot));
+    }
+
+    #[test]
+    fn tampered_header_detected() {
+        let (_, mut block) = sample_block();
+        block.header.timestamp += 1;
+        assert_eq!(block.verify_structure(), Err(ChainError::BadSignature));
+    }
+
+    #[test]
+    fn forged_proposer_detected() {
+        let (_, mut block) = sample_block();
+        let eve = Keypair::from_seed(b"eve");
+        block.proposer_key = *eve.public();
+        assert_eq!(block.verify_structure(), Err(ChainError::AddressMismatch));
+    }
+
+    #[test]
+    fn empty_block_is_valid() {
+        let proposer = Keypair::from_seed(b"p");
+        let block = Block::build(&proposer, 0, Hash256::ZERO, Hash256::ZERO, 0, vec![]);
+        block.verify_structure().expect("valid");
+        assert_eq!(block.header.tx_root, Hash256::ZERO);
+    }
+
+    #[test]
+    fn tx_inclusion_proofs() {
+        let (_, block) = sample_block();
+        for (i, tx) in block.transactions.iter().enumerate() {
+            let proof = block.prove_tx(i).expect("in range");
+            assert!(Block::verify_tx_proof(&tx.id(), &proof, &block.header.tx_root));
+            // Wrong tx id fails.
+            let other = block.transactions[(i + 1) % block.transactions.len()].id();
+            if other != tx.id() {
+                assert!(!Block::verify_tx_proof(&other, &proof, &block.header.tx_root));
+            }
+        }
+        assert!(block.prove_tx(99).is_none());
+    }
+
+    #[test]
+    fn id_commits_to_transactions() {
+        let (proposer, block) = sample_block();
+        let other = Block::build(
+            &proposer,
+            block.header.height,
+            block.header.parent,
+            block.header.state_root,
+            block.header.timestamp,
+            vec![],
+        );
+        assert_ne!(block.id(), other.id());
+    }
+}

@@ -1,0 +1,263 @@
+//! Transaction mempool with fee prioritisation and per-account nonce
+//! ordering.
+
+use std::collections::{BTreeMap, HashSet};
+
+use tn_crypto::{Address, Hash256};
+
+use crate::error::ChainError;
+use crate::state::State;
+use crate::transaction::Transaction;
+
+/// A bounded mempool.
+///
+/// Transactions are grouped per sender and kept nonce-sorted; block
+/// assembly pops the highest-fee-first ready transactions while preserving
+/// nonce order within each account.
+#[derive(Debug)]
+pub struct Mempool {
+    /// Per-account pending transactions keyed by nonce. `BTreeMap` keyed
+    /// by address so selection tie-breaking is deterministic.
+    by_account: BTreeMap<Address, BTreeMap<u64, Transaction>>,
+    /// Known transaction ids for dedup.
+    seen: HashSet<Hash256>,
+    capacity: usize,
+    len: usize,
+}
+
+impl Mempool {
+    /// Creates a mempool that holds at most `capacity` transactions.
+    pub fn new(capacity: usize) -> Mempool {
+        Mempool { by_account: BTreeMap::new(), seen: HashSet::new(), capacity, len: 0 }
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds a transaction after signature/stateless checks.
+    ///
+    /// # Errors
+    ///
+    /// - [`ChainError::DuplicateTransaction`] if already pending;
+    /// - [`ChainError::MempoolFull`] at capacity;
+    /// - signature errors from [`Transaction::verify`];
+    /// - [`ChainError::BadNonce`] if the nonce is already below the
+    ///   account's committed nonce in `state`.
+    pub fn insert(&mut self, tx: Transaction, state: &State) -> Result<(), ChainError> {
+        let id = tx.id();
+        if self.seen.contains(&id) {
+            return Err(ChainError::DuplicateTransaction(id));
+        }
+        if self.len >= self.capacity {
+            return Err(ChainError::MempoolFull);
+        }
+        tx.verify()?;
+        let committed = state.nonce(&tx.from);
+        if tx.nonce < committed {
+            return Err(ChainError::BadNonce {
+                account: tx.from,
+                expected: committed,
+                actual: tx.nonce,
+            });
+        }
+        let slot = self.by_account.entry(tx.from).or_default();
+        // Replace-by-fee semantics for a duplicate nonce: keep the higher fee.
+        if let Some(existing) = slot.get(&tx.nonce) {
+            if existing.fee >= tx.fee {
+                return Err(ChainError::DuplicateTransaction(id));
+            }
+            self.seen.remove(&existing.id());
+            self.len -= 1;
+        }
+        slot.insert(tx.nonce, tx);
+        self.seen.insert(id);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Selects up to `max` transactions for a block: repeatedly takes the
+    /// highest-fee *ready* transaction (one whose nonce is next for its
+    /// account given `state` and prior selections). Ties break by address
+    /// order, so selection is fully deterministic.
+    pub fn select(&self, state: &State, max: usize) -> Vec<Transaction> {
+        let mut next_nonce: BTreeMap<Address, u64> = BTreeMap::new();
+        let mut out = Vec::new();
+        while out.len() < max {
+            let mut best: Option<&Transaction> = None;
+            for (addr, txs) in &self.by_account {
+                let want = *next_nonce.get(addr).unwrap_or(&state.nonce(addr));
+                if let Some(tx) = txs.get(&want) {
+                    if best.is_none_or(|b| tx.fee > b.fee) {
+                        best = Some(tx);
+                    }
+                }
+            }
+            match best {
+                Some(tx) => {
+                    next_nonce.insert(tx.from, tx.nonce + 1);
+                    out.push(tx.clone());
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Removes transactions that were committed in a block (and any whose
+    /// nonce is now stale).
+    pub fn prune_committed(&mut self, state: &State) {
+        let mut removed = Vec::new();
+        self.by_account.retain(|addr, txs| {
+            let committed = state.nonce(addr);
+            txs.retain(|nonce, tx| {
+                if *nonce < committed {
+                    removed.push(tx.id());
+                    false
+                } else {
+                    true
+                }
+            });
+            !txs.is_empty()
+        });
+        for id in removed {
+            self.seen.remove(&id);
+        }
+        self.len = self.by_account.values().map(BTreeMap::len).sum();
+    }
+
+    /// All pending transactions (unordered), for inspection.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.by_account.values().flat_map(|m| m.values())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NoExecutor;
+    use crate::transaction::Payload;
+    use tn_crypto::Keypair;
+
+    fn alice() -> Keypair {
+        Keypair::from_seed(b"alice")
+    }
+
+    fn bob() -> Keypair {
+        Keypair::from_seed(b"bob")
+    }
+
+    fn state() -> State {
+        State::genesis([(alice().address(), 10_000), (bob().address(), 10_000)])
+    }
+
+    fn tx(kp: &Keypair, nonce: u64, fee: u64) -> Transaction {
+        Transaction::signed(kp, nonce, fee, Payload::Blob { tag: 1, data: vec![nonce as u8] })
+    }
+
+    #[test]
+    fn insert_and_select_orders_by_fee_then_nonce() {
+        let s = state();
+        let mut pool = Mempool::new(100);
+        pool.insert(tx(&alice(), 0, 1), &s).unwrap();
+        pool.insert(tx(&alice(), 1, 100), &s).unwrap(); // high fee but nonce-gated
+        pool.insert(tx(&bob(), 0, 50), &s).unwrap();
+
+        let picked = pool.select(&s, 10);
+        let order: Vec<(Address, u64)> = picked.iter().map(|t| (t.from, t.nonce)).collect();
+        // Bob's 50-fee tx is ready and beats alice's 1-fee; alice nonce 1
+        // only becomes ready after nonce 0 is taken.
+        assert_eq!(
+            order,
+            vec![(bob().address(), 0), (alice().address(), 0), (alice().address(), 1)]
+        );
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let s = state();
+        let mut pool = Mempool::new(100);
+        let t = tx(&alice(), 0, 1);
+        pool.insert(t.clone(), &s).unwrap();
+        assert!(matches!(
+            pool.insert(t, &s),
+            Err(ChainError::DuplicateTransaction(_))
+        ));
+    }
+
+    #[test]
+    fn replace_by_fee() {
+        let s = state();
+        let mut pool = Mempool::new(100);
+        pool.insert(tx(&alice(), 0, 1), &s).unwrap();
+        // Same nonce, higher fee replaces.
+        pool.insert(tx(&alice(), 0, 10), &s).unwrap();
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.select(&s, 1)[0].fee, 10);
+        // Same nonce, lower fee rejected.
+        assert!(pool.insert(tx(&alice(), 0, 5), &s).is_err());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let s = state();
+        let mut pool = Mempool::new(2);
+        pool.insert(tx(&alice(), 0, 1), &s).unwrap();
+        pool.insert(tx(&alice(), 1, 1), &s).unwrap();
+        assert!(matches!(
+            pool.insert(tx(&alice(), 2, 1), &s),
+            Err(ChainError::MempoolFull)
+        ));
+    }
+
+    #[test]
+    fn stale_nonce_rejected() {
+        let mut s = state();
+        let mut ex = NoExecutor;
+        let committed = tx(&alice(), 0, 1);
+        s.apply(&committed, &Address::SYSTEM, &mut ex).unwrap();
+        let mut pool = Mempool::new(10);
+        assert!(matches!(
+            pool.insert(tx(&alice(), 0, 1), &s),
+            Err(ChainError::BadNonce { .. })
+        ));
+    }
+
+    #[test]
+    fn prune_removes_committed() {
+        let mut s = state();
+        let mut pool = Mempool::new(10);
+        pool.insert(tx(&alice(), 0, 1), &s).unwrap();
+        pool.insert(tx(&alice(), 1, 1), &s).unwrap();
+        // Commit nonce 0.
+        let mut ex = NoExecutor;
+        s.apply(&tx(&alice(), 0, 1), &Address::SYSTEM, &mut ex).unwrap();
+        pool.prune_committed(&s);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.iter().next().unwrap().nonce, 1);
+    }
+
+    #[test]
+    fn select_respects_max() {
+        let s = state();
+        let mut pool = Mempool::new(100);
+        for n in 0..10 {
+            pool.insert(tx(&alice(), n, 1), &s).unwrap();
+        }
+        assert_eq!(pool.select(&s, 3).len(), 3);
+    }
+
+    #[test]
+    fn nonce_gaps_block_selection() {
+        let s = state();
+        let mut pool = Mempool::new(100);
+        pool.insert(tx(&alice(), 1, 1), &s).unwrap(); // gap: nonce 0 missing
+        assert!(pool.select(&s, 10).is_empty());
+    }
+}

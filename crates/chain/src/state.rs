@@ -1,0 +1,486 @@
+//! The replicated world state and its transition function.
+
+use std::collections::BTreeMap;
+
+use tn_crypto::sha256::tagged_hash;
+use tn_crypto::{Address, Hash256};
+
+use crate::codec::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use crate::error::ChainError;
+use crate::transaction::{Payload, Transaction};
+
+/// Per-account record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccountState {
+    /// Token balance (the incentive currency of the ecosystem).
+    pub balance: u64,
+    /// Next expected nonce.
+    pub nonce: u64,
+}
+
+/// Outcome of executing one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// Transaction id.
+    pub tx_id: Hash256,
+    /// Whether execution succeeded (failed txs still pay fees and bump the
+    /// nonce, like mainstream chains).
+    pub success: bool,
+    /// Gas consumed by contract execution (0 for native payloads).
+    pub gas_used: u64,
+    /// Output bytes from contract execution, if any.
+    pub output: Vec<u8>,
+    /// Error message for failed executions.
+    pub error: Option<String>,
+}
+
+/// Hook through which the contracts crate plugs its VM into the chain
+/// without a dependency cycle. The chain executes native payloads itself
+/// and delegates `ContractDeploy`/`ContractCall` to this trait.
+pub trait TxExecutor {
+    /// Deploys `code`, returning the new contract's address.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a message describing why deployment failed.
+    fn deploy(
+        &mut self,
+        deployer: &Address,
+        nonce: u64,
+        code: &[u8],
+    ) -> Result<Address, String>;
+
+    /// Executes a call, returning `(gas_used, output)`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a message describing why the call failed.
+    fn call(
+        &mut self,
+        caller: &Address,
+        contract: &Address,
+        input: &[u8],
+        gas_limit: u64,
+    ) -> Result<(u64, Vec<u8>), String>;
+}
+
+/// Executor used when no contract VM is attached: all contract payloads
+/// fail cleanly.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoExecutor;
+
+impl TxExecutor for NoExecutor {
+    fn deploy(&mut self, _: &Address, _: u64, _: &[u8]) -> Result<Address, String> {
+        Err("no contract executor attached".into())
+    }
+
+    fn call(
+        &mut self,
+        _: &Address,
+        _: &Address,
+        _: &[u8],
+        _: u64,
+    ) -> Result<(u64, Vec<u8>), String> {
+        Err("no contract executor attached".into())
+    }
+}
+
+/// The world state: account balances/nonces plus named anchor roots.
+///
+/// Uses `BTreeMap` so iteration order — and therefore the state root — is
+/// canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct State {
+    accounts: BTreeMap<Address, AccountState>,
+    /// Namespaced Merkle anchors (e.g. `"factdb"` → current factual-DB
+    /// root) with the owner allowed to update each.
+    anchors: BTreeMap<String, (Address, Hash256)>,
+}
+
+impl State {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a genesis state from initial balances.
+    pub fn genesis<I: IntoIterator<Item = (Address, u64)>>(grants: I) -> Self {
+        let mut s = State::new();
+        for (addr, amount) in grants {
+            s.accounts.insert(addr, AccountState { balance: amount, nonce: 0 });
+        }
+        s
+    }
+
+    /// Account record (zero-value default for unknown accounts).
+    pub fn account(&self, addr: &Address) -> AccountState {
+        self.accounts.get(addr).copied().unwrap_or_default()
+    }
+
+    /// Balance helper.
+    pub fn balance(&self, addr: &Address) -> u64 {
+        self.account(addr).balance
+    }
+
+    /// Next-nonce helper.
+    pub fn nonce(&self, addr: &Address) -> u64 {
+        self.account(addr).nonce
+    }
+
+    /// Number of accounts with state.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Current anchor root for a namespace.
+    pub fn anchor(&self, namespace: &str) -> Option<Hash256> {
+        self.anchors.get(namespace).map(|(_, r)| *r)
+    }
+
+    /// Credits tokens (used by genesis and block rewards).
+    pub fn credit(&mut self, addr: &Address, amount: u64) {
+        let acct = self.accounts.entry(*addr).or_default();
+        acct.balance = acct.balance.saturating_add(amount);
+    }
+
+    /// Canonical state commitment: a tagged hash over the sorted account
+    /// table and anchor table.
+    pub fn root(&self) -> Hash256 {
+        let mut enc = Encoder::new();
+        enc.put_varint(self.accounts.len() as u64);
+        for (addr, acct) in &self.accounts {
+            enc.put_hash(addr.as_hash()).put_u64(acct.balance).put_u64(acct.nonce);
+        }
+        enc.put_varint(self.anchors.len() as u64);
+        for (ns, (owner, root)) in &self.anchors {
+            enc.put_str(ns).put_hash(owner.as_hash()).put_hash(root);
+        }
+        tagged_hash("TN/state", &enc.finish())
+    }
+
+    /// Iterates accounts in canonical (address) order.
+    pub fn accounts(&self) -> impl Iterator<Item = (&Address, &AccountState)> {
+        self.accounts.iter()
+    }
+
+    /// Validates a transaction against current state without applying it
+    /// (signature, nonce, balance).
+    ///
+    /// # Errors
+    ///
+    /// Any of the [`ChainError`] validation variants.
+    pub fn validate(&self, tx: &Transaction) -> Result<(), ChainError> {
+        tx.verify()?;
+        let acct = self.account(&tx.from);
+        if tx.nonce != acct.nonce {
+            return Err(ChainError::BadNonce {
+                account: tx.from,
+                expected: acct.nonce,
+                actual: tx.nonce,
+            });
+        }
+        let needed = tx.total_debit();
+        if acct.balance < needed {
+            return Err(ChainError::InsufficientBalance {
+                account: tx.from,
+                needed,
+                available: acct.balance,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies a validated transaction, returning its receipt. `proposer`
+    /// receives the fee.
+    ///
+    /// Contract payloads are delegated to `executor`; a failed execution
+    /// still consumes the fee and bumps the nonce but produces a
+    /// `success: false` receipt (state changes made by the failed contract
+    /// are the executor's responsibility to roll back).
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors; execution failures are reported in the
+    /// receipt, not as `Err`.
+    pub fn apply(
+        &mut self,
+        tx: &Transaction,
+        proposer: &Address,
+        executor: &mut dyn TxExecutor,
+    ) -> Result<Receipt, ChainError> {
+        self.validate(tx)?;
+        // Debit fee + value, bump nonce.
+        {
+            let acct = self.accounts.entry(tx.from).or_default();
+            acct.balance -= tx.total_debit();
+            acct.nonce += 1;
+        }
+        self.credit(proposer, tx.fee);
+
+        let mut receipt = Receipt {
+            tx_id: tx.id(),
+            success: true,
+            gas_used: 0,
+            output: Vec::new(),
+            error: None,
+        };
+        match &tx.payload {
+            Payload::Transfer { to, amount } => {
+                self.credit(to, *amount);
+            }
+            Payload::Blob { .. } => {
+                // Blobs have no native state effect; upper layers index them.
+            }
+            Payload::ContractDeploy { code } => {
+                match executor.deploy(&tx.from, tx.nonce, code) {
+                    Ok(addr) => receipt.output = addr.as_hash().as_bytes().to_vec(),
+                    Err(e) => {
+                        receipt.success = false;
+                        receipt.error = Some(e);
+                    }
+                }
+            }
+            Payload::ContractCall { contract, input, gas_limit } => {
+                match executor.call(&tx.from, contract, input, *gas_limit) {
+                    Ok((gas, out)) => {
+                        receipt.gas_used = gas;
+                        receipt.output = out;
+                    }
+                    Err(e) => {
+                        receipt.success = false;
+                        receipt.gas_used = *gas_limit;
+                        receipt.error = Some(e);
+                    }
+                }
+            }
+            Payload::AnchorRoot { namespace, root } => {
+                match self.anchors.get(namespace) {
+                    Some((owner, _)) if owner != &tx.from => {
+                        receipt.success = false;
+                        receipt.error = Some(format!(
+                            "anchor namespace {namespace:?} owned by {}",
+                            owner.short()
+                        ));
+                    }
+                    _ => {
+                        self.anchors.insert(namespace.clone(), (tx.from, *root));
+                    }
+                }
+            }
+        }
+        Ok(receipt)
+    }
+}
+
+impl Encodable for State {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.accounts.len() as u64);
+        for (addr, acct) in &self.accounts {
+            enc.put_hash(addr.as_hash()).put_u64(acct.balance).put_u64(acct.nonce);
+        }
+        enc.put_varint(self.anchors.len() as u64);
+        for (ns, (owner, root)) in &self.anchors {
+            enc.put_str(ns).put_hash(owner.as_hash()).put_hash(root);
+        }
+    }
+}
+
+impl Decodable for State {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.get_varint()?;
+        if n > 10_000_000 {
+            return Err(DecodeError::BadLength(n));
+        }
+        let mut state = State::new();
+        for _ in 0..n {
+            let addr = Address::from_hash(dec.get_hash()?);
+            let balance = dec.get_u64()?;
+            let nonce = dec.get_u64()?;
+            state.accounts.insert(addr, AccountState { balance, nonce });
+        }
+        let m = dec.get_varint()?;
+        if m > 1_000_000 {
+            return Err(DecodeError::BadLength(m));
+        }
+        for _ in 0..m {
+            let ns = dec.get_str()?;
+            let owner = Address::from_hash(dec.get_hash()?);
+            let root = dec.get_hash()?;
+            state.anchors.insert(ns, (owner, root));
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::blob_tags;
+    use tn_crypto::Keypair;
+
+    fn setup() -> (Keypair, Keypair, State) {
+        let alice = Keypair::from_seed(b"alice");
+        let bob = Keypair::from_seed(b"bob");
+        let state = State::genesis([(alice.address(), 1000)]);
+        (alice, bob, state)
+    }
+
+    #[test]
+    fn genesis_balances() {
+        let (alice, bob, state) = setup();
+        assert_eq!(state.balance(&alice.address()), 1000);
+        assert_eq!(state.balance(&bob.address()), 0);
+        assert_eq!(state.nonce(&alice.address()), 0);
+    }
+
+    #[test]
+    fn transfer_moves_balance_and_fee() {
+        let (alice, bob, mut state) = setup();
+        let proposer = Keypair::from_seed(b"proposer").address();
+        let tx = Transaction::signed(
+            &alice,
+            0,
+            10,
+            Payload::Transfer { to: bob.address(), amount: 100 },
+        );
+        let r = state.apply(&tx, &proposer, &mut NoExecutor).expect("applies");
+        assert!(r.success);
+        assert_eq!(state.balance(&alice.address()), 890);
+        assert_eq!(state.balance(&bob.address()), 100);
+        assert_eq!(state.balance(&proposer), 10);
+        assert_eq!(state.nonce(&alice.address()), 1);
+    }
+
+    #[test]
+    fn nonce_must_be_sequential() {
+        let (alice, bob, mut state) = setup();
+        let tx = Transaction::signed(
+            &alice,
+            5,
+            0,
+            Payload::Transfer { to: bob.address(), amount: 1 },
+        );
+        match state.apply(&tx, &Address::SYSTEM, &mut NoExecutor) {
+            Err(ChainError::BadNonce { expected: 0, actual: 5, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_is_rejected_by_nonce() {
+        let (alice, bob, mut state) = setup();
+        let tx = Transaction::signed(
+            &alice,
+            0,
+            1,
+            Payload::Transfer { to: bob.address(), amount: 1 },
+        );
+        state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("first");
+        assert!(matches!(
+            state.apply(&tx, &Address::SYSTEM, &mut NoExecutor),
+            Err(ChainError::BadNonce { .. })
+        ));
+    }
+
+    #[test]
+    fn overspend_rejected() {
+        let (alice, bob, mut state) = setup();
+        let tx = Transaction::signed(
+            &alice,
+            0,
+            1,
+            Payload::Transfer { to: bob.address(), amount: 1000 },
+        );
+        assert!(matches!(
+            state.apply(&tx, &Address::SYSTEM, &mut NoExecutor),
+            Err(ChainError::InsufficientBalance { needed: 1001, available: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn anchor_ownership_enforced() {
+        let (alice, bob, mut state) = setup();
+        state.credit(&bob.address(), 100);
+        let root1 = tn_crypto::sha256::sha256(b"r1");
+        let tx = Transaction::signed(
+            &alice,
+            0,
+            0,
+            Payload::AnchorRoot { namespace: "factdb".into(), root: root1 },
+        );
+        let r = state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        assert!(r.success);
+        assert_eq!(state.anchor("factdb"), Some(root1));
+
+        // Bob cannot overwrite alice's namespace.
+        let root2 = tn_crypto::sha256::sha256(b"r2");
+        let tx = Transaction::signed(
+            &bob,
+            0,
+            0,
+            Payload::AnchorRoot { namespace: "factdb".into(), root: root2 },
+        );
+        let r = state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        assert!(!r.success);
+        assert_eq!(state.anchor("factdb"), Some(root1));
+
+        // Alice can update her own namespace.
+        let tx = Transaction::signed(
+            &alice,
+            1,
+            0,
+            Payload::AnchorRoot { namespace: "factdb".into(), root: root2 },
+        );
+        assert!(state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).unwrap().success);
+        assert_eq!(state.anchor("factdb"), Some(root2));
+    }
+
+    #[test]
+    fn contract_payloads_fail_cleanly_without_executor() {
+        let (alice, _, mut state) = setup();
+        let tx = Transaction::signed(&alice, 0, 5, Payload::ContractDeploy { code: vec![1] });
+        let r = state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        assert!(!r.success);
+        assert!(r.error.as_deref().unwrap_or("").contains("no contract executor"));
+        // Fee still charged, nonce bumped.
+        assert_eq!(state.balance(&alice.address()), 995);
+        assert_eq!(state.nonce(&alice.address()), 1);
+    }
+
+    #[test]
+    fn state_root_changes_with_state() {
+        let (alice, bob, mut state) = setup();
+        let r0 = state.root();
+        let tx = Transaction::signed(
+            &alice,
+            0,
+            0,
+            Payload::Transfer { to: bob.address(), amount: 1 },
+        );
+        state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        assert_ne!(state.root(), r0);
+    }
+
+    #[test]
+    fn state_root_is_order_independent() {
+        let a = Keypair::from_seed(b"a").address();
+        let b = Keypair::from_seed(b"b").address();
+        let s1 = State::genesis([(a, 1), (b, 2)]);
+        let s2 = State::genesis([(b, 2), (a, 1)]);
+        assert_eq!(s1.root(), s2.root());
+    }
+
+    #[test]
+    fn blob_costs_only_fee() {
+        let (alice, _, mut state) = setup();
+        let tx = Transaction::signed(
+            &alice,
+            0,
+            3,
+            Payload::Blob { tag: blob_tags::NEWS_PUBLISH, data: b"story".to_vec() },
+        );
+        let r = state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        assert!(r.success);
+        assert_eq!(state.balance(&alice.address()), 997);
+    }
+}

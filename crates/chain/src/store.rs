@@ -1,0 +1,495 @@
+//! The chain store: block storage, validation against parent state, and
+//! longest-chain fork choice.
+//!
+//! In the full platform the consensus layer (PBFT) decides a single block
+//! per height, so forks never persist; the store nevertheless implements
+//! fork choice so it can also back the PoA baseline (where brief forks are
+//! possible) and so tests can exercise reorg behaviour.
+
+use std::collections::HashMap;
+
+use tn_crypto::{Address, Hash256, Keypair};
+
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::state::{Receipt, State, TxExecutor};
+use crate::transaction::Transaction;
+
+/// A stored block together with its post-state and receipts.
+#[derive(Debug, Clone)]
+struct StoredBlock {
+    block: Block,
+    post_state: State,
+    receipts: Vec<Receipt>,
+}
+
+/// The block store and canonical-chain tracker.
+#[derive(Debug)]
+pub struct ChainStore {
+    blocks: HashMap<Hash256, StoredBlock>,
+    /// Current head (tip of the canonical chain).
+    head: Hash256,
+    genesis: Hash256,
+}
+
+impl ChainStore {
+    /// Creates a store holding only a genesis block that commits
+    /// `genesis_state`.
+    pub fn new(genesis_state: State, genesis_proposer: &Keypair) -> ChainStore {
+        let block = Block::build(
+            genesis_proposer,
+            0,
+            Hash256::ZERO,
+            genesis_state.root(),
+            0,
+            Vec::new(),
+        );
+        let id = block.id();
+        let mut blocks = HashMap::new();
+        blocks.insert(
+            id,
+            StoredBlock { block, post_state: genesis_state, receipts: Vec::new() },
+        );
+        ChainStore { blocks, head: id, genesis: id }
+    }
+
+    /// The genesis block id.
+    pub fn genesis_id(&self) -> Hash256 {
+        self.genesis
+    }
+
+    /// The canonical head block id.
+    pub fn head_id(&self) -> Hash256 {
+        self.head
+    }
+
+    /// The canonical head block.
+    pub fn head(&self) -> &Block {
+        &self.blocks[&self.head].block
+    }
+
+    /// Height of the canonical head.
+    pub fn height(&self) -> u64 {
+        self.head().header.height
+    }
+
+    /// State after the canonical head.
+    pub fn head_state(&self) -> &State {
+        &self.blocks[&self.head].post_state
+    }
+
+    /// Looks up a block by id.
+    pub fn block(&self, id: &Hash256) -> Option<&Block> {
+        self.blocks.get(id).map(|s| &s.block)
+    }
+
+    /// Post-state of an arbitrary stored block.
+    pub fn state_of(&self, id: &Hash256) -> Option<&State> {
+        self.blocks.get(id).map(|s| &s.post_state)
+    }
+
+    /// Receipts of an arbitrary stored block.
+    pub fn receipts_of(&self, id: &Hash256) -> Option<&[Receipt]> {
+        self.blocks.get(id).map(|s| s.receipts.as_slice())
+    }
+
+    /// Number of stored blocks (including genesis and non-canonical forks).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always false: the store always holds at least genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Validates `block` against its parent and, if valid, stores it and
+    /// re-evaluates fork choice (longest chain; ties broken by smaller
+    /// block id for determinism).
+    ///
+    /// # Errors
+    ///
+    /// Any structural or stateful [`ChainError`].
+    pub fn import(
+        &mut self,
+        block: Block,
+        executor: &mut dyn TxExecutor,
+    ) -> Result<Vec<Receipt>, ChainError> {
+        let id = block.id();
+        if self.blocks.contains_key(&id) {
+            return Err(ChainError::DuplicateBlock(id));
+        }
+        block.verify_structure()?;
+        let parent = self
+            .blocks
+            .get(&block.header.parent)
+            .ok_or(ChainError::UnknownParent(block.header.parent))?;
+        let expected_height = parent.block.header.height + 1;
+        if block.header.height != expected_height {
+            return Err(ChainError::BadHeight {
+                expected: expected_height,
+                actual: block.header.height,
+            });
+        }
+        if block.header.timestamp < parent.block.header.timestamp {
+            return Err(ChainError::TimestampRegression);
+        }
+        let mut state = parent.post_state.clone();
+        let mut receipts = Vec::with_capacity(block.transactions.len());
+        for tx in &block.transactions {
+            receipts.push(state.apply(tx, &block.header.proposer, executor)?);
+        }
+        if state.root() != block.header.state_root {
+            return Err(ChainError::BadStateRoot);
+        }
+        let height = block.header.height;
+        self.blocks.insert(
+            id,
+            StoredBlock { block, post_state: state, receipts: receipts.clone() },
+        );
+        // Fork choice: longest chain, deterministic tie-break.
+        let head_height = self.height();
+        if height > head_height
+            || (height == head_height && id < self.head)
+        {
+            self.head = id;
+        }
+        Ok(receipts)
+    }
+
+    /// Produces (but does not import) a block extending the canonical head,
+    /// executing `txs` against the head state. Transactions that fail
+    /// validation are skipped (like a real proposer dropping invalid txs).
+    pub fn propose(
+        &self,
+        proposer: &Keypair,
+        timestamp: u64,
+        txs: Vec<Transaction>,
+        executor: &mut dyn TxExecutor,
+    ) -> Block {
+        let mut state = self.head_state().clone();
+        let mut included = Vec::with_capacity(txs.len());
+        for tx in txs {
+            if state.apply(&tx, &proposer.address(), executor).is_ok() {
+                included.push(tx);
+            }
+        }
+        Block::build(
+            proposer,
+            self.height() + 1,
+            self.head_id(),
+            state.root(),
+            timestamp,
+            included,
+        )
+    }
+
+    /// Walks the canonical chain from head back to genesis, returning block
+    /// ids (head first).
+    pub fn canonical_chain(&self) -> Vec<Hash256> {
+        let mut out = Vec::new();
+        let mut cur = self.head;
+        loop {
+            out.push(cur);
+            let b = &self.blocks[&cur].block;
+            if b.header.height == 0 {
+                break;
+            }
+            cur = b.header.parent;
+        }
+        out
+    }
+
+    /// Iterates all transactions on the canonical chain in execution order
+    /// (genesis-era first). Used by the indexing layers (supply-chain graph,
+    /// ratings ledger).
+    pub fn canonical_transactions(&self) -> Vec<&Transaction> {
+        let mut ids = self.canonical_chain();
+        ids.reverse();
+        ids.iter()
+            .flat_map(|id| self.blocks[id].block.transactions.iter())
+            .collect()
+    }
+
+    /// Convenience accessor: the balance of `addr` at the head state.
+    pub fn balance(&self, addr: &Address) -> u64 {
+        self.head_state().balance(addr)
+    }
+
+    /// Serializes the full chain — genesis state, genesis block, and every
+    /// stored block — into one snapshot blob (see [`ChainStore::restore`]).
+    pub fn snapshot(&self) -> Vec<u8> {
+        use crate::codec::{Encodable, Encoder};
+        let mut enc = Encoder::new();
+        let genesis = &self.blocks[&self.genesis];
+        genesis.post_state.encode(&mut enc);
+        genesis.block.encode(&mut enc);
+        // Non-genesis blocks in height order (parents before children).
+        let mut blocks: Vec<&StoredBlock> = self
+            .blocks
+            .values()
+            .filter(|b| b.block.header.height > 0)
+            .collect();
+        blocks.sort_by_key(|b| (b.block.header.height, b.block.id()));
+        enc.put_varint(blocks.len() as u64);
+        for b in blocks {
+            b.block.encode(&mut enc);
+        }
+        enc.finish()
+    }
+
+    /// Restores a chain from a snapshot, re-validating and re-executing
+    /// every block against `executor` (so the restored state is recomputed,
+    /// never trusted from the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Decode errors or any validation error hit during replay.
+    pub fn restore(
+        bytes: &[u8],
+        executor: &mut dyn TxExecutor,
+    ) -> Result<ChainStore, ChainError> {
+        use crate::codec::{Decodable, Decoder};
+        let mut dec = Decoder::new(bytes);
+        let genesis_state = State::decode(&mut dec)?;
+        let genesis_block = Block::decode(&mut dec)?;
+        genesis_block.verify_structure()?;
+        if genesis_block.header.height != 0
+            || genesis_block.header.state_root != genesis_state.root()
+        {
+            return Err(ChainError::BadStateRoot);
+        }
+        let id = genesis_block.id();
+        let mut blocks = HashMap::new();
+        blocks.insert(
+            id,
+            StoredBlock {
+                block: genesis_block,
+                post_state: genesis_state,
+                receipts: Vec::new(),
+            },
+        );
+        let mut store = ChainStore { blocks, head: id, genesis: id };
+        let n = dec.get_varint()?;
+        if n > 10_000_000 {
+            return Err(crate::codec::DecodeError::BadLength(n).into());
+        }
+        for _ in 0..n {
+            let block = Block::decode(&mut dec)?;
+            store.import(block, executor)?;
+        }
+        dec.expect_end().map_err(ChainError::from)?;
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NoExecutor;
+    use crate::transaction::Payload;
+
+    fn alice() -> Keypair {
+        Keypair::from_seed(b"alice")
+    }
+
+    fn proposer() -> Keypair {
+        Keypair::from_seed(b"proposer")
+    }
+
+    fn store_with_funds() -> ChainStore {
+        let state = State::genesis([(alice().address(), 10_000)]);
+        ChainStore::new(state, &proposer())
+    }
+
+    fn blob(nonce: u64) -> Transaction {
+        Transaction::signed(&alice(), nonce, 1, Payload::Blob { tag: 1, data: vec![nonce as u8] })
+    }
+
+    #[test]
+    fn genesis_is_head() {
+        let store = store_with_funds();
+        assert_eq!(store.height(), 0);
+        assert_eq!(store.head_id(), store.genesis_id());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn propose_and_import_extends_chain() {
+        let mut store = store_with_funds();
+        let block = store.propose(&proposer(), 10, vec![blob(0), blob(1)], &mut NoExecutor);
+        let receipts = store.import(block.clone(), &mut NoExecutor).expect("imports");
+        assert_eq!(receipts.len(), 2);
+        assert!(receipts.iter().all(|r| r.success));
+        assert_eq!(store.height(), 1);
+        assert_eq!(store.head_id(), block.id());
+        // Fees accrued to proposer.
+        assert_eq!(store.balance(&proposer().address()), 2);
+    }
+
+    #[test]
+    fn duplicate_block_rejected() {
+        let mut store = store_with_funds();
+        let block = store.propose(&proposer(), 10, vec![blob(0)], &mut NoExecutor);
+        store.import(block.clone(), &mut NoExecutor).expect("first import");
+        assert!(matches!(
+            store.import(block, &mut NoExecutor),
+            Err(ChainError::DuplicateBlock(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut store = store_with_funds();
+        let block = Block::build(
+            &proposer(),
+            1,
+            tn_crypto::sha256::sha256(b"nowhere"),
+            Hash256::ZERO,
+            10,
+            vec![],
+        );
+        assert!(matches!(
+            store.import(block, &mut NoExecutor),
+            Err(ChainError::UnknownParent(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let mut store = store_with_funds();
+        let block = Block::build(
+            &proposer(),
+            5,
+            store.head_id(),
+            store.head_state().root(),
+            10,
+            vec![],
+        );
+        assert!(matches!(
+            store.import(block, &mut NoExecutor),
+            Err(ChainError::BadHeight { expected: 1, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn wrong_state_root_rejected() {
+        let mut store = store_with_funds();
+        let block = Block::build(
+            &proposer(),
+            1,
+            store.head_id(),
+            tn_crypto::sha256::sha256(b"bogus state"),
+            10,
+            vec![],
+        );
+        assert!(matches!(
+            store.import(block, &mut NoExecutor),
+            Err(ChainError::BadStateRoot)
+        ));
+    }
+
+    #[test]
+    fn timestamp_regression_rejected() {
+        let mut store = store_with_funds();
+        let b1 = store.propose(&proposer(), 100, vec![], &mut NoExecutor);
+        store.import(b1, &mut NoExecutor).expect("imports");
+        let mut state = store.head_state().clone();
+        let b2 = Block::build(&proposer(), 2, store.head_id(), state.root(), 50, vec![]);
+        let _ = &mut state;
+        assert!(matches!(
+            store.import(b2, &mut NoExecutor),
+            Err(ChainError::TimestampRegression)
+        ));
+    }
+
+    #[test]
+    fn longest_chain_wins_reorg() {
+        let mut store = store_with_funds();
+        let genesis = store.head_id();
+        let p1 = proposer();
+        let p2 = Keypair::from_seed(b"rival");
+
+        // Branch A: one block on genesis.
+        let a1 = store.propose(&p1, 10, vec![blob(0)], &mut NoExecutor);
+        store.import(a1.clone(), &mut NoExecutor).expect("a1");
+        assert_eq!(store.head_id(), a1.id());
+
+        // Branch B: two blocks on genesis → should win.
+        let genesis_state = store.state_of(&genesis).expect("genesis state").clone();
+        let b1 = Block::build(&p2, 1, genesis, genesis_state.root(), 11, vec![]);
+        store.import(b1.clone(), &mut NoExecutor).expect("b1");
+        let b1_state = store.state_of(&b1.id()).expect("b1 state").clone();
+        let b2 = Block::build(&p2, 2, b1.id(), b1_state.root(), 12, vec![]);
+        store.import(b2.clone(), &mut NoExecutor).expect("b2");
+
+        assert_eq!(store.head_id(), b2.id());
+        assert_eq!(store.height(), 2);
+        let chain = store.canonical_chain();
+        assert_eq!(chain, vec![b2.id(), b1.id(), genesis]);
+    }
+
+    #[test]
+    fn canonical_transactions_in_order() {
+        let mut store = store_with_funds();
+        let b1 = store.propose(&proposer(), 1, vec![blob(0)], &mut NoExecutor);
+        store.import(b1, &mut NoExecutor).expect("b1");
+        let b2 = store.propose(&proposer(), 2, vec![blob(1), blob(2)], &mut NoExecutor);
+        store.import(b2, &mut NoExecutor).expect("b2");
+        let txs = store.canonical_transactions();
+        assert_eq!(txs.len(), 3);
+        let nonces: Vec<u64> = txs.iter().map(|t| t.nonce).collect();
+        assert_eq!(nonces, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut store = store_with_funds();
+        for i in 0..4u64 {
+            let block =
+                store.propose(&proposer(), 10 + i, vec![blob(i)], &mut NoExecutor);
+            store.import(block, &mut NoExecutor).expect("imports");
+        }
+        let snap = store.snapshot();
+        let restored = ChainStore::restore(&snap, &mut NoExecutor).expect("restores");
+        assert_eq!(restored.head_id(), store.head_id());
+        assert_eq!(restored.height(), store.height());
+        assert_eq!(restored.head_state().root(), store.head_state().root());
+        assert_eq!(restored.canonical_chain(), store.canonical_chain());
+        // The restored store keeps working.
+        let mut restored = restored;
+        let block = restored.propose(&proposer(), 99, vec![blob(4)], &mut NoExecutor);
+        restored.import(block, &mut NoExecutor).expect("extends");
+        assert_eq!(restored.height(), 5);
+    }
+
+    #[test]
+    fn restore_rejects_tampered_snapshot() {
+        let mut store = store_with_funds();
+        let block = store.propose(&proposer(), 10, vec![blob(0)], &mut NoExecutor);
+        store.import(block, &mut NoExecutor).expect("imports");
+        let snap = store.snapshot();
+        // Flip one byte near the end (inside the last block's signature or
+        // payload): restore must fail, never silently accept.
+        for flip in [snap.len() - 1, snap.len() / 2] {
+            let mut bad = snap.clone();
+            bad[flip] ^= 0xff;
+            assert!(
+                ChainStore::restore(&bad, &mut NoExecutor).is_err(),
+                "tampered snapshot (byte {flip}) accepted"
+            );
+        }
+        assert!(ChainStore::restore(&[], &mut NoExecutor).is_err());
+    }
+
+    #[test]
+    fn propose_skips_invalid_txs() {
+        let store = store_with_funds();
+        // Bad nonce tx is dropped by the proposer.
+        let good = blob(0);
+        let bad = blob(7);
+        let block = store.propose(&proposer(), 1, vec![bad, good], &mut NoExecutor);
+        assert_eq!(block.transactions.len(), 1);
+        assert_eq!(block.transactions[0].nonce, 0);
+    }
+}

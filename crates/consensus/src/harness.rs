@@ -1,0 +1,245 @@
+//! Measurement harness: runs consensus clusters under a request load and
+//! reports throughput/latency statistics. This is the engine behind the E6
+//! experiment (consensus scaling) in EXPERIMENTS.md.
+
+use crate::pbft::{ByzMode, PbftConfig, PbftMsg, PbftReplica, Request};
+use crate::poa::{PoaConfig, PoaMode, PoaMsg, PoaValidator};
+use crate::sim::{NetworkConfig, NodeId, Simulator};
+
+/// Aggregate statistics from a consensus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Protocol label ("pbft" or "poa").
+    pub protocol: &'static str,
+    /// Cluster size.
+    pub n_nodes: usize,
+    /// Requests injected.
+    pub injected: usize,
+    /// Requests committed on the reference (first honest) replica.
+    pub committed: usize,
+    /// Simulation ticks elapsed when the last commit landed.
+    pub duration: u64,
+    /// Commits per 1000 ticks.
+    pub throughput: f64,
+    /// Mean request commit latency (ticks).
+    pub mean_latency: f64,
+    /// Median latency.
+    pub p50_latency: u64,
+    /// 95th-percentile latency.
+    pub p95_latency: u64,
+    /// Total protocol messages delivered.
+    pub messages: u64,
+    /// Messages per committed request.
+    pub messages_per_commit: f64,
+}
+
+fn latency_stats(mut latencies: Vec<u64>) -> (f64, u64, u64) {
+    if latencies.is_empty() {
+        return (0.0, 0, 0);
+    }
+    latencies.sort_unstable();
+    let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+    let p50 = latencies[latencies.len() / 2];
+    let p95 = latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)];
+    (mean, p50, p95)
+}
+
+/// Workload description shared by both protocols.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Number of client requests.
+    pub n_requests: usize,
+    /// Ticks between request arrivals.
+    pub interarrival: u64,
+    /// Payload size in bytes.
+    pub payload_size: usize,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload { n_requests: 200, interarrival: 5, payload_size: 64 }
+    }
+}
+
+fn make_request(i: usize, t: u64, payload_size: usize) -> Request {
+    let mut payload = format!("request-{i}-").into_bytes();
+    payload.resize(payload_size, b'x');
+    Request::new(payload, t)
+}
+
+/// Runs PBFT with `n` replicas (`crashed` of them fail-silent) and returns
+/// stats measured at the first honest replica.
+pub fn run_pbft(
+    n: usize,
+    crashed: &[NodeId],
+    workload: &Workload,
+    net: NetworkConfig,
+    max_time: u64,
+) -> RunStats {
+    let nodes: Vec<PbftReplica> = (0..n)
+        .map(|id| {
+            let mode = if crashed.contains(&id) { ByzMode::Silent } else { ByzMode::Honest };
+            PbftReplica::new(id, n, PbftConfig::default(), mode)
+        })
+        .collect();
+    let mut sim = Simulator::new(nodes, net);
+    for i in 0..workload.n_requests {
+        let t = 10 + (i as u64) * workload.interarrival;
+        let req = make_request(i, t, workload.payload_size);
+        // Route to the initial primary unless it is crashed, else to the
+        // first live replica (which forwards / drives the view change).
+        let target = (0..n).find(|id| !crashed.contains(id)).unwrap_or(0);
+        let entry = if crashed.contains(&0) { target } else { 0 };
+        sim.inject_at(entry, PbftMsg::Request(req), t);
+    }
+    sim.run_until(max_time);
+
+    let reference = (0..n).find(|id| !crashed.contains(id)).expect("an honest node");
+    let replica = sim.node(reference);
+    let mut latencies = Vec::new();
+    let mut last_commit = 0;
+    let mut committed = 0usize;
+    for entry in &replica.committed {
+        last_commit = last_commit.max(entry.committed_at);
+        for r in &entry.requests {
+            committed += 1;
+            latencies.push(entry.committed_at.saturating_sub(r.submitted_at));
+        }
+    }
+    let (mean, p50, p95) = latency_stats(latencies);
+    let duration = last_commit.max(1);
+    RunStats {
+        protocol: "pbft",
+        n_nodes: n,
+        injected: workload.n_requests,
+        committed,
+        duration,
+        throughput: committed as f64 * 1000.0 / duration as f64,
+        mean_latency: mean,
+        p50_latency: p50,
+        p95_latency: p95,
+        messages: sim.delivered_messages,
+        messages_per_commit: if committed > 0 {
+            sim.delivered_messages as f64 / committed as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Runs round-robin PoA with `n` validators and returns stats measured at
+/// validator 0 (or the first live one).
+pub fn run_poa(
+    n: usize,
+    crashed: &[NodeId],
+    workload: &Workload,
+    net: NetworkConfig,
+    max_time: u64,
+) -> RunStats {
+    let nodes: Vec<PoaValidator> = (0..n)
+        .map(|id| PoaValidator::new(id, n, PoaConfig::default(), PoaMode::Honest))
+        .collect();
+    let mut sim = Simulator::new(nodes, net);
+    for &c in crashed {
+        sim.crash(c);
+    }
+    for i in 0..workload.n_requests {
+        let t = 10 + (i as u64) * workload.interarrival;
+        let req = make_request(i, t, workload.payload_size);
+        for node in 0..n {
+            sim.inject_at(node, PoaMsg::Request(req.clone()), t);
+        }
+    }
+    sim.run_until(max_time);
+
+    let reference = (0..n).find(|id| !crashed.contains(id)).expect("a live node");
+    let v = sim.node(reference);
+    let mut latencies = Vec::new();
+    let mut last_commit = 0;
+    let mut committed = 0usize;
+    for entry in &v.committed {
+        last_commit = last_commit.max(entry.committed_at);
+        for r in &entry.requests {
+            committed += 1;
+            latencies.push(entry.committed_at.saturating_sub(r.submitted_at));
+        }
+    }
+    let (mean, p50, p95) = latency_stats(latencies);
+    let duration = last_commit.max(1);
+    RunStats {
+        protocol: "poa",
+        n_nodes: n,
+        injected: workload.n_requests,
+        committed,
+        duration,
+        throughput: committed as f64 * 1000.0 / duration as f64,
+        mean_latency: mean,
+        p50_latency: p50,
+        p95_latency: p95,
+        messages: sim.delivered_messages,
+        messages_per_commit: if committed > 0 {
+            sim.delivered_messages as f64 / committed as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_load() -> Workload {
+        Workload { n_requests: 50, interarrival: 5, payload_size: 32 }
+    }
+
+    #[test]
+    fn pbft_run_commits_everything() {
+        let stats = run_pbft(4, &[], &small_load(), NetworkConfig::default(), 200_000);
+        assert_eq!(stats.committed, 50);
+        assert!(stats.throughput > 0.0);
+        assert!(stats.mean_latency > 0.0);
+        assert!(stats.p95_latency >= stats.p50_latency);
+    }
+
+    #[test]
+    fn poa_run_commits_everything() {
+        let stats = run_poa(4, &[], &small_load(), NetworkConfig::default(), 200_000);
+        assert_eq!(stats.committed, 50);
+    }
+
+    #[test]
+    fn poa_latency_beats_pbft() {
+        // One-phase PoA must have lower commit latency than three-phase PBFT
+        // on the same network.
+        let w = small_load();
+        let pbft = run_pbft(7, &[], &w, NetworkConfig::default(), 500_000);
+        let poa = run_poa(7, &[], &w, NetworkConfig::default(), 500_000);
+        assert!(
+            poa.mean_latency < pbft.mean_latency,
+            "poa {} vs pbft {}",
+            poa.mean_latency,
+            pbft.mean_latency
+        );
+    }
+
+    #[test]
+    fn pbft_message_cost_grows_with_n() {
+        let w = Workload { n_requests: 30, interarrival: 5, payload_size: 32 };
+        let small = run_pbft(4, &[], &w, NetworkConfig::default(), 500_000);
+        let large = run_pbft(10, &[], &w, NetworkConfig::default(), 500_000);
+        assert!(large.messages_per_commit > small.messages_per_commit);
+    }
+
+    #[test]
+    fn pbft_survives_crashes_within_f() {
+        let stats = run_pbft(7, &[5, 6], &small_load(), NetworkConfig::default(), 500_000);
+        assert_eq!(stats.committed, 50);
+    }
+
+    #[test]
+    fn pbft_with_crashed_primary_recovers() {
+        let stats = run_pbft(4, &[0], &small_load(), NetworkConfig::default(), 1_000_000);
+        assert_eq!(stats.committed, 50);
+    }
+}

@@ -1,0 +1,498 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! Consensus protocols are evaluated on a simulated message-passing
+//! network: events (message deliveries and timer firings) are processed in
+//! timestamp order from a priority queue, with per-message latency drawn
+//! from a seeded RNG, optional message loss, and dynamic network
+//! partitions. Runs are fully deterministic given a seed, which is what
+//! makes the consensus tests and the E6 experiment reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of a simulated node (index into the cluster).
+pub type NodeId = usize;
+
+/// Latency and loss model for the simulated network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Minimum one-way delivery latency (simulation ticks).
+    pub base_latency: u64,
+    /// Uniform jitter added on top of the base latency.
+    pub jitter: u64,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// RNG seed for latency/drop decisions.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { base_latency: 10, jitter: 5, drop_prob: 0.0, seed: 7 }
+    }
+}
+
+/// Behaviour of a simulated node. `M` is the protocol message type.
+pub trait Node<M> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>);
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, M>);
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { timer: u64 },
+    /// External injection hook (e.g. client request arrival) — delivered as
+    /// a message from the pseudo-node `usize::MAX`.
+    Inject { msg: M },
+}
+
+struct Event<M> {
+    time: u64,
+    /// Tie-breaker so event ordering is deterministic.
+    seq: u64,
+    to: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The pseudo-sender id used for externally injected messages.
+pub const EXTERNAL: NodeId = usize::MAX;
+
+/// API surface a node sees while handling an event.
+pub struct Context<'a, M> {
+    now: u64,
+    me: NodeId,
+    n_nodes: usize,
+    outbox: &'a mut Vec<Outgoing<M>>,
+}
+
+enum Outgoing<M> {
+    Send { to: NodeId, msg: M },
+    Broadcast { msg: M, include_self: bool },
+    Timer { delay: u64, timer: u64 },
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Cluster size.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Sends a message to one node (latency applied by the simulator).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push(Outgoing::Send { to, msg });
+    }
+
+    /// Sends a message to every node (optionally including self, delivered
+    /// with zero latency to self).
+    pub fn broadcast(&mut self, msg: M, include_self: bool) {
+        self.outbox.push(Outgoing::Broadcast { msg, include_self });
+    }
+
+    /// Schedules [`Node::on_timer`] after `delay` ticks.
+    pub fn set_timer(&mut self, delay: u64, timer: u64) {
+        self.outbox.push(Outgoing::Timer { delay, timer });
+    }
+}
+
+/// The simulator driving a cluster of nodes.
+pub struct Simulator<M, N: Node<M>> {
+    nodes: Vec<N>,
+    /// Crashed nodes neither send nor receive.
+    crashed: HashSet<NodeId>,
+    queue: BinaryHeap<Event<M>>,
+    now: u64,
+    seq: u64,
+    config: NetworkConfig,
+    rng: StdRng,
+    /// Partition groups: messages crossing group boundaries are dropped.
+    /// Empty = fully connected.
+    partition: Vec<HashSet<NodeId>>,
+    /// Total messages delivered (for cost accounting).
+    pub delivered_messages: u64,
+    /// Total messages dropped by loss or partition.
+    pub dropped_messages: u64,
+    started: bool,
+}
+
+impl<M: Clone, N: Node<M>> Simulator<M, N> {
+    /// Creates a simulator over `nodes` with the given network model.
+    pub fn new(nodes: Vec<N>, config: NetworkConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Simulator {
+            nodes,
+            crashed: HashSet::new(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            config,
+            rng,
+            partition: Vec::new(),
+            delivered_messages: 0,
+            dropped_messages: 0,
+            started: false,
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Immutable access to a node (for assertions after a run).
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id]
+    }
+
+    /// Iterates all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Marks a node as crashed: it stops receiving and sending.
+    pub fn crash(&mut self, id: NodeId) {
+        self.crashed.insert(id);
+    }
+
+    /// Revives a crashed node (it keeps its state; recovery protocols are
+    /// the node's business).
+    pub fn revive(&mut self, id: NodeId) {
+        self.crashed.remove(&id);
+    }
+
+    /// True when `id` is crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed.contains(&id)
+    }
+
+    /// Splits the network into the given groups; cross-group messages are
+    /// dropped until [`Self::heal`].
+    pub fn partition(&mut self, groups: Vec<HashSet<NodeId>>) {
+        self.partition = groups;
+    }
+
+    /// Removes any partition.
+    pub fn heal(&mut self) {
+        self.partition.clear();
+    }
+
+    fn can_communicate(&self, a: NodeId, b: NodeId) -> bool {
+        if self.partition.is_empty() || a == b {
+            return true;
+        }
+        self.partition
+            .iter()
+            .any(|g| g.contains(&a) && g.contains(&b))
+    }
+
+    /// Injects an external message (e.g. a client request) to `to` at
+    /// `at_time` (absolute). The node sees it as coming from [`EXTERNAL`].
+    pub fn inject_at(&mut self, to: NodeId, msg: M, at_time: u64) {
+        self.seq += 1;
+        self.queue.push(Event { time: at_time, seq: self.seq, to, kind: EventKind::Inject { msg } });
+    }
+
+    fn flush_outbox(&mut self, from: NodeId, outbox: Vec<Outgoing<M>>) {
+        for out in outbox {
+            match out {
+                Outgoing::Send { to, msg } => self.enqueue_send(from, to, msg),
+                Outgoing::Broadcast { msg, include_self } => {
+                    for to in 0..self.nodes.len() {
+                        if to == from {
+                            if include_self {
+                                self.seq += 1;
+                                self.queue.push(Event {
+                                    time: self.now,
+                                    seq: self.seq,
+                                    to,
+                                    kind: EventKind::Deliver { from, msg: msg.clone() },
+                                });
+                            }
+                        } else {
+                            self.enqueue_send(from, to, msg.clone());
+                        }
+                    }
+                }
+                Outgoing::Timer { delay, timer } => {
+                    self.seq += 1;
+                    self.queue.push(Event {
+                        time: self.now + delay,
+                        seq: self.seq,
+                        to: from,
+                        kind: EventKind::Timer { timer },
+                    });
+                }
+            }
+        }
+    }
+
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if to >= self.nodes.len() {
+            return;
+        }
+        if self.config.drop_prob > 0.0 && self.rng.gen::<f64>() < self.config.drop_prob {
+            self.dropped_messages += 1;
+            return;
+        }
+        let jitter = if self.config.jitter > 0 {
+            self.rng.gen_range(0..=self.config.jitter)
+        } else {
+            0
+        };
+        let latency = self.config.base_latency + jitter;
+        self.seq += 1;
+        self.queue.push(Event {
+            time: self.now + latency,
+            seq: self.seq,
+            to,
+            kind: EventKind::Deliver { from, msg },
+        });
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            let mut outbox = Vec::new();
+            {
+                let mut ctx = Context {
+                    now: self.now,
+                    me: id,
+                    n_nodes: self.nodes.len(),
+                    outbox: &mut outbox,
+                };
+                self.nodes[id].on_start(&mut ctx);
+            }
+            self.flush_outbox(id, outbox);
+        }
+    }
+
+    /// Runs until the event queue is empty or `until` time is reached.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, until: u64) -> u64 {
+        self.start_if_needed();
+        let mut processed = 0;
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            processed += 1;
+            if self.crashed.contains(&ev.to) {
+                continue;
+            }
+            let mut outbox = Vec::new();
+            {
+                let mut ctx = Context {
+                    now: self.now,
+                    me: ev.to,
+                    n_nodes: self.nodes.len(),
+                    outbox: &mut outbox,
+                };
+                match ev.kind {
+                    EventKind::Deliver { from, msg } => {
+                        // Partition check at delivery time (so healing
+                        // re-enables in-flight traffic realistically
+                        // enough for our purposes).
+                        if !self.can_communicate(from, ev.to) || self.crashed.contains(&from) {
+                            self.dropped_messages += 1;
+                            continue;
+                        }
+                        self.delivered_messages += 1;
+                        self.nodes[ev.to].on_message(from, msg, &mut ctx);
+                    }
+                    EventKind::Inject { msg } => {
+                        self.delivered_messages += 1;
+                        self.nodes[ev.to].on_message(EXTERNAL, msg, &mut ctx);
+                    }
+                    EventKind::Timer { timer } => {
+                        self.nodes[ev.to].on_timer(timer, &mut ctx);
+                    }
+                }
+            }
+            self.flush_outbox(ev.to, outbox);
+        }
+        if self.now < until && self.queue.is_empty() {
+            self.now = until;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that floods a counter token around the ring.
+    struct Relay {
+        received: Vec<(NodeId, u64)>,
+        forward: bool,
+    }
+
+    impl Node<u64> for Relay {
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.me() == 0 {
+                ctx.send(1 % ctx.n_nodes(), 1);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+            self.received.push((from, msg));
+            if self.forward && msg < 10 {
+                let next = (ctx.me() + 1) % ctx.n_nodes();
+                ctx.send(next, msg + 1);
+            }
+        }
+
+        fn on_timer(&mut self, _timer: u64, _ctx: &mut Context<'_, u64>) {}
+    }
+
+    fn cluster(n: usize) -> Simulator<u64, Relay> {
+        let nodes = (0..n).map(|_| Relay { received: Vec::new(), forward: true }).collect();
+        Simulator::new(nodes, NetworkConfig::default())
+    }
+
+    #[test]
+    fn token_circulates() {
+        let mut sim = cluster(3);
+        sim.run_until(10_000);
+        let total: usize = sim.nodes().map(|n| n.received.len()).sum();
+        assert_eq!(total, 10, "token should hop exactly 10 times");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let trace = |seed| {
+            let mut cfg = NetworkConfig { seed, ..NetworkConfig::default() };
+            cfg.jitter = 20;
+            let nodes = (0..4).map(|_| Relay { received: Vec::new(), forward: true }).collect();
+            let mut sim: Simulator<u64, Relay> = Simulator::new(nodes, cfg);
+            sim.run_until(100_000);
+            sim.nodes().map(|n| n.received.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(trace(1), trace(1));
+    }
+
+    #[test]
+    fn crashed_node_is_silent() {
+        let mut sim = cluster(3);
+        sim.crash(1);
+        sim.run_until(10_000);
+        // Node 0 sends to 1 which is crashed; nothing else happens.
+        let total: usize = sim.nodes().map(|n| n.received.len()).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut sim = cluster(4);
+        sim.partition(vec![[0usize, 2].into_iter().collect(), [1usize, 3].into_iter().collect()]);
+        sim.run_until(10_000);
+        // 0 -> 1 crosses the partition: dropped.
+        let total: usize = sim.nodes().map(|n| n.received.len()).sum();
+        assert_eq!(total, 0);
+        assert!(sim.dropped_messages >= 1);
+    }
+
+    #[test]
+    fn heal_restores_traffic() {
+        let mut sim = cluster(3);
+        sim.partition(vec![[0usize].into_iter().collect(), [1usize, 2].into_iter().collect()]);
+        sim.heal();
+        sim.run_until(10_000);
+        let total: usize = sim.nodes().map(|n| n.received.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn injection_delivers_from_external() {
+        let mut sim = cluster(2);
+        sim.inject_at(1, 99, 5);
+        sim.run_until(10_000);
+        assert!(sim.node(1).received.contains(&(EXTERNAL, 99)));
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        let cfg = NetworkConfig { drop_prob: 1.0, ..NetworkConfig::default() };
+        let nodes = (0..2).map(|_| Relay { received: Vec::new(), forward: true }).collect();
+        let mut sim: Simulator<u64, Relay> = Simulator::new(nodes, cfg);
+        sim.run_until(10_000);
+        let total: usize = sim.nodes().map(|n| n.received.len()).sum();
+        assert_eq!(total, 0);
+        assert_eq!(sim.dropped_messages, 1);
+    }
+
+    /// Timers fire at the right times.
+    struct TimerNode {
+        fired: Vec<(u64, u64)>,
+    }
+
+    impl Node<()> for TimerNode {
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            ctx.set_timer(50, 1);
+            ctx.set_timer(10, 2);
+        }
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut Context<'_, ()>) {}
+        fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, ()>) {
+            self.fired.push((timer, ctx.now()));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulator::new(vec![TimerNode { fired: Vec::new() }], NetworkConfig::default());
+        sim.run_until(1000);
+        assert_eq!(sim.node(0).fired, vec![(2, 10), (1, 50)]);
+    }
+}

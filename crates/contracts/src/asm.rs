@@ -1,0 +1,201 @@
+//! A tiny two-pass assembler for the contract VM.
+//!
+//! Makes contract programs legible in tests and examples. Syntax:
+//!
+//! ```text
+//! ; comment
+//! label:          ; defines a jump target
+//!     push 5
+//!     push label  ; pushes the label's byte offset
+//!     jmp
+//! ```
+//!
+//! Mnemonics are the lowercase opcode names; `ret` is an alias for
+//! `return`. `dup`/`swap` take a decimal depth operand; `push` takes a
+//! decimal number or a label.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::vm::Op;
+
+/// Assembly errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+enum Item {
+    Op(Op),
+    PushNum(u64),
+    PushLabel(String, usize),
+    Depth(Op, u8),
+}
+
+/// Assembles source text into bytecode.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line for unknown mnemonics,
+/// missing/invalid operands, duplicate or undefined labels.
+pub fn assemble(src: &str) -> Result<Vec<u8>, AsmError> {
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut offset: u64 = 0;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line_num = lineno + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.chars().any(char::is_whitespace) {
+                return Err(err(line_num, "invalid label"));
+            }
+            if labels.insert(label.to_string(), offset).is_some() {
+                return Err(err(line_num, format!("duplicate label {label:?}")));
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty line");
+        let operand = parts.next();
+        if parts.next().is_some() {
+            return Err(err(line_num, "too many operands"));
+        }
+        let op = match mnemonic {
+            "halt" => Op::Halt,
+            "push" => Op::Push,
+            "pop" => Op::Pop,
+            "dup" => Op::Dup,
+            "swap" => Op::Swap,
+            "add" => Op::Add,
+            "sub" => Op::Sub,
+            "mul" => Op::Mul,
+            "div" => Op::Div,
+            "mod" => Op::Mod,
+            "lt" => Op::Lt,
+            "gt" => Op::Gt,
+            "eq" => Op::Eq,
+            "not" => Op::Not,
+            "and" => Op::And,
+            "or" => Op::Or,
+            "xor" => Op::Xor,
+            "jmp" => Op::Jmp,
+            "jmpif" => Op::JmpIf,
+            "sload" => Op::SLoad,
+            "sstore" => Op::SStore,
+            "caller" => Op::Caller,
+            "input" => Op::Input,
+            "inputlen" => Op::InputLen,
+            "ret" | "return" => Op::Return,
+            other => return Err(err(line_num, format!("unknown mnemonic {other:?}"))),
+        };
+        match op {
+            Op::Push => {
+                let operand =
+                    operand.ok_or_else(|| err(line_num, "push requires an operand"))?;
+                offset += 9;
+                match operand.parse::<u64>() {
+                    Ok(n) => items.push(Item::PushNum(n)),
+                    Err(_) => items.push(Item::PushLabel(operand.to_string(), line_num)),
+                }
+            }
+            Op::Dup | Op::Swap => {
+                let operand =
+                    operand.ok_or_else(|| err(line_num, "dup/swap require a depth"))?;
+                let depth: u8 = operand
+                    .parse()
+                    .map_err(|_| err(line_num, format!("bad depth {operand:?}")))?;
+                offset += 2;
+                items.push(Item::Depth(op, depth));
+            }
+            _ => {
+                if operand.is_some() {
+                    return Err(err(line_num, format!("{mnemonic} takes no operand")));
+                }
+                offset += 1;
+                items.push(Item::Op(op));
+            }
+        }
+    }
+
+    let mut code = Vec::with_capacity(offset as usize);
+    for item in items {
+        match item {
+            Item::Op(op) => code.push(op as u8),
+            Item::PushNum(n) => {
+                code.push(Op::Push as u8);
+                code.extend_from_slice(&n.to_le_bytes());
+            }
+            Item::PushLabel(name, line) => {
+                let target = *labels
+                    .get(&name)
+                    .ok_or_else(|| err(line, format!("undefined label {name:?}")))?;
+                code.push(Op::Push as u8);
+                code.extend_from_slice(&target.to_le_bytes());
+            }
+            Item::Depth(op, d) => {
+                code.push(op as u8);
+                code.push(d);
+            }
+        }
+    }
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::validate;
+
+    #[test]
+    fn assembles_and_validates() {
+        let code = assemble("push 1\npush 2\nadd\npush 1\nret").unwrap();
+        assert_eq!(code.len(), 9 + 9 + 1 + 9 + 1);
+        validate(&code).expect("valid bytecode");
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let code = assemble("start:\npush end\njmp\nend:\nhalt").unwrap();
+        validate(&code).expect("valid");
+        // `end` label should be at offset 9 (push) + 1 (jmp) = 10.
+        assert_eq!(&code[1..9], &10u64.to_le_bytes()[..8]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let code = assemble("; header\n\n  push 1 ; trailing\n  halt\n").unwrap();
+        assert_eq!(code.len(), 10);
+    }
+
+    #[test]
+    fn error_cases_carry_line_numbers() {
+        assert_eq!(assemble("push").unwrap_err().line, 1);
+        assert_eq!(assemble("halt\nbogus").unwrap_err().line, 2);
+        assert_eq!(assemble("halt\nhalt 3").unwrap_err().line, 2);
+        assert_eq!(assemble("dup x").unwrap_err().line, 1);
+        assert_eq!(assemble("push nowhere\njmp").unwrap_err().line, 1);
+        assert_eq!(assemble("a:\na:\n").unwrap_err().line, 2);
+        assert_eq!(assemble("push 1 2").unwrap_err().line, 1);
+    }
+}

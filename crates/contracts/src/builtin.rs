@@ -1,0 +1,760 @@
+//! Built-in (native) platform contracts.
+//!
+//! The paper's governance mechanisms are all "managed and enforced by
+//! various smart contracts" (§V): distribution-platform creation,
+//! journalist authentication, crowd-source ranking, incentives, and
+//! factual-database admission. These four contracts implement those
+//! mechanisms natively (Rust instead of bytecode) behind the same call
+//! interface as VM contracts, so transactions cannot tell the difference.
+//!
+//! Input/output use the `tn-chain` canonical codec; the first byte of the
+//! input selects the operation.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use tn_chain::codec::{Decoder, Encoder};
+use tn_crypto::{Address, Hash256};
+
+/// Interface shared by all native contracts.
+pub trait BuiltinContract: Send + fmt::Debug {
+    /// Human-readable contract name (also used to derive its address).
+    fn name(&self) -> &'static str;
+
+    /// Executes one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the failure (bad op, unauthorized
+    /// caller, malformed input).
+    fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String>;
+
+    /// Typed read access for in-process platform code (downcasting).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Typed mutable access for in-process platform code.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+fn bad_input(e: impl fmt::Display) -> String {
+    format!("malformed input: {e}")
+}
+
+// ---------------------------------------------------------------------------
+// Newsroom registry
+// ---------------------------------------------------------------------------
+
+/// A distribution platform (paper §V: "each news publisher … can apply to
+/// set up a distribution platform").
+#[derive(Debug, Clone)]
+pub struct PlatformRecord {
+    /// Owner account.
+    pub owner: Address,
+    /// Display name.
+    pub name: String,
+}
+
+/// A news room within a platform (the editing platform of §V).
+#[derive(Debug, Clone)]
+pub struct RoomRecord {
+    /// Owning platform id.
+    pub platform: u64,
+    /// Topic string.
+    pub topic: String,
+    /// Journalists authorized to publish in this room.
+    pub journalists: HashSet<Address>,
+}
+
+/// The two-layer trust registry: platforms (layer 1) and rooms with
+/// authorized journalists (layer 2).
+///
+/// Operations (first input byte):
+/// - `0` RegisterPlatform(name: str) → platform id (u64)
+/// - `1` CreateRoom(platform: u64, topic: str) → room id (u64); owner only
+/// - `2` AuthorizeJournalist(room: u64, who: hash); platform owner only
+/// - `3` IsAuthorized(room: u64, who: hash) → bool byte
+/// - `4` RevokeJournalist(room: u64, who: hash); platform owner only
+#[derive(Debug, Default)]
+pub struct NewsroomRegistry {
+    platforms: BTreeMap<u64, PlatformRecord>,
+    rooms: BTreeMap<u64, RoomRecord>,
+    next_platform: u64,
+    next_room: u64,
+}
+
+impl NewsroomRegistry {
+    /// New, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read-only platform lookup (for in-process callers like `tn-core`).
+    pub fn platform(&self, id: u64) -> Option<&PlatformRecord> {
+        self.platforms.get(&id)
+    }
+
+    /// Read-only room lookup.
+    pub fn room(&self, id: u64) -> Option<&RoomRecord> {
+        self.rooms.get(&id)
+    }
+
+    /// Iterates `(id, record)` for all platforms, ascending.
+    pub fn platforms(&self) -> impl Iterator<Item = (u64, &PlatformRecord)> {
+        self.platforms.iter().map(|(id, p)| (*id, p))
+    }
+
+    /// Iterates `(id, record)` for all rooms, ascending.
+    pub fn rooms(&self) -> impl Iterator<Item = (u64, &RoomRecord)> {
+        self.rooms.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Finds a platform id by exact name (first match).
+    pub fn find_platform(&self, name: &str) -> Option<u64> {
+        self.platforms.iter().find(|(_, p)| p.name == name).map(|(id, _)| *id)
+    }
+
+    /// True when `who` may publish in `room` (owner or authorized
+    /// journalist) — the same check op 3 performs, typed.
+    pub fn is_authorized(&self, room: u64, who: &Address) -> bool {
+        let Some(r) = self.rooms.get(&room) else { return false };
+        r.journalists.contains(who)
+            || self.platforms.get(&r.platform).is_some_and(|p| p.owner == *who)
+    }
+
+    fn room_owner(&self, room: u64) -> Option<Address> {
+        let r = self.rooms.get(&room)?;
+        Some(self.platforms.get(&r.platform)?.owner)
+    }
+}
+
+impl BuiltinContract for NewsroomRegistry {
+    fn name(&self) -> &'static str {
+        "newsroom-registry"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String> {
+        let mut dec = Decoder::new(input);
+        let op = dec.get_u8().map_err(bad_input)?;
+        match op {
+            0 => {
+                let name = dec.get_str().map_err(bad_input)?;
+                if name.is_empty() {
+                    return Err("platform name must be nonempty".into());
+                }
+                self.next_platform += 1;
+                let id = self.next_platform;
+                self.platforms.insert(id, PlatformRecord { owner: *caller, name });
+                Ok(id.to_le_bytes().to_vec())
+            }
+            1 => {
+                let platform = dec.get_u64().map_err(bad_input)?;
+                let topic = dec.get_str().map_err(bad_input)?;
+                let p = self
+                    .platforms
+                    .get(&platform)
+                    .ok_or_else(|| format!("unknown platform {platform}"))?;
+                if p.owner != *caller {
+                    return Err("only the platform owner may create rooms".into());
+                }
+                self.next_room += 1;
+                let id = self.next_room;
+                self.rooms.insert(
+                    id,
+                    RoomRecord { platform, topic, journalists: HashSet::new() },
+                );
+                Ok(id.to_le_bytes().to_vec())
+            }
+            2 | 4 => {
+                let room = dec.get_u64().map_err(bad_input)?;
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                let owner =
+                    self.room_owner(room).ok_or_else(|| format!("unknown room {room}"))?;
+                if owner != *caller {
+                    return Err("only the platform owner may manage journalists".into());
+                }
+                let r = self.rooms.get_mut(&room).expect("checked");
+                if op == 2 {
+                    r.journalists.insert(who);
+                } else {
+                    r.journalists.remove(&who);
+                }
+                Ok(Vec::new())
+            }
+            3 => {
+                let room = dec.get_u64().map_err(bad_input)?;
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                let r = self
+                    .rooms
+                    .get(&room)
+                    .ok_or_else(|| format!("unknown room {room}"))?;
+                let owner = self.platforms.get(&r.platform).map(|p| p.owner);
+                let authorized = r.journalists.contains(&who) || owner == Some(who);
+                Ok(vec![authorized as u8])
+            }
+            other => Err(format!("unknown newsroom op {other}")),
+        }
+    }
+}
+
+/// Encodes a `RegisterPlatform` call input.
+pub fn newsroom_register_platform(name: &str) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(0).put_str(name);
+    e.finish()
+}
+
+/// Encodes a `CreateRoom` call input.
+pub fn newsroom_create_room(platform: u64, topic: &str) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(1).put_u64(platform).put_str(topic);
+    e.finish()
+}
+
+/// Encodes an `AuthorizeJournalist` call input.
+pub fn newsroom_authorize(room: u64, who: &Address) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(2).put_u64(room).put_hash(who.as_hash());
+    e.finish()
+}
+
+/// Encodes an `IsAuthorized` query input.
+pub fn newsroom_is_authorized(room: u64, who: &Address) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(3).put_u64(room).put_hash(who.as_hash());
+    e.finish()
+}
+
+/// Encodes a `RevokeJournalist` call input.
+pub fn newsroom_revoke(room: u64, who: &Address) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(4).put_u64(room).put_hash(who.as_hash());
+    e.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Ranking contract
+// ---------------------------------------------------------------------------
+
+/// Reputation-weighted crowd ranking of news items (paper §V: "the
+/// truthfulness of all the contents … ranked collectively by AI algorithms
+/// and blockchain crowd sourcing").
+///
+/// Operations:
+/// - `0` SubmitRating(item: hash, score: u8 ≤ 100) — last write per caller wins
+/// - `1` GetRanking(item) → (count u64, weighted mean ×10⁻⁴ u64)
+/// - `2` SetReputation(who: hash, rep u64) — owner only
+/// - `3` GetRating(item, who: hash) → score byte (0xff when absent)
+#[derive(Debug)]
+pub struct RankingContract {
+    owner: Address,
+    /// item → rater → score.
+    ratings: HashMap<Hash256, BTreeMap<Address, u8>>,
+    /// Reputation weights (default 100).
+    reputation: HashMap<Address, u64>,
+}
+
+/// Default reputation weight for unknown raters.
+pub const DEFAULT_REPUTATION: u64 = 100;
+
+impl RankingContract {
+    /// Creates the contract with `owner` allowed to set reputations.
+    pub fn new(owner: Address) -> Self {
+        RankingContract { owner, ratings: HashMap::new(), reputation: HashMap::new() }
+    }
+
+    fn rep(&self, who: &Address) -> u64 {
+        self.reputation.get(who).copied().unwrap_or(DEFAULT_REPUTATION)
+    }
+
+    /// Computes `(rating count, weighted mean score in 1e-4 units)`.
+    pub fn ranking(&self, item: &Hash256) -> (u64, u64) {
+        let Some(rs) = self.ratings.get(item) else { return (0, 0) };
+        let mut weight_sum: u128 = 0;
+        let mut score_sum: u128 = 0;
+        for (who, score) in rs {
+            let w = self.rep(who) as u128;
+            weight_sum += w;
+            score_sum += w * (*score as u128);
+        }
+        if weight_sum == 0 {
+            return (rs.len() as u64, 0);
+        }
+        let mean_e4 = (score_sum * 10_000 / weight_sum) as u64;
+        (rs.len() as u64, mean_e4)
+    }
+}
+
+impl BuiltinContract for RankingContract {
+    fn name(&self) -> &'static str {
+        "ranking"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String> {
+        let mut dec = Decoder::new(input);
+        let op = dec.get_u8().map_err(bad_input)?;
+        match op {
+            0 => {
+                let item = dec.get_hash().map_err(bad_input)?;
+                let score = dec.get_u8().map_err(bad_input)?;
+                if score > 100 {
+                    return Err(format!("score {score} out of range 0..=100"));
+                }
+                self.ratings.entry(item).or_default().insert(*caller, score);
+                Ok(Vec::new())
+            }
+            1 => {
+                let item = dec.get_hash().map_err(bad_input)?;
+                let (count, mean) = self.ranking(&item);
+                let mut out = Vec::with_capacity(16);
+                out.extend_from_slice(&count.to_le_bytes());
+                out.extend_from_slice(&mean.to_le_bytes());
+                Ok(out)
+            }
+            2 => {
+                if *caller != self.owner {
+                    return Err("only the owner may set reputation".into());
+                }
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                let rep = dec.get_u64().map_err(bad_input)?;
+                self.reputation.insert(who, rep);
+                Ok(Vec::new())
+            }
+            3 => {
+                let item = dec.get_hash().map_err(bad_input)?;
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                let score = self
+                    .ratings
+                    .get(&item)
+                    .and_then(|rs| rs.get(&who))
+                    .copied()
+                    .unwrap_or(0xff);
+                Ok(vec![score])
+            }
+            other => Err(format!("unknown ranking op {other}")),
+        }
+    }
+}
+
+/// Encodes a `SubmitRating` input.
+pub fn ranking_submit(item: &Hash256, score: u8) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(0).put_hash(item).put_u8(score);
+    e.finish()
+}
+
+/// Encodes a `GetRanking` input.
+pub fn ranking_get(item: &Hash256) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(1).put_hash(item);
+    e.finish()
+}
+
+/// Encodes a `SetReputation` input.
+pub fn ranking_set_reputation(who: &Address, rep: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(2).put_hash(who.as_hash()).put_u64(rep);
+    e.finish()
+}
+
+/// Decodes a `GetRanking` output into `(count, weighted mean ×1e-4)`.
+pub fn decode_ranking(out: &[u8]) -> Option<(u64, u64)> {
+    if out.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(out[..8].try_into().ok()?),
+        u64::from_le_bytes(out[8..].try_into().ok()?),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Incentive contract
+// ---------------------------------------------------------------------------
+
+/// Platform-internal incentive points ("economic incentives to reward
+/// individuals for flagging behaviors", §V).
+///
+/// Operations:
+/// - `0` Reward(who: hash, amount u64) — owner only
+/// - `1` Slash(who: hash, amount u64) — owner only (saturating)
+/// - `2` BalanceOf(who: hash) → u64
+/// - `3` Transfer(to: hash, amount u64) — moves caller's points
+#[derive(Debug)]
+pub struct IncentiveContract {
+    owner: Address,
+    balances: HashMap<Address, u64>,
+}
+
+impl IncentiveContract {
+    /// Creates the contract administered by `owner`.
+    pub fn new(owner: Address) -> Self {
+        IncentiveContract { owner, balances: HashMap::new() }
+    }
+
+    /// Current point balance.
+    pub fn balance(&self, who: &Address) -> u64 {
+        self.balances.get(who).copied().unwrap_or(0)
+    }
+}
+
+impl BuiltinContract for IncentiveContract {
+    fn name(&self) -> &'static str {
+        "incentive"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String> {
+        let mut dec = Decoder::new(input);
+        let op = dec.get_u8().map_err(bad_input)?;
+        match op {
+            0 | 1 => {
+                if *caller != self.owner {
+                    return Err("only the owner may reward/slash".into());
+                }
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                let amount = dec.get_u64().map_err(bad_input)?;
+                let bal = self.balances.entry(who).or_insert(0);
+                if op == 0 {
+                    *bal = bal.saturating_add(amount);
+                } else {
+                    *bal = bal.saturating_sub(amount);
+                }
+                Ok(Vec::new())
+            }
+            2 => {
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                Ok(self.balance(&who).to_le_bytes().to_vec())
+            }
+            3 => {
+                let to = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                let amount = dec.get_u64().map_err(bad_input)?;
+                let from_bal = self.balance(caller);
+                if from_bal < amount {
+                    return Err(format!("insufficient points: have {from_bal}, need {amount}"));
+                }
+                self.balances.insert(*caller, from_bal - amount);
+                let to_bal = self.balances.entry(to).or_insert(0);
+                *to_bal = to_bal.saturating_add(amount);
+                Ok(Vec::new())
+            }
+            other => Err(format!("unknown incentive op {other}")),
+        }
+    }
+}
+
+/// Encodes a `Reward` input.
+pub fn incentive_reward(who: &Address, amount: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(0).put_hash(who.as_hash()).put_u64(amount);
+    e.finish()
+}
+
+/// Encodes a `Slash` input.
+pub fn incentive_slash(who: &Address, amount: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(1).put_hash(who.as_hash()).put_u64(amount);
+    e.finish()
+}
+
+/// Encodes a `BalanceOf` query.
+pub fn incentive_balance(who: &Address) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(2).put_hash(who.as_hash());
+    e.finish()
+}
+
+/// Encodes a `Transfer` input.
+pub fn incentive_transfer(to: &Address, amount: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(3).put_hash(to.as_hash()).put_u64(amount);
+    e.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Factual-database admission
+// ---------------------------------------------------------------------------
+
+/// Threshold attestation gate for the factual database (paper §VI: "if the
+/// news is verified to be factual, then it can be added into the factual
+/// database").
+///
+/// Operations:
+/// - `0` RegisterChecker(who: hash) — owner only
+/// - `1` Attest(record: hash) — registered checkers only, deduplicated
+/// - `2` IsAdmitted(record) → bool byte
+/// - `3` AttestationCount(record) → u64
+#[derive(Debug)]
+pub struct FactDbAdmission {
+    owner: Address,
+    threshold: usize,
+    checkers: HashSet<Address>,
+    attestations: HashMap<Hash256, HashSet<Address>>,
+}
+
+impl FactDbAdmission {
+    /// Creates the gate: records need `threshold` distinct checker
+    /// attestations to be admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(owner: Address, threshold: usize) -> Self {
+        assert!(threshold > 0, "admission threshold must be positive");
+        FactDbAdmission {
+            owner,
+            threshold,
+            checkers: HashSet::new(),
+            attestations: HashMap::new(),
+        }
+    }
+
+    /// True once `record` has reached the attestation threshold.
+    pub fn is_admitted(&self, record: &Hash256) -> bool {
+        self.attestations.get(record).is_some_and(|s| s.len() >= self.threshold)
+    }
+
+    /// Number of distinct attestations for `record`.
+    pub fn attestation_count(&self, record: &Hash256) -> usize {
+        self.attestations.get(record).map_or(0, HashSet::len)
+    }
+}
+
+impl BuiltinContract for FactDbAdmission {
+    fn name(&self) -> &'static str {
+        "factdb-admission"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String> {
+        let mut dec = Decoder::new(input);
+        let op = dec.get_u8().map_err(bad_input)?;
+        match op {
+            0 => {
+                if *caller != self.owner {
+                    return Err("only the owner may register checkers".into());
+                }
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                self.checkers.insert(who);
+                Ok(Vec::new())
+            }
+            1 => {
+                if !self.checkers.contains(caller) {
+                    return Err("caller is not a registered fact checker".into());
+                }
+                let record = dec.get_hash().map_err(bad_input)?;
+                self.attestations.entry(record).or_default().insert(*caller);
+                Ok(vec![self.is_admitted(&record) as u8])
+            }
+            2 => {
+                let record = dec.get_hash().map_err(bad_input)?;
+                Ok(vec![self.is_admitted(&record) as u8])
+            }
+            3 => {
+                let record = dec.get_hash().map_err(bad_input)?;
+                Ok((self.attestation_count(&record) as u64).to_le_bytes().to_vec())
+            }
+            other => Err(format!("unknown admission op {other}")),
+        }
+    }
+}
+
+/// Encodes a `RegisterChecker` input.
+pub fn admission_register_checker(who: &Address) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(0).put_hash(who.as_hash());
+    e.finish()
+}
+
+/// Encodes an `Attest` input.
+pub fn admission_attest(record: &Hash256) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(1).put_hash(record);
+    e.finish()
+}
+
+/// Encodes an `IsAdmitted` query.
+pub fn admission_is_admitted(record: &Hash256) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(2).put_hash(record);
+    e.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_crypto::sha256::sha256;
+    use tn_crypto::Keypair;
+
+    fn addr(seed: &[u8]) -> Address {
+        Keypair::from_seed(seed).address()
+    }
+
+    #[test]
+    fn newsroom_two_layer_flow() {
+        let mut reg = NewsroomRegistry::new();
+        let owner = addr(b"owner");
+        let journo = addr(b"journalist");
+        let stranger = addr(b"stranger");
+
+        let out = reg.call(&owner, &newsroom_register_platform("Daily Facts")).unwrap();
+        let pid = u64::from_le_bytes(out.try_into().unwrap());
+        let out = reg.call(&owner, &newsroom_create_room(pid, "elections")).unwrap();
+        let rid = u64::from_le_bytes(out.try_into().unwrap());
+
+        // Stranger cannot authorize.
+        assert!(reg.call(&stranger, &newsroom_authorize(rid, &journo)).is_err());
+        // Owner authorizes journalist.
+        reg.call(&owner, &newsroom_authorize(rid, &journo)).unwrap();
+        assert_eq!(reg.call(&stranger, &newsroom_is_authorized(rid, &journo)).unwrap(), vec![1]);
+        assert_eq!(
+            reg.call(&stranger, &newsroom_is_authorized(rid, &stranger)).unwrap(),
+            vec![0]
+        );
+        // Owner is implicitly authorized.
+        assert_eq!(reg.call(&stranger, &newsroom_is_authorized(rid, &owner)).unwrap(), vec![1]);
+        // Revoke.
+        reg.call(&owner, &newsroom_revoke(rid, &journo)).unwrap();
+        assert_eq!(reg.call(&stranger, &newsroom_is_authorized(rid, &journo)).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn newsroom_rejects_bad_ops_and_unknown_ids() {
+        let mut reg = NewsroomRegistry::new();
+        let a = addr(b"a");
+        assert!(reg.call(&a, &[9]).is_err());
+        assert!(reg.call(&a, &newsroom_create_room(77, "t")).is_err());
+        assert!(reg.call(&a, &newsroom_register_platform("")).is_err());
+    }
+
+    #[test]
+    fn ranking_weighted_mean() {
+        let owner = addr(b"platform");
+        let mut rk = RankingContract::new(owner);
+        let item = sha256(b"story");
+        let expert = addr(b"expert");
+        let troll = addr(b"troll");
+
+        rk.call(&owner, &ranking_set_reputation(&expert, 900)).unwrap();
+        rk.call(&owner, &ranking_set_reputation(&troll, 10)).unwrap();
+        rk.call(&expert, &ranking_submit(&item, 90)).unwrap();
+        rk.call(&troll, &ranking_submit(&item, 0)).unwrap();
+
+        let out = rk.call(&addr(b"reader"), &ranking_get(&item)).unwrap();
+        let (count, mean) = decode_ranking(&out).unwrap();
+        assert_eq!(count, 2);
+        // (900*90 + 10*0) / 910 = 89.01 → 890109 in 1e-4 units.
+        assert!((880_000..900_000).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn ranking_resubmission_overwrites() {
+        let owner = addr(b"p");
+        let mut rk = RankingContract::new(owner);
+        let item = sha256(b"x");
+        let rater = addr(b"r");
+        rk.call(&rater, &ranking_submit(&item, 10)).unwrap();
+        rk.call(&rater, &ranking_submit(&item, 80)).unwrap();
+        let (count, mean) = decode_ranking(&rk.call(&rater, &ranking_get(&item)).unwrap()).unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(mean, 800_000);
+    }
+
+    #[test]
+    fn ranking_guards() {
+        let owner = addr(b"p");
+        let mut rk = RankingContract::new(owner);
+        let item = sha256(b"x");
+        assert!(rk.call(&addr(b"r"), &ranking_submit(&item, 101)).is_err());
+        assert!(rk
+            .call(&addr(b"not owner"), &ranking_set_reputation(&addr(b"r"), 5))
+            .is_err());
+        // Unrated item: zero count.
+        let (count, mean) = decode_ranking(&rk.call(&owner, &ranking_get(&item)).unwrap()).unwrap();
+        assert_eq!((count, mean), (0, 0));
+    }
+
+    #[test]
+    fn incentive_reward_slash_transfer() {
+        let owner = addr(b"platform");
+        let mut inc = IncentiveContract::new(owner);
+        let v = addr(b"validator");
+        let w = addr(b"other");
+
+        inc.call(&owner, &incentive_reward(&v, 100)).unwrap();
+        assert_eq!(inc.balance(&v), 100);
+        inc.call(&owner, &incentive_slash(&v, 30)).unwrap();
+        assert_eq!(inc.balance(&v), 70);
+        // Over-slash saturates.
+        inc.call(&owner, &incentive_slash(&v, 1000)).unwrap();
+        assert_eq!(inc.balance(&v), 0);
+
+        inc.call(&owner, &incentive_reward(&v, 50)).unwrap();
+        inc.call(&v, &incentive_transfer(&w, 20)).unwrap();
+        assert_eq!(inc.balance(&v), 30);
+        assert_eq!(inc.balance(&w), 20);
+        assert!(inc.call(&v, &incentive_transfer(&w, 1000)).is_err());
+        assert!(inc.call(&v, &incentive_reward(&v, 1)).is_err());
+
+        let out = inc.call(&w, &incentive_balance(&v)).unwrap();
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 30);
+    }
+
+    #[test]
+    fn admission_threshold() {
+        let owner = addr(b"gov");
+        let mut adm = FactDbAdmission::new(owner, 2);
+        let c1 = addr(b"checker1");
+        let c2 = addr(b"checker2");
+        let record = sha256(b"speech record");
+
+        adm.call(&owner, &admission_register_checker(&c1)).unwrap();
+        adm.call(&owner, &admission_register_checker(&c2)).unwrap();
+
+        // Unregistered cannot attest.
+        assert!(adm.call(&addr(b"rando"), &admission_attest(&record)).is_err());
+
+        assert_eq!(adm.call(&c1, &admission_attest(&record)).unwrap(), vec![0]);
+        // Duplicate attestation does not double-count.
+        assert_eq!(adm.call(&c1, &admission_attest(&record)).unwrap(), vec![0]);
+        assert_eq!(adm.attestation_count(&record), 1);
+        assert_eq!(adm.call(&c2, &admission_attest(&record)).unwrap(), vec![1]);
+        assert!(adm.is_admitted(&record));
+        assert_eq!(adm.call(&owner, &admission_is_admitted(&record)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn admission_zero_threshold_panics() {
+        let _ = FactDbAdmission::new(addr(b"x"), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! The contract registry: deploys and executes contracts, plugging into
+//! `tn-chain` through the [`TxExecutor`] trait.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tn_chain::state::TxExecutor;
+use tn_crypto::sha256::tagged_hash;
+use tn_crypto::{Address, Hash256};
+
+use crate::builtin::BuiltinContract;
+use crate::vm::{execute, validate, ExecEnv, Word};
+
+/// A deployed bytecode contract: its code and persistent storage.
+#[derive(Debug, Clone, Default)]
+pub struct ContractEntry {
+    /// Validated VM bytecode.
+    pub code: Vec<u8>,
+    /// Word-addressed persistent storage.
+    pub storage: BTreeMap<Word, Word>,
+}
+
+/// Derives the deterministic address of a contract deployed by
+/// `deployer` at `nonce`.
+pub fn contract_address(deployer: &Address, nonce: u64) -> Address {
+    let mut data = Vec::with_capacity(40);
+    data.extend_from_slice(deployer.as_hash().as_bytes());
+    data.extend_from_slice(&nonce.to_le_bytes());
+    Address::from_hash(tagged_hash("TN/contract", &data))
+}
+
+/// Derives the well-known address of a named built-in contract.
+pub fn builtin_address(name: &str) -> Address {
+    Address::from_hash(tagged_hash("TN/builtin", name.as_bytes()))
+}
+
+/// Converts call-input bytes into VM words (8-byte little-endian chunks,
+/// final chunk zero-padded).
+pub fn input_words(input: &[u8]) -> Vec<Word> {
+    input
+        .chunks(8)
+        .map(|c| {
+            let mut b = [0u8; 8];
+            b[..c.len()].copy_from_slice(c);
+            u64::from_le_bytes(b)
+        })
+        .collect()
+}
+
+/// Converts VM output words back to bytes.
+pub fn output_bytes(words: &[Word]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// The registry of bytecode and built-in contracts.
+///
+/// Implements [`TxExecutor`] so a `ChainStore` can execute
+/// `ContractDeploy`/`ContractCall` payloads; also callable directly for
+/// read-only queries from the platform layer.
+#[derive(Debug, Default)]
+pub struct ContractRegistry {
+    contracts: HashMap<Address, ContractEntry>,
+    builtins: HashMap<Address, Box<dyn BuiltinContract>>,
+}
+
+impl ContractRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a built-in contract at its well-known address, returning
+    /// that address.
+    pub fn install_builtin(&mut self, contract: Box<dyn BuiltinContract>) -> Address {
+        let addr = builtin_address(contract.name());
+        self.builtins.insert(addr, contract);
+        addr
+    }
+
+    /// Access a built-in by address (for typed in-process inspection).
+    pub fn builtin(&self, addr: &Address) -> Option<&dyn BuiltinContract> {
+        self.builtins.get(addr).map(AsRef::as_ref)
+    }
+
+    /// Mutable access to a built-in.
+    pub fn builtin_mut(&mut self, addr: &Address) -> Option<&mut Box<dyn BuiltinContract>> {
+        self.builtins.get_mut(addr)
+    }
+
+    /// Looks up a deployed bytecode contract.
+    pub fn contract(&self, addr: &Address) -> Option<&ContractEntry> {
+        self.contracts.get(addr)
+    }
+
+    /// Removes a contract entry (used by the parallel executor to hand
+    /// ownership of disjoint state to worker threads).
+    pub fn take_contract(&mut self, addr: &Address) -> Option<ContractEntry> {
+        self.contracts.remove(addr)
+    }
+
+    /// Re-inserts a contract entry previously taken with
+    /// [`Self::take_contract`].
+    pub fn put_contract(&mut self, addr: Address, entry: ContractEntry) {
+        self.contracts.insert(addr, entry);
+    }
+
+    /// Number of deployed bytecode contracts.
+    pub fn len(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// True when no bytecode contracts are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.contracts.is_empty()
+    }
+
+    /// Hash of the full contract-storage state, for cross-node agreement
+    /// checks in tests.
+    pub fn storage_root(&self) -> Hash256 {
+        let mut entries: Vec<(&Address, &ContractEntry)> = self.contracts.iter().collect();
+        entries.sort_by_key(|(a, _)| **a);
+        let mut data = Vec::new();
+        for (addr, entry) in entries {
+            data.extend_from_slice(addr.as_hash().as_bytes());
+            for (k, v) in &entry.storage {
+                data.extend_from_slice(&k.to_le_bytes());
+                data.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        tagged_hash("TN/contracts-root", &data)
+    }
+}
+
+impl TxExecutor for ContractRegistry {
+    fn deploy(
+        &mut self,
+        deployer: &Address,
+        nonce: u64,
+        code: &[u8],
+    ) -> Result<Address, String> {
+        validate(code).map_err(|e| format!("invalid bytecode: {e}"))?;
+        let addr = contract_address(deployer, nonce);
+        if self.contracts.contains_key(&addr) || self.builtins.contains_key(&addr) {
+            return Err(format!("address collision at {}", addr.short()));
+        }
+        self.contracts
+            .insert(addr, ContractEntry { code: code.to_vec(), storage: BTreeMap::new() });
+        Ok(addr)
+    }
+
+    fn call(
+        &mut self,
+        caller: &Address,
+        contract: &Address,
+        input: &[u8],
+        gas_limit: u64,
+    ) -> Result<(u64, Vec<u8>), String> {
+        if let Some(b) = self.builtins.get_mut(contract) {
+            // Built-ins charge flat gas: 1 per input byte + 10 base.
+            let gas = 10 + input.len() as u64;
+            if gas > gas_limit {
+                return Err("out of gas (builtin)".into());
+            }
+            let out = b.call(caller, input)?;
+            return Ok((gas, out));
+        }
+        let entry = self
+            .contracts
+            .get(contract)
+            .ok_or_else(|| format!("no contract at {}", contract.short()))?;
+        let env = ExecEnv {
+            caller: caller.as_hash().to_u64_prefix(),
+            input: input_words(input),
+            gas_limit,
+        };
+        // Execute on a storage clone so failed calls leave state untouched.
+        let mut storage = entry.storage.clone();
+        let outcome = execute(&entry.code, &mut storage, &env).map_err(|e| e.to_string())?;
+        self.contracts.get_mut(contract).expect("checked").storage = storage;
+        Ok((outcome.gas_used, output_bytes(&outcome.output)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use tn_chain::prelude::*;
+    use tn_crypto::Keypair;
+
+    fn counter_code() -> Vec<u8> {
+        // storage[0] += 1; return storage[0]
+        assemble(
+            "push 0\npush 0\nsload\npush 1\nadd\nsstore\npush 0\nsload\npush 1\nret",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deploy_and_call_via_registry() {
+        let mut reg = ContractRegistry::new();
+        let alice = Keypair::from_seed(b"alice").address();
+        let addr = reg.deploy(&alice, 0, &counter_code()).unwrap();
+        let (gas, out) = reg.call(&alice, &addr, &[], 1000).unwrap();
+        assert!(gas > 0);
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 1);
+        let (_, out) = reg.call(&alice, &addr, &[], 1000).unwrap();
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn deploy_rejects_invalid_bytecode() {
+        let mut reg = ContractRegistry::new();
+        let a = Keypair::from_seed(b"a").address();
+        assert!(reg.deploy(&a, 0, &[0xff]).is_err());
+    }
+
+    #[test]
+    fn failed_call_rolls_back_storage() {
+        let mut reg = ContractRegistry::new();
+        let a = Keypair::from_seed(b"a").address();
+        // Stores then loops forever: runs out of gas after the store.
+        let code = assemble("push 5\npush 9\nsstore\nloop:\npush loop\njmp").unwrap();
+        let addr = reg.deploy(&a, 0, &code).unwrap();
+        assert!(reg.call(&a, &addr, &[], 500).is_err());
+        assert!(reg.contract(&addr).unwrap().storage.is_empty(), "rollback expected");
+    }
+
+    #[test]
+    fn call_unknown_contract_errors() {
+        let mut reg = ContractRegistry::new();
+        let a = Keypair::from_seed(b"a").address();
+        assert!(reg.call(&a, &builtin_address("nope"), &[], 100).is_err());
+    }
+
+    #[test]
+    fn contract_addresses_are_deterministic_and_distinct() {
+        let a = Keypair::from_seed(b"a").address();
+        assert_eq!(contract_address(&a, 0), contract_address(&a, 0));
+        assert_ne!(contract_address(&a, 0), contract_address(&a, 1));
+        let b = Keypair::from_seed(b"b").address();
+        assert_ne!(contract_address(&a, 0), contract_address(&b, 0));
+    }
+
+    #[test]
+    fn end_to_end_through_chain() {
+        // Deploy + call through real transactions and blocks. The proposer
+        // executes against a throwaway registry (mirroring its throwaway
+        // state clone); the importing validator executes against the
+        // authoritative registry.
+        let alice = Keypair::from_seed(b"alice");
+        let validator = Keypair::from_seed(b"validator");
+        let genesis = State::genesis([(alice.address(), 1_000_000)]);
+        let mut store = ChainStore::new(genesis, &validator);
+        let mut authoritative = ContractRegistry::new();
+
+        let deploy_tx = Transaction::signed(
+            &alice,
+            0,
+            10,
+            Payload::ContractDeploy { code: counter_code() },
+        );
+        let expected_addr = contract_address(&alice.address(), 0);
+        let block =
+            store.propose(&validator, 1, vec![deploy_tx], &mut ContractRegistry::new());
+        let receipts = store.import(block, &mut authoritative).unwrap();
+        assert!(receipts[0].success);
+        assert_eq!(receipts[0].output, expected_addr.as_hash().as_bytes().to_vec());
+        assert!(authoritative.contract(&expected_addr).is_some());
+
+        let call_tx = Transaction::signed(
+            &alice,
+            1,
+            10,
+            Payload::ContractCall { contract: expected_addr, input: vec![], gas_limit: 1000 },
+        );
+        let mut scratch = ContractRegistry::new();
+        scratch.deploy(&alice.address(), 0, &counter_code()).unwrap();
+        let block = store.propose(&validator, 2, vec![call_tx], &mut scratch);
+        let receipts = store.import(block, &mut authoritative).unwrap();
+        assert!(receipts[0].success);
+        assert!(receipts[0].gas_used > 0);
+        assert_eq!(
+            u64::from_le_bytes(receipts[0].output.clone().try_into().unwrap()),
+            1
+        );
+        // The authoritative registry's counter really advanced.
+        assert_eq!(
+            authoritative.contract(&expected_addr).unwrap().storage.get(&0),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn builtin_dispatch_and_gas() {
+        use crate::builtin::{IncentiveContract, incentive_balance, incentive_reward};
+        let owner = Keypair::from_seed(b"owner").address();
+        let mut reg = ContractRegistry::new();
+        let addr = reg.install_builtin(Box::new(IncentiveContract::new(owner)));
+
+        let who = Keypair::from_seed(b"v").address();
+        let (gas, _) = reg.call(&owner, &addr, &incentive_reward(&who, 5), 1000).unwrap();
+        assert!(gas >= 10);
+        let (_, out) = reg.call(&owner, &addr, &incentive_balance(&who), 1000).unwrap();
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 5);
+        // Gas limit enforced for builtins too.
+        assert!(reg.call(&owner, &addr, &incentive_balance(&who), 5).is_err());
+    }
+
+    #[test]
+    fn storage_root_tracks_state() {
+        let mut reg = ContractRegistry::new();
+        let a = Keypair::from_seed(b"a").address();
+        let r0 = reg.storage_root();
+        let addr = reg.deploy(&a, 0, &counter_code()).unwrap();
+        let r1 = reg.storage_root();
+        assert_ne!(r0, r1);
+        reg.call(&a, &addr, &[], 1000).unwrap();
+        assert_ne!(reg.storage_root(), r1);
+    }
+
+    #[test]
+    fn input_word_round_trip() {
+        assert_eq!(input_words(&[]), Vec::<Word>::new());
+        assert_eq!(input_words(&[1, 0, 0, 0, 0, 0, 0, 0]), vec![1]);
+        // Partial chunk zero-pads.
+        assert_eq!(input_words(&[0xff]), vec![0xff]);
+        let bytes = output_bytes(&[1, 2]);
+        assert_eq!(input_words(&bytes), vec![1, 2]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Parallel execution of independent contract calls.
+//!
+//! The paper cites the authors' ICDCS 2018 work on "transform[ing]
+//! blockchain into [a] distributed and parallel computing architecture" as
+//! the scalability mechanism for AI smart contracts (§IV, §VII). This
+//! module reproduces the core idea: calls touching *different* contracts
+//! have no data dependencies, so they can execute on worker threads in
+//! parallel, while calls to the same contract stay sequential in
+//! submission order. The E6 experiment measures the resulting speedup.
+
+use std::collections::HashMap;
+
+use tn_crypto::Address;
+
+use crate::executor::{ContractEntry, ContractRegistry};
+use crate::vm::{execute, ExecEnv, Word};
+
+/// One call in a batch.
+#[derive(Debug, Clone)]
+pub struct CallTask {
+    /// Calling account.
+    pub caller: Address,
+    /// Target bytecode contract.
+    pub contract: Address,
+    /// Input words.
+    pub input: Vec<Word>,
+    /// Gas limit.
+    pub gas_limit: u64,
+}
+
+/// Outcome of one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskResult {
+    /// Index of the task in the submitted batch.
+    pub index: usize,
+    /// Output words on success; error text on failure.
+    pub outcome: Result<Vec<Word>, String>,
+    /// Gas used (0 for failed lookups).
+    pub gas_used: u64,
+}
+
+/// Executes `tasks` against the bytecode contracts in `registry` using up
+/// to `workers` threads, preserving per-contract sequential order.
+///
+/// Storage mutations are merged back into the registry afterwards, so the
+/// final state equals a sequential execution that processes each
+/// contract's calls in submission order. Returns results indexed like the
+/// input.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn execute_parallel(
+    registry: &mut ContractRegistry,
+    tasks: &[CallTask],
+    workers: usize,
+) -> Vec<TaskResult> {
+    assert!(workers > 0, "need at least one worker");
+
+    // Group task indices by contract; group order inside is submission order.
+    let mut groups: HashMap<Address, Vec<usize>> = HashMap::new();
+    let mut group_order: Vec<Address> = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let entry = groups.entry(t.contract).or_default();
+        if entry.is_empty() {
+            group_order.push(t.contract);
+        }
+        entry.push(i);
+    }
+
+    // Move each touched contract's entry out of the registry so worker
+    // threads own disjoint state.
+    let mut work_units: Vec<(Address, ContractEntry, Vec<usize>)> = Vec::new();
+    let mut missing: Vec<usize> = Vec::new();
+    for addr in &group_order {
+        let idxs = groups.remove(addr).expect("grouped");
+        match registry.take_contract(addr) {
+            Some(entry) => work_units.push((*addr, entry, idxs)),
+            None => missing.extend(idxs),
+        }
+    }
+
+    let mut results: Vec<Option<TaskResult>> = vec![None; tasks.len()];
+    for i in missing {
+        results[i] = Some(TaskResult {
+            index: i,
+            outcome: Err(format!("no contract at {}", tasks[i].contract.short())),
+            gas_used: 0,
+        });
+    }
+
+    // Longest-processing-time-first assignment across workers.
+    work_units.sort_by_key(|(_, _, idxs)| std::cmp::Reverse(idxs.len()));
+    let mut buckets: Vec<Vec<(Address, ContractEntry, Vec<usize>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    let mut loads = vec![0usize; workers];
+    for unit in work_units {
+        let min = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| **l)
+            .map(|(i, _)| i)
+            .expect("workers > 0");
+        loads[min] += unit.2.len();
+        buckets[min].push(unit);
+    }
+
+    let run_bucket = |bucket: Vec<(Address, ContractEntry, Vec<usize>)>| {
+        let mut out: Vec<(Address, ContractEntry, Vec<TaskResult>)> = Vec::new();
+        for (addr, mut entry, idxs) in bucket {
+            let mut results = Vec::with_capacity(idxs.len());
+            for i in idxs {
+                let t = &tasks[i];
+                let env = ExecEnv {
+                    caller: t.caller.as_hash().to_u64_prefix(),
+                    input: t.input.clone(),
+                    gas_limit: t.gas_limit,
+                };
+                let mut scratch = entry.storage.clone();
+                match execute(&entry.code, &mut scratch, &env) {
+                    Ok(outcome) => {
+                        entry.storage = scratch;
+                        results.push(TaskResult {
+                            index: i,
+                            outcome: Ok(outcome.output),
+                            gas_used: outcome.gas_used,
+                        });
+                    }
+                    Err(e) => results.push(TaskResult {
+                        index: i,
+                        outcome: Err(e.to_string()),
+                        gas_used: t.gas_limit,
+                    }),
+                }
+            }
+            out.push((addr, entry, results));
+        }
+        out
+    };
+
+    let mut finished: Vec<(Address, ContractEntry, Vec<TaskResult>)> = Vec::new();
+    if workers == 1 {
+        for bucket in buckets {
+            finished.extend(run_bucket(bucket));
+        }
+    } else {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| scope.spawn(|_| run_bucket(bucket)))
+                .collect();
+            for h in handles {
+                finished.extend(h.join().expect("worker thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+    }
+
+    for (addr, entry, task_results) in finished {
+        registry.put_contract(addr, entry);
+        for r in task_results {
+            let i = r.index;
+            results[i] = Some(r);
+        }
+    }
+
+    results.into_iter().map(|r| r.expect("every task resolved")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use tn_chain::state::TxExecutor;
+    use tn_crypto::Keypair;
+
+    fn counter_code() -> Vec<u8> {
+        assemble(
+            "push 0\npush 0\nsload\npush 1\nadd\nsstore\npush 0\nsload\npush 1\nret",
+        )
+        .unwrap()
+    }
+
+    fn setup(n_contracts: usize) -> (ContractRegistry, Vec<Address>) {
+        let mut reg = ContractRegistry::new();
+        let deployer = Keypair::from_seed(b"deployer").address();
+        let addrs = (0..n_contracts)
+            .map(|i| reg.deploy(&deployer, i as u64, &counter_code()).unwrap())
+            .collect();
+        (reg, addrs)
+    }
+
+    fn task(caller_seed: u64, contract: Address) -> CallTask {
+        CallTask {
+            caller: Keypair::from_seed(&caller_seed.to_le_bytes()).address(),
+            contract,
+            input: vec![],
+            gas_limit: 10_000,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_per_contract_order() {
+        let (mut reg, addrs) = setup(4);
+        // 3 calls per contract, interleaved.
+        let mut tasks = Vec::new();
+        for round in 0..3 {
+            for &a in &addrs {
+                tasks.push(task(round, a));
+            }
+        }
+        let results = execute_parallel(&mut reg, &tasks, 4);
+        assert_eq!(results.len(), 12);
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+        // Every contract's counter reached exactly 3.
+        for a in &addrs {
+            assert_eq!(reg.contract(a).unwrap().storage.get(&0), Some(&3));
+        }
+        // Per-contract outputs are 1,2,3 in submission order.
+        for (slot, a) in addrs.iter().enumerate() {
+            let outs: Vec<u64> = results
+                .iter()
+                .filter(|r| tasks[r.index].contract == *a)
+                .map(|r| r.outcome.as_ref().unwrap()[0])
+                .collect();
+            assert_eq!(outs, vec![1, 2, 3], "contract {slot}");
+        }
+    }
+
+    #[test]
+    fn single_worker_equals_multi_worker_state() {
+        let (mut reg1, addrs) = setup(8);
+        let (mut reg8, _) = setup(8);
+        let tasks: Vec<CallTask> =
+            (0..40).map(|i| task(i, addrs[(i % 8) as usize])).collect();
+        execute_parallel(&mut reg1, &tasks, 1);
+        execute_parallel(&mut reg8, &tasks, 8);
+        assert_eq!(reg1.storage_root(), reg8.storage_root());
+    }
+
+    #[test]
+    fn unknown_contract_reports_error() {
+        let (mut reg, addrs) = setup(1);
+        let bogus = Keypair::from_seed(b"bogus").address();
+        let tasks = vec![task(0, addrs[0]), task(1, bogus)];
+        let results = execute_parallel(&mut reg, &tasks, 2);
+        assert!(results[0].outcome.is_ok());
+        assert!(results[1].outcome.is_err());
+    }
+
+    #[test]
+    fn failed_call_does_not_corrupt_storage() {
+        let mut reg = ContractRegistry::new();
+        let d = Keypair::from_seed(b"d").address();
+        // Store then infinite-loop → OOG after store; must roll back.
+        let code = assemble("push 1\npush 1\nsstore\nl:\npush l\njmp").unwrap();
+        let addr = reg.deploy(&d, 0, &code).unwrap();
+        let tasks = vec![CallTask { caller: d, contract: addr, input: vec![], gas_limit: 200 }];
+        let results = execute_parallel(&mut reg, &tasks, 2);
+        assert!(results[0].outcome.is_err());
+        assert!(reg.contract(&addr).unwrap().storage.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let (mut reg, _) = setup(1);
+        execute_parallel(&mut reg, &[], 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (mut reg, _) = setup(1);
+        assert!(execute_parallel(&mut reg, &[], 3).is_empty());
+    }
+}

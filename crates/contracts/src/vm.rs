@@ -1,0 +1,564 @@
+//! A deterministic, gas-metered stack virtual machine.
+//!
+//! The paper leans on smart contracts for every governance mechanism
+//! ("managed and enforced by various smart contracts", §V) and worries
+//! about "scalable smart contract running in blockchain" (§VII). This VM
+//! is the execution substrate: a small word-oriented stack machine with
+//! per-opcode gas accounting, contract-local storage, and strict
+//! determinism (no ambient time, randomness, or I/O).
+
+use std::collections::{BTreeMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// VM word type.
+pub type Word = u64;
+
+/// Maximum operand-stack depth.
+pub const MAX_STACK: usize = 1024;
+
+/// Opcodes. `Push` is followed by an 8-byte little-endian immediate;
+/// `Dup`/`Swap` by a 1-byte depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Stop execution with empty output.
+    Halt = 0,
+    /// Push the 8-byte immediate.
+    Push = 1,
+    /// Discard the top of stack.
+    Pop = 2,
+    /// Duplicate the value `n` below the top (`dup 0` copies the top).
+    Dup = 3,
+    /// Swap the top with the value `n` below it.
+    Swap = 4,
+    /// Pop b, a; push a + b (wrapping).
+    Add = 5,
+    /// Pop b, a; push a − b (wrapping).
+    Sub = 6,
+    /// Pop b, a; push a × b (wrapping).
+    Mul = 7,
+    /// Pop b, a; push a / b. Errors on division by zero.
+    Div = 8,
+    /// Pop b, a; push a mod b. Errors on modulo by zero.
+    Mod = 9,
+    /// Pop b, a; push (a < b) as 0/1.
+    Lt = 10,
+    /// Pop b, a; push (a > b) as 0/1.
+    Gt = 11,
+    /// Pop b, a; push (a == b) as 0/1.
+    Eq = 12,
+    /// Pop a; push (a == 0) as 0/1.
+    Not = 13,
+    /// Pop b, a; push a & b.
+    And = 14,
+    /// Pop b, a; push a | b.
+    Or = 15,
+    /// Pop b, a; push a ^ b.
+    Xor = 16,
+    /// Pop target; jump to that byte offset (must be an opcode boundary).
+    Jmp = 17,
+    /// Pop target, cond; jump when cond ≠ 0.
+    JmpIf = 18,
+    /// Pop key; push storage[key] (0 when absent).
+    SLoad = 19,
+    /// Pop value, key; storage[key] = value.
+    SStore = 20,
+    /// Push the caller-id word (first 8 bytes of the caller address).
+    Caller = 21,
+    /// Pop i; push input word i (0 when out of range).
+    Input = 22,
+    /// Push the number of input words.
+    InputLen = 23,
+    /// Pop n, then n words (top = last word); halt with them as output.
+    Return = 24,
+}
+
+impl Op {
+    /// Decodes an opcode byte.
+    pub fn from_byte(b: u8) -> Option<Op> {
+        if b <= Op::Return as u8 {
+            // Safety-free decode via match to stay in safe Rust.
+            Some(match b {
+                0 => Op::Halt,
+                1 => Op::Push,
+                2 => Op::Pop,
+                3 => Op::Dup,
+                4 => Op::Swap,
+                5 => Op::Add,
+                6 => Op::Sub,
+                7 => Op::Mul,
+                8 => Op::Div,
+                9 => Op::Mod,
+                10 => Op::Lt,
+                11 => Op::Gt,
+                12 => Op::Eq,
+                13 => Op::Not,
+                14 => Op::And,
+                15 => Op::Or,
+                16 => Op::Xor,
+                17 => Op::Jmp,
+                18 => Op::JmpIf,
+                19 => Op::SLoad,
+                20 => Op::SStore,
+                21 => Op::Caller,
+                22 => Op::Input,
+                23 => Op::InputLen,
+                _ => Op::Return,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Gas charged for this opcode.
+    pub fn gas_cost(self) -> u64 {
+        match self {
+            Op::SStore => 20,
+            Op::SLoad => 5,
+            Op::Jmp | Op::JmpIf => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Errors raised during validation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Unknown opcode byte at the given offset.
+    BadOpcode {
+        /// Byte value found.
+        byte: u8,
+        /// Code offset.
+        at: usize,
+    },
+    /// Code ended in the middle of an immediate.
+    TruncatedImmediate(usize),
+    /// Operand stack underflow.
+    StackUnderflow,
+    /// Operand stack exceeded [`MAX_STACK`].
+    StackOverflow,
+    /// Jump to an offset that is not an instruction boundary.
+    BadJump(u64),
+    /// Division or modulo by zero.
+    DivByZero,
+    /// Gas limit exhausted.
+    OutOfGas,
+    /// `Dup`/`Swap` depth beyond current stack.
+    BadDepth(u8),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::BadOpcode { byte, at } => write!(f, "bad opcode {byte:#04x} at {at}"),
+            VmError::TruncatedImmediate(at) => write!(f, "truncated immediate at {at}"),
+            VmError::StackUnderflow => f.write_str("stack underflow"),
+            VmError::StackOverflow => f.write_str("stack overflow"),
+            VmError::BadJump(t) => write!(f, "jump to invalid target {t}"),
+            VmError::DivByZero => f.write_str("division by zero"),
+            VmError::OutOfGas => f.write_str("out of gas"),
+            VmError::BadDepth(d) => write!(f, "dup/swap depth {d} beyond stack"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// Validates bytecode and returns the set of legal jump targets
+/// (instruction-start offsets).
+///
+/// # Errors
+///
+/// [`VmError::BadOpcode`] or [`VmError::TruncatedImmediate`].
+pub fn validate(code: &[u8]) -> Result<HashSet<usize>, VmError> {
+    let mut targets = HashSet::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        targets.insert(pc);
+        let op = Op::from_byte(code[pc]).ok_or(VmError::BadOpcode { byte: code[pc], at: pc })?;
+        pc += 1;
+        match op {
+            Op::Push => {
+                if pc + 8 > code.len() {
+                    return Err(VmError::TruncatedImmediate(pc - 1));
+                }
+                pc += 8;
+            }
+            Op::Dup | Op::Swap => {
+                if pc + 1 > code.len() {
+                    return Err(VmError::TruncatedImmediate(pc - 1));
+                }
+                pc += 1;
+            }
+            _ => {}
+        }
+    }
+    Ok(targets)
+}
+
+/// Result of a successful execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Words returned by `Return` (empty for `Halt` / falling off the end).
+    pub output: Vec<Word>,
+    /// Gas consumed.
+    pub gas_used: u64,
+}
+
+/// Execution environment passed to [`execute`].
+#[derive(Debug, Clone)]
+pub struct ExecEnv {
+    /// Caller-id word (e.g. first 8 bytes of the caller address).
+    pub caller: Word,
+    /// Input words.
+    pub input: Vec<Word>,
+    /// Gas limit.
+    pub gas_limit: u64,
+}
+
+/// Runs `code` against `storage` under `env`.
+///
+/// # Errors
+///
+/// Any [`VmError`]; on error the storage may have been partially mutated —
+/// callers that need atomicity should run on a clone and merge on success
+/// (the executor does exactly that).
+pub fn execute(
+    code: &[u8],
+    storage: &mut BTreeMap<Word, Word>,
+    env: &ExecEnv,
+) -> Result<ExecOutcome, VmError> {
+    let targets = validate(code)?;
+    let mut stack: Vec<Word> = Vec::with_capacity(64);
+    let mut pc = 0usize;
+    let mut gas: u64 = 0;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(VmError::StackUnderflow)?
+        };
+    }
+    macro_rules! push {
+        ($v:expr) => {{
+            if stack.len() >= MAX_STACK {
+                return Err(VmError::StackOverflow);
+            }
+            stack.push($v);
+        }};
+    }
+
+    while pc < code.len() {
+        let op = Op::from_byte(code[pc]).expect("validated");
+        gas += op.gas_cost();
+        if gas > env.gas_limit {
+            return Err(VmError::OutOfGas);
+        }
+        pc += 1;
+        match op {
+            Op::Halt => return Ok(ExecOutcome { output: Vec::new(), gas_used: gas }),
+            Op::Push => {
+                let imm = u64::from_le_bytes(code[pc..pc + 8].try_into().expect("validated"));
+                pc += 8;
+                push!(imm);
+            }
+            Op::Pop => {
+                pop!();
+            }
+            Op::Dup => {
+                let depth = code[pc];
+                pc += 1;
+                let idx = stack
+                    .len()
+                    .checked_sub(1 + depth as usize)
+                    .ok_or(VmError::BadDepth(depth))?;
+                let v = stack[idx];
+                push!(v);
+            }
+            Op::Swap => {
+                let depth = code[pc];
+                pc += 1;
+                let top = stack.len().checked_sub(1).ok_or(VmError::StackUnderflow)?;
+                let idx = stack
+                    .len()
+                    .checked_sub(1 + depth as usize)
+                    .ok_or(VmError::BadDepth(depth))?;
+                stack.swap(top, idx);
+            }
+            Op::Add => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_add(b));
+            }
+            Op::Sub => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_sub(b));
+            }
+            Op::Mul => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_mul(b));
+            }
+            Op::Div => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(VmError::DivByZero);
+                }
+                push!(a / b);
+            }
+            Op::Mod => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(VmError::DivByZero);
+                }
+                push!(a % b);
+            }
+            Op::Lt => {
+                let b = pop!();
+                let a = pop!();
+                push!((a < b) as Word);
+            }
+            Op::Gt => {
+                let b = pop!();
+                let a = pop!();
+                push!((a > b) as Word);
+            }
+            Op::Eq => {
+                let b = pop!();
+                let a = pop!();
+                push!((a == b) as Word);
+            }
+            Op::Not => {
+                let a = pop!();
+                push!((a == 0) as Word);
+            }
+            Op::And => {
+                let b = pop!();
+                let a = pop!();
+                push!(a & b);
+            }
+            Op::Or => {
+                let b = pop!();
+                let a = pop!();
+                push!(a | b);
+            }
+            Op::Xor => {
+                let b = pop!();
+                let a = pop!();
+                push!(a ^ b);
+            }
+            Op::Jmp => {
+                let t = pop!();
+                if !targets.contains(&(t as usize)) {
+                    return Err(VmError::BadJump(t));
+                }
+                pc = t as usize;
+            }
+            Op::JmpIf => {
+                let t = pop!();
+                let cond = pop!();
+                if cond != 0 {
+                    if !targets.contains(&(t as usize)) {
+                        return Err(VmError::BadJump(t));
+                    }
+                    pc = t as usize;
+                }
+            }
+            Op::SLoad => {
+                let k = pop!();
+                push!(storage.get(&k).copied().unwrap_or(0));
+            }
+            Op::SStore => {
+                let v = pop!();
+                let k = pop!();
+                storage.insert(k, v);
+            }
+            Op::Caller => push!(env.caller),
+            Op::Input => {
+                let i = pop!();
+                push!(env.input.get(i as usize).copied().unwrap_or(0));
+            }
+            Op::InputLen => push!(env.input.len() as Word),
+            Op::Return => {
+                let n = pop!() as usize;
+                if n > stack.len() {
+                    return Err(VmError::StackUnderflow);
+                }
+                let output = stack.split_off(stack.len() - n);
+                return Ok(ExecOutcome { output, gas_used: gas });
+            }
+        }
+    }
+    Ok(ExecOutcome { output: Vec::new(), gas_used: gas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str, input: Vec<Word>) -> Result<ExecOutcome, VmError> {
+        let code = assemble(src).expect("assembles");
+        let mut storage = BTreeMap::new();
+        execute(&code, &mut storage, &ExecEnv { caller: 7, input, gas_limit: 100_000 })
+    }
+
+    #[test]
+    fn arithmetic() {
+        let out = run("push 5\npush 3\nadd\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![8]);
+        let out = run("push 10\npush 3\nsub\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![7]);
+        let out = run("push 6\npush 7\nmul\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![42]);
+        let out = run("push 17\npush 5\ndiv\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![3]);
+        let out = run("push 17\npush 5\nmod\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![2]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let out = run("push 2\npush 3\nlt\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![1]);
+        let out = run("push 3\npush 3\neq\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![1]);
+        let out = run("push 0\nnot\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![1]);
+        let out = run("push 12\npush 10\nxor\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![6]);
+    }
+
+    #[test]
+    fn storage_round_trip() {
+        let code = assemble(
+            "push 42\npush 99\nsstore\npush 42\nsload\npush 1\nret",
+        )
+        .unwrap();
+        let mut storage = BTreeMap::new();
+        let out = execute(
+            &code,
+            &mut storage,
+            &ExecEnv { caller: 0, input: vec![], gas_limit: 1000 },
+        )
+        .unwrap();
+        assert_eq!(out.output, vec![99]);
+        assert_eq!(storage.get(&42), Some(&99));
+    }
+
+    #[test]
+    fn loop_with_labels_sums_1_to_10() {
+        // sum = 0; i = 10; while i != 0 { sum += i; i -= 1 } return sum
+        let src = r#"
+            push 0          ; sum
+            push 10         ; i
+        loop:
+            dup 0           ; i i
+            not             ; i==0?
+            push end
+            jmpif
+            dup 0           ; sum i i
+            swap 2          ; i i sum
+            add             ; i sum'
+            swap 1          ; sum' i
+            push 1
+            sub
+            push loop
+            jmp
+        end:
+            pop
+            push 1
+            ret
+        "#;
+        let out = run(src, vec![]).unwrap();
+        assert_eq!(out.output, vec![55]);
+    }
+
+    #[test]
+    fn caller_and_input() {
+        let out = run("caller\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![7]);
+        let out = run("push 1\ninput\npush 1\nret", vec![10, 20, 30]).unwrap();
+        assert_eq!(out.output, vec![20]);
+        let out = run("inputlen\npush 1\nret", vec![10, 20, 30]).unwrap();
+        assert_eq!(out.output, vec![3]);
+        // Out-of-range input reads zero.
+        let out = run("push 9\ninput\npush 1\nret", vec![1]).unwrap();
+        assert_eq!(out.output, vec![0]);
+    }
+
+    #[test]
+    fn gas_exhaustion() {
+        let src = "start:\npush start\njmp";
+        let code = assemble(src).unwrap();
+        let mut st = BTreeMap::new();
+        let err = execute(&code, &mut st, &ExecEnv { caller: 0, input: vec![], gas_limit: 100 })
+            .unwrap_err();
+        assert_eq!(err, VmError::OutOfGas);
+    }
+
+    #[test]
+    fn gas_accounting_is_exact() {
+        // push(1) + push(1) + add(1) + push(1) + ret(1) = 5 gas
+        let out = run("push 1\npush 2\nadd\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.gas_used, 5);
+    }
+
+    #[test]
+    fn div_by_zero_and_underflow() {
+        assert_eq!(run("push 1\npush 0\ndiv\nhalt", vec![]).unwrap_err(), VmError::DivByZero);
+        assert_eq!(run("add\nhalt", vec![]).unwrap_err(), VmError::StackUnderflow);
+        assert_eq!(run("pop\nhalt", vec![]).unwrap_err(), VmError::StackUnderflow);
+    }
+
+    #[test]
+    fn bad_jump_rejected() {
+        // Jump into the middle of a push immediate.
+        assert_eq!(run("push 2\njmp\npush 7\nhalt", vec![]).unwrap_err(), VmError::BadJump(2));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let src = "start:\npush 1\npush start\njmp";
+        let code = assemble(src).unwrap();
+        let mut st = BTreeMap::new();
+        let err = execute(
+            &code,
+            &mut st,
+            &ExecEnv { caller: 0, input: vec![], gas_limit: 1_000_000 },
+        )
+        .unwrap_err();
+        assert_eq!(err, VmError::StackOverflow);
+    }
+
+    #[test]
+    fn validate_rejects_bad_bytecode() {
+        assert!(matches!(validate(&[0xff]), Err(VmError::BadOpcode { byte: 0xff, at: 0 })));
+        assert!(matches!(validate(&[Op::Push as u8, 1, 2]), Err(VmError::TruncatedImmediate(0))));
+        assert!(matches!(validate(&[Op::Dup as u8]), Err(VmError::TruncatedImmediate(0))));
+    }
+
+    #[test]
+    fn halt_and_fallthrough_return_empty() {
+        assert_eq!(run("halt", vec![]).unwrap().output, Vec::<Word>::new());
+        assert_eq!(run("push 1\npop", vec![]).unwrap().output, Vec::<Word>::new());
+    }
+
+    #[test]
+    fn dup_swap_depths() {
+        let out = run("push 1\npush 2\npush 3\ndup 2\npush 1\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![1]);
+        let out = run("push 1\npush 2\npush 3\nswap 2\npush 3\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![3, 2, 1]);
+        assert_eq!(run("push 1\ndup 5\nhalt", vec![]).unwrap_err(), VmError::BadDepth(5));
+    }
+
+    #[test]
+    fn return_multiple_words() {
+        let out = run("push 10\npush 20\npush 30\npush 3\nret", vec![]).unwrap();
+        assert_eq!(out.output, vec![10, 20, 30]);
+    }
+}

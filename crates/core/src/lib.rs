@@ -1,0 +1,44 @@
+//! # tn-core
+//!
+//! The AI blockchain platform for trusting news — the paper's headline
+//! system (Figure 1) and ecosystem (Figure 2), assembled from every
+//! substrate crate:
+//!
+//! - [`roles`]: verified identities and the five ecosystem roles.
+//! - [`platform`]: the [`Platform`] struct — chain + contracts + factual
+//!   database + supply-chain graph + AI detector behind one transactional
+//!   API (publish, rate, attest, rank, trace, suggest experts).
+//! - [`ecosystem`]: the multi-round ecosystem simulation (experiment E10)
+//!   in which consumers, creators, fact checkers, AI developers and
+//!   publishers act through the real platform APIs.
+//! - [`client`]: light-client verification — readers check news events,
+//!   anchors and fact records from block headers and Merkle proofs alone.
+//!
+//! # Example
+//!
+//! ```
+//! use tn_core::platform::{Platform, PlatformConfig};
+//! use tn_core::roles::Role;
+//! use tn_crypto::Keypair;
+//!
+//! let mut platform = Platform::new(PlatformConfig::default());
+//! let publisher = Keypair::from_seed(b"pub");
+//! platform.register_identity(&publisher, "Daily Facts", &[Role::Publisher]);
+//! platform.produce_block()?;
+//! assert!(platform.identities().has_role(&publisher.address(), Role::Publisher));
+//! # Ok::<(), tn_core::platform::PlatformError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod ecosystem;
+pub mod platform;
+pub mod roles;
+
+pub use platform::{
+    BlockSummary, ItemRank, Platform, PlatformConfig, PlatformError, PlatformRankWeights,
+};
+pub use client::{ClientError, LightClient};
+pub use roles::{IdentityRecord, IdentityRegistry, Role};

@@ -1,0 +1,1128 @@
+//! The AI blockchain trusting-news platform (Figure 1).
+//!
+//! One struct wires every subsystem together: the chain (ordering +
+//! accountability), the contract registry with the four governance
+//! built-ins, the factual database, the supply-chain graph, the identity
+//! registry, and the AI detector. All state mutations flow through signed
+//! transactions and block production — the platform never mutates
+//! contract state out-of-band, so the ledger remains the complete audit
+//! trail the paper's accountability story requires. (Consensus itself is
+//! exercised separately in `tn-consensus`; here a single validator
+//! produces blocks, which is faithful to a one-node deployment of the
+//! permissioned network.)
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use tn_aidetect::ensemble::{EnsembleDetector, EnsembleWeights};
+use tn_chain::codec::Encodable;
+use tn_chain::prelude::*;
+use tn_contracts::builtin::{
+    admission_attest, admission_register_checker, newsroom_authorize, newsroom_create_room,
+    newsroom_register_platform, ranking_submit, FactDbAdmission, IncentiveContract,
+    NewsroomRegistry, RankingContract,
+};
+use tn_contracts::executor::ContractRegistry;
+use tn_crypto::{Address, Hash256, Keypair};
+use tn_factdb::corpus::CorpusConfig;
+use tn_factdb::db::FactualDatabase;
+use tn_factdb::record::FactRecord;
+use tn_supplychain::graph::{SupplyChainGraph, TraceResult};
+use tn_supplychain::index::{index_transaction, IndexStats, NewsEvent};
+use tn_supplychain::ops::PropagationOp;
+use tn_supplychain::ranking::trace_score;
+
+use crate::roles::{IdentityRecord, IdentityRegistry, Role};
+
+/// Platform-level errors.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// Underlying chain rejection.
+    Chain(ChainError),
+    /// Supply-chain graph rejection.
+    Graph(tn_supplychain::graph::GraphError),
+    /// Contract-call failure.
+    Contract(String),
+    /// Caller lacks a required role or authorization.
+    NotAuthorized(String),
+    /// The account is not a verified identity.
+    NotVerified(Address),
+    /// Unknown news item.
+    UnknownItem(Hash256),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Chain(e) => write!(f, "chain error: {e}"),
+            PlatformError::Graph(e) => write!(f, "graph error: {e}"),
+            PlatformError::Contract(e) => write!(f, "contract error: {e}"),
+            PlatformError::NotAuthorized(e) => write!(f, "not authorized: {e}"),
+            PlatformError::NotVerified(a) => write!(f, "account {} not verified", a.short()),
+            PlatformError::UnknownItem(h) => write!(f, "unknown news item {}", h.short()),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+impl From<ChainError> for PlatformError {
+    fn from(e: ChainError) -> Self {
+        PlatformError::Chain(e)
+    }
+}
+
+impl From<tn_supplychain::graph::GraphError> for PlatformError {
+    fn from(e: tn_supplychain::graph::GraphError) -> Self {
+        PlatformError::Graph(e)
+    }
+}
+
+/// Ranking-weight configuration: how the three signals combine.
+#[derive(Debug, Clone, Copy)]
+pub struct PlatformRankWeights {
+    /// Provenance (trace-back) weight.
+    pub trace: f64,
+    /// AI-detector weight.
+    pub ai: f64,
+    /// Crowd-rating weight.
+    pub crowd: f64,
+}
+
+impl Default for PlatformRankWeights {
+    fn default() -> Self {
+        PlatformRankWeights { trace: 0.5, ai: 0.25, crowd: 0.25 }
+    }
+}
+
+/// Platform construction parameters.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Tokens granted to each newly verified identity.
+    pub identity_grant: u64,
+    /// Flat fee attached to platform transactions.
+    pub fee: u64,
+    /// Attestations required to admit a record to the factual database.
+    pub fact_threshold: usize,
+    /// Initial factual corpus.
+    pub factdb_seed: CorpusConfig,
+    /// Ranking weights.
+    pub weights: PlatformRankWeights,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            identity_grant: 10_000,
+            fee: 1,
+            fact_threshold: 2,
+            factdb_seed: CorpusConfig { size: 50, seed: 42, start_time: 0 },
+            weights: PlatformRankWeights::default(),
+        }
+    }
+}
+
+/// The combined ranking of one news item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItemRank {
+    /// Provenance score in `[0, 1]`.
+    pub trace: f64,
+    /// AI probability-factual in `[0, 1]` (0.5 when no detector trained).
+    pub ai: f64,
+    /// Crowd weighted-mean score in `[0, 1]` (0.5 when unrated).
+    pub crowd: f64,
+    /// Final 0–100 ranking.
+    pub rank: f64,
+    /// Whether the item traces to the factual database.
+    pub reaches_root: bool,
+}
+
+/// Summary of one produced block.
+#[derive(Debug, Clone)]
+pub struct BlockSummary {
+    /// Block height.
+    pub height: u64,
+    /// Transactions included.
+    pub included: usize,
+    /// Transactions whose execution failed (still on-chain).
+    pub failed: usize,
+    /// Fact records admitted to the database in this round.
+    pub admitted_facts: Vec<Hash256>,
+}
+
+/// The trusting-news platform.
+pub struct Platform {
+    config: PlatformConfig,
+    governor: Keypair,
+    validator: Keypair,
+    store: ChainStore,
+    registry: ContractRegistry,
+    newsroom_addr: Address,
+    ranking_addr: Address,
+    incentive_addr: Address,
+    admission_addr: Address,
+    factdb: FactualDatabase,
+    graph: SupplyChainGraph,
+    identities: IdentityRegistry,
+    detector: Option<EnsembleDetector>,
+    /// Pending transactions (real fee-prioritised mempool from tn-chain).
+    mempool: Mempool,
+    /// Nonces reserved by pending transactions, per account.
+    reserved_nonces: HashMap<Address, u64>,
+    /// Candidate fact records awaiting attestation, by id.
+    fact_candidates: HashMap<Hash256, FactRecord>,
+    /// Headlines of indexed items (for stance-aware AI scoring).
+    headlines: HashMap<Hash256, String>,
+    index_stats: IndexStats,
+    clock: u64,
+}
+
+impl fmt::Debug for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Platform")
+            .field("height", &self.store.height())
+            .field("factdb", &self.factdb.len())
+            .field("graph", &self.graph.len())
+            .field("identities", &self.identities.len())
+            .field("pending", &self.mempool.len())
+            .finish()
+    }
+}
+
+impl Platform {
+    /// Boots a platform: creates governance accounts, installs the four
+    /// built-in contracts, seeds and anchors the factual database.
+    pub fn new(config: PlatformConfig) -> Platform {
+        let governor = Keypair::from_seed(b"tn-platform-governor");
+        let validator = Keypair::from_seed(b"tn-platform-validator");
+        let genesis = State::genesis([
+            (governor.address(), 1_000_000_000),
+            (validator.address(), 1_000_000),
+        ]);
+        let store = ChainStore::new(genesis, &validator);
+
+        let mut registry = ContractRegistry::new();
+        let newsroom_addr = registry.install_builtin(Box::new(NewsroomRegistry::new()));
+        let ranking_addr =
+            registry.install_builtin(Box::new(RankingContract::new(governor.address())));
+        let incentive_addr =
+            registry.install_builtin(Box::new(IncentiveContract::new(governor.address())));
+        let admission_addr = registry.install_builtin(Box::new(FactDbAdmission::new(
+            governor.address(),
+            config.fact_threshold,
+        )));
+
+        let mut factdb = FactualDatabase::new();
+        let mut graph = SupplyChainGraph::new();
+        for rec in tn_factdb::corpus::generate_corpus(&config.factdb_seed) {
+            let id = rec.id();
+            graph
+                .add_fact_root(id, &rec.content, &rec.topic, rec.recorded_at)
+                .expect("corpus records are unique");
+            factdb.append(rec).expect("corpus records are unique");
+        }
+
+        let mut platform = Platform {
+            config,
+            governor,
+            validator,
+            store,
+            registry,
+            newsroom_addr,
+            ranking_addr,
+            incentive_addr,
+            admission_addr,
+            factdb,
+            graph,
+            identities: IdentityRegistry::new(),
+            detector: None,
+            mempool: Mempool::new(100_000),
+            reserved_nonces: HashMap::new(),
+            fact_candidates: HashMap::new(),
+            headlines: HashMap::new(),
+            index_stats: IndexStats::default(),
+            clock: 1,
+        };
+        // Anchor the seeded factual DB and commit the genesis-follow block.
+        platform.enqueue_anchor();
+        platform.produce_block().expect("genesis anchor block");
+        platform
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.store.height()
+    }
+
+    /// The factual database.
+    pub fn factdb(&self) -> &FactualDatabase {
+        &self.factdb
+    }
+
+    /// The supply-chain graph.
+    pub fn graph(&self) -> &SupplyChainGraph {
+        &self.graph
+    }
+
+    /// The identity registry.
+    pub fn identities(&self) -> &IdentityRegistry {
+        &self.identities
+    }
+
+    /// The chain store (read-only).
+    pub fn store(&self) -> &ChainStore {
+        &self.store
+    }
+
+    /// Indexing statistics accumulated over all produced blocks.
+    pub fn index_stats(&self) -> &IndexStats {
+        &self.index_stats
+    }
+
+    /// The governor account address (contract owner).
+    pub fn governor_address(&self) -> Address {
+        self.governor.address()
+    }
+
+    /// The on-chain anchor for the factual database, if any.
+    pub fn anchored_fact_root(&self) -> Option<Hash256> {
+        self.store.head_state().anchor("factdb")
+    }
+
+    /// Typed read access to the newsroom registry contract.
+    pub fn newsrooms(&self) -> &NewsroomRegistry {
+        self.registry
+            .builtin(&self.newsroom_addr)
+            .and_then(|b| b.as_any().downcast_ref())
+            .expect("newsroom builtin installed")
+    }
+
+    /// Typed read access to the ranking contract.
+    pub fn ranking_contract(&self) -> &RankingContract {
+        self.registry
+            .builtin(&self.ranking_addr)
+            .and_then(|b| b.as_any().downcast_ref())
+            .expect("ranking builtin installed")
+    }
+
+    /// Typed read access to the incentive contract.
+    pub fn incentives(&self) -> &IncentiveContract {
+        self.registry
+            .builtin(&self.incentive_addr)
+            .and_then(|b| b.as_any().downcast_ref())
+            .expect("incentive builtin installed")
+    }
+
+    /// Typed read access to the admission contract.
+    pub fn admission(&self) -> &FactDbAdmission {
+        self.registry
+            .builtin(&self.admission_addr)
+            .and_then(|b| b.as_any().downcast_ref())
+            .expect("admission builtin installed")
+    }
+
+    // --- transaction plumbing -------------------------------------------
+
+    fn next_nonce(&mut self, who: &Address) -> u64 {
+        let committed = self.store.head_state().nonce(who);
+        let reserved = self.reserved_nonces.entry(*who).or_insert(committed);
+        if *reserved < committed {
+            *reserved = committed;
+        }
+        let n = *reserved;
+        *reserved += 1;
+        n
+    }
+
+    fn enqueue(&mut self, signer: &Keypair, payload: Payload) {
+        self.enqueue_with_fee(signer, self.config.fee, payload);
+    }
+
+    fn enqueue_with_fee(&mut self, signer: &Keypair, fee: u64, payload: Payload) {
+        let nonce = self.next_nonce(&signer.address());
+        let tx = Transaction::signed(signer, nonce, fee, payload);
+        self.mempool
+            .insert(tx, self.store.head_state())
+            .expect("platform-built transactions are valid and unique");
+    }
+
+    fn enqueue_anchor(&mut self) {
+        let root = self.factdb.root();
+        let governor = self.governor.clone();
+        self.enqueue(&governor, Payload::AnchorRoot { namespace: "factdb".into(), root });
+    }
+
+    /// Produces one block from all pending transactions, imports it, and
+    /// post-processes: indexes news events, applies identity records,
+    /// admits attested facts (and re-anchors when the DB grew).
+    ///
+    /// # Errors
+    ///
+    /// Chain-level import errors (should not occur for platform-built
+    /// transactions).
+    pub fn produce_block(&mut self) -> Result<BlockSummary, PlatformError> {
+        let txs = self.mempool.select(self.store.head_state(), 10_000);
+        self.reserved_nonces.clear();
+        // Contract execution never touches chain State (only fees/nonces),
+        // so the proposal pass can run without the registry; the import
+        // pass executes against the authoritative registry exactly once.
+        let block = self.store.propose(&self.validator, self.clock, txs, &mut NoExecutor);
+        let receipts = self.store.import(block, &mut self.registry)?;
+        self.mempool.prune_committed(self.store.head_state());
+        self.clock += 1;
+
+        let head = self.store.head().clone();
+        let mut failed = 0usize;
+        for (tx, receipt) in head.transactions.iter().zip(&receipts) {
+            if !receipt.success {
+                failed += 1;
+                continue;
+            }
+            // Index news events into the supply-chain graph; remember
+            // headlines for stance-aware AI scoring.
+            index_transaction(tx, &mut self.graph, &mut self.index_stats);
+            if let Some(Ok(event)) = NewsEvent::from_payload(&tx.payload) {
+                if !event.headline.is_empty() {
+                    let id = tn_supplychain::graph::item_id(
+                        &tx.from,
+                        &event.content,
+                        event.published_at,
+                    );
+                    self.headlines.insert(id, event.headline);
+                }
+            }
+            // Apply identity records.
+            if let Payload::Blob { tag, data } = &tx.payload {
+                if *tag == blob_tags::IDENTITY {
+                    if let Ok(rec) = IdentityRecord::from_bytes(data) {
+                        self.identities.register(tx.from, &rec.name, &rec.roles);
+                    }
+                }
+            }
+        }
+
+        // Fact admission: any candidate that has reached the threshold is
+        // appended to the DB and becomes a graph root; then re-anchor.
+        let admitted: Vec<Hash256> = self
+            .fact_candidates
+            .keys()
+            .filter(|id| self.admission().is_admitted(id))
+            .copied()
+            .collect();
+        for id in &admitted {
+            let rec = self.fact_candidates.remove(id).expect("key listed");
+            if !self.factdb.contains(id) {
+                self.graph
+                    .add_fact_root(*id, &rec.content, &rec.topic, rec.recorded_at)
+                    .ok(); // already a news item id clash is impossible (tagged hashes differ)
+                self.factdb.append(rec).ok();
+            }
+        }
+        if !admitted.is_empty() {
+            self.enqueue_anchor();
+        }
+
+        Ok(BlockSummary {
+            height: head.header.height,
+            included: head.transactions.len(),
+            failed,
+            admitted_facts: admitted,
+        })
+    }
+
+    // --- identity & governance -------------------------------------------
+
+    /// Verifies an identity: the governor grants an initial token balance
+    /// and the account registers its name and roles on-chain.
+    pub fn register_identity(&mut self, who: &Keypair, name: &str, roles: &[Role]) {
+        let governor = self.governor.clone();
+        self.enqueue(
+            &governor,
+            Payload::Transfer { to: who.address(), amount: self.config.identity_grant },
+        );
+        let record = IdentityRecord { name: name.into(), roles: roles.to_vec() };
+        // Registration is platform-subsidized (fee 0): the account may be
+        // brand-new and unfunded until the grant above commits, and the
+        // mempool orders by fee, not enqueue order.
+        self.enqueue_with_fee(
+            who,
+            0,
+            Payload::Blob { tag: blob_tags::IDENTITY, data: record.to_bytes() },
+        );
+        // Fact checkers are also registered with the admission contract.
+        if roles.contains(&Role::FactChecker) {
+            let input = admission_register_checker(&who.address());
+            let governor = self.governor.clone();
+            self.enqueue(
+                &governor,
+                Payload::ContractCall {
+                    contract: self.admission_addr,
+                    input,
+                    gas_limit: 10_000,
+                },
+            );
+        }
+    }
+
+    fn require_role(&self, who: &Address, role: Role) -> Result<(), PlatformError> {
+        if !self.identities.is_verified(who) {
+            return Err(PlatformError::NotVerified(*who));
+        }
+        if !self.identities.has_role(who, role) {
+            return Err(PlatformError::NotAuthorized(format!(
+                "{} lacks role {role:?}",
+                who.short()
+            )));
+        }
+        Ok(())
+    }
+
+    /// A publisher applies to create a distribution platform (§V layer 1).
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Publisher` role.
+    pub fn create_publisher_platform(
+        &mut self,
+        publisher: &Keypair,
+        name: &str,
+    ) -> Result<(), PlatformError> {
+        self.require_role(&publisher.address(), Role::Publisher)?;
+        let input = newsroom_register_platform(name);
+        self.enqueue(
+            publisher,
+            Payload::ContractCall { contract: self.newsroom_addr, input, gas_limit: 10_000 },
+        );
+        Ok(())
+    }
+
+    /// Creates a topical news room on an owned platform (§V layer 2).
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Publisher` role (ownership is enforced by the
+    /// contract at execution).
+    pub fn create_news_room(
+        &mut self,
+        publisher: &Keypair,
+        platform_id: u64,
+        topic: &str,
+    ) -> Result<(), PlatformError> {
+        self.require_role(&publisher.address(), Role::Publisher)?;
+        let input = newsroom_create_room(platform_id, topic);
+        self.enqueue(
+            publisher,
+            Payload::ContractCall { contract: self.newsroom_addr, input, gas_limit: 10_000 },
+        );
+        Ok(())
+    }
+
+    /// Authorizes a journalist to publish in a room.
+    ///
+    /// # Errors
+    ///
+    /// Requires the `Publisher` role.
+    pub fn authorize_journalist(
+        &mut self,
+        publisher: &Keypair,
+        room: u64,
+        journalist: &Address,
+    ) -> Result<(), PlatformError> {
+        self.require_role(&publisher.address(), Role::Publisher)?;
+        let input = newsroom_authorize(room, journalist);
+        self.enqueue(
+            publisher,
+            Payload::ContractCall { contract: self.newsroom_addr, input, gas_limit: 10_000 },
+        );
+        Ok(())
+    }
+
+    // --- news flow ---------------------------------------------------------
+
+    /// Publishes a news item into a room. Parents (other items or factual
+    /// records) establish the provenance edges of §VI.
+    ///
+    /// Returns the item id the event will have once the block commits.
+    ///
+    /// # Errors
+    ///
+    /// Requires a verified `ContentCreator` authorized in the room.
+    pub fn publish_news(
+        &mut self,
+        author: &Keypair,
+        room: u64,
+        topic: &str,
+        content: &str,
+        parents: Vec<(Hash256, PropagationOp)>,
+    ) -> Result<Hash256, PlatformError> {
+        self.publish_news_with_headline(author, room, topic, "", content, parents)
+    }
+
+    /// [`Self::publish_news`] with an explicit headline. The headline is
+    /// recorded on-chain with the event, and the platform's AI component
+    /// runs headline/body stance analysis on it: a body that contradicts
+    /// its own headline (or is unrelated to it) is a fake-news signal per
+    /// the Fake News Challenge approach the paper cites [33].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::publish_news`].
+    pub fn publish_news_with_headline(
+        &mut self,
+        author: &Keypair,
+        room: u64,
+        topic: &str,
+        headline: &str,
+        content: &str,
+        parents: Vec<(Hash256, PropagationOp)>,
+    ) -> Result<Hash256, PlatformError> {
+        self.require_role(&author.address(), Role::ContentCreator)?;
+        if !self.newsrooms().is_authorized(room, &author.address()) {
+            return Err(PlatformError::NotAuthorized(format!(
+                "{} not authorized in room {room}",
+                author.address().short()
+            )));
+        }
+        let published_at = self.clock;
+        let event = NewsEvent {
+            headline: headline.to_string(),
+            content: content.to_string(),
+            topic: topic.to_string(),
+            room,
+            parents: parents.iter().map(|(id, op)| (*id, op.tag())).collect(),
+            published_at,
+        };
+        let item_id =
+            tn_supplychain::graph::item_id(&author.address(), content, published_at);
+        self.enqueue(author, event.into_payload());
+        Ok(item_id)
+    }
+
+    /// A consumer submits a 0–100 truthfulness rating for an item.
+    ///
+    /// # Errors
+    ///
+    /// Requires a verified identity (any role).
+    pub fn submit_rating(
+        &mut self,
+        rater: &Keypair,
+        item: &Hash256,
+        score: u8,
+    ) -> Result<(), PlatformError> {
+        if !self.identities.is_verified(&rater.address()) {
+            return Err(PlatformError::NotVerified(rater.address()));
+        }
+        let input = ranking_submit(item, score);
+        self.enqueue(
+            rater,
+            Payload::ContractCall { contract: self.ranking_addr, input, gas_limit: 10_000 },
+        );
+        Ok(())
+    }
+
+    /// Proposes a record for factual-database admission; fact checkers
+    /// then attest it. Returns the record id.
+    pub fn propose_fact(&mut self, record: FactRecord) -> Hash256 {
+        let id = record.id();
+        self.fact_candidates.insert(id, record);
+        id
+    }
+
+    /// A fact checker attests a proposed record.
+    ///
+    /// # Errors
+    ///
+    /// Requires the `FactChecker` role and a known candidate record.
+    pub fn attest_fact(
+        &mut self,
+        checker: &Keypair,
+        record_id: &Hash256,
+    ) -> Result<(), PlatformError> {
+        self.require_role(&checker.address(), Role::FactChecker)?;
+        if !self.fact_candidates.contains_key(record_id) && !self.factdb.contains(record_id) {
+            return Err(PlatformError::UnknownItem(*record_id));
+        }
+        let input = admission_attest(record_id);
+        self.enqueue(
+            checker,
+            Payload::ContractCall { contract: self.admission_addr, input, gas_limit: 10_000 },
+        );
+        Ok(())
+    }
+
+    // --- AI & ranking -----------------------------------------------------
+
+    /// Trains the platform's AI detector on a labeled corpus (the
+    /// AI-developer role's contribution to the ecosystem).
+    pub fn train_detector(&mut self, corpus: &[tn_aidetect::corpus::LabeledDoc]) {
+        self.detector = Some(EnsembleDetector::train(corpus, EnsembleWeights::default()));
+    }
+
+    /// True when a detector has been trained.
+    pub fn has_detector(&self) -> bool {
+        self.detector.is_some()
+    }
+
+    /// Computes the combined ranking of an item: provenance trace × AI ×
+    /// crowd, per the configured weights.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownItem`] when the item is not in the graph.
+    pub fn rank_item(&self, item: &Hash256) -> Result<ItemRank, PlatformError> {
+        let node = self.graph.get(item).ok_or(PlatformError::UnknownItem(*item))?;
+        let trace = self.graph.trace_back(item)?;
+        let t = trace_score(&trace);
+        let ai = match &self.detector {
+            Some(d) => match self.headlines.get(item) {
+                Some(headline) => 1.0 - d.prob_fake_with_headline(headline, &node.content),
+                None => d.prob_factual(&node.content),
+            },
+            None => 0.5,
+        };
+        let (count, mean_e4) = self.ranking_contract().ranking(item);
+        let crowd = if count > 0 { (mean_e4 as f64 / 10_000.0) / 100.0 } else { 0.5 };
+        let w = self.config.weights;
+        let total = w.trace + w.ai + w.crowd;
+        let rank = 100.0 * (w.trace * t + w.ai * ai + w.crowd * crowd) / total;
+        Ok(ItemRank { trace: t, ai, crowd, rank, reaches_root: trace.reaches_root })
+    }
+
+    /// Traces an item back toward the factual database.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Graph`] for unknown items.
+    pub fn trace_item(&self, item: &Hash256) -> Result<TraceResult, PlatformError> {
+        Ok(self.graph.trace_back(item)?)
+    }
+
+    /// The account that originated an item's content (§IV accountability).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Graph`] for unknown items.
+    pub fn origin_of(&self, item: &Hash256) -> Result<Option<Address>, PlatformError> {
+        Ok(self.graph.origin_author(item)?)
+    }
+
+    /// The account that introduced the largest modification (≥ 0.1) along
+    /// an item's provenance path — the distortion-accountability query.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Graph`] for unknown items.
+    pub fn distortion_culprit_of(
+        &self,
+        item: &Hash256,
+    ) -> Result<Option<(Address, f64)>, PlatformError> {
+        Ok(self.graph.distortion_culprit(item, 0.1)?)
+    }
+
+    /// Suggests the top-k domain experts for a topic from ledger history
+    /// (§VI expert identification).
+    pub fn suggest_experts(
+        &self,
+        topic: &str,
+        k: usize,
+    ) -> Vec<tn_supplychain::expert::ExpertScore> {
+        tn_supplychain::expert::experts_for_topic(&self.graph, topic, k)
+    }
+
+    /// The governor rewards an account with incentive points ("economic
+    /// incentives to reward individuals", §V) via the incentive contract.
+    pub fn reward_points(&mut self, who: &Address, amount: u64) {
+        let governor = self.governor.clone();
+        let input = tn_contracts::builtin::incentive_reward(who, amount);
+        self.enqueue(
+            &governor,
+            Payload::ContractCall { contract: self.incentive_addr, input, gas_limit: 10_000 },
+        );
+    }
+
+    /// The governor slashes an account's incentive points.
+    pub fn slash_points(&mut self, who: &Address, amount: u64) {
+        let governor = self.governor.clone();
+        let input = tn_contracts::builtin::incentive_slash(who, amount);
+        self.enqueue(
+            &governor,
+            Payload::ContractCall { contract: self.incentive_addr, input, gas_limit: 10_000 },
+        );
+    }
+
+    // --- Management Act enforcement ---------------------------------------
+
+    /// Enforces the "AI Blockchain Platform Management Act" (§V): scans the
+    /// supply-chain graph for accounts that introduced heavy modifications
+    /// (degree ≥ `threshold`) on `strikes` or more items, and revokes their
+    /// authorization in every news room (by enqueueing the publisher-signed
+    /// revocation calls — all enforcement actions are themselves on-chain).
+    ///
+    /// Returns the sanctioned accounts with their strike counts. The
+    /// `enforcer` must own the affected rooms' platforms (the paper's "the
+    /// distribution platform will be responsible for the trust of its
+    /// content creators").
+    pub fn enforce_management_act(
+        &mut self,
+        enforcer: &Keypair,
+        threshold: f64,
+        strikes: usize,
+    ) -> Result<Vec<(Address, usize)>, PlatformError> {
+        self.require_role(&enforcer.address(), Role::Publisher)?;
+        // Count heavy-modification edges per author across the graph.
+        let mut counts: HashMap<Address, usize> = HashMap::new();
+        for item in self.graph.iter().filter(|i| !i.is_fact_root) {
+            let heavy = item.parents.iter().any(|p| p.modification >= threshold);
+            if heavy {
+                *counts.entry(item.author).or_insert(0) += 1;
+            }
+        }
+        let mut sanctioned: Vec<(Address, usize)> =
+            counts.into_iter().filter(|(_, c)| *c >= strikes).collect();
+        sanctioned.sort_by_key(|(a, c)| (std::cmp::Reverse(*c), *a));
+
+        // Revoke each sanctioned account from every room on platforms the
+        // enforcer owns.
+        let rooms: Vec<u64> = self
+            .newsrooms()
+            .rooms()
+            .filter(|(_, room)| {
+                self.newsrooms()
+                    .platform(room.platform)
+                    .is_some_and(|p| p.owner == enforcer.address())
+            })
+            .map(|(id, _)| id)
+            .collect();
+        for (who, _) in &sanctioned {
+            for room in &rooms {
+                let input = tn_contracts::builtin::newsroom_revoke(*room, who);
+                self.enqueue(
+                    enforcer,
+                    Payload::ContractCall {
+                        contract: self.newsroom_addr,
+                        input,
+                        gas_limit: 10_000,
+                    },
+                );
+            }
+        }
+        Ok(sanctioned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> Platform {
+        Platform::new(PlatformConfig::default())
+    }
+
+    fn kp(seed: &str) -> Keypair {
+        Keypair::from_seed(seed.as_bytes())
+    }
+
+    #[test]
+    fn boot_seeds_and_anchors_factdb() {
+        let p = boot();
+        assert_eq!(p.factdb().len(), 50);
+        assert_eq!(p.graph().root_count(), 50);
+        assert_eq!(p.anchored_fact_root(), Some(p.factdb().root()));
+        assert!(p.height() >= 1);
+    }
+
+    #[test]
+    fn identity_and_publisher_flow() {
+        let mut p = boot();
+        let pub_kp = kp("publisher");
+        let journo = kp("journalist");
+        p.register_identity(&pub_kp, "Daily Facts Inc", &[Role::Publisher]);
+        p.register_identity(&journo, "Jane Doe", &[Role::ContentCreator]);
+        p.produce_block().unwrap();
+        assert!(p.identities().has_role(&pub_kp.address(), Role::Publisher));
+
+        p.create_publisher_platform(&pub_kp, "Daily Facts").unwrap();
+        p.produce_block().unwrap();
+        let pid = p.newsrooms().find_platform("Daily Facts").expect("created");
+
+        p.create_news_room(&pub_kp, pid, "energy").unwrap();
+        p.produce_block().unwrap();
+        let (rid, room) = p.newsrooms().rooms().next().expect("room exists");
+        assert_eq!(room.topic, "energy");
+
+        p.authorize_journalist(&pub_kp, rid, &journo.address()).unwrap();
+        p.produce_block().unwrap();
+        assert!(p.newsrooms().is_authorized(rid, &journo.address()));
+    }
+
+    /// Boots a platform with a publisher, a room and an authorized
+    /// journalist; returns (platform, journalist, room id).
+    fn with_room() -> (Platform, Keypair, u64) {
+        let mut p = boot();
+        let pub_kp = kp("publisher");
+        let journo = kp("journalist");
+        p.register_identity(&pub_kp, "Daily Facts Inc", &[Role::Publisher]);
+        p.register_identity(&journo, "Jane Doe", &[Role::ContentCreator, Role::Consumer]);
+        p.produce_block().unwrap();
+        p.create_publisher_platform(&pub_kp, "Daily Facts").unwrap();
+        p.produce_block().unwrap();
+        let pid = p.newsrooms().find_platform("Daily Facts").unwrap();
+        p.create_news_room(&pub_kp, pid, "energy").unwrap();
+        p.produce_block().unwrap();
+        let rid = p.newsrooms().rooms().next().unwrap().0;
+        p.authorize_journalist(&pub_kp, rid, &journo.address()).unwrap();
+        p.produce_block().unwrap();
+        (p, journo, rid)
+    }
+
+    #[test]
+    fn publish_cite_and_rank() {
+        let (mut p, journo, rid) = with_room();
+        // Cite a factual record verbatim.
+        let root = p.factdb().iter().next().unwrap().clone();
+        let item = p
+            .publish_news(
+                &journo,
+                rid,
+                &root.topic,
+                &root.content,
+                vec![(root.id(), PropagationOp::Cite)],
+            )
+            .unwrap();
+        p.produce_block().unwrap();
+
+        assert_eq!(p.index_stats().indexed, 1);
+        let rank = p.rank_item(&item).unwrap();
+        assert!(rank.reaches_root);
+        assert!((rank.trace - 1.0).abs() < 1e-9);
+        assert!(rank.rank > 60.0, "rank {}", rank.rank);
+
+        // An unsourced fabrication ranks lower.
+        let fake = p
+            .publish_news(&journo, rid, "energy", "Secret memo reveals it was all a lie.", vec![])
+            .unwrap();
+        p.produce_block().unwrap();
+        let fake_rank = p.rank_item(&fake).unwrap();
+        assert!(!fake_rank.reaches_root);
+        assert!(fake_rank.rank < rank.rank);
+    }
+
+    #[test]
+    fn unauthorized_publishing_rejected() {
+        let (mut p, _journo, rid) = with_room();
+        let stranger = kp("stranger");
+        // Not verified at all.
+        assert!(matches!(
+            p.publish_news(&stranger, rid, "t", "text", vec![]),
+            Err(PlatformError::NotVerified(_))
+        ));
+        // Verified consumer but not authorized in the room.
+        p.register_identity(&stranger, "Stranger", &[Role::ContentCreator]);
+        p.produce_block().unwrap();
+        assert!(matches!(
+            p.publish_news(&stranger, rid, "t", "text", vec![]),
+            Err(PlatformError::NotAuthorized(_))
+        ));
+    }
+
+    #[test]
+    fn ratings_flow_into_ranking() {
+        let (mut p, journo, rid) = with_room();
+        let root = p.factdb().iter().next().unwrap().clone();
+        let item = p
+            .publish_news(&journo, rid, &root.topic, &root.content,
+                          vec![(root.id(), PropagationOp::Cite)])
+            .unwrap();
+        p.produce_block().unwrap();
+
+        let neutral = p.rank_item(&item).unwrap();
+        p.submit_rating(&journo, &item, 95).unwrap();
+        p.produce_block().unwrap();
+        let rated = p.rank_item(&item).unwrap();
+        assert!(rated.crowd > neutral.crowd);
+        assert!(rated.rank > neutral.rank);
+    }
+
+    #[test]
+    fn fact_attestation_grows_database_and_reanchors() {
+        let mut p = boot();
+        let c1 = kp("checker1");
+        let c2 = kp("checker2");
+        p.register_identity(&c1, "Checker One", &[Role::FactChecker]);
+        p.register_identity(&c2, "Checker Two", &[Role::FactChecker]);
+        p.produce_block().unwrap();
+
+        let record = FactRecord {
+            source: tn_factdb::record::SourceKind::VerifiedNews,
+            speaker: "Mayor Donovan".into(),
+            topic: "housing".into(),
+            content: "The permit reform passed the council vote.".into(),
+            recorded_at: 77,
+        };
+        let id = p.propose_fact(record);
+        let before_root = p.anchored_fact_root();
+        let before_len = p.factdb().len();
+
+        p.attest_fact(&c1, &id).unwrap();
+        let s = p.produce_block().unwrap();
+        assert!(s.admitted_facts.is_empty(), "one attestation below threshold");
+
+        p.attest_fact(&c2, &id).unwrap();
+        let s = p.produce_block().unwrap();
+        assert_eq!(s.admitted_facts, vec![id]);
+        assert_eq!(p.factdb().len(), before_len + 1);
+        assert!(p.factdb().contains(&id));
+
+        // Re-anchor lands in the following block.
+        p.produce_block().unwrap();
+        assert_ne!(p.anchored_fact_root(), before_root);
+        assert_eq!(p.anchored_fact_root(), Some(p.factdb().root()));
+    }
+
+    #[test]
+    fn expert_suggestion_from_history() {
+        let (mut p, journo, rid) = with_room();
+        let roots: Vec<FactRecord> = p.factdb().iter().take(3).cloned().collect();
+        for r in &roots {
+            p.publish_news(&journo, rid, &r.topic, &r.content, vec![(r.id(), PropagationOp::Cite)])
+                .unwrap();
+            p.produce_block().unwrap();
+        }
+        let topic = &roots[0].topic;
+        let experts = p.suggest_experts(topic, 3);
+        assert!(!experts.is_empty());
+        assert_eq!(experts[0].author, journo.address());
+    }
+
+    #[test]
+    fn origin_accountability() {
+        let (mut p, journo, rid) = with_room();
+        let fake = p
+            .publish_news(&journo, rid, "energy", "Invented scandal content here.", vec![])
+            .unwrap();
+        p.produce_block().unwrap();
+        assert_eq!(p.origin_of(&fake).unwrap(), Some(journo.address()));
+    }
+
+    #[test]
+    fn detector_changes_ai_component() {
+        let (mut p, journo, rid) = with_room();
+        let fake = p
+            .publish_news(
+                &journo,
+                rid,
+                "energy",
+                "Shocking corrupt scandal exposed by anonymous insiders, share before deleted!",
+                vec![],
+            )
+            .unwrap();
+        p.produce_block().unwrap();
+        let before = p.rank_item(&fake).unwrap();
+        assert!((before.ai - 0.5).abs() < 1e-9, "no detector yet");
+
+        let corpus = tn_aidetect::corpus::generate_news_corpus(
+            &tn_aidetect::corpus::NewsCorpusConfig::default(),
+        );
+        p.train_detector(&corpus);
+        let after = p.rank_item(&fake).unwrap();
+        assert!(after.ai < 0.35, "detector should flag the fake, ai={}", after.ai);
+        assert!(after.rank < before.rank);
+    }
+
+    #[test]
+    fn contradictory_headline_lowers_ai_score() {
+        let (mut p, journo, rid) = with_room();
+        let corpus = tn_aidetect::corpus::generate_news_corpus(
+            &tn_aidetect::corpus::NewsCorpusConfig::default(),
+        );
+        p.train_detector(&corpus);
+
+        let body = "Officials confirmed the committee approved the amendment; \
+                    the record was published and signed the same day.";
+        let consistent = p
+            .publish_news_with_headline(
+                &journo, rid, "energy", "Committee approves amendment", body, vec![],
+            )
+            .unwrap();
+        let refuting_body = "Claims that the committee approved the amendment are false; \
+                             the chair denied the amendment approval and called the report \
+                             a hoax, not news.";
+        let contradicted = p
+            .publish_news_with_headline(
+                &journo, rid, "energy", "Committee approves amendment", refuting_body, vec![],
+            )
+            .unwrap();
+        p.produce_block().unwrap();
+
+        let rc = p.rank_item(&consistent).unwrap();
+        let rx = p.rank_item(&contradicted).unwrap();
+        assert!(
+            rc.ai > rx.ai + 0.1,
+            "stance should separate: consistent {} vs contradicted {}",
+            rc.ai,
+            rx.ai
+        );
+    }
+
+    #[test]
+    fn management_act_revokes_repeat_distorters() {
+        let (mut p, journo, rid) = with_room();
+        let pub_kp = kp("publisher");
+        let tabloid = kp("ma tabloid");
+        p.register_identity(&tabloid, "MA Tabloid", &[Role::ContentCreator]);
+        p.produce_block().unwrap();
+        p.authorize_journalist(&pub_kp, rid, &tabloid.address()).unwrap();
+        p.produce_block().unwrap();
+
+        // Tabloid distorts three different factual records heavily;
+        // journalist relays faithfully.
+        let roots: Vec<_> = p.factdb().iter().take(3).cloned().collect();
+        for r in &roots {
+            let distorted = format!(
+                "{} Insiders warn this is a shocking corrupt cover-up. \
+                 They do not want you to know the terrifying truth. \
+                 Share this before it gets deleted by the censors.",
+                r.content
+            );
+            p.publish_news(&tabloid, rid, &r.topic, &distorted,
+                           vec![(r.id(), PropagationOp::Insert)])
+                .unwrap();
+            p.publish_news(&journo, rid, &r.topic, &r.content,
+                           vec![(r.id(), PropagationOp::Cite)])
+                .unwrap();
+            p.produce_block().unwrap();
+        }
+
+        let sanctioned = p.enforce_management_act(&pub_kp, 0.25, 3).unwrap();
+        assert_eq!(sanctioned.len(), 1);
+        assert_eq!(sanctioned[0].0, tabloid.address());
+        assert_eq!(sanctioned[0].1, 3);
+        p.produce_block().unwrap();
+
+        // Revocation is effective: the tabloid can no longer publish.
+        assert!(!p.newsrooms().is_authorized(rid, &tabloid.address()));
+        assert!(matches!(
+            p.publish_news(&tabloid, rid, "energy", "more spin", vec![]),
+            Err(PlatformError::NotAuthorized(_))
+        ));
+        // The honest journalist is untouched.
+        assert!(p.newsrooms().is_authorized(rid, &journo.address()));
+
+        // Only publishers may enforce.
+        assert!(matches!(
+            p.enforce_management_act(&journo, 0.25, 3),
+            Err(PlatformError::NotAuthorized(_))
+        ));
+    }
+
+    #[test]
+    fn chain_records_everything() {
+        let (p, _journo, _rid) = with_room();
+        // Every platform action above went through transactions.
+        let txs = p.store().canonical_transactions();
+        assert!(txs.len() >= 6, "expected a populated ledger, got {}", txs.len());
+    }
+}

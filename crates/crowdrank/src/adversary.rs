@@ -1,0 +1,149 @@
+//! Validator behaviour models, honest and adversarial.
+
+use rand::Rng;
+
+use tn_crypto::{Address, Hash256};
+
+use crate::aggregate::Vote;
+
+/// How a validator produces votes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Behavior {
+    /// Votes the ground truth, flipping with the given error probability.
+    Honest {
+        /// Per-vote error probability.
+        error_rate: f64,
+    },
+    /// Coin-flips every vote.
+    Random,
+    /// Always votes the opposite of the truth (a coordinated smear /
+    /// whitewash bloc when many share this behaviour).
+    Malicious,
+    /// Votes truthfully on most items to build reputation, but lies on
+    /// items from a targeted campaign set — the strategic adversary the
+    /// accountability mechanisms must catch.
+    Strategic {
+        /// Fraction of items (by hash prefix) in the campaign set.
+        campaign_fraction: f64,
+    },
+}
+
+/// A simulated validator.
+#[derive(Debug, Clone)]
+pub struct Validator {
+    /// Its platform identity.
+    pub address: Address,
+    /// Its behaviour.
+    pub behavior: Behavior,
+}
+
+impl Validator {
+    /// Produces this validator's vote on an item with known ground truth.
+    pub fn vote<R: Rng>(&self, item: &Hash256, truth: bool, rng: &mut R) -> Vote {
+        let factual = match self.behavior {
+            Behavior::Honest { error_rate } => {
+                if rng.gen_bool(error_rate.clamp(0.0, 1.0)) {
+                    !truth
+                } else {
+                    truth
+                }
+            }
+            Behavior::Random => rng.gen_bool(0.5),
+            Behavior::Malicious => !truth,
+            Behavior::Strategic { campaign_fraction } => {
+                let targeted = in_campaign(item, campaign_fraction);
+                if targeted {
+                    !truth
+                } else {
+                    truth
+                }
+            }
+        };
+        Vote { voter: self.address, item: *item, factual }
+    }
+}
+
+/// Deterministically assigns items to the strategic campaign set by hash
+/// prefix, so all strategic validators target the *same* items (a
+/// coordinated campaign).
+pub fn in_campaign(item: &Hash256, fraction: f64) -> bool {
+    let f = fraction.clamp(0.0, 1.0);
+    let prefix = item.to_u64_prefix();
+    (prefix as f64 / u64::MAX as f64) < f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tn_crypto::sha256::sha256;
+    use tn_crypto::Keypair;
+
+    fn validator(b: Behavior) -> Validator {
+        Validator { address: Keypair::from_seed(b"v").address(), behavior: b }
+    }
+
+    #[test]
+    fn honest_votes_truth_mostly() {
+        let v = validator(Behavior::Honest { error_rate: 0.1 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut correct = 0;
+        for i in 0..500u32 {
+            let item = sha256(&i.to_le_bytes());
+            let truth = i % 2 == 0;
+            if v.vote(&item, truth, &mut rng).factual == truth {
+                correct += 1;
+            }
+        }
+        assert!((420..=480).contains(&correct), "correct={correct}");
+    }
+
+    #[test]
+    fn malicious_always_inverts() {
+        let v = validator(Behavior::Malicious);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..20u32 {
+            let item = sha256(&i.to_le_bytes());
+            assert!(!v.vote(&item, true, &mut rng).factual);
+            assert!(v.vote(&item, false, &mut rng).factual);
+        }
+    }
+
+    #[test]
+    fn strategic_lies_only_on_campaign() {
+        let v = validator(Behavior::Strategic { campaign_fraction: 0.3 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lies = 0;
+        let n = 1000u32;
+        for i in 0..n {
+            let item = sha256(&i.to_le_bytes());
+            let vote = v.vote(&item, true, &mut rng);
+            let targeted = in_campaign(&item, 0.3);
+            assert_eq!(vote.factual, !targeted);
+            if targeted {
+                lies += 1;
+            }
+        }
+        // ~30 % of items targeted.
+        assert!((200..420).contains(&lies), "lies={lies}");
+    }
+
+    #[test]
+    fn campaign_membership_is_deterministic_and_shared() {
+        let item = sha256(b"contested story");
+        assert_eq!(in_campaign(&item, 0.5), in_campaign(&item, 0.5));
+        assert!(in_campaign(&item, 1.0));
+        assert!(!in_campaign(&item, 0.0));
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let v = validator(Behavior::Random);
+        let mut rng = StdRng::seed_from_u64(2);
+        let yes = (0..1000u32)
+            .filter(|i| v.vote(&sha256(&i.to_le_bytes()), true, &mut rng).factual)
+            .count();
+        assert!((400..=600).contains(&yes), "yes={yes}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # tn-crowdrank
+//!
+//! "AI blockchain based crowd sourcing fake news ranking mechanisms" —
+//! contribution (3) of the paper. Every rating is an attributable
+//! on-chain action, which enables reputation ("accountability and
+//! traceability … can prevent bias concerns that might be originated from
+//! traditional majority decided crowd sourcing mechanisms", §IV):
+//!
+//! - [`reputation`]: Beta-posterior validator reputation with decay.
+//! - [`aggregate`]: majority (baseline), reputation-weighted voting, and
+//!   EM truth discovery.
+//! - [`adversary`]: honest/random/malicious/strategic validator models.
+//! - [`sim`]: the round-based simulation with incentive economics that
+//!   powers the E2 robustness experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use tn_crowdrank::sim::{run, SimConfig, Strategy};
+//!
+//! let result = run(&SimConfig::default(), Strategy::ReputationWeighted);
+//! assert!(result.overall_accuracy > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod aggregate;
+pub mod reputation;
+pub mod sim;
+
+pub use adversary::{Behavior, Validator};
+pub use aggregate::{
+    evidence_weighted, majority, reputation_weighted, truth_discovery, Decision, Vote,
+};
+pub use reputation::{Reputation, ReputationLedger};
+pub use sim::{run, SimConfig, SimResult, Strategy};

@@ -1,0 +1,346 @@
+//! secp256k1 elliptic-curve group operations.
+//!
+//! The curve is `y² = x³ + 7` over the prime field `F_p`. Points are kept
+//! in Jacobian projective coordinates internally so that point addition and
+//! doubling avoid the (expensive) modular inversion; only conversion back
+//! to affine coordinates pays one inversion.
+
+use std::fmt;
+
+use crate::field::{self, add_mod, inv_mod, mul_mod, neg_mod, sqr_mod, sub_mod};
+use crate::u256::U256;
+
+/// An affine curve point, or the point at infinity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Affine {
+    /// The identity element of the group.
+    Infinity,
+    /// A finite point `(x, y)` with coordinates in `F_p`.
+    Point {
+        /// x coordinate.
+        x: U256,
+        /// y coordinate.
+        y: U256,
+    },
+}
+
+impl Affine {
+    /// True if the point satisfies the curve equation (or is infinity).
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Affine::Infinity => true,
+            Affine::Point { x, y } => {
+                let p = field::p();
+                let y2 = sqr_mod(y, &p);
+                let x3 = mul_mod(&sqr_mod(x, &p), x, &p);
+                let rhs = add_mod(&x3, &U256::from_u64(7), &p);
+                y2 == rhs
+            }
+        }
+    }
+
+    /// The x coordinate, or `None` for infinity.
+    pub fn x(&self) -> Option<U256> {
+        match self {
+            Affine::Infinity => None,
+            Affine::Point { x, .. } => Some(*x),
+        }
+    }
+
+    /// True if the y coordinate is even (used for compressed encoding).
+    /// Infinity reports `true`.
+    pub fn y_is_even(&self) -> bool {
+        match self {
+            Affine::Infinity => true,
+            Affine::Point { y, .. } => !y.is_odd(),
+        }
+    }
+
+    /// SEC1-style compressed encoding: `02/03 || x` (33 bytes). Infinity
+    /// encodes as 33 zero bytes.
+    pub fn to_compressed(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        if let Affine::Point { x, y } = self {
+            out[0] = if y.is_odd() { 0x03 } else { 0x02 };
+            out[1..].copy_from_slice(&x.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decodes a compressed point, recovering y from x.
+    ///
+    /// Returns `None` if the prefix is invalid, x is not on the curve, or
+    /// the encoding is not canonical.
+    pub fn from_compressed(bytes: &[u8; 33]) -> Option<Affine> {
+        if bytes == &[0u8; 33] {
+            return Some(Affine::Infinity);
+        }
+        let parity_odd = match bytes[0] {
+            0x02 => false,
+            0x03 => true,
+            _ => return None,
+        };
+        let p = field::p();
+        let mut xb = [0u8; 32];
+        xb.copy_from_slice(&bytes[1..]);
+        let x = U256::from_be_bytes(&xb);
+        if x >= p {
+            return None;
+        }
+        let x3 = mul_mod(&sqr_mod(&x, &p), &x, &p);
+        let rhs = add_mod(&x3, &U256::from_u64(7), &p);
+        let mut y = field::sqrt_mod(&rhs, &p)?;
+        if y.is_odd() != parity_odd {
+            y = neg_mod(&y, &p);
+        }
+        Some(Affine::Point { x, y })
+    }
+
+    /// The additive inverse (reflection over the x axis).
+    pub fn negate(&self) -> Affine {
+        match self {
+            Affine::Infinity => Affine::Infinity,
+            Affine::Point { x, y } => Affine::Point { x: *x, y: neg_mod(y, &field::p()) },
+        }
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Affine::Infinity => f.write_str("∞"),
+            Affine::Point { x, .. } => write!(f, "({}…, …)", &x.to_hex()[..8]),
+        }
+    }
+}
+
+/// A point in Jacobian coordinates `(X, Y, Z)` representing the affine
+/// point `(X/Z², Y/Z³)`; `Z = 0` is infinity.
+#[derive(Clone, Copy, Debug)]
+pub struct Jacobian {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+impl Jacobian {
+    /// The point at infinity.
+    pub fn infinity() -> Jacobian {
+        Jacobian { x: U256::ONE, y: U256::ONE, z: U256::ZERO }
+    }
+
+    /// True if this is the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Lifts an affine point into Jacobian coordinates.
+    pub fn from_affine(a: &Affine) -> Jacobian {
+        match a {
+            Affine::Infinity => Jacobian::infinity(),
+            Affine::Point { x, y } => Jacobian { x: *x, y: *y, z: U256::ONE },
+        }
+    }
+
+    /// Converts back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> Affine {
+        if self.is_infinity() {
+            return Affine::Infinity;
+        }
+        let p = field::p();
+        let zinv = inv_mod(&self.z, &p);
+        let zinv2 = sqr_mod(&zinv, &p);
+        let zinv3 = mul_mod(&zinv2, &zinv, &p);
+        Affine::Point {
+            x: mul_mod(&self.x, &zinv2, &p),
+            y: mul_mod(&self.y, &zinv3, &p),
+        }
+    }
+
+    /// Point doubling (formulas specialised for curve parameter `a = 0`).
+    pub fn double(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::infinity();
+        }
+        let p = field::p();
+        let y2 = sqr_mod(&self.y, &p);
+        let s = mul_mod(
+            &U256::from_u64(4),
+            &mul_mod(&self.x, &y2, &p),
+            &p,
+        );
+        let m = mul_mod(&U256::from_u64(3), &sqr_mod(&self.x, &p), &p);
+        let x3 = sub_mod(&sqr_mod(&m, &p), &add_mod(&s, &s, &p), &p);
+        let y4 = sqr_mod(&y2, &p);
+        let y3 = sub_mod(
+            &mul_mod(&m, &sub_mod(&s, &x3, &p), &p),
+            &mul_mod(&U256::from_u64(8), &y4, &p),
+            &p,
+        );
+        let z3 = mul_mod(&add_mod(&self.y, &self.y, &p), &self.z, &p);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian point addition.
+    pub fn add(&self, other: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let p = field::p();
+        let z1z1 = sqr_mod(&self.z, &p);
+        let z2z2 = sqr_mod(&other.z, &p);
+        let u1 = mul_mod(&self.x, &z2z2, &p);
+        let u2 = mul_mod(&other.x, &z1z1, &p);
+        let s1 = mul_mod(&self.y, &mul_mod(&z2z2, &other.z, &p), &p);
+        let s2 = mul_mod(&other.y, &mul_mod(&z1z1, &self.z, &p), &p);
+        if u1 == u2 {
+            return if s1 == s2 { self.double() } else { Jacobian::infinity() };
+        }
+        let h = sub_mod(&u2, &u1, &p);
+        let r = sub_mod(&s2, &s1, &p);
+        let h2 = sqr_mod(&h, &p);
+        let h3 = mul_mod(&h2, &h, &p);
+        let u1h2 = mul_mod(&u1, &h2, &p);
+        let x3 = sub_mod(
+            &sub_mod(&sqr_mod(&r, &p), &h3, &p),
+            &add_mod(&u1h2, &u1h2, &p),
+            &p,
+        );
+        let y3 = sub_mod(
+            &mul_mod(&r, &sub_mod(&u1h2, &x3, &p), &p),
+            &mul_mod(&s1, &h3, &p),
+            &p,
+        );
+        let z3 = mul_mod(&h, &mul_mod(&self.z, &other.z, &p), &p);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Scalar multiplication by double-and-add (MSB first).
+    pub fn mul_scalar(&self, k: &U256) -> Jacobian {
+        let mut acc = Jacobian::infinity();
+        let bits = k.bits();
+        for i in (0..bits).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+}
+
+/// The standard secp256k1 generator point `G`.
+pub fn generator() -> Affine {
+    Affine::Point {
+        x: U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+            .expect("valid constant"),
+        y: U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+            .expect("valid constant"),
+    }
+}
+
+/// `k·G` — scalar multiplication of the generator, returned in affine form.
+pub fn mul_generator(k: &U256) -> Affine {
+    Jacobian::from_affine(&generator()).mul_scalar(k).to_affine()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::n;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(generator().is_on_curve());
+    }
+
+    #[test]
+    fn known_double_of_generator() {
+        // 2G is a published test vector.
+        let two_g = Jacobian::from_affine(&generator()).double().to_affine();
+        assert!(two_g.is_on_curve());
+        assert_eq!(
+            two_g.x().unwrap().to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        let ng = mul_generator(&n());
+        assert_eq!(ng, Affine::Infinity);
+    }
+
+    #[test]
+    fn n_minus_one_g_is_negation_of_g() {
+        let k = n().wrapping_sub(&U256::ONE);
+        assert_eq!(mul_generator(&k), generator().negate());
+    }
+
+    #[test]
+    fn addition_matches_doubling() {
+        let g = Jacobian::from_affine(&generator());
+        assert_eq!(g.add(&g).to_affine(), g.double().to_affine());
+    }
+
+    #[test]
+    fn scalar_mul_is_additive() {
+        // (a+b)G == aG + bG for a few scalars.
+        let cases = [(1u64, 1), (2, 3), (12345, 67890), (u64::MAX, 1)];
+        for (a, b) in cases {
+            let a = U256::from_u64(a);
+            let b = U256::from_u64(b);
+            let lhs = mul_generator(&a.wrapping_add(&b));
+            let rhs = Jacobian::from_affine(&mul_generator(&a))
+                .add(&Jacobian::from_affine(&mul_generator(&b)))
+                .to_affine();
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn point_plus_negation_is_infinity() {
+        let g = generator();
+        let sum = Jacobian::from_affine(&g).add(&Jacobian::from_affine(&g.negate()));
+        assert!(sum.is_infinity());
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        for k in [1u64, 2, 3, 999, 123456789] {
+            let pt = mul_generator(&U256::from_u64(k));
+            let enc = pt.to_compressed();
+            let dec = Affine::from_compressed(&enc).expect("decodes");
+            assert_eq!(dec, pt, "k={k}");
+        }
+        // Infinity round trip.
+        let inf = Affine::Infinity.to_compressed();
+        assert_eq!(Affine::from_compressed(&inf), Some(Affine::Infinity));
+    }
+
+    #[test]
+    fn compressed_rejects_garbage() {
+        let mut b = [0u8; 33];
+        b[0] = 0x05;
+        b[1] = 1;
+        assert_eq!(Affine::from_compressed(&b), None);
+    }
+
+    #[test]
+    fn small_multiples_are_distinct_and_on_curve() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 1u64..=20 {
+            let pt = mul_generator(&U256::from_u64(k));
+            assert!(pt.is_on_curve(), "k={k}");
+            assert!(seen.insert(format!("{:?}", pt)), "duplicate point for k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_scalar_gives_infinity() {
+        assert_eq!(mul_generator(&U256::ZERO), Affine::Infinity);
+    }
+}

@@ -1,0 +1,286 @@
+//! Modular arithmetic over 256-bit prime moduli.
+//!
+//! Supplies the two moduli used by secp256k1 — the base-field prime
+//! [`p`] and the group order [`n`] — plus generic modular operations that
+//! work for any modulus with the top bit set (both of ours qualify).
+//! Reduction of 512-bit products uses iterative folding: for modulus
+//! `m = 2^256 − d`, `hi·2^256 + lo ≡ hi·d + lo (mod m)`, and because
+//! `d ≤ 2^255` the high half at least halves per fold, so the loop
+//! terminates quickly (two or three folds for our moduli, where
+//! `d < 2^130`).
+
+use crate::u256::U256;
+
+/// The secp256k1 base-field prime `p = 2^256 − 2^32 − 977`.
+pub fn p() -> U256 {
+    U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+        .expect("valid constant")
+}
+
+/// The secp256k1 group order `n`.
+pub fn n() -> U256 {
+    U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+        .expect("valid constant")
+}
+
+/// Reduces a 512-bit value `(hi·2^256 + lo)` modulo `m`.
+///
+/// # Panics
+///
+/// Debug-asserts that the modulus has its top bit set (required for the
+/// folding bound).
+pub fn reduce_wide(mut lo: U256, mut hi: U256, m: &U256) -> U256 {
+    debug_assert!(m.bit(255), "modulus must be >= 2^255 for fold reduction");
+    let d = U256::ZERO.wrapping_sub(m); // 2^256 − m
+    while !hi.is_zero() {
+        let (mlo, mhi) = hi.widening_mul(&d);
+        let (sum, carry) = lo.overflowing_add(&mlo);
+        lo = sum;
+        hi = mhi;
+        if carry {
+            // A carry out of the low half is worth +2^256 ≡ +d; fold it on
+            // the next iteration by bumping hi.
+            hi = hi.wrapping_add(&U256::ONE);
+        }
+    }
+    let mut v = lo;
+    while v >= *m {
+        v = v.wrapping_sub(m);
+    }
+    v
+}
+
+/// Reduces an arbitrary 256-bit value modulo `m` (for values that may be
+/// `>= m` but fit in 256 bits).
+pub fn reduce(v: &U256, m: &U256) -> U256 {
+    reduce_wide(*v, U256::ZERO, m)
+}
+
+/// `(a + b) mod m` for `a, b < m`.
+pub fn add_mod(a: &U256, b: &U256, m: &U256) -> U256 {
+    debug_assert!(a < m && b < m);
+    let (sum, carry) = a.overflowing_add(b);
+    if carry || sum >= *m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// `(a − b) mod m` for `a, b < m`.
+pub fn sub_mod(a: &U256, b: &U256, m: &U256) -> U256 {
+    debug_assert!(a < m && b < m);
+    let (diff, borrow) = a.overflowing_sub(b);
+    if borrow {
+        diff.wrapping_add(m)
+    } else {
+        diff
+    }
+}
+
+/// `(−a) mod m` for `a < m`.
+pub fn neg_mod(a: &U256, m: &U256) -> U256 {
+    if a.is_zero() {
+        U256::ZERO
+    } else {
+        m.wrapping_sub(a)
+    }
+}
+
+/// `(a · b) mod m` for `a, b < m`.
+pub fn mul_mod(a: &U256, b: &U256, m: &U256) -> U256 {
+    let (lo, hi) = a.widening_mul(b);
+    reduce_wide(lo, hi, m)
+}
+
+/// `(a²) mod m`.
+pub fn sqr_mod(a: &U256, m: &U256) -> U256 {
+    mul_mod(a, a, m)
+}
+
+/// `(a^e) mod m` by square-and-multiply.
+pub fn pow_mod(a: &U256, e: &U256, m: &U256) -> U256 {
+    let mut result = U256::ONE;
+    let mut base = reduce(a, m);
+    let bits = e.bits();
+    for i in 0..bits {
+        if e.bit(i) {
+            result = mul_mod(&result, &base, m);
+        }
+        base = sqr_mod(&base, m);
+    }
+    result
+}
+
+/// Modular inverse by Fermat's little theorem: `a^(m−2) mod m`.
+/// Valid only for prime `m` and nonzero `a`.
+///
+/// # Panics
+///
+/// Panics if `a ≡ 0 (mod m)` — zero has no inverse.
+pub fn inv_mod(a: &U256, m: &U256) -> U256 {
+    let a = reduce(a, m);
+    assert!(!a.is_zero(), "zero has no modular inverse");
+    let e = m.wrapping_sub(&U256::from_u64(2));
+    pow_mod(&a, &e, m)
+}
+
+/// Modular square root for primes `m ≡ 3 (mod 4)` (both secp256k1 moduli
+/// qualify): `a^((m+1)/4)`. Returns `None` if `a` is not a quadratic
+/// residue.
+pub fn sqrt_mod(a: &U256, m: &U256) -> Option<U256> {
+    let a = reduce(a, m);
+    let e = m.wrapping_add(&U256::ONE).shr(2);
+    let r = pow_mod(&a, &e, m);
+    if sqr_mod(&r, m) == a {
+        Some(r)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants_have_top_bit() {
+        assert!(p().bit(255));
+        assert!(n().bit(255));
+        assert!(n() < p());
+    }
+
+    #[test]
+    fn p_is_2_256_minus_2_32_minus_977() {
+        let expect = U256::ZERO
+            .wrapping_sub(&U256::ONE.shl(32))
+            .wrapping_sub(&U256::from_u64(977));
+        assert_eq!(p(), expect);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        let m = p();
+        let a = U256::from_u64(10);
+        let b = U256::from_u64(3);
+        assert_eq!(add_mod(&a, &b, &m), U256::from_u64(13));
+        assert_eq!(sub_mod(&b, &a, &m), m.wrapping_sub(&U256::from_u64(7)));
+        assert_eq!(mul_mod(&a, &b, &m), U256::from_u64(30));
+        assert_eq!(pow_mod(&a, &U256::from_u64(3), &m), U256::from_u64(1000));
+    }
+
+    #[test]
+    fn reduce_wide_handles_max() {
+        let m = p();
+        // (2^256-1, 2^256-1) = 2^512 - 1; just check it terminates and is < m,
+        // and agrees with mul_mod of MAX%m by itself... computed independently:
+        let v = reduce_wide(U256::MAX, U256::MAX, &m);
+        assert!(v < m);
+        // 2^512 - 1 mod p == (MAX mod p)*(2^256 mod p) + (2^256 - 1 mod p) ... instead
+        // verify via identity: (2^512 - 1) = (2^256-1)(2^256+1), so
+        // v == (MAX mod p) * ((2^256 + 1) mod p) mod p.
+        let max_mod = reduce(&U256::MAX, &m);
+        let two256_plus1 = add_mod(&reduce_wide(U256::ZERO, U256::ONE, &m), &U256::ONE, &m);
+        assert_eq!(v, mul_mod(&max_mod, &two256_plus1, &m));
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let m = p();
+        for v in [1u64, 2, 3, 977, 123456789] {
+            let a = U256::from_u64(v);
+            let inv = inv_mod(&a, &m);
+            assert_eq!(mul_mod(&a, &inv, &m), U256::ONE, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no modular inverse")]
+    fn inverse_of_zero_panics() {
+        inv_mod(&U256::ZERO, &p());
+    }
+
+    #[test]
+    fn sqrt_of_square() {
+        let m = p();
+        let a = U256::from_u64(123456);
+        let sq = sqr_mod(&a, &m);
+        let r = sqrt_mod(&sq, &m).expect("square has a root");
+        assert!(r == a || r == neg_mod(&a, &m));
+    }
+
+    #[test]
+    fn sqrt_of_non_residue_is_none() {
+        let m = p();
+        // Find a non-residue: try small values until one fails.
+        let mut found = false;
+        for v in 2u64..50 {
+            if sqrt_mod(&U256::from_u64(v), &m).is_none() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected a quadratic non-residue below 50");
+    }
+
+    fn arb_mod_p() -> impl Strategy<Value = U256> {
+        any::<[u64; 4]>().prop_map(|l| reduce(&U256::from_limbs(l), &p()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_add_sub_inverse(a in arb_mod_p(), b in arb_mod_p()) {
+            let m = p();
+            prop_assert_eq!(sub_mod(&add_mod(&a, &b, &m), &b, &m), a);
+        }
+
+        #[test]
+        fn prop_mul_commutes(a in arb_mod_p(), b in arb_mod_p()) {
+            let m = p();
+            prop_assert_eq!(mul_mod(&a, &b, &m), mul_mod(&b, &a, &m));
+        }
+
+        #[test]
+        fn prop_mul_associates(a in arb_mod_p(), b in arb_mod_p(), c in arb_mod_p()) {
+            let m = p();
+            prop_assert_eq!(
+                mul_mod(&mul_mod(&a, &b, &m), &c, &m),
+                mul_mod(&a, &mul_mod(&b, &c, &m), &m)
+            );
+        }
+
+        #[test]
+        fn prop_distributive(a in arb_mod_p(), b in arb_mod_p(), c in arb_mod_p()) {
+            let m = p();
+            prop_assert_eq!(
+                mul_mod(&a, &add_mod(&b, &c, &m), &m),
+                add_mod(&mul_mod(&a, &b, &m), &mul_mod(&a, &c, &m), &m)
+            );
+        }
+
+        #[test]
+        fn prop_inverse(a in arb_mod_p()) {
+            prop_assume!(!a.is_zero());
+            let m = p();
+            prop_assert_eq!(mul_mod(&a, &inv_mod(&a, &m), &m), U256::ONE);
+        }
+
+        #[test]
+        fn prop_neg(a in arb_mod_p()) {
+            let m = p();
+            prop_assert_eq!(add_mod(&a, &neg_mod(&a, &m), &m), U256::ZERO);
+        }
+
+        #[test]
+        fn prop_fermat_little(a in arb_mod_p()) {
+            prop_assume!(!a.is_zero());
+            let m = p();
+            // a^(p-1) == 1
+            let e = m.wrapping_sub(&U256::ONE);
+            prop_assert_eq!(pow_mod(&a, &e, &m), U256::ONE);
+        }
+    }
+}

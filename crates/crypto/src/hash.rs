@@ -1,0 +1,146 @@
+//! The 32-byte hash value type used everywhere in the platform.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hex;
+
+/// A 256-bit hash digest.
+///
+/// `Hash256` is the universal identifier currency of the platform: block
+/// ids, transaction ids, news-item content addresses, Merkle roots and
+/// account addresses are all (or contain) `Hash256` values.
+///
+/// # Example
+///
+/// ```
+/// use tn_crypto::sha256::sha256;
+/// let h = sha256(b"abc");
+/// assert_eq!(h.to_hex().len(), 64);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Hash256([u8; 32]);
+
+impl Hash256 {
+    /// The all-zero hash, used as a sentinel (e.g. the parent of the genesis
+    /// block).
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Wraps raw digest bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Hash256(bytes)
+    }
+
+    /// Borrows the digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the hash, returning the digest bytes.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Lowercase hexadecimal rendering (64 chars).
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+
+    /// Parses a 64-character hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hex::ParseHexError`] if the string is not exactly 64 hex
+    /// characters.
+    pub fn from_hex(s: &str) -> Result<Self, hex::ParseHexError> {
+        let v = hex::decode(s)?;
+        if v.len() != 32 {
+            return Err(hex::ParseHexError::BadLength { expected: 64, actual: s.len() });
+        }
+        let mut b = [0u8; 32];
+        b.copy_from_slice(&v);
+        Ok(Hash256(b))
+    }
+
+    /// True if this is the all-zero sentinel.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// A short 8-hex-char prefix, convenient for logs and debug output.
+    pub fn short(&self) -> String {
+        hex::encode(&self.0[..4])
+    }
+
+    /// Interprets the first 8 bytes as a big-endian u64 — handy for
+    /// deterministic pseudo-random decisions derived from hashes (e.g.
+    /// leader election by hash).
+    pub fn to_u64_prefix(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("slice of 8"))
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Hash256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Hash256 {
+    fn from(b: [u8; 32]) -> Self {
+        Hash256(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn hex_round_trip() {
+        let h = sha256(b"round trip");
+        let parsed = Hash256::from_hex(&h.to_hex()).expect("valid hex");
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(Hash256::from_hex("zz").is_err());
+        assert!(Hash256::from_hex(&"ab".repeat(31)).is_err());
+        assert!(Hash256::from_hex(&"ab".repeat(33)).is_err());
+    }
+
+    #[test]
+    fn zero_sentinel() {
+        assert!(Hash256::ZERO.is_zero());
+        assert!(!sha256(b"x").is_zero());
+    }
+
+    #[test]
+    fn display_is_full_hex_debug_is_short() {
+        let h = sha256(b"abc");
+        assert_eq!(format!("{h}"), h.to_hex());
+        assert!(format!("{h:?}").contains(&h.short()));
+    }
+
+    #[test]
+    fn u64_prefix_is_big_endian() {
+        let mut b = [0u8; 32];
+        b[0] = 1;
+        assert_eq!(Hash256::from_bytes(b).to_u64_prefix(), 1u64 << 56);
+    }
+}

@@ -1,0 +1,264 @@
+//! Key pairs, public keys and hash-derived account addresses.
+
+use std::fmt;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::ec::{mul_generator, Affine};
+use crate::field::{self, reduce};
+use crate::hash::Hash256;
+use crate::schnorr::{sign_digest, verify_digest, Signature};
+use crate::sha256::tagged_hash;
+use crate::u256::U256;
+
+/// A secret signing key: a scalar in `[1, n−1]`.
+#[derive(Clone)]
+pub struct SecretKey(U256);
+
+impl SecretKey {
+    /// Derives a secret key deterministically from arbitrary seed bytes by
+    /// hashing into the scalar field (rejecting the zero scalar).
+    pub fn from_seed(seed: &[u8]) -> SecretKey {
+        let n = field::n();
+        let mut counter = 0u32;
+        loop {
+            let mut data = Vec::with_capacity(seed.len() + 4);
+            data.extend_from_slice(seed);
+            data.extend_from_slice(&counter.to_be_bytes());
+            let d = reduce(&U256::from_be_bytes(tagged_hash("TN/keygen", &data).as_bytes()), &n);
+            if !d.is_zero() {
+                return SecretKey(d);
+            }
+            counter += 1;
+        }
+    }
+
+    /// Generates a fresh random secret key.
+    pub fn generate<R: RngCore>(rng: &mut R) -> SecretKey {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        SecretKey::from_seed(&seed)
+    }
+
+    /// The corresponding public key `d·G`.
+    pub fn public(&self) -> PublicKey {
+        PublicKey(mul_generator(&self.0))
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print secret material.
+        f.write_str("SecretKey(…redacted…)")
+    }
+}
+
+/// A public verification key (a curve point).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PublicKey(Affine);
+
+impl PublicKey {
+    /// Verifies a Schnorr signature over a 32-byte digest.
+    pub fn verify(&self, msg: &Hash256, sig: &Signature) -> bool {
+        verify_digest(&self.0, msg, sig)
+    }
+
+    /// SEC1 compressed encoding (33 bytes).
+    pub fn to_compressed(&self) -> [u8; 33] {
+        self.0.to_compressed()
+    }
+
+    /// Decodes a compressed public key. Rejects infinity and off-curve
+    /// encodings.
+    pub fn from_compressed(bytes: &[u8; 33]) -> Option<PublicKey> {
+        match Affine::from_compressed(bytes)? {
+            Affine::Infinity => None,
+            pt => Some(PublicKey(pt)),
+        }
+    }
+
+    /// The account address derived from this key: a tagged hash of the
+    /// compressed encoding. Addresses identify accounts on the news chain;
+    /// they are what the paper's "accountability and traceability" resolve
+    /// to.
+    pub fn address(&self) -> Address {
+        Address(tagged_hash("TN/address", &self.to_compressed()))
+    }
+}
+
+impl Serialize for PublicKey {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serde::Serialize::serialize(&self.to_compressed().to_vec(), s)
+    }
+}
+
+impl<'de> Deserialize<'de> for PublicKey {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<u8> = serde::Deserialize::deserialize(d)?;
+        let arr: [u8; 33] = v
+            .try_into()
+            .map_err(|_| serde::de::Error::custom("public key must be 33 bytes"))?;
+        PublicKey::from_compressed(&arr)
+            .ok_or_else(|| serde::de::Error::custom("invalid public key encoding"))
+    }
+}
+
+/// An account address: the tagged hash of a public key.
+///
+/// Addresses are the on-chain identities of every ecosystem participant
+/// (consumers, creators, fact checkers, publishers).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Address(Hash256);
+
+impl Address {
+    /// Sentinel address (all zero) used for system-originated transactions
+    /// such as genesis grants.
+    pub const SYSTEM: Address = Address(Hash256::ZERO);
+
+    /// Wraps a raw hash as an address (for tests and deterministic setups).
+    pub fn from_hash(h: Hash256) -> Address {
+        Address(h)
+    }
+
+    /// The underlying hash.
+    pub fn as_hash(&self) -> &Hash256 {
+        &self.0
+    }
+
+    /// Short printable prefix for logs.
+    pub fn short(&self) -> String {
+        self.0.short()
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address({}…)", self.0.short())
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.to_hex())
+    }
+}
+
+/// A secret/public key pair plus the derived address.
+///
+/// # Example
+///
+/// ```
+/// use tn_crypto::keys::Keypair;
+/// use tn_crypto::sha256::sha256;
+///
+/// let kp = Keypair::from_seed(b"alice");
+/// let sig = kp.sign(&sha256(b"post"));
+/// assert!(kp.public().verify(&sha256(b"post"), &sig));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Keypair {
+    secret: SecretKey,
+    public: PublicKey,
+    address: Address,
+}
+
+impl Keypair {
+    /// Deterministic key pair from seed bytes.
+    pub fn from_seed(seed: &[u8]) -> Keypair {
+        let secret = SecretKey::from_seed(seed);
+        let public = secret.public();
+        let address = public.address();
+        Keypair { secret, public, address }
+    }
+
+    /// Fresh random key pair.
+    pub fn generate<R: RngCore>(rng: &mut R) -> Keypair {
+        let secret = SecretKey::generate(rng);
+        let public = secret.public();
+        let address = public.address();
+        Keypair { secret, public, address }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The derived account address.
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// Signs a 32-byte digest.
+    pub fn sign(&self, msg: &Hash256) -> Signature {
+        sign_digest(&self.secret.0, &self.public.0, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let a = Keypair::from_seed(b"seed");
+        let b = Keypair::from_seed(b"seed");
+        assert_eq!(a.public(), b.public());
+        assert_eq!(a.address(), b.address());
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        assert_ne!(
+            Keypair::from_seed(b"a").address(),
+            Keypair::from_seed(b"b").address()
+        );
+    }
+
+    #[test]
+    fn generate_produces_working_keys() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let kp = Keypair::generate(&mut rng);
+        let msg = crate::sha256::sha256(b"m");
+        assert!(kp.public().verify(&msg, &kp.sign(&msg)));
+    }
+
+    #[test]
+    fn public_key_round_trip() {
+        let kp = Keypair::from_seed(b"rt");
+        let enc = kp.public().to_compressed();
+        let dec = PublicKey::from_compressed(&enc).expect("valid");
+        assert_eq!(&dec, kp.public());
+        assert_eq!(dec.address(), kp.address());
+    }
+
+    #[test]
+    fn infinity_pubkey_rejected() {
+        assert!(PublicKey::from_compressed(&[0u8; 33]).is_none());
+    }
+
+    #[test]
+    fn address_is_stable_hash_of_pubkey() {
+        let kp = Keypair::from_seed(b"stable");
+        let again = kp.public().address();
+        assert_eq!(again, kp.address());
+        assert!(!kp.address().as_hash().is_zero());
+    }
+
+    #[test]
+    fn debug_redacts_secret() {
+        let kp = Keypair::from_seed(b"secret stuff");
+        let s = format!("{:?}", kp);
+        assert!(s.contains("redacted"));
+    }
+
+    #[test]
+    fn system_address_is_zero() {
+        assert!(Address::SYSTEM.as_hash().is_zero());
+    }
+}

@@ -1,0 +1,68 @@
+//! # tn-crypto
+//!
+//! From-scratch cryptographic primitives backing the trusting-news
+//! blockchain platform.
+//!
+//! The paper ("AI Blockchain Platform for Trusting News", ICDCS 2019) relies
+//! on a permissioned blockchain substrate in which every news item and every
+//! propagation step is a signed, hash-linked transaction. This crate supplies
+//! the primitives that substrate needs without external crypto dependencies:
+//!
+//! - [`sha256`]: the SHA-256 compression function and streaming hasher,
+//!   validated against NIST test vectors.
+//! - [`u256`]: fixed-width 256-bit unsigned integer arithmetic (with 512-bit
+//!   multiplication intermediates).
+//! - [`field`]: arithmetic modulo the secp256k1 base-field and group-order
+//!   primes, using the special form of the field prime for fast reduction.
+//! - [`ec`]: secp256k1 elliptic-curve group operations in Jacobian
+//!   coordinates.
+//! - [`schnorr`]: Schnorr signatures over secp256k1 (BIP340-flavoured, but
+//!   simplified: the nonce is derived deterministically from the secret key
+//!   and message).
+//! - [`merkle`]: binary Merkle trees with inclusion proofs, used to anchor
+//!   block transaction sets.
+//! - [`history`]: RFC 6962-style append-only history trees with
+//!   consistency proofs, used by the factual database so clients can audit
+//!   that it only ever grows.
+//! - [`keys`]: key pairs and addresses (hash-of-public-key identities).
+//! - [`hex`]: hexadecimal encoding/decoding helpers.
+//!
+//! # Security note
+//!
+//! These implementations are *functionally* correct (tested against known
+//! vectors and algebraic properties) but are **not** hardened: no
+//! constant-time guarantees, no side-channel resistance. They exist so the
+//! reproduction is self-contained; a production deployment would swap in
+//! audited crates behind the same interfaces.
+//!
+//! # Example
+//!
+//! ```
+//! use tn_crypto::keys::Keypair;
+//! use tn_crypto::sha256::sha256;
+//!
+//! let kp = Keypair::from_seed(b"example seed");
+//! let msg = sha256(b"breaking news: reproducible systems research");
+//! let sig = kp.sign(&msg);
+//! assert!(kp.public().verify(&msg, &sig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ec;
+pub mod field;
+pub mod hash;
+pub mod history;
+pub mod hex;
+pub mod keys;
+pub mod merkle;
+pub mod schnorr;
+pub mod sha256;
+pub mod u256;
+
+pub use hash::Hash256;
+pub use history::{ConsistencyProof, HistoryTree, InclusionProof};
+pub use keys::{Address, Keypair, PublicKey, SecretKey};
+pub use merkle::{MerkleProof, MerkleTree};
+pub use schnorr::Signature;

@@ -1,0 +1,211 @@
+//! Schnorr signatures over secp256k1.
+//!
+//! Simplified BIP340-flavoured scheme:
+//!
+//! - nonce `k` is derived deterministically from the secret key and message
+//!   via a tagged hash (no RNG needed at signing time, no nonce-reuse risk);
+//! - challenge `e = H_tag("TN/challenge", R.x ‖ parity ‖ P ‖ m) mod n`;
+//! - signature is `(R.x, parity(R.y), s)` with `s = k + e·d mod n`;
+//! - verification recomputes `R' = s·G − e·P` and checks coordinates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ec::{generator, mul_generator, Affine, Jacobian};
+use crate::field::{self, add_mod, mul_mod, reduce};
+use crate::hash::Hash256;
+use crate::sha256::tagged_hash;
+use crate::u256::U256;
+
+/// A Schnorr signature: the nonce commitment (x coordinate + y parity) and
+/// the response scalar.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Signature {
+    /// x coordinate of the nonce point `R`, big-endian.
+    pub r_x: [u8; 32],
+    /// True when `R.y` is odd.
+    pub r_parity_odd: bool,
+    /// Response scalar `s`, big-endian.
+    pub s: [u8; 32],
+}
+
+impl Signature {
+    /// Serializes to 65 bytes: `r_x ‖ parity ‖ s`.
+    pub fn to_bytes(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[..32].copy_from_slice(&self.r_x);
+        out[32] = self.r_parity_odd as u8;
+        out[33..].copy_from_slice(&self.s);
+        out
+    }
+
+    /// Parses the 65-byte encoding. Returns `None` if the parity byte is
+    /// not 0 or 1.
+    pub fn from_bytes(bytes: &[u8; 65]) -> Option<Signature> {
+        if bytes[32] > 1 {
+            return None;
+        }
+        let mut r_x = [0u8; 32];
+        let mut s = [0u8; 32];
+        r_x.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[33..]);
+        Some(Signature { r_x, r_parity_odd: bytes[32] == 1, s })
+    }
+}
+
+fn challenge(r: &Affine, pubkey: &Affine, msg: &Hash256) -> U256 {
+    let mut data = Vec::with_capacity(32 + 1 + 33 + 32);
+    data.extend_from_slice(&r.x().expect("R is finite").to_be_bytes());
+    data.push(!r.y_is_even() as u8);
+    data.extend_from_slice(&pubkey.to_compressed());
+    data.extend_from_slice(msg.as_bytes());
+    let h = tagged_hash("TN/challenge", &data);
+    reduce(&U256::from_be_bytes(h.as_bytes()), &field::n())
+}
+
+/// Signs a 32-byte message digest with secret scalar `d`.
+///
+/// `d` must be in `[1, n−1]` and `pubkey` must equal `d·G` (the
+/// [`crate::keys::Keypair`] wrapper guarantees both).
+pub(crate) fn sign_digest(d: &U256, pubkey: &Affine, msg: &Hash256) -> Signature {
+    let n = field::n();
+    // Deterministic nonce: H(tag, d || msg || counter), retrying on the
+    // (astronomically unlikely) zero or R-at-infinity cases.
+    let mut counter = 0u32;
+    loop {
+        let mut seed = Vec::with_capacity(32 + 32 + 4);
+        seed.extend_from_slice(&d.to_be_bytes());
+        seed.extend_from_slice(msg.as_bytes());
+        seed.extend_from_slice(&counter.to_be_bytes());
+        let k = reduce(&U256::from_be_bytes(tagged_hash("TN/nonce", &seed).as_bytes()), &n);
+        counter += 1;
+        if k.is_zero() {
+            continue;
+        }
+        let r = mul_generator(&k);
+        let (r_x, parity_odd) = match r {
+            Affine::Infinity => continue,
+            Affine::Point { x, y } => (x, y.is_odd()),
+        };
+        let e = challenge(&r, pubkey, msg);
+        let s = add_mod(&k, &mul_mod(&e, d, &n), &n);
+        return Signature {
+            r_x: r_x.to_be_bytes(),
+            r_parity_odd: parity_odd,
+            s: s.to_be_bytes(),
+        };
+    }
+}
+
+/// Verifies `sig` over `msg` against `pubkey`.
+pub(crate) fn verify_digest(pubkey: &Affine, msg: &Hash256, sig: &Signature) -> bool {
+    let n = field::n();
+    let p = field::p();
+    let s = U256::from_be_bytes(&sig.s);
+    let r_x = U256::from_be_bytes(&sig.r_x);
+    if s >= n || r_x >= p {
+        return false;
+    }
+    if matches!(pubkey, Affine::Infinity) {
+        return false;
+    }
+    // Reconstruct R from its x coordinate and parity, recompute the
+    // challenge, then check s·G == R + e·P.
+    let mut compressed = [0u8; 33];
+    compressed[0] = if sig.r_parity_odd { 0x03 } else { 0x02 };
+    compressed[1..].copy_from_slice(&sig.r_x);
+    let r = match Affine::from_compressed(&compressed) {
+        Some(pt @ Affine::Point { .. }) => pt,
+        _ => return false,
+    };
+    let e = challenge(&r, pubkey, msg);
+    let lhs = Jacobian::from_affine(&generator()).mul_scalar(&s);
+    let rhs = Jacobian::from_affine(&r).add(&Jacobian::from_affine(pubkey).mul_scalar(&e));
+    lhs.to_affine() == rhs.to_affine()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keypair;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = Keypair::from_seed(b"signer one");
+        let msg = sha256(b"the facts of the matter");
+        let sig = kp.sign(&msg);
+        assert!(kp.public().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = Keypair::from_seed(b"determinism");
+        let msg = sha256(b"same message");
+        assert_eq!(kp.sign(&msg), kp.sign(&msg));
+    }
+
+    #[test]
+    fn different_messages_different_sigs() {
+        let kp = Keypair::from_seed(b"k");
+        assert_ne!(kp.sign(&sha256(b"a")), kp.sign(&sha256(b"b")));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = Keypair::from_seed(b"k");
+        let sig = kp.sign(&sha256(b"original"));
+        assert!(!kp.public().verify(&sha256(b"tampered"), &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = Keypair::from_seed(b"k1");
+        let kp2 = Keypair::from_seed(b"k2");
+        let msg = sha256(b"msg");
+        let sig = kp1.sign(&msg);
+        assert!(!kp2.public().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn corrupted_signature_fields_rejected() {
+        let kp = Keypair::from_seed(b"k");
+        let msg = sha256(b"msg");
+        let good = kp.sign(&msg);
+
+        let mut bad = good;
+        bad.s[31] ^= 1;
+        assert!(!kp.public().verify(&msg, &bad));
+
+        let mut bad = good;
+        bad.r_x[0] ^= 1;
+        assert!(!kp.public().verify(&msg, &bad));
+
+        let mut bad = good;
+        bad.r_parity_odd = !bad.r_parity_odd;
+        assert!(!kp.public().verify(&msg, &bad));
+    }
+
+    #[test]
+    fn signature_bytes_round_trip() {
+        let kp = Keypair::from_seed(b"k");
+        let sig = kp.sign(&sha256(b"m"));
+        let parsed = Signature::from_bytes(&sig.to_bytes()).expect("valid");
+        assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_parity() {
+        let mut raw = [0u8; 65];
+        raw[32] = 2;
+        assert!(Signature::from_bytes(&raw).is_none());
+    }
+
+    #[test]
+    fn out_of_range_s_rejected() {
+        let kp = Keypair::from_seed(b"k");
+        let msg = sha256(b"m");
+        let mut sig = kp.sign(&msg);
+        sig.s = [0xffu8; 32]; // >= n
+        assert!(!kp.public().verify(&msg, &sig));
+    }
+}

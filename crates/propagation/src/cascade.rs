@@ -1,0 +1,389 @@
+//! News-spreading dynamics: independent cascade with per-node account
+//! types and intervention hooks.
+//!
+//! The model follows the paper's citations: "the spread of fake news is
+//! driven substantially by bots and cyborgs" [36] — bots reshare far more
+//! aggressively than humans — and Facebook's flagging intervention cuts a
+//! flagged story's reshare odds by ~80 % [26, 27].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::SocialGraph;
+
+/// Account type of a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccountKind {
+    /// An ordinary person.
+    Human,
+    /// An automated amplifier.
+    Bot,
+    /// A human account partially driven by automation [36].
+    Cyborg,
+}
+
+impl AccountKind {
+    /// Multiplier applied to the base transmission probability when this
+    /// account reshares.
+    pub fn amplification(self) -> f64 {
+        match self {
+            AccountKind::Human => 1.0,
+            AccountKind::Bot => 3.0,
+            AccountKind::Cyborg => 2.0,
+        }
+    }
+}
+
+/// Assigns account kinds: the first `bot_fraction` + `cyborg_fraction` of
+/// a seeded shuffle become bots/cyborgs.
+pub fn assign_accounts(
+    n: usize,
+    bot_fraction: f64,
+    cyborg_fraction: f64,
+    seed: u64,
+) -> Vec<AccountKind> {
+    use rand::seq::SliceRandom;
+    let mut kinds = vec![AccountKind::Human; n];
+    let n_bots = ((n as f64) * bot_fraction.clamp(0.0, 1.0)).round() as usize;
+    let n_cyborgs = ((n as f64) * cyborg_fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    for &i in idx.iter().take(n_bots) {
+        kinds[i] = AccountKind::Bot;
+    }
+    for &i in idx.iter().skip(n_bots).take(n_cyborgs) {
+        kinds[i] = AccountKind::Cyborg;
+    }
+    kinds
+}
+
+/// Cascade parameters for one story.
+#[derive(Debug, Clone)]
+pub struct CascadeConfig {
+    /// Base per-edge transmission probability for a human sharer.
+    pub base_prob: f64,
+    /// Multiplier applied when the story is flagged by the platform
+    /// (Facebook's cited number: flagged content respreads at 20 %).
+    pub share_multiplier: f64,
+    /// Maximum rounds to simulate.
+    pub max_rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig { base_prob: 0.08, share_multiplier: 1.0, max_rounds: 60, seed: 1 }
+    }
+}
+
+/// Result of one cascade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeResult {
+    /// Cumulative number of reached (activated) nodes after each round;
+    /// index 0 is the seed set size.
+    pub reach_over_time: Vec<usize>,
+    /// Final reach.
+    pub total_reach: usize,
+    /// Round at which half of the final reach was achieved.
+    pub half_reach_round: usize,
+}
+
+/// Runs an independent cascade from `seeds` over `graph`.
+///
+/// Each newly activated node gets one chance to activate each neighbor
+/// with probability `base_prob × sharer-amplification ×
+/// share_multiplier`, clamped to `[0, 1]`. `blocked` nodes never activate
+/// or share (the source-blocking intervention).
+pub fn independent_cascade(
+    graph: &SocialGraph,
+    accounts: &[AccountKind],
+    seeds: &[usize],
+    blocked: &[bool],
+    config: &CascadeConfig,
+) -> CascadeResult {
+    independent_cascade_with_receptivity(graph, accounts, seeds, blocked, &[], config)
+}
+
+/// [`independent_cascade`] with per-node *receptivity*: the probability
+/// that node `nb` adopts is further multiplied by `receptivity[nb]`.
+///
+/// Receptivity models the paper's §VII observation that "people are
+/// asymmetrical updaters" — some accounts are gullible (≥ 1), some
+/// skeptical (< 1). An empty slice means uniform receptivity 1.0.
+/// Personalized interventions (E12) work by *changing* specific nodes'
+/// receptivity rather than throttling the story globally.
+pub fn independent_cascade_with_receptivity(
+    graph: &SocialGraph,
+    accounts: &[AccountKind],
+    seeds: &[usize],
+    blocked: &[bool],
+    receptivity: &[f64],
+    config: &CascadeConfig,
+) -> CascadeResult {
+    assert_eq!(graph.len(), accounts.len(), "accounts must cover the graph");
+    assert!(blocked.is_empty() || blocked.len() == graph.len(), "blocked mask size");
+    assert!(
+        receptivity.is_empty() || receptivity.len() == graph.len(),
+        "receptivity mask size"
+    );
+    let is_blocked = |v: usize| !blocked.is_empty() && blocked[v];
+    let recept = |v: usize| if receptivity.is_empty() { 1.0 } else { receptivity[v] };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut active = vec![false; graph.len()];
+    let mut frontier: Vec<usize> = Vec::new();
+    for &s in seeds {
+        if s < graph.len() && !is_blocked(s) && !active[s] {
+            active[s] = true;
+            frontier.push(s);
+        }
+    }
+    let mut reach_over_time = vec![frontier.len()];
+    let mut total = frontier.len();
+
+    for _ in 0..config.max_rounds {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for &v in &frontier {
+            let share = (config.base_prob
+                * accounts[v].amplification()
+                * config.share_multiplier)
+                .clamp(0.0, 1.0);
+            for &nb in graph.neighbors(v) {
+                let p = (share * recept(nb)).clamp(0.0, 1.0);
+                if !active[nb] && !is_blocked(nb) && p > 0.0 && rng.gen_bool(p) {
+                    active[nb] = true;
+                    next.push(nb);
+                }
+            }
+        }
+        total += next.len();
+        reach_over_time.push(total);
+        frontier = next;
+    }
+
+    let half = total.div_ceil(2);
+    let half_reach_round = reach_over_time
+        .iter()
+        .position(|&r| r >= half)
+        .unwrap_or(reach_over_time.len().saturating_sub(1));
+    CascadeResult { reach_over_time, total_reach: total, half_reach_round }
+}
+
+/// SIR epidemic spreading: susceptible → infected → recovered, as an
+/// alternative dynamics model (stories "die out" as sharers lose
+/// interest).
+#[derive(Debug, Clone)]
+pub struct SirConfig {
+    /// Per-contact infection probability.
+    pub beta: f64,
+    /// Per-round recovery probability.
+    pub gamma: f64,
+    /// Maximum rounds.
+    pub max_rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SirConfig {
+    fn default() -> Self {
+        SirConfig { beta: 0.1, gamma: 0.3, max_rounds: 200, seed: 1 }
+    }
+}
+
+/// Runs SIR from `seeds`, returning cumulative ever-infected counts per
+/// round.
+pub fn sir(graph: &SocialGraph, seeds: &[usize], config: &SirConfig) -> CascadeResult {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        S,
+        I,
+        R,
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut state = vec![St::S; graph.len()];
+    let mut ever = 0usize;
+    for &s in seeds {
+        if s < graph.len() && state[s] == St::S {
+            state[s] = St::I;
+            ever += 1;
+        }
+    }
+    let mut series = vec![ever];
+    for _ in 0..config.max_rounds {
+        let infected: Vec<usize> =
+            (0..graph.len()).filter(|&v| state[v] == St::I).collect();
+        if infected.is_empty() {
+            break;
+        }
+        let mut newly = Vec::new();
+        for &v in &infected {
+            for &nb in graph.neighbors(v) {
+                if state[nb] == St::S && rng.gen_bool(config.beta.clamp(0.0, 1.0)) {
+                    newly.push(nb);
+                }
+            }
+        }
+        for v in newly {
+            if state[v] == St::S {
+                state[v] = St::I;
+                ever += 1;
+            }
+        }
+        for &v in &infected {
+            if rng.gen_bool(config.gamma.clamp(0.0, 1.0)) {
+                state[v] = St::R;
+            }
+        }
+        series.push(ever);
+    }
+    let half = ever.div_ceil(2);
+    let half_reach_round =
+        series.iter().position(|&r| r >= half).unwrap_or(series.len().saturating_sub(1));
+    CascadeResult { reach_over_time: series, total_reach: ever, half_reach_round }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::barabasi_albert;
+
+    fn setup() -> (SocialGraph, Vec<AccountKind>) {
+        let g = barabasi_albert(800, 3, 11);
+        let accounts = assign_accounts(800, 0.0, 0.0, 11);
+        (g, accounts)
+    }
+
+    #[test]
+    fn cascade_reaches_beyond_seeds() {
+        let (g, accounts) = setup();
+        let r = independent_cascade(&g, &accounts, &[0, 1], &[], &CascadeConfig::default());
+        assert!(r.total_reach > 2, "reach {}", r.total_reach);
+        assert_eq!(*r.reach_over_time.last().unwrap(), r.total_reach);
+        // Monotone non-decreasing series.
+        assert!(r.reach_over_time.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn zero_probability_stops_at_seeds() {
+        let (g, accounts) = setup();
+        let cfg = CascadeConfig { base_prob: 0.0, ..CascadeConfig::default() };
+        let r = independent_cascade(&g, &accounts, &[5], &[], &cfg);
+        assert_eq!(r.total_reach, 1);
+    }
+
+    #[test]
+    fn bots_amplify_reach() {
+        let g = barabasi_albert(800, 3, 11);
+        let humans = assign_accounts(800, 0.0, 0.0, 11);
+        let bots = assign_accounts(800, 0.25, 0.1, 11);
+        let cfg = CascadeConfig { base_prob: 0.05, ..CascadeConfig::default() };
+        let seeds: Vec<usize> = (0..5).collect();
+        let no_bots = independent_cascade(&g, &humans, &seeds, &[], &cfg);
+        let with_bots = independent_cascade(&g, &bots, &seeds, &[], &cfg);
+        assert!(
+            with_bots.total_reach as f64 > 1.3 * no_bots.total_reach as f64,
+            "bots {} vs humans {}",
+            with_bots.total_reach,
+            no_bots.total_reach
+        );
+    }
+
+    #[test]
+    fn flagging_multiplier_shrinks_reach() {
+        let (g, accounts) = setup();
+        let seeds: Vec<usize> = (0..5).collect();
+        let normal = independent_cascade(&g, &accounts, &seeds, &[], &CascadeConfig::default());
+        let flagged = independent_cascade(
+            &g,
+            &accounts,
+            &seeds,
+            &[],
+            &CascadeConfig { share_multiplier: 0.2, ..CascadeConfig::default() },
+        );
+        assert!(
+            (flagged.total_reach as f64) < 0.6 * normal.total_reach as f64,
+            "flagged {} vs normal {}",
+            flagged.total_reach,
+            normal.total_reach
+        );
+    }
+
+    #[test]
+    fn blocking_seeds_kills_cascade() {
+        let (g, accounts) = setup();
+        let mut blocked = vec![false; g.len()];
+        blocked[0] = true;
+        blocked[1] = true;
+        let r = independent_cascade(&g, &accounts, &[0, 1], &blocked, &CascadeConfig::default());
+        assert_eq!(r.total_reach, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, accounts) = setup();
+        let a = independent_cascade(&g, &accounts, &[0], &[], &CascadeConfig::default());
+        let b = independent_cascade(&g, &accounts, &[0], &[], &CascadeConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn account_assignment_fractions() {
+        let kinds = assign_accounts(1000, 0.1, 0.05, 3);
+        let bots = kinds.iter().filter(|k| **k == AccountKind::Bot).count();
+        let cyborgs = kinds.iter().filter(|k| **k == AccountKind::Cyborg).count();
+        assert_eq!(bots, 100);
+        assert_eq!(cyborgs, 50);
+    }
+
+    #[test]
+    fn sir_spreads_and_dies_out() {
+        let (g, _) = setup();
+        let r = sir(&g, &[0, 1, 2], &SirConfig::default());
+        assert!(r.total_reach > 3);
+        assert!(r.reach_over_time.len() <= 201);
+        // With beta = 0.0 nothing spreads and the epidemic dies as soon as
+        // the seed recovers.
+        let fast = sir(&g, &[0], &SirConfig { beta: 0.0, gamma: 1.0, ..SirConfig::default() });
+        assert_eq!(fast.total_reach, 1);
+        assert!(fast.reach_over_time.len() <= 3);
+    }
+
+    #[test]
+    fn receptivity_scales_adoption() {
+        let (g, accounts) = setup();
+        let seeds: Vec<usize> = (0..5).collect();
+        let uniform = independent_cascade(&g, &accounts, &seeds, &[], &CascadeConfig::default());
+        // Everyone half as receptive → smaller reach.
+        let half = vec![0.5; g.len()];
+        let damped = independent_cascade_with_receptivity(
+            &g, &accounts, &seeds, &[], &half, &CascadeConfig::default(),
+        );
+        assert!(damped.total_reach < uniform.total_reach);
+        // Zero receptivity stops everything beyond the seeds.
+        let zero = vec![0.0; g.len()];
+        let dead = independent_cascade_with_receptivity(
+            &g, &accounts, &seeds, &[], &zero, &CascadeConfig::default(),
+        );
+        assert_eq!(dead.total_reach, seeds.len());
+        // Empty mask equals uniform 1.0.
+        let ones = vec![1.0; g.len()];
+        let explicit = independent_cascade_with_receptivity(
+            &g, &accounts, &seeds, &[], &ones, &CascadeConfig::default(),
+        );
+        assert_eq!(explicit, uniform);
+    }
+
+    #[test]
+    fn half_reach_round_sane() {
+        let (g, accounts) = setup();
+        let r = independent_cascade(&g, &accounts, &[0, 1], &[], &CascadeConfig::default());
+        assert!(r.half_reach_round < r.reach_over_time.len());
+        let at_half = r.reach_over_time[r.half_reach_round];
+        assert!(at_half * 2 >= r.total_reach);
+    }
+}

@@ -1,0 +1,39 @@
+//! # tn-propagation
+//!
+//! News propagation over social networks: the dynamics the platform is
+//! built to change. The paper's abstract promises that "factual-sourced
+//! reporting can outpace the spread of fake news on social media"; this
+//! crate supplies the network models, spreading dynamics, bot/cyborg
+//! account models (per its citations) and intervention policies, and the
+//! E5 race harness that tests the promise.
+//!
+//! - [`network`]: Barabási–Albert, Watts–Strogatz and Erdős–Rényi graph
+//!   generators.
+//! - [`cascade`]: independent-cascade and SIR spreading with account-type
+//!   amplification, flagging multipliers and source blocking.
+//! - [`race`]: the fake-vs-factual race under platform interventions.
+//!
+//! # Example
+//!
+//! ```
+//! use tn_propagation::network::barabasi_albert;
+//! use tn_propagation::race::{run_race, Intervention, RaceConfig};
+//!
+//! let g = barabasi_albert(500, 3, 7);
+//! let result = run_race(&g, &RaceConfig::default(), Intervention::None);
+//! assert!(result.fake.total_reach > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod network;
+pub mod race;
+
+pub use cascade::{
+    assign_accounts, independent_cascade, independent_cascade_with_receptivity, sir,
+    AccountKind, CascadeConfig, CascadeResult, SirConfig,
+};
+pub use network::{barabasi_albert, erdos_renyi, watts_strogatz, SocialGraph};
+pub use race::{run_race, Intervention, RaceConfig, RaceResult};

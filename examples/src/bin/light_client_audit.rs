@@ -1,0 +1,118 @@
+//! A reader who runs NO node audits the platform: verifies the header
+//! chain, proves a news event is on-chain, proves a cited fact is in the
+//! factual database, and audits that the database only ever grew between
+//! anchors (append-only consistency, RFC 6962 style).
+//!
+//! Run with: `cargo run -p tn-examples --bin light_client_audit --release`
+
+use tn_chain::transaction::Payload;
+use tn_core::client::LightClient;
+use tn_core::platform::{Platform, PlatformConfig};
+use tn_core::roles::Role;
+use tn_crypto::Keypair;
+use tn_factdb::record::{FactRecord, SourceKind};
+use tn_supplychain::index::NewsEvent;
+use tn_supplychain::ops::PropagationOp;
+
+fn main() {
+    // ---- full node side: a populated platform -----------------------------
+    let mut platform = Platform::new(PlatformConfig::default());
+    let publisher = Keypair::from_seed(b"lca publisher");
+    let journalist = Keypair::from_seed(b"lca journalist");
+    let checkers: Vec<Keypair> =
+        (0..2).map(|i| Keypair::from_seed(format!("lca checker {i}").as_bytes())).collect();
+    platform.register_identity(&publisher, "LCA Press", &[Role::Publisher]);
+    platform.register_identity(&journalist, "LCA Journalist", &[Role::ContentCreator]);
+    for c in &checkers {
+        platform.register_identity(c, "LCA Checker", &[Role::FactChecker]);
+    }
+    platform.produce_block().expect("identities");
+    platform.create_publisher_platform(&publisher, "LCA Press").expect("press");
+    platform.produce_block().expect("block");
+    let pid = platform.newsrooms().find_platform("LCA Press").expect("registered");
+    platform.create_news_room(&publisher, pid, "energy").expect("room");
+    platform.produce_block().expect("block");
+    let room = platform.newsrooms().rooms().next().expect("room").0;
+    platform.authorize_journalist(&publisher, room, &journalist.address()).expect("authz");
+    platform.produce_block().expect("block");
+
+    let old_size = platform.factdb().len();
+    let record = FactRecord {
+        source: SourceKind::VerifiedNews,
+        speaker: "Grid Operator".into(),
+        topic: "energy".into(),
+        content: "The operator published verified outage statistics for June.".into(),
+        recorded_at: 777,
+    };
+    let record_id = platform.propose_fact(record.clone());
+    for c in &checkers {
+        platform.attest_fact(c, &record_id).expect("attest");
+    }
+    platform.produce_block().expect("attest block");
+    platform.produce_block().expect("anchor block");
+    platform
+        .publish_news(&journalist, room, "energy", &record.content,
+                      vec![(record_id, PropagationOp::Cite)])
+        .expect("publish");
+    platform.produce_block().expect("publish block");
+    println!(
+        "full node: {} blocks, factdb {} records, anchored root {}",
+        platform.height(),
+        platform.factdb().len(),
+        platform.anchored_fact_root().expect("anchored").short()
+    );
+
+    // ---- light client side ------------------------------------------------
+    let mut client = LightClient::new();
+    let mut chain = platform.store().canonical_chain();
+    chain.reverse(); // oldest first
+    let mut news_verified = 0;
+    for block_id in chain {
+        let block = platform.store().block(&block_id).expect("canonical").clone();
+        client.submit_block_header(&block).expect("header verifies");
+        for (i, tx) in block.transactions.iter().enumerate() {
+            let proof = block.prove_tx(i).expect("in range");
+            if NewsEvent::from_payload(&tx.payload).is_some() {
+                let event = client.verify_news_event(&block_id, tx, &proof).expect("verifies");
+                println!(
+                    "verified on-chain news event in block {}: {:?}… by {}",
+                    block_id.short(),
+                    &event.content[..40.min(event.content.len())],
+                    tx.from.short()
+                );
+                news_verified += 1;
+            }
+            if matches!(&tx.payload, Payload::AnchorRoot { namespace, .. } if namespace == "factdb")
+            {
+                client.observe_anchor(&block_id, tx, &proof).expect("anchor verifies");
+            }
+        }
+    }
+    println!(
+        "light client: {} headers, {} news events verified, {} anchors observed",
+        client.len(),
+        news_verified,
+        client.anchor_trail().len()
+    );
+
+    // Prove the cited record against the anchored root.
+    let (proof, _) = platform.factdb().prove(&record_id).expect("provable");
+    client.verify_fact(&record, &proof).expect("fact verifies against anchor");
+    println!("fact record {} verified against the on-chain anchor", record_id.short());
+
+    // Append-only audit between the two anchors.
+    let consistency = platform.factdb().prove_consistency(old_size).expect("provable");
+    client.verify_anchor_consistency(&consistency).expect("append-only audit passes");
+    println!(
+        "append-only audit passed: anchor {} extends anchor {} ({} proof hashes)",
+        client.anchor_trail().last().expect("trail").short(),
+        client.anchor_trail()[client.anchor_trail().len() - 2].short(),
+        consistency.hashes.len()
+    );
+
+    // And tampering is caught.
+    let mut tampered = record.clone();
+    tampered.content.push_str(" [stealth edit]");
+    assert!(client.verify_fact(&tampered, &proof).is_err());
+    println!("tampered record correctly rejected");
+}

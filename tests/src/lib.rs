@@ -1,0 +1,3 @@
+//! Integration-test crate: the tests live in `tests/tests/` and exercise
+//! flows that span multiple workspace crates (platform pipeline, consensus
+//! over real transactions, adversarial scenarios).

@@ -1,0 +1,199 @@
+//! Full-pipeline integration: publish → detect → rate → rank → anchor →
+//! prove, across tn-core, tn-factdb, tn-supplychain, tn-aidetect,
+//! tn-chain and tn-crypto.
+
+use tn_core::platform::{Platform, PlatformConfig};
+use tn_core::roles::Role;
+use tn_crypto::Keypair;
+use tn_factdb::db::FactualDatabase;
+use tn_factdb::record::{FactRecord, SourceKind};
+use tn_supplychain::ops::PropagationOp;
+
+struct World {
+    platform: Platform,
+    publisher: Keypair,
+    journalist: Keypair,
+    rogue: Keypair,
+    checkers: Vec<Keypair>,
+    readers: Vec<Keypair>,
+    room: u64,
+}
+
+fn build_world() -> World {
+    let mut platform = Platform::new(PlatformConfig::default());
+    let publisher = Keypair::from_seed(b"it publisher");
+    let journalist = Keypair::from_seed(b"it journalist");
+    let rogue = Keypair::from_seed(b"it rogue");
+    let checkers: Vec<Keypair> =
+        (0..2).map(|i| Keypair::from_seed(format!("it checker {i}").as_bytes())).collect();
+    let readers: Vec<Keypair> =
+        (0..6).map(|i| Keypair::from_seed(format!("it reader {i}").as_bytes())).collect();
+
+    platform.register_identity(&publisher, "IT Press", &[Role::Publisher]);
+    platform.register_identity(&journalist, "IT Journalist", &[Role::ContentCreator]);
+    platform.register_identity(&rogue, "IT Rogue", &[Role::ContentCreator]);
+    for c in &checkers {
+        platform.register_identity(c, "IT Checker", &[Role::FactChecker]);
+    }
+    for r in &readers {
+        platform.register_identity(r, "IT Reader", &[Role::Consumer]);
+    }
+    platform.produce_block().expect("identities");
+
+    platform.create_publisher_platform(&publisher, "IT Press").expect("platform");
+    platform.produce_block().expect("platform block");
+    let pid = platform.newsrooms().find_platform("IT Press").expect("registered");
+    platform.create_news_room(&publisher, pid, "energy").expect("room");
+    platform.produce_block().expect("room block");
+    let room = platform.newsrooms().rooms().next().expect("room").0;
+    for j in [&journalist, &rogue] {
+        platform.authorize_journalist(&publisher, room, &j.address()).expect("authz");
+    }
+    platform.produce_block().expect("authz block");
+
+    World { platform, publisher, journalist, rogue, checkers, readers, room }
+}
+
+#[test]
+fn pipeline_publish_rate_rank_anchor_prove() {
+    let mut w = build_world();
+    let p = &mut w.platform;
+
+    // Train the AI detector (the AI-developer role's artifact).
+    let corpus = tn_aidetect::corpus::generate_news_corpus(
+        &tn_aidetect::corpus::NewsCorpusConfig::default(),
+    );
+    p.train_detector(&corpus);
+
+    // Journalist cites a factual record; rogue distorts the same record.
+    let fact = p.factdb().iter().next().expect("seeded").clone();
+    let sourced = p
+        .publish_news(&w.journalist, w.room, &fact.topic, &fact.content,
+                      vec![(fact.id(), PropagationOp::Cite)])
+        .expect("publish sourced");
+    let distorted_text = format!(
+        "{} Insiders warn this is a shocking corrupt cover-up. \
+         Share this before it gets deleted by the censors.",
+        fact.content
+    );
+    let distorted = p
+        .publish_news(&w.rogue, w.room, &fact.topic, &distorted_text,
+                      vec![(fact.id(), PropagationOp::Insert)])
+        .expect("publish distorted");
+    p.produce_block().expect("publish block");
+
+    // Readers rate: sourced up, distorted down.
+    for r in &w.readers {
+        p.submit_rating(r, &sourced, 90).expect("rating");
+        p.submit_rating(r, &distorted, 10).expect("rating");
+    }
+    p.produce_block().expect("rating block");
+
+    // All three signals separate the items.
+    let rs = p.rank_item(&sourced).expect("rank");
+    let rd = p.rank_item(&distorted).expect("rank");
+    assert!(rs.trace > rd.trace, "provenance separates");
+    assert!(rs.ai > rd.ai, "AI separates");
+    assert!(rs.crowd > rd.crowd, "crowd separates");
+    assert!(rs.rank > rd.rank + 30.0, "combined rank separates strongly: {} vs {}", rs.rank, rd.rank);
+
+    // Accountability: the rogue is identified as the distortion culprit.
+    let culprit = p.distortion_culprit_of(&distorted).expect("query").expect("found");
+    assert_eq!(culprit.0, w.rogue.address());
+
+    // The factual DB root is anchored on-chain and records are provable
+    // against it by any client.
+    let anchored = p.anchored_fact_root().expect("anchored");
+    assert_eq!(anchored, p.factdb().root());
+    let (proof, root) = p.factdb().prove(&fact.id()).expect("prove");
+    assert_eq!(root, anchored);
+    assert!(FactualDatabase::verify(&fact, &proof, &anchored));
+}
+
+#[test]
+fn attested_fact_becomes_citable_root() {
+    let mut w = build_world();
+    let p = &mut w.platform;
+
+    let record = FactRecord {
+        source: SourceKind::VerifiedNews,
+        speaker: "IT Recorder".into(),
+        topic: "energy".into(),
+        content: "The grid operator published verified outage statistics for June.".into(),
+        recorded_at: 900,
+    };
+    let id = p.propose_fact(record.clone());
+    for c in &w.checkers {
+        p.attest_fact(c, &id).expect("attest");
+    }
+    let summary = p.produce_block().expect("attest block");
+    assert_eq!(summary.admitted_facts, vec![id]);
+    p.produce_block().expect("anchor block");
+
+    // The freshly admitted record is now citable and yields a perfect trace.
+    let item = p
+        .publish_news(&w.journalist, w.room, "energy", &record.content,
+                      vec![(id, PropagationOp::Cite)])
+        .expect("cite new fact");
+    p.produce_block().expect("cite block");
+    let rank = p.rank_item(&item).expect("rank");
+    assert!(rank.reaches_root);
+    assert!((rank.trace - 1.0).abs() < 1e-9);
+
+    // And provable against the *new* anchored root.
+    let anchored = p.anchored_fact_root().expect("anchored");
+    let (proof, root) = p.factdb().prove(&id).expect("prove");
+    assert_eq!(root, anchored);
+    assert!(FactualDatabase::verify(&record, &proof, &anchored));
+}
+
+#[test]
+fn ledger_is_the_complete_audit_trail() {
+    let mut w = build_world();
+    let p = &mut w.platform;
+    let fact = p.factdb().iter().next().expect("seeded").clone();
+    let item = p
+        .publish_news(&w.journalist, w.room, &fact.topic, &fact.content,
+                      vec![(fact.id(), PropagationOp::Cite)])
+        .expect("publish");
+    p.produce_block().expect("block");
+
+    // Rebuild the supply-chain graph purely from the on-chain ledger and
+    // the factual DB — it must agree with the platform's live graph.
+    let mut rebuilt = tn_supplychain::graph::SupplyChainGraph::new();
+    for rec in p.factdb().iter() {
+        rebuilt
+            .add_fact_root(rec.id(), &rec.content, &rec.topic, rec.recorded_at)
+            .expect("unique");
+    }
+    let stats = tn_supplychain::index::index_chain(p.store(), &mut rebuilt);
+    assert_eq!(stats.indexed, p.index_stats().indexed);
+    assert_eq!(rebuilt.len(), p.graph().len());
+    let live = p.trace_item(&item).expect("live trace");
+    let replayed = rebuilt.trace_back(&item).expect("replayed trace");
+    assert_eq!(live.reaches_root, replayed.reaches_root);
+    assert!((live.score - replayed.score).abs() < 1e-12);
+    assert_eq!(live.path, replayed.path);
+}
+
+#[test]
+fn publisher_cannot_bypass_roles() {
+    let mut w = build_world();
+    let p = &mut w.platform;
+    // The publisher holds no ContentCreator role: publishing is refused
+    // even though they own the room.
+    let err = p
+        .publish_news(&w.publisher, w.room, "energy", "editorial", vec![])
+        .expect_err("publisher lacks creator role");
+    assert!(matches!(err, tn_core::platform::PlatformError::NotAuthorized(_)));
+    // A reader cannot attest facts.
+    let id = p.propose_fact(FactRecord {
+        source: SourceKind::VerifiedNews,
+        speaker: "X".into(),
+        topic: "t".into(),
+        content: "Y".into(),
+        recorded_at: 1,
+    });
+    let err = p.attest_fact(&w.readers[0], &id).expect_err("reader cannot attest");
+    assert!(matches!(err, tn_core::platform::PlatformError::NotAuthorized(_)));
+}

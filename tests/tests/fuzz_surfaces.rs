@@ -1,0 +1,101 @@
+//! Fuzz-style property tests over every untrusted-input surface: decoding
+//! arbitrary bytes and executing arbitrary bytecode must never panic —
+//! they return errors. A public blockchain platform feeds attacker-
+//! controlled bytes into all of these paths.
+
+use proptest::prelude::*;
+
+use tn_chain::block::Block;
+use tn_chain::codec::{Decodable, Decoder};
+use tn_chain::transaction::Transaction;
+use tn_contracts::vm::{execute, validate, ExecEnv};
+use tn_core::roles::IdentityRecord;
+use tn_factdb::record::FactRecord;
+use tn_supplychain::index::NewsEvent;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn transaction_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Transaction::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn block_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Block::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn news_event_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = NewsEvent::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn fact_record_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = FactRecord::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn identity_record_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = IdentityRecord::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn decoder_primitives_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut d = Decoder::new(&bytes);
+        let _ = d.get_varint();
+        let _ = d.get_bytes();
+        let _ = d.get_str();
+        let _ = d.get_hash();
+        let _ = d.get_u64();
+        let _ = d.get_bool();
+    }
+
+    #[test]
+    fn vm_validate_never_panics(code in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = validate(&code);
+    }
+
+    #[test]
+    fn vm_execute_validated_code_never_panics(
+        code in proptest::collection::vec(0u8..=24, 0..128),
+        input in proptest::collection::vec(any::<u64>(), 0..8),
+    ) {
+        // Arbitrary opcode soup: if it validates, it must execute without
+        // panicking under a gas cap (returning Ok or a VmError).
+        if validate(&code).is_ok() {
+            let mut storage = std::collections::BTreeMap::new();
+            let env = ExecEnv { caller: 7, input, gas_limit: 5_000 };
+            let _ = execute(&code, &mut storage, &env);
+        }
+    }
+
+    #[test]
+    fn signed_tx_roundtrip_is_total(nonce in any::<u64>(), fee in any::<u64>(),
+                                    data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        use tn_chain::codec::Encodable;
+        use tn_chain::transaction::Payload;
+        use tn_crypto::Keypair;
+        let kp = Keypair::from_seed(b"fuzz roundtrip");
+        let tx = Transaction::signed(&kp, nonce, fee, Payload::Blob { tag: 1, data });
+        let decoded = Transaction::from_bytes(&tx.to_bytes()).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &tx);
+        prop_assert!(decoded.verify().is_ok());
+    }
+
+    #[test]
+    fn similarity_is_total_on_arbitrary_text(a in "\\PC{0,200}", b in "\\PC{0,200}") {
+        let s = tn_supplychain::text::similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let m = tn_supplychain::text::modification_degree(&a, &b);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&m));
+    }
+
+    #[test]
+    fn lexicon_extraction_is_total(text in "\\PC{0,300}") {
+        let f = tn_aidetect::lexicon::LexiconFeatures::extract(&text);
+        let score = f.heuristic_score();
+        prop_assert!((0.0..=1.0).contains(&score));
+    }
+}
