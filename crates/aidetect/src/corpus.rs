@@ -114,7 +114,11 @@ pub fn generate_news_corpus(config: &NewsCorpusConfig) -> Vec<LabeledDoc> {
             let inj = *SUBTLE_INJECTIONS.choose(&mut rng).expect("nonempty");
             tn_supplychain::ops::insert(&rec.content, &[inj], &mut rng)
         };
-        docs.push(LabeledDoc { text, fake: false, topic: rec.topic.clone() });
+        docs.push(LabeledDoc {
+            text,
+            fake: false,
+            topic: rec.topic.clone(),
+        });
     }
 
     // Fake docs.
@@ -128,7 +132,11 @@ pub fn generate_news_corpus(config: &NewsCorpusConfig) -> Vec<LabeledDoc> {
             } else {
                 apply(PropagationOp::Insert, &[&rec.content], true, &mut rng)
             };
-            docs.push(LabeledDoc { text, fake: true, topic: rec.topic.clone() });
+            docs.push(LabeledDoc {
+                text,
+                fake: true,
+                topic: rec.topic.clone(),
+            });
         } else {
             let opener = FABRICATION_OPENERS.choose(&mut rng).expect("nonempty");
             let b1 = FABRICATION_BODIES.choose(&mut rng).expect("nonempty");
@@ -150,7 +158,10 @@ pub fn generate_news_corpus(config: &NewsCorpusConfig) -> Vec<LabeledDoc> {
 /// # Panics
 ///
 /// Panics unless `0.0 < train_fraction < 1.0`.
-pub fn train_test_split(docs: &[LabeledDoc], train_fraction: f64) -> (Vec<LabeledDoc>, Vec<LabeledDoc>) {
+pub fn train_test_split(
+    docs: &[LabeledDoc],
+    train_fraction: f64,
+) -> (Vec<LabeledDoc>, Vec<LabeledDoc>) {
     assert!(
         train_fraction > 0.0 && train_fraction < 1.0,
         "train fraction must be in (0, 1)"
@@ -184,16 +195,35 @@ mod tests {
     #[test]
     fn fakes_carry_emotional_vocabulary() {
         let c = generate_news_corpus(&NewsCorpusConfig::default());
-        let emo = ["shocking", "corrupt", "scandal", "secret", "terrifying", "outrageous", "lie"];
+        let emo = [
+            "shocking",
+            "corrupt",
+            "scandal",
+            "secret",
+            "terrifying",
+            "outrageous",
+            "lie",
+        ];
         let hits = |d: &LabeledDoc| {
             let lower = d.text.to_lowercase();
             emo.iter().filter(|w| lower.contains(**w)).count()
         };
-        let fake_mean: f64 = c.iter().filter(|d| d.fake).map(|d| hits(d) as f64).sum::<f64>()
+        let fake_mean: f64 = c
+            .iter()
+            .filter(|d| d.fake)
+            .map(|d| hits(d) as f64)
+            .sum::<f64>()
             / c.iter().filter(|d| d.fake).count() as f64;
-        let fact_mean: f64 = c.iter().filter(|d| !d.fake).map(|d| hits(d) as f64).sum::<f64>()
+        let fact_mean: f64 = c
+            .iter()
+            .filter(|d| !d.fake)
+            .map(|d| hits(d) as f64)
+            .sum::<f64>()
             / c.iter().filter(|d| !d.fake).count() as f64;
-        assert!(fake_mean > fact_mean + 0.5, "fake {fake_mean} vs fact {fact_mean}");
+        assert!(
+            fake_mean > fact_mean + 0.5,
+            "fake {fake_mean} vs fact {fact_mean}"
+        );
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub struct DenseConfig {
 
 impl Default for DenseConfig {
     fn default() -> Self {
-        DenseConfig { epochs: 80, learning_rate: 0.1, l2: 1e-4, seed: 1 }
+        DenseConfig {
+            epochs: 80,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            seed: 1,
+        }
     }
 }
 
@@ -63,7 +68,10 @@ impl DenseLogReg {
         assert!(dim > 0, "need at least one feature");
         assert!(x.iter().all(|r| r.len() == dim), "ragged feature rows");
         let pos = y.iter().filter(|l| **l).count();
-        assert!(pos > 0 && pos < y.len(), "training set must contain both classes");
+        assert!(
+            pos > 0 && pos < y.len(),
+            "training set must contain both classes"
+        );
 
         // Standardize.
         let n = x.len() as f64;
@@ -115,7 +123,12 @@ impl DenseLogReg {
                 bias -= lr * err;
             }
         }
-        DenseLogReg { weights, bias, means, stds }
+        DenseLogReg {
+            weights,
+            bias,
+            means,
+            stds,
+        }
     }
 
     /// Predicted probability of the positive class.
@@ -124,7 +137,11 @@ impl DenseLogReg {
     ///
     /// Panics when the feature dimension differs from training.
     pub fn predict(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.weights.len(), "feature dimension mismatch");
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature dimension mismatch"
+        );
         let z = self.bias
             + features
                 .iter()
@@ -176,7 +193,11 @@ mod tests {
             .zip(&yt)
             .filter(|(row, l)| (model.predict(row) > 0.5) == **l)
             .count();
-        assert!(correct as f64 / 200.0 > 0.9, "accuracy {}", correct as f64 / 200.0);
+        assert!(
+            correct as f64 / 200.0 > 0.9,
+            "accuracy {}",
+            correct as f64 / 200.0
+        );
     }
 
     #[test]

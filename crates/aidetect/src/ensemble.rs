@@ -22,7 +22,11 @@ pub struct EnsembleWeights {
 
 impl Default for EnsembleWeights {
     fn default() -> Self {
-        EnsembleWeights { nb: 0.35, lr: 0.45, lexicon: 0.20 }
+        EnsembleWeights {
+            nb: 0.35,
+            lr: 0.45,
+            lexicon: 0.20,
+        }
     }
 }
 
@@ -57,8 +61,7 @@ impl EnsembleDetector {
         let total = w.nb + w.lr + w.lexicon;
         assert!(total > 0.0, "ensemble weights must not all be zero");
         let lex = LexiconFeatures::extract(text).heuristic_score();
-        (w.nb * self.nb.prob_fake(text) + w.lr * self.lr.prob_fake(text) + w.lexicon * lex)
-            / total
+        (w.nb * self.nb.prob_fake(text) + w.lr * self.lr.prob_fake(text) + w.lexicon * lex) / total
     }
 
     /// Probability that `text` is fake, adjusted by the stance of the body
@@ -91,14 +94,19 @@ mod tests {
             ..NewsCorpusConfig::default()
         });
         let (train, test) = train_test_split(&corpus, 0.8);
-        (EnsembleDetector::train(&train, EnsembleWeights::default()), test)
+        (
+            EnsembleDetector::train(&train, EnsembleWeights::default()),
+            test,
+        )
     }
 
     #[test]
     fn ensemble_beats_chance_comfortably() {
         let (det, test) = detector();
-        let preds: Vec<(bool, f64)> =
-            test.iter().map(|d| (d.fake, det.prob_fake(&d.text))).collect();
+        let preds: Vec<(bool, f64)> = test
+            .iter()
+            .map(|d| (d.fake, det.prob_fake(&d.text)))
+            .collect();
         let m = evaluate(&preds, 0.5);
         assert!(m.accuracy > 0.85, "accuracy {}", m.accuracy);
         assert!(m.auc > 0.92, "auc {}", m.auc);

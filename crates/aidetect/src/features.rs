@@ -45,8 +45,10 @@ impl Vocabulary {
                 *df.entry(tok).or_insert(0) += 1;
             }
         }
-        let mut terms: Vec<(String, usize)> =
-            df.into_iter().filter(|(_, c)| *c >= min_df.max(1)).collect();
+        let mut terms: Vec<(String, usize)> = df
+            .into_iter()
+            .filter(|(_, c)| *c >= min_df.max(1))
+            .collect();
         // Sort for deterministic index assignment.
         terms.sort();
         let mut index = HashMap::with_capacity(terms.len());
@@ -55,7 +57,11 @@ impl Vocabulary {
             index.insert(term, i);
             doc_freq.push(c);
         }
-        Vocabulary { index, doc_freq, n_docs }
+        Vocabulary {
+            index,
+            doc_freq,
+            n_docs,
+        }
     }
 
     /// Vocabulary size.
@@ -195,7 +201,10 @@ mod tests {
         let the_idx = v.term_index("the").unwrap();
         let scandal_idx = v.term_index("scandal").unwrap();
         let get = |idx| t.iter().find(|(i, _)| *i == idx).map(|(_, x)| *x).unwrap();
-        assert!(get(scandal_idx) > get(the_idx), "rare term should weigh more");
+        assert!(
+            get(scandal_idx) > get(the_idx),
+            "rare term should weigh more"
+        );
     }
 
     #[test]

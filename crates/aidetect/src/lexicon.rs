@@ -11,22 +11,66 @@ use crate::features::tokenize;
 
 /// Negative-emotion and outrage vocabulary.
 pub const NEGATIVE_EMOTION: [&str; 24] = [
-    "shocking", "outrageous", "disgraceful", "terrifying", "furious", "corrupt", "scandal",
-    "betrayal", "destroy", "disaster", "horrifying", "evil", "catastrophe", "fraud", "lie",
-    "lies", "liar", "crooked", "sick", "disgusting", "nightmare", "chaos", "traitor", "rigged",
+    "shocking",
+    "outrageous",
+    "disgraceful",
+    "terrifying",
+    "furious",
+    "corrupt",
+    "scandal",
+    "betrayal",
+    "destroy",
+    "disaster",
+    "horrifying",
+    "evil",
+    "catastrophe",
+    "fraud",
+    "lie",
+    "lies",
+    "liar",
+    "crooked",
+    "sick",
+    "disgusting",
+    "nightmare",
+    "chaos",
+    "traitor",
+    "rigged",
 ];
 
 /// Unverifiable-sourcing and conspiracy phrasing.
 pub const CONSPIRACY: [&str; 16] = [
-    "anonymous", "insiders", "whistleblower", "leaked", "secret", "hidden", "coverup",
-    "suppressed", "censors", "censored", "elites", "allegedly", "unnamed", "underground",
-    "plot", "hoax",
+    "anonymous",
+    "insiders",
+    "whistleblower",
+    "leaked",
+    "secret",
+    "hidden",
+    "coverup",
+    "suppressed",
+    "censors",
+    "censored",
+    "elites",
+    "allegedly",
+    "unnamed",
+    "underground",
+    "plot",
+    "hoax",
 ];
 
 /// Clickbait / urgency phrasing.
 pub const CLICKBAIT: [&str; 12] = [
-    "share", "viral", "unbelievable", "believe", "exposed", "revealed", "must", "urgent",
-    "breaking", "wow", "deleted", "banned",
+    "share",
+    "viral",
+    "unbelievable",
+    "believe",
+    "exposed",
+    "revealed",
+    "must",
+    "urgent",
+    "breaking",
+    "wow",
+    "deleted",
+    "banned",
 ];
 
 /// Lexicon-derived feature vector for one document.
@@ -54,12 +98,14 @@ impl LexiconFeatures {
         if n == 0 {
             return LexiconFeatures::default();
         }
-        let count_in = |bank: &[&str]| {
-            tokens.iter().filter(|t| bank.contains(&t.as_str())).count() as f64
-        };
+        let count_in =
+            |bank: &[&str]| tokens.iter().filter(|t| bank.contains(&t.as_str())).count() as f64;
         let per100 = |c: f64| c * 100.0 / n as f64;
 
-        let sentences = text.split(['.', '!', '?']).filter(|s| !s.trim().is_empty()).count();
+        let sentences = text
+            .split(['.', '!', '?'])
+            .filter(|s| !s.trim().is_empty())
+            .count();
         let exclamations = text.matches('!').count();
         let words: Vec<&str> = text.split_whitespace().collect();
         let caps = words

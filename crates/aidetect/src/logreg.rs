@@ -28,7 +28,14 @@ pub struct LogRegConfig {
 
 impl Default for LogRegConfig {
     fn default() -> Self {
-        LogRegConfig { epochs: 30, learning_rate: 0.5, decay: 0.01, l2: 1e-4, seed: 1, min_df: 1 }
+        LogRegConfig {
+            epochs: 30,
+            learning_rate: 0.5,
+            decay: 0.01,
+            l2: 1e-4,
+            seed: 1,
+            min_df: 1,
+        }
     }
 }
 
@@ -87,7 +94,11 @@ impl LogisticRegression {
                 bias -= lr * err;
             }
         }
-        LogisticRegression { vocab, weights, bias }
+        LogisticRegression {
+            vocab,
+            weights,
+            bias,
+        }
     }
 
     /// Probability that `text` is fake.
@@ -145,8 +156,10 @@ mod tests {
     fn learns_the_synthetic_corpus() {
         let (train, test) = train_test_split(&corpus(), 0.8);
         let lr = LogisticRegression::train(&train, &LogRegConfig::default());
-        let preds: Vec<(bool, f64)> =
-            test.iter().map(|d| (d.fake, lr.prob_fake(&d.text))).collect();
+        let preds: Vec<(bool, f64)> = test
+            .iter()
+            .map(|d| (d.fake, lr.prob_fake(&d.text)))
+            .collect();
         let m = evaluate(&preds, 0.5);
         assert!(m.accuracy > 0.85, "accuracy {}", m.accuracy);
         assert!(m.auc > 0.9, "auc {}", m.auc);
@@ -165,16 +178,38 @@ mod tests {
     fn top_terms_are_emotional() {
         let lr = LogisticRegression::train(&corpus(), &LogRegConfig::default());
         let top: Vec<String> = lr.top_fake_terms(25).into_iter().map(|(t, _)| t).collect();
-        let emotional = ["shocking", "corrupt", "scandal", "secret", "lie", "terrifying",
-                         "outrageous", "hidden", "anonymous", "insiders", "leaked"];
-        let hits = top.iter().filter(|t| emotional.contains(&t.as_str())).count();
-        assert!(hits >= 3, "expected emotional terms among top weights, got {top:?}");
+        let emotional = [
+            "shocking",
+            "corrupt",
+            "scandal",
+            "secret",
+            "lie",
+            "terrifying",
+            "outrageous",
+            "hidden",
+            "anonymous",
+            "insiders",
+            "leaked",
+        ];
+        let hits = top
+            .iter()
+            .filter(|t| emotional.contains(&t.as_str()))
+            .count();
+        assert!(
+            hits >= 3,
+            "expected emotional terms among top weights, got {top:?}"
+        );
     }
 
     #[test]
     fn probabilities_bounded() {
         let lr = LogisticRegression::train(&corpus(), &LogRegConfig::default());
-        for t in ["", "committee", "shocking scandal lies exposed", "zebra quartz"] {
+        for t in [
+            "",
+            "committee",
+            "shocking scandal lies exposed",
+            "zebra quartz",
+        ] {
             let p = lr.prob_fake(t);
             assert!((0.0..=1.0).contains(&p), "p={p} for {t:?}");
         }
@@ -184,8 +219,16 @@ mod tests {
     #[should_panic(expected = "both classes")]
     fn single_class_panics() {
         let docs = vec![
-            LabeledDoc { text: "a b".into(), fake: true, topic: "t".into() },
-            LabeledDoc { text: "c d".into(), fake: true, topic: "t".into() },
+            LabeledDoc {
+                text: "a b".into(),
+                fake: true,
+                topic: "t".into(),
+            },
+            LabeledDoc {
+                text: "c d".into(),
+                fake: true,
+                topic: "t".into(),
+            },
         ];
         LogisticRegression::train(&docs, &LogRegConfig::default());
     }

@@ -44,8 +44,9 @@ pub struct Video {
 /// drifts slowly frame to frame (like a static camera scene).
 pub fn generate_video(n_frames: usize, seed: u64) -> Video {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut base: Vec<i32> =
-        (0..FRAME_DIM * FRAME_DIM).map(|_| rng.gen_range(64..192)).collect();
+    let mut base: Vec<i32> = (0..FRAME_DIM * FRAME_DIM)
+        .map(|_| rng.gen_range(64..192))
+        .collect();
     // Smooth the base with a box blur for spatial coherence.
     base = blur(&base);
     let mut frames = Vec::with_capacity(n_frames);
@@ -55,7 +56,9 @@ pub fn generate_video(n_frames: usize, seed: u64) -> Video {
             *v = (*v + rng.gen_range(-3..=3)).clamp(0, 255);
         }
         let smoothed = blur(&base);
-        frames.push(Frame { pixels: smoothed.iter().map(|&v| v as u8).collect() });
+        frames.push(Frame {
+            pixels: smoothed.iter().map(|&v| v as u8).collect(),
+        });
     }
     Video { frames }
 }
@@ -104,7 +107,10 @@ pub struct Tamper {
 ///
 /// Panics if the region or frame range is out of bounds.
 pub fn apply_tamper(video: &Video, donor: &Video, tamper: &Tamper) -> Video {
-    assert!(tamper.end_frame <= video.frames.len(), "frame range out of bounds");
+    assert!(
+        tamper.end_frame <= video.frames.len(),
+        "frame range out of bounds"
+    );
     assert!(tamper.start_frame < tamper.end_frame, "empty tamper range");
     assert!(
         tamper.region.0 + tamper.size <= FRAME_DIM && tamper.region.1 + tamper.size <= FRAME_DIM,
@@ -191,10 +197,7 @@ pub fn temporal_anomaly_score(video: &Video) -> f64 {
         return 0.0;
     }
     let prints: Vec<Vec<u64>> = video.frames.iter().map(block_fingerprints).collect();
-    let mut jumps: Vec<u32> = prints
-        .windows(2)
-        .map(|w| hamming(&w[0], &w[1]))
-        .collect();
+    let mut jumps: Vec<u32> = prints.windows(2).map(|w| hamming(&w[0], &w[1])).collect();
     let max_jump = *jumps.iter().max().expect("nonempty");
     jumps.sort_unstable();
     let p95 = jumps[(jumps.len() * 95 / 100).min(jumps.len() - 1)].max(1);
@@ -234,7 +237,13 @@ mod tests {
     use super::*;
 
     fn tamper(intensity: f64) -> Tamper {
-        Tamper { start_frame: 20, end_frame: 40, region: (8, 8), size: 16, intensity }
+        Tamper {
+            start_frame: 20,
+            end_frame: 40,
+            region: (8, 8),
+            size: 16,
+            intensity,
+        }
     }
 
     #[test]
@@ -295,7 +304,13 @@ mod tests {
             let t = apply_tamper(
                 &v,
                 &donor,
-                &Tamper { start_frame: 10, end_frame: 25, region: (4, 4), size: 16, intensity: 0.9 },
+                &Tamper {
+                    start_frame: 10,
+                    end_frame: 25,
+                    region: (4, 4),
+                    size: 16,
+                    intensity: 0.9,
+                },
             );
             preds.push((false, fingerprint_mismatch_score(&v, &v)));
             preds.push((true, fingerprint_mismatch_score(&v, &t)));
@@ -312,7 +327,13 @@ mod tests {
         apply_tamper(
             &v,
             &donor,
-            &Tamper { start_frame: 0, end_frame: 1, region: (30, 30), size: 16, intensity: 1.0 },
+            &Tamper {
+                start_frame: 0,
+                end_frame: 1,
+                region: (30, 30),
+                size: 16,
+                intensity: 1.0,
+            },
         );
     }
 
@@ -336,10 +357,19 @@ mod tests {
         let t = apply_tamper(
             &v,
             &donor,
-            &Tamper { start_frame: 2, end_frame: 8, region: (8, 8), size: 16, intensity: 1.0 },
+            &Tamper {
+                start_frame: 2,
+                end_frame: 8,
+                region: (8, 8),
+                size: 16,
+                intensity: 1.0,
+            },
         );
         let malicious = fingerprint_mismatch_score(&v, &reencode(&t, 3, 9));
-        assert!(benign < malicious, "benign {benign} vs malicious {malicious}");
+        assert!(
+            benign < malicious,
+            "benign {benign} vs malicious {malicious}"
+        );
     }
 
     #[test]

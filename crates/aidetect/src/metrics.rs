@@ -43,14 +43,32 @@ pub fn evaluate(preds: &[(bool, f64)], threshold: f64) -> Metrics {
     }
     let total = preds.len() as f64;
     let accuracy = (tp + tn) as f64 / total;
-    let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
-    let recall = if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 };
+    let precision = if tp + fp > 0 {
+        tp as f64 / (tp + fp) as f64
+    } else {
+        0.0
+    };
+    let recall = if tp + fn_ > 0 {
+        tp as f64 / (tp + fn_) as f64
+    } else {
+        0.0
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
         0.0
     };
-    Metrics { tp, fp, tn, fn_, accuracy, precision, recall, f1, auc: roc_auc(preds) }
+    Metrics {
+        tp,
+        fp,
+        tn,
+        fn_,
+        accuracy,
+        precision,
+        recall,
+        f1,
+        auc: roc_auc(preds),
+    }
 }
 
 /// ROC-AUC via the rank-sum (Mann–Whitney) formulation, with tie
@@ -64,7 +82,10 @@ pub fn roc_auc(preds: &[(bool, f64)]) -> f64 {
     // Average ranks of scores.
     let mut idx: Vec<usize> = (0..preds.len()).collect();
     idx.sort_by(|&a, &b| {
-        preds[a].1.partial_cmp(&preds[b].1).unwrap_or(std::cmp::Ordering::Equal)
+        preds[a]
+            .1
+            .partial_cmp(&preds[b].1)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut ranks = vec![0.0f64; preds.len()];
     let mut i = 0;
@@ -79,8 +100,12 @@ pub fn roc_auc(preds: &[(bool, f64)]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 =
-        preds.iter().zip(&ranks).filter(|((l, _), _)| *l).map(|(_, r)| r).sum();
+    let rank_sum_pos: f64 = preds
+        .iter()
+        .zip(&ranks)
+        .filter(|((l, _), _)| *l)
+        .map(|(_, r)| r)
+        .sum();
     let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
     u / (n_pos as f64 * n_neg as f64)
 }
@@ -165,7 +190,10 @@ mod tests {
         assert_eq!(curve.first(), Some(&(0.0, 0.0)));
         assert_eq!(curve.last(), Some(&(1.0, 1.0)));
         for w in curve.windows(2) {
-            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1, "non-monotonic: {curve:?}");
+            assert!(
+                w[1].0 >= w[0].0 && w[1].1 >= w[0].1,
+                "non-monotonic: {curve:?}"
+            );
         }
     }
 

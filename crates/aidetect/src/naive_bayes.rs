@@ -26,7 +26,10 @@ impl NaiveBayes {
         assert!(!docs.is_empty(), "training set must be nonempty");
         let n_fake = docs.iter().filter(|d| d.fake).count();
         let n_fact = docs.len() - n_fake;
-        assert!(n_fake > 0 && n_fact > 0, "training set must contain both classes");
+        assert!(
+            n_fake > 0 && n_fact > 0,
+            "training set must contain both classes"
+        );
 
         let vocab = Vocabulary::fit(docs.iter().map(|d| d.text.as_str()), 1);
         let v = vocab.len();
@@ -104,8 +107,10 @@ mod tests {
     fn learns_the_synthetic_corpus() {
         let (train, test) = train_test_split(&corpus(), 0.8);
         let nb = NaiveBayes::train(&train);
-        let preds: Vec<(bool, f64)> =
-            test.iter().map(|d| (d.fake, nb.prob_fake(&d.text))).collect();
+        let preds: Vec<(bool, f64)> = test
+            .iter()
+            .map(|d| (d.fake, nb.prob_fake(&d.text)))
+            .collect();
         let m = evaluate(&preds, 0.5);
         assert!(m.accuracy > 0.85, "accuracy {}", m.accuracy);
         assert!(m.f1 > 0.85, "f1 {}", m.f1);
@@ -114,9 +119,11 @@ mod tests {
     #[test]
     fn obvious_cases() {
         let nb = NaiveBayes::train(&corpus());
-        assert!(nb.prob_fake(
-            "Shocking corrupt scandal exposed by anonymous insiders, share before deleted"
-        ) > 0.5);
+        assert!(
+            nb.prob_fake(
+                "Shocking corrupt scandal exposed by anonymous insiders, share before deleted"
+            ) > 0.5
+        );
         assert!(nb.prob_fake(
             "The committee approved the amendment under docket 1234. The full document is in the public record."
         ) < 0.5);
@@ -145,7 +152,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "both classes")]
     fn single_class_training_panics() {
-        let docs = vec![LabeledDoc { text: "a".into(), fake: false, topic: "t".into() }];
+        let docs = vec![LabeledDoc {
+            text: "a".into(),
+            fake: false,
+            topic: "t".into(),
+        }];
         NaiveBayes::train(&docs);
     }
 }

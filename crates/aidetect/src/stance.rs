@@ -32,8 +32,16 @@ const REFUTATION: [&str; 14] = [
 
 /// Supporting cue words.
 const SUPPORT: [&str; 10] = [
-    "confirmed", "confirms", "verified", "official", "announced", "approved", "signed",
-    "passed", "published", "ratified",
+    "confirmed",
+    "confirms",
+    "verified",
+    "official",
+    "announced",
+    "approved",
+    "signed",
+    "passed",
+    "published",
+    "ratified",
 ];
 
 /// Tunable thresholds for the stance rules.
@@ -50,7 +58,11 @@ pub struct StanceConfig {
 
 impl Default for StanceConfig {
     fn default() -> Self {
-        StanceConfig { unrelated_below: 0.05, refute_density: 1.0, support_cues: 1 }
+        StanceConfig {
+            unrelated_below: 0.05,
+            refute_density: 1.0,
+            support_cues: 1,
+        }
     }
 }
 
@@ -73,10 +85,14 @@ pub fn detect_stance(headline: &str, body: &str, config: &StanceConfig) -> Stanc
     }
     let body_tokens = tokenize(body);
     let n = body_tokens.len().max(1);
-    let refutes =
-        body_tokens.iter().filter(|t| REFUTATION.contains(&t.as_str())).count();
-    let supports =
-        body_tokens.iter().filter(|t| SUPPORT.contains(&t.as_str())).count();
+    let refutes = body_tokens
+        .iter()
+        .filter(|t| REFUTATION.contains(&t.as_str()))
+        .count();
+    let supports = body_tokens
+        .iter()
+        .filter(|t| SUPPORT.contains(&t.as_str()))
+        .count();
     let refute_density = refutes as f64 * 100.0 / n as f64;
     if refute_density >= config.refute_density && refutes > supports {
         Stance::Disagree
@@ -109,27 +125,39 @@ mod tests {
     fn agree_case() {
         let body = "The committee officially approved the solar subsidy amendment; \
                     the result was confirmed and published the same day.";
-        assert_eq!(detect_stance(HEADLINE, body, &StanceConfig::default()), Stance::Agree);
+        assert_eq!(
+            detect_stance(HEADLINE, body, &StanceConfig::default()),
+            Stance::Agree
+        );
     }
 
     #[test]
     fn disagree_case() {
         let body = "Reports that the committee approved the solar subsidy amendment are false. \
                     The chair denied the claim and called it a hoax, not a decision.";
-        assert_eq!(detect_stance(HEADLINE, body, &StanceConfig::default()), Stance::Disagree);
+        assert_eq!(
+            detect_stance(HEADLINE, body, &StanceConfig::default()),
+            Stance::Disagree
+        );
     }
 
     #[test]
     fn unrelated_case() {
         let body = "Penguins waddle across frozen shores while whales sing offshore.";
-        assert_eq!(detect_stance(HEADLINE, body, &StanceConfig::default()), Stance::Unrelated);
+        assert_eq!(
+            detect_stance(HEADLINE, body, &StanceConfig::default()),
+            Stance::Unrelated
+        );
     }
 
     #[test]
     fn discuss_case() {
         let body = "The solar subsidy amendment has been debated by the committee for weeks; \
                     analysts expect a decision on the subsidy question soon.";
-        assert_eq!(detect_stance(HEADLINE, body, &StanceConfig::default()), Stance::Discuss);
+        assert_eq!(
+            detect_stance(HEADLINE, body, &StanceConfig::default()),
+            Stance::Discuss
+        );
     }
 
     #[test]

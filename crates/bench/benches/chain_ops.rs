@@ -13,7 +13,10 @@ fn make_txs(n: usize) -> Vec<Transaction> {
                 &alice,
                 i as u64,
                 1,
-                Payload::Blob { tag: blob_tags::NEWS_PUBLISH, data: vec![0u8; 128] },
+                Payload::Blob {
+                    tag: blob_tags::NEWS_PUBLISH,
+                    data: vec![0u8; 128],
+                },
             )
         })
         .collect()
@@ -21,7 +24,9 @@ fn make_txs(n: usize) -> Vec<Transaction> {
 
 fn bench_tx_verify(c: &mut Criterion) {
     let tx = make_txs(1).pop().expect("one");
-    c.bench_function("tx_verify", |b| b.iter(|| black_box(&tx).verify().expect("valid")));
+    c.bench_function("tx_verify", |b| {
+        b.iter(|| black_box(&tx).verify().expect("valid"))
+    });
 }
 
 fn bench_block_import(c: &mut Criterion) {
@@ -35,12 +40,13 @@ fn bench_block_import(c: &mut Criterion) {
                     let validator = Keypair::from_seed(b"bench validator");
                     let genesis = State::genesis([(alice.address(), 1_000_000)]);
                     let store = ChainStore::new(genesis, &validator);
-                    let block =
-                        store.propose(&validator, 1, make_txs(n), &mut NoExecutor);
+                    let block = store.propose(&validator, 1, make_txs(n), &mut NoExecutor);
                     (store, block)
                 },
                 |(mut store, block)| {
-                    store.import(black_box(block), &mut NoExecutor).expect("imports")
+                    store
+                        .import(black_box(block), &mut NoExecutor)
+                        .expect("imports")
                 },
                 criterion::BatchSize::SmallInput,
             )

@@ -6,7 +6,11 @@ use tn_consensus::harness::{run_pbft, run_poa, Workload};
 use tn_consensus::sim::NetworkConfig;
 
 fn bench_pbft(c: &mut Criterion) {
-    let workload = Workload { n_requests: 50, interarrival: 5, payload_size: 64 };
+    let workload = Workload {
+        n_requests: 50,
+        interarrival: 5,
+        payload_size: 64,
+    };
     let mut group = c.benchmark_group("pbft_commit_50");
     group.sample_size(10);
     for n in [4usize, 7] {
@@ -21,7 +25,11 @@ fn bench_pbft(c: &mut Criterion) {
 }
 
 fn bench_poa(c: &mut Criterion) {
-    let workload = Workload { n_requests: 50, interarrival: 5, payload_size: 64 };
+    let workload = Workload {
+        n_requests: 50,
+        interarrival: 5,
+        payload_size: 64,
+    };
     let mut group = c.benchmark_group("poa_commit_50");
     group.sample_size(10);
     for n in [4usize, 7] {

@@ -31,7 +31,9 @@ fn bench_schnorr(c: &mut Criterion) {
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle");
     for n in [64usize, 1024] {
-        let leaves: Vec<_> = (0..n).map(|i| leaf_hash(&(i as u64).to_le_bytes())).collect();
+        let leaves: Vec<_> = (0..n)
+            .map(|i| leaf_hash(&(i as u64).to_le_bytes()))
+            .collect();
         group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, l| {
             b.iter(|| MerkleTree::from_leaves(black_box(l.clone())))
         });

@@ -20,17 +20,28 @@ fn setup() -> Bench {
     let mut platform = Platform::new(PlatformConfig::default());
     let publisher = Keypair::from_seed(b"bench publisher");
     let journalist = Keypair::from_seed(b"bench journalist");
-    platform.register_identity(&publisher, "Bench Press", &[Role::Publisher]);
-    platform.register_identity(
-        &journalist,
-        "Bench Journalist",
-        &[Role::ContentCreator, Role::Consumer],
-    );
+    platform
+        .register_identity(&publisher, "Bench Press", &[Role::Publisher])
+        .expect("publisher");
+    platform
+        .register_identity(
+            &journalist,
+            "Bench Journalist",
+            &[Role::ContentCreator, Role::Consumer],
+        )
+        .expect("journalist");
     platform.produce_block().expect("identities");
-    platform.create_publisher_platform(&publisher, "Bench Press").expect("press");
+    platform
+        .create_publisher_platform(&publisher, "Bench Press")
+        .expect("press");
     platform.produce_block().expect("block");
-    let pid = platform.newsrooms().find_platform("Bench Press").expect("registered");
-    platform.create_news_room(&publisher, pid, "energy").expect("room");
+    let pid = platform
+        .newsrooms()
+        .find_platform("Bench Press")
+        .expect("registered");
+    platform
+        .create_news_room(&publisher, pid, "energy")
+        .expect("room");
     platform.produce_block().expect("block");
     let room = platform.newsrooms().rooms().next().expect("room").0;
     platform
@@ -39,11 +50,22 @@ fn setup() -> Bench {
     platform.produce_block().expect("block");
     let fact = platform.factdb().iter().next().expect("seeded").clone();
     let item = platform
-        .publish_news(&journalist, room, &fact.topic, &fact.content,
-                      vec![(fact.id(), PropagationOp::Cite)])
+        .publish_news(
+            &journalist,
+            room,
+            &fact.topic,
+            &fact.content,
+            vec![(fact.id(), PropagationOp::Cite)],
+        )
         .expect("publish");
     platform.produce_block().expect("block");
-    Bench { platform, journalist, room, item, counter: 0 }
+    Bench {
+        platform,
+        journalist,
+        room,
+        item,
+        counter: 0,
+    }
 }
 
 fn bench_publish_and_block(c: &mut Criterion) {

@@ -20,7 +20,10 @@ fn bench_vm_loop(c: &mut Criterion) {
     let deployer = Keypair::from_seed(b"vm bench").address();
     let addr = reg.deploy(&deployer, 0, &code).expect("deploys");
     c.bench_function("vm_loop_1000", |b| {
-        b.iter(|| reg.call(black_box(&deployer), &addr, &[], 1_000_000).expect("runs"))
+        b.iter(|| {
+            reg.call(black_box(&deployer), &addr, &[], 1_000_000)
+                .expect("runs")
+        })
     });
 }
 
@@ -39,7 +42,10 @@ fn bench_vm_storage(c: &mut Criterion) {
     let deployer = Keypair::from_seed(b"vm bench 2").address();
     let addr = reg.deploy(&deployer, 0, &code).expect("deploys");
     c.bench_function("vm_storage_50rw", |b| {
-        b.iter(|| reg.call(black_box(&deployer), &addr, &[], 1_000_000).expect("runs"))
+        b.iter(|| {
+            reg.call(black_box(&deployer), &addr, &[], 1_000_000)
+                .expect("runs")
+        })
     });
 }
 
@@ -51,7 +57,10 @@ fn bench_builtin_rating(c: &mut Criterion) {
     let item = sha256(b"benchmark item");
     let input = ranking_submit(&item, 80);
     c.bench_function("builtin_submit_rating", |b| {
-        b.iter(|| reg.call(black_box(&rater), &addr, &input, 10_000).expect("runs"))
+        b.iter(|| {
+            reg.call(black_box(&rater), &addr, &input, 10_000)
+                .expect("runs")
+        })
     });
 }
 

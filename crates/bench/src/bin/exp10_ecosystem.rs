@@ -26,9 +26,10 @@ fn main() {
     banner("E10", "figure-2 ecosystem simulation");
     let mut rows = Vec::new();
 
-    for (variant, detector_round) in
-        [("with AI detector (round 3)", Some(3)), ("no AI detector", None)]
-    {
+    for (variant, detector_round) in [
+        ("with AI detector (round 3)", Some(3)),
+        ("no AI detector", None),
+    ] {
         let result = run_ecosystem(&EcosystemConfig {
             rounds: 8,
             detector_round,
@@ -58,9 +59,7 @@ fn main() {
                 let fakes: Vec<_> = result.truth.iter().filter(|(_, f)| *f).collect();
                 let found = fakes
                     .iter()
-                    .filter(|(id, _)| {
-                        result.platform.origin_of(id).expect("known").is_some()
-                    })
+                    .filter(|(id, _)| result.platform.origin_of(id).expect("known").is_some())
                     .count();
                 format!("{found}/{}", fakes.len())
             }
@@ -69,7 +68,16 @@ fn main() {
 
     println!(
         "\n{:<28} {:>5} {:>6} {:>5} {:>12} {:>10} {:>10} {:>8} {:>8} {:>7}",
-        "variant", "round", "publ.", "fake", "rank(fact)", "rank(fake)", "separation", "points", "factdb", "height"
+        "variant",
+        "round",
+        "publ.",
+        "fake",
+        "rank(fact)",
+        "rank(fake)",
+        "separation",
+        "points",
+        "factdb",
+        "height"
     );
     for r in &rows {
         println!(

@@ -42,7 +42,10 @@ struct Sample {
 }
 
 fn main() {
-    banner("E11", "predicting fake news at publication, before propagation");
+    banner(
+        "E11",
+        "predicting fake news at publication, before propagation",
+    );
     let synth = generate(&SynthConfig {
         n_fact_roots: 60,
         n_honest: 25,
@@ -78,10 +81,7 @@ fn main() {
             .parents
             .iter()
             .map(|p| {
-                let pt = traces
-                    .get(&p.id)
-                    .map(trace_score)
-                    .unwrap_or(1.0); // parent is a fact root
+                let pt = traces.get(&p.id).map(trace_score).unwrap_or(1.0); // parent is a fact root
                 (pt, p.modification)
             })
             .fold((0.0f64, 0.0f64), |(bt, bm), (t, m)| (bt.max(t), bm.max(m)));
@@ -94,7 +94,11 @@ fn main() {
         let (h_count, h_sum) = history.get(&item.author).copied().unwrap_or((0, 0.0));
         let author_history = vec![
             h_count as f64,
-            if h_count > 0 { h_sum / h_count as f64 } else { 0.5 },
+            if h_count > 0 {
+                h_sum / h_count as f64
+            } else {
+                0.5
+            },
         ];
         samples.push(Sample {
             content_style,
@@ -114,20 +118,31 @@ fn main() {
     let cut = samples.len() * 7 / 10;
     type Extractor = Box<dyn Fn(&Sample) -> Vec<f64>>;
     let feature_sets: Vec<(&'static str, Extractor)> = vec![
-        ("content style only", Box::new(|s: &Sample| s.content_style.clone())),
-        ("provenance only", Box::new(|s: &Sample| s.provenance.clone())),
-        ("author history only", Box::new(|s: &Sample| s.author_history.clone())),
+        (
+            "content style only",
+            Box::new(|s: &Sample| s.content_style.clone()),
+        ),
+        (
+            "provenance only",
+            Box::new(|s: &Sample| s.provenance.clone()),
+        ),
+        (
+            "author history only",
+            Box::new(|s: &Sample| s.author_history.clone()),
+        ),
         (
             "provenance + history",
-            Box::new(|s: &Sample| {
-                [s.provenance.clone(), s.author_history.clone()].concat()
-            }),
+            Box::new(|s: &Sample| [s.provenance.clone(), s.author_history.clone()].concat()),
         ),
         (
             "all features",
             Box::new(|s: &Sample| {
-                [s.content_style.clone(), s.provenance.clone(), s.author_history.clone()]
-                    .concat()
+                [
+                    s.content_style.clone(),
+                    s.provenance.clone(),
+                    s.author_history.clone(),
+                ]
+                .concat()
             }),
         ),
     ];

@@ -93,17 +93,33 @@ fn main() {
         // On the modular network, in-group spread must be supercritical for
         // group structure to matter (a story saturates its community and
         // only bridges carry it further).
-        let base_prob = if net_name.starts_with("modular") { 0.085 } else { 0.05 };
-        let config =
-            CascadeConfig { base_prob, share_multiplier: 1.0, max_rounds: 40, seed: 11 };
+        let base_prob = if net_name.starts_with("modular") {
+            0.085
+        } else {
+            0.05
+        };
+        let config = CascadeConfig {
+            base_prob,
+            share_multiplier: 1.0,
+            max_rounds: 40,
+            seed: 11,
+        };
 
         // Average over many cascade seeds for stability.
         let run = |receptivity: &[f64]| -> f64 {
             let mut total = 0usize;
             for seed in 0..24u64 {
-                let cfg = CascadeConfig { seed, ..config.clone() };
+                let cfg = CascadeConfig {
+                    seed,
+                    ..config.clone()
+                };
                 total += independent_cascade_with_receptivity(
-                    graph, &accounts, &fake_seeds, &[], receptivity, &cfg,
+                    graph,
+                    &accounts,
+                    &fake_seeds,
+                    &[],
+                    receptivity,
+                    &cfg,
                 )
                 .total_reach;
             }

@@ -45,10 +45,18 @@ fn main() {
     for &sybils in &[0usize, 6, 12, 25, 50, 100, 400] {
         let mut votes: Vec<Vote> = honest
             .iter()
-            .map(|h| Vote { voter: *h, item: story, factual: true })
+            .map(|h| Vote {
+                voter: *h,
+                item: story,
+                factual: true,
+            })
             .collect();
         for i in 0..sybils {
-            votes.push(Vote { voter: addr("sybil", i), item: story, factual: false });
+            votes.push(Vote {
+                voter: addr("sybil", i),
+                item: story,
+                factual: false,
+            });
         }
         let m = &majority(&votes)[0];
         let w = &reputation_weighted(&votes, &ledger)[0];

@@ -65,7 +65,9 @@ fn main() {
     let mut a_scores = Vec::new();
     let mut camouflaged = Vec::new();
     for (id, trace) in &traces {
-        let Some(t) = synth.truth.get(id) else { continue };
+        let Some(t) = synth.truth.get(id) else {
+            continue;
+        };
         let content = &synth.graph.get(id).expect("in graph").content;
         is_fake.push(t.is_fake);
         t_scores.push(trace_score(trace));
@@ -77,8 +79,9 @@ fn main() {
     let mut weight_rows = Vec::new();
     for &tw in &[0.0, 0.25, 0.5, 0.7, 0.9, 1.0] {
         let score = |i: usize| tw * t_scores[i] + (1.0 - tw) * a_scores[i];
-        let overall: Vec<(bool, f64)> =
-            (0..is_fake.len()).map(|i| (is_fake[i], 1.0 - score(i))).collect();
+        let overall: Vec<(bool, f64)> = (0..is_fake.len())
+            .map(|i| (is_fake[i], 1.0 - score(i)))
+            .collect();
         let camo: Vec<(bool, f64)> = (0..is_fake.len())
             .filter(|&i| camouflaged[i])
             .map(|i| (is_fake[i], 1.0 - score(i)))
@@ -90,9 +93,15 @@ fn main() {
         });
     }
     println!("(a) rank-weight mix (trace weight vs AI weight):");
-    println!("{:>13} {:>12} {:>17}", "trace weight", "AUC overall", "AUC camouflaged");
+    println!(
+        "{:>13} {:>12} {:>17}",
+        "trace weight", "AUC overall", "AUC camouflaged"
+    );
     for r in &weight_rows {
-        println!("{:>13.2} {:>12.3} {:>17.3}", r.trace_weight, r.auc_overall, r.auc_camouflaged);
+        println!(
+            "{:>13.2} {:>12.3} {:>17.3}",
+            r.trace_weight, r.auc_overall, r.auc_camouflaged
+        );
     }
     Report::new("E14a", "rank-weight ablation", weight_rows).write_json();
 
@@ -172,10 +181,18 @@ fn main() {
             );
             let mut votes = Vec::new();
             for h in &honest_v {
-                votes.push(Vote { voter: *h, item, factual: true });
+                votes.push(Vote {
+                    voter: *h,
+                    item,
+                    factual: true,
+                });
             }
             for t in &turncoats {
-                votes.push(Vote { voter: *t, item, factual: !switch });
+                votes.push(Vote {
+                    voter: *t,
+                    item,
+                    factual: !switch,
+                });
             }
             let d = &reputation_weighted(&votes, &ledger)[0];
             if switch {

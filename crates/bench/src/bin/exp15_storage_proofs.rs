@@ -74,7 +74,9 @@ fn main() {
         }
         let snapshot = store.snapshot();
         let head = store.head();
-        let proof = head.prove_tx(head.transactions.len() / 2).expect("in range");
+        let proof = head
+            .prove_tx(head.transactions.len() / 2)
+            .expect("in range");
         rows.push(ChainRow {
             news_items: n_items,
             snapshot_bytes: snapshot.len(),
@@ -98,7 +100,11 @@ fn main() {
     // ---- factual-DB proof scaling ------------------------------------------
     let mut db_rows = Vec::new();
     for &n in &[64usize, 512, 4096] {
-        let db = seeded_database(&CorpusConfig { size: n, seed: 5, start_time: 0 });
+        let db = seeded_database(&CorpusConfig {
+            size: n,
+            seed: 5,
+            start_time: 0,
+        });
         let mid = db.iter().nth(n / 2).expect("nonempty").id();
         let (inc, _) = db.prove(&mid).expect("provable");
         // Use a non-power-of-two boundary so the proof shows the general
@@ -111,7 +117,10 @@ fn main() {
             consistency_hashes: cons.hashes.len(),
         });
     }
-    println!("\n{:>9} {:>17} {:>25}", "records", "inclusion hashes", "consistency hashes");
+    println!(
+        "\n{:>9} {:>17} {:>25}",
+        "records", "inclusion hashes", "consistency hashes"
+    );
     for r in &db_rows {
         println!(
             "{:>9} {:>17} {:>25}",

@@ -29,7 +29,10 @@ struct Row {
 }
 
 fn main() {
-    banner("E1", "process supply chain (Fig. 3) vs news supply chain (Fig. 4)");
+    banner(
+        "E1",
+        "process supply chain (Fig. 3) vs news supply chain (Fig. 4)",
+    );
     let mut rows = Vec::new();
 
     for &items in &[100usize, 400, 1600] {
@@ -37,7 +40,10 @@ fn main() {
         let actors = [
             (Stage::Producer, Keypair::from_seed(b"e1 farm").address()),
             (Stage::Processor, Keypair::from_seed(b"e1 plant").address()),
-            (Stage::Distributor, Keypair::from_seed(b"e1 truck").address()),
+            (
+                Stage::Distributor,
+                Keypair::from_seed(b"e1 truck").address(),
+            ),
             (Stage::Retailer, Keypair::from_seed(b"e1 shop").address()),
         ];
         let actor = |s: Stage| actors.iter().find(|(st, _)| *st == s).unwrap().1;

@@ -42,8 +42,7 @@ fn main() {
         let maj = run(&config, Strategy::Majority);
         let rep = run(&config, Strategy::ReputationWeighted);
         let td = run(&config, Strategy::TruthDiscovery);
-        let late =
-            rep.accuracy_per_round.iter().rev().take(5).sum::<f64>() / 5.0;
+        let late = rep.accuracy_per_round.iter().rev().take(5).sum::<f64>() / 5.0;
         rows.push(Row {
             malicious_fraction: frac,
             majority_accuracy: maj.overall_accuracy,

@@ -49,7 +49,9 @@ fn main() {
     let mut trace_scores = Vec::new();
     let mut ai_scores = Vec::new();
     for (id, trace) in &traces {
-        let Some(t) = synth.truth.get(id) else { continue };
+        let Some(t) = synth.truth.get(id) else {
+            continue;
+        };
         ids.push(*id);
         is_fake.push(t.is_fake);
         trace_scores.push(trace_score(trace));
@@ -68,8 +70,7 @@ fn main() {
         .filter(|(_, f)| **f)
         .map(|(id, _)| *id)
         .collect();
-    let truth_numeric: Vec<f64> =
-        is_fake.iter().map(|f| if *f { 0.0 } else { 1.0 }).collect();
+    let truth_numeric: Vec<f64> = is_fake.iter().map(|f| if *f { 0.0 } else { 1.0 }).collect();
 
     let eval = |name: &'static str, scores: &[f64]| {
         // Fake detection: low score should mean fake, so feed 1-score as
@@ -80,8 +81,11 @@ fn main() {
             .map(|(s, f)| (*f, 1.0 - s))
             .collect();
         // Precision@25 for catching fakes when sorting ascending by score.
-        let scored: Vec<(Hash256, f64)> =
-            ids.iter().zip(scores).map(|(id, s)| (*id, 1.0 - s)).collect();
+        let scored: Vec<(Hash256, f64)> = ids
+            .iter()
+            .zip(scores)
+            .map(|(id, s)| (*id, 1.0 - s))
+            .collect();
         Row {
             signal: name,
             auc_fake_detection: roc_auc(&preds),
@@ -125,10 +129,15 @@ fn main() {
                     .filter(|(_, f)| **f)
                     .map(|(id, _)| *id)
                     .collect();
-                let scored: Vec<(Hash256, f64)> =
-                    sub_ids.iter().zip(scores).map(|(id, s)| (*id, 1.0 - s)).collect();
-                let tn: Vec<f64> =
-                    sub_fake.iter().map(|f| if *f { 0.0 } else { 1.0 }).collect();
+                let scored: Vec<(Hash256, f64)> = sub_ids
+                    .iter()
+                    .zip(scores)
+                    .map(|(id, s)| (*id, 1.0 - s))
+                    .collect();
+                let tn: Vec<f64> = sub_fake
+                    .iter()
+                    .map(|f| if *f { 0.0 } else { 1.0 })
+                    .collect();
                 Row {
                     signal: name,
                     auc_fake_detection: roc_auc(&preds),

@@ -36,7 +36,10 @@ struct Row {
 fn corpora(
     train_per_class: usize,
     subtlety: f64,
-) -> (Vec<tn_aidetect::corpus::LabeledDoc>, Vec<tn_aidetect::corpus::LabeledDoc>) {
+) -> (
+    Vec<tn_aidetect::corpus::LabeledDoc>,
+    Vec<tn_aidetect::corpus::LabeledDoc>,
+) {
     let train = generate_news_corpus(&NewsCorpusConfig {
         n_factual: train_per_class,
         n_fake: train_per_class,
@@ -66,13 +69,18 @@ fn main() {
         let ens = EnsembleDetector::train(&train, EnsembleWeights::default());
         type Scorer = Box<dyn Fn(&str) -> f64>;
         let models: Vec<(String, Scorer)> = vec![
-            ("naive bayes".into(), Box::new(move |t: &str| nb.prob_fake(t))),
-            ("logistic regression".into(), Box::new(move |t: &str| lr.prob_fake(t))),
+            (
+                "naive bayes".into(),
+                Box::new(move |t: &str| nb.prob_fake(t)),
+            ),
+            (
+                "logistic regression".into(),
+                Box::new(move |t: &str| lr.prob_fake(t)),
+            ),
             ("ensemble".into(), Box::new(move |t: &str| ens.prob_fake(t))),
         ];
         for (name, f) in models {
-            let preds: Vec<(bool, f64)> =
-                test.iter().map(|d| (d.fake, f(&d.text))).collect();
+            let preds: Vec<(bool, f64)> = test.iter().map(|d| (d.fake, f(&d.text))).collect();
             let m = evaluate(&preds, 0.5);
             rows.push(Row {
                 sweep: "learning-curve",
@@ -98,13 +106,18 @@ fn main() {
                 "lexicon heuristic".into(),
                 Box::new(|t: &str| LexiconFeatures::extract(t).heuristic_score()),
             ),
-            ("naive bayes".into(), Box::new(move |t: &str| nb.prob_fake(t))),
-            ("logistic regression".into(), Box::new(move |t: &str| lr.prob_fake(t))),
+            (
+                "naive bayes".into(),
+                Box::new(move |t: &str| nb.prob_fake(t)),
+            ),
+            (
+                "logistic regression".into(),
+                Box::new(move |t: &str| lr.prob_fake(t)),
+            ),
             ("ensemble".into(), Box::new(move |t: &str| ens.prob_fake(t))),
         ];
         for (name, f) in models {
-            let preds: Vec<(bool, f64)> =
-                test.iter().map(|d| (d.fake, f(&d.text))).collect();
+            let preds: Vec<(bool, f64)> = test.iter().map(|d| (d.fake, f(&d.text))).collect();
             let m = evaluate(&preds, 0.5);
             rows.push(Row {
                 sweep: "subtlety",

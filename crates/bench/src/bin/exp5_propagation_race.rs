@@ -35,14 +35,24 @@ fn main() {
         (
             "flagging d=3 (−80%)".into(),
             base.clone(),
-            Intervention::Flagging { delay: 3, multiplier: 0.2 },
+            Intervention::Flagging {
+                delay: 3,
+                multiplier: 0.2,
+            },
         ),
         (
             "flagging d=8 (−80%)".into(),
             base.clone(),
-            Intervention::Flagging { delay: 8, multiplier: 0.2 },
+            Intervention::Flagging {
+                delay: 8,
+                multiplier: 0.2,
+            },
         ),
-        ("source block d=2".into(), base.clone(), Intervention::SourceBlocking { delay: 2 }),
+        (
+            "source block d=2".into(),
+            base.clone(),
+            Intervention::SourceBlocking { delay: 2 },
+        ),
         (
             "rank suppress ×0.25".into(),
             base.clone(),
@@ -50,7 +60,10 @@ fn main() {
         ),
         (
             "suppress + certify ×1.6".into(),
-            RaceConfig { factual_boost: 1.6, ..base.clone() },
+            RaceConfig {
+                factual_boost: 1.6,
+                ..base.clone()
+            },
             Intervention::RankingSuppression { multiplier: 0.25 },
         ),
     ];

@@ -45,8 +45,15 @@ struct ParallelRow {
 }
 
 fn main() {
-    banner("E6", "consensus scaling (PBFT vs PoA) and parallel execution");
-    let workload = Workload { n_requests: 200, interarrival: 4, payload_size: 64 };
+    banner(
+        "E6",
+        "consensus scaling (PBFT vs PoA) and parallel execution",
+    );
+    let workload = Workload {
+        n_requests: 200,
+        interarrival: 4,
+        payload_size: 64,
+    };
     let mut rows = Vec::new();
 
     for &n in &[4usize, 7, 13, 19, 31] {
@@ -106,7 +113,9 @@ fn main() {
     Report::new("E6", "consensus scaling", rows).write_json();
 
     // ---- Part B: parallel contract execution -----------------------------
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("\nparallel execution of independent contract calls (host has {cores} core(s)):");
     // A compute-heavy contract: loop summing 1..=400, then bump a counter.
     let code = assemble(
@@ -152,9 +161,15 @@ fn main() {
             speedup: baseline / millis,
         });
     }
-    println!("{:>8} {:>7} {:>10} {:>9}", "workers", "tasks", "millis", "speedup");
+    println!(
+        "{:>8} {:>7} {:>10} {:>9}",
+        "workers", "tasks", "millis", "speedup"
+    );
     for r in &prows {
-        println!("{:>8} {:>7} {:>10.1} {:>9.2}", r.workers, r.tasks, r.millis, r.speedup);
+        println!(
+            "{:>8} {:>7} {:>10.1} {:>9.2}",
+            r.workers, r.tasks, r.millis, r.speedup
+        );
     }
     println!(
         "\nshape check: PBFT message cost grows superlinearly with n (quadratic broadcast) \

@@ -51,20 +51,24 @@ fn main() {
         per_author.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
         for &k in &[3usize, 5, 10] {
-            let hits = per_author.iter().take(k).filter(|(a, _)| honest.contains(a)).count();
+            let hits = per_author
+                .iter()
+                .take(k)
+                .filter(|(a, _)| honest.contains(a))
+                .count();
             rows.push(Row {
                 items_indexed: n_items,
                 k,
                 precision_at_k: hits as f64 / k as f64,
-                candidate_pool: per_author
-                    .iter()
-                    .filter(|(_, s)| *s > 1.0)
-                    .count(),
+                candidate_pool: per_author.iter().filter(|(_, s)| *s > 1.0).count(),
             });
         }
     }
 
-    println!("{:>13} {:>4} {:>13} {:>15}", "ledger items", "k", "precision@k", "candidate pool");
+    println!(
+        "{:>13} {:>4} {:>13} {:>15}",
+        "ledger items", "k", "precision@k", "candidate pool"
+    );
     for r in &rows {
         println!(
             "{:>13} {:>4} {:>13.3} {:>15}",

@@ -23,7 +23,10 @@ struct Row {
 }
 
 fn main() {
-    banner("E8", "media tamper detection ROC vs intensity and region size");
+    banner(
+        "E8",
+        "media tamper detection ROC vs intensity and region size",
+    );
     let n_videos = 20u64;
     let mut rows = Vec::new();
 

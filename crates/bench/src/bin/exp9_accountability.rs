@@ -109,7 +109,13 @@ fn main() {
 
     println!(
         "{:>12} {:>11} {:>12} {:>10} {:>13} {:>13} {:>10}",
-        "graph items", "fabricated", "origin acc", "distorted", "culprit∈path", "pinpoint acc", "trace µs"
+        "graph items",
+        "fabricated",
+        "origin acc",
+        "distorted",
+        "culprit∈path",
+        "pinpoint acc",
+        "trace µs"
     );
     for r in &rows {
         println!(

@@ -98,7 +98,12 @@ impl Block {
             proposer: proposer.address(),
         };
         let signature = proposer.sign(&header.digest());
-        Block { header, proposer_key: *proposer.public(), signature, transactions }
+        Block {
+            header,
+            proposer_key: *proposer.public(),
+            signature,
+            transactions,
+        }
     }
 
     /// The block id (header digest).
@@ -146,7 +151,10 @@ impl Block {
         if self.proposer_key.address() != self.header.proposer {
             return Err(ChainError::AddressMismatch);
         }
-        if !self.proposer_key.verify(&self.header.digest(), &self.signature) {
+        if !self
+            .proposer_key
+            .verify(&self.header.digest(), &self.signature)
+        {
             return Err(ChainError::BadSignature);
         }
         if Block::compute_tx_root(&self.transactions) != self.header.tx_root {
@@ -174,12 +182,15 @@ impl Encodable for Block {
 impl Decodable for Block {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let header = BlockHeader::decode(dec)?;
-        let pk: [u8; 33] =
-            dec.get_bytes()?.try_into().map_err(|_| DecodeError::BadLength(33))?;
-        let proposer_key =
-            PublicKey::from_compressed(&pk).ok_or(DecodeError::BadTag(0xfe))?;
-        let sig: [u8; 65] =
-            dec.get_bytes()?.try_into().map_err(|_| DecodeError::BadLength(65))?;
+        let pk: [u8; 33] = dec
+            .get_bytes()?
+            .try_into()
+            .map_err(|_| DecodeError::BadLength(33))?;
+        let proposer_key = PublicKey::from_compressed(&pk).ok_or(DecodeError::BadTag(0xfe))?;
+        let sig: [u8; 65] = dec
+            .get_bytes()?
+            .try_into()
+            .map_err(|_| DecodeError::BadLength(65))?;
         let signature = Signature::from_bytes(&sig).ok_or(DecodeError::BadTag(0xff))?;
         let n = dec.get_varint()?;
         if n > 1_000_000 {
@@ -189,7 +200,12 @@ impl Decodable for Block {
         for _ in 0..n {
             transactions.push(Transaction::decode(dec)?);
         }
-        Ok(Block { header, proposer_key, signature, transactions })
+        Ok(Block {
+            header,
+            proposer_key,
+            signature,
+            transactions,
+        })
     }
 }
 
@@ -202,8 +218,24 @@ mod tests {
         let proposer = Keypair::from_seed(b"proposer");
         let alice = Keypair::from_seed(b"alice");
         let txs = vec![
-            Transaction::signed(&alice, 0, 1, Payload::Blob { tag: 1, data: vec![1] }),
-            Transaction::signed(&alice, 1, 1, Payload::Blob { tag: 1, data: vec![2] }),
+            Transaction::signed(
+                &alice,
+                0,
+                1,
+                Payload::Blob {
+                    tag: 1,
+                    data: vec![1],
+                },
+            ),
+            Transaction::signed(
+                &alice,
+                1,
+                1,
+                Payload::Blob {
+                    tag: 1,
+                    data: vec![2],
+                },
+            ),
         ];
         let block = Block::build(
             &proposer,
@@ -265,11 +297,19 @@ mod tests {
         let (_, block) = sample_block();
         for (i, tx) in block.transactions.iter().enumerate() {
             let proof = block.prove_tx(i).expect("in range");
-            assert!(Block::verify_tx_proof(&tx.id(), &proof, &block.header.tx_root));
+            assert!(Block::verify_tx_proof(
+                &tx.id(),
+                &proof,
+                &block.header.tx_root
+            ));
             // Wrong tx id fails.
             let other = block.transactions[(i + 1) % block.transactions.len()].id();
             if other != tx.id() {
-                assert!(!Block::verify_tx_proof(&other, &proof, &block.header.tx_root));
+                assert!(!Block::verify_tx_proof(
+                    &other,
+                    &proof,
+                    &block.header.tx_root
+                ));
             }
         }
         assert!(block.prove_tx(99).is_none());

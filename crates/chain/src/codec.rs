@@ -173,12 +173,16 @@ impl<'a> Decoder<'a> {
 
     /// Reads a little-endian u32.
     pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian u64.
     pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an unsigned LEB128 varint.
@@ -335,7 +339,10 @@ mod tests {
         e.put_varint(1_000_000);
         let bytes = e.finish();
         let mut d = Decoder::new(&bytes);
-        assert!(matches!(d.get_bytes(), Err(DecodeError::BadLength(1_000_000))));
+        assert!(matches!(
+            d.get_bytes(),
+            Err(DecodeError::BadLength(1_000_000))
+        ));
     }
 
     #[test]

@@ -71,12 +71,20 @@ impl fmt::Display for ChainError {
             ChainError::AddressMismatch => {
                 f.write_str("sender public key does not match from-address")
             }
-            ChainError::BadNonce { account, expected, actual } => write!(
+            ChainError::BadNonce {
+                account,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "bad nonce for {}: expected {expected}, got {actual}",
                 account.short()
             ),
-            ChainError::InsufficientBalance { account, needed, available } => write!(
+            ChainError::InsufficientBalance {
+                account,
+                needed,
+                available,
+            } => write!(
                 f,
                 "insufficient balance for {}: need {needed}, have {available}",
                 account.short()
@@ -98,7 +106,10 @@ impl fmt::Display for ChainError {
             ChainError::Execution(msg) => write!(f, "execution failed: {msg}"),
             ChainError::MempoolFull => f.write_str("mempool full"),
             ChainError::AnchorForbidden { namespace } => {
-                write!(f, "account not authorized to anchor namespace {namespace:?}")
+                write!(
+                    f,
+                    "account not authorized to anchor namespace {namespace:?}"
+                )
             }
         }
     }

@@ -19,7 +19,11 @@
 //!   anchored here) — plus the transition function with a pluggable
 //!   contract executor.
 //! - [`store`]: block storage, parent-state validation, longest-chain fork
-//!   choice.
+//!   choice, and [`observer`] notification.
+//! - [`observer`]: the [`BlockObserver`] projection trait — derived views
+//!   (supply-chain graph, identity registry, fact admissions, …) as pure
+//!   functions of canonical block history, each with a state digest so
+//!   replicas and replays can be compared by hash.
 //! - [`mempool`]: fee-prioritised pending-transaction pool.
 //!
 //! Consensus (who gets to append) lives in `tn-consensus`; contract
@@ -56,6 +60,7 @@ pub mod block;
 pub mod codec;
 pub mod error;
 pub mod mempool;
+pub mod observer;
 pub mod state;
 pub mod store;
 pub mod transaction;
@@ -63,6 +68,7 @@ pub mod transaction;
 pub use block::{Block, BlockHeader};
 pub use error::ChainError;
 pub use mempool::Mempool;
+pub use observer::{projection_root, BlockObserver};
 pub use state::{AccountState, NoExecutor, Receipt, State, TxExecutor};
 pub use store::ChainStore;
 pub use transaction::{blob_tags, Payload, Transaction};
@@ -73,6 +79,7 @@ pub mod prelude {
     pub use crate::codec::{Decodable, Decoder, Encodable, Encoder};
     pub use crate::error::ChainError;
     pub use crate::mempool::Mempool;
+    pub use crate::observer::{projection_root, BlockObserver};
     pub use crate::state::{NoExecutor, Receipt, State, TxExecutor};
     pub use crate::store::ChainStore;
     pub use crate::transaction::{blob_tags, Payload, Transaction};

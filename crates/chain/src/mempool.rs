@@ -28,7 +28,12 @@ pub struct Mempool {
 impl Mempool {
     /// Creates a mempool that holds at most `capacity` transactions.
     pub fn new(capacity: usize) -> Mempool {
-        Mempool { by_account: BTreeMap::new(), seen: HashSet::new(), capacity, len: 0 }
+        Mempool {
+            by_account: BTreeMap::new(),
+            seen: HashSet::new(),
+            capacity,
+            len: 0,
+        }
     }
 
     /// Number of pending transactions.
@@ -136,6 +141,17 @@ impl Mempool {
     pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
         self.by_account.values().flat_map(|m| m.values())
     }
+
+    /// The next free nonce per account with pending transactions:
+    /// `max(pending nonce) + 1`. Lets a caller re-derive its nonce
+    /// reservations from actual pool content instead of tracking them
+    /// separately (and drifting when transactions are dropped or pruned).
+    pub fn next_nonces(&self) -> BTreeMap<Address, u64> {
+        self.by_account
+            .iter()
+            .filter_map(|(addr, txs)| txs.keys().next_back().map(|n| (*addr, n + 1)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +174,15 @@ mod tests {
     }
 
     fn tx(kp: &Keypair, nonce: u64, fee: u64) -> Transaction {
-        Transaction::signed(kp, nonce, fee, Payload::Blob { tag: 1, data: vec![nonce as u8] })
+        Transaction::signed(
+            kp,
+            nonce,
+            fee,
+            Payload::Blob {
+                tag: 1,
+                data: vec![nonce as u8],
+            },
+        )
     }
 
     #[test]
@@ -175,7 +199,11 @@ mod tests {
         // only becomes ready after nonce 0 is taken.
         assert_eq!(
             order,
-            vec![(bob().address(), 0), (alice().address(), 0), (alice().address(), 1)]
+            vec![
+                (bob().address(), 0),
+                (alice().address(), 0),
+                (alice().address(), 1)
+            ]
         );
     }
 
@@ -237,7 +265,8 @@ mod tests {
         pool.insert(tx(&alice(), 1, 1), &s).unwrap();
         // Commit nonce 0.
         let mut ex = NoExecutor;
-        s.apply(&tx(&alice(), 0, 1), &Address::SYSTEM, &mut ex).unwrap();
+        s.apply(&tx(&alice(), 0, 1), &Address::SYSTEM, &mut ex)
+            .unwrap();
         pool.prune_committed(&s);
         assert_eq!(pool.len(), 1);
         assert_eq!(pool.iter().next().unwrap().nonce, 1);
@@ -251,6 +280,19 @@ mod tests {
             pool.insert(tx(&alice(), n, 1), &s).unwrap();
         }
         assert_eq!(pool.select(&s, 3).len(), 3);
+    }
+
+    #[test]
+    fn next_nonces_tracks_pool_content() {
+        let s = state();
+        let mut pool = Mempool::new(100);
+        assert!(pool.next_nonces().is_empty());
+        pool.insert(tx(&alice(), 0, 1), &s).unwrap();
+        pool.insert(tx(&alice(), 1, 1), &s).unwrap();
+        pool.insert(tx(&bob(), 0, 1), &s).unwrap();
+        let next = pool.next_nonces();
+        assert_eq!(next.get(&alice().address()), Some(&2));
+        assert_eq!(next.get(&bob().address()), Some(&1));
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Block observers: deterministic projections of the canonical chain.
+//!
+//! The paper's accountability claim is that every derived view of the
+//! platform — supply-chain graph, identity registry, fact admissions,
+//! headline caches — is a pure function of block history. A
+//! [`BlockObserver`] is exactly that function: it consumes canonical
+//! `(block, receipts)` pairs in order and exposes a digest of its
+//! derived state, so two replicas (or a live node and a replay from
+//! genesis) can compare projections by hash.
+//!
+//! Observers registered with a [`ChainStore`](crate::store::ChainStore)
+//! are fed every head-extending import; on a reorg the store resets them
+//! and replays the new canonical chain from genesis, so an observer only
+//! ever reflects the canonical history.
+
+use std::any::Any;
+
+use tn_crypto::sha256::tagged_hash;
+use tn_crypto::Hash256;
+
+use crate::block::Block;
+use crate::state::Receipt;
+
+/// A deterministic projection over canonical blocks.
+///
+/// Implementations must be pure functions of the observed sequence: two
+/// observers of the same type fed the same `(block, receipts)` sequence
+/// must report identical [`digest`](BlockObserver::digest)s.
+pub trait BlockObserver {
+    /// Stable identifier used in digest reports (e.g. `"supplychain"`).
+    fn name(&self) -> &'static str;
+
+    /// Consumes the next canonical block and its execution receipts.
+    /// `receipts[i]` corresponds to `block.transactions[i]`.
+    fn on_block(&mut self, block: &Block, receipts: &[Receipt]);
+
+    /// A hash of the observer's entire derived state.
+    fn digest(&self) -> Hash256;
+
+    /// Returns the observer to its genesis (empty) state, ahead of a
+    /// replay after a reorg.
+    fn reset(&mut self);
+
+    /// Downcast support (the store owns observers as trait objects).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Combines named per-projection digests into one projection root:
+/// `H("TN/projections" || (len(name) name digest)*)`.
+///
+/// Replicas agree on their full derived state iff they agree on this
+/// root (given the same registered projection set, in order).
+pub fn projection_root(digests: &[(&'static str, Hash256)]) -> Hash256 {
+    let mut data = Vec::with_capacity(digests.len() * 40);
+    for (name, digest) in digests {
+        data.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        data.extend_from_slice(name.as_bytes());
+        data.extend_from_slice(digest.as_bytes());
+    }
+    tagged_hash("TN/projections", &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_root_is_order_and_name_sensitive() {
+        let a = ("alpha", tagged_hash("t", b"a"));
+        let b = ("beta", tagged_hash("t", b"b"));
+        let root_ab = projection_root(&[a, b]);
+        let root_ba = projection_root(&[b, a]);
+        assert_ne!(root_ab, root_ba);
+        let renamed = ("alpha2", tagged_hash("t", b"b"));
+        assert_ne!(projection_root(&[a, renamed]), projection_root(&[a, b]));
+        assert_eq!(root_ab, projection_root(&[a, b]));
+    }
+
+    #[test]
+    fn projection_root_of_empty_set_is_stable() {
+        assert_eq!(projection_root(&[]), projection_root(&[]));
+    }
+}

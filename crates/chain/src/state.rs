@@ -43,12 +43,7 @@ pub trait TxExecutor {
     /// # Errors
     ///
     /// Implementations return a message describing why deployment failed.
-    fn deploy(
-        &mut self,
-        deployer: &Address,
-        nonce: u64,
-        code: &[u8],
-    ) -> Result<Address, String>;
+    fn deploy(&mut self, deployer: &Address, nonce: u64, code: &[u8]) -> Result<Address, String>;
 
     /// Executes a call, returning `(gas_used, output)`.
     ///
@@ -107,7 +102,13 @@ impl State {
     pub fn genesis<I: IntoIterator<Item = (Address, u64)>>(grants: I) -> Self {
         let mut s = State::new();
         for (addr, amount) in grants {
-            s.accounts.insert(addr, AccountState { balance: amount, nonce: 0 });
+            s.accounts.insert(
+                addr,
+                AccountState {
+                    balance: amount,
+                    nonce: 0,
+                },
+            );
         }
         s
     }
@@ -149,7 +150,9 @@ impl State {
         let mut enc = Encoder::new();
         enc.put_varint(self.accounts.len() as u64);
         for (addr, acct) in &self.accounts {
-            enc.put_hash(addr.as_hash()).put_u64(acct.balance).put_u64(acct.nonce);
+            enc.put_hash(addr.as_hash())
+                .put_u64(acct.balance)
+                .put_u64(acct.nonce);
         }
         enc.put_varint(self.anchors.len() as u64);
         for (ns, (owner, root)) in &self.anchors {
@@ -231,42 +234,40 @@ impl State {
             Payload::Blob { .. } => {
                 // Blobs have no native state effect; upper layers index them.
             }
-            Payload::ContractDeploy { code } => {
-                match executor.deploy(&tx.from, tx.nonce, code) {
-                    Ok(addr) => receipt.output = addr.as_hash().as_bytes().to_vec(),
-                    Err(e) => {
-                        receipt.success = false;
-                        receipt.error = Some(e);
-                    }
+            Payload::ContractDeploy { code } => match executor.deploy(&tx.from, tx.nonce, code) {
+                Ok(addr) => receipt.output = addr.as_hash().as_bytes().to_vec(),
+                Err(e) => {
+                    receipt.success = false;
+                    receipt.error = Some(e);
                 }
-            }
-            Payload::ContractCall { contract, input, gas_limit } => {
-                match executor.call(&tx.from, contract, input, *gas_limit) {
-                    Ok((gas, out)) => {
-                        receipt.gas_used = gas;
-                        receipt.output = out;
-                    }
-                    Err(e) => {
-                        receipt.success = false;
-                        receipt.gas_used = *gas_limit;
-                        receipt.error = Some(e);
-                    }
+            },
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit,
+            } => match executor.call(&tx.from, contract, input, *gas_limit) {
+                Ok((gas, out)) => {
+                    receipt.gas_used = gas;
+                    receipt.output = out;
                 }
-            }
-            Payload::AnchorRoot { namespace, root } => {
-                match self.anchors.get(namespace) {
-                    Some((owner, _)) if owner != &tx.from => {
-                        receipt.success = false;
-                        receipt.error = Some(format!(
-                            "anchor namespace {namespace:?} owned by {}",
-                            owner.short()
-                        ));
-                    }
-                    _ => {
-                        self.anchors.insert(namespace.clone(), (tx.from, *root));
-                    }
+                Err(e) => {
+                    receipt.success = false;
+                    receipt.gas_used = *gas_limit;
+                    receipt.error = Some(e);
                 }
-            }
+            },
+            Payload::AnchorRoot { namespace, root } => match self.anchors.get(namespace) {
+                Some((owner, _)) if owner != &tx.from => {
+                    receipt.success = false;
+                    receipt.error = Some(format!(
+                        "anchor namespace {namespace:?} owned by {}",
+                        owner.short()
+                    ));
+                }
+                _ => {
+                    self.anchors.insert(namespace.clone(), (tx.from, *root));
+                }
+            },
         }
         Ok(receipt)
     }
@@ -276,7 +277,9 @@ impl Encodable for State {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_varint(self.accounts.len() as u64);
         for (addr, acct) in &self.accounts {
-            enc.put_hash(addr.as_hash()).put_u64(acct.balance).put_u64(acct.nonce);
+            enc.put_hash(addr.as_hash())
+                .put_u64(acct.balance)
+                .put_u64(acct.nonce);
         }
         enc.put_varint(self.anchors.len() as u64);
         for (ns, (owner, root)) in &self.anchors {
@@ -341,9 +344,14 @@ mod tests {
             &alice,
             0,
             10,
-            Payload::Transfer { to: bob.address(), amount: 100 },
+            Payload::Transfer {
+                to: bob.address(),
+                amount: 100,
+            },
         );
-        let r = state.apply(&tx, &proposer, &mut NoExecutor).expect("applies");
+        let r = state
+            .apply(&tx, &proposer, &mut NoExecutor)
+            .expect("applies");
         assert!(r.success);
         assert_eq!(state.balance(&alice.address()), 890);
         assert_eq!(state.balance(&bob.address()), 100);
@@ -358,10 +366,17 @@ mod tests {
             &alice,
             5,
             0,
-            Payload::Transfer { to: bob.address(), amount: 1 },
+            Payload::Transfer {
+                to: bob.address(),
+                amount: 1,
+            },
         );
         match state.apply(&tx, &Address::SYSTEM, &mut NoExecutor) {
-            Err(ChainError::BadNonce { expected: 0, actual: 5, .. }) => {}
+            Err(ChainError::BadNonce {
+                expected: 0,
+                actual: 5,
+                ..
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -373,9 +388,14 @@ mod tests {
             &alice,
             0,
             1,
-            Payload::Transfer { to: bob.address(), amount: 1 },
+            Payload::Transfer {
+                to: bob.address(),
+                amount: 1,
+            },
         );
-        state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("first");
+        state
+            .apply(&tx, &Address::SYSTEM, &mut NoExecutor)
+            .expect("first");
         assert!(matches!(
             state.apply(&tx, &Address::SYSTEM, &mut NoExecutor),
             Err(ChainError::BadNonce { .. })
@@ -389,11 +409,18 @@ mod tests {
             &alice,
             0,
             1,
-            Payload::Transfer { to: bob.address(), amount: 1000 },
+            Payload::Transfer {
+                to: bob.address(),
+                amount: 1000,
+            },
         );
         assert!(matches!(
             state.apply(&tx, &Address::SYSTEM, &mut NoExecutor),
-            Err(ChainError::InsufficientBalance { needed: 1001, available: 1000, .. })
+            Err(ChainError::InsufficientBalance {
+                needed: 1001,
+                available: 1000,
+                ..
+            })
         ));
     }
 
@@ -406,9 +433,14 @@ mod tests {
             &alice,
             0,
             0,
-            Payload::AnchorRoot { namespace: "factdb".into(), root: root1 },
+            Payload::AnchorRoot {
+                namespace: "factdb".into(),
+                root: root1,
+            },
         );
-        let r = state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        let r = state
+            .apply(&tx, &Address::SYSTEM, &mut NoExecutor)
+            .expect("applies");
         assert!(r.success);
         assert_eq!(state.anchor("factdb"), Some(root1));
 
@@ -418,9 +450,14 @@ mod tests {
             &bob,
             0,
             0,
-            Payload::AnchorRoot { namespace: "factdb".into(), root: root2 },
+            Payload::AnchorRoot {
+                namespace: "factdb".into(),
+                root: root2,
+            },
         );
-        let r = state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        let r = state
+            .apply(&tx, &Address::SYSTEM, &mut NoExecutor)
+            .expect("applies");
         assert!(!r.success);
         assert_eq!(state.anchor("factdb"), Some(root1));
 
@@ -429,9 +466,17 @@ mod tests {
             &alice,
             1,
             0,
-            Payload::AnchorRoot { namespace: "factdb".into(), root: root2 },
+            Payload::AnchorRoot {
+                namespace: "factdb".into(),
+                root: root2,
+            },
         );
-        assert!(state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).unwrap().success);
+        assert!(
+            state
+                .apply(&tx, &Address::SYSTEM, &mut NoExecutor)
+                .unwrap()
+                .success
+        );
         assert_eq!(state.anchor("factdb"), Some(root2));
     }
 
@@ -439,9 +484,15 @@ mod tests {
     fn contract_payloads_fail_cleanly_without_executor() {
         let (alice, _, mut state) = setup();
         let tx = Transaction::signed(&alice, 0, 5, Payload::ContractDeploy { code: vec![1] });
-        let r = state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        let r = state
+            .apply(&tx, &Address::SYSTEM, &mut NoExecutor)
+            .expect("applies");
         assert!(!r.success);
-        assert!(r.error.as_deref().unwrap_or("").contains("no contract executor"));
+        assert!(r
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("no contract executor"));
         // Fee still charged, nonce bumped.
         assert_eq!(state.balance(&alice.address()), 995);
         assert_eq!(state.nonce(&alice.address()), 1);
@@ -455,9 +506,14 @@ mod tests {
             &alice,
             0,
             0,
-            Payload::Transfer { to: bob.address(), amount: 1 },
+            Payload::Transfer {
+                to: bob.address(),
+                amount: 1,
+            },
         );
-        state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        state
+            .apply(&tx, &Address::SYSTEM, &mut NoExecutor)
+            .expect("applies");
         assert_ne!(state.root(), r0);
     }
 
@@ -477,9 +533,14 @@ mod tests {
             &alice,
             0,
             3,
-            Payload::Blob { tag: blob_tags::NEWS_PUBLISH, data: b"story".to_vec() },
+            Payload::Blob {
+                tag: blob_tags::NEWS_PUBLISH,
+                data: b"story".to_vec(),
+            },
         );
-        let r = state.apply(&tx, &Address::SYSTEM, &mut NoExecutor).expect("applies");
+        let r = state
+            .apply(&tx, &Address::SYSTEM, &mut NoExecutor)
+            .expect("applies");
         assert!(r.success);
         assert_eq!(state.balance(&alice.address()), 997);
     }

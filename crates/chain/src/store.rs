@@ -7,11 +7,13 @@
 //! possible) and so tests can exercise reorg behaviour.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use tn_crypto::{Address, Hash256, Keypair};
 
 use crate::block::Block;
 use crate::error::ChainError;
+use crate::observer::{self, BlockObserver};
 use crate::state::{Receipt, State, TxExecutor};
 use crate::transaction::Transaction;
 
@@ -24,12 +26,31 @@ struct StoredBlock {
 }
 
 /// The block store and canonical-chain tracker.
-#[derive(Debug)]
+///
+/// Registered [`BlockObserver`] projections are fed every canonical
+/// block in order: head-extending imports notify observers directly,
+/// while reorgs reset them and replay the new canonical chain from
+/// genesis, so observers always reflect exactly the canonical history.
 pub struct ChainStore {
     blocks: HashMap<Hash256, StoredBlock>,
     /// Current head (tip of the canonical chain).
     head: Hash256,
     genesis: Hash256,
+    observers: Vec<Box<dyn BlockObserver>>,
+}
+
+impl fmt::Debug for ChainStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChainStore")
+            .field("blocks", &self.blocks.len())
+            .field("head", &self.head)
+            .field("genesis", &self.genesis)
+            .field(
+                "observers",
+                &self.observers.iter().map(|o| o.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
 }
 
 impl ChainStore {
@@ -48,9 +69,18 @@ impl ChainStore {
         let mut blocks = HashMap::new();
         blocks.insert(
             id,
-            StoredBlock { block, post_state: genesis_state, receipts: Vec::new() },
+            StoredBlock {
+                block,
+                post_state: genesis_state,
+                receipts: Vec::new(),
+            },
         );
-        ChainStore { blocks, head: id, genesis: id }
+        ChainStore {
+            blocks,
+            head: id,
+            genesis: id,
+            observers: Vec::new(),
+        }
     }
 
     /// The genesis block id.
@@ -143,18 +173,109 @@ impl ChainStore {
             return Err(ChainError::BadStateRoot);
         }
         let height = block.header.height;
+        let parent_id = block.header.parent;
         self.blocks.insert(
             id,
-            StoredBlock { block, post_state: state, receipts: receipts.clone() },
+            StoredBlock {
+                block,
+                post_state: state,
+                receipts: receipts.clone(),
+            },
         );
         // Fork choice: longest chain, deterministic tie-break.
+        let old_head = self.head;
         let head_height = self.height();
-        if height > head_height
-            || (height == head_height && id < self.head)
-        {
+        if height > head_height || (height == head_height && id < self.head) {
             self.head = id;
         }
+        // Keep projections in lock-step with the canonical chain.
+        if self.head == id {
+            if parent_id == old_head {
+                let mut observers = std::mem::take(&mut self.observers);
+                let stored = &self.blocks[&id];
+                for ob in observers.iter_mut() {
+                    ob.on_block(&stored.block, &stored.receipts);
+                }
+                self.observers = observers;
+            } else {
+                // Reorg: the new head is not a child of the old one.
+                self.rebuild_observers();
+            }
+        }
         Ok(receipts)
+    }
+
+    /// Registers a projection. The existing canonical history (genesis
+    /// first) is replayed into it, so observers registered after blocks
+    /// were imported still see the complete canonical sequence.
+    pub fn register_observer(&mut self, mut observer: Box<dyn BlockObserver>) {
+        observer.reset();
+        let mut ids = self.canonical_chain();
+        ids.reverse();
+        for id in &ids {
+            let stored = &self.blocks[id];
+            observer.on_block(&stored.block, &stored.receipts);
+        }
+        self.observers.push(observer);
+    }
+
+    /// Looks up a registered observer by name, downcast to its concrete
+    /// projection type.
+    pub fn observer<T: 'static>(&self, name: &str) -> Option<&T> {
+        self.observers
+            .iter()
+            .find(|o| o.name() == name)
+            .and_then(|o| o.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable variant of [`ChainStore::observer`].
+    pub fn observer_mut<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
+        self.observers
+            .iter_mut()
+            .find(|o| o.name() == name)
+            .and_then(|o| o.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Per-projection state digests, in registration order.
+    pub fn projection_digests(&self) -> Vec<(&'static str, Hash256)> {
+        self.observers
+            .iter()
+            .map(|o| (o.name(), o.digest()))
+            .collect()
+    }
+
+    /// Combined digest over all registered projections (see
+    /// [`observer::projection_root`]).
+    pub fn projection_root(&self) -> Hash256 {
+        observer::projection_root(&self.projection_digests())
+    }
+
+    /// Replays the canonical chain from genesis into an external set of
+    /// (fresh or stale) observers. This is the audit path: digests of
+    /// the replayed observers must match the live registered ones.
+    pub fn replay_into(&self, observers: &mut [Box<dyn BlockObserver>]) {
+        for ob in observers.iter_mut() {
+            ob.reset();
+        }
+        let mut ids = self.canonical_chain();
+        ids.reverse();
+        for id in &ids {
+            let stored = &self.blocks[id];
+            for ob in observers.iter_mut() {
+                ob.on_block(&stored.block, &stored.receipts);
+            }
+        }
+    }
+
+    /// Resets every observer and replays the canonical chain (used after
+    /// a reorg changes canonical history).
+    fn rebuild_observers(&mut self) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let mut observers = std::mem::take(&mut self.observers);
+        self.replay_into(&mut observers);
+        self.observers = observers;
     }
 
     /// Produces (but does not import) a block extending the canonical head,
@@ -245,10 +366,7 @@ impl ChainStore {
     /// # Errors
     ///
     /// Decode errors or any validation error hit during replay.
-    pub fn restore(
-        bytes: &[u8],
-        executor: &mut dyn TxExecutor,
-    ) -> Result<ChainStore, ChainError> {
+    pub fn restore(bytes: &[u8], executor: &mut dyn TxExecutor) -> Result<ChainStore, ChainError> {
         use crate::codec::{Decodable, Decoder};
         let mut dec = Decoder::new(bytes);
         let genesis_state = State::decode(&mut dec)?;
@@ -269,7 +387,12 @@ impl ChainStore {
                 receipts: Vec::new(),
             },
         );
-        let mut store = ChainStore { blocks, head: id, genesis: id };
+        let mut store = ChainStore {
+            blocks,
+            head: id,
+            genesis: id,
+            observers: Vec::new(),
+        };
         let n = dec.get_varint()?;
         if n > 10_000_000 {
             return Err(crate::codec::DecodeError::BadLength(n).into());
@@ -303,7 +426,15 @@ mod tests {
     }
 
     fn blob(nonce: u64) -> Transaction {
-        Transaction::signed(&alice(), nonce, 1, Payload::Blob { tag: 1, data: vec![nonce as u8] })
+        Transaction::signed(
+            &alice(),
+            nonce,
+            1,
+            Payload::Blob {
+                tag: 1,
+                data: vec![nonce as u8],
+            },
+        )
     }
 
     #[test]
@@ -318,7 +449,9 @@ mod tests {
     fn propose_and_import_extends_chain() {
         let mut store = store_with_funds();
         let block = store.propose(&proposer(), 10, vec![blob(0), blob(1)], &mut NoExecutor);
-        let receipts = store.import(block.clone(), &mut NoExecutor).expect("imports");
+        let receipts = store
+            .import(block.clone(), &mut NoExecutor)
+            .expect("imports");
         assert_eq!(receipts.len(), 2);
         assert!(receipts.iter().all(|r| r.success));
         assert_eq!(store.height(), 1);
@@ -331,7 +464,9 @@ mod tests {
     fn duplicate_block_rejected() {
         let mut store = store_with_funds();
         let block = store.propose(&proposer(), 10, vec![blob(0)], &mut NoExecutor);
-        store.import(block.clone(), &mut NoExecutor).expect("first import");
+        store
+            .import(block.clone(), &mut NoExecutor)
+            .expect("first import");
         assert!(matches!(
             store.import(block, &mut NoExecutor),
             Err(ChainError::DuplicateBlock(_))
@@ -368,7 +503,10 @@ mod tests {
         );
         assert!(matches!(
             store.import(block, &mut NoExecutor),
-            Err(ChainError::BadHeight { expected: 1, actual: 5 })
+            Err(ChainError::BadHeight {
+                expected: 1,
+                actual: 5
+            })
         ));
     }
 
@@ -446,8 +584,7 @@ mod tests {
     fn snapshot_restore_round_trip() {
         let mut store = store_with_funds();
         for i in 0..4u64 {
-            let block =
-                store.propose(&proposer(), 10 + i, vec![blob(i)], &mut NoExecutor);
+            let block = store.propose(&proposer(), 10 + i, vec![blob(i)], &mut NoExecutor);
             store.import(block, &mut NoExecutor).expect("imports");
         }
         let snap = store.snapshot();
@@ -491,5 +628,138 @@ mod tests {
         let block = store.propose(&proposer(), 1, vec![bad, good], &mut NoExecutor);
         assert_eq!(block.transactions.len(), 1);
         assert_eq!(block.transactions[0].nonce, 0);
+    }
+
+    /// Test projection: a running hash over observed `(block id, receipt
+    /// successes)` — sensitive to both sequence and content.
+    #[derive(Default)]
+    struct ChainTrace {
+        acc: Vec<u8>,
+        blocks_seen: usize,
+    }
+
+    impl crate::observer::BlockObserver for ChainTrace {
+        fn name(&self) -> &'static str {
+            "trace"
+        }
+
+        fn on_block(&mut self, block: &Block, receipts: &[Receipt]) {
+            self.acc.extend_from_slice(block.id().as_bytes());
+            for r in receipts {
+                self.acc.push(r.success as u8);
+            }
+            self.blocks_seen += 1;
+        }
+
+        fn digest(&self) -> Hash256 {
+            tn_crypto::sha256::tagged_hash("test/trace", &self.acc)
+        }
+
+        fn reset(&mut self) {
+            self.acc.clear();
+            self.blocks_seen = 0;
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn observer_sees_imports_and_catches_up_on_registration() {
+        let mut store = store_with_funds();
+        let b1 = store.propose(&proposer(), 10, vec![blob(0)], &mut NoExecutor);
+        store.import(b1, &mut NoExecutor).expect("b1");
+
+        // Late registration replays history (genesis + b1).
+        store.register_observer(Box::new(ChainTrace::default()));
+        assert_eq!(
+            store.observer::<ChainTrace>("trace").unwrap().blocks_seen,
+            2
+        );
+
+        let b2 = store.propose(&proposer(), 11, vec![blob(1)], &mut NoExecutor);
+        store.import(b2, &mut NoExecutor).expect("b2");
+        assert_eq!(
+            store.observer::<ChainTrace>("trace").unwrap().blocks_seen,
+            3
+        );
+
+        // Live digest equals a replay into a fresh observer.
+        let mut fresh: Vec<Box<dyn BlockObserver>> = vec![Box::new(ChainTrace::default())];
+        store.replay_into(&mut fresh);
+        assert_eq!(fresh[0].digest(), store.projection_digests()[0].1);
+        assert_eq!(
+            store.projection_root(),
+            observer::projection_root(&[("trace", fresh[0].digest())])
+        );
+    }
+
+    #[test]
+    fn reorg_rebuilds_observers_from_canonical_chain() {
+        let mut store = store_with_funds();
+        store.register_observer(Box::new(ChainTrace::default()));
+        let genesis = store.head_id();
+        let p1 = proposer();
+        let p2 = Keypair::from_seed(b"rival");
+
+        // Branch A extends the head — observer follows it live.
+        let a1 = store.propose(&p1, 10, vec![blob(0)], &mut NoExecutor);
+        store.import(a1, &mut NoExecutor).expect("a1");
+        let digest_on_a = store.projection_digests()[0].1;
+
+        // Branch B (two empty blocks) wins the reorg; the observer must
+        // now reflect B's history, not A's.
+        let genesis_state = store.state_of(&genesis).expect("genesis state").clone();
+        let b1 = Block::build(&p2, 1, genesis, genesis_state.root(), 11, vec![]);
+        store.import(b1.clone(), &mut NoExecutor).expect("b1");
+        let b1_state = store.state_of(&b1.id()).expect("b1 state").clone();
+        let b2 = Block::build(&p2, 2, b1.id(), b1_state.root(), 12, vec![]);
+        store.import(b2.clone(), &mut NoExecutor).expect("b2");
+        assert_eq!(store.head_id(), b2.id());
+
+        let trace = store.observer::<ChainTrace>("trace").unwrap();
+        assert_eq!(trace.blocks_seen, 3, "reset + genesis, b1, b2");
+        let digest_on_b = store.projection_digests()[0].1;
+        assert_ne!(digest_on_a, digest_on_b);
+
+        // And the rebuilt state matches a from-scratch replay.
+        let mut fresh: Vec<Box<dyn BlockObserver>> = vec![Box::new(ChainTrace::default())];
+        store.replay_into(&mut fresh);
+        assert_eq!(fresh[0].digest(), digest_on_b);
+    }
+
+    #[test]
+    fn non_canonical_import_does_not_notify() {
+        let mut store = store_with_funds();
+        let genesis = store.head_id();
+        let b1 = store.propose(&proposer(), 10, vec![blob(0)], &mut NoExecutor);
+        store.import(b1, &mut NoExecutor).expect("b1");
+        store.register_observer(Box::new(ChainTrace::default()));
+
+        // A same-height rival that loses the tie-break must not disturb
+        // the projection.
+        let rival = Keypair::from_seed(b"rival");
+        let genesis_state = store.state_of(&genesis).expect("genesis state").clone();
+        let r1 = Block::build(&rival, 1, genesis, genesis_state.root(), 11, vec![]);
+        let head_before = store.head_id();
+        store.import(r1.clone(), &mut NoExecutor).expect("r1");
+        if store.head_id() == head_before {
+            assert_eq!(
+                store.observer::<ChainTrace>("trace").unwrap().blocks_seen,
+                2
+            );
+        } else {
+            // Tie-break picked the rival: observer was rebuilt onto it.
+            assert_eq!(store.canonical_chain(), vec![r1.id(), genesis]);
+            assert_eq!(
+                store.observer::<ChainTrace>("trace").unwrap().blocks_seen,
+                2
+            );
+        }
     }
 }

@@ -76,6 +76,12 @@ pub mod blob_tags {
     /// Identity verification record (tn-core, "identification verified
     /// persons" of §V).
     pub const IDENTITY: u16 = 7;
+    /// Fact-record proposal (tn-core): a candidate fact published on
+    /// chain, admitted into the factual DB once enough [`FACT_ATTEST`]
+    /// attestations accumulate. Putting proposals on chain makes fact
+    /// admission a pure function of block history, so it can live in a
+    /// replayable projection.
+    pub const FACT_PROPOSE: u16 = 8;
 }
 
 impl Encodable for Payload {
@@ -90,7 +96,11 @@ impl Encodable for Payload {
             Payload::ContractDeploy { code } => {
                 enc.put_u8(2).put_bytes(code);
             }
-            Payload::ContractCall { contract, input, gas_limit } => {
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit,
+            } => {
                 enc.put_u8(3)
                     .put_hash(contract.as_hash())
                     .put_bytes(input)
@@ -110,14 +120,22 @@ impl Decodable for Payload {
                 to: Address::from_hash(dec.get_hash()?),
                 amount: dec.get_u64()?,
             }),
-            1 => Ok(Payload::Blob { tag: dec.get_u32()? as u16, data: dec.get_bytes()? }),
-            2 => Ok(Payload::ContractDeploy { code: dec.get_bytes()? }),
+            1 => Ok(Payload::Blob {
+                tag: dec.get_u32()? as u16,
+                data: dec.get_bytes()?,
+            }),
+            2 => Ok(Payload::ContractDeploy {
+                code: dec.get_bytes()?,
+            }),
             3 => Ok(Payload::ContractCall {
                 contract: Address::from_hash(dec.get_hash()?),
                 input: dec.get_bytes()?,
                 gas_limit: dec.get_u64()?,
             }),
-            4 => Ok(Payload::AnchorRoot { namespace: dec.get_str()?, root: dec.get_hash()? }),
+            4 => Ok(Payload::AnchorRoot {
+                namespace: dec.get_str()?,
+                root: dec.get_hash()?,
+            }),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -146,17 +164,19 @@ impl Transaction {
         let from = keypair.address();
         let digest = Transaction::signing_digest(&from, nonce, fee, &payload);
         let signature = keypair.sign(&digest);
-        Transaction { from, nonce, fee, payload, pubkey: *keypair.public(), signature }
+        Transaction {
+            from,
+            nonce,
+            fee,
+            payload,
+            pubkey: *keypair.public(),
+            signature,
+        }
     }
 
     /// The digest that is signed: a tagged hash over the canonical encoding
     /// of all fields except the signature.
-    pub fn signing_digest(
-        from: &Address,
-        nonce: u64,
-        fee: u64,
-        payload: &Payload,
-    ) -> Hash256 {
+    pub fn signing_digest(from: &Address, nonce: u64, fee: u64, payload: &Payload) -> Hash256 {
         let mut enc = Encoder::new();
         enc.put_hash(from.as_hash()).put_u64(nonce).put_u64(fee);
         payload.encode(&mut enc);
@@ -179,8 +199,7 @@ impl Transaction {
         if self.pubkey.address() != self.from {
             return Err(ChainError::AddressMismatch);
         }
-        let digest =
-            Transaction::signing_digest(&self.from, self.nonce, self.fee, &self.payload);
+        let digest = Transaction::signing_digest(&self.from, self.nonce, self.fee, &self.payload);
         if !self.pubkey.verify(&digest, &self.signature) {
             return Err(ChainError::BadSignature);
         }
@@ -200,7 +219,9 @@ impl Transaction {
 
 impl Encodable for Transaction {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_hash(self.from.as_hash()).put_u64(self.nonce).put_u64(self.fee);
+        enc.put_hash(self.from.as_hash())
+            .put_u64(self.nonce)
+            .put_u64(self.fee);
         self.payload.encode(enc);
         enc.put_bytes(&self.pubkey.to_compressed());
         enc.put_bytes(&self.signature.to_bytes());
@@ -223,7 +244,14 @@ impl Decodable for Transaction {
             .try_into()
             .map_err(|_| DecodeError::BadLength(65))?;
         let signature = Signature::from_bytes(&sig_bytes).ok_or(DecodeError::BadTag(0xff))?;
-        Ok(Transaction { from, nonce, fee, payload, pubkey, signature })
+        Ok(Transaction {
+            from,
+            nonce,
+            fee,
+            payload,
+            pubkey,
+            signature,
+        })
     }
 }
 
@@ -241,7 +269,10 @@ mod tests {
             &kp(),
             0,
             10,
-            Payload::Transfer { to: Keypair::from_seed(b"bob").address(), amount: 5 },
+            Payload::Transfer {
+                to: Keypair::from_seed(b"bob").address(),
+                amount: 5,
+            },
         );
         tx.verify().expect("valid");
     }
@@ -250,10 +281,22 @@ mod tests {
     fn all_payload_variants_round_trip() {
         let k = kp();
         let payloads = vec![
-            Payload::Transfer { to: k.address(), amount: 42 },
-            Payload::Blob { tag: blob_tags::NEWS_PUBLISH, data: vec![1, 2, 3] },
-            Payload::ContractDeploy { code: vec![0xde, 0xad] },
-            Payload::ContractCall { contract: k.address(), input: vec![9], gas_limit: 1000 },
+            Payload::Transfer {
+                to: k.address(),
+                amount: 42,
+            },
+            Payload::Blob {
+                tag: blob_tags::NEWS_PUBLISH,
+                data: vec![1, 2, 3],
+            },
+            Payload::ContractDeploy {
+                code: vec![0xde, 0xad],
+            },
+            Payload::ContractCall {
+                contract: k.address(),
+                input: vec![9],
+                gas_limit: 1000,
+            },
             Payload::AnchorRoot {
                 namespace: "factdb".into(),
                 root: tn_crypto::sha256::sha256(b"root"),
@@ -270,7 +313,15 @@ mod tests {
     #[test]
     fn tampering_with_fields_breaks_verification() {
         let k = kp();
-        let tx = Transaction::signed(&k, 3, 7, Payload::Blob { tag: 1, data: vec![1] });
+        let tx = Transaction::signed(
+            &k,
+            3,
+            7,
+            Payload::Blob {
+                tag: 1,
+                data: vec![1],
+            },
+        );
 
         let mut t = tx.clone();
         t.nonce = 4;
@@ -281,7 +332,10 @@ mod tests {
         assert_eq!(t.verify(), Err(ChainError::BadSignature));
 
         let mut t = tx.clone();
-        t.payload = Payload::Blob { tag: 1, data: vec![2] };
+        t.payload = Payload::Blob {
+            tag: 1,
+            data: vec![2],
+        };
         assert_eq!(t.verify(), Err(ChainError::BadSignature));
 
         let mut t = tx;
@@ -293,7 +347,15 @@ mod tests {
     fn wrong_pubkey_is_address_mismatch() {
         let k = kp();
         let other = Keypair::from_seed(b"other");
-        let mut tx = Transaction::signed(&k, 0, 0, Payload::Blob { tag: 1, data: vec![] });
+        let mut tx = Transaction::signed(
+            &k,
+            0,
+            0,
+            Payload::Blob {
+                tag: 1,
+                data: vec![],
+            },
+        );
         tx.pubkey = *other.public();
         assert_eq!(tx.verify(), Err(ChainError::AddressMismatch));
     }
@@ -301,8 +363,24 @@ mod tests {
     #[test]
     fn tx_ids_differ_per_content() {
         let k = kp();
-        let a = Transaction::signed(&k, 0, 0, Payload::Blob { tag: 1, data: vec![1] });
-        let b = Transaction::signed(&k, 1, 0, Payload::Blob { tag: 1, data: vec![1] });
+        let a = Transaction::signed(
+            &k,
+            0,
+            0,
+            Payload::Blob {
+                tag: 1,
+                data: vec![1],
+            },
+        );
+        let b = Transaction::signed(
+            &k,
+            1,
+            0,
+            Payload::Blob {
+                tag: 1,
+                data: vec![1],
+            },
+        );
         assert_ne!(a.id(), b.id());
         // id is stable across re-encoding.
         let decoded = Transaction::from_bytes(&a.to_bytes()).expect("decodes");
@@ -316,10 +394,21 @@ mod tests {
             &k,
             0,
             7,
-            Payload::Transfer { to: k.address(), amount: 100 },
+            Payload::Transfer {
+                to: k.address(),
+                amount: 100,
+            },
         );
         assert_eq!(t.total_debit(), 107);
-        let b = Transaction::signed(&k, 0, 7, Payload::Blob { tag: 1, data: vec![] });
+        let b = Transaction::signed(
+            &k,
+            0,
+            7,
+            Payload::Blob {
+                tag: 1,
+                data: vec![],
+            },
+        );
         assert_eq!(b.total_debit(), 7);
     }
 
@@ -328,7 +417,15 @@ mod tests {
         assert!(Transaction::from_bytes(&[0u8; 10]).is_err());
         // Valid tx with trailing garbage also rejected.
         let k = kp();
-        let tx = Transaction::signed(&k, 0, 0, Payload::Blob { tag: 1, data: vec![] });
+        let tx = Transaction::signed(
+            &k,
+            0,
+            0,
+            Payload::Blob {
+                tag: 1,
+                data: vec![],
+            },
+        );
         let mut bytes = tx.to_bytes();
         bytes.push(0);
         assert!(Transaction::from_bytes(&bytes).is_err());

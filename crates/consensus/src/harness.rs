@@ -57,7 +57,11 @@ pub struct Workload {
 
 impl Default for Workload {
     fn default() -> Self {
-        Workload { n_requests: 200, interarrival: 5, payload_size: 64 }
+        Workload {
+            n_requests: 200,
+            interarrival: 5,
+            payload_size: 64,
+        }
     }
 }
 
@@ -78,7 +82,11 @@ pub fn run_pbft(
 ) -> RunStats {
     let nodes: Vec<PbftReplica> = (0..n)
         .map(|id| {
-            let mode = if crashed.contains(&id) { ByzMode::Silent } else { ByzMode::Honest };
+            let mode = if crashed.contains(&id) {
+                ByzMode::Silent
+            } else {
+                ByzMode::Honest
+            };
             PbftReplica::new(id, n, PbftConfig::default(), mode)
         })
         .collect();
@@ -94,7 +102,9 @@ pub fn run_pbft(
     }
     sim.run_until(max_time);
 
-    let reference = (0..n).find(|id| !crashed.contains(id)).expect("an honest node");
+    let reference = (0..n)
+        .find(|id| !crashed.contains(id))
+        .expect("an honest node");
     let replica = sim.node(reference);
     let mut latencies = Vec::new();
     let mut last_commit = 0;
@@ -152,7 +162,9 @@ pub fn run_poa(
     }
     sim.run_until(max_time);
 
-    let reference = (0..n).find(|id| !crashed.contains(id)).expect("a live node");
+    let reference = (0..n)
+        .find(|id| !crashed.contains(id))
+        .expect("a live node");
     let v = sim.node(reference);
     let mut latencies = Vec::new();
     let mut last_commit = 0;
@@ -185,12 +197,106 @@ pub fn run_poa(
     }
 }
 
+/// The committed batches observed by one replica: each inner vector is one
+/// consensus batch's payloads, in commit order.
+pub type CommittedPayloads = Vec<Vec<Vec<u8>>>;
+
+/// Orders opaque payloads through a PBFT cluster of `n` replicas and
+/// returns each replica's committed batch sequence. Payloads are injected
+/// at the primary in order, `interarrival` ticks apart; agreement means
+/// every honest replica returns the same sequence.
+pub fn order_payloads_pbft(
+    n: usize,
+    payloads: &[Vec<u8>],
+    interarrival: u64,
+    net: NetworkConfig,
+    max_time: u64,
+) -> Vec<CommittedPayloads> {
+    let nodes: Vec<PbftReplica> = (0..n)
+        .map(|id| PbftReplica::new(id, n, PbftConfig::default(), ByzMode::Honest))
+        .collect();
+    let mut sim = Simulator::new(nodes, net);
+    for (i, payload) in payloads.iter().enumerate() {
+        let t = 10 + (i as u64) * interarrival;
+        sim.inject_at(0, PbftMsg::Request(Request::new(payload.clone(), t)), t);
+    }
+    sim.run_until(max_time);
+
+    (0..n)
+        .map(|id| {
+            let mut entries: Vec<_> = sim.node(id).committed.iter().collect();
+            entries.sort_by_key(|e| e.seq);
+            entries
+                .iter()
+                .map(|e| e.requests.iter().map(|r| r.payload.clone()).collect())
+                .collect()
+        })
+        .collect()
+}
+
+/// Orders opaque payloads through a round-robin PoA cluster; the PoA
+/// counterpart of [`order_payloads_pbft`].
+pub fn order_payloads_poa(
+    n: usize,
+    payloads: &[Vec<u8>],
+    interarrival: u64,
+    net: NetworkConfig,
+    max_time: u64,
+) -> Vec<CommittedPayloads> {
+    let nodes: Vec<PoaValidator> = (0..n)
+        .map(|id| PoaValidator::new(id, n, PoaConfig::default(), PoaMode::Honest))
+        .collect();
+    let mut sim = Simulator::new(nodes, net);
+    for (i, payload) in payloads.iter().enumerate() {
+        let t = 10 + (i as u64) * interarrival;
+        let req = Request::new(payload.clone(), t);
+        for node in 0..n {
+            sim.inject_at(node, PoaMsg::Request(req.clone()), t);
+        }
+    }
+    sim.run_until(max_time);
+
+    (0..n)
+        .map(|id| {
+            let mut entries: Vec<_> = sim.node(id).committed.iter().collect();
+            entries.sort_by_key(|e| e.slot);
+            entries
+                .iter()
+                .map(|e| e.requests.iter().map(|r| r.payload.clone()).collect())
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn small_load() -> Workload {
-        Workload { n_requests: 50, interarrival: 5, payload_size: 32 }
+        Workload {
+            n_requests: 50,
+            interarrival: 5,
+            payload_size: 32,
+        }
+    }
+
+    #[test]
+    fn ordered_payloads_agree_across_replicas() {
+        let payloads: Vec<Vec<u8>> = (0u8..20).map(|i| vec![i; 8]).collect();
+        let views = order_payloads_pbft(4, &payloads, 5, NetworkConfig::default(), 200_000);
+        assert_eq!(views.len(), 4);
+        let flat: Vec<Vec<u8>> = views[0].iter().flatten().cloned().collect();
+        assert_eq!(flat, payloads, "pbft must commit every payload in order");
+        for view in &views[1..] {
+            assert_eq!(*view, views[0], "replicas must agree on the batch sequence");
+        }
+
+        let views = order_payloads_poa(4, &payloads, 5, NetworkConfig::default(), 200_000);
+        let flat: Vec<Vec<u8>> = views[0].iter().flatten().cloned().collect();
+        assert_eq!(flat, payloads, "poa must commit every payload in order");
+        for view in &views[1..] {
+            assert_eq!(*view, views[0]);
+        }
     }
 
     #[test]
@@ -225,7 +331,11 @@ mod tests {
 
     #[test]
     fn pbft_message_cost_grows_with_n() {
-        let w = Workload { n_requests: 30, interarrival: 5, payload_size: 32 };
+        let w = Workload {
+            n_requests: 30,
+            interarrival: 5,
+            payload_size: 32,
+        };
         let small = run_pbft(4, &[], &w, NetworkConfig::default(), 500_000);
         let large = run_pbft(10, &[], &w, NetworkConfig::default(), 500_000);
         assert!(large.messages_per_commit > small.messages_per_commit);

@@ -39,7 +39,10 @@ pub mod pbft;
 pub mod poa;
 pub mod sim;
 
-pub use harness::{run_pbft, run_poa, RunStats, Workload};
+pub use harness::{
+    order_payloads_pbft, order_payloads_poa, run_pbft, run_poa, CommittedPayloads, RunStats,
+    Workload,
+};
 pub use pbft::{ByzMode, CommittedEntry, PbftConfig, PbftMsg, PbftReplica, Request};
 pub use poa::{PoaConfig, PoaEntry, PoaMode, PoaMsg, PoaValidator};
 pub use sim::{Context, NetworkConfig, Node, NodeId, Simulator};

@@ -30,7 +30,11 @@ impl Request {
     pub fn new(payload: Vec<u8>, submitted_at: u64) -> Request {
         let mut data = payload.clone();
         data.extend_from_slice(&submitted_at.to_be_bytes());
-        Request { id: tagged_hash("TN/request", &data), payload, submitted_at }
+        Request {
+            id: tagged_hash("TN/request", &data),
+            payload,
+            submitted_at,
+        }
     }
 }
 
@@ -161,7 +165,12 @@ pub struct PbftConfig {
 
 impl Default for PbftConfig {
     fn default() -> Self {
-        PbftConfig { max_batch: 64, batch_delay: 20, view_timeout: 600, checkpoint_interval: 64 }
+        PbftConfig {
+            max_batch: 64,
+            batch_delay: 20,
+            view_timeout: 600,
+            checkpoint_interval: 64,
+        }
     }
 }
 
@@ -313,9 +322,20 @@ impl PbftReplica {
                 if to == self.id {
                     continue;
                 }
-                let (digest, b) =
-                    if to % 2 == 0 { (d1, batch.clone()) } else { (d2, alt.clone()) };
-                ctx.send(to, PbftMsg::PrePrepare { view, seq, digest, batch: b });
+                let (digest, b) = if to % 2 == 0 {
+                    (d1, batch.clone())
+                } else {
+                    (d2, alt.clone())
+                };
+                ctx.send(
+                    to,
+                    PbftMsg::PrePrepare {
+                        view,
+                        seq,
+                        digest,
+                        batch: b,
+                    },
+                );
             }
             return;
         }
@@ -325,7 +345,15 @@ impl PbftReplica {
         entry.digest = Some(digest);
         entry.batch = batch.clone();
         entry.prepares.insert(self.id);
-        ctx.broadcast(PbftMsg::PrePrepare { view, seq, digest, batch }, false);
+        ctx.broadcast(
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            },
+            false,
+        );
     }
 
     fn on_preprepare(
@@ -471,12 +499,20 @@ impl PbftReplica {
                 committed_at: ctx.now(),
             });
             if self.config.checkpoint_interval > 0
-                && self.last_exec.is_multiple_of(self.config.checkpoint_interval)
+                && self
+                    .last_exec
+                    .is_multiple_of(self.config.checkpoint_interval)
             {
                 let seq = self.last_exec;
                 let cp_digest = self.exec_digest;
                 self.record_checkpoint_vote(self.id, seq, cp_digest);
-                ctx.broadcast(PbftMsg::Checkpoint { seq, digest: cp_digest }, false);
+                ctx.broadcast(
+                    PbftMsg::Checkpoint {
+                        seq,
+                        digest: cp_digest,
+                    },
+                    false,
+                );
             }
         }
         // Primary keeps draining its queue.
@@ -511,9 +547,7 @@ impl PbftReplica {
             .log
             .iter()
             .filter(|((_, seq), e)| {
-                *seq > self.last_exec
-                    && e.digest.is_some()
-                    && e.prepares.len() >= quorum
+                *seq > self.last_exec && e.digest.is_some() && e.prepares.len() >= quorum
             })
             .map(|((_, seq), e)| (*seq, e.digest.expect("filtered"), e.batch.clone()))
             .collect();
@@ -531,7 +565,13 @@ impl PbftReplica {
             .entry(target)
             .or_default()
             .insert(self.id, prepared.clone());
-        ctx.broadcast(PbftMsg::ViewChange { new_view: target, prepared }, false);
+        ctx.broadcast(
+            PbftMsg::ViewChange {
+                new_view: target,
+                prepared,
+            },
+            false,
+        );
         // Re-arm in case the new primary is also faulty.
         ctx.set_timer(self.config.view_timeout * 2, TIMER_VIEW_BASE + target);
         self.maybe_new_view(target, ctx);
@@ -564,7 +604,9 @@ impl PbftReplica {
         if self.mode == ByzMode::Silent {
             return;
         }
-        let Some(votes) = self.vc_votes.get(&new_view) else { return };
+        let Some(votes) = self.vc_votes.get(&new_view) else {
+            return;
+        };
         if votes.len() < self.quorum() {
             return;
         }
@@ -585,7 +627,9 @@ impl PbftReplica {
         // that provably never committed.
         if let Some(&max_seq) = merged.keys().next_back() {
             for seq in (self.last_exec + 1)..max_seq {
-                merged.entry(seq).or_insert_with(|| (batch_digest(&[]), Vec::new()));
+                merged
+                    .entry(seq)
+                    .or_insert_with(|| (batch_digest(&[]), Vec::new()));
             }
         }
         let reproposals: Vec<(u64, Hash256, Vec<Request>)> = merged
@@ -593,7 +637,13 @@ impl PbftReplica {
             .map(|(seq, (d, b))| (seq, d, b))
             .collect();
         self.install_view(new_view, &reproposals, ctx);
-        ctx.broadcast(PbftMsg::NewView { view: new_view, reproposals }, false);
+        ctx.broadcast(
+            PbftMsg::NewView {
+                view: new_view,
+                reproposals,
+            },
+            false,
+        );
     }
 
     fn on_new_view(
@@ -663,7 +713,12 @@ impl Node<PbftMsg> for PbftReplica {
                 }
                 self.enqueue_request(req, ctx);
             }
-            PbftMsg::PrePrepare { view, seq, digest, batch } => {
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                batch,
+            } => {
                 self.on_preprepare(from, view, seq, digest, batch, ctx);
             }
             PbftMsg::Prepare { view, seq, digest } => {
@@ -733,7 +788,13 @@ mod tests {
         let nodes = (0..n)
             .map(|id| PbftReplica::new(id, n, PbftConfig::default(), mode_of(id)))
             .collect();
-        Simulator::new(nodes, NetworkConfig { seed, ..NetworkConfig::default() })
+        Simulator::new(
+            nodes,
+            NetworkConfig {
+                seed,
+                ..NetworkConfig::default()
+            },
+        )
     }
 
     fn inject_requests(sim: &mut Simulator<PbftMsg, PbftReplica>, count: usize, start: u64) {
@@ -809,7 +870,10 @@ mod tests {
         sim.run_until(300_000);
         for id in 1..4 {
             assert_eq!(committed_ids(sim.node(id)).len(), 10, "replica {id}");
-            assert!(sim.node(id).view() >= 1, "replica {id} should have changed view");
+            assert!(
+                sim.node(id).view() >= 1,
+                "replica {id} should have changed view"
+            );
         }
     }
 

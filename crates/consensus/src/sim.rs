@@ -32,7 +32,12 @@ pub struct NetworkConfig {
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        NetworkConfig { base_latency: 10, jitter: 5, drop_prob: 0.0, seed: 7 }
+        NetworkConfig {
+            base_latency: 10,
+            jitter: 5,
+            drop_prob: 0.0,
+            seed: 7,
+        }
     }
 }
 
@@ -49,11 +54,18 @@ pub trait Node<M> {
 }
 
 enum EventKind<M> {
-    Deliver { from: NodeId, msg: M },
-    Timer { timer: u64 },
+    Deliver {
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        timer: u64,
+    },
     /// External injection hook (e.g. client request arrival) — delivered as
     /// a message from the pseudo-node `usize::MAX`.
-    Inject { msg: M },
+    Inject {
+        msg: M,
+    },
 }
 
 struct Event<M> {
@@ -236,7 +248,12 @@ impl<M: Clone, N: Node<M>> Simulator<M, N> {
     /// `at_time` (absolute). The node sees it as coming from [`EXTERNAL`].
     pub fn inject_at(&mut self, to: NodeId, msg: M, at_time: u64) {
         self.seq += 1;
-        self.queue.push(Event { time: at_time, seq: self.seq, to, kind: EventKind::Inject { msg } });
+        self.queue.push(Event {
+            time: at_time,
+            seq: self.seq,
+            to,
+            kind: EventKind::Inject { msg },
+        });
     }
 
     fn flush_outbox(&mut self, from: NodeId, outbox: Vec<Outgoing<M>>) {
@@ -252,7 +269,10 @@ impl<M: Clone, N: Node<M>> Simulator<M, N> {
                                     time: self.now,
                                     seq: self.seq,
                                     to,
-                                    kind: EventKind::Deliver { from, msg: msg.clone() },
+                                    kind: EventKind::Deliver {
+                                        from,
+                                        msg: msg.clone(),
+                                    },
                                 });
                             }
                         } else {
@@ -398,7 +418,12 @@ mod tests {
     }
 
     fn cluster(n: usize) -> Simulator<u64, Relay> {
-        let nodes = (0..n).map(|_| Relay { received: Vec::new(), forward: true }).collect();
+        let nodes = (0..n)
+            .map(|_| Relay {
+                received: Vec::new(),
+                forward: true,
+            })
+            .collect();
         Simulator::new(nodes, NetworkConfig::default())
     }
 
@@ -413,9 +438,17 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let trace = |seed| {
-            let mut cfg = NetworkConfig { seed, ..NetworkConfig::default() };
+            let mut cfg = NetworkConfig {
+                seed,
+                ..NetworkConfig::default()
+            };
             cfg.jitter = 20;
-            let nodes = (0..4).map(|_| Relay { received: Vec::new(), forward: true }).collect();
+            let nodes = (0..4)
+                .map(|_| Relay {
+                    received: Vec::new(),
+                    forward: true,
+                })
+                .collect();
             let mut sim: Simulator<u64, Relay> = Simulator::new(nodes, cfg);
             sim.run_until(100_000);
             sim.nodes().map(|n| n.received.clone()).collect::<Vec<_>>()
@@ -436,7 +469,10 @@ mod tests {
     #[test]
     fn partition_blocks_cross_group_traffic() {
         let mut sim = cluster(4);
-        sim.partition(vec![[0usize, 2].into_iter().collect(), [1usize, 3].into_iter().collect()]);
+        sim.partition(vec![
+            [0usize, 2].into_iter().collect(),
+            [1usize, 3].into_iter().collect(),
+        ]);
         sim.run_until(10_000);
         // 0 -> 1 crosses the partition: dropped.
         let total: usize = sim.nodes().map(|n| n.received.len()).sum();
@@ -447,7 +483,10 @@ mod tests {
     #[test]
     fn heal_restores_traffic() {
         let mut sim = cluster(3);
-        sim.partition(vec![[0usize].into_iter().collect(), [1usize, 2].into_iter().collect()]);
+        sim.partition(vec![
+            [0usize].into_iter().collect(),
+            [1usize, 2].into_iter().collect(),
+        ]);
         sim.heal();
         sim.run_until(10_000);
         let total: usize = sim.nodes().map(|n| n.received.len()).sum();
@@ -464,8 +503,16 @@ mod tests {
 
     #[test]
     fn drop_probability_loses_messages() {
-        let cfg = NetworkConfig { drop_prob: 1.0, ..NetworkConfig::default() };
-        let nodes = (0..2).map(|_| Relay { received: Vec::new(), forward: true }).collect();
+        let cfg = NetworkConfig {
+            drop_prob: 1.0,
+            ..NetworkConfig::default()
+        };
+        let nodes = (0..2)
+            .map(|_| Relay {
+                received: Vec::new(),
+                forward: true,
+            })
+            .collect();
         let mut sim: Simulator<u64, Relay> = Simulator::new(nodes, cfg);
         sim.run_until(10_000);
         let total: usize = sim.nodes().map(|n| n.received.len()).sum();
@@ -491,7 +538,10 @@ mod tests {
 
     #[test]
     fn timers_fire_in_order() {
-        let mut sim = Simulator::new(vec![TimerNode { fired: Vec::new() }], NetworkConfig::default());
+        let mut sim = Simulator::new(
+            vec![TimerNode { fired: Vec::new() }],
+            NetworkConfig::default(),
+        );
         sim.run_until(1000);
         assert_eq!(sim.node(0).fired, vec![(2, 10), (1, 50)]);
     }

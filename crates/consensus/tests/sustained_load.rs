@@ -33,14 +33,22 @@ fn healthy_cluster_commits_all_and_stays_in_view_zero() {
             .collect();
         assert_eq!(committed.len(), 200, "node {node} missed requests");
         assert!(ids.iter().all(|id| committed.contains(id)), "node {node}");
-        assert_eq!(sim.node(node).view(), 0, "node {node} changed view spuriously");
+        assert_eq!(
+            sim.node(node).view(),
+            0,
+            "node {node} changed view spuriously"
+        );
     }
 }
 
 #[test]
 fn checkpointing_bounds_log_growth() {
     let n = 4;
-    let config = PbftConfig { max_batch: 4, checkpoint_interval: 8, ..PbftConfig::default() };
+    let config = PbftConfig {
+        max_batch: 4,
+        checkpoint_interval: 8,
+        ..PbftConfig::default()
+    };
     let nodes: Vec<PbftReplica> = (0..n)
         .map(|id| PbftReplica::new(id, n, config.clone(), ByzMode::Honest))
         .collect();
@@ -55,7 +63,11 @@ fn checkpointing_bounds_log_growth() {
         let r = sim.node(node);
         let total: usize = r.committed.iter().map(|e| e.requests.len()).sum();
         assert_eq!(total, 400, "node {node} committed");
-        assert!(r.stable_checkpoint() >= 64, "node {node} checkpoint {}", r.stable_checkpoint());
+        assert!(
+            r.stable_checkpoint() >= 64,
+            "node {node} checkpoint {}",
+            r.stable_checkpoint()
+        );
         // With ~100 batches executed, an unpruned log would hold ~100
         // entries; checkpoints every 8 seqs keep it far smaller.
         assert!(r.log_len() < 40, "node {node} log length {}", r.log_len());
@@ -65,7 +77,11 @@ fn checkpointing_bounds_log_growth() {
 #[test]
 fn checkpoint_digests_agree_across_replicas() {
     let n = 4;
-    let config = PbftConfig { max_batch: 4, checkpoint_interval: 8, ..PbftConfig::default() };
+    let config = PbftConfig {
+        max_batch: 4,
+        checkpoint_interval: 8,
+        ..PbftConfig::default()
+    };
     let nodes: Vec<PbftReplica> = (0..n)
         .map(|id| PbftReplica::new(id, n, config.clone(), ByzMode::Honest))
         .collect();

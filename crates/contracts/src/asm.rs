@@ -38,7 +38,10 @@ impl fmt::Display for AsmError {
 impl Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 enum Item {
@@ -111,8 +114,7 @@ pub fn assemble(src: &str) -> Result<Vec<u8>, AsmError> {
         };
         match op {
             Op::Push => {
-                let operand =
-                    operand.ok_or_else(|| err(line_num, "push requires an operand"))?;
+                let operand = operand.ok_or_else(|| err(line_num, "push requires an operand"))?;
                 offset += 9;
                 match operand.parse::<u64>() {
                     Ok(n) => items.push(Item::PushNum(n)),
@@ -120,8 +122,7 @@ pub fn assemble(src: &str) -> Result<Vec<u8>, AsmError> {
                 }
             }
             Op::Dup | Op::Swap => {
-                let operand =
-                    operand.ok_or_else(|| err(line_num, "dup/swap require a depth"))?;
+                let operand = operand.ok_or_else(|| err(line_num, "dup/swap require a depth"))?;
                 let depth: u8 = operand
                     .parse()
                     .map_err(|_| err(line_num, format!("bad depth {operand:?}")))?;

@@ -110,15 +110,23 @@ impl NewsroomRegistry {
 
     /// Finds a platform id by exact name (first match).
     pub fn find_platform(&self, name: &str) -> Option<u64> {
-        self.platforms.iter().find(|(_, p)| p.name == name).map(|(id, _)| *id)
+        self.platforms
+            .iter()
+            .find(|(_, p)| p.name == name)
+            .map(|(id, _)| *id)
     }
 
     /// True when `who` may publish in `room` (owner or authorized
     /// journalist) — the same check op 3 performs, typed.
     pub fn is_authorized(&self, room: u64, who: &Address) -> bool {
-        let Some(r) = self.rooms.get(&room) else { return false };
+        let Some(r) = self.rooms.get(&room) else {
+            return false;
+        };
         r.journalists.contains(who)
-            || self.platforms.get(&r.platform).is_some_and(|p| p.owner == *who)
+            || self
+                .platforms
+                .get(&r.platform)
+                .is_some_and(|p| p.owner == *who)
     }
 
     fn room_owner(&self, room: u64) -> Option<Address> {
@@ -151,7 +159,13 @@ impl BuiltinContract for NewsroomRegistry {
                 }
                 self.next_platform += 1;
                 let id = self.next_platform;
-                self.platforms.insert(id, PlatformRecord { owner: *caller, name });
+                self.platforms.insert(
+                    id,
+                    PlatformRecord {
+                        owner: *caller,
+                        name,
+                    },
+                );
                 Ok(id.to_le_bytes().to_vec())
             }
             1 => {
@@ -168,15 +182,20 @@ impl BuiltinContract for NewsroomRegistry {
                 let id = self.next_room;
                 self.rooms.insert(
                     id,
-                    RoomRecord { platform, topic, journalists: HashSet::new() },
+                    RoomRecord {
+                        platform,
+                        topic,
+                        journalists: HashSet::new(),
+                    },
                 );
                 Ok(id.to_le_bytes().to_vec())
             }
             2 | 4 => {
                 let room = dec.get_u64().map_err(bad_input)?;
                 let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
-                let owner =
-                    self.room_owner(room).ok_or_else(|| format!("unknown room {room}"))?;
+                let owner = self
+                    .room_owner(room)
+                    .ok_or_else(|| format!("unknown room {room}"))?;
                 if owner != *caller {
                     return Err("only the platform owner may manage journalists".into());
                 }
@@ -267,16 +286,25 @@ pub const DEFAULT_REPUTATION: u64 = 100;
 impl RankingContract {
     /// Creates the contract with `owner` allowed to set reputations.
     pub fn new(owner: Address) -> Self {
-        RankingContract { owner, ratings: HashMap::new(), reputation: HashMap::new() }
+        RankingContract {
+            owner,
+            ratings: HashMap::new(),
+            reputation: HashMap::new(),
+        }
     }
 
     fn rep(&self, who: &Address) -> u64 {
-        self.reputation.get(who).copied().unwrap_or(DEFAULT_REPUTATION)
+        self.reputation
+            .get(who)
+            .copied()
+            .unwrap_or(DEFAULT_REPUTATION)
     }
 
     /// Computes `(rating count, weighted mean score in 1e-4 units)`.
     pub fn ranking(&self, item: &Hash256) -> (u64, u64) {
-        let Some(rs) = self.ratings.get(item) else { return (0, 0) };
+        let Some(rs) = self.ratings.get(item) else {
+            return (0, 0);
+        };
         let mut weight_sum: u128 = 0;
         let mut score_sum: u128 = 0;
         for (who, score) in rs {
@@ -404,7 +432,10 @@ pub struct IncentiveContract {
 impl IncentiveContract {
     /// Creates the contract administered by `owner`.
     pub fn new(owner: Address) -> Self {
-        IncentiveContract { owner, balances: HashMap::new() }
+        IncentiveContract {
+            owner,
+            balances: HashMap::new(),
+        }
     }
 
     /// Current point balance.
@@ -453,7 +484,9 @@ impl BuiltinContract for IncentiveContract {
                 let amount = dec.get_u64().map_err(bad_input)?;
                 let from_bal = self.balance(caller);
                 if from_bal < amount {
-                    return Err(format!("insufficient points: have {from_bal}, need {amount}"));
+                    return Err(format!(
+                        "insufficient points: have {from_bal}, need {amount}"
+                    ));
                 }
                 self.balances.insert(*caller, from_bal - amount);
                 let to_bal = self.balances.entry(to).or_insert(0);
@@ -533,7 +566,9 @@ impl FactDbAdmission {
 
     /// True once `record` has reached the attestation threshold.
     pub fn is_admitted(&self, record: &Hash256) -> bool {
-        self.attestations.get(record).is_some_and(|s| s.len() >= self.threshold)
+        self.attestations
+            .get(record)
+            .is_some_and(|s| s.len() >= self.threshold)
     }
 
     /// Number of distinct attestations for `record`.
@@ -581,7 +616,9 @@ impl BuiltinContract for FactDbAdmission {
             }
             3 => {
                 let record = dec.get_hash().map_err(bad_input)?;
-                Ok((self.attestation_count(&record) as u64).to_le_bytes().to_vec())
+                Ok((self.attestation_count(&record) as u64)
+                    .to_le_bytes()
+                    .to_vec())
             }
             other => Err(format!("unknown admission op {other}")),
         }
@@ -626,25 +663,44 @@ mod tests {
         let journo = addr(b"journalist");
         let stranger = addr(b"stranger");
 
-        let out = reg.call(&owner, &newsroom_register_platform("Daily Facts")).unwrap();
+        let out = reg
+            .call(&owner, &newsroom_register_platform("Daily Facts"))
+            .unwrap();
         let pid = u64::from_le_bytes(out.try_into().unwrap());
-        let out = reg.call(&owner, &newsroom_create_room(pid, "elections")).unwrap();
+        let out = reg
+            .call(&owner, &newsroom_create_room(pid, "elections"))
+            .unwrap();
         let rid = u64::from_le_bytes(out.try_into().unwrap());
 
         // Stranger cannot authorize.
-        assert!(reg.call(&stranger, &newsroom_authorize(rid, &journo)).is_err());
+        assert!(reg
+            .call(&stranger, &newsroom_authorize(rid, &journo))
+            .is_err());
         // Owner authorizes journalist.
         reg.call(&owner, &newsroom_authorize(rid, &journo)).unwrap();
-        assert_eq!(reg.call(&stranger, &newsroom_is_authorized(rid, &journo)).unwrap(), vec![1]);
         assert_eq!(
-            reg.call(&stranger, &newsroom_is_authorized(rid, &stranger)).unwrap(),
+            reg.call(&stranger, &newsroom_is_authorized(rid, &journo))
+                .unwrap(),
+            vec![1]
+        );
+        assert_eq!(
+            reg.call(&stranger, &newsroom_is_authorized(rid, &stranger))
+                .unwrap(),
             vec![0]
         );
         // Owner is implicitly authorized.
-        assert_eq!(reg.call(&stranger, &newsroom_is_authorized(rid, &owner)).unwrap(), vec![1]);
+        assert_eq!(
+            reg.call(&stranger, &newsroom_is_authorized(rid, &owner))
+                .unwrap(),
+            vec![1]
+        );
         // Revoke.
         reg.call(&owner, &newsroom_revoke(rid, &journo)).unwrap();
-        assert_eq!(reg.call(&stranger, &newsroom_is_authorized(rid, &journo)).unwrap(), vec![0]);
+        assert_eq!(
+            reg.call(&stranger, &newsroom_is_authorized(rid, &journo))
+                .unwrap(),
+            vec![0]
+        );
     }
 
     #[test]
@@ -664,8 +720,10 @@ mod tests {
         let expert = addr(b"expert");
         let troll = addr(b"troll");
 
-        rk.call(&owner, &ranking_set_reputation(&expert, 900)).unwrap();
-        rk.call(&owner, &ranking_set_reputation(&troll, 10)).unwrap();
+        rk.call(&owner, &ranking_set_reputation(&expert, 900))
+            .unwrap();
+        rk.call(&owner, &ranking_set_reputation(&troll, 10))
+            .unwrap();
         rk.call(&expert, &ranking_submit(&item, 90)).unwrap();
         rk.call(&troll, &ranking_submit(&item, 0)).unwrap();
 
@@ -741,7 +799,9 @@ mod tests {
         adm.call(&owner, &admission_register_checker(&c2)).unwrap();
 
         // Unregistered cannot attest.
-        assert!(adm.call(&addr(b"rando"), &admission_attest(&record)).is_err());
+        assert!(adm
+            .call(&addr(b"rando"), &admission_attest(&record))
+            .is_err());
 
         assert_eq!(adm.call(&c1, &admission_attest(&record)).unwrap(), vec![0]);
         // Duplicate attestation does not double-count.
@@ -749,7 +809,10 @@ mod tests {
         assert_eq!(adm.attestation_count(&record), 1);
         assert_eq!(adm.call(&c2, &admission_attest(&record)).unwrap(), vec![1]);
         assert!(adm.is_admitted(&record));
-        assert_eq!(adm.call(&owner, &admission_is_admitted(&record)).unwrap(), vec![1]);
+        assert_eq!(
+            adm.call(&owner, &admission_is_admitted(&record)).unwrap(),
+            vec![1]
+        );
     }
 
     #[test]

@@ -135,19 +135,19 @@ impl ContractRegistry {
 }
 
 impl TxExecutor for ContractRegistry {
-    fn deploy(
-        &mut self,
-        deployer: &Address,
-        nonce: u64,
-        code: &[u8],
-    ) -> Result<Address, String> {
+    fn deploy(&mut self, deployer: &Address, nonce: u64, code: &[u8]) -> Result<Address, String> {
         validate(code).map_err(|e| format!("invalid bytecode: {e}"))?;
         let addr = contract_address(deployer, nonce);
         if self.contracts.contains_key(&addr) || self.builtins.contains_key(&addr) {
             return Err(format!("address collision at {}", addr.short()));
         }
-        self.contracts
-            .insert(addr, ContractEntry { code: code.to_vec(), storage: BTreeMap::new() });
+        self.contracts.insert(
+            addr,
+            ContractEntry {
+                code: code.to_vec(),
+                storage: BTreeMap::new(),
+            },
+        );
         Ok(addr)
     }
 
@@ -193,10 +193,7 @@ mod tests {
 
     fn counter_code() -> Vec<u8> {
         // storage[0] += 1; return storage[0]
-        assemble(
-            "push 0\npush 0\nsload\npush 1\nadd\nsstore\npush 0\nsload\npush 1\nret",
-        )
-        .unwrap()
+        assemble("push 0\npush 0\nsload\npush 1\nadd\nsstore\npush 0\nsload\npush 1\nret").unwrap()
     }
 
     #[test]
@@ -226,7 +223,10 @@ mod tests {
         let code = assemble("push 5\npush 9\nsstore\nloop:\npush loop\njmp").unwrap();
         let addr = reg.deploy(&a, 0, &code).unwrap();
         assert!(reg.call(&a, &addr, &[], 500).is_err());
-        assert!(reg.contract(&addr).unwrap().storage.is_empty(), "rollback expected");
+        assert!(
+            reg.contract(&addr).unwrap().storage.is_empty(),
+            "rollback expected"
+        );
     }
 
     #[test]
@@ -261,24 +261,34 @@ mod tests {
             &alice,
             0,
             10,
-            Payload::ContractDeploy { code: counter_code() },
+            Payload::ContractDeploy {
+                code: counter_code(),
+            },
         );
         let expected_addr = contract_address(&alice.address(), 0);
-        let block =
-            store.propose(&validator, 1, vec![deploy_tx], &mut ContractRegistry::new());
+        let block = store.propose(&validator, 1, vec![deploy_tx], &mut ContractRegistry::new());
         let receipts = store.import(block, &mut authoritative).unwrap();
         assert!(receipts[0].success);
-        assert_eq!(receipts[0].output, expected_addr.as_hash().as_bytes().to_vec());
+        assert_eq!(
+            receipts[0].output,
+            expected_addr.as_hash().as_bytes().to_vec()
+        );
         assert!(authoritative.contract(&expected_addr).is_some());
 
         let call_tx = Transaction::signed(
             &alice,
             1,
             10,
-            Payload::ContractCall { contract: expected_addr, input: vec![], gas_limit: 1000 },
+            Payload::ContractCall {
+                contract: expected_addr,
+                input: vec![],
+                gas_limit: 1000,
+            },
         );
         let mut scratch = ContractRegistry::new();
-        scratch.deploy(&alice.address(), 0, &counter_code()).unwrap();
+        scratch
+            .deploy(&alice.address(), 0, &counter_code())
+            .unwrap();
         let block = store.propose(&validator, 2, vec![call_tx], &mut scratch);
         let receipts = store.import(block, &mut authoritative).unwrap();
         assert!(receipts[0].success);
@@ -289,25 +299,35 @@ mod tests {
         );
         // The authoritative registry's counter really advanced.
         assert_eq!(
-            authoritative.contract(&expected_addr).unwrap().storage.get(&0),
+            authoritative
+                .contract(&expected_addr)
+                .unwrap()
+                .storage
+                .get(&0),
             Some(&1)
         );
     }
 
     #[test]
     fn builtin_dispatch_and_gas() {
-        use crate::builtin::{IncentiveContract, incentive_balance, incentive_reward};
+        use crate::builtin::{incentive_balance, incentive_reward, IncentiveContract};
         let owner = Keypair::from_seed(b"owner").address();
         let mut reg = ContractRegistry::new();
         let addr = reg.install_builtin(Box::new(IncentiveContract::new(owner)));
 
         let who = Keypair::from_seed(b"v").address();
-        let (gas, _) = reg.call(&owner, &addr, &incentive_reward(&who, 5), 1000).unwrap();
+        let (gas, _) = reg
+            .call(&owner, &addr, &incentive_reward(&who, 5), 1000)
+            .unwrap();
         assert!(gas >= 10);
-        let (_, out) = reg.call(&owner, &addr, &incentive_balance(&who), 1000).unwrap();
+        let (_, out) = reg
+            .call(&owner, &addr, &incentive_balance(&who), 1000)
+            .unwrap();
         assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 5);
         // Gas limit enforced for builtins too.
-        assert!(reg.call(&owner, &addr, &incentive_balance(&who), 5).is_err());
+        assert!(reg
+            .call(&owner, &addr, &incentive_balance(&who), 5)
+            .is_err());
     }
 
     #[test]

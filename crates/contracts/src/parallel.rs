@@ -144,16 +144,16 @@ pub fn execute_parallel(
             finished.extend(run_bucket(bucket));
         }
     } else {
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
+            let run_bucket = &run_bucket;
             let handles: Vec<_> = buckets
                 .into_iter()
-                .map(|bucket| scope.spawn(|_| run_bucket(bucket)))
+                .map(|bucket| scope.spawn(move || run_bucket(bucket)))
                 .collect();
             for h in handles {
                 finished.extend(h.join().expect("worker thread panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
     }
 
     for (addr, entry, task_results) in finished {
@@ -164,7 +164,10 @@ pub fn execute_parallel(
         }
     }
 
-    results.into_iter().map(|r| r.expect("every task resolved")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every task resolved"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -175,10 +178,7 @@ mod tests {
     use tn_crypto::Keypair;
 
     fn counter_code() -> Vec<u8> {
-        assemble(
-            "push 0\npush 0\nsload\npush 1\nadd\nsstore\npush 0\nsload\npush 1\nret",
-        )
-        .unwrap()
+        assemble("push 0\npush 0\nsload\npush 1\nadd\nsstore\npush 0\nsload\npush 1\nret").unwrap()
     }
 
     fn setup(n_contracts: usize) -> (ContractRegistry, Vec<Address>) {
@@ -231,8 +231,7 @@ mod tests {
     fn single_worker_equals_multi_worker_state() {
         let (mut reg1, addrs) = setup(8);
         let (mut reg8, _) = setup(8);
-        let tasks: Vec<CallTask> =
-            (0..40).map(|i| task(i, addrs[(i % 8) as usize])).collect();
+        let tasks: Vec<CallTask> = (0..40).map(|i| task(i, addrs[(i % 8) as usize])).collect();
         execute_parallel(&mut reg1, &tasks, 1);
         execute_parallel(&mut reg8, &tasks, 8);
         assert_eq!(reg1.storage_root(), reg8.storage_root());
@@ -255,7 +254,12 @@ mod tests {
         // Store then infinite-loop → OOG after store; must roll back.
         let code = assemble("push 1\npush 1\nsstore\nl:\npush l\njmp").unwrap();
         let addr = reg.deploy(&d, 0, &code).unwrap();
-        let tasks = vec![CallTask { caller: d, contract: addr, input: vec![], gas_limit: 200 }];
+        let tasks = vec![CallTask {
+            caller: d,
+            contract: addr,
+            input: vec![],
+            gas_limit: 200,
+        }];
         let results = execute_parallel(&mut reg, &tasks, 2);
         assert!(results[0].outcome.is_err());
         assert!(reg.contract(&addr).unwrap().storage.is_empty());

@@ -176,7 +176,10 @@ pub fn validate(code: &[u8]) -> Result<HashSet<usize>, VmError> {
     let mut pc = 0usize;
     while pc < code.len() {
         targets.insert(pc);
-        let op = Op::from_byte(code[pc]).ok_or(VmError::BadOpcode { byte: code[pc], at: pc })?;
+        let op = Op::from_byte(code[pc]).ok_or(VmError::BadOpcode {
+            byte: code[pc],
+            at: pc,
+        })?;
         pc += 1;
         match op {
             Op::Push => {
@@ -256,7 +259,12 @@ pub fn execute(
         }
         pc += 1;
         match op {
-            Op::Halt => return Ok(ExecOutcome { output: Vec::new(), gas_used: gas }),
+            Op::Halt => {
+                return Ok(ExecOutcome {
+                    output: Vec::new(),
+                    gas_used: gas,
+                })
+            }
             Op::Push => {
                 let imm = u64::from_le_bytes(code[pc..pc + 8].try_into().expect("validated"));
                 pc += 8;
@@ -388,11 +396,17 @@ pub fn execute(
                     return Err(VmError::StackUnderflow);
                 }
                 let output = stack.split_off(stack.len() - n);
-                return Ok(ExecOutcome { output, gas_used: gas });
+                return Ok(ExecOutcome {
+                    output,
+                    gas_used: gas,
+                });
             }
         }
     }
-    Ok(ExecOutcome { output: Vec::new(), gas_used: gas })
+    Ok(ExecOutcome {
+        output: Vec::new(),
+        gas_used: gas,
+    })
 }
 
 #[cfg(test)]
@@ -403,7 +417,15 @@ mod tests {
     fn run(src: &str, input: Vec<Word>) -> Result<ExecOutcome, VmError> {
         let code = assemble(src).expect("assembles");
         let mut storage = BTreeMap::new();
-        execute(&code, &mut storage, &ExecEnv { caller: 7, input, gas_limit: 100_000 })
+        execute(
+            &code,
+            &mut storage,
+            &ExecEnv {
+                caller: 7,
+                input,
+                gas_limit: 100_000,
+            },
+        )
     }
 
     #[test]
@@ -434,15 +456,16 @@ mod tests {
 
     #[test]
     fn storage_round_trip() {
-        let code = assemble(
-            "push 42\npush 99\nsstore\npush 42\nsload\npush 1\nret",
-        )
-        .unwrap();
+        let code = assemble("push 42\npush 99\nsstore\npush 42\nsload\npush 1\nret").unwrap();
         let mut storage = BTreeMap::new();
         let out = execute(
             &code,
             &mut storage,
-            &ExecEnv { caller: 0, input: vec![], gas_limit: 1000 },
+            &ExecEnv {
+                caller: 0,
+                input: vec![],
+                gas_limit: 1000,
+            },
         )
         .unwrap();
         assert_eq!(out.output, vec![99]);
@@ -495,8 +518,16 @@ mod tests {
         let src = "start:\npush start\njmp";
         let code = assemble(src).unwrap();
         let mut st = BTreeMap::new();
-        let err = execute(&code, &mut st, &ExecEnv { caller: 0, input: vec![], gas_limit: 100 })
-            .unwrap_err();
+        let err = execute(
+            &code,
+            &mut st,
+            &ExecEnv {
+                caller: 0,
+                input: vec![],
+                gas_limit: 100,
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, VmError::OutOfGas);
     }
 
@@ -509,15 +540,27 @@ mod tests {
 
     #[test]
     fn div_by_zero_and_underflow() {
-        assert_eq!(run("push 1\npush 0\ndiv\nhalt", vec![]).unwrap_err(), VmError::DivByZero);
-        assert_eq!(run("add\nhalt", vec![]).unwrap_err(), VmError::StackUnderflow);
-        assert_eq!(run("pop\nhalt", vec![]).unwrap_err(), VmError::StackUnderflow);
+        assert_eq!(
+            run("push 1\npush 0\ndiv\nhalt", vec![]).unwrap_err(),
+            VmError::DivByZero
+        );
+        assert_eq!(
+            run("add\nhalt", vec![]).unwrap_err(),
+            VmError::StackUnderflow
+        );
+        assert_eq!(
+            run("pop\nhalt", vec![]).unwrap_err(),
+            VmError::StackUnderflow
+        );
     }
 
     #[test]
     fn bad_jump_rejected() {
         // Jump into the middle of a push immediate.
-        assert_eq!(run("push 2\njmp\npush 7\nhalt", vec![]).unwrap_err(), VmError::BadJump(2));
+        assert_eq!(
+            run("push 2\njmp\npush 7\nhalt", vec![]).unwrap_err(),
+            VmError::BadJump(2)
+        );
     }
 
     #[test]
@@ -528,7 +571,11 @@ mod tests {
         let err = execute(
             &code,
             &mut st,
-            &ExecEnv { caller: 0, input: vec![], gas_limit: 1_000_000 },
+            &ExecEnv {
+                caller: 0,
+                input: vec![],
+                gas_limit: 1_000_000,
+            },
         )
         .unwrap_err();
         assert_eq!(err, VmError::StackOverflow);
@@ -536,15 +583,27 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_bytecode() {
-        assert!(matches!(validate(&[0xff]), Err(VmError::BadOpcode { byte: 0xff, at: 0 })));
-        assert!(matches!(validate(&[Op::Push as u8, 1, 2]), Err(VmError::TruncatedImmediate(0))));
-        assert!(matches!(validate(&[Op::Dup as u8]), Err(VmError::TruncatedImmediate(0))));
+        assert!(matches!(
+            validate(&[0xff]),
+            Err(VmError::BadOpcode { byte: 0xff, at: 0 })
+        ));
+        assert!(matches!(
+            validate(&[Op::Push as u8, 1, 2]),
+            Err(VmError::TruncatedImmediate(0))
+        ));
+        assert!(matches!(
+            validate(&[Op::Dup as u8]),
+            Err(VmError::TruncatedImmediate(0))
+        ));
     }
 
     #[test]
     fn halt_and_fallthrough_return_empty() {
         assert_eq!(run("halt", vec![]).unwrap().output, Vec::<Word>::new());
-        assert_eq!(run("push 1\npop", vec![]).unwrap().output, Vec::<Word>::new());
+        assert_eq!(
+            run("push 1\npop", vec![]).unwrap().output,
+            Vec::<Word>::new()
+        );
     }
 
     #[test]
@@ -553,7 +612,10 @@ mod tests {
         assert_eq!(out.output, vec![1]);
         let out = run("push 1\npush 2\npush 3\nswap 2\npush 3\nret", vec![]).unwrap();
         assert_eq!(out.output, vec![3, 2, 1]);
-        assert_eq!(run("push 1\ndup 5\nhalt", vec![]).unwrap_err(), VmError::BadDepth(5));
+        assert_eq!(
+            run("push 1\ndup 5\nhalt", vec![]).unwrap_err(),
+            VmError::BadDepth(5)
+        );
     }
 
     #[test]

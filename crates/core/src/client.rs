@@ -55,7 +55,12 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::BadHeader => f.write_str("header signature invalid"),
             ClientError::BrokenLink { expected, actual } => {
-                write!(f, "header parent {} != tip {}", actual.short(), expected.short())
+                write!(
+                    f,
+                    "header parent {} != tip {}",
+                    actual.short(),
+                    expected.short()
+                )
             }
             ClientError::UnknownBlock(h) => write!(f, "unknown block {}", h.short()),
             ClientError::BadProof => f.write_str("merkle proof failed"),
@@ -129,10 +134,7 @@ impl LightClient {
     ///
     /// [`ClientError::NoAnchor`] with fewer than two observed anchors;
     /// [`ClientError::HistoryRewritten`] when the proof does not verify.
-    pub fn verify_anchor_consistency(
-        &self,
-        proof: &ConsistencyProof,
-    ) -> Result<(), ClientError> {
+    pub fn verify_anchor_consistency(&self, proof: &ConsistencyProof) -> Result<(), ClientError> {
         let n = self.anchor_trail.len();
         if n < 2 {
             return Err(ClientError::NoAnchor);
@@ -166,7 +168,10 @@ impl LightClient {
         }
         if let Some(tip) = self.tip {
             if header.parent != tip {
-                return Err(ClientError::BrokenLink { expected: tip, actual: header.parent });
+                return Err(ClientError::BrokenLink {
+                    expected: tip,
+                    actual: header.parent,
+                });
             }
         }
         let id = header.digest();
@@ -197,8 +202,10 @@ impl LightClient {
         tx: &Transaction,
         proof: &MerkleProof,
     ) -> Result<(), ClientError> {
-        let accepted =
-            self.headers.get(block_id).ok_or(ClientError::UnknownBlock(*block_id))?;
+        let accepted = self
+            .headers
+            .get(block_id)
+            .ok_or(ClientError::UnknownBlock(*block_id))?;
         if !Block::verify_tx_proof(&tx.id(), proof, &accepted.header.tx_root) {
             return Err(ClientError::BadProof);
         }
@@ -295,8 +302,10 @@ mod tests {
         let mut p = Platform::new(PlatformConfig::default());
         let publisher = Keypair::from_seed(b"lc2 publisher");
         let journo = Keypair::from_seed(b"lc2 journalist");
-        p.register_identity(&publisher, "LC Press", &[Role::Publisher]);
-        p.register_identity(&journo, "LC Journo", &[Role::ContentCreator]);
+        p.register_identity(&publisher, "LC Press", &[Role::Publisher])
+            .unwrap();
+        p.register_identity(&journo, "LC Journo", &[Role::ContentCreator])
+            .unwrap();
         p.produce_block().unwrap();
         p.create_publisher_platform(&publisher, "LC Press").unwrap();
         p.produce_block().unwrap();
@@ -304,12 +313,18 @@ mod tests {
         p.create_news_room(&publisher, pid, "energy").unwrap();
         p.produce_block().unwrap();
         let room = p.newsrooms().rooms().next().unwrap().0;
-        p.authorize_journalist(&publisher, room, &journo.address()).unwrap();
+        p.authorize_journalist(&publisher, room, &journo.address())
+            .unwrap();
         p.produce_block().unwrap();
         let fact = p.factdb().iter().next().unwrap().clone();
         let item = p
-            .publish_news(&journo, room, &fact.topic, &fact.content,
-                          vec![(fact.id(), PropagationOp::Cite)])
+            .publish_news(
+                &journo,
+                room,
+                &fact.topic,
+                &fact.content,
+                vec![(fact.id(), PropagationOp::Cite)],
+            )
             .unwrap();
         p.produce_block().unwrap();
         (p, item)
@@ -417,7 +432,10 @@ mod tests {
         // Tampered record fails.
         let mut tampered = record.clone();
         tampered.content.push_str(" [edited]");
-        assert_eq!(client.verify_fact(&tampered, &proof), Err(ClientError::BadProof));
+        assert_eq!(
+            client.verify_fact(&tampered, &proof),
+            Err(ClientError::BadProof)
+        );
     }
 
     #[test]
@@ -427,8 +445,10 @@ mod tests {
         let (mut p, _) = platform_with_news();
         let c1 = Keypair::from_seed(b"lc2 checker 1");
         let c2 = Keypair::from_seed(b"lc2 checker 2");
-        p.register_identity(&c1, "C1", &[crate::roles::Role::FactChecker]);
-        p.register_identity(&c2, "C2", &[crate::roles::Role::FactChecker]);
+        p.register_identity(&c1, "C1", &[crate::roles::Role::FactChecker])
+            .unwrap();
+        p.register_identity(&c2, "C2", &[crate::roles::Role::FactChecker])
+            .unwrap();
         p.produce_block().unwrap();
         let old_size = p.factdb().len();
 
@@ -439,7 +459,7 @@ mod tests {
             content: "A fresh verified record for the consistency audit.".into(),
             recorded_at: 4242,
         };
-        let id = p.propose_fact(record);
+        let id = p.propose_fact(record).unwrap();
         p.attest_fact(&c1, &id).unwrap();
         p.attest_fact(&c2, &id).unwrap();
         p.produce_block().unwrap();
@@ -481,7 +501,10 @@ mod tests {
         let client = sync_client(&p);
         let record = p.factdb().iter().next().unwrap().clone();
         let (proof, _) = p.factdb().prove(&record.id()).unwrap();
-        assert_eq!(client.verify_fact(&record, &proof), Err(ClientError::NoAnchor));
+        assert_eq!(
+            client.verify_fact(&record, &proof),
+            Err(ClientError::NoAnchor)
+        );
     }
 
     #[test]
@@ -493,12 +516,8 @@ mod tests {
         // A transaction not in the block cannot be proven with another's
         // proof.
         if let (Some(tx0), Some(proof1)) = (head.transactions.first(), head.prove_tx(0)) {
-            let forged = Transaction::signed(
-                &Keypair::from_seed(b"forger"),
-                0,
-                0,
-                tx0.payload.clone(),
-            );
+            let forged =
+                Transaction::signed(&Keypair::from_seed(b"forger"), 0, 0, tx0.payload.clone());
             assert_eq!(
                 client.verify_transaction(&head_id, &forged, &proof1),
                 Err(ClientError::BadProof)

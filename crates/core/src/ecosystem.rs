@@ -118,12 +118,12 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
 
     // --- population setup -------------------------------------------------
     let publisher = Keypair::from_seed(b"eco-publisher");
-    platform.register_identity(&publisher, "Platform Press", &[Role::Publisher]);
+    platform.register_identity(&publisher, "Platform Press", &[Role::Publisher])?;
     let consumers: Vec<Keypair> = (0..config.n_consumers)
         .map(|i| Keypair::from_seed(format!("eco-consumer-{i}").as_bytes()))
         .collect();
     for (i, c) in consumers.iter().enumerate() {
-        platform.register_identity(c, &format!("Consumer {i}"), &[Role::Consumer]);
+        platform.register_identity(c, &format!("Consumer {i}"), &[Role::Consumer])?;
     }
     let creators: Vec<Keypair> = (0..config.n_creators)
         .map(|i| Keypair::from_seed(format!("eco-creator-{i}").as_bytes()))
@@ -132,13 +132,13 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
         .map(|i| Keypair::from_seed(format!("eco-faker-{i}").as_bytes()))
         .collect();
     for (i, c) in creators.iter().chain(fakers.iter()).enumerate() {
-        platform.register_identity(c, &format!("Creator {i}"), &[Role::ContentCreator]);
+        platform.register_identity(c, &format!("Creator {i}"), &[Role::ContentCreator])?;
     }
     let checkers: Vec<Keypair> = (0..config.n_checkers)
         .map(|i| Keypair::from_seed(format!("eco-checker-{i}").as_bytes()))
         .collect();
     for (i, c) in checkers.iter().enumerate() {
-        platform.register_identity(c, &format!("Checker {i}"), &[Role::FactChecker]);
+        platform.register_identity(c, &format!("Checker {i}"), &[Role::FactChecker])?;
     }
     platform.produce_block()?;
 
@@ -187,7 +187,7 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
                 ),
                 recorded_at: 1_000 + fact_counter,
             };
-            let id = platform.propose_fact(record);
+            let id = platform.propose_fact(record)?;
             for checker in &checkers {
                 platform.attest_fact(checker, &id)?;
             }
@@ -201,9 +201,13 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
                 continue;
             }
             let root = roots.choose(&mut rng).expect("factdb seeded");
-            let op = *[PropagationOp::Cite, PropagationOp::Relay, PropagationOp::Split]
-                .choose(&mut rng)
-                .expect("nonempty");
+            let op = *[
+                PropagationOp::Cite,
+                PropagationOp::Relay,
+                PropagationOp::Split,
+            ]
+            .choose(&mut rng)
+            .expect("nonempty");
             let content = apply(op, &[&root.content], false, &mut rng);
             let id = platform.publish_news(
                 creator,
@@ -234,8 +238,7 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
             } else {
                 // Distorted factual (the 72 % pattern).
                 let root = roots.choose(&mut rng).expect("factdb seeded");
-                let content =
-                    apply(PropagationOp::Insert, &[&root.content], true, &mut rng);
+                let content = apply(PropagationOp::Insert, &[&root.content], true, &mut rng);
                 platform.publish_news(
                     faker,
                     room,
@@ -256,8 +259,7 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
         // platform pays incentive points for ratings that agree with the
         // eventually-confirmed outcome and slashes disagreement (§V's
         // reward economy), exercised through the incentive contract.
-        let new_items: Vec<(Hash256, bool)> =
-            truth.iter().rev().take(published).copied().collect();
+        let new_items: Vec<(Hash256, bool)> = truth.iter().rev().take(published).copied().collect();
         for (item, is_fake) in &new_items {
             for rater in consumers.choose_multiple(&mut rng, config.raters_per_item) {
                 let misjudge = rng.gen_bool(config.rating_noise.clamp(0.0, 1.0));
@@ -270,9 +272,9 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
                 platform.submit_rating(rater, item, score)?;
                 let correct = believes_factual != *is_fake;
                 if correct {
-                    platform.reward_points(&rater.address(), 2);
+                    platform.reward_points(&rater.address(), 2)?;
                 } else {
-                    platform.slash_points(&rater.address(), 1);
+                    platform.slash_points(&rater.address(), 1)?;
                 }
             }
         }
@@ -308,7 +310,10 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
             published,
             fake_published,
             admitted_facts: summary.admitted_facts.len()
-                + proposed.iter().filter(|id| platform.factdb().contains(id)).count(),
+                + proposed
+                    .iter()
+                    .filter(|id| platform.factdb().contains(id))
+                    .count(),
             mean_consumer_points,
             mean_rank_factual: mean(&fact_ranks),
             mean_rank_fake: mean(&fake_ranks),
@@ -319,7 +324,12 @@ pub fn run_ecosystem(config: &EcosystemConfig) -> Result<EcosystemResult, Platfo
 
     let last = rounds.last().expect("at least one round");
     let final_separation = last.mean_rank_factual - last.mean_rank_fake;
-    Ok(EcosystemResult { rounds, platform, truth, final_separation })
+    Ok(EcosystemResult {
+        rounds,
+        platform,
+        truth,
+        final_separation,
+    })
 }
 
 #[cfg(test)]
@@ -349,8 +359,14 @@ mod tests {
     fn ecosystem_runs_and_separates_fake_from_factual() {
         let r = run_ecosystem(&small()).expect("runs");
         assert_eq!(r.rounds.len(), 4);
-        assert!(r.truth.iter().any(|(_, fake)| *fake), "some fakes published");
-        assert!(r.truth.iter().any(|(_, fake)| !*fake), "some factual published");
+        assert!(
+            r.truth.iter().any(|(_, fake)| *fake),
+            "some fakes published"
+        );
+        assert!(
+            r.truth.iter().any(|(_, fake)| !*fake),
+            "some factual published"
+        );
         assert!(
             r.final_separation > 15.0,
             "expected clear rank separation, got {}",
@@ -360,7 +376,10 @@ mod tests {
 
     #[test]
     fn factdb_grows_over_rounds() {
-        let cfg = EcosystemConfig { new_fact_prob: 1.0, ..small() };
+        let cfg = EcosystemConfig {
+            new_fact_prob: 1.0,
+            ..small()
+        };
         let r = run_ecosystem(&cfg).expect("runs");
         let first = r.rounds.first().unwrap().factdb_size;
         let last = r.rounds.last().unwrap().factdb_size;
@@ -386,8 +405,11 @@ mod tests {
     #[test]
     fn detector_round_improves_or_maintains_separation() {
         let with = run_ecosystem(&small()).expect("runs");
-        let without =
-            run_ecosystem(&EcosystemConfig { detector_round: None, ..small() }).expect("runs");
+        let without = run_ecosystem(&EcosystemConfig {
+            detector_round: None,
+            ..small()
+        })
+        .expect("runs");
         assert!(
             with.final_separation >= without.final_separation - 5.0,
             "with detector {} vs without {}",

@@ -5,8 +5,14 @@
 //! substrate crate:
 //!
 //! - [`roles`]: verified identities and the five ecosystem roles.
-//! - [`platform`]: the [`Platform`] struct — chain + contracts + factual
-//!   database + supply-chain graph + AI detector behind one transactional
+//! - [`projections`]: the four block observers (supply-chain graph,
+//!   identity registry, factual database, headline cache) that derive
+//!   platform state purely from committed blocks.
+//! - [`pipeline`]: the [`ExecutionPipeline`] — chain store + contract
+//!   executor + registered projections; the deterministic replica core
+//!   shared by the local platform and `tn-node` validators.
+//! - [`platform`]: the [`Platform`] struct — a facade over the pipeline
+//!   adding keys, a mempool and the AI detector behind one transactional
 //!   API (publish, rate, attest, rank, trace, suggest experts).
 //! - [`ecosystem`]: the multi-round ecosystem simulation (experiment E10)
 //!   in which consumers, creators, fact checkers, AI developers and
@@ -23,7 +29,7 @@
 //!
 //! let mut platform = Platform::new(PlatformConfig::default());
 //! let publisher = Keypair::from_seed(b"pub");
-//! platform.register_identity(&publisher, "Daily Facts", &[Role::Publisher]);
+//! platform.register_identity(&publisher, "Daily Facts", &[Role::Publisher])?;
 //! platform.produce_block()?;
 //! assert!(platform.identities().has_role(&publisher.address(), Role::Publisher));
 //! # Ok::<(), tn_core::platform::PlatformError>(())
@@ -34,11 +40,17 @@
 
 pub mod client;
 pub mod ecosystem;
+pub mod pipeline;
 pub mod platform;
+pub mod projections;
 pub mod roles;
 
+pub use client::{ClientError, LightClient};
+pub use pipeline::{bootstrap, Bootstrap, BuiltinAddrs, ExecutionPipeline};
 pub use platform::{
     BlockSummary, ItemRank, Platform, PlatformConfig, PlatformError, PlatformRankWeights,
 };
-pub use client::{ClientError, LightClient};
+pub use projections::{
+    AdmissionLedger, FactProjection, HeadlineProjection, IdentityProjection, SupplyChainProjection,
+};
 pub use roles::{IdentityRecord, IdentityRegistry, Role};

@@ -1,0 +1,356 @@
+//! The layered block-execution pipeline.
+//!
+//! `ExecutionPipeline` is the deterministic core every node runs: a
+//! [`ChainStore`] with the contract registry as executor and the four
+//! platform projections (supply chain, identities, factual database,
+//! headlines) registered as block observers. Everything above it —
+//! [`Platform`](crate::platform::Platform) locally, `tn-node` validators
+//! in a consensus network — is a driver that decides *which* transactions
+//! to commit; the pipeline guarantees that committing the same blocks
+//! yields the same state and the same projection digests everywhere.
+
+use tn_chain::observer::BlockObserver;
+use tn_chain::prelude::*;
+use tn_contracts::builtin::{
+    FactDbAdmission, IncentiveContract, NewsroomRegistry, RankingContract,
+};
+use tn_contracts::executor::ContractRegistry;
+use tn_crypto::{Address, Hash256, Keypair};
+use tn_factdb::db::FactualDatabase;
+use tn_factdb::record::FactRecord;
+use tn_supplychain::graph::SupplyChainGraph;
+use tn_supplychain::index::IndexStats;
+
+use crate::platform::PlatformConfig;
+use crate::projections::{
+    names, FactProjection, HeadlineProjection, IdentityProjection, SupplyChainProjection,
+};
+use crate::roles::IdentityRegistry;
+
+/// Well-known addresses of the four governance built-in contracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuiltinAddrs {
+    /// Newsroom registry (platforms, rooms, authorizations).
+    pub newsroom: Address,
+    /// Crowd-rating contract.
+    pub ranking: Address,
+    /// Incentive-points contract.
+    pub incentive: Address,
+    /// Fact-admission attestation gate.
+    pub admission: Address,
+}
+
+/// Installs the four governance built-ins into a fresh registry.
+fn install_builtins(governor: Address, fact_threshold: usize) -> (ContractRegistry, BuiltinAddrs) {
+    let mut registry = ContractRegistry::new();
+    let addrs = BuiltinAddrs {
+        newsroom: registry.install_builtin(Box::new(NewsroomRegistry::new())),
+        ranking: registry.install_builtin(Box::new(RankingContract::new(governor))),
+        incentive: registry.install_builtin(Box::new(IncentiveContract::new(governor))),
+        admission: registry
+            .install_builtin(Box::new(FactDbAdmission::new(governor, fact_threshold))),
+    };
+    (registry, addrs)
+}
+
+/// The canonical projection set, in registration order.
+fn projection_set(
+    seed_corpus: Vec<FactRecord>,
+    admission: Address,
+    fact_threshold: usize,
+) -> Vec<Box<dyn BlockObserver>> {
+    vec![
+        Box::new(SupplyChainProjection::new(
+            seed_corpus.clone(),
+            admission,
+            fact_threshold,
+        )),
+        Box::new(IdentityProjection::new()),
+        Box::new(FactProjection::new(seed_corpus, admission, fact_threshold)),
+        Box::new(HeadlineProjection::new()),
+    ]
+}
+
+/// A deterministically bootstrapped replica: the well-known governance
+/// keys plus a pipeline whose chain already holds the genesis-follow
+/// anchor block. Every party built from the same [`PlatformConfig`] —
+/// the local [`Platform`](crate::platform::Platform), every `tn-node`
+/// validator — starts from this byte-identical prefix.
+#[derive(Debug)]
+pub struct Bootstrap {
+    /// Contract owner / grant issuer (seeded key, same on all replicas).
+    pub governor: Keypair,
+    /// Block proposer (seeded key, same on all replicas).
+    pub validator: Keypair,
+    /// The pipeline, advanced past the factual-DB anchor block.
+    pub pipeline: ExecutionPipeline,
+}
+
+/// Builds the canonical replica start state for `config`: genesis balances
+/// for governor and validator, the four governance contracts, the seeded
+/// factual corpus, and one committed block anchoring the corpus root.
+pub fn bootstrap(config: &PlatformConfig) -> Bootstrap {
+    let governor = Keypair::from_seed(b"tn-platform-governor");
+    let validator = Keypair::from_seed(b"tn-platform-validator");
+    let genesis = State::genesis([
+        (governor.address(), 1_000_000_000),
+        (validator.address(), 1_000_000),
+    ]);
+    let seed_corpus: Vec<FactRecord> = tn_factdb::corpus::generate_corpus(&config.factdb_seed)
+        .into_iter()
+        .collect();
+    let mut pipeline = ExecutionPipeline::new(
+        genesis,
+        &validator,
+        governor.address(),
+        config.fact_threshold,
+        seed_corpus,
+    );
+    let root = pipeline.factdb().root();
+    let anchor = Transaction::signed(
+        &governor,
+        0,
+        config.fee,
+        Payload::AnchorRoot {
+            namespace: "factdb".into(),
+            root,
+        },
+    );
+    pipeline
+        .commit_batch(&validator, 1, vec![anchor])
+        .expect("genesis anchor block");
+    Bootstrap {
+        governor,
+        validator,
+        pipeline,
+    }
+}
+
+/// The deterministic execution core: chain store + contract executor +
+/// registered projections.
+pub struct ExecutionPipeline {
+    store: ChainStore,
+    registry: ContractRegistry,
+    addrs: BuiltinAddrs,
+}
+
+impl std::fmt::Debug for ExecutionPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionPipeline")
+            .field("height", &self.store.height())
+            .field("projections", &self.store.projection_digests().len())
+            .finish()
+    }
+}
+
+impl ExecutionPipeline {
+    /// Builds a pipeline: genesis state, the four governance built-ins
+    /// owned by `governor`, and the four projections seeded with the
+    /// genesis factual corpus. Two pipelines built with identical
+    /// arguments are bit-identical, which is what lets every validator of
+    /// a network boot the same replica.
+    pub fn new(
+        genesis: State,
+        validator: &Keypair,
+        governor: Address,
+        fact_threshold: usize,
+        seed_corpus: Vec<FactRecord>,
+    ) -> ExecutionPipeline {
+        let (registry, addrs) = install_builtins(governor, fact_threshold);
+        let mut store = ChainStore::new(genesis, validator);
+        for projection in projection_set(seed_corpus, addrs.admission, fact_threshold) {
+            store.register_observer(projection);
+        }
+        ExecutionPipeline {
+            store,
+            registry,
+            addrs,
+        }
+    }
+
+    /// Restores a pipeline from a [`ChainStore::snapshot`]: every block is
+    /// re-validated and re-executed against a fresh contract registry (so
+    /// contract state is recomputed, never trusted), then the projections
+    /// are registered and replayed over the restored canonical chain. The
+    /// construction parameters must match the ones the snapshotted chain
+    /// was built with.
+    ///
+    /// # Errors
+    ///
+    /// Decode or validation errors from the snapshot.
+    pub fn restore(
+        snapshot: &[u8],
+        governor: Address,
+        fact_threshold: usize,
+        seed_corpus: Vec<FactRecord>,
+    ) -> Result<ExecutionPipeline, ChainError> {
+        let (mut registry, addrs) = install_builtins(governor, fact_threshold);
+        let mut store = ChainStore::restore(snapshot, &mut registry)?;
+        for projection in projection_set(seed_corpus, addrs.admission, fact_threshold) {
+            store.register_observer(projection);
+        }
+        Ok(ExecutionPipeline {
+            store,
+            registry,
+            addrs,
+        })
+    }
+
+    // --- commit path -----------------------------------------------------
+
+    /// Proposes a block from `txs` at `timestamp`, imports it, and
+    /// returns it with its receipts. Projections observe the import
+    /// before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Chain-level import errors.
+    pub fn commit_batch(
+        &mut self,
+        proposer: &Keypair,
+        timestamp: u64,
+        txs: Vec<Transaction>,
+    ) -> Result<(Block, Vec<Receipt>), ChainError> {
+        // Contract execution never touches chain State (only fees/nonces),
+        // so the proposal pass can run without the registry; the import
+        // pass executes against the authoritative registry exactly once.
+        let block = self
+            .store
+            .propose(proposer, timestamp, txs, &mut NoExecutor);
+        let receipts = self.store.import(block.clone(), &mut self.registry)?;
+        Ok((block, receipts))
+    }
+
+    /// Imports a block produced elsewhere (a peer validator) through the
+    /// same executor + projection path as locally committed blocks.
+    ///
+    /// # Errors
+    ///
+    /// Chain-level import errors.
+    pub fn apply_block(&mut self, block: Block) -> Result<Vec<Receipt>, ChainError> {
+        self.store.import(block, &mut self.registry)
+    }
+
+    // --- digests ---------------------------------------------------------
+
+    /// Per-projection state digests, in registration order.
+    pub fn projection_digests(&self) -> Vec<(&'static str, Hash256)> {
+        self.store.projection_digests()
+    }
+
+    /// One hash summarizing the replica: head id, world-state root,
+    /// contract-storage root, and the projection root. Two nodes agree on
+    /// their entire derived state iff they agree on this digest.
+    pub fn execution_digest(&self) -> Hash256 {
+        let mut data = Vec::with_capacity(128);
+        data.extend_from_slice(self.store.head_id().as_bytes());
+        data.extend_from_slice(self.store.head_state().root().as_bytes());
+        data.extend_from_slice(self.registry.storage_root().as_bytes());
+        data.extend_from_slice(self.store.projection_root().as_bytes());
+        tn_crypto::sha256::tagged_hash("TN/execution", &data)
+    }
+
+    /// Replays the canonical chain into a fresh projection set and checks
+    /// every digest against the live projections, returning the replayed
+    /// `(name, live digest)` pairs. This is the ledger-replay audit: it
+    /// proves the registered projections are pure functions of chain
+    /// history.
+    pub fn verify_replay(&self) -> Result<Vec<(&'static str, Hash256)>, String> {
+        let mut fresh = self.fresh_projections();
+        self.store.replay_into(&mut fresh);
+        let live = self.projection_digests();
+        for (observer, (name, digest)) in fresh.iter().zip(&live) {
+            if observer.digest() != *digest {
+                return Err(format!("projection '{name}' diverged from ledger replay"));
+            }
+        }
+        Ok(live)
+    }
+
+    /// A fresh (genesis-state) copy of the registered projection set,
+    /// suitable for [`ChainStore::replay_into`].
+    pub fn fresh_projections(&self) -> Vec<Box<dyn BlockObserver>> {
+        let fp = self
+            .store
+            .observer::<FactProjection>(names::FACTDB)
+            .expect("fact projection");
+        projection_set(fp.seed().to_vec(), self.addrs.admission, fp.threshold())
+    }
+
+    // --- read access -----------------------------------------------------
+
+    /// The chain store.
+    pub fn store(&self) -> &ChainStore {
+        &self.store
+    }
+
+    /// Mutable chain store access (observer registration, tests).
+    pub fn store_mut(&mut self) -> &mut ChainStore {
+        &mut self.store
+    }
+
+    /// The contract registry.
+    pub fn registry(&self) -> &ContractRegistry {
+        &self.registry
+    }
+
+    /// Built-in contract addresses.
+    pub fn addrs(&self) -> BuiltinAddrs {
+        self.addrs
+    }
+
+    /// The supply-chain graph projection's derived graph.
+    pub fn graph(&self) -> &SupplyChainGraph {
+        self.store
+            .observer::<SupplyChainProjection>(names::SUPPLY_CHAIN)
+            .expect("supply-chain projection registered")
+            .graph()
+    }
+
+    /// Indexing statistics from the supply-chain projection.
+    pub fn index_stats(&self) -> &IndexStats {
+        self.store
+            .observer::<SupplyChainProjection>(names::SUPPLY_CHAIN)
+            .expect("supply-chain projection registered")
+            .stats()
+    }
+
+    /// The identity projection's derived registry.
+    pub fn identities(&self) -> &IdentityRegistry {
+        self.store
+            .observer::<IdentityProjection>(names::IDENTITY)
+            .expect("identity projection registered")
+            .registry()
+    }
+
+    /// The fact projection's derived database.
+    pub fn factdb(&self) -> &FactualDatabase {
+        self.store
+            .observer::<FactProjection>(names::FACTDB)
+            .expect("fact projection")
+            .db()
+    }
+
+    /// The fact projection (for candidate queries).
+    pub fn fact_projection(&self) -> &FactProjection {
+        self.store
+            .observer::<FactProjection>(names::FACTDB)
+            .expect("fact projection")
+    }
+
+    /// Drains fact records admitted since the last call.
+    pub fn take_newly_admitted(&mut self) -> Vec<Hash256> {
+        self.store
+            .observer_mut::<FactProjection>(names::FACTDB)
+            .expect("fact projection")
+            .take_newly_admitted()
+    }
+
+    /// The headline recorded on-chain for `item`, if any.
+    pub fn headline(&self, item: &Hash256) -> Option<&str> {
+        self.store
+            .observer::<HeadlineProjection>(names::HEADLINES)
+            .expect("headline projection")
+            .headline(item)
+    }
+}

@@ -1,17 +1,22 @@
 //! The AI blockchain trusting-news platform (Figure 1).
 //!
-//! One struct wires every subsystem together: the chain (ordering +
-//! accountability), the contract registry with the four governance
-//! built-ins, the factual database, the supply-chain graph, the identity
-//! registry, and the AI detector. All state mutations flow through signed
-//! transactions and block production — the platform never mutates
-//! contract state out-of-band, so the ledger remains the complete audit
-//! trail the paper's accountability story requires. (Consensus itself is
-//! exercised separately in `tn-consensus`; here a single validator
+//! [`Platform`] is a thin facade over the layered block-execution
+//! pipeline: it holds the governor/validator keys, a fee-prioritised
+//! mempool, and the AI detector, and drives an
+//! [`ExecutionPipeline`](crate::pipeline::ExecutionPipeline) — the
+//! deterministic core in which the chain store executes blocks and
+//! notifies the four registered projections (supply-chain graph, identity
+//! registry, factual database, headline cache). All state mutations flow
+//! through signed transactions and block production — the platform never
+//! mutates derived state out-of-band, so the ledger remains the complete
+//! audit trail the paper's accountability story requires, and
+//! [`Platform::verify_replay`] can prove it by rebuilding every
+//! projection from genesis. (Consensus itself lives in `tn-consensus` and
+//! is wired to the same pipeline by `tn-node`; here a single validator
 //! produces blocks, which is faithful to a one-node deployment of the
 //! permissioned network.)
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -23,16 +28,16 @@ use tn_contracts::builtin::{
     newsroom_register_platform, ranking_submit, FactDbAdmission, IncentiveContract,
     NewsroomRegistry, RankingContract,
 };
-use tn_contracts::executor::ContractRegistry;
 use tn_crypto::{Address, Hash256, Keypair};
 use tn_factdb::corpus::CorpusConfig;
 use tn_factdb::db::FactualDatabase;
 use tn_factdb::record::FactRecord;
 use tn_supplychain::graph::{SupplyChainGraph, TraceResult};
-use tn_supplychain::index::{index_transaction, IndexStats, NewsEvent};
+use tn_supplychain::index::{IndexStats, NewsEvent};
 use tn_supplychain::ops::PropagationOp;
 use tn_supplychain::ranking::trace_score;
 
+use crate::pipeline::ExecutionPipeline;
 use crate::roles::{IdentityRecord, IdentityRegistry, Role};
 
 /// Platform-level errors.
@@ -50,6 +55,8 @@ pub enum PlatformError {
     NotVerified(Address),
     /// Unknown news item.
     UnknownItem(Hash256),
+    /// The mempool rejected a platform-built transaction.
+    Mempool(ChainError),
 }
 
 impl fmt::Display for PlatformError {
@@ -61,6 +68,7 @@ impl fmt::Display for PlatformError {
             PlatformError::NotAuthorized(e) => write!(f, "not authorized: {e}"),
             PlatformError::NotVerified(a) => write!(f, "account {} not verified", a.short()),
             PlatformError::UnknownItem(h) => write!(f, "unknown news item {}", h.short()),
+            PlatformError::Mempool(e) => write!(f, "mempool rejection: {e}"),
         }
     }
 }
@@ -92,7 +100,11 @@ pub struct PlatformRankWeights {
 
 impl Default for PlatformRankWeights {
     fn default() -> Self {
-        PlatformRankWeights { trace: 0.5, ai: 0.25, crowd: 0.25 }
+        PlatformRankWeights {
+            trace: 0.5,
+            ai: 0.25,
+            crowd: 0.25,
+        }
     }
 }
 
@@ -109,6 +121,8 @@ pub struct PlatformConfig {
     pub factdb_seed: CorpusConfig,
     /// Ranking weights.
     pub weights: PlatformRankWeights,
+    /// Maximum transactions the mempool holds at once.
+    pub mempool_capacity: usize,
 }
 
 impl Default for PlatformConfig {
@@ -117,8 +131,13 @@ impl Default for PlatformConfig {
             identity_grant: 10_000,
             fee: 1,
             fact_threshold: 2,
-            factdb_seed: CorpusConfig { size: 50, seed: 42, start_time: 0 },
+            factdb_seed: CorpusConfig {
+                size: 50,
+                seed: 42,
+                start_time: 0,
+            },
             weights: PlatformRankWeights::default(),
+            mempool_capacity: 100_000,
         }
     }
 }
@@ -151,135 +170,100 @@ pub struct BlockSummary {
     pub admitted_facts: Vec<Hash256>,
 }
 
-/// The trusting-news platform.
+/// The trusting-news platform: a facade over the execution pipeline.
 pub struct Platform {
     config: PlatformConfig,
     governor: Keypair,
     validator: Keypair,
-    store: ChainStore,
-    registry: ContractRegistry,
-    newsroom_addr: Address,
-    ranking_addr: Address,
-    incentive_addr: Address,
-    admission_addr: Address,
-    factdb: FactualDatabase,
-    graph: SupplyChainGraph,
-    identities: IdentityRegistry,
+    pipeline: ExecutionPipeline,
     detector: Option<EnsembleDetector>,
     /// Pending transactions (real fee-prioritised mempool from tn-chain).
     mempool: Mempool,
-    /// Nonces reserved by pending transactions, per account.
+    /// Nonces reserved by pending transactions, per account. Re-derived
+    /// from mempool content after every block so reservations never drift
+    /// from the pool.
     reserved_nonces: HashMap<Address, u64>,
-    /// Candidate fact records awaiting attestation, by id.
-    fact_candidates: HashMap<Hash256, FactRecord>,
-    /// Headlines of indexed items (for stance-aware AI scoring).
-    headlines: HashMap<Hash256, String>,
-    index_stats: IndexStats,
+    /// Fact ids proposed through this platform whose FACT_PROPOSE
+    /// transaction may not have committed yet (pre-commit attest
+    /// validation only; the authoritative candidate set is the fact
+    /// projection's chain-derived ledger).
+    pending_proposals: HashSet<Hash256>,
     clock: u64,
 }
 
 impl fmt::Debug for Platform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Platform")
-            .field("height", &self.store.height())
-            .field("factdb", &self.factdb.len())
-            .field("graph", &self.graph.len())
-            .field("identities", &self.identities.len())
+            .field("height", &self.pipeline.store().height())
+            .field("factdb", &self.factdb().len())
+            .field("graph", &self.graph().len())
+            .field("identities", &self.identities().len())
             .field("pending", &self.mempool.len())
             .finish()
     }
 }
 
 impl Platform {
-    /// Boots a platform: creates governance accounts, installs the four
-    /// built-in contracts, seeds and anchors the factual database.
+    /// Boots a platform from the canonical replica bootstrap (shared with
+    /// `tn-node` validators): governance accounts, the execution pipeline
+    /// (contracts + seeded projections), and the committed factual-DB
+    /// anchor block.
     pub fn new(config: PlatformConfig) -> Platform {
-        let governor = Keypair::from_seed(b"tn-platform-governor");
-        let validator = Keypair::from_seed(b"tn-platform-validator");
-        let genesis = State::genesis([
-            (governor.address(), 1_000_000_000),
-            (validator.address(), 1_000_000),
-        ]);
-        let store = ChainStore::new(genesis, &validator);
-
-        let mut registry = ContractRegistry::new();
-        let newsroom_addr = registry.install_builtin(Box::new(NewsroomRegistry::new()));
-        let ranking_addr =
-            registry.install_builtin(Box::new(RankingContract::new(governor.address())));
-        let incentive_addr =
-            registry.install_builtin(Box::new(IncentiveContract::new(governor.address())));
-        let admission_addr = registry.install_builtin(Box::new(FactDbAdmission::new(
-            governor.address(),
-            config.fact_threshold,
-        )));
-
-        let mut factdb = FactualDatabase::new();
-        let mut graph = SupplyChainGraph::new();
-        for rec in tn_factdb::corpus::generate_corpus(&config.factdb_seed) {
-            let id = rec.id();
-            graph
-                .add_fact_root(id, &rec.content, &rec.topic, rec.recorded_at)
-                .expect("corpus records are unique");
-            factdb.append(rec).expect("corpus records are unique");
-        }
-
-        let mut platform = Platform {
+        let crate::pipeline::Bootstrap {
+            governor,
+            validator,
+            pipeline,
+        } = crate::pipeline::bootstrap(&config);
+        let mempool = Mempool::new(config.mempool_capacity);
+        Platform {
             config,
             governor,
             validator,
-            store,
-            registry,
-            newsroom_addr,
-            ranking_addr,
-            incentive_addr,
-            admission_addr,
-            factdb,
-            graph,
-            identities: IdentityRegistry::new(),
+            pipeline,
             detector: None,
-            mempool: Mempool::new(100_000),
+            mempool,
             reserved_nonces: HashMap::new(),
-            fact_candidates: HashMap::new(),
-            headlines: HashMap::new(),
-            index_stats: IndexStats::default(),
-            clock: 1,
-        };
-        // Anchor the seeded factual DB and commit the genesis-follow block.
-        platform.enqueue_anchor();
-        platform.produce_block().expect("genesis anchor block");
-        platform
+            pending_proposals: HashSet::new(),
+            // The bootstrap committed the anchor block at timestamp 1.
+            clock: 2,
+        }
     }
 
     // --- accessors -------------------------------------------------------
 
     /// Current chain height.
     pub fn height(&self) -> u64 {
-        self.store.height()
+        self.pipeline.store().height()
     }
 
-    /// The factual database.
+    /// The execution pipeline (chain + executor + projections).
+    pub fn pipeline(&self) -> &ExecutionPipeline {
+        &self.pipeline
+    }
+
+    /// The factual database (derived by the fact projection).
     pub fn factdb(&self) -> &FactualDatabase {
-        &self.factdb
+        self.pipeline.factdb()
     }
 
-    /// The supply-chain graph.
+    /// The supply-chain graph (derived by the supply-chain projection).
     pub fn graph(&self) -> &SupplyChainGraph {
-        &self.graph
+        self.pipeline.graph()
     }
 
-    /// The identity registry.
+    /// The identity registry (derived by the identity projection).
     pub fn identities(&self) -> &IdentityRegistry {
-        &self.identities
+        self.pipeline.identities()
     }
 
     /// The chain store (read-only).
     pub fn store(&self) -> &ChainStore {
-        &self.store
+        self.pipeline.store()
     }
 
     /// Indexing statistics accumulated over all produced blocks.
     pub fn index_stats(&self) -> &IndexStats {
-        &self.index_stats
+        self.pipeline.index_stats()
     }
 
     /// The governor account address (contract owner).
@@ -289,37 +273,63 @@ impl Platform {
 
     /// The on-chain anchor for the factual database, if any.
     pub fn anchored_fact_root(&self) -> Option<Hash256> {
-        self.store.head_state().anchor("factdb")
+        self.pipeline.store().head_state().anchor("factdb")
+    }
+
+    /// Per-projection state digests, in registration order.
+    pub fn projection_digests(&self) -> Vec<(&'static str, Hash256)> {
+        self.pipeline.projection_digests()
+    }
+
+    /// One hash over the full replica state (head, world state, contract
+    /// storage, projections) — see
+    /// [`ExecutionPipeline::execution_digest`].
+    pub fn execution_digest(&self) -> Hash256 {
+        self.pipeline.execution_digest()
+    }
+
+    /// Replays the ledger from genesis into fresh projections and checks
+    /// that every digest matches the live ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first diverging projection.
+    pub fn verify_replay(&self) -> Result<Vec<(&'static str, Hash256)>, String> {
+        self.pipeline.verify_replay()
     }
 
     /// Typed read access to the newsroom registry contract.
     pub fn newsrooms(&self) -> &NewsroomRegistry {
-        self.registry
-            .builtin(&self.newsroom_addr)
+        self.pipeline
+            .registry()
+            .builtin(&self.pipeline.addrs().newsroom)
             .and_then(|b| b.as_any().downcast_ref())
             .expect("newsroom builtin installed")
     }
 
     /// Typed read access to the ranking contract.
     pub fn ranking_contract(&self) -> &RankingContract {
-        self.registry
-            .builtin(&self.ranking_addr)
+        self.pipeline
+            .registry()
+            .builtin(&self.pipeline.addrs().ranking)
             .and_then(|b| b.as_any().downcast_ref())
             .expect("ranking builtin installed")
     }
 
     /// Typed read access to the incentive contract.
     pub fn incentives(&self) -> &IncentiveContract {
-        self.registry
-            .builtin(&self.incentive_addr)
+        self.pipeline
+            .registry()
+            .builtin(&self.pipeline.addrs().incentive)
             .and_then(|b| b.as_any().downcast_ref())
             .expect("incentive builtin installed")
     }
 
     /// Typed read access to the admission contract.
     pub fn admission(&self) -> &FactDbAdmission {
-        self.registry
-            .builtin(&self.admission_addr)
+        self.pipeline
+            .registry()
+            .builtin(&self.pipeline.addrs().admission)
             .and_then(|b| b.as_any().downcast_ref())
             .expect("admission builtin installed")
     }
@@ -327,7 +337,7 @@ impl Platform {
     // --- transaction plumbing -------------------------------------------
 
     fn next_nonce(&mut self, who: &Address) -> u64 {
-        let committed = self.store.head_state().nonce(who);
+        let committed = self.pipeline.store().head_state().nonce(who);
         let reserved = self.reserved_nonces.entry(*who).or_insert(committed);
         if *reserved < committed {
             *reserved = committed;
@@ -337,97 +347,78 @@ impl Platform {
         n
     }
 
-    fn enqueue(&mut self, signer: &Keypair, payload: Payload) {
-        self.enqueue_with_fee(signer, self.config.fee, payload);
+    fn enqueue(&mut self, signer: &Keypair, payload: Payload) -> Result<(), PlatformError> {
+        self.enqueue_with_fee(signer, self.config.fee, payload)
     }
 
-    fn enqueue_with_fee(&mut self, signer: &Keypair, fee: u64, payload: Payload) {
+    fn enqueue_with_fee(
+        &mut self,
+        signer: &Keypair,
+        fee: u64,
+        payload: Payload,
+    ) -> Result<(), PlatformError> {
         let nonce = self.next_nonce(&signer.address());
         let tx = Transaction::signed(signer, nonce, fee, payload);
-        self.mempool
-            .insert(tx, self.store.head_state())
-            .expect("platform-built transactions are valid and unique");
+        if let Err(e) = self.mempool.insert(tx, self.pipeline.store().head_state()) {
+            // Release the reservation taken above so the nonce is not
+            // burned by a transaction that never entered the pool.
+            if let Some(reserved) = self.reserved_nonces.get_mut(&signer.address()) {
+                *reserved = nonce;
+            }
+            return Err(PlatformError::Mempool(e));
+        }
+        Ok(())
     }
 
-    fn enqueue_anchor(&mut self) {
-        let root = self.factdb.root();
+    fn enqueue_anchor(&mut self) -> Result<(), PlatformError> {
+        let root = self.pipeline.factdb().root();
         let governor = self.governor.clone();
-        self.enqueue(&governor, Payload::AnchorRoot { namespace: "factdb".into(), root });
+        self.enqueue(
+            &governor,
+            Payload::AnchorRoot {
+                namespace: "factdb".into(),
+                root,
+            },
+        )
     }
 
-    /// Produces one block from all pending transactions, imports it, and
-    /// post-processes: indexes news events, applies identity records,
-    /// admits attested facts (and re-anchors when the DB grew).
+    /// Produces one block from all pending transactions and imports it
+    /// through the pipeline; the projections (supply-chain graph,
+    /// identities, fact admissions, headlines) observe the committed
+    /// block before this returns, and a re-anchor transaction is enqueued
+    /// when the factual database grew.
     ///
     /// # Errors
     ///
     /// Chain-level import errors (should not occur for platform-built
     /// transactions).
     pub fn produce_block(&mut self) -> Result<BlockSummary, PlatformError> {
-        let txs = self.mempool.select(self.store.head_state(), 10_000);
-        self.reserved_nonces.clear();
-        // Contract execution never touches chain State (only fees/nonces),
-        // so the proposal pass can run without the registry; the import
-        // pass executes against the authoritative registry exactly once.
-        let block = self.store.propose(&self.validator, self.clock, txs, &mut NoExecutor);
-        let receipts = self.store.import(block, &mut self.registry)?;
-        self.mempool.prune_committed(self.store.head_state());
+        let txs = self
+            .mempool
+            .select(self.pipeline.store().head_state(), 10_000);
+        let (block, receipts) = self
+            .pipeline
+            .commit_batch(&self.validator, self.clock, txs)?;
+        self.mempool
+            .prune_committed(self.pipeline.store().head_state());
+        // Re-derive nonce reservations from what actually remains in the
+        // pool: transactions that were neither selected nor pruned keep
+        // their nonces reserved, everything else is released.
+        self.reserved_nonces = self.mempool.next_nonces().into_iter().collect();
         self.clock += 1;
 
-        let head = self.store.head().clone();
-        let mut failed = 0usize;
-        for (tx, receipt) in head.transactions.iter().zip(&receipts) {
-            if !receipt.success {
-                failed += 1;
-                continue;
-            }
-            // Index news events into the supply-chain graph; remember
-            // headlines for stance-aware AI scoring.
-            index_transaction(tx, &mut self.graph, &mut self.index_stats);
-            if let Some(Ok(event)) = NewsEvent::from_payload(&tx.payload) {
-                if !event.headline.is_empty() {
-                    let id = tn_supplychain::graph::item_id(
-                        &tx.from,
-                        &event.content,
-                        event.published_at,
-                    );
-                    self.headlines.insert(id, event.headline);
-                }
-            }
-            // Apply identity records.
-            if let Payload::Blob { tag, data } = &tx.payload {
-                if *tag == blob_tags::IDENTITY {
-                    if let Ok(rec) = IdentityRecord::from_bytes(data) {
-                        self.identities.register(tx.from, &rec.name, &rec.roles);
-                    }
-                }
-            }
-        }
-
-        // Fact admission: any candidate that has reached the threshold is
-        // appended to the DB and becomes a graph root; then re-anchor.
-        let admitted: Vec<Hash256> = self
-            .fact_candidates
-            .keys()
-            .filter(|id| self.admission().is_admitted(id))
-            .copied()
-            .collect();
+        let failed = receipts.iter().filter(|r| !r.success).count();
+        let admitted = self.pipeline.take_newly_admitted();
         for id in &admitted {
-            let rec = self.fact_candidates.remove(id).expect("key listed");
-            if !self.factdb.contains(id) {
-                self.graph
-                    .add_fact_root(*id, &rec.content, &rec.topic, rec.recorded_at)
-                    .ok(); // already a news item id clash is impossible (tagged hashes differ)
-                self.factdb.append(rec).ok();
-            }
+            self.pending_proposals.remove(id);
         }
         if !admitted.is_empty() {
-            self.enqueue_anchor();
+            self.enqueue_anchor()?;
         }
 
         Ok(BlockSummary {
-            height: head.header.height,
-            included: head.transactions.len(),
+            height: block.header.height,
+            included: block.transactions.len(),
             failed,
             admitted_facts: admitted,
         })
@@ -437,21 +428,40 @@ impl Platform {
 
     /// Verifies an identity: the governor grants an initial token balance
     /// and the account registers its name and roles on-chain.
-    pub fn register_identity(&mut self, who: &Keypair, name: &str, roles: &[Role]) {
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when a registration transaction cannot
+    /// be enqueued.
+    pub fn register_identity(
+        &mut self,
+        who: &Keypair,
+        name: &str,
+        roles: &[Role],
+    ) -> Result<(), PlatformError> {
         let governor = self.governor.clone();
         self.enqueue(
             &governor,
-            Payload::Transfer { to: who.address(), amount: self.config.identity_grant },
-        );
-        let record = IdentityRecord { name: name.into(), roles: roles.to_vec() };
+            Payload::Transfer {
+                to: who.address(),
+                amount: self.config.identity_grant,
+            },
+        )?;
+        let record = IdentityRecord {
+            name: name.into(),
+            roles: roles.to_vec(),
+        };
         // Registration is platform-subsidized (fee 0): the account may be
         // brand-new and unfunded until the grant above commits, and the
         // mempool orders by fee, not enqueue order.
         self.enqueue_with_fee(
             who,
             0,
-            Payload::Blob { tag: blob_tags::IDENTITY, data: record.to_bytes() },
-        );
+            Payload::Blob {
+                tag: blob_tags::IDENTITY,
+                data: record.to_bytes(),
+            },
+        )?;
         // Fact checkers are also registered with the admission contract.
         if roles.contains(&Role::FactChecker) {
             let input = admission_register_checker(&who.address());
@@ -459,19 +469,20 @@ impl Platform {
             self.enqueue(
                 &governor,
                 Payload::ContractCall {
-                    contract: self.admission_addr,
+                    contract: self.pipeline.addrs().admission,
                     input,
                     gas_limit: 10_000,
                 },
-            );
+            )?;
         }
+        Ok(())
     }
 
     fn require_role(&self, who: &Address, role: Role) -> Result<(), PlatformError> {
-        if !self.identities.is_verified(who) {
+        if !self.identities().is_verified(who) {
             return Err(PlatformError::NotVerified(*who));
         }
-        if !self.identities.has_role(who, role) {
+        if !self.identities().has_role(who, role) {
             return Err(PlatformError::NotAuthorized(format!(
                 "{} lacks role {role:?}",
                 who.short()
@@ -492,11 +503,15 @@ impl Platform {
     ) -> Result<(), PlatformError> {
         self.require_role(&publisher.address(), Role::Publisher)?;
         let input = newsroom_register_platform(name);
+        let contract = self.pipeline.addrs().newsroom;
         self.enqueue(
             publisher,
-            Payload::ContractCall { contract: self.newsroom_addr, input, gas_limit: 10_000 },
-        );
-        Ok(())
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
     }
 
     /// Creates a topical news room on an owned platform (§V layer 2).
@@ -513,11 +528,15 @@ impl Platform {
     ) -> Result<(), PlatformError> {
         self.require_role(&publisher.address(), Role::Publisher)?;
         let input = newsroom_create_room(platform_id, topic);
+        let contract = self.pipeline.addrs().newsroom;
         self.enqueue(
             publisher,
-            Payload::ContractCall { contract: self.newsroom_addr, input, gas_limit: 10_000 },
-        );
-        Ok(())
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
     }
 
     /// Authorizes a journalist to publish in a room.
@@ -533,11 +552,15 @@ impl Platform {
     ) -> Result<(), PlatformError> {
         self.require_role(&publisher.address(), Role::Publisher)?;
         let input = newsroom_authorize(room, journalist);
+        let contract = self.pipeline.addrs().newsroom;
         self.enqueue(
             publisher,
-            Payload::ContractCall { contract: self.newsroom_addr, input, gas_limit: 10_000 },
-        );
-        Ok(())
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
     }
 
     // --- news flow ---------------------------------------------------------
@@ -595,9 +618,8 @@ impl Platform {
             parents: parents.iter().map(|(id, op)| (*id, op.tag())).collect(),
             published_at,
         };
-        let item_id =
-            tn_supplychain::graph::item_id(&author.address(), content, published_at);
-        self.enqueue(author, event.into_payload());
+        let item_id = tn_supplychain::graph::item_id(&author.address(), content, published_at);
+        self.enqueue(author, event.into_payload())?;
         Ok(item_id)
     }
 
@@ -612,45 +634,75 @@ impl Platform {
         item: &Hash256,
         score: u8,
     ) -> Result<(), PlatformError> {
-        if !self.identities.is_verified(&rater.address()) {
+        if !self.identities().is_verified(&rater.address()) {
             return Err(PlatformError::NotVerified(rater.address()));
         }
         let input = ranking_submit(item, score);
+        let contract = self.pipeline.addrs().ranking;
         self.enqueue(
             rater,
-            Payload::ContractCall { contract: self.ranking_addr, input, gas_limit: 10_000 },
-        );
-        Ok(())
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
     }
 
-    /// Proposes a record for factual-database admission; fact checkers
-    /// then attest it. Returns the record id.
-    pub fn propose_fact(&mut self, record: FactRecord) -> Hash256 {
+    /// Proposes a record for factual-database admission as an on-chain
+    /// `FACT_PROPOSE` transaction (governor-signed); fact checkers then
+    /// attest it, and the fact projection admits it once the attestation
+    /// threshold is reached. Returns the record id.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the proposal cannot be enqueued.
+    pub fn propose_fact(&mut self, record: FactRecord) -> Result<Hash256, PlatformError> {
         let id = record.id();
-        self.fact_candidates.insert(id, record);
-        id
+        let governor = self.governor.clone();
+        self.enqueue(
+            &governor,
+            Payload::Blob {
+                tag: blob_tags::FACT_PROPOSE,
+                data: record.to_bytes(),
+            },
+        )?;
+        self.pending_proposals.insert(id);
+        Ok(id)
     }
 
     /// A fact checker attests a proposed record.
     ///
     /// # Errors
     ///
-    /// Requires the `FactChecker` role and a known candidate record.
+    /// Requires the `FactChecker` role and a known candidate record
+    /// (proposed on-chain, pending in the mempool, or already admitted).
     pub fn attest_fact(
         &mut self,
         checker: &Keypair,
         record_id: &Hash256,
     ) -> Result<(), PlatformError> {
         self.require_role(&checker.address(), Role::FactChecker)?;
-        if !self.fact_candidates.contains_key(record_id) && !self.factdb.contains(record_id) {
+        let known = self.pending_proposals.contains(record_id)
+            || self
+                .pipeline
+                .fact_projection()
+                .ledger()
+                .is_candidate(record_id)
+            || self.factdb().contains(record_id);
+        if !known {
             return Err(PlatformError::UnknownItem(*record_id));
         }
         let input = admission_attest(record_id);
+        let contract = self.pipeline.addrs().admission;
         self.enqueue(
             checker,
-            Payload::ContractCall { contract: self.admission_addr, input, gas_limit: 10_000 },
-        );
-        Ok(())
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
     }
 
     // --- AI & ranking -----------------------------------------------------
@@ -673,22 +725,33 @@ impl Platform {
     ///
     /// [`PlatformError::UnknownItem`] when the item is not in the graph.
     pub fn rank_item(&self, item: &Hash256) -> Result<ItemRank, PlatformError> {
-        let node = self.graph.get(item).ok_or(PlatformError::UnknownItem(*item))?;
-        let trace = self.graph.trace_back(item)?;
+        let graph = self.graph();
+        let node = graph.get(item).ok_or(PlatformError::UnknownItem(*item))?;
+        let trace = graph.trace_back(item)?;
         let t = trace_score(&trace);
         let ai = match &self.detector {
-            Some(d) => match self.headlines.get(item) {
+            Some(d) => match self.pipeline.headline(item) {
                 Some(headline) => 1.0 - d.prob_fake_with_headline(headline, &node.content),
                 None => d.prob_factual(&node.content),
             },
             None => 0.5,
         };
         let (count, mean_e4) = self.ranking_contract().ranking(item);
-        let crowd = if count > 0 { (mean_e4 as f64 / 10_000.0) / 100.0 } else { 0.5 };
+        let crowd = if count > 0 {
+            (mean_e4 as f64 / 10_000.0) / 100.0
+        } else {
+            0.5
+        };
         let w = self.config.weights;
         let total = w.trace + w.ai + w.crowd;
         let rank = 100.0 * (w.trace * t + w.ai * ai + w.crowd * crowd) / total;
-        Ok(ItemRank { trace: t, ai, crowd, rank, reaches_root: trace.reaches_root })
+        Ok(ItemRank {
+            trace: t,
+            ai,
+            crowd,
+            rank,
+            reaches_root: trace.reaches_root,
+        })
     }
 
     /// Traces an item back toward the factual database.
@@ -697,7 +760,7 @@ impl Platform {
     ///
     /// [`PlatformError::Graph`] for unknown items.
     pub fn trace_item(&self, item: &Hash256) -> Result<TraceResult, PlatformError> {
-        Ok(self.graph.trace_back(item)?)
+        Ok(self.graph().trace_back(item)?)
     }
 
     /// The account that originated an item's content (§IV accountability).
@@ -706,7 +769,7 @@ impl Platform {
     ///
     /// [`PlatformError::Graph`] for unknown items.
     pub fn origin_of(&self, item: &Hash256) -> Result<Option<Address>, PlatformError> {
-        Ok(self.graph.origin_author(item)?)
+        Ok(self.graph().origin_author(item)?)
     }
 
     /// The account that introduced the largest modification (≥ 0.1) along
@@ -719,7 +782,7 @@ impl Platform {
         &self,
         item: &Hash256,
     ) -> Result<Option<(Address, f64)>, PlatformError> {
-        Ok(self.graph.distortion_culprit(item, 0.1)?)
+        Ok(self.graph().distortion_culprit(item, 0.1)?)
     }
 
     /// Suggests the top-k domain experts for a topic from ledger history
@@ -729,28 +792,46 @@ impl Platform {
         topic: &str,
         k: usize,
     ) -> Vec<tn_supplychain::expert::ExpertScore> {
-        tn_supplychain::expert::experts_for_topic(&self.graph, topic, k)
+        tn_supplychain::expert::experts_for_topic(self.graph(), topic, k)
     }
 
     /// The governor rewards an account with incentive points ("economic
     /// incentives to reward individuals", §V) via the incentive contract.
-    pub fn reward_points(&mut self, who: &Address, amount: u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the call cannot be enqueued.
+    pub fn reward_points(&mut self, who: &Address, amount: u64) -> Result<(), PlatformError> {
         let governor = self.governor.clone();
         let input = tn_contracts::builtin::incentive_reward(who, amount);
+        let contract = self.pipeline.addrs().incentive;
         self.enqueue(
             &governor,
-            Payload::ContractCall { contract: self.incentive_addr, input, gas_limit: 10_000 },
-        );
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
     }
 
     /// The governor slashes an account's incentive points.
-    pub fn slash_points(&mut self, who: &Address, amount: u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the call cannot be enqueued.
+    pub fn slash_points(&mut self, who: &Address, amount: u64) -> Result<(), PlatformError> {
         let governor = self.governor.clone();
         let input = tn_contracts::builtin::incentive_slash(who, amount);
+        let contract = self.pipeline.addrs().incentive;
         self.enqueue(
             &governor,
-            Payload::ContractCall { contract: self.incentive_addr, input, gas_limit: 10_000 },
-        );
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
     }
 
     // --- Management Act enforcement ---------------------------------------
@@ -774,7 +855,7 @@ impl Platform {
         self.require_role(&enforcer.address(), Role::Publisher)?;
         // Count heavy-modification edges per author across the graph.
         let mut counts: HashMap<Address, usize> = HashMap::new();
-        for item in self.graph.iter().filter(|i| !i.is_fact_root) {
+        for item in self.graph().iter().filter(|i| !i.is_fact_root) {
             let heavy = item.parents.iter().any(|p| p.modification >= threshold);
             if heavy {
                 *counts.entry(item.author).or_insert(0) += 1;
@@ -796,17 +877,18 @@ impl Platform {
             })
             .map(|(id, _)| id)
             .collect();
+        let contract = self.pipeline.addrs().newsroom;
         for (who, _) in &sanctioned {
             for room in &rooms {
                 let input = tn_contracts::builtin::newsroom_revoke(*room, who);
                 self.enqueue(
                     enforcer,
                     Payload::ContractCall {
-                        contract: self.newsroom_addr,
+                        contract,
                         input,
                         gas_limit: 10_000,
                     },
-                );
+                )?;
             }
         }
         Ok(sanctioned)
@@ -839,8 +921,10 @@ mod tests {
         let mut p = boot();
         let pub_kp = kp("publisher");
         let journo = kp("journalist");
-        p.register_identity(&pub_kp, "Daily Facts Inc", &[Role::Publisher]);
-        p.register_identity(&journo, "Jane Doe", &[Role::ContentCreator]);
+        p.register_identity(&pub_kp, "Daily Facts Inc", &[Role::Publisher])
+            .unwrap();
+        p.register_identity(&journo, "Jane Doe", &[Role::ContentCreator])
+            .unwrap();
         p.produce_block().unwrap();
         assert!(p.identities().has_role(&pub_kp.address(), Role::Publisher));
 
@@ -853,7 +937,8 @@ mod tests {
         let (rid, room) = p.newsrooms().rooms().next().expect("room exists");
         assert_eq!(room.topic, "energy");
 
-        p.authorize_journalist(&pub_kp, rid, &journo.address()).unwrap();
+        p.authorize_journalist(&pub_kp, rid, &journo.address())
+            .unwrap();
         p.produce_block().unwrap();
         assert!(p.newsrooms().is_authorized(rid, &journo.address()));
     }
@@ -864,8 +949,10 @@ mod tests {
         let mut p = boot();
         let pub_kp = kp("publisher");
         let journo = kp("journalist");
-        p.register_identity(&pub_kp, "Daily Facts Inc", &[Role::Publisher]);
-        p.register_identity(&journo, "Jane Doe", &[Role::ContentCreator, Role::Consumer]);
+        p.register_identity(&pub_kp, "Daily Facts Inc", &[Role::Publisher])
+            .unwrap();
+        p.register_identity(&journo, "Jane Doe", &[Role::ContentCreator, Role::Consumer])
+            .unwrap();
         p.produce_block().unwrap();
         p.create_publisher_platform(&pub_kp, "Daily Facts").unwrap();
         p.produce_block().unwrap();
@@ -873,7 +960,8 @@ mod tests {
         p.create_news_room(&pub_kp, pid, "energy").unwrap();
         p.produce_block().unwrap();
         let rid = p.newsrooms().rooms().next().unwrap().0;
-        p.authorize_journalist(&pub_kp, rid, &journo.address()).unwrap();
+        p.authorize_journalist(&pub_kp, rid, &journo.address())
+            .unwrap();
         p.produce_block().unwrap();
         (p, journo, rid)
     }
@@ -902,7 +990,13 @@ mod tests {
 
         // An unsourced fabrication ranks lower.
         let fake = p
-            .publish_news(&journo, rid, "energy", "Secret memo reveals it was all a lie.", vec![])
+            .publish_news(
+                &journo,
+                rid,
+                "energy",
+                "Secret memo reveals it was all a lie.",
+                vec![],
+            )
             .unwrap();
         p.produce_block().unwrap();
         let fake_rank = p.rank_item(&fake).unwrap();
@@ -920,7 +1014,8 @@ mod tests {
             Err(PlatformError::NotVerified(_))
         ));
         // Verified consumer but not authorized in the room.
-        p.register_identity(&stranger, "Stranger", &[Role::ContentCreator]);
+        p.register_identity(&stranger, "Stranger", &[Role::ContentCreator])
+            .unwrap();
         p.produce_block().unwrap();
         assert!(matches!(
             p.publish_news(&stranger, rid, "t", "text", vec![]),
@@ -933,8 +1028,13 @@ mod tests {
         let (mut p, journo, rid) = with_room();
         let root = p.factdb().iter().next().unwrap().clone();
         let item = p
-            .publish_news(&journo, rid, &root.topic, &root.content,
-                          vec![(root.id(), PropagationOp::Cite)])
+            .publish_news(
+                &journo,
+                rid,
+                &root.topic,
+                &root.content,
+                vec![(root.id(), PropagationOp::Cite)],
+            )
             .unwrap();
         p.produce_block().unwrap();
 
@@ -951,8 +1051,10 @@ mod tests {
         let mut p = boot();
         let c1 = kp("checker1");
         let c2 = kp("checker2");
-        p.register_identity(&c1, "Checker One", &[Role::FactChecker]);
-        p.register_identity(&c2, "Checker Two", &[Role::FactChecker]);
+        p.register_identity(&c1, "Checker One", &[Role::FactChecker])
+            .unwrap();
+        p.register_identity(&c2, "Checker Two", &[Role::FactChecker])
+            .unwrap();
         p.produce_block().unwrap();
 
         let record = FactRecord {
@@ -962,13 +1064,16 @@ mod tests {
             content: "The permit reform passed the council vote.".into(),
             recorded_at: 77,
         };
-        let id = p.propose_fact(record);
+        let id = p.propose_fact(record).unwrap();
         let before_root = p.anchored_fact_root();
         let before_len = p.factdb().len();
 
         p.attest_fact(&c1, &id).unwrap();
         let s = p.produce_block().unwrap();
-        assert!(s.admitted_facts.is_empty(), "one attestation below threshold");
+        assert!(
+            s.admitted_facts.is_empty(),
+            "one attestation below threshold"
+        );
 
         p.attest_fact(&c2, &id).unwrap();
         let s = p.produce_block().unwrap();
@@ -987,8 +1092,14 @@ mod tests {
         let (mut p, journo, rid) = with_room();
         let roots: Vec<FactRecord> = p.factdb().iter().take(3).cloned().collect();
         for r in &roots {
-            p.publish_news(&journo, rid, &r.topic, &r.content, vec![(r.id(), PropagationOp::Cite)])
-                .unwrap();
+            p.publish_news(
+                &journo,
+                rid,
+                &r.topic,
+                &r.content,
+                vec![(r.id(), PropagationOp::Cite)],
+            )
+            .unwrap();
             p.produce_block().unwrap();
         }
         let topic = &roots[0].topic;
@@ -1001,7 +1112,13 @@ mod tests {
     fn origin_accountability() {
         let (mut p, journo, rid) = with_room();
         let fake = p
-            .publish_news(&journo, rid, "energy", "Invented scandal content here.", vec![])
+            .publish_news(
+                &journo,
+                rid,
+                "energy",
+                "Invented scandal content here.",
+                vec![],
+            )
             .unwrap();
         p.produce_block().unwrap();
         assert_eq!(p.origin_of(&fake).unwrap(), Some(journo.address()));
@@ -1028,7 +1145,11 @@ mod tests {
         );
         p.train_detector(&corpus);
         let after = p.rank_item(&fake).unwrap();
-        assert!(after.ai < 0.35, "detector should flag the fake, ai={}", after.ai);
+        assert!(
+            after.ai < 0.35,
+            "detector should flag the fake, ai={}",
+            after.ai
+        );
         assert!(after.rank < before.rank);
     }
 
@@ -1044,7 +1165,12 @@ mod tests {
                     the record was published and signed the same day.";
         let consistent = p
             .publish_news_with_headline(
-                &journo, rid, "energy", "Committee approves amendment", body, vec![],
+                &journo,
+                rid,
+                "energy",
+                "Committee approves amendment",
+                body,
+                vec![],
             )
             .unwrap();
         let refuting_body = "Claims that the committee approved the amendment are false; \
@@ -1052,7 +1178,12 @@ mod tests {
                              a hoax, not news.";
         let contradicted = p
             .publish_news_with_headline(
-                &journo, rid, "energy", "Committee approves amendment", refuting_body, vec![],
+                &journo,
+                rid,
+                "energy",
+                "Committee approves amendment",
+                refuting_body,
+                vec![],
             )
             .unwrap();
         p.produce_block().unwrap();
@@ -1072,9 +1203,11 @@ mod tests {
         let (mut p, journo, rid) = with_room();
         let pub_kp = kp("publisher");
         let tabloid = kp("ma tabloid");
-        p.register_identity(&tabloid, "MA Tabloid", &[Role::ContentCreator]);
+        p.register_identity(&tabloid, "MA Tabloid", &[Role::ContentCreator])
+            .unwrap();
         p.produce_block().unwrap();
-        p.authorize_journalist(&pub_kp, rid, &tabloid.address()).unwrap();
+        p.authorize_journalist(&pub_kp, rid, &tabloid.address())
+            .unwrap();
         p.produce_block().unwrap();
 
         // Tabloid distorts three different factual records heavily;
@@ -1087,12 +1220,22 @@ mod tests {
                  Share this before it gets deleted by the censors.",
                 r.content
             );
-            p.publish_news(&tabloid, rid, &r.topic, &distorted,
-                           vec![(r.id(), PropagationOp::Insert)])
-                .unwrap();
-            p.publish_news(&journo, rid, &r.topic, &r.content,
-                           vec![(r.id(), PropagationOp::Cite)])
-                .unwrap();
+            p.publish_news(
+                &tabloid,
+                rid,
+                &r.topic,
+                &distorted,
+                vec![(r.id(), PropagationOp::Insert)],
+            )
+            .unwrap();
+            p.publish_news(
+                &journo,
+                rid,
+                &r.topic,
+                &r.content,
+                vec![(r.id(), PropagationOp::Cite)],
+            )
+            .unwrap();
             p.produce_block().unwrap();
         }
 
@@ -1123,6 +1266,65 @@ mod tests {
         let (p, _journo, _rid) = with_room();
         // Every platform action above went through transactions.
         let txs = p.store().canonical_transactions();
-        assert!(txs.len() >= 6, "expected a populated ledger, got {}", txs.len());
+        assert!(
+            txs.len() >= 6,
+            "expected a populated ledger, got {}",
+            txs.len()
+        );
+    }
+
+    #[test]
+    fn ledger_replay_matches_live_projections() {
+        let (mut p, journo, rid) = with_room();
+        let root = p.factdb().iter().next().unwrap().clone();
+        p.publish_news(
+            &journo,
+            rid,
+            &root.topic,
+            &root.content,
+            vec![(root.id(), PropagationOp::Cite)],
+        )
+        .unwrap();
+        p.submit_rating(&journo, &root.id(), 80).ok();
+        p.produce_block().unwrap();
+
+        let digests = p
+            .verify_replay()
+            .expect("replay must reproduce live digests");
+        assert_eq!(digests.len(), 4);
+        assert_eq!(digests, p.projection_digests());
+    }
+
+    #[test]
+    fn mempool_rejection_surfaces_and_releases_nonce() {
+        let config = PlatformConfig {
+            mempool_capacity: 2,
+            ..PlatformConfig::default()
+        };
+        let mut p = Platform::new(config);
+        let who = kp("tiny-pool user");
+        // Two transactions fill the pool; registration enqueues exactly two
+        // (grant transfer + identity blob) for a non-checker role.
+        p.register_identity(&who, "User", &[Role::Consumer])
+            .unwrap();
+
+        let record = FactRecord {
+            source: tn_factdb::record::SourceKind::CourtRecord,
+            speaker: "Clerk".into(),
+            topic: "records".into(),
+            content: "The registry office archived the deed.".into(),
+            recorded_at: 9,
+        };
+        let err = p.propose_fact(record.clone());
+        assert!(matches!(err, Err(PlatformError::Mempool(_))), "got {err:?}");
+
+        // The failed enqueue must not burn the governor's nonce
+        // reservation: once the pool drains, the same proposal enqueues
+        // and commits cleanly.
+        p.produce_block().unwrap();
+        p.propose_fact(record).unwrap();
+        let s = p.produce_block().unwrap();
+        assert_eq!(s.failed, 0, "a nonce gap would strand the proposal");
+        assert_eq!(s.included, 1);
     }
 }

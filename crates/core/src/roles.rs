@@ -10,7 +10,8 @@
 use std::collections::{BTreeSet, HashMap};
 
 use tn_chain::codec::{Decodable, DecodeError, Decoder, Encodable, Encoder};
-use tn_crypto::Address;
+use tn_crypto::sha256::tagged_hash;
+use tn_crypto::{Address, Hash256};
 
 /// A participant role in the trusting-news ecosystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -117,7 +118,9 @@ impl IdentityRegistry {
 
     /// True when `who` holds `role`.
     pub fn has_role(&self, who: &Address, role: Role) -> bool {
-        self.entries.get(who).is_some_and(|(_, rs)| rs.contains(&role))
+        self.entries
+            .get(who)
+            .is_some_and(|(_, rs)| rs.contains(&role))
     }
 
     /// Display name of an identity.
@@ -135,6 +138,24 @@ impl IdentityRegistry {
             .collect();
         v.sort();
         v
+    }
+
+    /// A hash of the full registry state (addresses sorted, names and
+    /// role sets included), so replicas can compare registries by hash.
+    pub fn digest(&self) -> Hash256 {
+        let mut entries: Vec<_> = self.entries.iter().collect();
+        entries.sort_by_key(|(addr, _)| **addr);
+        let mut data = Vec::new();
+        for (addr, (name, roles)) in entries {
+            data.extend_from_slice(addr.as_hash().as_bytes());
+            data.extend_from_slice(&(name.len() as u64).to_le_bytes());
+            data.extend_from_slice(name.as_bytes());
+            data.extend_from_slice(&(roles.len() as u64).to_le_bytes());
+            for r in roles {
+                data.push(r.tag());
+            }
+        }
+        tagged_hash("TN/identity-registry", &data)
     }
 
     /// Number of verified identities.

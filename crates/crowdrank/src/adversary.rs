@@ -59,7 +59,11 @@ impl Validator {
                 }
             }
         };
-        Vote { voter: self.address, item: *item, factual }
+        Vote {
+            voter: self.address,
+            item: *item,
+            factual,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ mod tests {
     use tn_crypto::Keypair;
 
     fn validator(b: Behavior) -> Validator {
-        Validator { address: Keypair::from_seed(b"v").address(), behavior: b }
+        Validator {
+            address: Keypair::from_seed(b"v").address(),
+            behavior: b,
+        }
     }
 
     #[test]
@@ -112,7 +119,9 @@ mod tests {
 
     #[test]
     fn strategic_lies_only_on_campaign() {
-        let v = validator(Behavior::Strategic { campaign_fraction: 0.3 });
+        let v = validator(Behavior::Strategic {
+            campaign_fraction: 0.3,
+        });
         let mut rng = StdRng::seed_from_u64(1);
         let mut lies = 0;
         let n = 1000u32;

@@ -60,7 +60,12 @@ pub fn majority(votes: &[Vote]) -> Vec<Decision> {
             let total = vs.len();
             let factual = yes * 2 > total;
             let winner = if factual { yes } else { total - yes };
-            Decision { item, factual, confidence: winner as f64 / total as f64, votes: total }
+            Decision {
+                item,
+                factual,
+                confidence: winner as f64 / total as f64,
+                votes: total,
+            }
         })
         .collect();
     out.sort_by_key(|d| d.item);
@@ -143,8 +148,7 @@ pub fn truth_discovery(
 ) -> (Vec<Decision>, HashMap<Address, f64>) {
     assert!(iterations > 0, "need at least one iteration");
     let by_item = group_by_item(votes);
-    let mut accuracy: HashMap<Address, f64> =
-        votes.iter().map(|v| (v.voter, 0.7)).collect();
+    let mut accuracy: HashMap<Address, f64> = votes.iter().map(|v| (v.voter, 0.7)).collect();
     let mut beliefs: HashMap<Hash256, f64> = HashMap::new(); // P(factual)
 
     for _ in 0..iterations {
@@ -207,9 +211,21 @@ mod tests {
     #[test]
     fn majority_counts() {
         let votes = vec![
-            Vote { voter: addr(1), item: item(1), factual: true },
-            Vote { voter: addr(2), item: item(1), factual: true },
-            Vote { voter: addr(3), item: item(1), factual: false },
+            Vote {
+                voter: addr(1),
+                item: item(1),
+                factual: true,
+            },
+            Vote {
+                voter: addr(2),
+                item: item(1),
+                factual: true,
+            },
+            Vote {
+                voter: addr(3),
+                item: item(1),
+                factual: false,
+            },
         ];
         let d = majority(&votes);
         assert_eq!(d.len(), 1);
@@ -221,8 +237,16 @@ mod tests {
     #[test]
     fn majority_tie_is_conservative() {
         let votes = vec![
-            Vote { voter: addr(1), item: item(1), factual: true },
-            Vote { voter: addr(2), item: item(1), factual: false },
+            Vote {
+                voter: addr(1),
+                item: item(1),
+                factual: true,
+            },
+            Vote {
+                voter: addr(2),
+                item: item(1),
+                factual: false,
+            },
         ];
         assert!(!majority(&votes)[0].factual);
     }
@@ -238,10 +262,26 @@ mod tests {
             ledger.record(&addr(3), false);
         }
         let votes = vec![
-            Vote { voter: addr(1), item: item(1), factual: false },
-            Vote { voter: addr(2), item: item(1), factual: false },
-            Vote { voter: addr(3), item: item(1), factual: false },
-            Vote { voter: addr(10), item: item(1), factual: true },
+            Vote {
+                voter: addr(1),
+                item: item(1),
+                factual: false,
+            },
+            Vote {
+                voter: addr(2),
+                item: item(1),
+                factual: false,
+            },
+            Vote {
+                voter: addr(3),
+                item: item(1),
+                factual: false,
+            },
+            Vote {
+                voter: addr(10),
+                item: item(1),
+                factual: true,
+            },
         ];
         // Majority says fake; reputation says factual.
         assert!(!majority(&votes)[0].factual);
@@ -259,10 +299,18 @@ mod tests {
         }
         // 50 fresh Sybil identities, no history, all voting "fake".
         let mut votes: Vec<Vote> = (0..3)
-            .map(|h| Vote { voter: addr(h), item: item(1), factual: true })
+            .map(|h| Vote {
+                voter: addr(h),
+                item: item(1),
+                factual: true,
+            })
             .collect();
         for s in 100..150u64 {
-            votes.push(Vote { voter: addr(s), item: item(1), factual: false });
+            votes.push(Vote {
+                voter: addr(s),
+                item: item(1),
+                factual: false,
+            });
         }
         // Posterior-mean weighting (0.5 each) is outvoted by the swarm…
         assert!(!reputation_weighted(&votes, &ledger)[0].factual);
@@ -279,10 +327,18 @@ mod tests {
         let mut votes = Vec::new();
         for (i, t) in truths.iter().enumerate() {
             for h in 0..4 {
-                votes.push(Vote { voter: addr(h), item: item(i as u8), factual: *t });
+                votes.push(Vote {
+                    voter: addr(h),
+                    item: item(i as u8),
+                    factual: *t,
+                });
             }
             for a in 10..12 {
-                votes.push(Vote { voter: addr(a), item: item(i as u8), factual: !*t });
+                votes.push(Vote {
+                    voter: addr(a),
+                    item: item(i as u8),
+                    factual: !*t,
+                });
             }
         }
         let (decisions, accuracy) = truth_discovery(&votes, 10);
@@ -306,7 +362,11 @@ mod tests {
         let mut votes = Vec::new();
         for (i, t) in truths.iter().enumerate() {
             for h in 0..3 {
-                votes.push(Vote { voter: addr(h), item: item(i as u8), factual: *t });
+                votes.push(Vote {
+                    voter: addr(h),
+                    item: item(i as u8),
+                    factual: *t,
+                });
             }
             for a in 0..5u64 {
                 // Adversary a is wrong only on items where (i + a) % 3 == 0.
@@ -323,7 +383,12 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(i, t)| {
-                decisions.iter().find(|d| d.item == item(*i as u8)).unwrap().factual == **t
+                decisions
+                    .iter()
+                    .find(|d| d.item == item(*i as u8))
+                    .unwrap()
+                    .factual
+                    == **t
             })
             .count();
         assert!(correct >= 9, "correct {correct}/10");

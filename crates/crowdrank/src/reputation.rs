@@ -25,7 +25,10 @@ pub struct Reputation {
 
 impl Default for Reputation {
     fn default() -> Self {
-        Reputation { alpha: 1.0, beta: 1.0 }
+        Reputation {
+            alpha: 1.0,
+            beta: 1.0,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ impl Reputation {
     ///
     /// Panics unless `0.0 < factor <= 1.0`.
     pub fn decay(&mut self, factor: f64) {
-        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0, 1]"
+        );
         self.alpha = 1.0 + (self.alpha - 1.0) * factor;
         self.beta = 1.0 + (self.beta - 1.0) * factor;
     }

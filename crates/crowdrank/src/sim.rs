@@ -104,7 +104,9 @@ pub fn build_population(config: &SimConfig) -> Vec<Validator> {
     for i in 0..config.n_honest {
         pop.push(Validator {
             address: Keypair::from_seed(format!("honest-{i}").as_bytes()).address(),
-            behavior: Behavior::Honest { error_rate: config.honest_error },
+            behavior: Behavior::Honest {
+                error_rate: config.honest_error,
+            },
         });
     }
     for i in 0..config.n_malicious {
@@ -116,7 +118,9 @@ pub fn build_population(config: &SimConfig) -> Vec<Validator> {
     for i in 0..config.n_strategic {
         pop.push(Validator {
             address: Keypair::from_seed(format!("strategic-{i}").as_bytes()).address(),
-            behavior: Behavior::Strategic { campaign_fraction: config.campaign_fraction },
+            behavior: Behavior::Strategic {
+                campaign_fraction: config.campaign_fraction,
+            },
         });
     }
     pop
@@ -130,7 +134,10 @@ pub fn build_population(config: &SimConfig) -> Vec<Validator> {
 pub fn run(config: &SimConfig, strategy: Strategy) -> SimResult {
     let population = build_population(config);
     assert!(!population.is_empty(), "population must be nonempty");
-    assert!(config.items_per_round > 0 && config.rounds > 0, "need items and rounds");
+    assert!(
+        config.items_per_round > 0 && config.rounds > 0,
+        "need items and rounds"
+    );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut ledger = ReputationLedger::new();
@@ -169,7 +176,10 @@ pub fn run(config: &SimConfig, strategy: Strategy) -> SimResult {
             decisions.iter().map(|d| (d.item, d.factual)).collect();
 
         // Score against ground truth.
-        let correct = items.iter().filter(|(id, t)| decided.get(id) == Some(t)).count();
+        let correct = items
+            .iter()
+            .filter(|(id, t)| decided.get(id) == Some(t))
+            .count();
         accuracy_per_round.push(correct as f64 / items.len() as f64);
         total_correct += correct;
         total_items += items.len();
@@ -188,7 +198,11 @@ pub fn run(config: &SimConfig, strategy: Strategy) -> SimResult {
             if let Some(&truth) = confirmed.get(&vote.item) {
                 let agreed = vote.factual == truth;
                 ledger.record(&vote.voter, agreed);
-                let delta = if agreed { config.reward as i64 } else { -(config.reward as i64) };
+                let delta = if agreed {
+                    config.reward as i64
+                } else {
+                    -(config.reward as i64)
+                };
                 *balances.entry(vote.voter).or_insert(0) += delta;
             }
         }
@@ -229,9 +243,11 @@ mod tests {
     #[test]
     fn honest_majority_all_strategies_work() {
         let config = SimConfig::default(); // 20 honest vs 5 malicious
-        for strategy in
-            [Strategy::Majority, Strategy::ReputationWeighted, Strategy::TruthDiscovery]
-        {
+        for strategy in [
+            Strategy::Majority,
+            Strategy::ReputationWeighted,
+            Strategy::TruthDiscovery,
+        ] {
             let r = run(&config, strategy);
             assert!(
                 r.overall_accuracy > 0.9,
@@ -245,7 +261,11 @@ mod tests {
     fn reputation_separates_honest_from_malicious() {
         let r = run(&SimConfig::default(), Strategy::ReputationWeighted);
         assert!(r.honest_weight > 0.75, "honest weight {}", r.honest_weight);
-        assert!(r.malicious_weight < 0.25, "malicious weight {}", r.malicious_weight);
+        assert!(
+            r.malicious_weight < 0.25,
+            "malicious weight {}",
+            r.malicious_weight
+        );
     }
 
     #[test]
@@ -269,8 +289,7 @@ mod tests {
             maj.overall_accuracy
         );
         // After learning, late-round accuracy should be near-perfect.
-        let late: f64 =
-            rep.accuracy_per_round.iter().rev().take(5).sum::<f64>() / 5.0;
+        let late: f64 = rep.accuracy_per_round.iter().rev().take(5).sum::<f64>() / 5.0;
         assert!(late > 0.9, "late-round weighted accuracy {late}");
     }
 
@@ -286,7 +305,11 @@ mod tests {
             ..SimConfig::default()
         };
         let maj = run(&config, Strategy::Majority);
-        assert!(maj.overall_accuracy < 0.3, "majority accuracy {}", maj.overall_accuracy);
+        assert!(
+            maj.overall_accuracy < 0.3,
+            "majority accuracy {}",
+            maj.overall_accuracy
+        );
     }
 
     #[test]
@@ -306,7 +329,10 @@ mod tests {
             .sum::<f64>()
             / 5.0;
         assert!(honest_mean > 0.0, "honest mean balance {honest_mean}");
-        assert!(malicious_mean < 0.0, "malicious mean balance {malicious_mean}");
+        assert!(
+            malicious_mean < 0.0,
+            "malicious mean balance {malicious_mean}"
+        );
     }
 
     #[test]
@@ -329,14 +355,22 @@ mod tests {
             ..SimConfig::default()
         };
         let td = run(&config, Strategy::TruthDiscovery);
-        assert!(td.overall_accuracy > 0.85, "truth discovery {}", td.overall_accuracy);
+        assert!(
+            td.overall_accuracy > 0.85,
+            "truth discovery {}",
+            td.overall_accuracy
+        );
     }
 
     #[test]
     #[should_panic(expected = "population must be nonempty")]
     fn empty_population_panics() {
-        let config =
-            SimConfig { n_honest: 0, n_malicious: 0, n_strategic: 0, ..SimConfig::default() };
+        let config = SimConfig {
+            n_honest: 0,
+            n_malicious: 0,
+            n_strategic: 0,
+            ..SimConfig::default()
+        };
         run(&config, Strategy::Majority);
     }
 }

@@ -100,7 +100,10 @@ impl Affine {
     pub fn negate(&self) -> Affine {
         match self {
             Affine::Infinity => Affine::Infinity,
-            Affine::Point { x, y } => Affine::Point { x: *x, y: neg_mod(y, &field::p()) },
+            Affine::Point { x, y } => Affine::Point {
+                x: *x,
+                y: neg_mod(y, &field::p()),
+            },
         }
     }
 }
@@ -126,7 +129,11 @@ pub struct Jacobian {
 impl Jacobian {
     /// The point at infinity.
     pub fn infinity() -> Jacobian {
-        Jacobian { x: U256::ONE, y: U256::ONE, z: U256::ZERO }
+        Jacobian {
+            x: U256::ONE,
+            y: U256::ONE,
+            z: U256::ZERO,
+        }
     }
 
     /// True if this is the point at infinity.
@@ -138,7 +145,11 @@ impl Jacobian {
     pub fn from_affine(a: &Affine) -> Jacobian {
         match a {
             Affine::Infinity => Jacobian::infinity(),
-            Affine::Point { x, y } => Jacobian { x: *x, y: *y, z: U256::ONE },
+            Affine::Point { x, y } => Jacobian {
+                x: *x,
+                y: *y,
+                z: U256::ONE,
+            },
         }
     }
 
@@ -164,11 +175,7 @@ impl Jacobian {
         }
         let p = field::p();
         let y2 = sqr_mod(&self.y, &p);
-        let s = mul_mod(
-            &U256::from_u64(4),
-            &mul_mod(&self.x, &y2, &p),
-            &p,
-        );
+        let s = mul_mod(&U256::from_u64(4), &mul_mod(&self.x, &y2, &p), &p);
         let m = mul_mod(&U256::from_u64(3), &sqr_mod(&self.x, &p), &p);
         let x3 = sub_mod(&sqr_mod(&m, &p), &add_mod(&s, &s, &p), &p);
         let y4 = sqr_mod(&y2, &p);
@@ -178,7 +185,11 @@ impl Jacobian {
             &p,
         );
         let z3 = mul_mod(&add_mod(&self.y, &self.y, &p), &self.z, &p);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian point addition.
@@ -197,7 +208,11 @@ impl Jacobian {
         let s1 = mul_mod(&self.y, &mul_mod(&z2z2, &other.z, &p), &p);
         let s2 = mul_mod(&other.y, &mul_mod(&z1z1, &self.z, &p), &p);
         if u1 == u2 {
-            return if s1 == s2 { self.double() } else { Jacobian::infinity() };
+            return if s1 == s2 {
+                self.double()
+            } else {
+                Jacobian::infinity()
+            };
         }
         let h = sub_mod(&u2, &u1, &p);
         let r = sub_mod(&s2, &s1, &p);
@@ -215,7 +230,11 @@ impl Jacobian {
             &p,
         );
         let z3 = mul_mod(&h, &mul_mod(&self.z, &other.z, &p), &p);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Scalar multiplication by double-and-add (MSB first).
@@ -244,7 +263,9 @@ pub fn generator() -> Affine {
 
 /// `k·G` — scalar multiplication of the generator, returned in affine form.
 pub fn mul_generator(k: &U256) -> Affine {
-    Jacobian::from_affine(&generator()).mul_scalar(k).to_affine()
+    Jacobian::from_affine(&generator())
+        .mul_scalar(k)
+        .to_affine()
 }
 
 #[cfg(test)]
@@ -335,7 +356,10 @@ mod tests {
         for k in 1u64..=20 {
             let pt = mul_generator(&U256::from_u64(k));
             assert!(pt.is_on_curve(), "k={k}");
-            assert!(seen.insert(format!("{:?}", pt)), "duplicate point for k={k}");
+            assert!(
+                seen.insert(format!("{:?}", pt)),
+                "duplicate point for k={k}"
+            );
         }
     }
 

@@ -56,7 +56,10 @@ impl Hash256 {
     pub fn from_hex(s: &str) -> Result<Self, hex::ParseHexError> {
         let v = hex::decode(s)?;
         if v.len() != 32 {
-            return Err(hex::ParseHexError::BadLength { expected: 64, actual: s.len() });
+            return Err(hex::ParseHexError::BadLength {
+                expected: 64,
+                actual: s.len(),
+            });
         }
         let mut b = [0u8; 32];
         b.copy_from_slice(&v);

@@ -63,7 +63,10 @@ fn nibble(c: u8, index: usize) -> Result<u8, ParseHexError> {
         b'0'..=b'9' => Ok(c - b'0'),
         b'a'..=b'f' => Ok(c - b'a' + 10),
         b'A'..=b'F' => Ok(c - b'A' + 10),
-        _ => Err(ParseHexError::BadChar { ch: c as char, index }),
+        _ => Err(ParseHexError::BadChar {
+            ch: c as char,
+            index,
+        }),
     }
 }
 
@@ -81,7 +84,10 @@ fn nibble(c: u8, index: usize) -> Result<u8, ParseHexError> {
 pub fn decode(s: &str) -> Result<Vec<u8>, ParseHexError> {
     let b = s.as_bytes();
     if !b.len().is_multiple_of(2) {
-        return Err(ParseHexError::BadLength { expected: 0, actual: b.len() });
+        return Err(ParseHexError::BadLength {
+            expected: 0,
+            actual: b.len(),
+        });
     }
     let mut out = Vec::with_capacity(b.len() / 2);
     for i in (0..b.len()).step_by(2) {
@@ -102,7 +108,10 @@ mod tests {
 
     #[test]
     fn rejects_odd_length() {
-        assert!(matches!(decode("abc"), Err(ParseHexError::BadLength { .. })));
+        assert!(matches!(
+            decode("abc"),
+            Err(ParseHexError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -202,7 +202,11 @@ impl HistoryTree {
         } else {
             subproof(old_size, &self.leaves, true)
         };
-        Some(ConsistencyProof { old_size, new_size: n, hashes })
+        Some(ConsistencyProof {
+            old_size,
+            new_size: n,
+            hashes,
+        })
     }
 
     /// Verifies that the tree of size `new_size` with root `new_root`
@@ -280,7 +284,9 @@ fn border_ones(index: usize, inner: usize) -> usize {
 
 impl FromIterator<Hash256> for HistoryTree {
     fn from_iter<I: IntoIterator<Item = Hash256>>(iter: I) -> Self {
-        HistoryTree { leaves: iter.into_iter().collect() }
+        HistoryTree {
+            leaves: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -291,7 +297,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn leaves(n: usize) -> Vec<Hash256> {
-        (0..n).map(|i| leaf_hash(&(i as u64).to_be_bytes())).collect()
+        (0..n)
+            .map(|i| leaf_hash(&(i as u64).to_be_bytes()))
+            .collect()
     }
 
     fn tree(n: usize) -> HistoryTree {
@@ -387,7 +395,11 @@ mod tests {
         // Wrong new root.
         assert!(!HistoryTree::verify_consistency(&old, &leaf_hash(b"y"), &p));
         // m > n nonsense.
-        let nonsense = ConsistencyProof { old_size: 13, new_size: 12, hashes: vec![] };
+        let nonsense = ConsistencyProof {
+            old_size: 13,
+            new_size: 12,
+            hashes: vec![],
+        };
         assert!(!HistoryTree::verify_consistency(&old, &new, &nonsense));
         // Out-of-range prover.
         assert!(t.prove_consistency(13).is_none());
@@ -397,9 +409,17 @@ mod tests {
     fn proof_sizes_are_logarithmic() {
         let t = tree(1024);
         let p = t.prove_inclusion(777).expect("ok");
-        assert!(p.siblings.len() <= 10, "inclusion {} hashes", p.siblings.len());
+        assert!(
+            p.siblings.len() <= 10,
+            "inclusion {} hashes",
+            p.siblings.len()
+        );
         let c = t.prove_consistency(513).expect("ok");
-        assert!(c.hashes.len() <= 22, "consistency {} hashes", c.hashes.len());
+        assert!(
+            c.hashes.len() <= 22,
+            "consistency {} hashes",
+            c.hashes.len()
+        );
     }
 
     proptest! {

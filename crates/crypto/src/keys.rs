@@ -26,7 +26,10 @@ impl SecretKey {
             let mut data = Vec::with_capacity(seed.len() + 4);
             data.extend_from_slice(seed);
             data.extend_from_slice(&counter.to_be_bytes());
-            let d = reduce(&U256::from_be_bytes(tagged_hash("TN/keygen", &data).as_bytes()), &n);
+            let d = reduce(
+                &U256::from_be_bytes(tagged_hash("TN/keygen", &data).as_bytes()),
+                &n,
+            );
             if !d.is_zero() {
                 return SecretKey(d);
             }
@@ -108,9 +111,7 @@ impl<'de> Deserialize<'de> for PublicKey {
 ///
 /// Addresses are the on-chain identities of every ecosystem participant
 /// (consumers, creators, fact checkers, publishers).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct Address(Hash256);
 
 impl Address {
@@ -171,7 +172,11 @@ impl Keypair {
         let secret = SecretKey::from_seed(seed);
         let public = secret.public();
         let address = public.address();
-        Keypair { secret, public, address }
+        Keypair {
+            secret,
+            public,
+            address,
+        }
     }
 
     /// Fresh random key pair.
@@ -179,7 +184,11 @@ impl Keypair {
         let secret = SecretKey::generate(rng);
         let public = secret.public();
         let address = public.address();
-        Keypair { secret, public, address }
+        Keypair {
+            secret,
+            public,
+            address,
+        }
     }
 
     /// The public half.

@@ -53,8 +53,8 @@
 pub mod ec;
 pub mod field;
 pub mod hash;
-pub mod history;
 pub mod hex;
+pub mod history;
 pub mod keys;
 pub mod merkle;
 pub mod schnorr;

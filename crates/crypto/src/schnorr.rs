@@ -48,7 +48,11 @@ impl Signature {
         let mut s = [0u8; 32];
         r_x.copy_from_slice(&bytes[..32]);
         s.copy_from_slice(&bytes[33..]);
-        Some(Signature { r_x, r_parity_odd: bytes[32] == 1, s })
+        Some(Signature {
+            r_x,
+            r_parity_odd: bytes[32] == 1,
+            s,
+        })
     }
 }
 
@@ -76,7 +80,10 @@ pub(crate) fn sign_digest(d: &U256, pubkey: &Affine, msg: &Hash256) -> Signature
         seed.extend_from_slice(&d.to_be_bytes());
         seed.extend_from_slice(msg.as_bytes());
         seed.extend_from_slice(&counter.to_be_bytes());
-        let k = reduce(&U256::from_be_bytes(tagged_hash("TN/nonce", &seed).as_bytes()), &n);
+        let k = reduce(
+            &U256::from_be_bytes(tagged_hash("TN/nonce", &seed).as_bytes()),
+            &n,
+        );
         counter += 1;
         if k.is_zero() {
             continue;

@@ -57,7 +57,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -262,7 +267,9 @@ mod tests {
     #[test]
     fn boundary_lengths() {
         // Exercise padding around the 55/56/63/64-byte boundaries.
-        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129] {
+        for len in [
+            0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129,
+        ] {
             let data = vec![0xabu8; len];
             let mut h = Sha256::new();
             for b in &data {

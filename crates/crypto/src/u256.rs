@@ -92,7 +92,10 @@ impl U256 {
     /// Returns [`hex::ParseHexError`] on non-hex characters or length > 64.
     pub fn from_hex(s: &str) -> Result<Self, hex::ParseHexError> {
         if s.len() > 64 {
-            return Err(hex::ParseHexError::BadLength { expected: 64, actual: s.len() });
+            return Err(hex::ParseHexError::BadLength {
+                expected: 64,
+                actual: s.len(),
+            });
         }
         let padded = format!("{:0>64}", s);
         let v = hex::decode(&padded)?;
@@ -167,9 +170,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = acc[i + j] as u128
-                    + (self.0[i] as u128) * (other.0[j] as u128)
-                    + carry;
+                let cur = acc[i + j] as u128 + (self.0[i] as u128) * (other.0[j] as u128) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -322,7 +323,10 @@ impl fmt::Display for U256 {
             chunks.push(r);
             cur = q;
         }
-        let mut s = chunks.pop().expect("nonzero has at least one chunk").to_string();
+        let mut s = chunks
+            .pop()
+            .expect("nonzero has at least one chunk")
+            .to_string();
         while let Some(c) = chunks.pop() {
             s.push_str(&format!("{c:019}"));
         }
@@ -432,7 +436,10 @@ mod tests {
         assert_eq!(U256::ZERO.to_string(), "0");
         assert_eq!(U256::from_u64(12345).to_string(), "12345");
         // 2^64 = 18446744073709551616
-        assert_eq!(U256::from_limbs([0, 1, 0, 0]).to_string(), "18446744073709551616");
+        assert_eq!(
+            U256::from_limbs([0, 1, 0, 0]).to_string(),
+            "18446744073709551616"
+        );
         // 2^128 = 340282366920938463463374607431768211456
         assert_eq!(
             U256::from_limbs([0, 0, 1, 0]).to_string(),

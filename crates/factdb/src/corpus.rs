@@ -18,8 +18,16 @@ use rand::{Rng, SeedableRng};
 use crate::record::{FactRecord, SourceKind};
 
 /// Topics covered by the synthetic public record.
-pub const TOPICS: [&str; 8] =
-    ["economy", "energy", "health", "elections", "security", "education", "climate", "trade"];
+pub const TOPICS: [&str; 8] = [
+    "economy",
+    "energy",
+    "health",
+    "elections",
+    "security",
+    "education",
+    "climate",
+    "trade",
+];
 
 const SPEAKERS: [&str; 12] = [
     "Senator Vale",
@@ -86,7 +94,11 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { size: 200, seed: 42, start_time: 0 }
+        CorpusConfig {
+            size: 200,
+            seed: 42,
+            start_time: 0,
+        }
     }
 }
 
@@ -111,9 +123,8 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<FactRecord> {
             let object = *OBJECTS.choose(&mut rng).expect("nonempty");
             let detail = *DETAILS.choose(&mut rng).expect("nonempty");
             let reference = rng.gen_range(1000..9999);
-            let content = format!(
-                "{speaker} {action} {object} under docket {reference}-{i}. {detail}"
-            );
+            let content =
+                format!("{speaker} {action} {object} under docket {reference}-{i}. {detail}");
             FactRecord {
                 source: kinds[i % kinds.len()],
                 speaker: speaker.to_string(),
@@ -141,27 +152,47 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = CorpusConfig { size: 50, seed: 9, start_time: 0 };
+        let cfg = CorpusConfig {
+            size: 50,
+            seed: 9,
+            start_time: 0,
+        };
         assert_eq!(generate_corpus(&cfg), generate_corpus(&cfg));
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate_corpus(&CorpusConfig { size: 20, seed: 1, start_time: 0 });
-        let b = generate_corpus(&CorpusConfig { size: 20, seed: 2, start_time: 0 });
+        let a = generate_corpus(&CorpusConfig {
+            size: 20,
+            seed: 1,
+            start_time: 0,
+        });
+        let b = generate_corpus(&CorpusConfig {
+            size: 20,
+            seed: 2,
+            start_time: 0,
+        });
         assert_ne!(a, b);
     }
 
     #[test]
     fn records_are_unique() {
-        let corpus = generate_corpus(&CorpusConfig { size: 300, seed: 3, start_time: 0 });
+        let corpus = generate_corpus(&CorpusConfig {
+            size: 300,
+            seed: 3,
+            start_time: 0,
+        });
         let ids: HashSet<_> = corpus.iter().map(FactRecord::id).collect();
         assert_eq!(ids.len(), 300);
     }
 
     #[test]
     fn seeded_database_fills() {
-        let db = seeded_database(&CorpusConfig { size: 120, seed: 4, start_time: 10 });
+        let db = seeded_database(&CorpusConfig {
+            size: 120,
+            seed: 4,
+            start_time: 10,
+        });
         assert_eq!(db.len(), 120);
         assert!(!db.root().is_zero());
         // Topics drawn from the bank.
@@ -172,14 +203,22 @@ mod tests {
 
     #[test]
     fn timestamps_progress_from_start() {
-        let corpus = generate_corpus(&CorpusConfig { size: 5, seed: 5, start_time: 100 });
+        let corpus = generate_corpus(&CorpusConfig {
+            size: 5,
+            seed: 5,
+            start_time: 100,
+        });
         let times: Vec<u64> = corpus.iter().map(|r| r.recorded_at).collect();
         assert_eq!(times, vec![100, 101, 102, 103, 104]);
     }
 
     #[test]
     fn covers_multiple_topics_and_speakers() {
-        let corpus = generate_corpus(&CorpusConfig { size: 200, seed: 6, start_time: 0 });
+        let corpus = generate_corpus(&CorpusConfig {
+            size: 200,
+            seed: 6,
+            start_time: 0,
+        });
         let topics: HashSet<_> = corpus.iter().map(|r| r.topic.clone()).collect();
         let speakers: HashSet<_> = corpus.iter().map(|r| r.speaker.clone()).collect();
         assert!(topics.len() >= 6, "topics: {}", topics.len());

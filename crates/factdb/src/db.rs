@@ -99,8 +99,14 @@ impl FactualDatabase {
         }
         let idx = self.records.len();
         self.index.insert(id, idx);
-        self.by_topic.entry(record.topic.clone()).or_default().push(idx);
-        self.by_speaker.entry(record.speaker.clone()).or_default().push(idx);
+        self.by_topic
+            .entry(record.topic.clone())
+            .or_default()
+            .push(idx);
+        self.by_speaker
+            .entry(record.speaker.clone())
+            .or_default()
+            .push(idx);
         self.tree.push(record.leaf_hash());
         self.records.push(record);
         Ok(id)
@@ -239,7 +245,10 @@ mod tests {
     fn duplicate_rejected() {
         let mut db = FactualDatabase::new();
         db.append(record(1)).unwrap();
-        assert!(matches!(db.append(record(1)), Err(FactDbError::Duplicate(_))));
+        assert!(matches!(
+            db.append(record(1)),
+            Err(FactDbError::Duplicate(_))
+        ));
         assert_eq!(db.len(), 1);
     }
 

@@ -1,0 +1,38 @@
+//! # tn-node
+//!
+//! The network layer of the trusting-news platform: validator nodes that
+//! couple `tn-consensus` ordering to the `tn-core` execution pipeline.
+//!
+//! - [`validator`]: [`ValidatorNode`] — applies consensus-committed
+//!   payload batches as blocks through the shared
+//!   [`ExecutionPipeline`](tn_core::pipeline::ExecutionPipeline).
+//! - [`network`]: [`run_pbft_cluster`] / [`run_poa_cluster`] — simulate
+//!   an N-validator network end to end and report per-replica execution
+//!   digests; agreement on request order yields byte-identical derived
+//!   state on every replica.
+//! - [`workload`]: scripted, replayable platform traffic for cluster
+//!   runs.
+//!
+//! # Example
+//!
+//! ```
+//! use tn_node::network::{run_pbft_cluster, ClusterConfig};
+//! use tn_node::workload::scripted_workload;
+//!
+//! let config = ClusterConfig::default(); // 4 validators
+//! let txs = scripted_workload(&config.platform);
+//! let run = run_pbft_cluster(&config, &txs)?;
+//! assert!(run.is_consistent(), "all replicas agree on the execution digest");
+//! # Ok::<(), tn_node::validator::NodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod validator;
+pub mod workload;
+
+pub use network::{run_pbft_cluster, run_poa_cluster, ClusterConfig, ClusterRun, NodeReport};
+pub use validator::{BatchOutcome, NodeError, ValidatorNode};
+pub use workload::{extract_post_bootstrap, scripted_workload};

@@ -1,0 +1,214 @@
+//! Simulated validator networks: consensus ordering + pipeline execution.
+//!
+//! [`run_pbft_cluster`] / [`run_poa_cluster`] push a transaction workload
+//! through the `tn-consensus` simulator to obtain each replica's committed
+//! batch sequence, then apply those batches on per-replica
+//! [`ValidatorNode`]s. The end-to-end claim under test is the paper's
+//! permissioned-network consistency story: N validators that agree on
+//! request order derive byte-identical platform state — same blocks, same
+//! contract storage, same projection digests.
+
+use tn_chain::prelude::Transaction;
+use tn_consensus::harness::{order_payloads_pbft, order_payloads_poa, CommittedPayloads};
+use tn_consensus::sim::NetworkConfig;
+use tn_core::platform::PlatformConfig;
+use tn_crypto::Hash256;
+
+use crate::validator::{encode_payloads, NodeError, ValidatorNode};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of validators.
+    pub n_validators: usize,
+    /// Platform genesis parameters (shared by every replica).
+    pub platform: PlatformConfig,
+    /// Simulated network model.
+    pub net: NetworkConfig,
+    /// Ticks between request injections.
+    pub interarrival: u64,
+    /// Simulation horizon.
+    pub max_time: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_validators: 4,
+            platform: PlatformConfig::default(),
+            net: NetworkConfig::default(),
+            interarrival: 5,
+            max_time: 2_000_000,
+        }
+    }
+}
+
+/// Per-replica results of a cluster run.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Replica id.
+    pub id: usize,
+    /// Final chain height.
+    pub height: u64,
+    /// Batches (blocks) applied.
+    pub batches: usize,
+    /// Transactions included across all blocks.
+    pub included: usize,
+    /// Included transactions whose execution failed.
+    pub failed: usize,
+    /// Replica-wide execution digest.
+    pub execution_digest: Hash256,
+    /// Per-projection digests.
+    pub projection_digests: Vec<(&'static str, Hash256)>,
+}
+
+/// The outcome of an N-validator run.
+#[derive(Debug)]
+pub struct ClusterRun {
+    /// Protocol label ("pbft" or "poa").
+    pub protocol: &'static str,
+    /// Transactions injected as consensus requests.
+    pub injected: usize,
+    /// Per-replica reports, in id order.
+    pub reports: Vec<NodeReport>,
+    /// The replicas themselves (for replay audits and state queries).
+    pub nodes: Vec<ValidatorNode>,
+}
+
+impl ClusterRun {
+    /// The digest every replica agrees on, or `None` on divergence.
+    pub fn agreed_digest(&self) -> Option<Hash256> {
+        let first = self.reports.first()?.execution_digest;
+        self.reports
+            .iter()
+            .all(|r| r.execution_digest == first)
+            .then_some(first)
+    }
+
+    /// True when every replica reports the same execution digest.
+    pub fn is_consistent(&self) -> bool {
+        self.agreed_digest().is_some()
+    }
+}
+
+fn execute_views(
+    protocol: &'static str,
+    config: &ClusterConfig,
+    injected: usize,
+    views: Vec<CommittedPayloads>,
+) -> Result<ClusterRun, NodeError> {
+    let mut nodes: Vec<ValidatorNode> = (0..config.n_validators)
+        .map(|id| ValidatorNode::new(id, &config.platform))
+        .collect();
+    let mut reports = Vec::with_capacity(nodes.len());
+    for (node, batches) in nodes.iter_mut().zip(views) {
+        let mut included = 0usize;
+        let mut failed = 0usize;
+        let n_batches = batches.len();
+        for batch in batches {
+            let out = node.apply_committed_batch(&batch)?;
+            included += out.included;
+            failed += out.failed;
+        }
+        reports.push(NodeReport {
+            id: node.id(),
+            height: node.height(),
+            batches: n_batches,
+            included,
+            failed,
+            execution_digest: node.execution_digest(),
+            projection_digests: node.projection_digests(),
+        });
+    }
+    Ok(ClusterRun {
+        protocol,
+        injected,
+        reports,
+        nodes,
+    })
+}
+
+/// Runs the workload through a PBFT cluster and applies every replica's
+/// committed batches on its own pipeline.
+///
+/// # Errors
+///
+/// [`NodeError`] when a replica fails to import a built block.
+pub fn run_pbft_cluster(
+    config: &ClusterConfig,
+    txs: &[Transaction],
+) -> Result<ClusterRun, NodeError> {
+    let payloads = encode_payloads(txs);
+    let views = order_payloads_pbft(
+        config.n_validators,
+        &payloads,
+        config.interarrival,
+        config.net.clone(),
+        config.max_time,
+    );
+    execute_views("pbft", config, txs.len(), views)
+}
+
+/// Runs the workload through a round-robin PoA cluster; the PoA
+/// counterpart of [`run_pbft_cluster`].
+///
+/// # Errors
+///
+/// [`NodeError`] when a replica fails to import a built block.
+pub fn run_poa_cluster(
+    config: &ClusterConfig,
+    txs: &[Transaction],
+) -> Result<ClusterRun, NodeError> {
+    let payloads = encode_payloads(txs);
+    let views = order_payloads_poa(
+        config.n_validators,
+        &payloads,
+        config.interarrival,
+        config.net.clone(),
+        config.max_time,
+    );
+    execute_views("poa", config, txs.len(), views)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::scripted_workload;
+
+    #[test]
+    fn pbft_cluster_agrees_and_replays() {
+        let config = ClusterConfig::default();
+        let txs = scripted_workload(&config.platform);
+        assert!(txs.len() >= 10, "workload too small: {}", txs.len());
+        let run = run_pbft_cluster(&config, &txs).unwrap();
+        assert_eq!(run.reports.len(), 4);
+        let agreed = run.agreed_digest().expect("replicas diverged");
+        for report in &run.reports {
+            assert_eq!(report.execution_digest, agreed);
+            assert_eq!(report.projection_digests, run.reports[0].projection_digests);
+            assert!(report.included > 0);
+        }
+        // Every replica passes the ledger-replay audit.
+        for node in &run.nodes {
+            node.verify_replay().expect("replay audit");
+        }
+    }
+
+    #[test]
+    fn poa_cluster_matches_pbft_state() {
+        let config = ClusterConfig::default();
+        let txs = scripted_workload(&config.platform);
+        let pbft = run_pbft_cluster(&config, &txs).unwrap();
+        let poa = run_poa_cluster(&config, &txs).unwrap();
+        let pbft_digest = pbft.agreed_digest().expect("pbft agreement");
+        let poa_digest = poa.agreed_digest().expect("poa agreement");
+        // Same batches in the same order would give identical digests;
+        // protocols may batch differently, so compare the derived
+        // *projection* content instead: both must admit the same facts.
+        assert_eq!(
+            pbft.nodes[0].pipeline().factdb().root(),
+            poa.nodes[0].pipeline().factdb().root(),
+            "pbft digest {pbft_digest} poa digest {poa_digest}"
+        );
+    }
+}

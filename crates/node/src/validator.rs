@@ -1,0 +1,185 @@
+//! A validator node: the execution half of a network replica.
+//!
+//! Consensus (PBFT or PoA in `tn-consensus`) decides the *order* of
+//! opaque request payloads; a [`ValidatorNode`] turns each committed
+//! batch into a block through the shared
+//! [`ExecutionPipeline`](tn_core::pipeline::ExecutionPipeline). Because
+//! every node bootstraps from the same [`PlatformConfig`] and proposes
+//! with the same well-known validator key at a timestamp derived from the
+//! batch sequence, agreeing on the batch order is sufficient to agree on
+//! every block byte and every projection digest.
+
+use std::error::Error;
+use std::fmt;
+
+use tn_chain::codec::{Decodable, Encodable};
+use tn_chain::prelude::*;
+use tn_core::pipeline::{bootstrap, Bootstrap, ExecutionPipeline};
+use tn_core::platform::PlatformConfig;
+use tn_crypto::{Hash256, Keypair};
+
+/// Errors from applying a committed batch.
+#[derive(Debug)]
+pub enum NodeError {
+    /// The block built from a batch failed chain import.
+    Chain(ChainError),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Chain(e) => write!(f, "chain error applying batch: {e}"),
+        }
+    }
+}
+
+impl Error for NodeError {}
+
+impl From<ChainError> for NodeError {
+    fn from(e: ChainError) -> Self {
+        NodeError::Chain(e)
+    }
+}
+
+/// Outcome of applying one committed batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Height of the block the batch became.
+    pub height: u64,
+    /// Transactions included in the block.
+    pub included: usize,
+    /// Decoded transactions dropped by block proposal (invalid nonce,
+    /// unfundable fee, …) — identically dropped on every replica.
+    pub dropped: usize,
+    /// Payloads that did not decode as transactions.
+    pub undecodable: usize,
+    /// Included transactions whose execution failed (still on-chain).
+    pub failed: usize,
+}
+
+/// One validator replica: a deterministic pipeline advanced batch by
+/// batch in consensus order.
+#[derive(Debug)]
+pub struct ValidatorNode {
+    id: usize,
+    proposer: Keypair,
+    pipeline: ExecutionPipeline,
+    /// Timestamp for the next block; the bootstrap anchor block used 1.
+    next_timestamp: u64,
+}
+
+impl ValidatorNode {
+    /// Boots replica `id` from the canonical bootstrap for `config`. All
+    /// nodes built from the same config start byte-identical.
+    pub fn new(id: usize, config: &PlatformConfig) -> ValidatorNode {
+        let Bootstrap {
+            validator,
+            pipeline,
+            ..
+        } = bootstrap(config);
+        ValidatorNode {
+            id,
+            proposer: validator,
+            pipeline,
+            next_timestamp: 2,
+        }
+    }
+
+    /// Replica id (the consensus node id).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Applies one consensus-committed batch of payloads: decodes them as
+    /// transactions, builds the next block, and imports it through the
+    /// executor + projection path.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Chain`] when the built block fails import (cannot
+    /// happen for batches produced by this node's own propose path).
+    pub fn apply_committed_batch(
+        &mut self,
+        payloads: &[Vec<u8>],
+    ) -> Result<BatchOutcome, NodeError> {
+        let mut txs = Vec::with_capacity(payloads.len());
+        let mut undecodable = 0usize;
+        for p in payloads {
+            match Transaction::from_bytes(p) {
+                Ok(tx) => txs.push(tx),
+                Err(_) => undecodable += 1,
+            }
+        }
+        let decoded = txs.len();
+        let timestamp = self.next_timestamp;
+        let (block, receipts) = self.pipeline.commit_batch(&self.proposer, timestamp, txs)?;
+        self.next_timestamp += 1;
+        Ok(BatchOutcome {
+            height: block.header.height,
+            included: block.transactions.len(),
+            dropped: decoded - block.transactions.len(),
+            undecodable,
+            failed: receipts.iter().filter(|r| !r.success).count(),
+        })
+    }
+
+    /// The underlying pipeline (read access to chain and projections).
+    pub fn pipeline(&self) -> &ExecutionPipeline {
+        &self.pipeline
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.pipeline.store().height()
+    }
+
+    /// The replica-wide execution digest (head, state, storage,
+    /// projections).
+    pub fn execution_digest(&self) -> Hash256 {
+        self.pipeline.execution_digest()
+    }
+
+    /// Per-projection digests.
+    pub fn projection_digests(&self) -> Vec<(&'static str, Hash256)> {
+        self.pipeline.projection_digests()
+    }
+
+    /// Ledger-replay audit: rebuilds all projections from genesis and
+    /// compares against the live ones.
+    ///
+    /// # Errors
+    ///
+    /// Names the first diverging projection.
+    pub fn verify_replay(&self) -> Result<Vec<(&'static str, Hash256)>, String> {
+        self.pipeline.verify_replay()
+    }
+}
+
+/// Encodes transactions into consensus request payloads.
+pub fn encode_payloads(txs: &[Transaction]) -> Vec<Vec<u8>> {
+    txs.iter().map(|tx| tx.to_bytes()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_boot_identically() {
+        let config = PlatformConfig::default();
+        let a = ValidatorNode::new(0, &config);
+        let b = ValidatorNode::new(1, &config);
+        assert_eq!(a.execution_digest(), b.execution_digest());
+        assert_eq!(a.height(), 1, "bootstrap commits the anchor block");
+    }
+
+    #[test]
+    fn undecodable_payloads_are_counted_not_fatal() {
+        let config = PlatformConfig::default();
+        let mut node = ValidatorNode::new(0, &config);
+        let out = node.apply_committed_batch(&[vec![0xde, 0xad]]).unwrap();
+        assert_eq!(out.undecodable, 1);
+        assert_eq!(out.included, 0);
+        assert_eq!(out.height, 2);
+    }
+}

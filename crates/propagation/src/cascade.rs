@@ -74,7 +74,12 @@ pub struct CascadeConfig {
 
 impl Default for CascadeConfig {
     fn default() -> Self {
-        CascadeConfig { base_prob: 0.08, share_multiplier: 1.0, max_rounds: 60, seed: 1 }
+        CascadeConfig {
+            base_prob: 0.08,
+            share_multiplier: 1.0,
+            max_rounds: 60,
+            seed: 1,
+        }
     }
 }
 
@@ -123,13 +128,22 @@ pub fn independent_cascade_with_receptivity(
     config: &CascadeConfig,
 ) -> CascadeResult {
     assert_eq!(graph.len(), accounts.len(), "accounts must cover the graph");
-    assert!(blocked.is_empty() || blocked.len() == graph.len(), "blocked mask size");
+    assert!(
+        blocked.is_empty() || blocked.len() == graph.len(),
+        "blocked mask size"
+    );
     assert!(
         receptivity.is_empty() || receptivity.len() == graph.len(),
         "receptivity mask size"
     );
     let is_blocked = |v: usize| !blocked.is_empty() && blocked[v];
-    let recept = |v: usize| if receptivity.is_empty() { 1.0 } else { receptivity[v] };
+    let recept = |v: usize| {
+        if receptivity.is_empty() {
+            1.0
+        } else {
+            receptivity[v]
+        }
+    };
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut active = vec![false; graph.len()];
@@ -149,9 +163,7 @@ pub fn independent_cascade_with_receptivity(
         }
         let mut next = Vec::new();
         for &v in &frontier {
-            let share = (config.base_prob
-                * accounts[v].amplification()
-                * config.share_multiplier)
+            let share = (config.base_prob * accounts[v].amplification() * config.share_multiplier)
                 .clamp(0.0, 1.0);
             for &nb in graph.neighbors(v) {
                 let p = (share * recept(nb)).clamp(0.0, 1.0);
@@ -171,7 +183,11 @@ pub fn independent_cascade_with_receptivity(
         .iter()
         .position(|&r| r >= half)
         .unwrap_or(reach_over_time.len().saturating_sub(1));
-    CascadeResult { reach_over_time, total_reach: total, half_reach_round }
+    CascadeResult {
+        reach_over_time,
+        total_reach: total,
+        half_reach_round,
+    }
 }
 
 /// SIR epidemic spreading: susceptible → infected → recovered, as an
@@ -191,7 +207,12 @@ pub struct SirConfig {
 
 impl Default for SirConfig {
     fn default() -> Self {
-        SirConfig { beta: 0.1, gamma: 0.3, max_rounds: 200, seed: 1 }
+        SirConfig {
+            beta: 0.1,
+            gamma: 0.3,
+            max_rounds: 200,
+            seed: 1,
+        }
     }
 }
 
@@ -215,8 +236,7 @@ pub fn sir(graph: &SocialGraph, seeds: &[usize], config: &SirConfig) -> CascadeR
     }
     let mut series = vec![ever];
     for _ in 0..config.max_rounds {
-        let infected: Vec<usize> =
-            (0..graph.len()).filter(|&v| state[v] == St::I).collect();
+        let infected: Vec<usize> = (0..graph.len()).filter(|&v| state[v] == St::I).collect();
         if infected.is_empty() {
             break;
         }
@@ -242,9 +262,15 @@ pub fn sir(graph: &SocialGraph, seeds: &[usize], config: &SirConfig) -> CascadeR
         series.push(ever);
     }
     let half = ever.div_ceil(2);
-    let half_reach_round =
-        series.iter().position(|&r| r >= half).unwrap_or(series.len().saturating_sub(1));
-    CascadeResult { reach_over_time: series, total_reach: ever, half_reach_round }
+    let half_reach_round = series
+        .iter()
+        .position(|&r| r >= half)
+        .unwrap_or(series.len().saturating_sub(1));
+    CascadeResult {
+        reach_over_time: series,
+        total_reach: ever,
+        half_reach_round,
+    }
 }
 
 #[cfg(test)]
@@ -271,7 +297,10 @@ mod tests {
     #[test]
     fn zero_probability_stops_at_seeds() {
         let (g, accounts) = setup();
-        let cfg = CascadeConfig { base_prob: 0.0, ..CascadeConfig::default() };
+        let cfg = CascadeConfig {
+            base_prob: 0.0,
+            ..CascadeConfig::default()
+        };
         let r = independent_cascade(&g, &accounts, &[5], &[], &cfg);
         assert_eq!(r.total_reach, 1);
     }
@@ -281,7 +310,10 @@ mod tests {
         let g = barabasi_albert(800, 3, 11);
         let humans = assign_accounts(800, 0.0, 0.0, 11);
         let bots = assign_accounts(800, 0.25, 0.1, 11);
-        let cfg = CascadeConfig { base_prob: 0.05, ..CascadeConfig::default() };
+        let cfg = CascadeConfig {
+            base_prob: 0.05,
+            ..CascadeConfig::default()
+        };
         let seeds: Vec<usize> = (0..5).collect();
         let no_bots = independent_cascade(&g, &humans, &seeds, &[], &cfg);
         let with_bots = independent_cascade(&g, &bots, &seeds, &[], &cfg);
@@ -303,7 +335,10 @@ mod tests {
             &accounts,
             &seeds,
             &[],
-            &CascadeConfig { share_multiplier: 0.2, ..CascadeConfig::default() },
+            &CascadeConfig {
+                share_multiplier: 0.2,
+                ..CascadeConfig::default()
+            },
         );
         assert!(
             (flagged.total_reach as f64) < 0.6 * normal.total_reach as f64,
@@ -348,7 +383,15 @@ mod tests {
         assert!(r.reach_over_time.len() <= 201);
         // With beta = 0.0 nothing spreads and the epidemic dies as soon as
         // the seed recovers.
-        let fast = sir(&g, &[0], &SirConfig { beta: 0.0, gamma: 1.0, ..SirConfig::default() });
+        let fast = sir(
+            &g,
+            &[0],
+            &SirConfig {
+                beta: 0.0,
+                gamma: 1.0,
+                ..SirConfig::default()
+            },
+        );
         assert_eq!(fast.total_reach, 1);
         assert!(fast.reach_over_time.len() <= 3);
     }
@@ -361,19 +404,34 @@ mod tests {
         // Everyone half as receptive → smaller reach.
         let half = vec![0.5; g.len()];
         let damped = independent_cascade_with_receptivity(
-            &g, &accounts, &seeds, &[], &half, &CascadeConfig::default(),
+            &g,
+            &accounts,
+            &seeds,
+            &[],
+            &half,
+            &CascadeConfig::default(),
         );
         assert!(damped.total_reach < uniform.total_reach);
         // Zero receptivity stops everything beyond the seeds.
         let zero = vec![0.0; g.len()];
         let dead = independent_cascade_with_receptivity(
-            &g, &accounts, &seeds, &[], &zero, &CascadeConfig::default(),
+            &g,
+            &accounts,
+            &seeds,
+            &[],
+            &zero,
+            &CascadeConfig::default(),
         );
         assert_eq!(dead.total_reach, seeds.len());
         // Empty mask equals uniform 1.0.
         let ones = vec![1.0; g.len()];
         let explicit = independent_cascade_with_receptivity(
-            &g, &accounts, &seeds, &[], &ones, &CascadeConfig::default(),
+            &g,
+            &accounts,
+            &seeds,
+            &[],
+            &ones,
+            &CascadeConfig::default(),
         );
         assert_eq!(explicit, uniform);
     }

@@ -32,8 +32,8 @@ pub mod network;
 pub mod race;
 
 pub use cascade::{
-    assign_accounts, independent_cascade, independent_cascade_with_receptivity, sir,
-    AccountKind, CascadeConfig, CascadeResult, SirConfig,
+    assign_accounts, independent_cascade, independent_cascade_with_receptivity, sir, AccountKind,
+    CascadeConfig, CascadeResult, SirConfig,
 };
 pub use network::{barabasi_albert, erdos_renyi, watts_strogatz, SocialGraph};
 pub use race::{run_race, Intervention, RaceConfig, RaceResult};

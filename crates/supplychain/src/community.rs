@@ -76,8 +76,11 @@ impl InteractionGraph {
     pub fn label_propagation(&self, seed: u64, max_rounds: usize) -> HashMap<Address, u32> {
         let mut nodes: Vec<Address> = self.adj.keys().copied().collect();
         nodes.sort();
-        let mut labels: HashMap<Address, u32> =
-            nodes.iter().enumerate().map(|(i, a)| (*a, i as u32)).collect();
+        let mut labels: HashMap<Address, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (*a, i as u32))
+            .collect();
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..max_rounds {
             let mut order = nodes.clone();
@@ -212,12 +215,27 @@ mod tests {
 
         let mut sc = SupplyChainGraph::new();
         let root = sha256(b"r");
-        sc.add_fact_root(root, "Fact text here. More fact text.", "t", 0).unwrap();
+        sc.add_fact_root(root, "Fact text here. More fact text.", "t", 0)
+            .unwrap();
         let a1 = sc
-            .insert(addr(1), "Fact text here. More fact text.", "t", 1, vec![(root, PropagationOp::Relay)], 1)
+            .insert(
+                addr(1),
+                "Fact text here. More fact text.",
+                "t",
+                1,
+                vec![(root, PropagationOp::Relay)],
+                1,
+            )
             .unwrap();
         let _a2 = sc
-            .insert(addr(2), "Fact text here. More fact text.", "t", 1, vec![(a1, PropagationOp::Relay)], 2)
+            .insert(
+                addr(2),
+                "Fact text here. More fact text.",
+                "t",
+                1,
+                vec![(a1, PropagationOp::Relay)],
+                2,
+            )
             .unwrap();
         let ig = InteractionGraph::from_supply_chain(&sc);
         // addr(1) ↔ addr(2) linked; root edges (fact roots) excluded.
@@ -230,7 +248,11 @@ mod tests {
         let (g, a, b) = two_cliques();
         let labels = g.label_propagation(7, 50);
         let bridge_comms = g.neighbor_communities(&a[0], &labels);
-        assert_eq!(bridge_comms.len(), 2, "bridge should touch both communities");
+        assert_eq!(
+            bridge_comms.len(),
+            2,
+            "bridge should touch both communities"
+        );
         let interior = g.neighbor_communities(&a[2], &labels);
         assert_eq!(interior.len(), 1);
         assert!(b.iter().all(|x| labels.contains_key(x)));

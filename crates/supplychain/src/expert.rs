@@ -96,7 +96,8 @@ mod tests {
         let roots: Vec<_> = (0..4u8)
             .map(|i| {
                 let id = sha256(&[i]);
-                g.add_fact_root(id, &format!("{FACT} Docket {i}."), "energy", 0).unwrap();
+                g.add_fact_root(id, &format!("{FACT} Docket {i}."), "energy", 0)
+                    .unwrap();
                 id
             })
             .collect();
@@ -156,7 +157,8 @@ mod tests {
     fn topic_filter_applies() {
         let (mut g, expert, _, _) = build_graph();
         let r = sha256(b"health-root");
-        g.add_fact_root(r, "Hospital staffing report released today.", "health", 0).unwrap();
+        g.add_fact_root(r, "Hospital staffing report released today.", "health", 0)
+            .unwrap();
         g.insert(
             expert,
             "Hospital staffing report released today.",

@@ -205,7 +205,11 @@ impl SupplyChainGraph {
         for (pid, op) in parents {
             let parent = self.items.get(&pid).ok_or(GraphError::MissingParent(pid))?;
             let modification = modification_degree(&parent.content, content);
-            parent_refs.push(ParentRef { id: pid, op, modification });
+            parent_refs.push(ParentRef {
+                id: pid,
+                op,
+                modification,
+            });
         }
         for pref in &parent_refs {
             self.children.entry(pref.id).or_default().push(id);
@@ -225,6 +229,32 @@ impl SupplyChainGraph {
         );
         self.order.push(id);
         Ok(id)
+    }
+
+    /// A hash of the entire graph state, covering every node (in
+    /// insertion order) with its author, texts, and parent edges. Two
+    /// graphs built from the same event sequence digest identically, so
+    /// replicas and ledger replays can be compared by hash.
+    pub fn digest(&self) -> Hash256 {
+        let mut data = Vec::new();
+        for item in self.iter() {
+            data.extend_from_slice(item.id.as_bytes());
+            data.extend_from_slice(item.author.as_hash().as_bytes());
+            data.extend_from_slice(&(item.content.len() as u64).to_le_bytes());
+            data.extend_from_slice(item.content.as_bytes());
+            data.extend_from_slice(&(item.topic.len() as u64).to_le_bytes());
+            data.extend_from_slice(item.topic.as_bytes());
+            data.extend_from_slice(&item.room.to_le_bytes());
+            data.extend_from_slice(&item.published_at.to_le_bytes());
+            data.push(item.is_fact_root as u8);
+            data.extend_from_slice(&(item.parents.len() as u64).to_le_bytes());
+            for p in &item.parents {
+                data.extend_from_slice(p.id.as_bytes());
+                data.push(p.op.tag());
+                data.extend_from_slice(&p.modification.to_bits().to_le_bytes());
+            }
+        }
+        tagged_hash("TN/supplychain-graph", &data)
     }
 
     /// Looks up an item.
@@ -412,7 +442,14 @@ mod tests {
     fn verbatim_relay_keeps_score_one() {
         let (mut g, root) = graph_with_root();
         let id = g
-            .insert(addr(b"relayer"), FACT, "energy", 1, vec![(root, PropagationOp::Relay)], 10)
+            .insert(
+                addr(b"relayer"),
+                FACT,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Relay)],
+                10,
+            )
             .unwrap();
         let t = g.trace_back(&id).unwrap();
         assert!(t.reaches_root);
@@ -426,16 +463,35 @@ mod tests {
         let (mut g, root) = graph_with_root();
         let modified = format!("{FACT} Insiders warn this is a shocking corrupt cover-up.");
         let a = g
-            .insert(addr(b"a"), &modified, "energy", 1, vec![(root, PropagationOp::Insert)], 10)
+            .insert(
+                addr(b"a"),
+                &modified,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Insert)],
+                10,
+            )
             .unwrap();
         let more = format!("{modified} They do not want you to know the terrifying truth.");
         let b = g
-            .insert(addr(b"b"), &more, "energy", 1, vec![(a, PropagationOp::Insert)], 20)
+            .insert(
+                addr(b"b"),
+                &more,
+                "energy",
+                1,
+                vec![(a, PropagationOp::Insert)],
+                20,
+            )
             .unwrap();
         let ta = g.trace_back(&a).unwrap();
         let tb = g.trace_back(&b).unwrap();
         assert!(ta.score < 1.0);
-        assert!(tb.score < ta.score, "scores must decay: {} vs {}", tb.score, ta.score);
+        assert!(
+            tb.score < ta.score,
+            "scores must decay: {} vs {}",
+            tb.score,
+            ta.score
+        );
         assert!(tb.cumulative_modification > ta.cumulative_modification);
         assert_eq!(tb.distance, Some(2));
     }
@@ -444,7 +500,14 @@ mod tests {
     fn unsourced_item_does_not_reach_root() {
         let (mut g, _) = graph_with_root();
         let id = g
-            .insert(addr(b"fabricator"), "Aliens built the dam overnight.", "energy", 1, vec![], 5)
+            .insert(
+                addr(b"fabricator"),
+                "Aliens built the dam overnight.",
+                "energy",
+                1,
+                vec![],
+                5,
+            )
             .unwrap();
         let t = g.trace_back(&id).unwrap();
         assert!(!t.reaches_root);
@@ -457,7 +520,14 @@ mod tests {
         let (mut g, root) = graph_with_root();
         // Faithful relay and heavy distortion both exist as parents.
         let clean = g
-            .insert(addr(b"clean"), FACT, "energy", 1, vec![(root, PropagationOp::Relay)], 1)
+            .insert(
+                addr(b"clean"),
+                FACT,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Relay)],
+                1,
+            )
             .unwrap();
         let distorted_text = "Furious critics call it the worst scandal in history. \
             Anonymous sources claim the real numbers are being hidden.";
@@ -479,13 +549,19 @@ mod tests {
                 &merged,
                 "energy",
                 1,
-                vec![(clean, PropagationOp::Merge), (distorted, PropagationOp::Merge)],
+                vec![
+                    (clean, PropagationOp::Merge),
+                    (distorted, PropagationOp::Merge),
+                ],
                 3,
             )
             .unwrap();
         let t = g.trace_back(&child).unwrap();
         assert!(t.reaches_root);
-        assert_eq!(t.path[1], clean, "best path should route through the faithful parent");
+        assert_eq!(
+            t.path[1], clean,
+            "best path should route through the faithful parent"
+        );
     }
 
     #[test]
@@ -507,9 +583,24 @@ mod tests {
     #[test]
     fn duplicate_item_rejected() {
         let (mut g, root) = graph_with_root();
-        g.insert(addr(b"a"), FACT, "energy", 1, vec![(root, PropagationOp::Relay)], 10).unwrap();
+        g.insert(
+            addr(b"a"),
+            FACT,
+            "energy",
+            1,
+            vec![(root, PropagationOp::Relay)],
+            10,
+        )
+        .unwrap();
         let err = g
-            .insert(addr(b"a"), FACT, "energy", 1, vec![(root, PropagationOp::Relay)], 10)
+            .insert(
+                addr(b"a"),
+                FACT,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Relay)],
+                10,
+            )
             .unwrap_err();
         assert!(matches!(err, GraphError::Duplicate(_)));
         let err2 = g.add_fact_root(root, FACT, "energy", 0).unwrap_err();
@@ -520,10 +611,24 @@ mod tests {
     fn children_tracked() {
         let (mut g, root) = graph_with_root();
         let a = g
-            .insert(addr(b"a"), FACT, "energy", 1, vec![(root, PropagationOp::Relay)], 1)
+            .insert(
+                addr(b"a"),
+                FACT,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Relay)],
+                1,
+            )
             .unwrap();
         let b = g
-            .insert(addr(b"b"), FACT, "energy", 1, vec![(root, PropagationOp::Relay)], 2)
+            .insert(
+                addr(b"b"),
+                FACT,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Relay)],
+                2,
+            )
             .unwrap();
         assert_eq!(g.children_of(&root), &[a, b]);
         assert!(g.children_of(&a).is_empty());
@@ -535,17 +640,40 @@ mod tests {
         let (mut g, root) = graph_with_root();
         let first = addr(b"first-publisher");
         let a = g
-            .insert(first, FACT, "energy", 1, vec![(root, PropagationOp::Cite)], 1)
+            .insert(
+                first,
+                FACT,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Cite)],
+                1,
+            )
             .unwrap();
         let b = g
-            .insert(addr(b"relayer"), FACT, "energy", 1, vec![(a, PropagationOp::Relay)], 2)
+            .insert(
+                addr(b"relayer"),
+                FACT,
+                "energy",
+                1,
+                vec![(a, PropagationOp::Relay)],
+                2,
+            )
             .unwrap();
         assert_eq!(g.origin_author(&b).unwrap(), Some(first));
 
         let fab = addr(b"fabricator");
-        let f = g.insert(fab, "Made up story.", "energy", 1, vec![], 3).unwrap();
+        let f = g
+            .insert(fab, "Made up story.", "energy", 1, vec![], 3)
+            .unwrap();
         let f2 = g
-            .insert(addr(b"spreader"), "Made up story.", "energy", 1, vec![(f, PropagationOp::Relay)], 4)
+            .insert(
+                addr(b"spreader"),
+                "Made up story.",
+                "energy",
+                1,
+                vec![(f, PropagationOp::Relay)],
+                4,
+            )
             .unwrap();
         assert_eq!(g.origin_author(&f2).unwrap(), Some(fab));
     }
@@ -556,7 +684,14 @@ mod tests {
         let honest = addr(b"honest relayer");
         let distorter = addr(b"distorter");
         let relayed = g
-            .insert(honest, FACT, "energy", 1, vec![(root, PropagationOp::Relay)], 1)
+            .insert(
+                honest,
+                FACT,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Relay)],
+                1,
+            )
             .unwrap();
         let distorted_text = format!(
             "{FACT} Insiders warn this is a shocking corrupt cover-up. \
@@ -588,7 +723,9 @@ mod tests {
         // A faithful chain has no culprit above the threshold.
         assert_eq!(g.distortion_culprit(&relayed, 0.1).unwrap(), None);
         // Unrooted items report None.
-        let unrooted = g.insert(addr(b"fab"), "Made up.", "energy", 1, vec![], 4).unwrap();
+        let unrooted = g
+            .insert(addr(b"fab"), "Made up.", "energy", 1, vec![], 4)
+            .unwrap();
         assert_eq!(g.distortion_culprit(&unrooted, 0.1).unwrap(), None);
     }
 

@@ -41,7 +41,10 @@ impl NewsEvent {
         } else {
             blob_tags::NEWS_PROPAGATE
         };
-        Payload::Blob { tag, data: self.to_bytes() }
+        Payload::Blob {
+            tag,
+            data: self.to_bytes(),
+        }
     }
 
     /// Parses a payload blob back into an event (None for non-news blobs
@@ -61,7 +64,9 @@ impl NewsEvent {
 impl Encodable for NewsEvent {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_str(&self.headline);
-        enc.put_str(&self.content).put_str(&self.topic).put_u64(self.room);
+        enc.put_str(&self.content)
+            .put_str(&self.topic)
+            .put_u64(self.room);
         enc.put_varint(self.parents.len() as u64);
         for (id, op) in &self.parents {
             enc.put_hash(id).put_u8(*op);
@@ -84,7 +89,14 @@ impl Decodable for NewsEvent {
         for _ in 0..n {
             parents.push((dec.get_hash()?, dec.get_u8()?));
         }
-        Ok(NewsEvent { headline, content, topic, room, parents, published_at: dec.get_u64()? })
+        Ok(NewsEvent {
+            headline,
+            content,
+            topic,
+            room,
+            parents,
+            published_at: dec.get_u64()?,
+        })
     }
 }
 
@@ -114,11 +126,7 @@ pub fn index_chain(store: &ChainStore, graph: &mut SupplyChainGraph) -> IndexSta
 }
 
 /// Indexes a single transaction (used incrementally as blocks commit).
-pub fn index_transaction(
-    tx: &Transaction,
-    graph: &mut SupplyChainGraph,
-    stats: &mut IndexStats,
-) {
+pub fn index_transaction(tx: &Transaction, graph: &mut SupplyChainGraph, stats: &mut IndexStats) {
     let Some(parsed) = NewsEvent::from_payload(&tx.payload) else {
         stats.ignored += 1;
         return;
@@ -194,7 +202,10 @@ mod tests {
             Payload::Blob { tag, .. } => assert_eq!(tag, blob_tags::NEWS_PUBLISH),
             _ => panic!("expected blob"),
         }
-        let prop = NewsEvent { parents: vec![(sha256(b"p"), 0)], ..orig };
+        let prop = NewsEvent {
+            parents: vec![(sha256(b"p"), 0)],
+            ..orig
+        };
         match prop.into_payload() {
             Payload::Blob { tag, .. } => assert_eq!(tag, blob_tags::NEWS_PROPAGATE),
             _ => panic!("expected blob"),
@@ -206,8 +217,7 @@ mod tests {
         let alice = Keypair::from_seed(b"alice");
         let bob = Keypair::from_seed(b"bob");
         let validator = Keypair::from_seed(b"validator");
-        let genesis =
-            State::genesis([(alice.address(), 1000), (bob.address(), 1000)]);
+        let genesis = State::genesis([(alice.address(), 1000), (bob.address(), 1000)]);
         let mut store = ChainStore::new(genesis, &validator);
 
         // Alice publishes an original citing nothing on-chain (roots live in
@@ -270,7 +280,10 @@ mod tests {
             &alice,
             1,
             1,
-            Payload::Blob { tag: blob_tags::NEWS_PUBLISH, data: vec![0xff, 0xff] },
+            Payload::Blob {
+                tag: blob_tags::NEWS_PUBLISH,
+                data: vec![0xff, 0xff],
+            },
         );
         // Unknown op tag.
         let badop = NewsEvent {
@@ -287,7 +300,10 @@ mod tests {
             &alice,
             3,
             1,
-            Payload::Blob { tag: blob_tags::RATING, data: vec![] },
+            Payload::Blob {
+                tag: blob_tags::RATING,
+                data: vec![],
+            },
         );
 
         let block = store.propose(&validator, 1, vec![tx1, tx2, tx3, tx4], &mut NoExecutor);

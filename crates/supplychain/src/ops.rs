@@ -94,7 +94,11 @@ pub fn mix<R: Rng>(a: &str, b: &str, rng: &mut R) -> String {
     let mut ib = sb.into_iter();
     loop {
         let pick_a = rng.gen_bool(0.5);
-        let next = if pick_a { ia.next().or_else(|| ib.next()) } else { ib.next().or_else(|| ia.next()) };
+        let next = if pick_a {
+            ia.next().or_else(|| ib.next())
+        } else {
+            ib.next().or_else(|| ia.next())
+        };
         match next {
             Some(s) => out.push(s),
             None => break,
@@ -171,7 +175,11 @@ pub fn apply<R: Rng>(op: PropagationOp, parents: &[&str], fake: bool, rng: &mut 
             None => relay(p0),
         },
         PropagationOp::Insert => {
-            let bank: &[&str] = if fake { &FAKE_INJECTIONS } else { &NEUTRAL_INJECTIONS };
+            let bank: &[&str] = if fake {
+                &FAKE_INJECTIONS
+            } else {
+                &NEUTRAL_INJECTIONS
+            };
             let count = rng.gen_range(1..=2);
             let picks: Vec<&str> = bank.choose_multiple(rng, count).copied().collect();
             insert(p0, &picks, rng)
@@ -270,8 +278,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = apply(PropagationOp::Insert, &[PARENT], true, &mut StdRng::seed_from_u64(5));
-        let b = apply(PropagationOp::Insert, &[PARENT], true, &mut StdRng::seed_from_u64(5));
+        let a = apply(
+            PropagationOp::Insert,
+            &[PARENT],
+            true,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let b = apply(
+            PropagationOp::Insert,
+            &[PARENT],
+            true,
+            &mut StdRng::seed_from_u64(5),
+        );
         assert_eq!(a, b);
     }
 }

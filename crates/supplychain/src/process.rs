@@ -30,12 +30,19 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in workflow order.
-    pub const PIPELINE: [Stage; 4] =
-        [Stage::Producer, Stage::Processor, Stage::Distributor, Stage::Retailer];
+    pub const PIPELINE: [Stage; 4] = [
+        Stage::Producer,
+        Stage::Processor,
+        Stage::Distributor,
+        Stage::Retailer,
+    ];
 
     /// The next stage, or `None` after retail.
     pub fn next(self) -> Option<Stage> {
-        let i = Stage::PIPELINE.iter().position(|s| *s == self).expect("in pipeline");
+        let i = Stage::PIPELINE
+            .iter()
+            .position(|s| *s == self)
+            .expect("in pipeline");
         Stage::PIPELINE.get(i + 1).copied()
     }
 }
@@ -140,13 +147,21 @@ impl ProcessSupplyChain {
             },
         };
         if stage != expected {
-            return Err(ProcessError::OutOfOrder { expected, actual: stage });
+            return Err(ProcessError::OutOfOrder {
+                expected,
+                actual: stage,
+            });
         }
         if self.actors.get(&stage) != Some(&actor) {
             return Err(ProcessError::WrongActor(stage));
         }
         let idx = self.ledger.len();
-        self.ledger.push(ProcessStep { item, stage, actor, at });
+        self.ledger.push(ProcessStep {
+            item,
+            stage,
+            actor,
+            at,
+        });
         self.by_item.entry(item).or_default().push(idx);
         Ok(())
     }
@@ -210,10 +225,15 @@ mod tests {
     fn out_of_order_rejected() {
         let mut chain = ProcessSupplyChain::new(actors());
         let item = ProcessSupplyChain::item_id("batch-2");
-        let err = chain.record(item, Stage::Processor, actor(Stage::Processor), 0).unwrap_err();
+        let err = chain
+            .record(item, Stage::Processor, actor(Stage::Processor), 0)
+            .unwrap_err();
         assert_eq!(
             err,
-            ProcessError::OutOfOrder { expected: Stage::Producer, actual: Stage::Processor }
+            ProcessError::OutOfOrder {
+                expected: Stage::Producer,
+                actual: Stage::Processor
+            }
         );
     }
 
@@ -221,7 +241,9 @@ mod tests {
     fn wrong_actor_rejected() {
         let mut chain = ProcessSupplyChain::new(actors());
         let item = ProcessSupplyChain::item_id("batch-3");
-        let err = chain.record(item, Stage::Producer, actor(Stage::Retailer), 0).unwrap_err();
+        let err = chain
+            .record(item, Stage::Producer, actor(Stage::Retailer), 0)
+            .unwrap_err();
         assert_eq!(err, ProcessError::WrongActor(Stage::Producer));
     }
 
@@ -241,8 +263,9 @@ mod tests {
     #[test]
     fn many_items_interleave() {
         let mut chain = ProcessSupplyChain::new(actors());
-        let items: Vec<Hash256> =
-            (0..10).map(|i| ProcessSupplyChain::item_id(&format!("b{i}"))).collect();
+        let items: Vec<Hash256> = (0..10)
+            .map(|i| ProcessSupplyChain::item_id(&format!("b{i}")))
+            .collect();
         for stage in Stage::PIPELINE {
             for item in &items {
                 chain.record(*item, stage, actor(stage), 0).unwrap();

@@ -22,7 +22,10 @@ pub struct RankWeights {
 
 impl Default for RankWeights {
     fn default() -> Self {
-        RankWeights { trace: 0.7, ai: 0.3 }
+        RankWeights {
+            trace: 0.7,
+            ai: 0.3,
+        }
     }
 }
 
@@ -90,7 +93,11 @@ pub fn rank_graph(
 fn average_ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -158,7 +165,11 @@ pub fn precision_at_k(
     assert!(k > 0, "k must be positive");
     let mut sorted: Vec<&(Hash256, f64)> = scored.iter().collect();
     sorted.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
-    let top = sorted.iter().take(k).filter(|(id, _)| relevant.contains(id)).count();
+    let top = sorted
+        .iter()
+        .take(k)
+        .filter(|(id, _)| relevant.contains(id))
+        .count();
     top as f64 / k.min(scored.len()).max(1) as f64
 }
 
@@ -170,7 +181,10 @@ mod tests {
 
     #[test]
     fn combine_weights() {
-        let w = RankWeights { trace: 0.7, ai: 0.3 };
+        let w = RankWeights {
+            trace: 0.7,
+            ai: 0.3,
+        };
         assert!((combine(1.0, 1.0, &w) - 100.0).abs() < 1e-9);
         assert!((combine(0.0, 0.0, &w)).abs() < 1e-9);
         assert!((combine(1.0, 0.0, &w) - 70.0).abs() < 1e-9);
@@ -181,7 +195,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "must not both be zero")]
     fn zero_weights_panic() {
-        combine(0.5, 0.5, &RankWeights { trace: 0.0, ai: 0.0 });
+        combine(
+            0.5,
+            0.5,
+            &RankWeights {
+                trace: 0.0,
+                ai: 0.0,
+            },
+        );
     }
 
     #[test]
@@ -212,8 +233,11 @@ mod tests {
     #[test]
     fn precision_at_k_basic() {
         let ids: Vec<Hash256> = (0..5u8).map(|i| sha256(&[i])).collect();
-        let scored: Vec<(Hash256, f64)> =
-            ids.iter().enumerate().map(|(i, id)| (*id, i as f64)).collect();
+        let scored: Vec<(Hash256, f64)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i as f64))
+            .collect();
         // Highest scores are ids[4], ids[3].
         let relevant: HashSet<Hash256> = [ids[4], ids[0]].into_iter().collect();
         assert!((precision_at_k(&scored, &relevant, 2) - 0.5).abs() < 1e-9);
@@ -258,8 +282,11 @@ mod tests {
         assert!(find(clean).reaches_root);
         assert!(!find(fabricated).reaches_root);
         // AI score shifts the ranking.
-        let ranked_ai =
-            rank_graph(&g, &|id| (*id == fabricated).then_some(0.9), &RankWeights::default());
+        let ranked_ai = rank_graph(
+            &g,
+            &|id| (*id == fabricated).then_some(0.9),
+            &RankWeights::default(),
+        );
         let f2 = ranked_ai.iter().find(|r| r.id == fabricated).unwrap();
         assert!(f2.rank > find(fabricated).rank);
     }

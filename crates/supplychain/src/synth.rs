@@ -127,7 +127,9 @@ pub fn generate(config: &SynthConfig) -> SynthChain {
     let mut roots = Vec::with_capacity(corpus.len());
     for rec in &corpus {
         let id = rec.id();
-        graph.add_fact_root(id, &rec.content, &rec.topic, rec.recorded_at).unwrap();
+        graph
+            .add_fact_root(id, &rec.content, &rec.topic, rec.recorded_at)
+            .unwrap();
         roots.push(id);
     }
 
@@ -137,8 +139,8 @@ pub fn generate(config: &SynthConfig) -> SynthChain {
 
     for i in 0..config.n_items {
         let t = config.n_fact_roots as u64 + i as u64 + 1;
-        let faker_turn = rng.gen_bool(config.n_fakers as f64
-            / (config.n_fakers + config.n_honest) as f64);
+        let faker_turn =
+            rng.gen_bool(config.n_fakers as f64 / (config.n_fakers + config.n_honest) as f64);
         let (id, item_truth) = if faker_turn {
             let author = *fakers.choose(&mut rng).expect("nonempty");
             if rng.gen_bool(config.fabricate_prob) || generated.is_empty() && roots.is_empty() {
@@ -146,25 +148,47 @@ pub fn generate(config: &SynthConfig) -> SynthChain {
                 let template = FABRICATED_TEMPLATES.choose(&mut rng).expect("nonempty");
                 let content = format!("{template} Report {i}.");
                 let topic = corpus.choose(&mut rng).expect("nonempty").topic.clone();
-                let id = graph.insert(author, &content, &topic, 1, vec![], t).unwrap();
-                (id, ItemTruth { is_fake: true, origin: author, generation: 0 })
+                let id = graph
+                    .insert(author, &content, &topic, 1, vec![], t)
+                    .unwrap();
+                (
+                    id,
+                    ItemTruth {
+                        is_fake: true,
+                        origin: author,
+                        generation: 0,
+                    },
+                )
             } else {
                 // Distortion of an existing item or root (the 72 % case).
-                let (pid, parent_fake, parent_gen) = pick_parent(
-                    &graph, &truth, &roots, &generated, 0.5, &mut rng,
-                );
+                let (pid, parent_fake, parent_gen) =
+                    pick_parent(&graph, &truth, &roots, &generated, 0.5, &mut rng);
                 let parent = graph.get(&pid).expect("parent exists");
                 let content = apply(PropagationOp::Insert, &[&parent.content], true, &mut rng);
                 let topic = parent.topic.clone();
                 let id = graph
-                    .insert(author, &content, &topic, 1, vec![(pid, PropagationOp::Insert)], t)
+                    .insert(
+                        author,
+                        &content,
+                        &topic,
+                        1,
+                        vec![(pid, PropagationOp::Insert)],
+                        t,
+                    )
                     .unwrap();
                 let origin = if parent_fake {
                     truth.get(&pid).map(|tr| tr.origin).unwrap_or(author)
                 } else {
                     author
                 };
-                (id, ItemTruth { is_fake: true, origin, generation: parent_gen + 1 })
+                (
+                    id,
+                    ItemTruth {
+                        is_fake: true,
+                        origin,
+                        generation: parent_gen + 1,
+                    },
+                )
             }
         } else {
             let author = *honest.choose(&mut rng).expect("nonempty");
@@ -187,19 +211,31 @@ pub fn generate(config: &SynthConfig) -> SynthChain {
             .expect("nonempty");
             let content = apply(op, &[&parent.content], false, &mut rng);
             let topic = parent.topic.clone();
-            let id = graph.insert(author, &content, &topic, 1, vec![(pid, op)], t).unwrap();
-            let origin = truth
-                .get(&pid)
-                .map(|tr| tr.origin)
-                .unwrap_or(author);
+            let id = graph
+                .insert(author, &content, &topic, 1, vec![(pid, op)], t)
+                .unwrap();
+            let origin = truth.get(&pid).map(|tr| tr.origin).unwrap_or(author);
             // Honest relays of fake content keep the content fake.
-            (id, ItemTruth { is_fake: parent_fake, origin, generation: parent_gen + 1 })
+            (
+                id,
+                ItemTruth {
+                    is_fake: parent_fake,
+                    origin,
+                    generation: parent_gen + 1,
+                },
+            )
         };
         truth.insert(id, item_truth);
         generated.push(id);
     }
 
-    SynthChain { graph, truth, honest, fakers, roots }
+    SynthChain {
+        graph,
+        truth,
+        honest,
+        fakers,
+        roots,
+    }
 }
 
 /// Picks a parent: with probability `prefer_generated` an already-generated
@@ -264,7 +300,10 @@ mod tests {
     fn fakes_mostly_derive_from_modified_factual() {
         // Matching the cited statistic: most fakes have parents (modified
         // factual news), a minority are fabricated (no parents).
-        let cfg = SynthConfig { n_items: 400, ..SynthConfig::default() };
+        let cfg = SynthConfig {
+            n_items: 400,
+            ..SynthConfig::default()
+        };
         let s = generate(&cfg);
         let fakes: Vec<_> = s
             .truth
@@ -276,12 +315,12 @@ mod tests {
             .iter()
             .filter(|id| s.graph.get(id).unwrap().parents.is_empty())
             .count();
-        assert_eq!(fabricated, fakes.len(), "generation-0 fakes are exactly the fabricated ones");
-        let all_fake_origins = s
-            .truth
-            .values()
-            .filter(|t| t.is_fake)
-            .count();
+        assert_eq!(
+            fabricated,
+            fakes.len(),
+            "generation-0 fakes are exactly the fabricated ones"
+        );
+        let all_fake_origins = s.truth.values().filter(|t| t.is_fake).count();
         assert!(
             fabricated * 2 < all_fake_origins,
             "fabricated ({fabricated}) should be a minority of fakes ({all_fake_origins})"
@@ -292,7 +331,10 @@ mod tests {
     fn trace_scores_separate_fake_from_factual() {
         // The headline E3 property, verified in-miniature: average trace
         // score of factual items exceeds that of fake items.
-        let s = generate(&SynthConfig { n_items: 250, ..SynthConfig::default() });
+        let s = generate(&SynthConfig {
+            n_items: 250,
+            ..SynthConfig::default()
+        });
         let mut fake_scores = Vec::new();
         let mut fact_scores = Vec::new();
         for (id, trace) in s.graph.trace_all() {
@@ -332,6 +374,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "need fact roots")]
     fn zero_roots_panics() {
-        generate(&SynthConfig { n_fact_roots: 0, ..SynthConfig::default() });
+        generate(&SynthConfig {
+            n_fact_roots: 0,
+            ..SynthConfig::default()
+        });
     }
 }

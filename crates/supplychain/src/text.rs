@@ -150,7 +150,8 @@ mod tests {
 
     #[test]
     fn small_edit_small_modification() {
-        let a = "the committee approved the solar subsidy amendment after a long debate in the chamber";
+        let a =
+            "the committee approved the solar subsidy amendment after a long debate in the chamber";
         let b = "the committee approved the solar subsidy amendment after a heated debate in the chamber";
         let m = modification_degree(a, b);
         assert!(m > 0.0 && m < 0.5, "m={m}");
@@ -158,7 +159,8 @@ mod tests {
 
     #[test]
     fn bigger_edits_bigger_modification() {
-        let base = "the committee approved the solar subsidy amendment after a long debate in the chamber";
+        let base =
+            "the committee approved the solar subsidy amendment after a long debate in the chamber";
         let small = "the committee approved the solar subsidy amendment after a heated debate in the chamber";
         let large = "sources say the corrupt committee secretly killed the solar plan amid outrage and scandal";
         assert!(

@@ -9,17 +9,41 @@ use tn_consensus::pbft::{ByzMode, PbftConfig, PbftMsg, PbftReplica, Request};
 use tn_consensus::sim::{NetworkConfig, Simulator};
 
 fn main() {
-    let workload = Workload { n_requests: 150, interarrival: 5, payload_size: 64 };
+    let workload = Workload {
+        n_requests: 150,
+        interarrival: 5,
+        payload_size: 64,
+    };
 
-    println!("{:<34} {:>6} {:>10} {:>10} {:>10} {:>12}",
-        "scenario", "n", "committed", "thru/ktick", "p50 lat", "msgs/commit");
+    println!(
+        "{:<34} {:>6} {:>10} {:>10} {:>10} {:>12}",
+        "scenario", "n", "committed", "thru/ktick", "p50 lat", "msgs/commit"
+    );
     let rows: Vec<(&str, tn_consensus::harness::RunStats)> = vec![
-        ("pbft n=4 healthy", run_pbft(4, &[], &workload, NetworkConfig::default(), 2_000_000)),
-        ("pbft n=7 healthy", run_pbft(7, &[], &workload, NetworkConfig::default(), 2_000_000)),
-        ("pbft n=7, 2 crashed backups", run_pbft(7, &[5, 6], &workload, NetworkConfig::default(), 2_000_000)),
-        ("pbft n=4, crashed primary", run_pbft(4, &[0], &workload, NetworkConfig::default(), 4_000_000)),
-        ("poa  n=4 healthy", run_poa(4, &[], &workload, NetworkConfig::default(), 2_000_000)),
-        ("poa  n=7 healthy", run_poa(7, &[], &workload, NetworkConfig::default(), 2_000_000)),
+        (
+            "pbft n=4 healthy",
+            run_pbft(4, &[], &workload, NetworkConfig::default(), 2_000_000),
+        ),
+        (
+            "pbft n=7 healthy",
+            run_pbft(7, &[], &workload, NetworkConfig::default(), 2_000_000),
+        ),
+        (
+            "pbft n=7, 2 crashed backups",
+            run_pbft(7, &[5, 6], &workload, NetworkConfig::default(), 2_000_000),
+        ),
+        (
+            "pbft n=4, crashed primary",
+            run_pbft(4, &[0], &workload, NetworkConfig::default(), 4_000_000),
+        ),
+        (
+            "poa  n=4 healthy",
+            run_poa(4, &[], &workload, NetworkConfig::default(), 2_000_000),
+        ),
+        (
+            "poa  n=7 healthy",
+            run_poa(7, &[], &workload, NetworkConfig::default(), 2_000_000),
+        ),
     ];
     for (label, s) in rows {
         println!(
@@ -33,7 +57,11 @@ fn main() {
     let n = 4;
     let nodes: Vec<PbftReplica> = (0..n)
         .map(|id| {
-            let mode = if id == 0 { ByzMode::EquivocatingPrimary } else { ByzMode::Honest };
+            let mode = if id == 0 {
+                ByzMode::EquivocatingPrimary
+            } else {
+                ByzMode::Honest
+            };
             PbftReplica::new(id, n, PbftConfig::default(), mode)
         })
         .collect();
@@ -60,6 +88,8 @@ fn main() {
         sim.node(1).committed.len()
     );
     assert!(agree, "PBFT safety violated");
-    println!("  final view on replica 1: {} (>0 means a view change evicted the equivocator)",
-        sim.node(1).view());
+    println!(
+        "  final view on replica 1: {} (>0 means a view change evicted the equivocator)",
+        sim.node(1).view()
+    );
 }

@@ -21,18 +21,36 @@ fn main() {
     let tampered = apply_tamper(
         &original,
         &donor,
-        &Tamper { start_frame: 40, end_frame: 80, region: (8, 8), size: 16, intensity: 0.9 },
+        &Tamper {
+            start_frame: 40,
+            end_frame: 80,
+            region: (8, 8),
+            size: 16,
+            intensity: 0.9,
+        },
     );
 
     // Detector 1: provenance fingerprints vs the registered chain.
     println!("\nfingerprint mismatch vs registered chain:");
-    println!("  honest re-upload : {:.4}", fingerprint_mismatch_score(&original, &original));
-    println!("  deepfaked copy   : {:.4}", fingerprint_mismatch_score(&original, &tampered));
+    println!(
+        "  honest re-upload : {:.4}",
+        fingerprint_mismatch_score(&original, &original)
+    );
+    println!(
+        "  deepfaked copy   : {:.4}",
+        fingerprint_mismatch_score(&original, &tampered)
+    );
 
     // Detector 2: temporal anomaly (no original needed).
     println!("\ntemporal anomaly score (no reference needed):");
-    println!("  honest re-upload : {:.4}", temporal_anomaly_score(&original));
-    println!("  deepfaked copy   : {:.4}", temporal_anomaly_score(&tampered));
+    println!(
+        "  honest re-upload : {:.4}",
+        temporal_anomaly_score(&original)
+    );
+    println!(
+        "  deepfaked copy   : {:.4}",
+        temporal_anomaly_score(&tampered)
+    );
 
     // Sweep tamper intensity and report detection quality.
     println!("\nintensity sweep (fingerprint detector, 16 clean + 16 tampered videos each):");
@@ -45,7 +63,13 @@ fn main() {
             let t = apply_tamper(
                 &v,
                 &d,
-                &Tamper { start_frame: 15, end_frame: 40, region: (4, 4), size: 16, intensity },
+                &Tamper {
+                    start_frame: 15,
+                    end_frame: 40,
+                    region: (4, 4),
+                    size: 16,
+                    intensity,
+                },
             );
             preds.push((false, fingerprint_mismatch_score(&v, &v)));
             preds.push((true, fingerprint_mismatch_score(&v, &t)));

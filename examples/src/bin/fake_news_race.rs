@@ -25,7 +25,10 @@ fn main() {
         (
             "flagging after 3 rounds (-80% reshare)",
             base.clone(),
-            Intervention::Flagging { delay: 3, multiplier: 0.2 },
+            Intervention::Flagging {
+                delay: 3,
+                multiplier: 0.2,
+            },
         ),
         (
             "source blocking after 2 rounds",
@@ -34,7 +37,10 @@ fn main() {
         ),
         (
             "trace-ranking suppression + certified boost",
-            RaceConfig { factual_boost: 1.6, ..base.clone() },
+            RaceConfig {
+                factual_boost: 1.6,
+                ..base.clone()
+            },
             Intervention::RankingSuppression { multiplier: 0.25 },
         ),
     ];
@@ -59,12 +65,22 @@ fn main() {
     let none = run_race(&graph, &base, Intervention::None);
     let full = run_race(
         &graph,
-        &RaceConfig { factual_boost: 1.6, ..base },
+        &RaceConfig {
+            factual_boost: 1.6,
+            ..base
+        },
         Intervention::RankingSuppression { multiplier: 0.25 },
     );
     println!("\nreach over time (every 5 rounds):");
-    println!("{:>5} {:>12} {:>14} {:>12} {:>14}", "round", "fake (none)", "factual (none)", "fake (full)", "factual (full)");
-    let len = none.fake.reach_over_time.len().max(full.fake.reach_over_time.len());
+    println!(
+        "{:>5} {:>12} {:>14} {:>12} {:>14}",
+        "round", "fake (none)", "factual (none)", "fake (full)", "factual (full)"
+    );
+    let len = none
+        .fake
+        .reach_over_time
+        .len()
+        .max(full.fake.reach_over_time.len());
     for t in (0..len).step_by(5) {
         let at = |v: &[usize]| v.get(t).copied().or(v.last().copied()).unwrap_or(0);
         println!(

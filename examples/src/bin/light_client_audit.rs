@@ -19,21 +19,37 @@ fn main() {
     let mut platform = Platform::new(PlatformConfig::default());
     let publisher = Keypair::from_seed(b"lca publisher");
     let journalist = Keypair::from_seed(b"lca journalist");
-    let checkers: Vec<Keypair> =
-        (0..2).map(|i| Keypair::from_seed(format!("lca checker {i}").as_bytes())).collect();
-    platform.register_identity(&publisher, "LCA Press", &[Role::Publisher]);
-    platform.register_identity(&journalist, "LCA Journalist", &[Role::ContentCreator]);
+    let checkers: Vec<Keypair> = (0..2)
+        .map(|i| Keypair::from_seed(format!("lca checker {i}").as_bytes()))
+        .collect();
+    platform
+        .register_identity(&publisher, "LCA Press", &[Role::Publisher])
+        .unwrap();
+    platform
+        .register_identity(&journalist, "LCA Journalist", &[Role::ContentCreator])
+        .unwrap();
     for c in &checkers {
-        platform.register_identity(c, "LCA Checker", &[Role::FactChecker]);
+        platform
+            .register_identity(c, "LCA Checker", &[Role::FactChecker])
+            .unwrap();
     }
     platform.produce_block().expect("identities");
-    platform.create_publisher_platform(&publisher, "LCA Press").expect("press");
+    platform
+        .create_publisher_platform(&publisher, "LCA Press")
+        .expect("press");
     platform.produce_block().expect("block");
-    let pid = platform.newsrooms().find_platform("LCA Press").expect("registered");
-    platform.create_news_room(&publisher, pid, "energy").expect("room");
+    let pid = platform
+        .newsrooms()
+        .find_platform("LCA Press")
+        .expect("registered");
+    platform
+        .create_news_room(&publisher, pid, "energy")
+        .expect("room");
     platform.produce_block().expect("block");
     let room = platform.newsrooms().rooms().next().expect("room").0;
-    platform.authorize_journalist(&publisher, room, &journalist.address()).expect("authz");
+    platform
+        .authorize_journalist(&publisher, room, &journalist.address())
+        .expect("authz");
     platform.produce_block().expect("block");
 
     let old_size = platform.factdb().len();
@@ -44,15 +60,20 @@ fn main() {
         content: "The operator published verified outage statistics for June.".into(),
         recorded_at: 777,
     };
-    let record_id = platform.propose_fact(record.clone());
+    let record_id = platform.propose_fact(record.clone()).unwrap();
     for c in &checkers {
         platform.attest_fact(c, &record_id).expect("attest");
     }
     platform.produce_block().expect("attest block");
     platform.produce_block().expect("anchor block");
     platform
-        .publish_news(&journalist, room, "energy", &record.content,
-                      vec![(record_id, PropagationOp::Cite)])
+        .publish_news(
+            &journalist,
+            room,
+            "energy",
+            &record.content,
+            vec![(record_id, PropagationOp::Cite)],
+        )
         .expect("publish");
     platform.produce_block().expect("publish block");
     println!(
@@ -68,12 +89,18 @@ fn main() {
     chain.reverse(); // oldest first
     let mut news_verified = 0;
     for block_id in chain {
-        let block = platform.store().block(&block_id).expect("canonical").clone();
+        let block = platform
+            .store()
+            .block(&block_id)
+            .expect("canonical")
+            .clone();
         client.submit_block_header(&block).expect("header verifies");
         for (i, tx) in block.transactions.iter().enumerate() {
             let proof = block.prove_tx(i).expect("in range");
             if NewsEvent::from_payload(&tx.payload).is_some() {
-                let event = client.verify_news_event(&block_id, tx, &proof).expect("verifies");
+                let event = client
+                    .verify_news_event(&block_id, tx, &proof)
+                    .expect("verifies");
                 println!(
                     "verified on-chain news event in block {}: {:?}… by {}",
                     block_id.short(),
@@ -84,7 +111,9 @@ fn main() {
             }
             if matches!(&tx.payload, Payload::AnchorRoot { namespace, .. } if namespace == "factdb")
             {
-                client.observe_anchor(&block_id, tx, &proof).expect("anchor verifies");
+                client
+                    .observe_anchor(&block_id, tx, &proof)
+                    .expect("anchor verifies");
             }
         }
     }
@@ -97,12 +126,22 @@ fn main() {
 
     // Prove the cited record against the anchored root.
     let (proof, _) = platform.factdb().prove(&record_id).expect("provable");
-    client.verify_fact(&record, &proof).expect("fact verifies against anchor");
-    println!("fact record {} verified against the on-chain anchor", record_id.short());
+    client
+        .verify_fact(&record, &proof)
+        .expect("fact verifies against anchor");
+    println!(
+        "fact record {} verified against the on-chain anchor",
+        record_id.short()
+    );
 
     // Append-only audit between the two anchors.
-    let consistency = platform.factdb().prove_consistency(old_size).expect("provable");
-    client.verify_anchor_consistency(&consistency).expect("append-only audit passes");
+    let consistency = platform
+        .factdb()
+        .prove_consistency(old_size)
+        .expect("provable");
+    client
+        .verify_anchor_consistency(&consistency)
+        .expect("append-only audit passes");
     println!(
         "append-only audit passed: anchor {} extends anchor {} ({} proof hashes)",
         client.anchor_trail().last().expect("trail").short(),

@@ -22,24 +22,42 @@ fn main() -> Result<(), PlatformError> {
     let tabloid = Keypair::from_seed(b"nw tabloid account");
     let checker_a = Keypair::from_seed(b"nw checker a");
     let checker_b = Keypair::from_seed(b"nw checker b");
-    let readers: Vec<Keypair> =
-        (0..8).map(|i| Keypair::from_seed(format!("nw reader {i}").as_bytes())).collect();
+    let readers: Vec<Keypair> = (0..8)
+        .map(|i| Keypair::from_seed(format!("nw reader {i}").as_bytes()))
+        .collect();
 
-    platform.register_identity(&publisher, "Metro Press", &[Role::Publisher]);
-    platform.register_identity(&senior, "A. Senior", &[Role::ContentCreator]);
-    platform.register_identity(&stringer, "B. Stringer", &[Role::ContentCreator]);
-    platform.register_identity(&tabloid, "C. Tabloid", &[Role::ContentCreator]);
-    platform.register_identity(&checker_a, "Check-A", &[Role::FactChecker]);
-    platform.register_identity(&checker_b, "Check-B", &[Role::FactChecker]);
+    platform
+        .register_identity(&publisher, "Metro Press", &[Role::Publisher])
+        .unwrap();
+    platform
+        .register_identity(&senior, "A. Senior", &[Role::ContentCreator])
+        .unwrap();
+    platform
+        .register_identity(&stringer, "B. Stringer", &[Role::ContentCreator])
+        .unwrap();
+    platform
+        .register_identity(&tabloid, "C. Tabloid", &[Role::ContentCreator])
+        .unwrap();
+    platform
+        .register_identity(&checker_a, "Check-A", &[Role::FactChecker])
+        .unwrap();
+    platform
+        .register_identity(&checker_b, "Check-B", &[Role::FactChecker])
+        .unwrap();
     for (i, r) in readers.iter().enumerate() {
-        platform.register_identity(r, &format!("Reader {i}"), &[Role::Consumer]);
+        platform
+            .register_identity(r, &format!("Reader {i}"), &[Role::Consumer])
+            .unwrap();
     }
     platform.produce_block()?;
 
     // --- two-layer newsroom setup -------------------------------------------
     platform.create_publisher_platform(&publisher, "Metro Press")?;
     platform.produce_block()?;
-    let pid = platform.newsrooms().find_platform("Metro Press").expect("registered");
+    let pid = platform
+        .newsrooms()
+        .find_platform("Metro Press")
+        .expect("registered");
     platform.create_news_room(&publisher, pid, "health")?;
     platform.produce_block()?;
     let room = platform.newsrooms().rooms().next().expect("room").0;
@@ -60,7 +78,7 @@ fn main() -> Result<(), PlatformError> {
             .into(),
         recorded_at: 500,
     };
-    let record_id = platform.propose_fact(record.clone());
+    let record_id = platform.propose_fact(record.clone()).unwrap();
     platform.attest_fact(&checker_a, &record_id)?;
     platform.attest_fact(&checker_b, &record_id)?;
     let summary = platform.produce_block()?;
@@ -114,15 +132,16 @@ fn main() -> Result<(), PlatformError> {
     platform.produce_block()?;
 
     // --- rankings ----------------------------------------------------------------
-    for (label, id) in [("report", report), ("relay", relay), ("distorted", distorted)] {
+    for (label, id) in [
+        ("report", report),
+        ("relay", relay),
+        ("distorted", distorted),
+    ] {
         let rank = platform.rank_item(&id)?;
         let trace = platform.trace_item(&id)?;
         println!(
             "{label:>9}: rank={:5.1}  trace={:.2}  crowd={:.2}  hops-to-fact={:?}",
-            rank.rank,
-            rank.trace,
-            rank.crowd,
-            trace.distance
+            rank.rank, rank.trace, rank.crowd, trace.distance
         );
     }
     let r_relay = platform.rank_item(&relay)?;
@@ -130,8 +149,9 @@ fn main() -> Result<(), PlatformError> {
     assert!(r_relay.rank > r_dist.rank);
 
     // --- accountability + expert suggestion ---------------------------------------
-    let (culprit, degree) =
-        platform.distortion_culprit_of(&distorted)?.expect("distortion present");
+    let (culprit, degree) = platform
+        .distortion_culprit_of(&distorted)?
+        .expect("distortion present");
     println!(
         "distortion introduced by {} (modification degree {:.2})",
         platform.identities().name(&culprit).unwrap_or("?"),
@@ -151,8 +171,10 @@ fn main() -> Result<(), PlatformError> {
     }
     assert_eq!(experts[0].author, senior.address());
 
-    println!("ledger: {} transactions over {} blocks",
+    println!(
+        "ledger: {} transactions over {} blocks",
         platform.store().canonical_transactions().len(),
-        platform.height());
+        platform.height()
+    );
     Ok(())
 }

@@ -23,18 +23,25 @@ fn main() -> Result<(), PlatformError> {
     // 2. Verify identities: a publisher and a journalist.
     let publisher = Keypair::from_seed(b"quickstart publisher");
     let journalist = Keypair::from_seed(b"quickstart journalist");
-    platform.register_identity(&publisher, "Daily Facts", &[Role::Publisher]);
-    platform.register_identity(
-        &journalist,
-        "Jane Doe",
-        &[Role::ContentCreator, Role::Consumer],
-    );
+    platform
+        .register_identity(&publisher, "Daily Facts", &[Role::Publisher])
+        .unwrap();
+    platform
+        .register_identity(
+            &journalist,
+            "Jane Doe",
+            &[Role::ContentCreator, Role::Consumer],
+        )
+        .unwrap();
     platform.produce_block()?;
 
     // 3. Two-layer governance: distribution platform, then a news room.
     platform.create_publisher_platform(&publisher, "Daily Facts")?;
     platform.produce_block()?;
-    let pid = platform.newsrooms().find_platform("Daily Facts").expect("registered");
+    let pid = platform
+        .newsrooms()
+        .find_platform("Daily Facts")
+        .expect("registered");
     platform.create_news_room(&publisher, pid, "energy")?;
     platform.produce_block()?;
     let room = platform.newsrooms().rooms().next().expect("created").0;
@@ -65,8 +72,14 @@ fn main() -> Result<(), PlatformError> {
     //    the unsourced one cannot.
     let r1 = platform.rank_item(&sourced)?;
     let r2 = platform.rank_item(&unsourced)?;
-    println!("sourced  story: rank={:.1} trace={:.2} reaches_root={}", r1.rank, r1.trace, r1.reaches_root);
-    println!("unsourced story: rank={:.1} trace={:.2} reaches_root={}", r2.rank, r2.trace, r2.reaches_root);
+    println!(
+        "sourced  story: rank={:.1} trace={:.2} reaches_root={}",
+        r1.rank, r1.trace, r1.reaches_root
+    );
+    println!(
+        "unsourced story: rank={:.1} trace={:.2} reaches_root={}",
+        r2.rank, r2.trace, r2.reaches_root
+    );
     assert!(r1.rank > r2.rank);
 
     // 6. Accountability: the chain knows who originated each item.

@@ -4,13 +4,34 @@
 fn main() {
     println!("tn-examples — runnable examples for the trusting-news platform:\n");
     for (name, what) in [
-        ("quickstart", "boot the platform, publish sourced vs unsourced news, rank and trace"),
-        ("newsroom_workflow", "full §V editorial flow: rooms, attestation, ratings, experts"),
-        ("fake_news_race", "fake-vs-factual propagation race under platform interventions"),
-        ("consensus_cluster", "PBFT vs PoA with crash and Byzantine fault injection"),
-        ("ecosystem_simulation", "multi-round Figure-2 ecosystem with all five roles"),
-        ("deepfake_audit", "media fingerprinting and deepfake tamper detection"),
-        ("light_client_audit", "verify news, facts and append-only anchors without a node"),
+        (
+            "quickstart",
+            "boot the platform, publish sourced vs unsourced news, rank and trace",
+        ),
+        (
+            "newsroom_workflow",
+            "full §V editorial flow: rooms, attestation, ratings, experts",
+        ),
+        (
+            "fake_news_race",
+            "fake-vs-factual propagation race under platform interventions",
+        ),
+        (
+            "consensus_cluster",
+            "PBFT vs PoA with crash and Byzantine fault injection",
+        ),
+        (
+            "ecosystem_simulation",
+            "multi-round Figure-2 ecosystem with all five roles",
+        ),
+        (
+            "deepfake_audit",
+            "media fingerprinting and deepfake tamper detection",
+        ),
+        (
+            "light_client_audit",
+            "verify news, facts and append-only anchors without a node",
+        ),
     ] {
         println!("  cargo run -p tn-examples --bin {name:<22} # {what}");
     }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, tests. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test -q"
+cargo test --workspace --offline -q
+
+echo "All checks passed."

@@ -18,10 +18,12 @@ use tn_supplychain::ops::{apply, PropagationOp};
 #[test]
 fn smear_campaign_defeated_by_reputation_not_majority() {
     let story: Hash256 = tn_crypto::sha256::sha256(b"well sourced story");
-    let honest: Vec<Keypair> =
-        (0..4).map(|i| Keypair::from_seed(format!("sm honest {i}").as_bytes())).collect();
-    let bloc: Vec<Keypair> =
-        (0..6).map(|i| Keypair::from_seed(format!("sm bloc {i}").as_bytes())).collect();
+    let honest: Vec<Keypair> = (0..4)
+        .map(|i| Keypair::from_seed(format!("sm honest {i}").as_bytes()))
+        .collect();
+    let bloc: Vec<Keypair> = (0..6)
+        .map(|i| Keypair::from_seed(format!("sm bloc {i}").as_bytes()))
+        .collect();
 
     // History: honest raters were right on 10 confirmed items, the bloc
     // wrong on 10 (their past smears were exposed by fact checkers).
@@ -37,16 +39,30 @@ fn smear_campaign_defeated_by_reputation_not_majority() {
 
     let mut votes = Vec::new();
     for h in &honest {
-        votes.push(Vote { voter: h.address(), item: story, factual: true });
+        votes.push(Vote {
+            voter: h.address(),
+            item: story,
+            factual: true,
+        });
     }
     for b in &bloc {
-        votes.push(Vote { voter: b.address(), item: story, factual: false });
+        votes.push(Vote {
+            voter: b.address(),
+            item: story,
+            factual: false,
+        });
     }
 
     let by_majority = &majority(&votes)[0];
     let by_reputation = &reputation_weighted(&votes, &ledger)[0];
-    assert!(!by_majority.factual, "the 6-vs-4 bloc wins a naive majority");
-    assert!(by_reputation.factual, "reputation weighting resists the bloc");
+    assert!(
+        !by_majority.factual,
+        "the 6-vs-4 bloc wins a naive majority"
+    );
+    assert!(
+        by_reputation.factual,
+        "reputation weighting resists the bloc"
+    );
 }
 
 /// A laundering chain: a fabricated story is relayed through many honest-
@@ -56,24 +72,42 @@ fn smear_campaign_defeated_by_reputation_not_majority() {
 fn laundering_chain_cannot_fake_provenance() {
     let mut platform = Platform::new(PlatformConfig::default());
     let publisher = Keypair::from_seed(b"lc publisher");
-    platform.register_identity(&publisher, "LC Press", &[Role::Publisher]);
-    let relayers: Vec<Keypair> =
-        (0..6).map(|i| Keypair::from_seed(format!("lc relay {i}").as_bytes())).collect();
+    platform
+        .register_identity(&publisher, "LC Press", &[Role::Publisher])
+        .unwrap();
+    let relayers: Vec<Keypair> = (0..6)
+        .map(|i| Keypair::from_seed(format!("lc relay {i}").as_bytes()))
+        .collect();
     let fabricator = Keypair::from_seed(b"lc fabricator");
-    platform.register_identity(&fabricator, "Fabricator", &[Role::ContentCreator]);
+    platform
+        .register_identity(&fabricator, "Fabricator", &[Role::ContentCreator])
+        .unwrap();
     for (i, r) in relayers.iter().enumerate() {
-        platform.register_identity(r, &format!("Relayer {i}"), &[Role::ContentCreator]);
+        platform
+            .register_identity(r, &format!("Relayer {i}"), &[Role::ContentCreator])
+            .unwrap();
     }
     platform.produce_block().expect("identities");
-    platform.create_publisher_platform(&publisher, "LC Press").expect("platform");
+    platform
+        .create_publisher_platform(&publisher, "LC Press")
+        .expect("platform");
     platform.produce_block().expect("block");
-    let pid = platform.newsrooms().find_platform("LC Press").expect("registered");
-    platform.create_news_room(&publisher, pid, "politics").expect("room");
+    let pid = platform
+        .newsrooms()
+        .find_platform("LC Press")
+        .expect("registered");
+    platform
+        .create_news_room(&publisher, pid, "politics")
+        .expect("room");
     platform.produce_block().expect("block");
     let room = platform.newsrooms().rooms().next().expect("room").0;
-    platform.authorize_journalist(&publisher, room, &fabricator.address()).expect("authz");
+    platform
+        .authorize_journalist(&publisher, room, &fabricator.address())
+        .expect("authz");
     for r in &relayers {
-        platform.authorize_journalist(&publisher, room, &r.address()).expect("authz");
+        platform
+            .authorize_journalist(&publisher, room, &r.address())
+            .expect("authz");
     }
     platform.produce_block().expect("block");
 
@@ -85,7 +119,13 @@ fn laundering_chain_cannot_fake_provenance() {
     platform.produce_block().expect("block");
     for r in &relayers {
         prev = platform
-            .publish_news(r, room, "politics", fabricated, vec![(prev, PropagationOp::Relay)])
+            .publish_news(
+                r,
+                room,
+                "politics",
+                fabricated,
+                vec![(prev, PropagationOp::Relay)],
+            )
             .expect("relay");
         platform.produce_block().expect("block");
     }
@@ -94,16 +134,26 @@ fn laundering_chain_cannot_fake_provenance() {
     let trace = platform.trace_item(&prev).expect("trace");
     assert!(!trace.reaches_root);
     let rank = platform.rank_item(&prev).expect("rank");
-    assert!(rank.rank < 40.0, "laundered fabrication still ranks low: {}", rank.rank);
+    assert!(
+        rank.rank < 40.0,
+        "laundered fabrication still ranks low: {}",
+        rank.rank
+    );
     // …and the origin is the fabricator, not the last relayer.
-    assert_eq!(platform.origin_of(&prev).expect("query"), Some(fabricator.address()));
+    assert_eq!(
+        platform.origin_of(&prev).expect("query"),
+        Some(fabricator.address())
+    );
 }
 
 /// The AI detector generalizes across corpus seeds: train on one synthetic
 /// world, evaluate on perturbations generated with a different seed.
 #[test]
 fn detector_generalizes_across_seeds() {
-    let train = generate_news_corpus(&NewsCorpusConfig { seed: 1, ..NewsCorpusConfig::default() });
+    let train = generate_news_corpus(&NewsCorpusConfig {
+        seed: 1,
+        ..NewsCorpusConfig::default()
+    });
     let test = generate_news_corpus(&NewsCorpusConfig {
         seed: 999,
         n_factual: 150,
@@ -114,8 +164,10 @@ fn detector_generalizes_across_seeds() {
         &train,
         tn_aidetect::ensemble::EnsembleWeights::default(),
     );
-    let preds: Vec<(bool, f64)> =
-        test.iter().map(|d| (d.fake, det.prob_fake(&d.text))).collect();
+    let preds: Vec<(bool, f64)> = test
+        .iter()
+        .map(|d| (d.fake, det.prob_fake(&d.text)))
+        .collect();
     let m = tn_aidetect::metrics::evaluate(&preds, 0.5);
     assert!(m.accuracy > 0.8, "cross-seed accuracy {}", m.accuracy);
     assert!(m.auc > 0.85, "cross-seed auc {}", m.auc);
@@ -141,10 +193,21 @@ fn trace_score_never_recovers_after_distortion() {
     let mut prev_text = fact.to_string();
     let mut prev_score = 1.0f64;
     for step in 0..8 {
-        let op = if step % 3 == 2 { PropagationOp::Insert } else { PropagationOp::Relay };
+        let op = if step % 3 == 2 {
+            PropagationOp::Insert
+        } else {
+            PropagationOp::Relay
+        };
         let text = apply(op, &[&prev_text], step % 2 == 0, &mut rng);
         let id = g
-            .insert(author, &text, "energy", 1, vec![(prev_id, op)], 10 + step as u64)
+            .insert(
+                author,
+                &text,
+                "energy",
+                1,
+                vec![(prev_id, op)],
+                10 + step as u64,
+            )
             .unwrap();
         let score = g.trace_back(&id).unwrap().score;
         assert!(

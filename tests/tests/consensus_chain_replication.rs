@@ -19,7 +19,10 @@ fn make_txs(n: usize) -> Vec<Transaction> {
                 &alice,
                 i as u64,
                 1,
-                Payload::Transfer { to: bob.address(), amount: 10 + i as u64 },
+                Payload::Transfer {
+                    to: bob.address(),
+                    amount: 10 + i as u64,
+                },
             )
         })
         .collect()
@@ -32,8 +35,9 @@ fn genesis_state() -> State {
 #[test]
 fn replicas_converge_to_identical_chains() {
     const N: usize = 4;
-    let nodes: Vec<PbftReplica> =
-        (0..N).map(|id| PbftReplica::new(id, N, PbftConfig::default(), ByzMode::Honest)).collect();
+    let nodes: Vec<PbftReplica> = (0..N)
+        .map(|id| PbftReplica::new(id, N, PbftConfig::default(), ByzMode::Honest))
+        .collect();
     let mut sim = Simulator::new(nodes, NetworkConfig::default());
 
     // Inject real transactions as consensus requests.
@@ -63,20 +67,29 @@ fn replicas_converge_to_identical_chains() {
         heights.push(store.height());
         // All 30 transfers executed.
         assert_eq!(
-            store.head_state().nonce(&Keypair::from_seed(b"rep alice").address()),
+            store
+                .head_state()
+                .nonce(&Keypair::from_seed(b"rep alice").address()),
             30,
             "replica {id}"
         );
     }
-    assert!(roots.windows(2).all(|w| w[0] == w[1]), "state roots diverged: {roots:?}");
-    assert!(heights.windows(2).all(|w| w[0] == w[1]), "heights diverged: {heights:?}");
+    assert!(
+        roots.windows(2).all(|w| w[0] == w[1]),
+        "state roots diverged: {roots:?}"
+    );
+    assert!(
+        heights.windows(2).all(|w| w[0] == w[1]),
+        "heights diverged: {heights:?}"
+    );
 }
 
 #[test]
 fn replication_survives_crashed_backup() {
     const N: usize = 4;
-    let nodes: Vec<PbftReplica> =
-        (0..N).map(|id| PbftReplica::new(id, N, PbftConfig::default(), ByzMode::Honest)).collect();
+    let nodes: Vec<PbftReplica> = (0..N)
+        .map(|id| PbftReplica::new(id, N, PbftConfig::default(), ByzMode::Honest))
+        .collect();
     let mut sim = Simulator::new(nodes, NetworkConfig::default());
     sim.crash(3);
 
@@ -101,7 +114,9 @@ fn replication_survives_crashed_backup() {
             store.import(block, &mut NoExecutor).expect("imports");
         }
         assert_eq!(
-            store.head_state().nonce(&Keypair::from_seed(b"rep alice").address()),
+            store
+                .head_state()
+                .nonce(&Keypair::from_seed(b"rep alice").address()),
             10,
             "replica {id}"
         );

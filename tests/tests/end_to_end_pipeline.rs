@@ -24,34 +24,63 @@ fn build_world() -> World {
     let publisher = Keypair::from_seed(b"it publisher");
     let journalist = Keypair::from_seed(b"it journalist");
     let rogue = Keypair::from_seed(b"it rogue");
-    let checkers: Vec<Keypair> =
-        (0..2).map(|i| Keypair::from_seed(format!("it checker {i}").as_bytes())).collect();
-    let readers: Vec<Keypair> =
-        (0..6).map(|i| Keypair::from_seed(format!("it reader {i}").as_bytes())).collect();
+    let checkers: Vec<Keypair> = (0..2)
+        .map(|i| Keypair::from_seed(format!("it checker {i}").as_bytes()))
+        .collect();
+    let readers: Vec<Keypair> = (0..6)
+        .map(|i| Keypair::from_seed(format!("it reader {i}").as_bytes()))
+        .collect();
 
-    platform.register_identity(&publisher, "IT Press", &[Role::Publisher]);
-    platform.register_identity(&journalist, "IT Journalist", &[Role::ContentCreator]);
-    platform.register_identity(&rogue, "IT Rogue", &[Role::ContentCreator]);
+    platform
+        .register_identity(&publisher, "IT Press", &[Role::Publisher])
+        .unwrap();
+    platform
+        .register_identity(&journalist, "IT Journalist", &[Role::ContentCreator])
+        .unwrap();
+    platform
+        .register_identity(&rogue, "IT Rogue", &[Role::ContentCreator])
+        .unwrap();
     for c in &checkers {
-        platform.register_identity(c, "IT Checker", &[Role::FactChecker]);
+        platform
+            .register_identity(c, "IT Checker", &[Role::FactChecker])
+            .unwrap();
     }
     for r in &readers {
-        platform.register_identity(r, "IT Reader", &[Role::Consumer]);
+        platform
+            .register_identity(r, "IT Reader", &[Role::Consumer])
+            .unwrap();
     }
     platform.produce_block().expect("identities");
 
-    platform.create_publisher_platform(&publisher, "IT Press").expect("platform");
+    platform
+        .create_publisher_platform(&publisher, "IT Press")
+        .expect("platform");
     platform.produce_block().expect("platform block");
-    let pid = platform.newsrooms().find_platform("IT Press").expect("registered");
-    platform.create_news_room(&publisher, pid, "energy").expect("room");
+    let pid = platform
+        .newsrooms()
+        .find_platform("IT Press")
+        .expect("registered");
+    platform
+        .create_news_room(&publisher, pid, "energy")
+        .expect("room");
     platform.produce_block().expect("room block");
     let room = platform.newsrooms().rooms().next().expect("room").0;
     for j in [&journalist, &rogue] {
-        platform.authorize_journalist(&publisher, room, &j.address()).expect("authz");
+        platform
+            .authorize_journalist(&publisher, room, &j.address())
+            .expect("authz");
     }
     platform.produce_block().expect("authz block");
 
-    World { platform, publisher, journalist, rogue, checkers, readers, room }
+    World {
+        platform,
+        publisher,
+        journalist,
+        rogue,
+        checkers,
+        readers,
+        room,
+    }
 }
 
 #[test]
@@ -68,8 +97,13 @@ fn pipeline_publish_rate_rank_anchor_prove() {
     // Journalist cites a factual record; rogue distorts the same record.
     let fact = p.factdb().iter().next().expect("seeded").clone();
     let sourced = p
-        .publish_news(&w.journalist, w.room, &fact.topic, &fact.content,
-                      vec![(fact.id(), PropagationOp::Cite)])
+        .publish_news(
+            &w.journalist,
+            w.room,
+            &fact.topic,
+            &fact.content,
+            vec![(fact.id(), PropagationOp::Cite)],
+        )
         .expect("publish sourced");
     let distorted_text = format!(
         "{} Insiders warn this is a shocking corrupt cover-up. \
@@ -77,8 +111,13 @@ fn pipeline_publish_rate_rank_anchor_prove() {
         fact.content
     );
     let distorted = p
-        .publish_news(&w.rogue, w.room, &fact.topic, &distorted_text,
-                      vec![(fact.id(), PropagationOp::Insert)])
+        .publish_news(
+            &w.rogue,
+            w.room,
+            &fact.topic,
+            &distorted_text,
+            vec![(fact.id(), PropagationOp::Insert)],
+        )
         .expect("publish distorted");
     p.produce_block().expect("publish block");
 
@@ -95,10 +134,18 @@ fn pipeline_publish_rate_rank_anchor_prove() {
     assert!(rs.trace > rd.trace, "provenance separates");
     assert!(rs.ai > rd.ai, "AI separates");
     assert!(rs.crowd > rd.crowd, "crowd separates");
-    assert!(rs.rank > rd.rank + 30.0, "combined rank separates strongly: {} vs {}", rs.rank, rd.rank);
+    assert!(
+        rs.rank > rd.rank + 30.0,
+        "combined rank separates strongly: {} vs {}",
+        rs.rank,
+        rd.rank
+    );
 
     // Accountability: the rogue is identified as the distortion culprit.
-    let culprit = p.distortion_culprit_of(&distorted).expect("query").expect("found");
+    let culprit = p
+        .distortion_culprit_of(&distorted)
+        .expect("query")
+        .expect("found");
     assert_eq!(culprit.0, w.rogue.address());
 
     // The factual DB root is anchored on-chain and records are provable
@@ -122,7 +169,7 @@ fn attested_fact_becomes_citable_root() {
         content: "The grid operator published verified outage statistics for June.".into(),
         recorded_at: 900,
     };
-    let id = p.propose_fact(record.clone());
+    let id = p.propose_fact(record.clone()).unwrap();
     for c in &w.checkers {
         p.attest_fact(c, &id).expect("attest");
     }
@@ -132,8 +179,13 @@ fn attested_fact_becomes_citable_root() {
 
     // The freshly admitted record is now citable and yields a perfect trace.
     let item = p
-        .publish_news(&w.journalist, w.room, "energy", &record.content,
-                      vec![(id, PropagationOp::Cite)])
+        .publish_news(
+            &w.journalist,
+            w.room,
+            "energy",
+            &record.content,
+            vec![(id, PropagationOp::Cite)],
+        )
         .expect("cite new fact");
     p.produce_block().expect("cite block");
     let rank = p.rank_item(&item).expect("rank");
@@ -153,8 +205,13 @@ fn ledger_is_the_complete_audit_trail() {
     let p = &mut w.platform;
     let fact = p.factdb().iter().next().expect("seeded").clone();
     let item = p
-        .publish_news(&w.journalist, w.room, &fact.topic, &fact.content,
-                      vec![(fact.id(), PropagationOp::Cite)])
+        .publish_news(
+            &w.journalist,
+            w.room,
+            &fact.topic,
+            &fact.content,
+            vec![(fact.id(), PropagationOp::Cite)],
+        )
         .expect("publish");
     p.produce_block().expect("block");
 
@@ -185,15 +242,25 @@ fn publisher_cannot_bypass_roles() {
     let err = p
         .publish_news(&w.publisher, w.room, "energy", "editorial", vec![])
         .expect_err("publisher lacks creator role");
-    assert!(matches!(err, tn_core::platform::PlatformError::NotAuthorized(_)));
+    assert!(matches!(
+        err,
+        tn_core::platform::PlatformError::NotAuthorized(_)
+    ));
     // A reader cannot attest facts.
-    let id = p.propose_fact(FactRecord {
-        source: SourceKind::VerifiedNews,
-        speaker: "X".into(),
-        topic: "t".into(),
-        content: "Y".into(),
-        recorded_at: 1,
-    });
-    let err = p.attest_fact(&w.readers[0], &id).expect_err("reader cannot attest");
-    assert!(matches!(err, tn_core::platform::PlatformError::NotAuthorized(_)));
+    let id = p
+        .propose_fact(FactRecord {
+            source: SourceKind::VerifiedNews,
+            speaker: "X".into(),
+            topic: "t".into(),
+            content: "Y".into(),
+            recorded_at: 1,
+        })
+        .unwrap();
+    let err = p
+        .attest_fact(&w.readers[0], &id)
+        .expect_err("reader cannot attest");
+    assert!(matches!(
+        err,
+        tn_core::platform::PlatformError::NotAuthorized(_)
+    ));
 }

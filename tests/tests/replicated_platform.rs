@@ -11,8 +11,7 @@ use tn_consensus::pbft::{ByzMode, PbftConfig, PbftMsg, PbftReplica, Request};
 use tn_consensus::sim::{NetworkConfig, Simulator};
 use tn_contracts::asm::assemble;
 use tn_contracts::builtin::{
-    admission_attest, admission_register_checker, ranking_submit, FactDbAdmission,
-    RankingContract,
+    admission_attest, admission_register_checker, ranking_submit, FactDbAdmission, RankingContract,
 };
 use tn_contracts::executor::{contract_address, ContractRegistry};
 use tn_crypto::{Hash256, Keypair};
@@ -49,8 +48,15 @@ fn make_replica(fact_root: Hash256) -> Replica {
     registry.install_builtin(Box::new(RankingContract::new(governor().address())));
     registry.install_builtin(Box::new(FactDbAdmission::new(governor().address(), 1)));
     let mut graph = SupplyChainGraph::new();
-    graph.add_fact_root(fact_root, FACT, "energy", 0).expect("unique");
-    Replica { store, registry, graph, stats: IndexStats::default() }
+    graph
+        .add_fact_root(fact_root, FACT, "energy", 0)
+        .expect("unique");
+    Replica {
+        store,
+        registry,
+        graph,
+        stats: IndexStats::default(),
+    }
 }
 
 /// Builds the workload: a realistic mix of platform transactions.
@@ -79,10 +85,9 @@ fn build_workload(fact_root: Hash256) -> Vec<Transaction> {
         },
     ));
     gn += 1;
-    let counter_code = assemble(
-        "push 0\npush 0\nsload\npush 1\nadd\nsstore\npush 0\nsload\npush 1\nret",
-    )
-    .expect("assembles");
+    let counter_code =
+        assemble("push 0\npush 0\nsload\npush 1\nadd\nsstore\npush 0\nsload\npush 1\nret")
+            .expect("assembles");
     txs.push(Transaction::signed(
         &gov,
         gn,
@@ -107,8 +112,7 @@ fn build_workload(fact_root: Hash256) -> Vec<Transaction> {
             Some(p) => vec![(p, PropagationOp::Insert.tag())],
         };
         let published_at = 100 + i;
-        let item_id =
-            tn_supplychain::graph::item_id(&journalist.address(), &content, published_at);
+        let item_id = tn_supplychain::graph::item_id(&journalist.address(), &content, published_at);
         let event = NewsEvent {
             headline: String::new(),
             content,
@@ -117,7 +121,12 @@ fn build_workload(fact_root: Hash256) -> Vec<Transaction> {
             parents,
             published_at,
         };
-        txs.push(Transaction::signed(&journalist, jn, 1, event.into_payload()));
+        txs.push(Transaction::signed(
+            &journalist,
+            jn,
+            1,
+            event.into_payload(),
+        ));
         jn += 1;
 
         txs.push(Transaction::signed(
@@ -135,7 +144,11 @@ fn build_workload(fact_root: Hash256) -> Vec<Transaction> {
             &rater,
             rn,
             1,
-            Payload::ContractCall { contract: vm_contract, input: vec![], gas_limit: 10_000 },
+            Payload::ContractCall {
+                contract: vm_contract,
+                input: vec![],
+                gas_limit: 10_000,
+            },
         ));
         rn += 1;
         txs.push(Transaction::signed(
@@ -156,7 +169,10 @@ fn build_workload(fact_root: Hash256) -> Vec<Transaction> {
         &gov,
         gn,
         1,
-        Payload::AnchorRoot { namespace: "factdb".into(), root: fact_root },
+        Payload::AnchorRoot {
+            namespace: "factdb".into(),
+            root: fact_root,
+        },
     ));
     txs
 }
@@ -169,8 +185,9 @@ fn all_layers_agree_across_pbft_replicas() {
 
     // Order through PBFT.
     const N: usize = 4;
-    let nodes: Vec<PbftReplica> =
-        (0..N).map(|id| PbftReplica::new(id, N, PbftConfig::default(), ByzMode::Honest)).collect();
+    let nodes: Vec<PbftReplica> = (0..N)
+        .map(|id| PbftReplica::new(id, N, PbftConfig::default(), ByzMode::Honest))
+        .collect();
     let mut sim = Simulator::new(nodes, NetworkConfig::default());
     for (i, tx) in txs.iter().enumerate() {
         let req = Request::new(tx.to_bytes(), 10 + i as u64 * 3);
@@ -195,12 +212,9 @@ fn all_layers_agree_across_pbft_replicas() {
             // Block timestamps must be a deterministic function of the
             // agreed sequence (NOT local commit time, which differs per
             // replica) or block ids would diverge.
-            let block = replica.store.propose(
-                &validator,
-                entry.seq,
-                batch,
-                &mut NoExecutor,
-            );
+            let block = replica
+                .store
+                .propose(&validator, entry.seq, batch, &mut NoExecutor);
             let block_txs = block.transactions.clone();
             replica
                 .store
@@ -219,7 +233,11 @@ fn all_layers_agree_across_pbft_replicas() {
     assert!(reference.stats.indexed >= 6, "news events indexed");
     for (id, r) in snapshots.iter().enumerate().skip(1) {
         // Chain layer.
-        assert_eq!(r.store.head_id(), reference.store.head_id(), "replica {id} head");
+        assert_eq!(
+            r.store.head_id(),
+            reference.store.head_id(),
+            "replica {id} head"
+        );
         assert_eq!(
             r.store.head_state().root(),
             reference.store.head_state().root(),
@@ -232,7 +250,11 @@ fn all_layers_agree_across_pbft_replicas() {
             "replica {id} contract storage"
         );
         // Supply-chain index.
-        assert_eq!(r.graph.len(), reference.graph.len(), "replica {id} graph size");
+        assert_eq!(
+            r.graph.len(),
+            reference.graph.len(),
+            "replica {id} graph size"
+        );
         for item in reference.graph.iter() {
             let other = r.graph.get(&item.id).expect("item replicated");
             assert_eq!(other.parents, item.parents, "replica {id} edges");
@@ -243,7 +265,10 @@ fn all_layers_agree_across_pbft_replicas() {
         assert_eq!(t_ref.len(), t_other.len());
         for ((ia, ta), (ib, tb)) in t_ref.iter().zip(&t_other) {
             assert_eq!(ia, ib);
-            assert!((ta.score - tb.score).abs() < 1e-12, "replica {id} trace score");
+            assert!(
+                (ta.score - tb.score).abs() < 1e-12,
+                "replica {id} trace score"
+            );
         }
     }
 
@@ -266,6 +291,9 @@ fn all_layers_agree_across_pbft_replicas() {
                 .ranking(&last_item)
         })
         .collect();
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "crowd rankings agree: {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "crowd rankings agree: {counts:?}"
+    );
     assert_eq!(counts[0].0, 1, "one rating per item");
 }

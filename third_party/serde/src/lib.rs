@@ -1,0 +1,268 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! just the serialization surface the workspace uses: the `Serialize` /
+//! `Serializer` traits (with struct / tuple-struct / seq compounds), a
+//! matching derive macro re-exported from `serde_derive`, and a minimal
+//! `Deserialize` side sufficient for trait bounds and manual impls to
+//! typecheck. Nothing in the workspace deserializes at runtime; the
+//! stub `Deserialize` derive returns an error if ever invoked.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A data format that can receive serialized values.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type for this format.
+    type Error: ser::Error;
+    /// Compound serializer for sequences.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for named-field structs.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for tuple structs.
+    type SerializeTupleStruct: ser::SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a missing optional value.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a present optional value.
+    fn serialize_some<T>(self, value: &T) -> Result<Self::Ok, Self::Error>
+    where
+        T: Serialize + ?Sized;
+    /// Begins serializing a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins serializing a named-field struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins serializing a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+}
+
+/// Serialization-side helper traits.
+pub mod ser {
+    use super::Serialize;
+    use std::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Compound serializer for sequences.
+    pub trait SerializeSeq {
+        /// Value produced on success.
+        type Ok;
+        /// Error type for this format.
+        type Error;
+        /// Serializes one element.
+        fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for named-field structs.
+    pub trait SerializeStruct {
+        /// Value produced on success.
+        type Ok;
+        /// Error type for this format.
+        type Error;
+        /// Serializes one named field.
+        fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for tuple structs.
+    pub trait SerializeTupleStruct {
+        /// Value produced on success.
+        type Ok;
+        /// Error type for this format.
+        type Error;
+        /// Serializes one positional field.
+        fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the tuple struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization-side helper traits (bounds only; see crate docs).
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can produce deserialized values.
+///
+/// The stub carries no actual decoding methods — it exists so manual and
+/// derived `Deserialize` impls typecheck.
+pub trait Deserializer<'de>: Sized {
+    /// Error type for this format.
+    type Error: de::Error;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from `deserializer`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+macro_rules! impl_serialize_int {
+    (signed: $($s:ty),*; unsigned: $($u:ty),*) => {
+        $(impl Serialize for $s {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        })*
+        $(impl Serialize for $u {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        })*
+    };
+}
+impl_serialize_int!(signed: i8, i16, i32, i64, isize; unsigned: u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut buf = [0u8; 4];
+        serializer.serialize_str(self.encode_utf8(&mut buf))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_slice<T: Serialize, S: Serializer>(
+    items: &[T],
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    use ser::SerializeSeq as _;
+    let mut seq = serializer.serialize_seq(Some(items.len()))?;
+    for item in items {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+/// `Vec<u8>` decoding is declared (manual `PublicKey` impls bound on it)
+/// but never reachable at runtime in this workspace.
+impl<'de, T> Deserialize<'de> for Vec<T> {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let _ = deserializer;
+        Err(de::Error::custom(
+            "deserialization is not supported by the vendored serde stub",
+        ))
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline vendored `serde` derive macros.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! struct shapes this workspace actually uses — named-field structs, tuple
+//! structs, and simple type generics like `Report<R: Serialize>` — by
+//! walking the token stream directly (no `syn`/`quote`, which are not
+//! available offline). The `Deserialize` derive emits an impl that
+//! errors at runtime; nothing in the workspace deserializes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// The parsed shape of a struct definition.
+struct StructDef {
+    name: String,
+    /// Raw generics between `<` and `>`, e.g. `R : Serialize`.
+    generics: String,
+    /// Bare generic parameter names, e.g. `R`.
+    params: Vec<String>,
+    fields: Fields,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `Serialize` for plain structs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let header = impl_header(&def, "::serde::Serialize");
+    let mut body = String::new();
+    match &def.fields {
+        Fields::Named(names) => {
+            let _ = write!(
+                body,
+                "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{}\", {})?;",
+                def.name,
+                names.len()
+            );
+            for name in names {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{name}\", &self.{name})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__state)");
+        }
+        Fields::Tuple(n) => {
+            let _ = write!(
+                body,
+                "let mut __state = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{}\", {})?;",
+                def.name, n
+            );
+            for i in 0..*n {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+        }
+    }
+    let out = format!(
+        "{header} {{\n\
+         fn serialize<__S>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error>\n\
+         where __S: ::serde::Serializer {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives a stub `Deserialize` that always errors (never called at
+/// runtime in this workspace).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let name = &def.name;
+    let (generics, args) = if def.params.is_empty() {
+        (String::from("'de"), String::new())
+    } else {
+        (
+            format!("'de, {}", def.generics),
+            format!("<{}>", def.params.join(", ")),
+        )
+    };
+    let out = format!(
+        "impl<{generics}> ::serde::Deserialize<'de> for {name}{args} {{\n\
+         fn deserialize<__D>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error>\n\
+         where __D: ::serde::Deserializer<'de> {{\n\
+         let _ = __deserializer;\n\
+         ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\n\
+         \"deserialization is not supported by the vendored serde stub\"))\n\
+         }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+fn impl_header(def: &StructDef, trait_path: &str) -> String {
+    if def.params.is_empty() {
+        format!("impl {trait_path} for {}", def.name)
+    } else {
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            def.generics,
+            def.name,
+            def.params.join(", ")
+        )
+    }
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including expanded doc comments) and
+    // visibility, then expect `struct <Name>`.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                tokens.next();
+                break;
+            }
+            Some(other) => {
+                panic!("serde_derive stub only supports structs (unexpected token `{other}`)")
+            }
+            None => panic!("serde_derive stub: empty input"),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct name, got {other:?}"),
+    };
+
+    // Optional generics.
+    let mut generics = String::new();
+    let mut params = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => expect_param = true,
+                    _ => {}
+                }
+            }
+            if expect_param {
+                if let TokenTree::Ident(id) = &tt {
+                    params.push(id.to_string());
+                    expect_param = false;
+                }
+            }
+            if !generics.is_empty() {
+                generics.push(' ');
+            }
+            generics.push_str(&tt.to_string());
+        }
+    }
+
+    // Struct body: braces (named), parens (tuple), or unit.
+    let fields = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_field_names(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Tuple(0),
+        other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+    };
+
+    StructDef {
+        name,
+        generics,
+        params,
+        fields,
+    }
+}
+
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:`, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma. Parens/brackets
+        // arrive as single groups, so only `<`/`>` need depth tracking.
+        let mut depth = 0usize;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        if tokens.peek().is_none() {
+            break;
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in stream {
+        any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline vendored subset of `serde_json`: `to_string` and
+//! `to_string_pretty` over the vendored `serde` stub. Output matches
+//! `serde_json`'s formatting conventions (compact `"k":v`, pretty with
+//! two-space indentation) closely enough for the experiment reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::ser::{SerializeSeq, SerializeStruct, SerializeTupleStruct};
+use serde::{Serialize, Serializer};
+
+/// Serialization error (message-only).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T>(value: &T) -> Result<String, Error>
+where
+    T: Serialize + ?Sized,
+{
+    let mut out = String::new();
+    value.serialize(JsonSerializer {
+        out: &mut out,
+        pretty: false,
+        indent: 0,
+    })?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T>(value: &T) -> Result<String, Error>
+where
+    T: Serialize + ?Sized,
+{
+    let mut out = String::new();
+    value.serialize(JsonSerializer {
+        out: &mut out,
+        pretty: true,
+        indent: 0,
+    })?;
+    Ok(out)
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+}
+
+impl JsonSerializer<'_> {
+    fn newline(&mut self, indent: usize) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shared compound state for seq / struct / tuple-struct bodies.
+struct Compound<'a> {
+    ser: JsonSerializer<'a>,
+    first: bool,
+    close: char,
+}
+
+impl Compound<'_> {
+    fn element_prefix(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+        let indent = self.ser.indent + 1;
+        self.ser.newline(indent);
+    }
+
+    fn finish(mut self) -> Result<(), Error> {
+        if !self.first {
+            let indent = self.ser.indent;
+            self.ser.newline(indent);
+        }
+        self.ser.out.push(self.close);
+        Ok(())
+    }
+
+    fn nested(&mut self) -> JsonSerializer<'_> {
+        JsonSerializer {
+            out: &mut *self.ser.out,
+            pretty: self.ser.pretty,
+            indent: self.ser.indent + 1,
+        }
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            self.out.push_str(&format_float(v));
+        } else {
+            // serde_json rejects non-finite floats; emit null like its
+            // lossy writers do rather than failing a whole report.
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T>(self, value: &T) -> Result<(), Error>
+    where
+        T: Serialize + ?Sized,
+    {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: ']',
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: '}',
+        })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: ']',
+        })
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Error>
+    where
+        T: Serialize + ?Sized,
+    {
+        self.element_prefix();
+        value.serialize(self.nested())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Error>
+    where
+        T: Serialize + ?Sized,
+    {
+        self.element_prefix();
+        escape_into(self.ser.out, key);
+        self.ser.out.push(':');
+        if self.ser.pretty {
+            self.ser.out.push(' ');
+        }
+        value.serialize(self.nested())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Error>
+    where
+        T: Serialize + ?Sized,
+    {
+        self.element_prefix();
+        value.serialize(self.nested())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+fn format_float(v: f64) -> String {
+    let s = v.to_string();
+    // serde_json always writes floats with a decimal point or exponent.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        name: &'static str,
+        count: u64,
+        ratio: f64,
+        ok: bool,
+    }
+
+    #[test]
+    fn compact_matches_serde_json_shape() {
+        let row = Row {
+            name: "a\"b",
+            count: 3,
+            ratio: 0.5,
+            ok: true,
+        };
+        let json = to_string(&row).unwrap();
+        assert_eq!(
+            json,
+            "{\"name\":\"a\\\"b\",\"count\":3,\"ratio\":0.5,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn pretty_indents_nested_rows() {
+        let rows = vec![Row {
+            name: "x",
+            count: 1,
+            ratio: 2.0,
+            ok: false,
+        }];
+        let json = to_string_pretty(&rows).unwrap();
+        assert!(json.starts_with("[\n  {\n    \"name\": \"x\""), "{json}");
+        assert!(json.ends_with("\n  }\n]"), "{json}");
+        assert!(json.contains("\"ratio\": 2.0"), "{json}");
+    }
+
+    #[test]
+    fn vectors_and_options() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(7u32)).unwrap(), "7");
+        assert_eq!(to_string("plain").unwrap(), "\"plain\"");
+    }
+}
