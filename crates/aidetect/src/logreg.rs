@@ -1,6 +1,6 @@
 //! L2-regularized logistic regression trained with SGD on sparse TF-IDF
 //! features — the linear stand-in for the paper's cited neural detectors
-//! (TI-CNN [11]); see DESIGN.md for the substitution argument.
+//! (TI-CNN \[11\]); see DESIGN.md for the substitution argument.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

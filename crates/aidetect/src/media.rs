@@ -1,6 +1,6 @@
 //! Fake-multimedia (deepfake) detection on synthetic media.
 //!
-//! The paper's component 2 is "fake multimedia detection … us[ing] AI
+//! The paper's component 2 is "fake multimedia detection … us\[ing\] AI
 //! algorithms to detect the tampering of multimedia materials" (§IV),
 //! motivated by Face2Face/FakeApp-style reenactment. Real video forensics
 //! needs real footage; the platform, however, only consumes a *tamper

@@ -1,4 +1,4 @@
-//! Headline/body stance detection, after the Fake News Challenge [33].
+//! Headline/body stance detection, after the Fake News Challenge \[33\].
 //!
 //! "Fake News Challenge starts with a stance detection process that
 //! examines the perspective of news articles and compares them with other

@@ -2,8 +2,9 @@
 //! request load on the discrete-event simulator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tn_consensus::harness::{run_pbft, run_poa, Workload};
+use tn_consensus::harness::{order_payloads_pbft_instrumented, run_pbft, run_poa, Workload};
 use tn_consensus::sim::NetworkConfig;
+use tn_telemetry::{Registry, TelemetrySink};
 
 fn bench_pbft(c: &mut Criterion) {
     let workload = Workload {
@@ -43,9 +44,55 @@ fn bench_poa(c: &mut Criterion) {
     group.finish();
 }
 
+/// Same PBFT ordering run with telemetry disabled (the library default:
+/// every sink is a no-op) and with per-replica registries enabled, so the
+/// two curves can be compared directly. The disabled variant must match
+/// the uninstrumented baseline above — a sink check is one `Option` test.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let payloads: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i; 64]).collect();
+    let n = 4usize;
+    let mut group = c.benchmark_group("pbft_order_50_telemetry");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let views = order_payloads_pbft_instrumented(
+                n,
+                &payloads,
+                5,
+                NetworkConfig::default(),
+                2_000_000,
+                &[],
+            );
+            let committed: usize = views[0].iter().map(Vec::len).sum();
+            assert_eq!(committed, 50);
+        })
+    });
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let registries: Vec<Registry> = (0..n).map(|_| Registry::new()).collect();
+            let sinks: Vec<TelemetrySink> = registries.iter().map(Registry::sink).collect();
+            let views = order_payloads_pbft_instrumented(
+                n,
+                &payloads,
+                5,
+                NetworkConfig::default(),
+                2_000_000,
+                &sinks,
+            );
+            let committed: usize = views[0].iter().map(Vec::len).sum();
+            assert_eq!(committed, 50);
+            assert_eq!(
+                registries[0].snapshot().counter("pbft.requests_committed"),
+                Some(50)
+            );
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pbft, bench_poa
+    targets = bench_pbft, bench_poa, bench_telemetry_overhead
 }
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! Paper anchor: §VI's contrast between "pre-configured limited number of
 //! processing steps … pre-fixed network architecture" and the news chain's
 //! "much complicated and dynamic network architecture with large scale
-//! network graph [where] consumers are involved into the process nodes".
+//! network graph \[where\] consumers are involved into the process nodes".
 //!
 //! Run: `cargo run -p tn-bench --release --bin exp1_supplychain_scale`
 

@@ -1,6 +1,6 @@
 //! E4 — Fake-text detection under the conditions the paper highlights:
 //! (a) a learning curve over training-set size — reproducing the cited
-//! challenge that "the training materials are still insufficient" [28];
+//! challenge that "the training materials are still insufficient" \[28\];
 //! (b) a subtlety sweep — overt emotional fakes vs mild insinuation,
 //! where content-only detection degrades.
 //!
@@ -8,7 +8,7 @@
 //! different random world than the training corpus.
 //!
 //! Paper anchor: Figure 1's "fake text detection" component; §II's cited
-//! detectors (TI-CNN [11], WVU [29], stance [33]); §I's 72.3 %
+//! detectors (TI-CNN \[11\], WVU \[29\], stance \[33\]); §I's 72.3 %
 //! modified-factual statistic.
 //!
 //! Run: `cargo run -p tn-bench --release --bin exp4_text_detection`

@@ -17,12 +17,13 @@ use std::time::Instant;
 use serde::Serialize;
 use tn_bench::{banner, Report};
 use tn_chain::state::TxExecutor;
-use tn_consensus::harness::{run_pbft, run_poa, Workload};
+use tn_consensus::harness::{order_payloads_pbft_instrumented, run_pbft, run_poa, Workload};
 use tn_consensus::sim::NetworkConfig;
 use tn_contracts::asm::assemble;
 use tn_contracts::executor::ContractRegistry;
 use tn_contracts::parallel::{execute_parallel, CallTask};
 use tn_crypto::Keypair;
+use tn_telemetry::Registry;
 
 #[derive(Debug, Serialize)]
 struct ConsensusRow {
@@ -111,6 +112,29 @@ fn main() {
         );
     }
     Report::new("E6", "consensus scaling", rows).write_json();
+
+    // Telemetry snapshot at exit: re-run the 4-replica PBFT config with a
+    // registry attached to replica 0 and print the phase-level view the
+    // RunStats table cannot show (per-phase histograms, quorum counters).
+    let registry = Registry::new();
+    let sinks = vec![registry.sink()];
+    let payloads: Vec<Vec<u8>> = (0..workload.n_requests as u32)
+        .map(|i| {
+            let mut p = i.to_le_bytes().to_vec();
+            p.resize(workload.payload_size, b'x');
+            p
+        })
+        .collect();
+    order_payloads_pbft_instrumented(
+        4,
+        &payloads,
+        workload.interarrival,
+        NetworkConfig::default(),
+        5_000_000,
+        &sinks,
+    );
+    println!("\nreplica 0 telemetry (pbft, n=4):");
+    print!("{}", registry.snapshot().render_table());
 
     // ---- Part B: parallel contract execution -----------------------------
     let cores = std::thread::available_parallelism()

@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use tn_crypto::{Address, Hash256};
+use tn_telemetry::TelemetrySink;
 
 use crate::error::ChainError;
 use crate::state::State;
@@ -23,6 +24,7 @@ pub struct Mempool {
     seen: HashSet<Hash256>,
     capacity: usize,
     len: usize,
+    telemetry: TelemetrySink,
 }
 
 impl Mempool {
@@ -33,7 +35,14 @@ impl Mempool {
             seen: HashSet::new(),
             capacity,
             len: 0,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Routes admission metrics (`mempool.admitted` / `mempool.rejected`)
+    /// to `sink`. The default sink is disabled and records nothing.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Number of pending transactions.
@@ -56,6 +65,18 @@ impl Mempool {
     /// - [`ChainError::BadNonce`] if the nonce is already below the
     ///   account's committed nonce in `state`.
     pub fn insert(&mut self, tx: Transaction, state: &State) -> Result<(), ChainError> {
+        let result = self.insert_inner(tx, state);
+        match &result {
+            Ok(()) => self.telemetry.incr("mempool.admitted"),
+            Err(err) => {
+                self.telemetry.incr("mempool.rejected");
+                self.telemetry.event("mempool_reject", || err.to_string());
+            }
+        }
+        result
+    }
+
+    fn insert_inner(&mut self, tx: Transaction, state: &State) -> Result<(), ChainError> {
         let id = tx.id();
         if self.seen.contains(&id) {
             return Err(ChainError::DuplicateTransaction(id));

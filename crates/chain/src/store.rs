@@ -8,8 +8,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 use tn_crypto::{Address, Hash256, Keypair};
+use tn_telemetry::TelemetrySink;
 
 use crate::block::Block;
 use crate::error::ChainError;
@@ -37,6 +39,7 @@ pub struct ChainStore {
     head: Hash256,
     genesis: Hash256,
     observers: Vec<Box<dyn BlockObserver>>,
+    telemetry: TelemetrySink,
 }
 
 impl fmt::Debug for ChainStore {
@@ -80,7 +83,15 @@ impl ChainStore {
             head: id,
             genesis: id,
             observers: Vec::new(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Routes the store's metrics (import latency, per-projection apply
+    /// time, reorg and replay counters) to `sink`. The default sink is
+    /// disabled, so an uninstrumented store records nothing.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// The genesis block id.
@@ -145,11 +156,35 @@ impl ChainStore {
         block: Block,
         executor: &mut dyn TxExecutor,
     ) -> Result<Vec<Receipt>, ChainError> {
+        let telemetry = self.telemetry.clone();
+        let _span = telemetry.span("chain.import_ns");
+        let result = self.import_inner(block, executor);
+        match &result {
+            Ok(receipts) => {
+                telemetry.incr("chain.blocks_imported");
+                telemetry.add("chain.txs_executed", receipts.len() as u64);
+            }
+            Err(err) => {
+                telemetry.incr("chain.blocks_rejected");
+                telemetry.event("block_rejected", || err.to_string());
+            }
+        }
+        result
+    }
+
+    fn import_inner(
+        &mut self,
+        block: Block,
+        executor: &mut dyn TxExecutor,
+    ) -> Result<Vec<Receipt>, ChainError> {
         let id = block.id();
         if self.blocks.contains_key(&id) {
             return Err(ChainError::DuplicateBlock(id));
         }
-        block.verify_structure()?;
+        {
+            let _verify = self.telemetry.span("chain.verify_ns");
+            block.verify_structure()?;
+        }
         let parent = self
             .blocks
             .get(&block.header.parent)
@@ -191,14 +226,26 @@ impl ChainStore {
         // Keep projections in lock-step with the canonical chain.
         if self.head == id {
             if parent_id == old_head {
+                let timed = self.telemetry.is_enabled();
+                let telemetry = self.telemetry.clone();
                 let mut observers = std::mem::take(&mut self.observers);
                 let stored = &self.blocks[&id];
                 for ob in observers.iter_mut() {
-                    ob.on_block(&stored.block, &stored.receipts);
+                    if timed {
+                        let started = Instant::now();
+                        ob.on_block(&stored.block, &stored.receipts);
+                        telemetry.observe(
+                            &format!("chain.projection.{}.apply_ns", ob.name()),
+                            started.elapsed().as_nanos() as u64,
+                        );
+                    } else {
+                        ob.on_block(&stored.block, &stored.receipts);
+                    }
                 }
                 self.observers = observers;
             } else {
                 // Reorg: the new head is not a child of the old one.
+                self.telemetry.incr("chain.reorgs");
                 self.rebuild_observers();
             }
         }
@@ -254,6 +301,8 @@ impl ChainStore {
     /// (fresh or stale) observers. This is the audit path: digests of
     /// the replayed observers must match the live registered ones.
     pub fn replay_into(&self, observers: &mut [Box<dyn BlockObserver>]) {
+        let _span = self.telemetry.span("chain.replay_ns");
+        self.telemetry.incr("chain.replays");
         for ob in observers.iter_mut() {
             ob.reset();
         }
@@ -264,6 +313,7 @@ impl ChainStore {
             for ob in observers.iter_mut() {
                 ob.on_block(&stored.block, &stored.receipts);
             }
+            self.telemetry.incr("chain.replay_blocks");
         }
     }
 
@@ -392,6 +442,7 @@ impl ChainStore {
             head: id,
             genesis: id,
             observers: Vec::new(),
+            telemetry: TelemetrySink::disabled(),
         };
         let n = dec.get_varint()?;
         if n > 10_000_000 {

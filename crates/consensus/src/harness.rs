@@ -2,6 +2,8 @@
 //! reports throughput/latency statistics. This is the engine behind the E6
 //! experiment (consensus scaling) in EXPERIMENTS.md.
 
+use tn_telemetry::TelemetrySink;
+
 use crate::pbft::{ByzMode, PbftConfig, PbftMsg, PbftReplica, Request};
 use crate::poa::{PoaConfig, PoaMode, PoaMsg, PoaValidator};
 use crate::sim::{NetworkConfig, NodeId, Simulator};
@@ -212,8 +214,28 @@ pub fn order_payloads_pbft(
     net: NetworkConfig,
     max_time: u64,
 ) -> Vec<CommittedPayloads> {
+    order_payloads_pbft_instrumented(n, payloads, interarrival, net, max_time, &[])
+}
+
+/// [`order_payloads_pbft`] with per-replica telemetry: replica `i` records
+/// its PBFT phase histograms and commit counters into `sinks[i]` (missing
+/// entries default to disabled).
+pub fn order_payloads_pbft_instrumented(
+    n: usize,
+    payloads: &[Vec<u8>],
+    interarrival: u64,
+    net: NetworkConfig,
+    max_time: u64,
+    sinks: &[TelemetrySink],
+) -> Vec<CommittedPayloads> {
     let nodes: Vec<PbftReplica> = (0..n)
-        .map(|id| PbftReplica::new(id, n, PbftConfig::default(), ByzMode::Honest))
+        .map(|id| {
+            let mut replica = PbftReplica::new(id, n, PbftConfig::default(), ByzMode::Honest);
+            if let Some(sink) = sinks.get(id) {
+                replica.set_telemetry(sink.clone());
+            }
+            replica
+        })
         .collect();
     let mut sim = Simulator::new(nodes, net);
     for (i, payload) in payloads.iter().enumerate() {
@@ -243,8 +265,28 @@ pub fn order_payloads_poa(
     net: NetworkConfig,
     max_time: u64,
 ) -> Vec<CommittedPayloads> {
+    order_payloads_poa_instrumented(n, payloads, interarrival, net, max_time, &[])
+}
+
+/// [`order_payloads_poa`] with per-validator telemetry: validator `i`
+/// records its slot counters and latency histogram into `sinks[i]`
+/// (missing entries default to disabled).
+pub fn order_payloads_poa_instrumented(
+    n: usize,
+    payloads: &[Vec<u8>],
+    interarrival: u64,
+    net: NetworkConfig,
+    max_time: u64,
+    sinks: &[TelemetrySink],
+) -> Vec<CommittedPayloads> {
     let nodes: Vec<PoaValidator> = (0..n)
-        .map(|id| PoaValidator::new(id, n, PoaConfig::default(), PoaMode::Honest))
+        .map(|id| {
+            let mut v = PoaValidator::new(id, n, PoaConfig::default(), PoaMode::Honest);
+            if let Some(sink) = sinks.get(id) {
+                v.set_telemetry(sink.clone());
+            }
+            v
+        })
         .collect();
     let mut sim = Simulator::new(nodes, net);
     for (i, payload) in payloads.iter().enumerate() {

@@ -3,7 +3,7 @@
 //! Consensus layer for the trusting-news chain, evaluated on a
 //! deterministic discrete-event network simulator.
 //!
-//! The paper calls for "a high performance blockchain network … [that] all
+//! The paper calls for "a high performance blockchain network … \[that\] all
 //! the global population can be the potential users of" (§VII) and builds
 //! on the authors' ICDCS 2018 distributed/parallel blockchain work. This
 //! crate supplies:
@@ -40,8 +40,8 @@ pub mod poa;
 pub mod sim;
 
 pub use harness::{
-    order_payloads_pbft, order_payloads_poa, run_pbft, run_poa, CommittedPayloads, RunStats,
-    Workload,
+    order_payloads_pbft, order_payloads_pbft_instrumented, order_payloads_poa,
+    order_payloads_poa_instrumented, run_pbft, run_poa, CommittedPayloads, RunStats, Workload,
 };
 pub use pbft::{ByzMode, CommittedEntry, PbftConfig, PbftMsg, PbftReplica, Request};
 pub use poa::{PoaConfig, PoaEntry, PoaMode, PoaMsg, PoaValidator};

@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use tn_crypto::sha256::tagged_hash;
 use tn_crypto::Hash256;
+use tn_telemetry::TelemetrySink;
 
 use crate::sim::{Context, Node, NodeId, EXTERNAL};
 
@@ -142,6 +143,10 @@ struct LogEntry {
     commits: HashSet<NodeId>,
     commit_sent: bool,
     committed: bool,
+    /// Sim time the proposal was first seen (for phase latency metrics).
+    preprepare_at: Option<u64>,
+    /// Sim time the prepare quorum was reached.
+    prepared_at: Option<u64>,
 }
 
 /// Timer ids.
@@ -211,6 +216,10 @@ pub struct PbftReplica {
     checkpoint_votes: HashMap<u64, HashMap<Hash256, HashSet<NodeId>>>,
     /// Highest sequence with a 2f+1 checkpoint quorum.
     stable_checkpoint: u64,
+
+    /// Metrics sink (phase latencies, commit counters, view changes).
+    /// Disabled by default; times are sim ticks, not wall-clock.
+    telemetry: TelemetrySink,
 }
 
 impl PbftReplica {
@@ -238,7 +247,16 @@ impl PbftReplica {
             exec_digest: Hash256::ZERO,
             checkpoint_votes: HashMap::new(),
             stable_checkpoint: 0,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Routes this replica's metrics — `pbft.prepare_phase_ticks`,
+    /// `pbft.commit_phase_ticks`, `pbft.request_latency_ticks` histograms
+    /// and proposal/commit/view-change counters — to `sink`. All times are
+    /// simulation ticks.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// The quorum size `2f + 1`.
@@ -341,10 +359,12 @@ impl PbftReplica {
         }
 
         let digest = batch_digest(&batch);
+        self.telemetry.incr("pbft.proposals");
         let entry = self.log.entry((view, seq)).or_default();
         entry.digest = Some(digest);
         entry.batch = batch.clone();
         entry.prepares.insert(self.id);
+        entry.preprepare_at = Some(ctx.now());
         ctx.broadcast(
             PbftMsg::PrePrepare {
                 view,
@@ -379,6 +399,8 @@ impl PbftReplica {
         }
         entry.digest = Some(digest);
         entry.batch = batch;
+        entry.preprepare_at.get_or_insert(ctx.now());
+        self.telemetry.incr("pbft.preprepares_accepted");
         // The pre-prepare counts as the primary's prepare; add our own too.
         entry.prepares.insert(from);
         entry.prepares.insert(self.id);
@@ -423,6 +445,12 @@ impl PbftReplica {
         }
         entry.commit_sent = true;
         entry.commits.insert(self.id);
+        let now = ctx.now();
+        entry.prepared_at = Some(now);
+        if let Some(since) = entry.preprepare_at {
+            self.telemetry
+                .observe("pbft.prepare_phase_ticks", now.saturating_sub(since));
+        }
         ctx.broadcast(PbftMsg::Commit { view, seq, digest }, false);
         self.maybe_commit(view, seq, ctx);
     }
@@ -462,6 +490,11 @@ impl PbftReplica {
             return;
         }
         entry.committed = true;
+        self.telemetry.incr("pbft.batches_committed");
+        if let Some(since) = entry.prepared_at {
+            self.telemetry
+                .observe("pbft.commit_phase_ticks", ctx.now().saturating_sub(since));
+        }
         let digest = entry.digest.expect("checked");
         let batch = entry.batch.clone();
         self.decided.entry(seq).or_insert((view, digest, batch));
@@ -491,6 +524,16 @@ impl PbftReplica {
             chained.extend_from_slice(self.exec_digest.as_bytes());
             chained.extend_from_slice(digest.as_bytes());
             self.exec_digest = tagged_hash("TN/exec-chain", &chained);
+            self.telemetry.incr("pbft.batches_executed");
+            self.telemetry
+                .add("pbft.requests_committed", fresh.len() as u64);
+            let now = ctx.now();
+            for r in &fresh {
+                self.telemetry.observe(
+                    "pbft.request_latency_ticks",
+                    now.saturating_sub(r.submitted_at),
+                );
+            }
             self.committed.push(CommittedEntry {
                 seq: self.last_exec,
                 view,
@@ -534,6 +577,7 @@ impl PbftReplica {
         voters.insert(from);
         if voters.len() >= self.quorum() {
             self.stable_checkpoint = seq;
+            self.telemetry.incr("pbft.stable_checkpoints");
             // Prune everything the stable checkpoint covers.
             let cp = self.stable_checkpoint;
             self.log.retain(|(_, s), _| *s > cp);
@@ -560,6 +604,10 @@ impl PbftReplica {
             return;
         }
         self.vc_voted = target;
+        self.telemetry.incr("pbft.view_changes");
+        self.telemetry.event("view_change", || {
+            format!("replica {} -> view {target}", self.id)
+        });
         let prepared = self.prepared_entries();
         self.vc_votes
             .entry(target)

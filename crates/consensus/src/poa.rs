@@ -12,6 +12,7 @@ use std::collections::{HashMap, HashSet};
 
 use tn_crypto::sha256::tagged_hash;
 use tn_crypto::Hash256;
+use tn_telemetry::TelemetrySink;
 
 use crate::pbft::Request;
 use crate::sim::{Context, Node, NodeId, EXTERNAL};
@@ -96,6 +97,9 @@ pub struct PoaValidator {
     seen_slots: HashMap<u64, Hash256>,
     /// Commit log.
     pub committed: Vec<PoaEntry>,
+    /// Metrics sink (round/commit counters and request latency, in sim
+    /// ticks). Disabled by default.
+    telemetry: TelemetrySink,
 }
 
 impl PoaValidator {
@@ -113,7 +117,15 @@ impl PoaValidator {
             committed_ids: HashSet::new(),
             seen_slots: HashMap::new(),
             committed: Vec::new(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Routes this validator's metrics — `poa.slots_led`,
+    /// `poa.slots_committed`, `poa.requests_committed` counters and the
+    /// `poa.request_latency_ticks` histogram — to `sink`.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     fn leader_of(&self, slot: u64) -> NodeId {
@@ -133,6 +145,15 @@ impl PoaValidator {
             if self.pending_ids.remove(&r.id) {
                 self.pending.retain(|p| p.id != r.id);
             }
+        }
+        self.telemetry.incr("poa.slots_committed");
+        self.telemetry
+            .add("poa.requests_committed", fresh.len() as u64);
+        for r in &fresh {
+            self.telemetry.observe(
+                "poa.request_latency_ticks",
+                now.saturating_sub(r.submitted_at),
+            );
         }
         self.committed.push(PoaEntry {
             slot,
@@ -190,6 +211,7 @@ impl Node<PoaMsg> for PoaValidator {
         for r in &batch {
             self.pending_ids.remove(&r.id);
         }
+        self.telemetry.incr("poa.slots_led");
         match self.mode {
             PoaMode::Honest => {
                 let digest = batch_digest(&batch);

@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, HashMap};
 use tn_chain::state::TxExecutor;
 use tn_crypto::sha256::tagged_hash;
 use tn_crypto::{Address, Hash256};
+use tn_telemetry::TelemetrySink;
 
 use crate::builtin::BuiltinContract;
 use crate::vm::{execute, validate, ExecEnv, Word};
@@ -64,12 +65,20 @@ pub fn output_bytes(words: &[Word]) -> Vec<u8> {
 pub struct ContractRegistry {
     contracts: HashMap<Address, ContractEntry>,
     builtins: HashMap<Address, Box<dyn BuiltinContract>>,
+    telemetry: TelemetrySink,
 }
 
 impl ContractRegistry {
     /// Empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Routes execution metrics — call/deploy counters, per-contract gas
+    /// (`contracts.gas.<builtin name or address>`), and the
+    /// `contracts.exec_ns` histogram — to `sink`. Disabled by default.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Installs a built-in contract at its well-known address, returning
@@ -134,24 +143,8 @@ impl ContractRegistry {
     }
 }
 
-impl TxExecutor for ContractRegistry {
-    fn deploy(&mut self, deployer: &Address, nonce: u64, code: &[u8]) -> Result<Address, String> {
-        validate(code).map_err(|e| format!("invalid bytecode: {e}"))?;
-        let addr = contract_address(deployer, nonce);
-        if self.contracts.contains_key(&addr) || self.builtins.contains_key(&addr) {
-            return Err(format!("address collision at {}", addr.short()));
-        }
-        self.contracts.insert(
-            addr,
-            ContractEntry {
-                code: code.to_vec(),
-                storage: BTreeMap::new(),
-            },
-        );
-        Ok(addr)
-    }
-
-    fn call(
+impl ContractRegistry {
+    fn call_inner(
         &mut self,
         caller: &Address,
         contract: &Address,
@@ -181,6 +174,59 @@ impl TxExecutor for ContractRegistry {
         let outcome = execute(&entry.code, &mut storage, &env).map_err(|e| e.to_string())?;
         self.contracts.get_mut(contract).expect("checked").storage = storage;
         Ok((outcome.gas_used, output_bytes(&outcome.output)))
+    }
+}
+
+impl TxExecutor for ContractRegistry {
+    fn deploy(&mut self, deployer: &Address, nonce: u64, code: &[u8]) -> Result<Address, String> {
+        validate(code).map_err(|e| {
+            self.telemetry.incr("contracts.deploy_failures");
+            format!("invalid bytecode: {e}")
+        })?;
+        let addr = contract_address(deployer, nonce);
+        if self.contracts.contains_key(&addr) || self.builtins.contains_key(&addr) {
+            self.telemetry.incr("contracts.deploy_failures");
+            return Err(format!("address collision at {}", addr.short()));
+        }
+        self.contracts.insert(
+            addr,
+            ContractEntry {
+                code: code.to_vec(),
+                storage: BTreeMap::new(),
+            },
+        );
+        self.telemetry.incr("contracts.deploys");
+        Ok(addr)
+    }
+
+    fn call(
+        &mut self,
+        caller: &Address,
+        contract: &Address,
+        input: &[u8],
+        gas_limit: u64,
+    ) -> Result<(u64, Vec<u8>), String> {
+        let telemetry = self.telemetry.clone();
+        let _span = telemetry.span("contracts.exec_ns");
+        let result = self.call_inner(caller, contract, input, gas_limit);
+        match &result {
+            Ok((gas, _)) => {
+                telemetry.incr("contracts.calls");
+                telemetry.add("contracts.gas_total", *gas);
+                if telemetry.is_enabled() {
+                    // Per-contract gas attribution: builtins by name,
+                    // bytecode contracts by short address.
+                    let label = self
+                        .builtins
+                        .get(contract)
+                        .map(|b| b.name().to_string())
+                        .unwrap_or_else(|| contract.short());
+                    telemetry.add(&format!("contracts.gas.{label}"), *gas);
+                }
+            }
+            Err(_) => telemetry.incr("contracts.call_failures"),
+        }
+        result
     }
 }
 

@@ -1,7 +1,7 @@
 //! Parallel execution of independent contract calls.
 //!
-//! The paper cites the authors' ICDCS 2018 work on "transform[ing]
-//! blockchain into [a] distributed and parallel computing architecture" as
+//! The paper cites the authors' ICDCS 2018 work on "transform\[ing\]
+//! blockchain into \[a\] distributed and parallel computing architecture" as
 //! the scalability mechanism for AI smart contracts (§IV, §VII). This
 //! module reproduces the core idea: calls touching *different* contracts
 //! have no data dependencies, so they can execute on worker threads in

@@ -60,9 +60,9 @@ pub enum Op {
     Jmp = 17,
     /// Pop target, cond; jump when cond ≠ 0.
     JmpIf = 18,
-    /// Pop key; push storage[key] (0 when absent).
+    /// Pop key; push `storage[key]` (0 when absent).
     SLoad = 19,
-    /// Pop value, key; storage[key] = value.
+    /// Pop value, key; `storage[key] = value`.
     SStore = 20,
     /// Push the caller-id word (first 8 bytes of the caller address).
     Caller = 21,

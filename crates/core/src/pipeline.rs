@@ -20,6 +20,7 @@ use tn_factdb::db::FactualDatabase;
 use tn_factdb::record::FactRecord;
 use tn_supplychain::graph::SupplyChainGraph;
 use tn_supplychain::index::IndexStats;
+use tn_telemetry::TelemetrySink;
 
 use crate::platform::PlatformConfig;
 use crate::projections::{
@@ -132,6 +133,7 @@ pub struct ExecutionPipeline {
     store: ChainStore,
     registry: ContractRegistry,
     addrs: BuiltinAddrs,
+    telemetry: TelemetrySink,
 }
 
 impl std::fmt::Debug for ExecutionPipeline {
@@ -165,7 +167,17 @@ impl ExecutionPipeline {
             store,
             registry,
             addrs,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Routes pipeline metrics to `sink` and forwards it to the chain
+    /// store (import/projection timing) and contract registry (gas and
+    /// execution counters). Disabled by default.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.store.set_telemetry(sink.clone());
+        self.registry.set_telemetry(sink.clone());
+        self.telemetry = sink;
     }
 
     /// Restores a pipeline from a [`ChainStore::snapshot`]: every block is
@@ -193,6 +205,7 @@ impl ExecutionPipeline {
             store,
             registry,
             addrs,
+            telemetry: TelemetrySink::disabled(),
         })
     }
 
@@ -214,10 +227,12 @@ impl ExecutionPipeline {
         // Contract execution never touches chain State (only fees/nonces),
         // so the proposal pass can run without the registry; the import
         // pass executes against the authoritative registry exactly once.
+        let _span = self.telemetry.span("pipeline.commit_ns");
         let block = self
             .store
             .propose(proposer, timestamp, txs, &mut NoExecutor);
         let receipts = self.store.import(block.clone(), &mut self.registry)?;
+        self.telemetry.incr("pipeline.batches_committed");
         Ok((block, receipts))
     }
 

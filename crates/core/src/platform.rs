@@ -3,7 +3,7 @@
 //! [`Platform`] is a thin facade over the layered block-execution
 //! pipeline: it holds the governor/validator keys, a fee-prioritised
 //! mempool, and the AI detector, and drives an
-//! [`ExecutionPipeline`](crate::pipeline::ExecutionPipeline) — the
+//! [`ExecutionPipeline`] — the
 //! deterministic core in which the chain store executes blocks and
 //! notifies the four registered projections (supply-chain graph, identity
 //! registry, factual database, headline cache). All state mutations flow
@@ -227,6 +227,14 @@ impl Platform {
             // The bootstrap committed the anchor block at timestamp 1.
             clock: 2,
         }
+    }
+
+    /// Routes telemetry from the pipeline (import/projection/contract
+    /// metrics) and the mempool (admission counters) to `sink`. Disabled
+    /// by default.
+    pub fn set_telemetry(&mut self, sink: tn_telemetry::TelemetrySink) {
+        self.pipeline.set_telemetry(sink.clone());
+        self.mempool.set_telemetry(sink);
     }
 
     // --- accessors -------------------------------------------------------
@@ -588,7 +596,7 @@ impl Platform {
     /// recorded on-chain with the event, and the platform's AI component
     /// runs headline/body stance analysis on it: a body that contradicts
     /// its own headline (or is unrelated to it) is a fake-news signal per
-    /// the Fake News Challenge approach the paper cites [33].
+    /// the Fake News Challenge approach the paper cites \[33\].
     ///
     /// # Errors
     ///

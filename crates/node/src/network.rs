@@ -9,10 +9,13 @@
 //! contract storage, same projection digests.
 
 use tn_chain::prelude::Transaction;
-use tn_consensus::harness::{order_payloads_pbft, order_payloads_poa, CommittedPayloads};
+use tn_consensus::harness::{
+    order_payloads_pbft_instrumented, order_payloads_poa_instrumented, CommittedPayloads,
+};
 use tn_consensus::sim::NetworkConfig;
 use tn_core::platform::PlatformConfig;
 use tn_crypto::Hash256;
+use tn_telemetry::{Snapshot, TelemetrySink};
 
 use crate::validator::{encode_payloads, NodeError, ValidatorNode};
 
@@ -60,6 +63,9 @@ pub struct NodeReport {
     pub execution_digest: Hash256,
     /// Per-projection digests.
     pub projection_digests: Vec<(&'static str, Hash256)>,
+    /// The replica's metrics at the end of the run (block imports,
+    /// consensus phase histograms, mempool admissions, contract gas).
+    pub metrics: Snapshot,
 }
 
 /// The outcome of an N-validator run.
@@ -91,15 +97,26 @@ impl ClusterRun {
     }
 }
 
-fn execute_views(
+fn run_cluster(
     protocol: &'static str,
     config: &ClusterConfig,
-    injected: usize,
-    views: Vec<CommittedPayloads>,
+    txs: &[Transaction],
+    order: impl FnOnce(&[TelemetrySink]) -> Vec<CommittedPayloads>,
 ) -> Result<ClusterRun, NodeError> {
+    // Nodes are created before consensus runs so each replica's PBFT/PoA
+    // metrics record into the matching node's registry.
     let mut nodes: Vec<ValidatorNode> = (0..config.n_validators)
         .map(|id| ValidatorNode::new(id, &config.platform))
         .collect();
+    // Client ingest: every transaction is admission-checked at every
+    // node's mempool before its payload enters consensus ordering.
+    for node in nodes.iter_mut() {
+        for tx in txs {
+            let _ = node.submit(tx.clone());
+        }
+    }
+    let sinks: Vec<TelemetrySink> = nodes.iter().map(ValidatorNode::telemetry_sink).collect();
+    let views = order(&sinks);
     let mut reports = Vec::with_capacity(nodes.len());
     for (node, batches) in nodes.iter_mut().zip(views) {
         let mut included = 0usize;
@@ -118,11 +135,12 @@ fn execute_views(
             failed,
             execution_digest: node.execution_digest(),
             projection_digests: node.projection_digests(),
+            metrics: node.metrics_snapshot(),
         });
     }
     Ok(ClusterRun {
         protocol,
-        injected,
+        injected: txs.len(),
         reports,
         nodes,
     })
@@ -139,14 +157,16 @@ pub fn run_pbft_cluster(
     txs: &[Transaction],
 ) -> Result<ClusterRun, NodeError> {
     let payloads = encode_payloads(txs);
-    let views = order_payloads_pbft(
-        config.n_validators,
-        &payloads,
-        config.interarrival,
-        config.net.clone(),
-        config.max_time,
-    );
-    execute_views("pbft", config, txs.len(), views)
+    run_cluster("pbft", config, txs, |sinks| {
+        order_payloads_pbft_instrumented(
+            config.n_validators,
+            &payloads,
+            config.interarrival,
+            config.net.clone(),
+            config.max_time,
+            sinks,
+        )
+    })
 }
 
 /// Runs the workload through a round-robin PoA cluster; the PoA
@@ -160,14 +180,16 @@ pub fn run_poa_cluster(
     txs: &[Transaction],
 ) -> Result<ClusterRun, NodeError> {
     let payloads = encode_payloads(txs);
-    let views = order_payloads_poa(
-        config.n_validators,
-        &payloads,
-        config.interarrival,
-        config.net.clone(),
-        config.max_time,
-    );
-    execute_views("poa", config, txs.len(), views)
+    run_cluster("poa", config, txs, |sinks| {
+        order_payloads_poa_instrumented(
+            config.n_validators,
+            &payloads,
+            config.interarrival,
+            config.net.clone(),
+            config.max_time,
+            sinks,
+        )
+    })
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! Consensus (PBFT or PoA in `tn-consensus`) decides the *order* of
 //! opaque request payloads; a [`ValidatorNode`] turns each committed
 //! batch into a block through the shared
-//! [`ExecutionPipeline`](tn_core::pipeline::ExecutionPipeline). Because
+//! [`ExecutionPipeline`]. Because
 //! every node bootstraps from the same [`PlatformConfig`] and proposes
 //! with the same well-known validator key at a timestamp derived from the
 //! batch sequence, agreeing on the batch order is sufficient to agree on
@@ -17,6 +17,7 @@ use tn_chain::prelude::*;
 use tn_core::pipeline::{bootstrap, Bootstrap, ExecutionPipeline};
 use tn_core::platform::PlatformConfig;
 use tn_crypto::{Hash256, Keypair};
+use tn_telemetry::{Registry, Snapshot, TelemetrySink};
 
 /// Errors from applying a committed batch.
 #[derive(Debug)]
@@ -66,28 +67,71 @@ pub struct ValidatorNode {
     pipeline: ExecutionPipeline,
     /// Timestamp for the next block; the bootstrap anchor block used 1.
     next_timestamp: u64,
+    /// Client-facing transaction ingest (admission-checked before the
+    /// payloads ever reach consensus).
+    mempool: Mempool,
+    /// Per-replica metrics: block imports, projection apply times,
+    /// consensus phase histograms, mempool admissions, contract gas.
+    registry: Registry,
 }
 
 impl ValidatorNode {
     /// Boots replica `id` from the canonical bootstrap for `config`. All
-    /// nodes built from the same config start byte-identical.
+    /// nodes built from the same config start byte-identical. Each node
+    /// owns an enabled telemetry [`Registry`] wired through its pipeline
+    /// and mempool; metrics never feed back into execution, so
+    /// instrumented replicas stay byte-identical too.
     pub fn new(id: usize, config: &PlatformConfig) -> ValidatorNode {
         let Bootstrap {
             validator,
-            pipeline,
+            mut pipeline,
             ..
         } = bootstrap(config);
+        let registry = Registry::new();
+        pipeline.set_telemetry(registry.sink());
+        let mut mempool = Mempool::new(config.mempool_capacity);
+        mempool.set_telemetry(registry.sink());
         ValidatorNode {
             id,
             proposer: validator,
             pipeline,
             next_timestamp: 2,
+            mempool,
+            registry,
         }
     }
 
     /// Replica id (the consensus node id).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// A sink recording into this node's metrics registry. Hand this to
+    /// the consensus replica with the same id so PBFT/PoA phase metrics
+    /// land next to the node's execution metrics.
+    pub fn telemetry_sink(&self) -> TelemetrySink {
+        self.registry.sink()
+    }
+
+    /// A point-in-time copy of this node's metrics.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Admission-checks `tx` against the current head state and queues it
+    /// in this node's mempool (counting `mempool.admitted` /
+    /// `mempool.rejected`).
+    ///
+    /// # Errors
+    ///
+    /// Mempool admission errors (duplicate, full, bad nonce, signature).
+    pub fn submit(&mut self, tx: Transaction) -> Result<(), ChainError> {
+        self.mempool.insert(tx, self.pipeline.store().head_state())
+    }
+
+    /// The node's client-facing mempool.
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
     }
 
     /// Applies one consensus-committed batch of payloads: decodes them as
@@ -114,6 +158,9 @@ impl ValidatorNode {
         let timestamp = self.next_timestamp;
         let (block, receipts) = self.pipeline.commit_batch(&self.proposer, timestamp, txs)?;
         self.next_timestamp += 1;
+        // Committed transactions (and stale rivals) leave the ingest queue.
+        self.mempool
+            .prune_committed(self.pipeline.store().head_state());
         Ok(BatchOutcome {
             height: block.header.height,
             included: block.transactions.len(),

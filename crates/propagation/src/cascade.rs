@@ -2,9 +2,9 @@
 //! types and intervention hooks.
 //!
 //! The model follows the paper's citations: "the spread of fake news is
-//! driven substantially by bots and cyborgs" [36] — bots reshare far more
+//! driven substantially by bots and cyborgs" \[36\] — bots reshare far more
 //! aggressively than humans — and Facebook's flagging intervention cuts a
-//! flagged story's reshare odds by ~80 % [26, 27].
+//! flagged story's reshare odds by ~80 % \[26, 27\].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -18,7 +18,7 @@ pub enum AccountKind {
     Human,
     /// An automated amplifier.
     Bot,
-    /// A human account partially driven by automation [36].
+    /// A human account partially driven by automation \[36\].
     Cyborg,
 }
 

@@ -1,0 +1,112 @@
+//! Bounded ring buffer of structured events.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A single recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonically increasing sequence number, starting at 0, counting
+    /// every event ever pushed (including ones since evicted).
+    pub seq: u64,
+    /// Microseconds since the ring was created.
+    pub at_micros: u64,
+    /// Short machine-readable kind, e.g. `"view_change"`.
+    pub kind: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+/// A bounded, thread-safe ring buffer of [`Event`]s.
+///
+/// When full, pushing evicts the oldest event; `seq` keeps counting so a
+/// reader can tell how many events were dropped.
+#[derive(Debug)]
+pub struct EventRing {
+    origin: Instant,
+    capacity: usize,
+    inner: Mutex<RingState>,
+}
+
+#[derive(Debug)]
+struct RingState {
+    next_seq: u64,
+    events: VecDeque<Event>,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            origin: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingState {
+                next_seq: 0,
+                events: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
+    pub fn push(&self, kind: &str, detail: String) {
+        let at_micros = self.origin.elapsed().as_micros() as u64;
+        let mut state = self.inner.lock().expect("event ring poisoned");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+        }
+        state.events.push_back(Event {
+            seq,
+            at_micros,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// Total number of events ever pushed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().expect("event ring poisoned").next_seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn drain_snapshot(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("event ring poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let ring = EventRing::new(8);
+        ring.push("commit", "height=1".to_string());
+        ring.push("commit", "height=2".to_string());
+        let events = ring.drain_snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].detail, "height=2");
+    }
+
+    #[test]
+    fn eviction_keeps_newest_and_counts_all() {
+        let ring = EventRing::new(3);
+        for i in 0..10 {
+            ring.push("tick", format!("i={i}"));
+        }
+        let events = ring.drain_snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 7);
+        assert_eq!(events[2].detail, "i=9");
+        assert_eq!(ring.total(), 10);
+    }
+}

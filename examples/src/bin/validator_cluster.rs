@@ -59,6 +59,26 @@ fn main() {
         pbft.nodes.len()
     );
 
+    println!("\n  per-validator metrics snapshots (pbft run):");
+    for report in &pbft.reports {
+        let m = &report.metrics;
+        println!(
+            "    replica {}: blocks imported {}, mempool admitted {} / rejected {}, gas {}",
+            report.id,
+            m.counter("chain.blocks_imported").unwrap_or(0),
+            m.counter("mempool.admitted").unwrap_or(0),
+            m.counter("mempool.rejected").unwrap_or(0),
+            m.counter("contracts.gas_total").unwrap_or(0),
+        );
+    }
+    // Wall-clock timings vary run to run; drop them so this demo's
+    // output stays byte-identical (sim-tick histograms are
+    // deterministic).
+    let mut table = pbft.reports[0].metrics.clone();
+    table.retain_metrics(|name| !name.ends_with("_ns"));
+    println!("\n  replica 0 metrics table (deterministic metrics only):");
+    print!("{}", table.render_table());
+
     let poa = run_poa_cluster(&config, &txs).expect("poa cluster");
     println!();
     print_run(&poa);

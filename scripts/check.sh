@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repository gate: formatting, lints, tests. Run before every push.
+# Repository gate: formatting, lints, docs, tests. Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,6 +8,9 @@ cargo fmt --all --check
 
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 
 echo "== cargo test -q"
 cargo test --workspace --offline -q
