@@ -1,0 +1,281 @@
+//! E17: parallel verification pipeline — worker scaling, verified-tx
+//! cache hit rates, and the fixed-base generator table.
+//!
+//! The paper's platform must ingest news transactions at interactive
+//! rates; block import is dominated by Schnorr signature checks. This
+//! experiment measures the three levers the verification pipeline adds:
+//!
+//! - **Worker scaling** (Part A): block verification wall-time at 1/2/4/8
+//!   pool workers. Thread scaling only separates on multi-core hosts — on
+//!   a single-core container the sweep measures pool overhead instead,
+//!   and the report records whatever the hardware gives.
+//! - **Verified-tx cache** (Part B): the end-to-end admission → proposal
+//!   → import flow, counting actual EC verifications via the
+//!   `chain.sigcache.{hit,miss}` counters, plus warm vs cold block
+//!   verification wall-time.
+//! - **Fixed-base window table** (Part C): `s·G` via the precomputed
+//!   generator table vs the generic double-and-add ladder — the
+//!   machine-independent speedup inside every single verification.
+//!
+//! Run with `--quick` for a CI-sized smoke run.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use tn_bench::{banner, f, Report};
+use tn_chain::prelude::*;
+use tn_chain::sigcache::{SigCache, HIT_COUNTER, MISS_COUNTER};
+use tn_crypto::ec::{generator, mul_generator, Jacobian};
+use tn_crypto::u256::U256;
+use tn_crypto::Keypair;
+use tn_par::Pool;
+use tn_telemetry::{Registry, TelemetrySink};
+
+/// One measured configuration.
+#[derive(Debug, Serialize)]
+struct Row {
+    /// Which part of the experiment the row belongs to.
+    section: &'static str,
+    /// Human-readable configuration label.
+    label: String,
+    /// Pool workers (0 when not applicable).
+    workers: usize,
+    /// Transactions (or scalars) per measured operation.
+    txs: usize,
+    /// Wall-time per operation, milliseconds.
+    ms: f64,
+    /// Throughput in transactions (or scalar muls) per second.
+    per_s: f64,
+    /// Speedup vs the first row of the same section.
+    speedup: f64,
+    /// `chain.sigcache.hit` observed (Part B only).
+    hits: u64,
+    /// `chain.sigcache.miss` observed (Part B only).
+    misses: u64,
+}
+
+fn make_block(n: usize) -> Block {
+    let alice = Keypair::from_seed(b"e17 alice");
+    let validator = Keypair::from_seed(b"e17 validator");
+    let store = ChainStore::new(State::genesis([(alice.address(), 1_000_000)]), &validator);
+    let txs: Vec<Transaction> = (0..n)
+        .map(|i| {
+            Transaction::signed(
+                &alice,
+                i as u64,
+                1,
+                Payload::Blob {
+                    tag: blob_tags::NEWS_PUBLISH,
+                    data: vec![0u8; 128],
+                },
+            )
+        })
+        .collect();
+    store.propose(&validator, 1, txs, &mut NoExecutor)
+}
+
+fn time_verify(block: &Block, pool: &Pool, cache: Option<&SigCache>, reps: usize) -> f64 {
+    let sink = TelemetrySink::disabled();
+    // One untimed pass to populate caches and tables.
+    block
+        .verify_structure_with(pool, cache, &sink)
+        .expect("valid block");
+    let started = Instant::now();
+    for _ in 0..reps {
+        block
+            .verify_structure_with(pool, cache, &sink)
+            .expect("valid block");
+    }
+    started.elapsed().as_secs_f64() * 1_000.0 / reps as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(
+        "E17",
+        "Parallel verification: worker pool, sigcache, fixed-base table",
+    );
+    println!(
+        "available parallelism: {} (thread scaling is flat on 1-core hosts)\n",
+        Pool::auto().workers()
+    );
+
+    let block_txs = if quick { 64 } else { 256 };
+    let reps = if quick { 2 } else { 5 };
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Part A: worker sweep, cold cache.
+    println!("Part A: {block_txs}-tx block verification vs pool workers\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>9}",
+        "workers", "ms/block", "tx/s", "speedup"
+    );
+    let mut base_ms = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let block = make_block(block_txs);
+        let ms = time_verify(&block, &Pool::new(workers), None, reps);
+        if workers == 1 {
+            base_ms = ms;
+        }
+        let row = Row {
+            section: "verify_workers",
+            label: format!("{workers} workers"),
+            workers,
+            txs: block_txs,
+            ms,
+            per_s: block_txs as f64 / (ms / 1_000.0),
+            speedup: base_ms / ms,
+            hits: 0,
+            misses: 0,
+        };
+        println!(
+            "{:<10} {:>10} {:>12} {:>9}",
+            workers,
+            f(row.ms),
+            f(row.per_s),
+            f(row.speedup)
+        );
+        rows.push(row);
+    }
+
+    // Part B: verified-tx cache — wall-time and actual EC-verify counts.
+    println!("\nPart B: verified-tx cache\n");
+    let block = make_block(block_txs);
+    let pool = Pool::auto();
+    let cold_ms = time_verify(&block, &pool, None, reps);
+    let cache = SigCache::new(1 << 16);
+    let warm_ms = time_verify(&block, &pool, Some(&cache), reps);
+    println!(
+        "cold verify {} ms, warm verify {} ms ({}x)",
+        f(cold_ms),
+        f(warm_ms),
+        f(cold_ms / warm_ms)
+    );
+    rows.push(Row {
+        section: "warm_cache",
+        label: "cold (no cache)".into(),
+        workers: pool.workers(),
+        txs: block_txs,
+        ms: cold_ms,
+        per_s: block_txs as f64 / (cold_ms / 1_000.0),
+        speedup: 1.0,
+        hits: 0,
+        misses: 0,
+    });
+    rows.push(Row {
+        section: "warm_cache",
+        label: "warm (all hits)".into(),
+        workers: pool.workers(),
+        txs: block_txs,
+        ms: warm_ms,
+        per_s: block_txs as f64 / (warm_ms / 1_000.0),
+        speedup: cold_ms / warm_ms,
+        hits: block_txs as u64,
+        misses: 0,
+    });
+
+    // End-to-end counter check: admission → proposal → import does one EC
+    // verification per transaction, total.
+    let registry = Registry::new();
+    let alice = Keypair::from_seed(b"e17 alice");
+    let validator = Keypair::from_seed(b"e17 validator");
+    let mut store = ChainStore::new(State::genesis([(alice.address(), 1_000_000)]), &validator);
+    store.set_telemetry(registry.sink());
+    let mut mempool = Mempool::new(10_000);
+    mempool.set_telemetry(registry.sink());
+    mempool.set_sig_cache(store.sig_cache());
+    let k = block_txs as u64;
+    for i in 0..k {
+        let tx = Transaction::signed(
+            &alice,
+            i,
+            1,
+            Payload::Blob {
+                tag: blob_tags::NEWS_PUBLISH,
+                data: vec![0u8; 128],
+            },
+        );
+        mempool.insert(tx, store.head_state()).expect("admitted");
+    }
+    let selected = mempool.select(store.head_state(), block_txs);
+    let proposed = store.propose(&validator, 1, selected, &mut NoExecutor);
+    store.import(proposed, &mut NoExecutor).expect("imports");
+    let snap = registry.snapshot();
+    let hits = snap.counter(HIT_COUNTER).unwrap_or(0);
+    let misses = snap.counter(MISS_COUNTER).unwrap_or(0);
+    println!("admission→proposal→import of {k} txs: {misses} EC verifies, {hits} cache hits");
+    assert_eq!(misses, k, "exactly one EC verification per transaction");
+    assert_eq!(hits, 2 * k, "proposal and import both served from cache");
+    rows.push(Row {
+        section: "sigcache_counters",
+        label: "admission+proposal+import".into(),
+        workers: pool.workers(),
+        txs: block_txs,
+        ms: 0.0,
+        per_s: 0.0,
+        speedup: 0.0,
+        hits,
+        misses,
+    });
+
+    // Part C: fixed-base window table vs generic ladder for s·G.
+    println!("\nPart C: fixed-base generator multiplication\n");
+    let muls = if quick { 50 } else { 400 };
+    let scalars: Vec<U256> = (0..muls)
+        .map(|i| {
+            let mut bytes = [0x5au8; 32];
+            bytes[0] = 0x7f; // keep below the group order
+            bytes[31] = i as u8;
+            bytes[30] = (i >> 8) as u8;
+            U256::from_be_bytes(&bytes)
+        })
+        .collect();
+    let _ = mul_generator(&scalars[0]); // build the table untimed
+    let started = Instant::now();
+    for s in &scalars {
+        std::hint::black_box(mul_generator(s));
+    }
+    let window_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let g = Jacobian::from_affine(&generator());
+    let started = Instant::now();
+    for s in &scalars {
+        std::hint::black_box(g.mul_scalar(s).to_affine());
+    }
+    let ladder_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    println!(
+        "{muls} muls: window {} ms, ladder {} ms ({}x)",
+        f(window_ms),
+        f(ladder_ms),
+        f(ladder_ms / window_ms)
+    );
+    rows.push(Row {
+        section: "fixed_base",
+        label: "window table".into(),
+        workers: 0,
+        txs: muls,
+        ms: window_ms / muls as f64,
+        per_s: muls as f64 / (window_ms / 1_000.0),
+        speedup: ladder_ms / window_ms,
+        hits: 0,
+        misses: 0,
+    });
+    rows.push(Row {
+        section: "fixed_base",
+        label: "double-and-add ladder".into(),
+        workers: 0,
+        txs: muls,
+        ms: ladder_ms / muls as f64,
+        per_s: muls as f64 / (ladder_ms / 1_000.0),
+        speedup: 1.0,
+        hits: 0,
+        misses: 0,
+    });
+
+    Report::new(
+        "E17",
+        "Parallel verification pipeline: worker scaling, sigcache hit rates, fixed-base table",
+        rows,
+    )
+    .write_json();
+}

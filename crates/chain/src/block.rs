@@ -1,11 +1,14 @@
 //! Blocks and block headers.
 
-use tn_crypto::merkle::merkle_root;
+use tn_crypto::merkle::{leaf_hash, merkle_root, merkle_root_of_leaves_par};
 use tn_crypto::sha256::tagged_hash;
 use tn_crypto::{Address, Hash256, Keypair, PublicKey, Signature};
+use tn_par::Pool;
+use tn_telemetry::TelemetrySink;
 
 use crate::codec::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use crate::error::ChainError;
+use crate::sigcache::SigCache;
 use crate::transaction::Transaction;
 
 /// A block header: the hash-linked, proposer-signed commitment to a batch
@@ -80,6 +83,14 @@ impl Block {
         merkle_root(txs.iter().map(|t| t.id().into_bytes()))
     }
 
+    /// [`Block::compute_tx_root`] with transaction hashing and Merkle
+    /// reduction fanned out over `pool`. Byte-identical to the sequential
+    /// version for every input and worker count.
+    pub fn compute_tx_root_par(txs: &[Transaction], pool: &Pool) -> Hash256 {
+        let leaves = pool.map(txs, |t| leaf_hash(t.id().as_bytes()));
+        merkle_root_of_leaves_par(leaves, pool)
+    }
+
     /// Assembles and signs a block.
     pub fn build(
         proposer: &Keypair,
@@ -148,6 +159,30 @@ impl Block {
     /// [`ChainError::AddressMismatch`], [`ChainError::BadSignature`] or
     /// [`ChainError::BadTxRoot`].
     pub fn verify_structure(&self) -> Result<(), ChainError> {
+        self.verify_structure_with(&Pool::sequential(), None, &TelemetrySink::disabled())
+    }
+
+    /// [`Block::verify_structure`] with the per-transaction work fanned
+    /// out over `pool` and (optionally) short-circuited through a
+    /// verified-transaction `cache`.
+    ///
+    /// The result is byte-identical to the sequential path for every
+    /// worker count and cache state: header checks run in the same order,
+    /// and when several transactions are invalid the error reported is
+    /// always the one at the **lowest** transaction index (the pool's
+    /// `try_check` guarantees first-error semantics). Cache hits bump
+    /// `chain.sigcache.hit` on `telemetry`, misses bump
+    /// `chain.sigcache.miss` and pay the actual EC verification.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Block::verify_structure`].
+    pub fn verify_structure_with(
+        &self,
+        pool: &Pool,
+        cache: Option<&SigCache>,
+        telemetry: &TelemetrySink,
+    ) -> Result<(), ChainError> {
         if self.proposer_key.address() != self.header.proposer {
             return Err(ChainError::AddressMismatch);
         }
@@ -157,13 +192,14 @@ impl Block {
         {
             return Err(ChainError::BadSignature);
         }
-        if Block::compute_tx_root(&self.transactions) != self.header.tx_root {
+        if Block::compute_tx_root_par(&self.transactions, pool) != self.header.tx_root {
             return Err(ChainError::BadTxRoot);
         }
-        for tx in &self.transactions {
-            tx.verify()?;
-        }
-        Ok(())
+        pool.try_check(&self.transactions, |_, tx| match cache {
+            Some(cache) => cache.verify_tx(tx, telemetry),
+            None => tx.verify(),
+        })
+        .map_err(|(_, err)| err)
     }
 }
 
@@ -313,6 +349,117 @@ mod tests {
             }
         }
         assert!(block.prove_tx(99).is_none());
+    }
+
+    fn block_with_txs(count: usize) -> Block {
+        let proposer = Keypair::from_seed(b"proposer");
+        let alice = Keypair::from_seed(b"alice");
+        let txs = (0..count)
+            .map(|i| {
+                Transaction::signed(
+                    &alice,
+                    i as u64,
+                    1,
+                    Payload::Blob {
+                        tag: 1,
+                        data: vec![i as u8],
+                    },
+                )
+            })
+            .collect();
+        Block::build(
+            &proposer,
+            1,
+            tn_crypto::sha256::sha256(b"genesis"),
+            tn_crypto::sha256::sha256(b"state"),
+            1000,
+            txs,
+        )
+    }
+
+    #[test]
+    fn parallel_verify_matches_sequential_on_valid_blocks() {
+        for count in [0usize, 1, 2, 7, 33] {
+            let block = block_with_txs(count);
+            let seq = block.verify_structure();
+            for workers in [1usize, 2, 3, 4, 8] {
+                let par = block.verify_structure_with(
+                    &Pool::new(workers),
+                    None,
+                    &TelemetrySink::disabled(),
+                );
+                assert_eq!(par, seq, "count={count} workers={workers}");
+            }
+            assert_eq!(
+                Block::compute_tx_root_par(&block.transactions, &Pool::new(4)),
+                Block::compute_tx_root(&block.transactions),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_verify_reports_lowest_index_error() {
+        // Corrupt 1..=k signatures at pseudo-random indices and check every
+        // worker count reports exactly the sequential first error.
+        let mut rng_state = 0x5eed_5eedu64;
+        let mut next = move |bound: usize| {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as usize) % bound
+        };
+        for k in 1..=5usize {
+            let mut block = block_with_txs(32);
+            let mut corrupted = Vec::new();
+            for c in 0..k {
+                let mut idx = next(block.transactions.len());
+                while corrupted.contains(&idx) {
+                    idx = next(block.transactions.len());
+                }
+                // Alternate corruption kinds so "which index errored first"
+                // is visible in the error value itself.
+                if c % 2 == 0 {
+                    block.transactions[idx].fee ^= 1; // BadSignature
+                } else {
+                    block.transactions[idx].from = Keypair::from_seed(b"eve").address();
+                    // AddressMismatch
+                }
+                corrupted.push(idx);
+            }
+            let first_bad = *corrupted.iter().min().expect("k >= 1");
+            let expected = block.transactions[first_bad].verify();
+            assert!(expected.is_err());
+            // Re-root and re-sign so only the tx signatures are invalid.
+            let proposer = Keypair::from_seed(b"proposer");
+            block.header.tx_root = Block::compute_tx_root(&block.transactions);
+            block.signature = proposer.sign(&block.header.digest());
+            let seq = block.verify_structure();
+            assert_eq!(seq, expected, "sequential reports the lowest-index error");
+            for workers in [1usize, 2, 3, 4, 8] {
+                let par = block.verify_structure_with(
+                    &Pool::new(workers),
+                    None,
+                    &TelemetrySink::disabled(),
+                );
+                assert_eq!(par, seq, "k={k} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_verify_with_cache_matches_and_hits() {
+        let block = block_with_txs(16);
+        let cache = crate::sigcache::SigCache::new(64);
+        let pool = Pool::new(4);
+        let sink = TelemetrySink::disabled();
+        assert_eq!(
+            block.verify_structure_with(&pool, Some(&cache), &sink),
+            Ok(())
+        );
+        assert_eq!(cache.len(), 16);
+        // Second pass is served entirely from the cache.
+        assert_eq!(
+            block.verify_structure_with(&pool, Some(&cache), &sink),
+            Ok(())
+        );
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod codec;
 pub mod error;
 pub mod mempool;
 pub mod observer;
+pub mod sigcache;
 pub mod state;
 pub mod store;
 pub mod transaction;
@@ -69,6 +70,7 @@ pub use block::{Block, BlockHeader};
 pub use error::ChainError;
 pub use mempool::Mempool;
 pub use observer::{projection_root, BlockObserver};
+pub use sigcache::SigCache;
 pub use state::{AccountState, NoExecutor, Receipt, State, TxExecutor};
 pub use store::ChainStore;
 pub use transaction::{blob_tags, Payload, Transaction};
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::error::ChainError;
     pub use crate::mempool::Mempool;
     pub use crate::observer::{projection_root, BlockObserver};
+    pub use crate::sigcache::SigCache;
     pub use crate::state::{NoExecutor, Receipt, State, TxExecutor};
     pub use crate::store::ChainStore;
     pub use crate::transaction::{blob_tags, Payload, Transaction};

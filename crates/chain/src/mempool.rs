@@ -7,6 +7,7 @@ use tn_crypto::{Address, Hash256};
 use tn_telemetry::TelemetrySink;
 
 use crate::error::ChainError;
+use crate::sigcache::SigCache;
 use crate::state::State;
 use crate::transaction::Transaction;
 
@@ -25,6 +26,10 @@ pub struct Mempool {
     capacity: usize,
     len: usize,
     telemetry: TelemetrySink,
+    /// Optional verified-transaction cache. When set (usually to the
+    /// chain store's cache), admission-time verification is recorded so
+    /// proposal and import skip re-verifying the same signature.
+    sig_cache: Option<SigCache>,
 }
 
 impl Mempool {
@@ -36,6 +41,7 @@ impl Mempool {
             capacity,
             len: 0,
             telemetry: TelemetrySink::disabled(),
+            sig_cache: None,
         }
     }
 
@@ -43,6 +49,14 @@ impl Mempool {
     /// to `sink`. The default sink is disabled and records nothing.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
+    }
+
+    /// Shares a verified-transaction cache (usually
+    /// `ChainStore::sig_cache`) with this mempool: transactions verified
+    /// at admission are recorded there, so block proposal and import see
+    /// cache hits instead of repeating the EC verification.
+    pub fn set_sig_cache(&mut self, cache: SigCache) {
+        self.sig_cache = Some(cache);
     }
 
     /// Number of pending transactions.
@@ -84,7 +98,10 @@ impl Mempool {
         if self.len >= self.capacity {
             return Err(ChainError::MempoolFull);
         }
-        tx.verify()?;
+        match &self.sig_cache {
+            Some(cache) => cache.verify_tx(&tx, &self.telemetry)?,
+            None => tx.verify()?,
+        }
         let committed = state.nonce(&tx.from);
         if tx.nonce < committed {
             return Err(ChainError::BadNonce {

@@ -174,6 +174,18 @@ impl State {
     /// Any of the [`ChainError`] validation variants.
     pub fn validate(&self, tx: &Transaction) -> Result<(), ChainError> {
         tx.verify()?;
+        self.validate_prechecked(tx)
+    }
+
+    /// [`State::validate`] minus the signature check, for transactions
+    /// whose signatures were already verified (block-level batch
+    /// verification, or a verified-transaction cache hit). Checks nonce
+    /// and balance only.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::BadNonce`] or [`ChainError::InsufficientBalance`].
+    pub fn validate_prechecked(&self, tx: &Transaction) -> Result<(), ChainError> {
         let acct = self.account(&tx.from);
         if tx.nonce != acct.nonce {
             return Err(ChainError::BadNonce {
@@ -211,7 +223,27 @@ impl State {
         proposer: &Address,
         executor: &mut dyn TxExecutor,
     ) -> Result<Receipt, ChainError> {
-        self.validate(tx)?;
+        tx.verify()?;
+        self.apply_prechecked(tx, proposer, executor)
+    }
+
+    /// [`State::apply`] minus the per-transaction signature verification,
+    /// for transactions whose signatures were already checked at the block
+    /// level (or found in a verified-transaction cache). This is what lets
+    /// the import path verify each signature exactly once instead of
+    /// twice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`State::apply`] except signature errors, which the caller
+    /// has already ruled out.
+    pub fn apply_prechecked(
+        &mut self,
+        tx: &Transaction,
+        proposer: &Address,
+        executor: &mut dyn TxExecutor,
+    ) -> Result<Receipt, ChainError> {
+        self.validate_prechecked(tx)?;
         // Debit fee + value, bump nonce.
         {
             let acct = self.accounts.entry(tx.from).or_default();

@@ -11,11 +11,13 @@ use std::fmt;
 use std::time::Instant;
 
 use tn_crypto::{Address, Hash256, Keypair};
+use tn_par::Pool;
 use tn_telemetry::TelemetrySink;
 
 use crate::block::Block;
 use crate::error::ChainError;
 use crate::observer::{self, BlockObserver};
+use crate::sigcache::SigCache;
 use crate::state::{Receipt, State, TxExecutor};
 use crate::transaction::Transaction;
 
@@ -40,6 +42,12 @@ pub struct ChainStore {
     genesis: Hash256,
     observers: Vec<Box<dyn BlockObserver>>,
     telemetry: TelemetrySink,
+    /// Worker pool used for block verification (tx hashing, Merkle
+    /// reduction, signature checks). Defaults to [`Pool::auto`].
+    pool: Pool,
+    /// Verified-transaction cache shared with the mempool and proposer so
+    /// each signature pays for at most one EC verification per process.
+    sig_cache: SigCache,
 }
 
 impl fmt::Debug for ChainStore {
@@ -84,6 +92,8 @@ impl ChainStore {
             genesis: id,
             observers: Vec::new(),
             telemetry: TelemetrySink::disabled(),
+            pool: Pool::auto(),
+            sig_cache: SigCache::default(),
         }
     }
 
@@ -92,6 +102,33 @@ impl ChainStore {
     /// disabled, so an uninstrumented store records nothing.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
+    }
+
+    /// Sets the worker pool used for block verification. `Pool::new(0)`
+    /// and [`Pool::auto`] both resolve to the machine's available
+    /// parallelism; [`Pool::sequential`] forces single-threaded
+    /// verification. Results are byte-identical for every worker count.
+    pub fn set_verify_pool(&mut self, pool: Pool) {
+        self.pool = pool;
+    }
+
+    /// The worker pool currently used for block verification.
+    pub fn verify_pool(&self) -> Pool {
+        self.pool
+    }
+
+    /// Replaces the verified-transaction cache. Use this to share one
+    /// cache between the store and other pipeline stages (mempool,
+    /// proposer) — see [`ChainStore::sig_cache`].
+    pub fn set_sig_cache(&mut self, cache: SigCache) {
+        self.sig_cache = cache;
+    }
+
+    /// A handle to the store's verified-transaction cache. Clones share
+    /// the underlying cache, so handing this to the mempool means
+    /// admission-time verification pre-warms block import.
+    pub fn sig_cache(&self) -> SigCache {
+        self.sig_cache.clone()
     }
 
     /// The genesis block id.
@@ -183,7 +220,7 @@ impl ChainStore {
         }
         {
             let _verify = self.telemetry.span("chain.verify_ns");
-            block.verify_structure()?;
+            block.verify_structure_with(&self.pool, Some(&self.sig_cache), &self.telemetry)?;
         }
         let parent = self
             .blocks
@@ -202,7 +239,9 @@ impl ChainStore {
         let mut state = parent.post_state.clone();
         let mut receipts = Vec::with_capacity(block.transactions.len());
         for tx in &block.transactions {
-            receipts.push(state.apply(tx, &block.header.proposer, executor)?);
+            // Signatures were batch-verified in `verify_structure_with`;
+            // only nonce/balance/execution remain.
+            receipts.push(state.apply_prechecked(tx, &block.header.proposer, executor)?);
         }
         if state.root() != block.header.state_root {
             return Err(ChainError::BadStateRoot);
@@ -341,7 +380,13 @@ impl ChainStore {
         let mut state = self.head_state().clone();
         let mut included = Vec::with_capacity(txs.len());
         for tx in txs {
-            if state.apply(&tx, &proposer.address(), executor).is_ok() {
+            // Cache-aware verification: txs admitted through a mempool
+            // sharing this store's cache skip the EC check here.
+            if self.sig_cache.verify_tx(&tx, &self.telemetry).is_ok()
+                && state
+                    .apply_prechecked(&tx, &proposer.address(), executor)
+                    .is_ok()
+            {
                 included.push(tx);
             }
         }
@@ -443,6 +488,8 @@ impl ChainStore {
             genesis: id,
             observers: Vec::new(),
             telemetry: TelemetrySink::disabled(),
+            pool: Pool::auto(),
+            sig_cache: SigCache::default(),
         };
         let n = dec.get_varint()?;
         if n > 10_000_000 {

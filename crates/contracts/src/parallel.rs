@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use tn_crypto::Address;
+use tn_par::Pool;
 
 use crate::executor::{ContractEntry, ContractRegistry};
 use crate::vm::{execute, ExecEnv, Word};
@@ -40,22 +41,24 @@ pub struct TaskResult {
 }
 
 /// Executes `tasks` against the bytecode contracts in `registry` using up
-/// to `workers` threads, preserving per-contract sequential order.
+/// to `workers` threads (on the shared [`tn_par::Pool`] fork-join pool),
+/// preserving per-contract sequential order.
 ///
 /// Storage mutations are merged back into the registry afterwards, so the
 /// final state equals a sequential execution that processes each
 /// contract's calls in submission order. Returns results indexed like the
 /// input.
 ///
-/// # Panics
-///
-/// Panics if `workers == 0`.
+/// `workers == 0` is clamped to one worker (sequential execution) rather
+/// than panicking, matching [`Pool::new`]; passing the count straight
+/// from a config value is safe.
 pub fn execute_parallel(
     registry: &mut ContractRegistry,
     tasks: &[CallTask],
     workers: usize,
 ) -> Vec<TaskResult> {
-    assert!(workers > 0, "need at least one worker");
+    let pool = Pool::new(workers);
+    let workers = pool.workers();
 
     // Group task indices by contract; group order inside is submission order.
     let mut groups: HashMap<Address, Vec<usize>> = HashMap::new();
@@ -138,23 +141,11 @@ pub fn execute_parallel(
         out
     };
 
-    let mut finished: Vec<(Address, ContractEntry, Vec<TaskResult>)> = Vec::new();
-    if workers == 1 {
-        for bucket in buckets {
-            finished.extend(run_bucket(bucket));
-        }
-    } else {
-        std::thread::scope(|scope| {
-            let run_bucket = &run_bucket;
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|bucket| scope.spawn(move || run_bucket(bucket)))
-                .collect();
-            for h in handles {
-                finished.extend(h.join().expect("worker thread panicked"));
-            }
-        });
-    }
+    let finished: Vec<(Address, ContractEntry, Vec<TaskResult>)> = pool
+        .map_owned(buckets, run_bucket)
+        .into_iter()
+        .flatten()
+        .collect();
 
     for (addr, entry, task_results) in finished {
         registry.put_contract(addr, entry);
@@ -266,10 +257,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_panics() {
-        let (mut reg, _) = setup(1);
-        execute_parallel(&mut reg, &[], 0);
+    fn zero_workers_clamps_to_sequential() {
+        let (mut reg, addrs) = setup(2);
+        let tasks = vec![task(0, addrs[0]), task(1, addrs[1])];
+        let results = execute_parallel(&mut reg, &tasks, 0);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+        for a in &addrs {
+            assert_eq!(reg.contract(a).unwrap().storage.get(&0), Some(&1));
+        }
     }
 
     #[test]

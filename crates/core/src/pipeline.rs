@@ -107,6 +107,7 @@ pub fn bootstrap(config: &PlatformConfig) -> Bootstrap {
         config.fact_threshold,
         seed_corpus,
     );
+    pipeline.set_verify_workers(config.verify_workers);
     let root = pipeline.factdb().root();
     let anchor = Transaction::signed(
         &governor,
@@ -178,6 +179,20 @@ impl ExecutionPipeline {
         self.store.set_telemetry(sink.clone());
         self.registry.set_telemetry(sink.clone());
         self.telemetry = sink;
+    }
+
+    /// Sizes the chain store's verification worker pool. `0` selects the
+    /// machine's available parallelism; any other value is the exact
+    /// worker count (1 = sequential). Verification results are
+    /// byte-identical for every worker count, so this is purely a
+    /// throughput knob.
+    pub fn set_verify_workers(&mut self, workers: usize) {
+        let pool = if workers == 0 {
+            tn_par::Pool::auto()
+        } else {
+            tn_par::Pool::new(workers)
+        };
+        self.store.set_verify_pool(pool);
     }
 
     /// Restores a pipeline from a [`ChainStore::snapshot`]: every block is

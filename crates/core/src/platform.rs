@@ -123,6 +123,10 @@ pub struct PlatformConfig {
     pub weights: PlatformRankWeights,
     /// Maximum transactions the mempool holds at once.
     pub mempool_capacity: usize,
+    /// Worker threads for block verification (signatures, tx-root
+    /// hashing). `0` means "use the machine's available parallelism".
+    /// Results are byte-identical for every worker count.
+    pub verify_workers: usize,
 }
 
 impl Default for PlatformConfig {
@@ -138,6 +142,7 @@ impl Default for PlatformConfig {
             },
             weights: PlatformRankWeights::default(),
             mempool_capacity: 100_000,
+            verify_workers: 0,
         }
     }
 }
@@ -214,7 +219,10 @@ impl Platform {
             validator,
             pipeline,
         } = crate::pipeline::bootstrap(&config);
-        let mempool = Mempool::new(config.mempool_capacity);
+        let mut mempool = Mempool::new(config.mempool_capacity);
+        // Share the store's verified-tx cache so admission-time
+        // verification pre-warms block proposal and import.
+        mempool.set_sig_cache(pipeline.store().sig_cache());
         Platform {
             config,
             governor,

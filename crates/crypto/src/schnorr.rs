@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::ec::{generator, mul_generator, Affine, Jacobian};
+use crate::ec::{mul_generator, mul_generator_jacobian, Affine, Jacobian};
 use crate::field::{self, add_mod, mul_mod, reduce};
 use crate::hash::Hash256;
 use crate::sha256::tagged_hash;
@@ -125,7 +125,8 @@ pub(crate) fn verify_digest(pubkey: &Affine, msg: &Hash256, sig: &Signature) -> 
         _ => return false,
     };
     let e = challenge(&r, pubkey, msg);
-    let lhs = Jacobian::from_affine(&generator()).mul_scalar(&s);
+    // Fixed-base window table for s·G; generic ladder only for e·P.
+    let lhs = mul_generator_jacobian(&s);
     let rhs = Jacobian::from_affine(&r).add(&Jacobian::from_affine(pubkey).mul_scalar(&e));
     lhs.to_affine() == rhs.to_affine()
 }

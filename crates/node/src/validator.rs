@@ -91,6 +91,9 @@ impl ValidatorNode {
         pipeline.set_telemetry(registry.sink());
         let mut mempool = Mempool::new(config.mempool_capacity);
         mempool.set_telemetry(registry.sink());
+        // Share the pipeline's verified-tx cache: a signature verified at
+        // admission is never re-verified at proposal or import.
+        mempool.set_sig_cache(pipeline.store().sig_cache());
         ValidatorNode {
             id,
             proposer: validator,

@@ -15,4 +15,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 echo "== cargo test -q"
 cargo test --workspace --offline -q
 
+echo "== exp17 smoke (parallel verification pipeline)"
+cargo run -q --release --offline -p tn-bench --bin exp17_parallel_verify -- --quick
+
 echo "All checks passed."
