@@ -2,9 +2,12 @@
 //! request load on the discrete-event simulator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tn_consensus::harness::{order_payloads_pbft_instrumented, run_pbft, run_poa, Workload};
+use tn_consensus::harness::{
+    order_payloads_pbft_instrumented, order_payloads_pbft_traced, run_pbft, run_poa, Workload,
+};
 use tn_consensus::sim::NetworkConfig;
 use tn_telemetry::{Registry, TelemetrySink};
+use tn_trace::{TraceSink, Tracer};
 
 fn bench_pbft(c: &mut Criterion) {
     let workload = Workload {
@@ -90,9 +93,58 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same PBFT ordering run with span tracing disabled (the default:
+/// every span site is one `Option` test) and enabled (per-replica ring
+/// buffers behind a shared tracer). Disabled must be indistinguishable
+/// from the uninstrumented baseline; enabled should stay within ~10%.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let payloads: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i; 64]).collect();
+    let n = 4usize;
+    let mut group = c.benchmark_group("pbft_order_50_tracing");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let views = order_payloads_pbft_traced(
+                n,
+                &payloads,
+                5,
+                NetworkConfig::default(),
+                2_000_000,
+                &[],
+                &[],
+            );
+            let committed: usize = views[0].iter().map(Vec::len).sum();
+            assert_eq!(committed, 50);
+        })
+    });
+    group.bench_function("enabled", |b| {
+        // The tracer lives outside the measured loop: steady-state tracing
+        // means recording into long-lived ring buffers (old spans evict),
+        // not constructing and draining a tracer per consensus run.
+        let tracer = Tracer::new(n);
+        let traces: Vec<TraceSink> = (0..n).map(|i| tracer.sink(i)).collect();
+        b.iter(|| {
+            let views = order_payloads_pbft_traced(
+                n,
+                &payloads,
+                5,
+                NetworkConfig::default(),
+                2_000_000,
+                &[],
+                &traces,
+            );
+            let committed: usize = views[0].iter().map(Vec::len).sum();
+            assert_eq!(committed, 50);
+        });
+        let trace = tracer.collect();
+        assert!(!trace.named("pbft.commit_phase").is_empty());
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pbft, bench_poa, bench_telemetry_overhead
+    targets = bench_pbft, bench_poa, bench_telemetry_overhead, bench_trace_overhead
 }
 criterion_main!(benches);

@@ -5,6 +5,7 @@ use tn_crypto::sha256::tagged_hash;
 use tn_crypto::{Address, Hash256, Keypair, PublicKey, Signature};
 use tn_par::Pool;
 use tn_telemetry::TelemetrySink;
+use tn_trace::{lanes, TraceId, TraceSink};
 
 use crate::codec::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use crate::error::ChainError;
@@ -183,6 +184,28 @@ impl Block {
         cache: Option<&SigCache>,
         telemetry: &TelemetrySink,
     ) -> Result<(), ChainError> {
+        self.verify_structure_traced(pool, cache, telemetry, &TraceSink::disabled(), 0)
+    }
+
+    /// [`Block::verify_structure_with`] recording one `tx.verify` span per
+    /// transaction into `trace`, parented under `parent` (the importing
+    /// replica's `chain.verify` span). Each span carries the verify worker
+    /// that owned the transaction's chunk (from [`Pool::chunk_bounds`])
+    /// and the transaction's index, so Perfetto shows which tn-par worker
+    /// checked which signature. A disabled `trace` makes this identical
+    /// to [`Block::verify_structure_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Block::verify_structure`].
+    pub fn verify_structure_traced(
+        &self,
+        pool: &Pool,
+        cache: Option<&SigCache>,
+        telemetry: &TelemetrySink,
+        trace: &TraceSink,
+        parent: u64,
+    ) -> Result<(), ChainError> {
         if self.proposer_key.address() != self.header.proposer {
             return Err(ChainError::AddressMismatch);
         }
@@ -195,9 +218,32 @@ impl Block {
         if Block::compute_tx_root_par(&self.transactions, pool) != self.header.tx_root {
             return Err(ChainError::BadTxRoot);
         }
-        pool.try_check(&self.transactions, |_, tx| match cache {
-            Some(cache) => cache.verify_tx(tx, telemetry),
-            None => tx.verify(),
+        let bounds = if trace.is_enabled() {
+            pool.chunk_bounds(self.transactions.len())
+        } else {
+            Vec::new()
+        };
+        pool.try_check(&self.transactions, |i, tx| {
+            let t0 = trace.now_ns();
+            let result = match cache {
+                Some(cache) => cache.verify_tx(tx, telemetry),
+                None => tx.verify(),
+            };
+            if trace.is_enabled() {
+                let worker = bounds
+                    .iter()
+                    .position(|(lo, hi)| (*lo..*hi).contains(&i))
+                    .unwrap_or(0) as u64;
+                trace.complete(
+                    TraceId::from_seed(tx.id().as_bytes()),
+                    "tx.verify",
+                    parent,
+                    lanes::VERIFY,
+                    t0,
+                    &[("worker", worker), ("index", i as u64)],
+                );
+            }
+            result
         })
         .map_err(|(_, err)| err)
     }

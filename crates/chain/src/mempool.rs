@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use tn_crypto::{Address, Hash256};
 use tn_telemetry::TelemetrySink;
+use tn_trace::{lanes, TraceId, TraceSink};
 
 use crate::error::ChainError;
 use crate::sigcache::SigCache;
@@ -26,6 +27,7 @@ pub struct Mempool {
     capacity: usize,
     len: usize,
     telemetry: TelemetrySink,
+    trace: TraceSink,
     /// Optional verified-transaction cache. When set (usually to the
     /// chain store's cache), admission-time verification is recorded so
     /// proposal and import skip re-verifying the same signature.
@@ -41,6 +43,7 @@ impl Mempool {
             capacity,
             len: 0,
             telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
             sig_cache: None,
         }
     }
@@ -49,6 +52,13 @@ impl Mempool {
     /// to `sink`. The default sink is disabled and records nothing.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
+    }
+
+    /// Routes admission spans to `sink`. Each admitted transaction mints
+    /// its trace here: a cluster-once `tx.admission` span keyed by the
+    /// transaction id, the root of that transaction's causal trace.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Shares a verified-transaction cache (usually
@@ -79,9 +89,21 @@ impl Mempool {
     /// - [`ChainError::BadNonce`] if the nonce is already below the
     ///   account's committed nonce in `state`.
     pub fn insert(&mut self, tx: Transaction, state: &State) -> Result<(), ChainError> {
+        let t0 = self.trace.now_ns();
+        let tx_trace = if self.trace.is_enabled() {
+            TraceId::from_seed(tx.id().as_bytes())
+        } else {
+            TraceId::NONE
+        };
         let result = self.insert_inner(tx, state);
         match &result {
-            Ok(()) => self.telemetry.incr("mempool.admitted"),
+            Ok(()) => {
+                self.telemetry.incr("mempool.admitted");
+                // Every replica admits every transaction; only the first
+                // admission mints the trace's root span.
+                self.trace
+                    .complete_once(tx_trace, "tx.admission", 0, lanes::ADMISSION, t0, &[]);
+            }
             Err(err) => {
                 self.telemetry.incr("mempool.rejected");
                 self.telemetry.event("mempool_reject", || err.to_string());

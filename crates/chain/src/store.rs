@@ -13,6 +13,7 @@ use std::time::Instant;
 use tn_crypto::{Address, Hash256, Keypair};
 use tn_par::Pool;
 use tn_telemetry::TelemetrySink;
+use tn_trace::{lanes, replica_span_id, span_id, TraceId, TraceSink};
 
 use crate::block::Block;
 use crate::error::ChainError;
@@ -42,6 +43,7 @@ pub struct ChainStore {
     genesis: Hash256,
     observers: Vec<Box<dyn BlockObserver>>,
     telemetry: TelemetrySink,
+    trace: TraceSink,
     /// Worker pool used for block verification (tx hashing, Merkle
     /// reduction, signature checks). Defaults to [`Pool::auto`].
     pool: Pool,
@@ -92,6 +94,7 @@ impl ChainStore {
             genesis: id,
             observers: Vec::new(),
             telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
             pool: Pool::auto(),
             sig_cache: SigCache::default(),
         }
@@ -102,6 +105,14 @@ impl ChainStore {
     /// disabled, so an uninstrumented store records nothing.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
+    }
+
+    /// Routes the store's spans to `sink`: per-block `chain.import` with
+    /// `chain.verify` / `chain.execute` / `chain.projections` children,
+    /// per-transaction `tx.verify` and `tx.apply`, and per-projection
+    /// `projection.<name>` spans.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Sets the worker pool used for block verification. `Pool::new(0)`
@@ -195,7 +206,30 @@ impl ChainStore {
     ) -> Result<Vec<Receipt>, ChainError> {
         let telemetry = self.telemetry.clone();
         let _span = telemetry.span("chain.import_ns");
+        let trace = self.trace.clone();
+        let t0 = trace.now_ns();
+        let block_trace = if trace.is_enabled() {
+            TraceId::from_seed(block.id().as_bytes())
+        } else {
+            TraceId::NONE
+        };
+        let height = block.header.height;
+        let n_txs = block.transactions.len() as u64;
         let result = self.import_inner(block, executor);
+        if trace.is_enabled() && result.is_ok() {
+            // The pipeline's commit span id is computable from the block
+            // trace alone, so the link holds whether or not a pipeline
+            // actually drove this import.
+            let parent = replica_span_id(block_trace, "pipeline.commit", trace.replica());
+            trace.complete(
+                block_trace,
+                "chain.import",
+                parent,
+                lanes::PIPELINE,
+                t0,
+                &[("height", height), ("txs", n_txs)],
+            );
+        }
         match &result {
             Ok(receipts) => {
                 telemetry.incr("chain.blocks_imported");
@@ -218,9 +252,35 @@ impl ChainStore {
         if self.blocks.contains_key(&id) {
             return Err(ChainError::DuplicateBlock(id));
         }
+        let trace = self.trace.clone();
+        let block_trace = if trace.is_enabled() {
+            TraceId::from_seed(id.as_bytes())
+        } else {
+            TraceId::NONE
+        };
+        let import_span = replica_span_id(block_trace, "chain.import", trace.replica());
         {
             let _verify = self.telemetry.span("chain.verify_ns");
-            block.verify_structure_with(&self.pool, Some(&self.sig_cache), &self.telemetry)?;
+            let v0 = trace.now_ns();
+            let verify_span = replica_span_id(block_trace, "chain.verify", trace.replica());
+            block.verify_structure_traced(
+                &self.pool,
+                Some(&self.sig_cache),
+                &self.telemetry,
+                &trace,
+                verify_span,
+            )?;
+            trace.complete(
+                block_trace,
+                "chain.verify",
+                import_span,
+                lanes::VERIFY,
+                v0,
+                &[
+                    ("txs", block.transactions.len() as u64),
+                    ("workers", self.pool.workers() as u64),
+                ],
+            );
         }
         let parent = self
             .blocks
@@ -238,11 +298,35 @@ impl ChainStore {
         }
         let mut state = parent.post_state.clone();
         let mut receipts = Vec::with_capacity(block.transactions.len());
+        let e0 = trace.now_ns();
         for tx in &block.transactions {
             // Signatures were batch-verified in `verify_structure_with`;
             // only nonce/balance/execution remain.
+            let a0 = trace.now_ns();
             receipts.push(state.apply_prechecked(tx, &block.header.proposer, executor)?);
+            if trace.is_enabled() {
+                // Each replica applies the tx; all of these spans parent
+                // to the single cluster-wide `tx.commit` span, whose id is
+                // computable from the tx trace without coordination.
+                let tx_trace = TraceId::from_seed(tx.id().as_bytes());
+                trace.complete(
+                    tx_trace,
+                    "tx.apply",
+                    span_id(tx_trace, "tx.commit"),
+                    lanes::EXECUTE,
+                    a0,
+                    &[("height", block.header.height)],
+                );
+            }
         }
+        trace.complete(
+            block_trace,
+            "chain.execute",
+            import_span,
+            lanes::EXECUTE,
+            e0,
+            &[("txs", block.transactions.len() as u64)],
+        );
         if state.root() != block.header.state_root {
             return Err(ChainError::BadStateRoot);
         }
@@ -269,7 +353,11 @@ impl ChainStore {
                 let telemetry = self.telemetry.clone();
                 let mut observers = std::mem::take(&mut self.observers);
                 let stored = &self.blocks[&id];
+                let p0 = trace.now_ns();
+                let projections_span =
+                    replica_span_id(block_trace, "chain.projections", trace.replica());
                 for ob in observers.iter_mut() {
+                    let o0 = trace.now_ns();
                     if timed {
                         let started = Instant::now();
                         ob.on_block(&stored.block, &stored.receipts);
@@ -280,6 +368,24 @@ impl ChainStore {
                     } else {
                         ob.on_block(&stored.block, &stored.receipts);
                     }
+                    trace.complete(
+                        block_trace,
+                        format!("projection.{}", ob.name()),
+                        projections_span,
+                        lanes::PROJECTION,
+                        o0,
+                        &[],
+                    );
+                }
+                if !observers.is_empty() {
+                    trace.complete(
+                        block_trace,
+                        "chain.projections",
+                        import_span,
+                        lanes::PROJECTION,
+                        p0,
+                        &[("projections", observers.len() as u64)],
+                    );
                 }
                 self.observers = observers;
             } else {
@@ -488,6 +594,7 @@ impl ChainStore {
             genesis: id,
             observers: Vec::new(),
             telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
             pool: Pool::auto(),
             sig_cache: SigCache::default(),
         };

@@ -3,6 +3,7 @@
 //! experiment (consensus scaling) in EXPERIMENTS.md.
 
 use tn_telemetry::TelemetrySink;
+use tn_trace::TraceSink;
 
 use crate::pbft::{ByzMode, PbftConfig, PbftMsg, PbftReplica, Request};
 use crate::poa::{PoaConfig, PoaMode, PoaMsg, PoaValidator};
@@ -228,11 +229,30 @@ pub fn order_payloads_pbft_instrumented(
     max_time: u64,
     sinks: &[TelemetrySink],
 ) -> Vec<CommittedPayloads> {
+    order_payloads_pbft_traced(n, payloads, interarrival, net, max_time, sinks, &[])
+}
+
+/// [`order_payloads_pbft_instrumented`] plus per-replica span sinks:
+/// replica `i` records its consensus phase spans into `traces[i]` (missing
+/// entries default to disabled). Collect the merged trace from the
+/// [`tn_trace::Tracer`] the sinks came from.
+pub fn order_payloads_pbft_traced(
+    n: usize,
+    payloads: &[Vec<u8>],
+    interarrival: u64,
+    net: NetworkConfig,
+    max_time: u64,
+    sinks: &[TelemetrySink],
+    traces: &[TraceSink],
+) -> Vec<CommittedPayloads> {
     let nodes: Vec<PbftReplica> = (0..n)
         .map(|id| {
             let mut replica = PbftReplica::new(id, n, PbftConfig::default(), ByzMode::Honest);
             if let Some(sink) = sinks.get(id) {
                 replica.set_telemetry(sink.clone());
+            }
+            if let Some(trace) = traces.get(id) {
+                replica.set_trace(trace.clone());
             }
             replica
         })
@@ -279,11 +299,29 @@ pub fn order_payloads_poa_instrumented(
     max_time: u64,
     sinks: &[TelemetrySink],
 ) -> Vec<CommittedPayloads> {
+    order_payloads_poa_traced(n, payloads, interarrival, net, max_time, sinks, &[])
+}
+
+/// [`order_payloads_poa_instrumented`] plus per-validator span sinks:
+/// validator `i` records its `poa.propose`/`poa.commit` spans into
+/// `traces[i]` (missing entries default to disabled).
+pub fn order_payloads_poa_traced(
+    n: usize,
+    payloads: &[Vec<u8>],
+    interarrival: u64,
+    net: NetworkConfig,
+    max_time: u64,
+    sinks: &[TelemetrySink],
+    traces: &[TraceSink],
+) -> Vec<CommittedPayloads> {
     let nodes: Vec<PoaValidator> = (0..n)
         .map(|id| {
             let mut v = PoaValidator::new(id, n, PoaConfig::default(), PoaMode::Honest);
             if let Some(sink) = sinks.get(id) {
                 v.set_telemetry(sink.clone());
+            }
+            if let Some(trace) = traces.get(id) {
+                v.set_trace(trace.clone());
             }
             v
         })
@@ -339,6 +377,77 @@ mod tests {
         for view in &views[1..] {
             assert_eq!(*view, views[0]);
         }
+    }
+
+    #[test]
+    fn traced_pbft_run_produces_cross_replica_spans() {
+        let tracer = tn_trace::Tracer::new(4);
+        let traces: Vec<TraceSink> = (0..4).map(|i| tracer.sink(i)).collect();
+        let payloads: Vec<Vec<u8>> = (0u8..10).map(|i| vec![i; 8]).collect();
+        let views = order_payloads_pbft_traced(
+            4,
+            &payloads,
+            5,
+            NetworkConfig::default(),
+            200_000,
+            &[],
+            &traces,
+        );
+        assert_eq!(views[0].iter().flatten().count(), 10);
+        let trace = tracer.collect();
+        assert!(!trace.named("pbft.propose").is_empty());
+        assert!(!trace.named("pbft.prepare_phase").is_empty());
+        assert!(!trace.named("pbft.commit_phase").is_empty());
+        // Every prepare phase (primary's and backups') hangs under the
+        // propose span of the batch — the cross-replica causal link
+        // carried by the pre-prepare message's span context.
+        let proposes: Vec<(tn_trace::TraceId, u64)> = trace
+            .named("pbft.propose")
+            .iter()
+            .map(|s| (s.trace, s.id))
+            .collect();
+        for s in trace.named("pbft.prepare_phase") {
+            assert!(
+                proposes.contains(&(s.trace, s.parent)),
+                "prepare_phase parent must be its batch's propose span"
+            );
+        }
+        // The batch trace must span several replicas (the whole point).
+        assert!(!trace.cross_replica_traces(2).is_empty());
+        // Deterministic parent links: each commit phase hangs under the
+        // same replica's prepare phase, computed — never communicated.
+        for s in trace.named("pbft.commit_phase") {
+            assert_eq!(
+                s.parent,
+                tn_trace::replica_span_id(s.trace, "pbft.prepare_phase", s.replica)
+            );
+        }
+    }
+
+    #[test]
+    fn traced_poa_run_parents_commits_under_proposals() {
+        let tracer = tn_trace::Tracer::new(4);
+        let traces: Vec<TraceSink> = (0..4).map(|i| tracer.sink(i)).collect();
+        let payloads: Vec<Vec<u8>> = (0u8..8).map(|i| vec![i; 8]).collect();
+        order_payloads_poa_traced(
+            4,
+            &payloads,
+            5,
+            NetworkConfig::default(),
+            200_000,
+            &[],
+            &traces,
+        );
+        let trace = tracer.collect();
+        let proposals = trace.named("poa.propose");
+        assert!(!proposals.is_empty());
+        for s in trace.named("poa.commit") {
+            // Follower commits carry the leader's propose span as parent.
+            assert!(proposals
+                .iter()
+                .any(|p| p.id == s.parent && p.trace == s.trace));
+        }
+        assert!(!trace.cross_replica_traces(2).is_empty());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use tn_crypto::sha256::tagged_hash;
 use tn_crypto::Hash256;
 use tn_telemetry::TelemetrySink;
+use tn_trace::{lanes, replica_span_id, SpanContext, TraceId, TraceSink};
 
 use crate::sim::{Context, Node, NodeId, EXTERNAL};
 
@@ -63,6 +64,9 @@ pub enum PbftMsg {
         digest: Hash256,
         /// The proposed batch.
         batch: Vec<Request>,
+        /// Causal trace context: the primary's `pbft.propose` span.
+        /// Not part of the digest — tracing never affects agreement.
+        span: SpanContext,
     },
     /// Backup's agreement to the proposal.
     Prepare {
@@ -72,6 +76,8 @@ pub enum PbftMsg {
         seq: u64,
         /// Batch digest.
         digest: Hash256,
+        /// Causal trace context: the sender's handling span.
+        span: SpanContext,
     },
     /// Commit vote after the prepare quorum.
     Commit {
@@ -81,6 +87,8 @@ pub enum PbftMsg {
         seq: u64,
         /// Batch digest.
         digest: Hash256,
+        /// Causal trace context: the sender's `pbft.prepare_phase` span.
+        span: SpanContext,
     },
     /// Vote to move to `new_view`, carrying prepared-but-unexecuted batches.
     ViewChange {
@@ -147,6 +155,15 @@ struct LogEntry {
     preprepare_at: Option<u64>,
     /// Sim time the prepare quorum was reached.
     prepared_at: Option<u64>,
+    /// Trace this batch belongs to ([`TraceId::NONE`] when tracing is off).
+    trace: TraceId,
+    /// This replica's local handling span for the batch (`pbft.propose` on
+    /// the primary, `pbft.preprepare` on backups); 0 when tracing is off.
+    span_parent: u64,
+    /// Wall-clock ns the proposal was first seen (trace timeline).
+    preprepare_at_ns: Option<u64>,
+    /// Wall-clock ns the prepare quorum was reached (trace timeline).
+    prepared_at_ns: Option<u64>,
 }
 
 /// Timer ids.
@@ -220,6 +237,9 @@ pub struct PbftReplica {
     /// Metrics sink (phase latencies, commit counters, view changes).
     /// Disabled by default; times are sim ticks, not wall-clock.
     telemetry: TelemetrySink,
+    /// Span sink (per-batch consensus phase spans, wall-clock ns).
+    /// Disabled by default.
+    trace: TraceSink,
 }
 
 impl PbftReplica {
@@ -248,6 +268,7 @@ impl PbftReplica {
             checkpoint_votes: HashMap::new(),
             stable_checkpoint: 0,
             telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -257,6 +278,14 @@ impl PbftReplica {
     /// simulation ticks.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
+    }
+
+    /// Routes this replica's consensus spans — `pbft.propose`,
+    /// `pbft.preprepare`, `pbft.prepare_phase`, `pbft.commit_phase`, one
+    /// each per ordered batch — to `sink`. The batch trace id is derived
+    /// from the batch digest, so every replica lands in the same trace.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The quorum size `2f + 1`.
@@ -321,6 +350,7 @@ impl PbftReplica {
         if self.pending.is_empty() {
             return;
         }
+        let t0 = self.trace.now_ns();
         let take = self.pending.len().min(self.config.max_batch);
         let batch: Vec<Request> = self.pending.drain(..take).collect();
         for r in &batch {
@@ -352,6 +382,7 @@ impl PbftReplica {
                         seq,
                         digest,
                         batch: b,
+                        span: SpanContext::NONE,
                     },
                 );
             }
@@ -360,22 +391,44 @@ impl PbftReplica {
 
         let digest = batch_digest(&batch);
         self.telemetry.incr("pbft.proposals");
+        let trace = self.trace.clone();
+        let batch_trace = if trace.is_enabled() {
+            TraceId::from_seed(digest.as_bytes())
+        } else {
+            TraceId::NONE
+        };
+        let propose_span = replica_span_id(batch_trace, "pbft.propose", self.id);
         let entry = self.log.entry((view, seq)).or_default();
         entry.digest = Some(digest);
         entry.batch = batch.clone();
         entry.prepares.insert(self.id);
         entry.preprepare_at = Some(ctx.now());
+        entry.trace = batch_trace;
+        entry.span_parent = propose_span;
+        entry.preprepare_at_ns = Some(t0);
+        let n_reqs = batch.len() as u64;
+        trace.complete(
+            batch_trace,
+            "pbft.propose",
+            0,
+            lanes::CONSENSUS,
+            t0,
+            &[("view", view), ("seq", seq), ("requests", n_reqs)],
+        );
         ctx.broadcast(
             PbftMsg::PrePrepare {
                 view,
                 seq,
                 digest,
                 batch,
+                span: SpanContext::new(batch_trace, propose_span),
             },
             false,
         );
     }
 
+    // Mirrors the `PbftMsg::PrePrepare` fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
     fn on_preprepare(
         &mut self,
         from: NodeId,
@@ -383,6 +436,7 @@ impl PbftReplica {
         seq: u64,
         digest: Hash256,
         batch: Vec<Request>,
+        span: SpanContext,
         ctx: &mut Context<'_, PbftMsg>,
     ) {
         if view != self.view || from != self.primary_of(view) {
@@ -391,6 +445,8 @@ impl PbftReplica {
         if batch_digest(&batch) != digest {
             return; // malformed proposal
         }
+        let trace = self.trace.clone();
+        let t0 = trace.now_ns();
         let entry = self.log.entry((view, seq)).or_default();
         if let Some(existing) = entry.digest {
             if existing != digest {
@@ -400,11 +456,36 @@ impl PbftReplica {
         entry.digest = Some(digest);
         entry.batch = batch;
         entry.preprepare_at.get_or_insert(ctx.now());
+        // Join the batch trace: derive the id from the digest so even a
+        // span-less re-proposal (new-view path) lands in the right trace.
+        // The pre-prepare arrival is the *start* of this replica's
+        // prepare-phase span (no separate handler span); its parent is the
+        // primary's propose span carried in the message, which is what
+        // links the backup's phases to the primary across replicas.
+        if trace.is_enabled() && entry.trace.is_none() {
+            let batch_trace = if span.is_none() {
+                TraceId::from_seed(digest.as_bytes())
+            } else {
+                span.trace
+            };
+            entry.trace = batch_trace;
+            entry.span_parent = span.parent;
+            entry.preprepare_at_ns = Some(t0);
+        }
+        let batch_trace = entry.trace;
         self.telemetry.incr("pbft.preprepares_accepted");
         // The pre-prepare counts as the primary's prepare; add our own too.
         entry.prepares.insert(from);
         entry.prepares.insert(self.id);
-        ctx.broadcast(PbftMsg::Prepare { view, seq, digest }, false);
+        ctx.broadcast(
+            PbftMsg::Prepare {
+                view,
+                seq,
+                digest,
+                span: SpanContext::new(batch_trace, entry.span_parent),
+            },
+            false,
+        );
         self.maybe_send_commit(view, seq, ctx);
     }
 
@@ -414,6 +495,7 @@ impl PbftReplica {
         view: u64,
         seq: u64,
         digest: Hash256,
+        _span: SpanContext,
         ctx: &mut Context<'_, PbftMsg>,
     ) {
         if view != self.view {
@@ -447,11 +529,36 @@ impl PbftReplica {
         entry.commits.insert(self.id);
         let now = ctx.now();
         entry.prepared_at = Some(now);
+        let trace = self.trace.clone();
+        let phase_span = replica_span_id(entry.trace, "pbft.prepare_phase", self.id);
+        let span = SpanContext::new(entry.trace, phase_span);
+        // The prepare-phase span covers first-sight of the proposal up to
+        // the prepare quorum, parented under this replica's handling span.
+        if let Some(start_ns) = entry.preprepare_at_ns {
+            entry.prepared_at_ns = Some(trace.now_ns());
+            let prepares = entry.prepares.len() as u64;
+            trace.complete(
+                entry.trace,
+                "pbft.prepare_phase",
+                entry.span_parent,
+                lanes::CONSENSUS,
+                start_ns,
+                &[("view", view), ("seq", seq), ("prepares", prepares)],
+            );
+        }
         if let Some(since) = entry.preprepare_at {
             self.telemetry
                 .observe("pbft.prepare_phase_ticks", now.saturating_sub(since));
         }
-        ctx.broadcast(PbftMsg::Commit { view, seq, digest }, false);
+        ctx.broadcast(
+            PbftMsg::Commit {
+                view,
+                seq,
+                digest,
+                span,
+            },
+            false,
+        );
         self.maybe_commit(view, seq, ctx);
     }
 
@@ -461,6 +568,7 @@ impl PbftReplica {
         view: u64,
         seq: u64,
         digest: Hash256,
+        _span: SpanContext,
         ctx: &mut Context<'_, PbftMsg>,
     ) {
         // Accept commits for the current view (old-view commits are handled
@@ -494,6 +602,20 @@ impl PbftReplica {
         if let Some(since) = entry.prepared_at {
             self.telemetry
                 .observe("pbft.commit_phase_ticks", ctx.now().saturating_sub(since));
+        }
+        // Commit-phase span: prepare quorum to commit quorum, parented
+        // under this replica's prepare-phase span (id recomputed, not
+        // stored — that is the deterministic-id contract).
+        if let Some(start_ns) = entry.prepared_at_ns {
+            let commits = entry.commits.len() as u64;
+            self.trace.complete(
+                entry.trace,
+                "pbft.commit_phase",
+                replica_span_id(entry.trace, "pbft.prepare_phase", self.id),
+                lanes::CONSENSUS,
+                start_ns,
+                &[("view", view), ("seq", seq), ("commits", commits)],
+            );
         }
         let digest = entry.digest.expect("checked");
         let batch = entry.batch.clone();
@@ -705,9 +827,10 @@ impl PbftReplica {
             return;
         }
         self.install_view(view, &reproposals, ctx);
-        // Treat each re-proposal as a pre-prepare in the new view.
+        // Treat each re-proposal as a pre-prepare in the new view. No span
+        // context: the trace id is re-derived from the batch digest.
         for (seq, digest, batch) in reproposals {
-            self.on_preprepare(from, view, seq, digest, batch, ctx);
+            self.on_preprepare(from, view, seq, digest, batch, SpanContext::NONE, ctx);
         }
     }
 
@@ -766,14 +889,25 @@ impl Node<PbftMsg> for PbftReplica {
                 seq,
                 digest,
                 batch,
+                span,
             } => {
-                self.on_preprepare(from, view, seq, digest, batch, ctx);
+                self.on_preprepare(from, view, seq, digest, batch, span, ctx);
             }
-            PbftMsg::Prepare { view, seq, digest } => {
-                self.on_prepare(from, view, seq, digest, ctx);
+            PbftMsg::Prepare {
+                view,
+                seq,
+                digest,
+                span,
+            } => {
+                self.on_prepare(from, view, seq, digest, span, ctx);
             }
-            PbftMsg::Commit { view, seq, digest } => {
-                self.on_commit(from, view, seq, digest, ctx);
+            PbftMsg::Commit {
+                view,
+                seq,
+                digest,
+                span,
+            } => {
+                self.on_commit(from, view, seq, digest, span, ctx);
             }
             PbftMsg::ViewChange { new_view, prepared } => {
                 self.on_view_change(from, new_view, prepared, ctx);

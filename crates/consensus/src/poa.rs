@@ -13,6 +13,7 @@ use std::collections::{HashMap, HashSet};
 use tn_crypto::sha256::tagged_hash;
 use tn_crypto::Hash256;
 use tn_telemetry::TelemetrySink;
+use tn_trace::{lanes, replica_span_id, SpanContext, TraceId, TraceSink};
 
 use crate::pbft::Request;
 use crate::sim::{Context, Node, NodeId, EXTERNAL};
@@ -30,6 +31,9 @@ pub enum PoaMsg {
         digest: Hash256,
         /// The batch.
         batch: Vec<Request>,
+        /// Causal trace context: the leader's `poa.propose` span.
+        /// Not part of the digest — tracing never affects agreement.
+        span: SpanContext,
     },
 }
 
@@ -100,6 +104,9 @@ pub struct PoaValidator {
     /// Metrics sink (round/commit counters and request latency, in sim
     /// ticks). Disabled by default.
     telemetry: TelemetrySink,
+    /// Span sink (`poa.propose` / `poa.commit`, wall-clock ns). Disabled
+    /// by default.
+    trace: TraceSink,
 }
 
 impl PoaValidator {
@@ -118,6 +125,7 @@ impl PoaValidator {
             seen_slots: HashMap::new(),
             committed: Vec::new(),
             telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -128,14 +136,25 @@ impl PoaValidator {
         self.telemetry = sink;
     }
 
+    /// Routes this validator's slot spans — `poa.propose` on the leader,
+    /// `poa.commit` on every validator, batch trace derived from the slot
+    /// digest — to `sink`.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
     fn leader_of(&self, slot: u64) -> NodeId {
         (slot % self.n as u64) as usize
     }
 
-    fn commit(&mut self, slot: u64, digest: Hash256, batch: Vec<Request>, now: u64) {
+    /// Commits `batch` for `slot`; `parent` is the causing span (the
+    /// leader's `poa.propose`, locally computed or carried by the
+    /// proposal message), 0 when untraced.
+    fn commit(&mut self, slot: u64, digest: Hash256, batch: Vec<Request>, now: u64, parent: u64) {
         if self.seen_slots.contains_key(&slot) {
             return;
         }
+        let t0 = self.trace.now_ns();
         self.seen_slots.insert(slot, digest);
         let fresh: Vec<Request> = batch
             .into_iter()
@@ -153,6 +172,17 @@ impl PoaValidator {
             self.telemetry.observe(
                 "poa.request_latency_ticks",
                 now.saturating_sub(r.submitted_at),
+            );
+        }
+        if self.trace.is_enabled() {
+            let batch_trace = TraceId::from_seed(digest.as_bytes());
+            self.trace.complete(
+                batch_trace,
+                "poa.commit",
+                parent,
+                lanes::CONSENSUS,
+                t0,
+                &[("slot", slot), ("requests", fresh.len() as u64)],
             );
         }
         self.committed.push(PoaEntry {
@@ -183,6 +213,7 @@ impl Node<PoaMsg> for PoaValidator {
                 slot,
                 digest,
                 batch,
+                span,
             } => {
                 if from != self.leader_of(slot) {
                     return; // not the authorized leader for this slot
@@ -190,7 +221,7 @@ impl Node<PoaMsg> for PoaValidator {
                 if batch_digest(&batch) != digest {
                     return;
                 }
-                self.commit(slot, digest, batch, ctx.now());
+                self.commit(slot, digest, batch, ctx.now(), span.parent);
             }
         }
     }
@@ -206,6 +237,7 @@ impl Node<PoaMsg> for PoaValidator {
         if self.leader_of(slot) != self.id || self.pending.is_empty() {
             return;
         }
+        let t0 = self.trace.now_ns();
         let take = self.pending.len().min(self.config.max_batch);
         let batch: Vec<Request> = self.pending.drain(..take).collect();
         for r in &batch {
@@ -215,12 +247,27 @@ impl Node<PoaMsg> for PoaValidator {
         match self.mode {
             PoaMode::Honest => {
                 let digest = batch_digest(&batch);
-                self.commit(slot, digest, batch.clone(), ctx.now());
+                let batch_trace = if self.trace.is_enabled() {
+                    TraceId::from_seed(digest.as_bytes())
+                } else {
+                    TraceId::NONE
+                };
+                let propose_span = replica_span_id(batch_trace, "poa.propose", self.id);
+                self.trace.complete(
+                    batch_trace,
+                    "poa.propose",
+                    0,
+                    lanes::CONSENSUS,
+                    t0,
+                    &[("slot", slot), ("requests", batch.len() as u64)],
+                );
+                self.commit(slot, digest, batch.clone(), ctx.now(), propose_span);
                 ctx.broadcast(
                     PoaMsg::Proposal {
                         slot,
                         digest,
                         batch,
+                        span: SpanContext::new(batch_trace, propose_span),
                     },
                     false,
                 );
@@ -246,6 +293,7 @@ impl Node<PoaMsg> for PoaValidator {
                             slot,
                             digest,
                             batch: b,
+                            span: SpanContext::NONE,
                         },
                     );
                 }
@@ -367,6 +415,7 @@ mod tests {
                 slot: 0,
                 digest,
                 batch,
+                span: SpanContext::NONE,
             },
             5,
         );

@@ -7,6 +7,7 @@ use tn_chain::state::TxExecutor;
 use tn_crypto::sha256::tagged_hash;
 use tn_crypto::{Address, Hash256};
 use tn_telemetry::TelemetrySink;
+use tn_trace::{lanes, TraceId, TraceSink};
 
 use crate::builtin::BuiltinContract;
 use crate::vm::{execute, validate, ExecEnv, Word};
@@ -66,6 +67,7 @@ pub struct ContractRegistry {
     contracts: HashMap<Address, ContractEntry>,
     builtins: HashMap<Address, Box<dyn BuiltinContract>>,
     telemetry: TelemetrySink,
+    trace: TraceSink,
 }
 
 impl ContractRegistry {
@@ -79,6 +81,13 @@ impl ContractRegistry {
     /// `contracts.exec_ns` histogram — to `sink`. Disabled by default.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
+    }
+
+    /// Routes per-call `contract.call` spans to `sink`. Each span's trace
+    /// is derived from the contract address, so all calls to one contract
+    /// line up under one trace in the export.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Installs a built-in contract at its well-known address, returning
@@ -208,7 +217,20 @@ impl TxExecutor for ContractRegistry {
     ) -> Result<(u64, Vec<u8>), String> {
         let telemetry = self.telemetry.clone();
         let _span = telemetry.span("contracts.exec_ns");
+        let trace = self.trace.clone();
+        let c0 = trace.now_ns();
         let result = self.call_inner(caller, contract, input, gas_limit);
+        if trace.is_enabled() {
+            let gas = result.as_ref().map(|(gas, _)| *gas).unwrap_or(0);
+            trace.complete(
+                TraceId::from_seed(contract.as_hash().as_bytes()),
+                "contract.call",
+                0,
+                lanes::CONTRACTS,
+                c0,
+                &[("gas", gas), ("ok", result.is_ok() as u64)],
+            );
+        }
         match &result {
             Ok((gas, _)) => {
                 telemetry.incr("contracts.calls");

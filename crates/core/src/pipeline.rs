@@ -21,6 +21,7 @@ use tn_factdb::record::FactRecord;
 use tn_supplychain::graph::SupplyChainGraph;
 use tn_supplychain::index::IndexStats;
 use tn_telemetry::TelemetrySink;
+use tn_trace::{lanes, replica_span_id, TraceId, TraceSink};
 
 use crate::platform::PlatformConfig;
 use crate::projections::{
@@ -135,6 +136,7 @@ pub struct ExecutionPipeline {
     registry: ContractRegistry,
     addrs: BuiltinAddrs,
     telemetry: TelemetrySink,
+    trace: TraceSink,
 }
 
 impl std::fmt::Debug for ExecutionPipeline {
@@ -169,6 +171,7 @@ impl ExecutionPipeline {
             registry,
             addrs,
             telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -179,6 +182,17 @@ impl ExecutionPipeline {
         self.store.set_telemetry(sink.clone());
         self.registry.set_telemetry(sink.clone());
         self.telemetry = sink;
+    }
+
+    /// Routes pipeline spans to `sink` and forwards it to the chain store
+    /// and contract registry. Each committed block records a
+    /// `pipeline.commit` root span with `chain.propose`,
+    /// `pipeline.handoff`, and `chain.import` children. Disabled by
+    /// default.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.store.set_trace(sink.clone());
+        self.registry.set_trace(sink.clone());
+        self.trace = sink;
     }
 
     /// Sizes the chain store's verification worker pool. `0` selects the
@@ -221,6 +235,7 @@ impl ExecutionPipeline {
             registry,
             addrs,
             telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
         })
     }
 
@@ -243,10 +258,50 @@ impl ExecutionPipeline {
         // so the proposal pass can run without the registry; the import
         // pass executes against the authoritative registry exactly once.
         let _span = self.telemetry.span("pipeline.commit_ns");
+        let trace = self.trace.clone();
+        let t0 = trace.now_ns();
         let block = self
             .store
             .propose(proposer, timestamp, txs, &mut NoExecutor);
-        let receipts = self.store.import(block.clone(), &mut self.registry)?;
+        // The block id exists only after proposing, so the root span and
+        // its propose child are recorded retroactively from t0 — the ids
+        // are deterministic, so children recorded later still link up.
+        let block_trace = if trace.is_enabled() {
+            TraceId::from_seed(block.id().as_bytes())
+        } else {
+            TraceId::NONE
+        };
+        let commit_span = replica_span_id(block_trace, "pipeline.commit", trace.replica());
+        trace.complete(
+            block_trace,
+            "chain.propose",
+            commit_span,
+            lanes::PIPELINE,
+            t0,
+            &[("txs", block.transactions.len() as u64)],
+        );
+        let h0 = trace.now_ns();
+        let block_for_import = block.clone();
+        trace.complete(
+            block_trace,
+            "pipeline.handoff",
+            commit_span,
+            lanes::PIPELINE,
+            h0,
+            &[],
+        );
+        let receipts = self.store.import(block_for_import, &mut self.registry)?;
+        trace.complete(
+            block_trace,
+            "pipeline.commit",
+            0,
+            lanes::PIPELINE,
+            t0,
+            &[
+                ("height", block.header.height),
+                ("timestamp", block.header.timestamp),
+            ],
+        );
         self.telemetry.incr("pipeline.batches_committed");
         Ok((block, receipts))
     }

@@ -10,12 +10,13 @@
 
 use tn_chain::prelude::Transaction;
 use tn_consensus::harness::{
-    order_payloads_pbft_instrumented, order_payloads_poa_instrumented, CommittedPayloads,
+    order_payloads_pbft_traced, order_payloads_poa_traced, CommittedPayloads,
 };
 use tn_consensus::sim::NetworkConfig;
 use tn_core::platform::PlatformConfig;
 use tn_crypto::Hash256;
 use tn_telemetry::{Snapshot, TelemetrySink};
+use tn_trace::{Trace, TraceSink, Tracer};
 
 use crate::validator::{encode_payloads, NodeError, ValidatorNode};
 
@@ -32,6 +33,10 @@ pub struct ClusterConfig {
     pub interarrival: u64,
     /// Simulation horizon.
     pub max_time: u64,
+    /// Record causal spans across every replica and return the merged
+    /// [`Trace`] in the run. Off by default: disabled tracing is a single
+    /// branch per span site.
+    pub tracing: bool,
 }
 
 impl Default for ClusterConfig {
@@ -42,6 +47,7 @@ impl Default for ClusterConfig {
             net: NetworkConfig::default(),
             interarrival: 5,
             max_time: 2_000_000,
+            tracing: false,
         }
     }
 }
@@ -79,6 +85,9 @@ pub struct ClusterRun {
     pub reports: Vec<NodeReport>,
     /// The replicas themselves (for replay audits and state queries).
     pub nodes: Vec<ValidatorNode>,
+    /// The merged causal trace across all replicas, when
+    /// [`ClusterConfig::tracing`] was on.
+    pub trace: Option<Trace>,
 }
 
 impl ClusterRun {
@@ -101,13 +110,26 @@ fn run_cluster(
     protocol: &'static str,
     config: &ClusterConfig,
     txs: &[Transaction],
-    order: impl FnOnce(&[TelemetrySink]) -> Vec<CommittedPayloads>,
+    order: impl FnOnce(&[TelemetrySink], &[TraceSink]) -> Vec<CommittedPayloads>,
 ) -> Result<ClusterRun, NodeError> {
     // Nodes are created before consensus runs so each replica's PBFT/PoA
     // metrics record into the matching node's registry.
     let mut nodes: Vec<ValidatorNode> = (0..config.n_validators)
         .map(|id| ValidatorNode::new(id, &config.platform))
         .collect();
+    // One tracer for the whole cluster: every replica's sink shares the
+    // time origin and the once-per-trace mint set, so admission/commit
+    // spans appear exactly once cluster-wide.
+    let tracer = config.tracing.then(|| Tracer::new(config.n_validators));
+    let trace_sinks: Vec<TraceSink> = match &tracer {
+        Some(tracer) => (0..config.n_validators).map(|id| tracer.sink(id)).collect(),
+        None => Vec::new(),
+    };
+    for (id, node) in nodes.iter_mut().enumerate() {
+        if let Some(sink) = trace_sinks.get(id) {
+            node.set_trace(sink.clone());
+        }
+    }
     // Client ingest: every transaction is admission-checked at every
     // node's mempool before its payload enters consensus ordering.
     for node in nodes.iter_mut() {
@@ -116,7 +138,7 @@ fn run_cluster(
         }
     }
     let sinks: Vec<TelemetrySink> = nodes.iter().map(ValidatorNode::telemetry_sink).collect();
-    let views = order(&sinks);
+    let views = order(&sinks, &trace_sinks);
     let mut reports = Vec::with_capacity(nodes.len());
     for (node, batches) in nodes.iter_mut().zip(views) {
         let mut included = 0usize;
@@ -143,6 +165,7 @@ fn run_cluster(
         injected: txs.len(),
         reports,
         nodes,
+        trace: tracer.map(|t| t.collect()),
     })
 }
 
@@ -157,14 +180,15 @@ pub fn run_pbft_cluster(
     txs: &[Transaction],
 ) -> Result<ClusterRun, NodeError> {
     let payloads = encode_payloads(txs);
-    run_cluster("pbft", config, txs, |sinks| {
-        order_payloads_pbft_instrumented(
+    run_cluster("pbft", config, txs, |sinks, traces| {
+        order_payloads_pbft_traced(
             config.n_validators,
             &payloads,
             config.interarrival,
             config.net.clone(),
             config.max_time,
             sinks,
+            traces,
         )
     })
 }
@@ -180,14 +204,15 @@ pub fn run_poa_cluster(
     txs: &[Transaction],
 ) -> Result<ClusterRun, NodeError> {
     let payloads = encode_payloads(txs);
-    run_cluster("poa", config, txs, |sinks| {
-        order_payloads_poa_instrumented(
+    run_cluster("poa", config, txs, |sinks, traces| {
+        order_payloads_poa_traced(
             config.n_validators,
             &payloads,
             config.interarrival,
             config.net.clone(),
             config.max_time,
             sinks,
+            traces,
         )
     })
 }
@@ -198,11 +223,12 @@ mod tests {
     use crate::workload::scripted_workload;
 
     #[test]
-    fn pbft_cluster_agrees_and_replays() {
+    fn pbft_cluster_agrees_and_replays() -> Result<(), String> {
         let config = ClusterConfig::default();
         let txs = scripted_workload(&config.platform);
         assert!(txs.len() >= 10, "workload too small: {}", txs.len());
-        let run = run_pbft_cluster(&config, &txs).unwrap();
+        let run = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("pbft cluster failed to apply a committed batch: {e}"))?;
         assert_eq!(run.reports.len(), 4);
         let agreed = run.agreed_digest().expect("replicas diverged");
         for report in &run.reports {
@@ -212,16 +238,20 @@ mod tests {
         }
         // Every replica passes the ledger-replay audit.
         for node in &run.nodes {
-            node.verify_replay().expect("replay audit");
+            node.verify_replay()
+                .map_err(|e| format!("replay audit failed on replica {}: {e}", node.id()))?;
         }
+        Ok(())
     }
 
     #[test]
-    fn poa_cluster_matches_pbft_state() {
+    fn poa_cluster_matches_pbft_state() -> Result<(), String> {
         let config = ClusterConfig::default();
         let txs = scripted_workload(&config.platform);
-        let pbft = run_pbft_cluster(&config, &txs).unwrap();
-        let poa = run_poa_cluster(&config, &txs).unwrap();
+        let pbft = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("pbft cluster failed to apply a committed batch: {e}"))?;
+        let poa = run_poa_cluster(&config, &txs)
+            .map_err(|e| format!("poa cluster failed to apply a committed batch: {e}"))?;
         let pbft_digest = pbft.agreed_digest().expect("pbft agreement");
         let poa_digest = poa.agreed_digest().expect("poa agreement");
         // Same batches in the same order would give identical digests;
@@ -232,5 +262,138 @@ mod tests {
             poa.nodes[0].pipeline().factdb().root(),
             "pbft digest {pbft_digest} poa digest {poa_digest}"
         );
+        Ok(())
+    }
+
+    #[test]
+    fn traced_pbft_cluster_yields_causal_trace() -> Result<(), String> {
+        let config = ClusterConfig {
+            tracing: true,
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        let run = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("traced pbft cluster failed: {e}"))?;
+        // Tracing must not perturb execution: replicas still agree.
+        assert!(run.is_consistent(), "traced replicas diverged");
+        let trace = run.trace.as_ref().expect("tracing was enabled");
+        assert!(!trace.is_empty());
+        // Spans from at least 3 replicas share trace ids (the cross-replica
+        // causal links the exporter renders).
+        assert!(
+            !trace.cross_replica_traces(3).is_empty(),
+            "expected traces spanning >= 3 replicas"
+        );
+        // Lifecycle spans all present.
+        for name in [
+            "tx.admission",
+            "pbft.propose",
+            "pbft.prepare_phase",
+            "pbft.commit_phase",
+            "pipeline.commit",
+            "chain.verify",
+            "chain.execute",
+            "tx.commit",
+            "tx.apply",
+        ] {
+            assert!(!trace.named(name).is_empty(), "missing {name} spans");
+        }
+        // Every tx.apply links to the cluster-once tx.commit of its trace.
+        for apply in trace.named("tx.apply") {
+            assert_eq!(apply.parent, tn_trace::span_id(apply.trace, "tx.commit"));
+        }
+        Ok(())
+    }
+
+    /// Trace-propagation invariants for one traced cluster run: every
+    /// committed transaction's trace holds exactly one cluster-wide
+    /// admission span, exactly one commit span parented under it, and one
+    /// `tx.apply` span per replica parented under the commit — with the
+    /// parent ids recomputed from the deterministic-id scheme, never read
+    /// from the spans themselves.
+    fn assert_tx_trace_shape(workers: usize, prefix: usize) -> Result<(), String> {
+        let config = ClusterConfig {
+            tracing: true,
+            platform: PlatformConfig {
+                verify_workers: workers,
+                ..PlatformConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        // A prefix of the scripted workload is still causally valid
+        // (dependencies always precede dependents).
+        let prefix = prefix.clamp(10, txs.len());
+        let run = run_pbft_cluster(&config, &txs[..prefix])
+            .map_err(|e| format!("traced cluster ({workers} workers) failed: {e}"))?;
+        assert!(run.is_consistent(), "replicas diverged");
+        let trace = run.trace.as_ref().expect("tracing was enabled");
+        let n = config.n_validators;
+
+        let commits = trace.named("tx.commit");
+        let included = run.reports[0].included;
+        assert_eq!(
+            commits.len(),
+            included,
+            "one cluster-wide tx.commit span per committed tx"
+        );
+        for commit in &commits {
+            let spans = trace.of_trace(commit.trace);
+            let admissions: Vec<_> = spans.iter().filter(|s| s.name == "tx.admission").collect();
+            assert_eq!(admissions.len(), 1, "exactly one admission span");
+            let admission = admissions[0];
+            assert_eq!(
+                admission.id,
+                tn_trace::span_id(commit.trace, "tx.admission")
+            );
+            assert_eq!(admission.parent, 0, "admission is the trace root");
+            assert_eq!(
+                spans.iter().filter(|s| s.name == "tx.commit").count(),
+                1,
+                "exactly one commit span"
+            );
+            assert_eq!(commit.parent, admission.id, "commit hangs under admission");
+            let applies: Vec<_> = spans.iter().filter(|s| s.name == "tx.apply").collect();
+            assert_eq!(applies.len(), n, "one tx.apply per replica");
+            let mut replicas: Vec<usize> = applies.iter().map(|s| s.replica).collect();
+            replicas.sort_unstable();
+            assert_eq!(replicas, (0..n).collect::<Vec<_>>());
+            for apply in applies {
+                assert_eq!(apply.parent, commit.id, "apply hangs under commit");
+            }
+        }
+        Ok(())
+    }
+
+    proptest::proptest! {
+        // Each case is a full 4-replica traced cluster run; keep the case
+        // count small. One property per verify-worker count so both the
+        // sequential path and the tn-par pool are always exercised — the
+        // trace shape must be identical either way.
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(2))]
+
+        #[test]
+        fn prop_tx_traces_well_formed_sequential_verify(prefix in 10usize..64) {
+            if let Err(e) = assert_tx_trace_shape(1, prefix) {
+                return Err(proptest::test_runner::TestCaseError::Fail(e));
+            }
+        }
+
+        #[test]
+        fn prop_tx_traces_well_formed_parallel_verify(prefix in 10usize..64) {
+            if let Err(e) = assert_tx_trace_shape(4, prefix) {
+                return Err(proptest::test_runner::TestCaseError::Fail(e));
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_cluster_has_no_trace() -> Result<(), String> {
+        let config = ClusterConfig::default();
+        let txs = scripted_workload(&config.platform);
+        let run =
+            run_pbft_cluster(&config, &txs).map_err(|e| format!("pbft cluster failed: {e}"))?;
+        assert!(run.trace.is_none());
+        Ok(())
     }
 }

@@ -18,6 +18,7 @@ use tn_core::pipeline::{bootstrap, Bootstrap, ExecutionPipeline};
 use tn_core::platform::PlatformConfig;
 use tn_crypto::{Hash256, Keypair};
 use tn_telemetry::{Registry, Snapshot, TelemetrySink};
+use tn_trace::{lanes, span_id, TraceId, TraceSink};
 
 /// Errors from applying a committed batch.
 #[derive(Debug)]
@@ -73,6 +74,9 @@ pub struct ValidatorNode {
     /// Per-replica metrics: block imports, projection apply times,
     /// consensus phase histograms, mempool admissions, contract gas.
     registry: Registry,
+    /// Span sink for the execution path (disabled unless the cluster run
+    /// enables tracing).
+    trace: TraceSink,
 }
 
 impl ValidatorNode {
@@ -101,7 +105,18 @@ impl ValidatorNode {
             next_timestamp: 2,
             mempool,
             registry,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Routes this node's execution spans — mempool admission, pipeline
+    /// commit, block verify/execute, per-tx apply, projections — to
+    /// `sink`. Hand the same replica's sink to its consensus node so the
+    /// consensus phases land in the same trace.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.pipeline.set_trace(sink.clone());
+        self.mempool.set_trace(sink.clone());
+        self.trace = sink;
     }
 
     /// Replica id (the consensus node id).
@@ -149,6 +164,7 @@ impl ValidatorNode {
         &mut self,
         payloads: &[Vec<u8>],
     ) -> Result<BatchOutcome, NodeError> {
+        let t0 = self.trace.now_ns();
         let mut txs = Vec::with_capacity(payloads.len());
         let mut undecodable = 0usize;
         for p in payloads {
@@ -161,6 +177,22 @@ impl ValidatorNode {
         let timestamp = self.next_timestamp;
         let (block, receipts) = self.pipeline.commit_batch(&self.proposer, timestamp, txs)?;
         self.next_timestamp += 1;
+        if self.trace.is_enabled() {
+            // The cluster-once logical commit of each transaction: whichever
+            // replica gets here first records it; every replica's `tx.apply`
+            // parents under it by recomputing `span_id(trace, "tx.commit")`.
+            for tx in &block.transactions {
+                let tx_trace = TraceId::from_seed(tx.id().as_bytes());
+                self.trace.complete_once(
+                    tx_trace,
+                    "tx.commit",
+                    span_id(tx_trace, "tx.admission"),
+                    lanes::EXECUTE,
+                    t0,
+                    &[("height", block.header.height)],
+                );
+            }
+        }
         // Committed transactions (and stale rivals) leave the ingest queue.
         self.mempool
             .prune_committed(self.pipeline.store().head_state());
@@ -224,12 +256,15 @@ mod tests {
     }
 
     #[test]
-    fn undecodable_payloads_are_counted_not_fatal() {
+    fn undecodable_payloads_are_counted_not_fatal() -> Result<(), String> {
         let config = PlatformConfig::default();
         let mut node = ValidatorNode::new(0, &config);
-        let out = node.apply_committed_batch(&[vec![0xde, 0xad]]).unwrap();
+        let out = node
+            .apply_committed_batch(&[vec![0xde, 0xad]])
+            .map_err(|e| format!("applying an undecodable-only batch must not fail: {e}"))?;
         assert_eq!(out.undecodable, 1);
         assert_eq!(out.included, 0);
         assert_eq!(out.height, 2);
+        Ok(())
     }
 }

@@ -10,7 +10,10 @@ pub struct Event {
     /// Monotonically increasing sequence number, starting at 0, counting
     /// every event ever pushed (including ones since evicted).
     pub seq: u64,
-    /// Microseconds since the ring was created.
+    /// Microseconds since the ring was created. Strictly monotonic: each
+    /// push is stamped at least one microsecond after the previous one,
+    /// so `at_micros` order always agrees with `seq` (push) order even
+    /// when the clock's resolution can't separate two pushes.
     pub at_micros: u64,
     /// Short machine-readable kind, e.g. `"view_change"`.
     pub kind: String,
@@ -32,6 +35,9 @@ pub struct EventRing {
 #[derive(Debug)]
 struct RingState {
     next_seq: u64,
+    /// Timestamp handed to the most recent push; the next push is stamped
+    /// strictly after it.
+    last_at: u64,
     events: VecDeque<Event>,
 }
 
@@ -43,15 +49,24 @@ impl EventRing {
             capacity: capacity.max(1),
             inner: Mutex::new(RingState {
                 next_seq: 0,
+                last_at: 0,
                 events: VecDeque::new(),
             }),
         }
     }
 
-    /// Records an event, evicting the oldest if the ring is full.
+    /// Records an event, evicting the oldest if the ring is full. The
+    /// timestamp is assigned under the ring lock and forced strictly past
+    /// the previous event's, so timestamp order always matches push order.
     pub fn push(&self, kind: &str, detail: String) {
-        let at_micros = self.origin.elapsed().as_micros() as u64;
+        let elapsed = self.origin.elapsed().as_micros() as u64;
         let mut state = self.inner.lock().expect("event ring poisoned");
+        let at_micros = if state.next_seq == 0 {
+            elapsed
+        } else {
+            elapsed.max(state.last_at + 1)
+        };
+        state.last_at = at_micros;
         let seq = state.next_seq;
         state.next_seq += 1;
         if state.events.len() == self.capacity {
@@ -108,5 +123,43 @@ mod tests {
         assert_eq!(events[0].seq, 7);
         assert_eq!(events[2].detail, "i=9");
         assert_eq!(ring.total(), 10);
+    }
+
+    #[test]
+    fn timestamps_are_strictly_monotonic() {
+        let ring = EventRing::new(64);
+        // Pushed back-to-back these would all share one clock reading;
+        // the ring must still separate them.
+        for _ in 0..50 {
+            ring.push("burst", String::new());
+        }
+        let events = ring.drain_snapshot();
+        for pair in events.windows(2) {
+            assert!(
+                pair[1].at_micros > pair[0].at_micros,
+                "ties must be broken: {} !> {}",
+                pair[1].at_micros,
+                pair[0].at_micros
+            );
+        }
+    }
+
+    #[test]
+    fn drain_preserves_push_order_across_wraparound() {
+        let ring = EventRing::new(4);
+        for i in 0..11 {
+            ring.push("tick", format!("i={i}"));
+        }
+        let events = ring.drain_snapshot();
+        assert_eq!(events.len(), 4);
+        // Push order survives eviction: seqs are the contiguous tail and
+        // both seq and timestamp increase strictly in drain order.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        let details: Vec<&str> = events.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["i=7", "i=8", "i=9", "i=10"]);
+        for pair in events.windows(2) {
+            assert!(pair[1].at_micros > pair[0].at_micros);
+        }
     }
 }

@@ -131,6 +131,30 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// The distribution of samples recorded *after* `baseline` was taken,
+    /// assuming `baseline` is an earlier snapshot of the same histogram:
+    /// `count`, `sum`, and per-bucket counts subtract (saturating).
+    ///
+    /// `min`/`max` are not recoverable for a window from two cumulative
+    /// snapshots; the delta keeps this snapshot's values, which bound the
+    /// window's true extrema.
+    pub fn delta(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n.saturating_sub(baseline.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        let count = self.count.saturating_sub(baseline.count);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(baseline.sum),
+            min: if count == 0 { 0 } else { self.min },
+            max: if count == 0 { 0 } else { self.max },
+            buckets,
+        }
+    }
+
     /// Estimated median.
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -185,6 +209,25 @@ mod tests {
         assert!((500..=1023).contains(&p50), "p50 = {p50}");
         let p99 = snap.p99();
         assert!((990..=1000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn delta_subtracts_counts_sums_and_buckets() {
+        let h = Histogram::new();
+        h.observe(10);
+        h.observe(20);
+        let baseline = h.snapshot();
+        h.observe(100);
+        h.observe(200);
+        let delta = h.snapshot().delta(&baseline);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 300);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 2);
+        // An unchanged histogram deltas to the empty distribution.
+        let same = h.snapshot().delta(&h.snapshot());
+        assert_eq!(same.count, 0);
+        assert_eq!(same.min, 0);
+        assert_eq!(same.max, 0);
     }
 
     #[test]

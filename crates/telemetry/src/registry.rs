@@ -135,6 +135,51 @@ impl Snapshot {
         self.histograms.get(name)
     }
 
+    /// What happened *between* `baseline` and this snapshot, assuming
+    /// `baseline` was taken earlier from the same registry.
+    ///
+    /// Counters and histograms subtract (saturating); entries whose delta
+    /// is zero/empty are dropped, so the result names only the metrics
+    /// that actually moved in the window — the per-phase attribution
+    /// benches and experiment bins want. Events are the retained ones
+    /// recorded after the baseline (`seq >= baseline.events_total`), and
+    /// `events_total` becomes the number recorded in the window.
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| {
+                let base = baseline.counter(name).unwrap_or(0);
+                (name.clone(), v.saturating_sub(base))
+            })
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let delta = match baseline.histogram(name) {
+                    Some(base) => h.delta(base),
+                    None => h.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        let events = self
+            .events
+            .iter()
+            .filter(|e| e.seq >= baseline.events_total)
+            .cloned()
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+            events,
+            events_total: self.events_total.saturating_sub(baseline.events_total),
+        }
+    }
+
     /// Keeps only the counters and histograms whose name satisfies
     /// `keep`; events are untouched. Useful before rendering when a
     /// caller wants a reproducible view — e.g. dropping wall-clock
@@ -285,6 +330,43 @@ mod tests {
         assert_eq!(snap.events.len(), 1);
         assert_eq!(snap.events_total, 1);
         assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn delta_isolates_the_window() {
+        let registry = Registry::new();
+        let sink = registry.sink();
+        sink.add("blocks", 3);
+        sink.observe("import_ns", 100);
+        sink.event("before", || "pre-baseline".to_string());
+        let baseline = registry.snapshot();
+        sink.add("blocks", 2);
+        sink.incr("txs");
+        sink.observe("import_ns", 900);
+        sink.event("after", || "in-window".to_string());
+        let delta = registry.snapshot().delta(&baseline);
+        assert_eq!(delta.counter("blocks"), Some(2));
+        assert_eq!(delta.counter("txs"), Some(1));
+        let h = delta.histogram("import_ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 900);
+        assert_eq!(delta.events.len(), 1);
+        assert_eq!(delta.events[0].kind, "after");
+        assert_eq!(delta.events_total, 1);
+    }
+
+    #[test]
+    fn delta_drops_unchanged_metrics() {
+        let registry = Registry::new();
+        let sink = registry.sink();
+        sink.incr("stale");
+        sink.observe("quiet_ns", 5);
+        let baseline = registry.snapshot();
+        sink.incr("fresh");
+        let delta = registry.snapshot().delta(&baseline);
+        assert_eq!(delta.counter("stale"), None, "zero deltas are dropped");
+        assert!(delta.histogram("quiet_ns").is_none());
+        assert_eq!(delta.counter("fresh"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Chrome trace-event JSON export.
+//!
+//! The output is the `{"traceEvents": [...]}` object format accepted by
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`: replicas
+//! render as processes, lanes as threads, and every span as an `"X"`
+//! (complete) event with microsecond timestamps. Trace/span/parent ids
+//! ride along as event args so a causal chain can be followed in the UI.
+
+use std::collections::BTreeSet;
+
+use crate::span::lanes;
+use crate::trace::Trace;
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The thread id a lane renders as. Lanes keep fixed ids (their index in
+/// [`lanes::ALL`]) so every replica's rows line up; an unknown lane goes
+/// after the known ones.
+fn lane_tid(lane: &str) -> usize {
+    lanes::ALL
+        .iter()
+        .position(|l| *l == lane)
+        .unwrap_or(lanes::ALL.len())
+}
+
+/// Nanoseconds → microseconds with 3 decimals (trace-event `ts`/`dur`
+/// unit is µs; fractional values keep ns resolution).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+impl Trace {
+    /// Renders the trace as Chrome trace-event JSON.
+    ///
+    /// Load the result in Perfetto or `chrome://tracing`: each replica is
+    /// a process named `replica N`, each pipeline stage a thread, and
+    /// every span a complete event carrying its `trace`/`span`/`parent`
+    /// ids (hex) plus numeric annotations as args.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<String> = Vec::with_capacity(self.spans.len() + 16);
+        // Metadata: name the processes and threads that actually appear.
+        let replicas: BTreeSet<usize> = self.replicas();
+        let used_lanes: BTreeSet<&'static str> = self.spans.iter().map(|s| s.lane).collect();
+        for r in &replicas {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{r},\"tid\":0,\
+                 \"args\":{{\"name\":\"replica {r}\"}}}}"
+            ));
+            for lane in &used_lanes {
+                events.push(format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{r},\"tid\":{},\
+                     \"args\":{{\"name\":{}}}}}",
+                    lane_tid(lane),
+                    json_string(lane),
+                ));
+            }
+        }
+        for s in &self.spans {
+            let mut args = format!(
+                "\"trace\":{},\"span\":\"{:016x}\",\"parent\":\"{:016x}\"",
+                json_string(&s.trace.to_hex()),
+                s.id,
+                s.parent,
+            );
+            for (k, v) in s.args.iter() {
+                args.push_str(&format!(",{}:{v}", json_string(k)));
+            }
+            events.push(format!(
+                "{{\"name\":{},\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+                 \"args\":{{{args}}}}}",
+                json_string(&s.name),
+                s.replica,
+                lane_tid(s.lane),
+                micros(s.start_ns),
+                // Zero-duration spans still need visible extent in the UI.
+                micros(s.dur_ns.max(1)),
+            ));
+        }
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ns\"}}",
+            events.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::TraceId;
+    use crate::Tracer;
+
+    #[test]
+    fn export_contains_metadata_and_events() {
+        let tracer = Tracer::new(2);
+        let t = TraceId::from_seed(b"x");
+        tracer
+            .sink(0)
+            .complete(t, "tx.admission", 0, lanes::ADMISSION, 0, &[("n", 3)]);
+        tracer
+            .sink(1)
+            .complete(t, "tx.apply", 0, lanes::EXECUTE, 100, &[]);
+        let json = tracer.collect().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("replica 1"));
+        assert!(json.contains("\"tx.admission\""));
+        assert!(json.contains(&format!("\"trace\":\"{}\"", t.to_hex())));
+        assert!(json.contains("\"n\":3"));
+        // Balanced braces — a cheap well-formedness check without a parser.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn micros_keeps_ns_resolution() {
+        assert_eq!(micros(1_234_567), "1234.567");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(0), "0.000");
+    }
+
+    #[test]
+    fn lane_tids_are_stable() {
+        assert_eq!(lane_tid(lanes::ADMISSION), 0);
+        assert_ne!(lane_tid(lanes::CONSENSUS), lane_tid(lanes::PIPELINE));
+        assert_eq!(lane_tid("unknown"), lanes::ALL.len());
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let json = Tracer::new(1).collect().to_chrome_json();
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}");
+    }
+}

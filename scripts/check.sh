@@ -18,4 +18,10 @@ cargo test --workspace --offline -q
 echo "== exp17 smoke (parallel verification pipeline)"
 cargo run -q --release --offline -p tn-bench --bin exp17_parallel_verify -- --quick
 
+echo "== exp18 smoke (distributed tracing + Perfetto export)"
+# The bin itself validates the exported JSON (well-formed, non-empty,
+# spans from >= 3 replicas); double-check the artifact landed.
+cargo run -q --release --offline -p tn-bench --bin exp18_trace_critical_path -- --quick
+test -s results/e18_trace.json || { echo "missing results/e18_trace.json"; exit 1; }
+
 echo "All checks passed."
