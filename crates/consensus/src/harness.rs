@@ -2,9 +2,12 @@
 //! reports throughput/latency statistics. This is the engine behind the E6
 //! experiment (consensus scaling) in EXPERIMENTS.md.
 
+use tn_crypto::sha256::tagged_hash;
+use tn_crypto::Hash256;
 use tn_telemetry::TelemetrySink;
 use tn_trace::TraceSink;
 
+use crate::fault::FaultPlan;
 use crate::pbft::{ByzMode, PbftConfig, PbftMsg, PbftReplica, Request};
 use crate::poa::{PoaConfig, PoaMode, PoaMsg, PoaValidator};
 use crate::sim::{NetworkConfig, NodeId, Simulator};
@@ -245,9 +248,87 @@ pub fn order_payloads_pbft_traced(
     sinks: &[TelemetrySink],
     traces: &[TraceSink],
 ) -> Vec<CommittedPayloads> {
+    order_payloads_pbft_faulted(
+        n,
+        payloads,
+        interarrival,
+        net,
+        max_time,
+        &PbftConfig::default(),
+        &FaultPlan::default(),
+        sinks,
+        traces,
+    )
+    .expect("fault-free run with a valid network cannot fail validation")
+    .views
+}
+
+/// Outcome of a fault-injected ordering run, observed across the whole
+/// cluster rather than a single reference replica.
+#[derive(Debug, Clone)]
+pub struct OrderingRun {
+    /// Per-replica committed batch sequences (payloads in commit order).
+    pub views: Vec<CommittedPayloads>,
+    /// Per-replica chained digest over the committed batch digests — two
+    /// replicas that committed the same batch sequence report the same
+    /// value.
+    pub exec_digests: Vec<Hash256>,
+    /// Per-replica final view (PBFT; zeros for PoA).
+    pub final_views: Vec<u64>,
+    /// Per-replica highest stable checkpoint (PBFT; zeros for PoA).
+    pub stable_checkpoints: Vec<u64>,
+    /// Messages delivered by the simulator.
+    pub delivered: u64,
+    /// Messages silently dropped (loss + crash + partition).
+    pub dropped: u64,
+    /// Partition-blocked messages (subset of `dropped`).
+    pub partitioned: u64,
+    /// Corrupted payloads injected alongside the real workload.
+    pub corrupt_injected: usize,
+    /// Latest local commit time across all replicas (convergence proxy).
+    pub last_commit: u64,
+}
+
+/// Picks the first replica that the plan has alive (and not fail-silent)
+/// at tick `t`, falling back to 0.
+fn injection_target(plan: &FaultPlan, n: usize, t: u64, silent: &[bool]) -> NodeId {
+    (0..n)
+        .find(|&id| !plan.is_down_at(id, t) && !silent[id])
+        .unwrap_or(0)
+}
+
+/// Deterministic garbage payload `j`, distinct from any workload payload.
+fn corrupt_payload(j: usize) -> Vec<u8> {
+    vec![0xde, 0xad, 0xbe, 0xef, j as u8, (j >> 8) as u8]
+}
+
+/// The full-control PBFT ordering run: consensus config, per-replica
+/// byzantine modes, and a scheduled [`FaultPlan`] (crashes, restarts,
+/// partitions, loss windows, corrupted payload injection), all threaded
+/// from the caller instead of hard-coded. Returns per-replica views plus
+/// loss/agreement diagnostics.
+///
+/// # Errors
+///
+/// When `net` or `plan` fails validation (bad drop probabilities, replica
+/// ids out of range, inverted fault windows).
+#[allow(clippy::too_many_arguments)]
+pub fn order_payloads_pbft_faulted(
+    n: usize,
+    payloads: &[Vec<u8>],
+    interarrival: u64,
+    net: NetworkConfig,
+    max_time: u64,
+    config: &PbftConfig,
+    plan: &FaultPlan,
+    sinks: &[TelemetrySink],
+    traces: &[TraceSink],
+) -> Result<OrderingRun, String> {
+    net.validate()?;
+    plan.validate(n)?;
     let nodes: Vec<PbftReplica> = (0..n)
         .map(|id| {
-            let mut replica = PbftReplica::new(id, n, PbftConfig::default(), ByzMode::Honest);
+            let mut replica = PbftReplica::new(id, n, config.clone(), plan.byz_mode_of(id));
             if let Some(sink) = sinks.get(id) {
                 replica.set_telemetry(sink.clone());
             }
@@ -257,14 +338,34 @@ pub fn order_payloads_pbft_traced(
             replica
         })
         .collect();
+    let silent: Vec<bool> = (0..n)
+        .map(|id| plan.byz_mode_of(id) == ByzMode::Silent)
+        .collect();
     let mut sim = Simulator::new(nodes, net);
+    if let Some(sink) = sinks.first() {
+        sim.set_telemetry(sink.clone());
+    }
+    plan.schedule_on(&mut sim);
     for (i, payload) in payloads.iter().enumerate() {
         let t = 10 + (i as u64) * interarrival;
-        sim.inject_at(0, PbftMsg::Request(Request::new(payload.clone(), t)), t);
+        let entry = injection_target(plan, n, t, &silent);
+        sim.inject_at(entry, PbftMsg::Request(Request::new(payload.clone(), t)), t);
+    }
+    // Corrupted payloads ride the same arrival process, after the real
+    // workload: consensus must order them like any opaque payload and the
+    // execution layer must reject them identically on every replica.
+    for j in 0..plan.corrupt_payloads {
+        let t = 10 + ((payloads.len() + j) as u64) * interarrival;
+        let entry = injection_target(plan, n, t, &silent);
+        sim.inject_at(
+            entry,
+            PbftMsg::Request(Request::new(corrupt_payload(j), t)),
+            t,
+        );
     }
     sim.run_until(max_time);
 
-    (0..n)
+    let views = (0..n)
         .map(|id| {
             let mut entries: Vec<_> = sim.node(id).committed.iter().collect();
             entries.sort_by_key(|e| e.seq);
@@ -273,7 +374,22 @@ pub fn order_payloads_pbft_traced(
                 .map(|e| e.requests.iter().map(|r| r.payload.clone()).collect())
                 .collect()
         })
-        .collect()
+        .collect();
+    let last_commit = (0..n)
+        .flat_map(|id| sim.node(id).committed.iter().map(|e| e.committed_at))
+        .max()
+        .unwrap_or(0);
+    Ok(OrderingRun {
+        views,
+        exec_digests: (0..n).map(|id| sim.node(id).exec_digest()).collect(),
+        final_views: (0..n).map(|id| sim.node(id).view()).collect(),
+        stable_checkpoints: (0..n).map(|id| sim.node(id).stable_checkpoint()).collect(),
+        delivered: sim.delivered_messages,
+        dropped: sim.dropped_messages,
+        partitioned: sim.partitioned_messages,
+        corrupt_injected: plan.corrupt_payloads,
+        last_commit,
+    })
 }
 
 /// Orders opaque payloads through a round-robin PoA cluster; the PoA
@@ -314,9 +430,46 @@ pub fn order_payloads_poa_traced(
     sinks: &[TelemetrySink],
     traces: &[TraceSink],
 ) -> Vec<CommittedPayloads> {
+    order_payloads_poa_faulted(
+        n,
+        payloads,
+        interarrival,
+        net,
+        max_time,
+        &PoaConfig::default(),
+        &FaultPlan::default(),
+        sinks,
+        traces,
+    )
+    .expect("fault-free run with a valid network cannot fail validation")
+    .views
+}
+
+/// The full-control PoA ordering run; the PoA counterpart of
+/// [`order_payloads_pbft_faulted`]. Per-validator modes come from the
+/// plan's `poa_modes`; `final_views` / `stable_checkpoints` are zeros
+/// (PoA has neither concept).
+///
+/// # Errors
+///
+/// When `net` or `plan` fails validation.
+#[allow(clippy::too_many_arguments)]
+pub fn order_payloads_poa_faulted(
+    n: usize,
+    payloads: &[Vec<u8>],
+    interarrival: u64,
+    net: NetworkConfig,
+    max_time: u64,
+    config: &PoaConfig,
+    plan: &FaultPlan,
+    sinks: &[TelemetrySink],
+    traces: &[TraceSink],
+) -> Result<OrderingRun, String> {
+    net.validate()?;
+    plan.validate(n)?;
     let nodes: Vec<PoaValidator> = (0..n)
         .map(|id| {
-            let mut v = PoaValidator::new(id, n, PoaConfig::default(), PoaMode::Honest);
+            let mut v = PoaValidator::new(id, n, config.clone(), plan.poa_mode_of(id));
             if let Some(sink) = sinks.get(id) {
                 v.set_telemetry(sink.clone());
             }
@@ -327,16 +480,28 @@ pub fn order_payloads_poa_traced(
         })
         .collect();
     let mut sim = Simulator::new(nodes, net);
-    for (i, payload) in payloads.iter().enumerate() {
-        let t = 10 + (i as u64) * interarrival;
-        let req = Request::new(payload.clone(), t);
+    if let Some(sink) = sinks.first() {
+        sim.set_telemetry(sink.clone());
+    }
+    plan.schedule_on(&mut sim);
+    // PoA clients broadcast to every validator (the slot leader rotates);
+    // crashed targets just lose their copy.
+    let inject_all = |sim: &mut Simulator<PoaMsg, PoaValidator>, req: Request, t: u64| {
         for node in 0..n {
             sim.inject_at(node, PoaMsg::Request(req.clone()), t);
         }
+    };
+    for (i, payload) in payloads.iter().enumerate() {
+        let t = 10 + (i as u64) * interarrival;
+        inject_all(&mut sim, Request::new(payload.clone(), t), t);
+    }
+    for j in 0..plan.corrupt_payloads {
+        let t = 10 + ((payloads.len() + j) as u64) * interarrival;
+        inject_all(&mut sim, Request::new(corrupt_payload(j), t), t);
     }
     sim.run_until(max_time);
 
-    (0..n)
+    let views: Vec<CommittedPayloads> = (0..n)
         .map(|id| {
             let mut entries: Vec<_> = sim.node(id).committed.iter().collect();
             entries.sort_by_key(|e| e.slot);
@@ -345,7 +510,36 @@ pub fn order_payloads_poa_traced(
                 .map(|e| e.requests.iter().map(|r| r.payload.clone()).collect())
                 .collect()
         })
-        .collect()
+        .collect();
+    // PoA has no protocol-level execution digest; chain the committed slot
+    // digests so agreement checks look the same as PBFT's.
+    let exec_digests = (0..n)
+        .map(|id| {
+            let mut entries: Vec<_> = sim.node(id).committed.iter().collect();
+            entries.sort_by_key(|e| e.slot);
+            entries.iter().fold(Hash256::ZERO, |acc, e| {
+                let mut chained = Vec::with_capacity(64);
+                chained.extend_from_slice(acc.as_bytes());
+                chained.extend_from_slice(e.digest.as_bytes());
+                tagged_hash("TN/exec-chain", &chained)
+            })
+        })
+        .collect();
+    let last_commit = (0..n)
+        .flat_map(|id| sim.node(id).committed.iter().map(|e| e.committed_at))
+        .max()
+        .unwrap_or(0);
+    Ok(OrderingRun {
+        views,
+        exec_digests,
+        final_views: vec![0; n],
+        stable_checkpoints: vec![0; n],
+        delivered: sim.delivered_messages,
+        dropped: sim.dropped_messages,
+        partitioned: sim.partitioned_messages,
+        corrupt_injected: plan.corrupt_payloads,
+        last_commit,
+    })
 }
 
 #[cfg(test)]
@@ -496,6 +690,176 @@ mod tests {
     fn pbft_survives_crashes_within_f() {
         let stats = run_pbft(7, &[5, 6], &small_load(), NetworkConfig::default(), 500_000);
         assert_eq!(stats.committed, 50);
+    }
+
+    #[test]
+    fn faulted_run_rejects_invalid_inputs() {
+        let bad_net = NetworkConfig {
+            drop_prob: 2.0,
+            ..NetworkConfig::default()
+        };
+        assert!(order_payloads_pbft_faulted(
+            4,
+            &[],
+            5,
+            bad_net,
+            1_000,
+            &PbftConfig::default(),
+            &FaultPlan::default(),
+            &[],
+            &[],
+        )
+        .is_err());
+
+        let bad_plan = FaultPlan {
+            byz_modes: vec![(9, ByzMode::Silent)],
+            ..FaultPlan::default()
+        };
+        assert!(order_payloads_poa_faulted(
+            4,
+            &[],
+            5,
+            NetworkConfig::default(),
+            1_000,
+            &PoaConfig::default(),
+            &bad_plan,
+            &[],
+            &[],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scheduled_crash_leaves_victim_with_a_prefix() {
+        use crate::fault::CrashFault;
+        let payloads: Vec<Vec<u8>> = (0u8..30).map(|i| vec![i; 8]).collect();
+        let plan = FaultPlan {
+            crashes: vec![CrashFault {
+                replica: 3,
+                at: 60,
+                restart_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let run = order_payloads_pbft_faulted(
+            4,
+            &payloads,
+            5,
+            NetworkConfig::default(),
+            500_000,
+            &PbftConfig::default(),
+            &plan,
+            &[],
+            &[],
+        )
+        .unwrap();
+        // Survivors (within f = 1) commit everything and agree.
+        let flat: Vec<Vec<u8>> = run.views[0].iter().flatten().cloned().collect();
+        assert_eq!(flat, payloads);
+        assert_eq!(run.views[1], run.views[0]);
+        assert_eq!(run.views[2], run.views[0]);
+        assert_eq!(run.exec_digests[1], run.exec_digests[0]);
+        // The crashed replica holds a (possibly empty) strict prefix.
+        assert!(run.views[3].len() < run.views[0].len());
+        assert_eq!(run.views[3][..], run.views[0][..run.views[3].len()]);
+    }
+
+    #[test]
+    fn consensus_config_is_threaded_to_replicas() {
+        let payloads: Vec<Vec<u8>> = (0u8..20).map(|i| vec![i; 8]).collect();
+        // Default checkpoint_interval (64) never triggers on 20 requests;
+        // a threaded interval of 1 must.
+        let tight = PbftConfig {
+            checkpoint_interval: 1,
+            ..PbftConfig::default()
+        };
+        let run = order_payloads_pbft_faulted(
+            4,
+            &payloads,
+            5,
+            NetworkConfig::default(),
+            500_000,
+            &tight,
+            &FaultPlan::default(),
+            &[],
+            &[],
+        )
+        .unwrap();
+        assert!(
+            run.stable_checkpoints.iter().all(|&cp| cp > 0),
+            "threaded checkpoint_interval must produce stable checkpoints: {:?}",
+            run.stable_checkpoints
+        );
+    }
+
+    #[test]
+    fn corrupt_payloads_are_ordered_like_any_other() {
+        let payloads: Vec<Vec<u8>> = (0u8..10).map(|i| vec![i; 8]).collect();
+        let plan = FaultPlan {
+            corrupt_payloads: 3,
+            ..FaultPlan::default()
+        };
+        for run in [
+            order_payloads_pbft_faulted(
+                4,
+                &payloads,
+                5,
+                NetworkConfig::default(),
+                500_000,
+                &PbftConfig::default(),
+                &plan,
+                &[],
+                &[],
+            )
+            .unwrap(),
+            order_payloads_poa_faulted(
+                4,
+                &payloads,
+                5,
+                NetworkConfig::default(),
+                500_000,
+                &PoaConfig::default(),
+                &plan,
+                &[],
+                &[],
+            )
+            .unwrap(),
+        ] {
+            assert_eq!(run.corrupt_injected, 3);
+            let committed: usize = run.views[0].iter().map(|b| b.len()).sum();
+            assert_eq!(committed, 13, "garbage is ordered, not filtered");
+            for view in &run.views[1..] {
+                assert_eq!(*view, run.views[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_exec_replica_diverges_only_at_payload_level() {
+        let payloads: Vec<Vec<u8>> = (0u8..10).map(|i| vec![i, i + 1, i + 2]).collect();
+        let plan = FaultPlan {
+            byz_modes: vec![(2, ByzMode::CorruptExec)],
+            ..FaultPlan::default()
+        };
+        let run = order_payloads_pbft_faulted(
+            4,
+            &payloads,
+            5,
+            NetworkConfig::default(),
+            500_000,
+            &PbftConfig::default(),
+            &plan,
+            &[],
+            &[],
+        )
+        .unwrap();
+        // Consensus-level agreement holds (batch digests cover originals)…
+        assert_eq!(run.exec_digests[2], run.exec_digests[0]);
+        // …but the executed payloads differ: that divergence is what the
+        // node layer must detect and quarantine.
+        assert_ne!(run.views[2], run.views[0]);
+        assert_eq!(run.views[1], run.views[0]);
+        assert_eq!(run.views[3], run.views[0]);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   in tests).
 //! - [`harness`]: workload driver computing throughput/latency/message
 //!   statistics for the E6 scaling experiment.
+//! - [`fault`]: declarative [`fault::FaultPlan`] schedules — crashes,
+//!   restarts, partitions, loss windows, byzantine modes — executed
+//!   deterministically by the simulator for the E19 fault matrix.
 //!
 //! # Example
 //!
@@ -34,14 +37,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod harness;
 pub mod pbft;
 pub mod poa;
 pub mod sim;
 
+pub use fault::{CrashFault, DropWindow, FaultPlan, PartitionFault};
 pub use harness::{
-    order_payloads_pbft, order_payloads_pbft_instrumented, order_payloads_poa,
-    order_payloads_poa_instrumented, run_pbft, run_poa, CommittedPayloads, RunStats, Workload,
+    order_payloads_pbft, order_payloads_pbft_faulted, order_payloads_pbft_instrumented,
+    order_payloads_poa, order_payloads_poa_faulted, order_payloads_poa_instrumented, run_pbft,
+    run_poa, CommittedPayloads, OrderingRun, RunStats, Workload,
 };
 pub use pbft::{ByzMode, CommittedEntry, PbftConfig, PbftMsg, PbftReplica, Request};
 pub use poa::{PoaConfig, PoaEntry, PoaMode, PoaMsg, PoaValidator};

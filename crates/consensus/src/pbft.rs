@@ -141,6 +141,12 @@ pub enum ByzMode {
     Silent,
     /// As primary, send conflicting batches to different backups.
     EquivocatingPrimary,
+    /// Order honestly but tamper every request payload at execution time.
+    /// Consensus-level digests still agree (the batch digest covers the
+    /// untampered requests), so the corruption is only visible one layer
+    /// up: the replica's *node-level* execution digest diverges from the
+    /// honest quorum — the scenario the E19 quarantine logic must catch.
+    CorruptExec,
 }
 
 #[derive(Debug, Default)]
@@ -301,6 +307,13 @@ impl PbftReplica {
     /// Highest sequence covered by a stable (quorum-agreed) checkpoint.
     pub fn stable_checkpoint(&self) -> u64 {
         self.stable_checkpoint
+    }
+
+    /// Running chained digest of the execution history. Two honest
+    /// replicas that executed the same batch sequence report the same
+    /// value, making it the cheap consensus-level agreement probe.
+    pub fn exec_digest(&self) -> Hash256 {
+        self.exec_digest
     }
 
     /// Number of live (unpruned) log entries — bounded by checkpointing
@@ -630,10 +643,18 @@ impl PbftReplica {
             // (e.g. re-queued by a late client retransmission between its
             // proposal and its execution); only its first occurrence
             // executes.
-            let fresh: Vec<Request> = batch
+            let mut fresh: Vec<Request> = batch
                 .into_iter()
                 .filter(|r| self.executed_ids.insert(r.id))
                 .collect();
+            if self.mode == ByzMode::CorruptExec {
+                // Tamper payloads after ordering: the batch digest (and
+                // hence consensus agreement) covers the originals, so the
+                // damage surfaces only in what this replica executes.
+                for r in &mut fresh {
+                    r.payload.reverse();
+                }
+            }
             for r in &fresh {
                 if self.pending_ids.remove(&r.id) {
                     self.pending.retain(|p| p.id != r.id);
@@ -869,6 +890,23 @@ impl PbftReplica {
 
 impl Node<PbftMsg> for PbftReplica {
     fn on_start(&mut self, _ctx: &mut Context<'_, PbftMsg>) {}
+
+    fn on_revive(&mut self, ctx: &mut Context<'_, PbftMsg>) {
+        if self.mode == ByzMode::Silent {
+            return;
+        }
+        // Timer events addressed to a crashed node are consumed, so a
+        // restarted replica must re-arm its liveness machinery: the batch
+        // timer if it is the primary with work queued, the view-change
+        // timer otherwise so a stalled primary is still detected.
+        if !self.pending.is_empty() {
+            if self.is_primary() {
+                ctx.set_timer(self.config.batch_delay, TIMER_BATCH);
+            } else {
+                ctx.set_timer(self.config.view_timeout, TIMER_VIEW_BASE + self.view);
+            }
+        }
+    }
 
     fn on_message(&mut self, from: NodeId, msg: PbftMsg, ctx: &mut Context<'_, PbftMsg>) {
         if self.mode == ByzMode::Silent {

@@ -199,6 +199,16 @@ impl Node<PoaMsg> for PoaValidator {
         ctx.set_timer(self.config.slot_duration, TIMER_SLOT);
     }
 
+    fn on_revive(&mut self, ctx: &mut Context<'_, PoaMsg>) {
+        // The slot timer chain died with the crash (timers to a crashed
+        // node are consumed). Resync the local slot counter to wall clock
+        // so this validator rejoins the rotation in the *current* slot
+        // instead of replaying the ones it slept through, then re-arm.
+        let elapsed_slots = ctx.now() / self.config.slot_duration;
+        self.slot = self.slot.max(elapsed_slots + 1);
+        ctx.set_timer(self.config.slot_duration, TIMER_SLOT);
+    }
+
     fn on_message(&mut self, from: NodeId, msg: PoaMsg, ctx: &mut Context<'_, PoaMsg>) {
         match msg {
             PoaMsg::Request(req) => {

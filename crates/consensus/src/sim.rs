@@ -13,6 +13,7 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tn_telemetry::TelemetrySink;
 
 /// Identifier of a simulated node (index into the cluster).
 pub type NodeId = usize;
@@ -41,6 +42,28 @@ impl Default for NetworkConfig {
     }
 }
 
+impl NetworkConfig {
+    /// Checks the model for nonsensical parameters. A `drop_prob` outside
+    /// `[0, 1]` (or NaN) would silently bias every loss sample, so it is
+    /// rejected here rather than sampled.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.drop_prob.is_nan() {
+            return Err("network drop_prob is NaN".into());
+        }
+        if !(0.0..=1.0).contains(&self.drop_prob) {
+            return Err(format!(
+                "network drop_prob {} outside [0, 1]",
+                self.drop_prob
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Behaviour of a simulated node. `M` is the protocol message type.
 pub trait Node<M> {
     /// Called once when the simulation starts.
@@ -51,6 +74,50 @@ pub trait Node<M> {
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, M>);
+
+    /// Called when the simulator revives this node after a crash. Timer
+    /// events addressed to a crashed node are consumed and lost, so a
+    /// protocol that depends on periodic timers must re-arm them here.
+    /// Default: no-op (the node resumes passively).
+    fn on_revive(&mut self, _ctx: &mut Context<'_, M>) {}
+}
+
+/// A scheduled change to the simulated environment, executed at an exact
+/// simulation tick (see [`Simulator::schedule_crash`] and friends). This
+/// is what makes fault scenarios deterministic: the fault schedule is
+/// part of the run's inputs, not imperative test code interleaved with
+/// `run_until` calls.
+#[derive(Debug, Clone)]
+enum ControlAction {
+    Crash(NodeId),
+    Revive(NodeId),
+    Partition(Vec<HashSet<NodeId>>),
+    Heal,
+    SetDropProb(f64),
+}
+
+struct ControlEvent {
+    time: u64,
+    seq: u64,
+    action: ControlAction,
+}
+
+impl PartialEq for ControlEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ControlEvent {}
+impl PartialOrd for ControlEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ControlEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap; invert for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
 }
 
 enum EventKind<M> {
@@ -157,16 +224,36 @@ pub struct Simulator<M, N: Node<M>> {
     /// Partition groups: messages crossing group boundaries are dropped.
     /// Empty = fully connected.
     partition: Vec<HashSet<NodeId>>,
+    /// Scheduled environment changes (crashes, heals, loss windows).
+    controls: BinaryHeap<ControlEvent>,
     /// Total messages delivered (for cost accounting).
     pub delivered_messages: u64,
-    /// Total messages dropped by loss or partition.
+    /// Total messages silently dropped, for any reason: random loss,
+    /// partition blocking, or a crashed sender/receiver. Superset of
+    /// [`Self::partitioned_messages`].
     pub dropped_messages: u64,
+    /// Messages dropped specifically because they crossed a partition
+    /// boundary (also counted in [`Self::dropped_messages`]).
+    pub partitioned_messages: u64,
+    /// Metrics sink for loss accounting (`sim.msg.dropped` /
+    /// `sim.msg.partitioned`). Disabled by default.
+    telemetry: TelemetrySink,
     started: bool,
 }
 
 impl<M: Clone, N: Node<M>> Simulator<M, N> {
     /// Creates a simulator over `nodes` with the given network model.
+    ///
+    /// # Panics
+    ///
+    /// When `config` fails [`NetworkConfig::validate`] (e.g. a `drop_prob`
+    /// outside `[0, 1]` or NaN, which would silently bias every loss
+    /// sample). Callers that need a recoverable error should validate
+    /// first.
     pub fn new(nodes: Vec<N>, config: NetworkConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid NetworkConfig: {e}");
+        }
         let rng = StdRng::seed_from_u64(config.seed);
         Simulator {
             nodes,
@@ -177,10 +264,20 @@ impl<M: Clone, N: Node<M>> Simulator<M, N> {
             config,
             rng,
             partition: Vec::new(),
+            controls: BinaryHeap::new(),
             delivered_messages: 0,
             dropped_messages: 0,
+            partitioned_messages: 0,
+            telemetry: TelemetrySink::disabled(),
             started: false,
         }
+    }
+
+    /// Routes the simulator's loss counters — `sim.msg.dropped` for
+    /// random-loss and crash drops, `sim.msg.partitioned` for
+    /// partition-blocked messages — to `sink`. Disabled by default.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Number of nodes in the cluster.
@@ -214,9 +311,83 @@ impl<M: Clone, N: Node<M>> Simulator<M, N> {
     }
 
     /// Revives a crashed node (it keeps its state; recovery protocols are
-    /// the node's business).
+    /// the node's business). The node's [`Node::on_revive`] hook runs so
+    /// it can re-arm timers lost while it was down.
     pub fn revive(&mut self, id: NodeId) {
-        self.crashed.remove(&id);
+        if !self.crashed.remove(&id) {
+            return;
+        }
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.now,
+                me: id,
+                n_nodes: self.nodes.len(),
+                outbox: &mut outbox,
+            };
+            self.nodes[id].on_revive(&mut ctx);
+        }
+        self.flush_outbox(id, outbox);
+    }
+
+    // --- scheduled faults ------------------------------------------------
+
+    fn schedule_control(&mut self, at: u64, action: ControlAction) {
+        self.seq += 1;
+        self.controls.push(ControlEvent {
+            time: at,
+            seq: self.seq,
+            action,
+        });
+    }
+
+    /// Schedules a crash of `id` at simulation tick `at`.
+    pub fn schedule_crash(&mut self, at: u64, id: NodeId) {
+        self.schedule_control(at, ControlAction::Crash(id));
+    }
+
+    /// Schedules a restart of `id` at tick `at` (see [`Self::revive`]).
+    pub fn schedule_revive(&mut self, at: u64, id: NodeId) {
+        self.schedule_control(at, ControlAction::Revive(id));
+    }
+
+    /// Schedules a partition into `groups` at tick `at`.
+    pub fn schedule_partition(&mut self, at: u64, groups: Vec<HashSet<NodeId>>) {
+        self.schedule_control(at, ControlAction::Partition(groups));
+    }
+
+    /// Schedules removal of any partition at tick `at`.
+    pub fn schedule_heal(&mut self, at: u64) {
+        self.schedule_control(at, ControlAction::Heal);
+    }
+
+    /// Schedules a window `[from, until)` during which messages are
+    /// dropped with probability `drop_prob`; the config's base probability
+    /// is restored at `until`.
+    ///
+    /// # Panics
+    ///
+    /// When `drop_prob` is outside `[0, 1]` or NaN.
+    pub fn schedule_drop_window(&mut self, from: u64, until: u64, drop_prob: f64) {
+        assert!(
+            (0.0..=1.0).contains(&drop_prob) && !drop_prob.is_nan(),
+            "drop window probability {drop_prob} outside [0, 1]"
+        );
+        let base = self.config.drop_prob;
+        self.schedule_control(from, ControlAction::SetDropProb(drop_prob));
+        self.schedule_control(until, ControlAction::SetDropProb(base));
+    }
+
+    fn apply_control(&mut self, action: ControlAction) {
+        match action {
+            ControlAction::Crash(id) => {
+                self.crashed.insert(id);
+            }
+            ControlAction::Revive(id) => self.revive(id),
+            ControlAction::Partition(groups) => self.partition = groups,
+            ControlAction::Heal => self.partition.clear(),
+            ControlAction::SetDropProb(p) => self.config.drop_prob = p,
+        }
     }
 
     /// True when `id` is crashed.
@@ -299,6 +470,7 @@ impl<M: Clone, N: Node<M>> Simulator<M, N> {
         }
         if self.config.drop_prob > 0.0 && self.rng.gen::<f64>() < self.config.drop_prob {
             self.dropped_messages += 1;
+            self.telemetry.incr("sim.msg.dropped");
             return;
         }
         let jitter = if self.config.jitter > 0 {
@@ -336,19 +508,44 @@ impl<M: Clone, N: Node<M>> Simulator<M, N> {
         }
     }
 
-    /// Runs until the event queue is empty or `until` time is reached.
-    /// Returns the number of events processed.
+    /// Runs until the event queue is empty or `until` time is reached,
+    /// applying scheduled control events (crashes, restarts, partitions,
+    /// loss windows) at their exact ticks. Returns the number of node
+    /// events processed.
     pub fn run_until(&mut self, until: u64) -> u64 {
         self.start_if_needed();
         let mut processed = 0;
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > until {
+        loop {
+            // Control events fire before node events at the same tick, so
+            // e.g. a message delivery and a crash scheduled for the same
+            // instant resolve deterministically (the crash wins).
+            let next_ctl = self.controls.peek().map(|c| c.time);
+            let next_ev = self.queue.peek().map(|e| e.time);
+            let ctl_first = match (next_ctl, next_ev) {
+                (Some(ct), Some(et)) => ct <= et && ct <= until,
+                (Some(ct), None) => ct <= until,
+                (None, _) => false,
+            };
+            if ctl_first {
+                let ctl = self.controls.pop().expect("peeked");
+                self.now = self.now.max(ctl.time);
+                self.apply_control(ctl.action);
+                continue;
+            }
+            let Some(ev_time) = next_ev else { break };
+            if ev_time > until {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
             self.now = ev.time;
             processed += 1;
             if self.crashed.contains(&ev.to) {
+                // A crashed receiver silently loses messages (timers are
+                // not messages and are not counted).
+                if !matches!(ev.kind, EventKind::Timer { .. }) {
+                    self.dropped_messages += 1;
+                    self.telemetry.incr("sim.msg.dropped");
+                }
                 continue;
             }
             let mut outbox = Vec::new();
@@ -364,8 +561,15 @@ impl<M: Clone, N: Node<M>> Simulator<M, N> {
                         // Partition check at delivery time (so healing
                         // re-enables in-flight traffic realistically
                         // enough for our purposes).
-                        if !self.can_communicate(from, ev.to) || self.crashed.contains(&from) {
+                        if !self.can_communicate(from, ev.to) {
                             self.dropped_messages += 1;
+                            self.partitioned_messages += 1;
+                            self.telemetry.incr("sim.msg.partitioned");
+                            continue;
+                        }
+                        if self.crashed.contains(&from) {
+                            self.dropped_messages += 1;
+                            self.telemetry.incr("sim.msg.dropped");
                             continue;
                         }
                         self.delivered_messages += 1;
@@ -382,6 +586,8 @@ impl<M: Clone, N: Node<M>> Simulator<M, N> {
             }
             self.flush_outbox(ev.to, outbox);
         }
+        // Any remaining control events lie beyond `until` (in-range ones
+        // were applied above), so they never hold back the clock.
         if self.now < until && self.queue.is_empty() {
             self.now = until;
         }
@@ -544,5 +750,159 @@ mod tests {
         );
         sim.run_until(1000);
         assert_eq!(sim.node(0).fired, vec![(2, 10), (1, 50)]);
+    }
+
+    #[test]
+    fn network_config_validation_rejects_bad_drop_prob() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let cfg = NetworkConfig {
+                drop_prob: bad,
+                ..NetworkConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "drop_prob {bad} must be rejected");
+        }
+        assert!(NetworkConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NetworkConfig")]
+    fn simulator_rejects_nan_drop_prob() {
+        let cfg = NetworkConfig {
+            drop_prob: f64::NAN,
+            ..NetworkConfig::default()
+        };
+        let _ = Simulator::new(
+            (0..2)
+                .map(|_| Relay {
+                    received: Vec::new(),
+                    forward: false,
+                })
+                .collect::<Vec<_>>(),
+            cfg,
+        );
+    }
+
+    #[test]
+    fn scheduled_crash_window_blocks_then_restores_delivery() {
+        let mut sim = cluster(2);
+        // Crash node 1 before the first hop arrives, revive later, then
+        // inject a fresh token after the restart.
+        sim.schedule_crash(0, 1);
+        sim.schedule_revive(1000, 1);
+        sim.inject_at(1, 5, 2000);
+        sim.run_until(10_000);
+        // The startup token (sent at t=0, ~10-15 latency) was lost; the
+        // post-revive injection went through and circulated.
+        let received = &sim.node(1).received;
+        assert!(received.contains(&(EXTERNAL, 5)));
+        assert!(
+            !received.contains(&(0, 1)),
+            "crash-window message must be lost"
+        );
+        assert!(sim.dropped_messages >= 1);
+    }
+
+    #[test]
+    fn scheduled_partition_and_heal_match_immediate_calls() {
+        let mut sim = cluster(4);
+        sim.schedule_partition(
+            0,
+            vec![
+                [0usize, 2].into_iter().collect(),
+                [1usize, 3].into_iter().collect(),
+            ],
+        );
+        sim.schedule_heal(5_000);
+        sim.inject_at(0, 1, 6_000); // re-seed a token after the heal
+        sim.run_until(100_000);
+        // Phase 1: the startup token 0 -> 1 crossed the partition and was
+        // counted as partition-blocked; phase 2: post-heal traffic flows.
+        assert!(sim.partitioned_messages >= 1);
+        assert!(sim.dropped_messages >= sim.partitioned_messages);
+        let total: usize = sim.nodes().map(|n| n.received.len()).sum();
+        assert!(total > 0, "post-heal traffic must be delivered");
+    }
+
+    #[test]
+    fn drop_window_loses_messages_only_inside_the_window() {
+        let mut sim = cluster(2);
+        sim.schedule_drop_window(0, 1_000, 1.0);
+        sim.inject_at(0, 1, 2_000); // restart the relay after the window
+        sim.run_until(10_000);
+        // Startup sends happen before the t=0 control, so the first token
+        // arrives at node 1 — but its forward (sent inside the window) is
+        // lost, killing the first chain. The post-window injection chain
+        // runs to completion.
+        assert!(sim.dropped_messages >= 1);
+        assert!(
+            !sim.node(0).received.contains(&(1, 2)),
+            "in-window forward must be dropped"
+        );
+        assert!(
+            sim.node(1).received.contains(&(0, 10)),
+            "post-window chain must complete"
+        );
+    }
+
+    #[test]
+    fn loss_telemetry_counts_drops_and_partitions() {
+        let registry = tn_telemetry::Registry::new();
+        let mut sim = cluster(4);
+        sim.set_telemetry(registry.sink());
+        sim.schedule_partition(
+            0,
+            vec![
+                [0usize, 2].into_iter().collect(),
+                [1usize, 3].into_iter().collect(),
+            ],
+        );
+        sim.schedule_drop_window(0, 100_000, 1.0);
+        sim.run_until(100_000);
+        let snap = registry.snapshot();
+        let partitioned = snap.counter("sim.msg.partitioned").unwrap_or(0);
+        let dropped = snap.counter("sim.msg.dropped").unwrap_or(0);
+        assert_eq!(
+            dropped + partitioned,
+            sim.dropped_messages,
+            "telemetry must account for every silent drop"
+        );
+        assert_eq!(partitioned, sim.partitioned_messages);
+    }
+
+    /// A node that records revive notifications and re-arms a timer.
+    struct ReviveProbe {
+        revived: u64,
+        fired_after_revive: bool,
+    }
+
+    impl Node<()> for ReviveProbe {
+        fn on_start(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut Context<'_, ()>) {}
+        fn on_timer(&mut self, _timer: u64, _ctx: &mut Context<'_, ()>) {
+            self.fired_after_revive = true;
+        }
+        fn on_revive(&mut self, ctx: &mut Context<'_, ()>) {
+            self.revived += 1;
+            ctx.set_timer(10, 1);
+        }
+    }
+
+    #[test]
+    fn revive_hook_runs_and_can_rearm_timers() {
+        let mut sim = Simulator::new(
+            vec![ReviveProbe {
+                revived: 0,
+                fired_after_revive: false,
+            }],
+            NetworkConfig::default(),
+        );
+        sim.schedule_crash(5, 0);
+        sim.schedule_revive(50, 0);
+        sim.run_until(1_000);
+        assert_eq!(sim.node(0).revived, 1);
+        assert!(sim.node(0).fired_after_revive, "re-armed timer must fire");
+        // Reviving a live node is a no-op.
+        sim.revive(0);
+        assert_eq!(sim.node(0).revived, 1);
     }
 }

@@ -129,6 +129,39 @@ pub fn bootstrap(config: &PlatformConfig) -> Bootstrap {
     }
 }
 
+/// Rebuilds a replica from a [`ChainStore::snapshot`] taken by a node of
+/// the same `config`: re-derives the well-known governance keys and seed
+/// corpus, then restores the pipeline — every block re-validated and
+/// re-executed, projections replayed over the restored chain. This is the
+/// crash-recovery path: a restarted validator gets back exactly the state
+/// it persisted, or an error if the ledger was damaged.
+///
+/// # Errors
+///
+/// Decode or validation errors from the snapshot.
+pub fn restore_bootstrap(
+    config: &PlatformConfig,
+    snapshot: &[u8],
+) -> Result<Bootstrap, ChainError> {
+    let governor = Keypair::from_seed(b"tn-platform-governor");
+    let validator = Keypair::from_seed(b"tn-platform-validator");
+    let seed_corpus: Vec<FactRecord> = tn_factdb::corpus::generate_corpus(&config.factdb_seed)
+        .into_iter()
+        .collect();
+    let mut pipeline = ExecutionPipeline::restore(
+        snapshot,
+        governor.address(),
+        config.fact_threshold,
+        seed_corpus,
+    )?;
+    pipeline.set_verify_workers(config.verify_workers);
+    Ok(Bootstrap {
+        governor,
+        validator,
+        pipeline,
+    })
+}
+
 /// The deterministic execution core: chain store + contract executor +
 /// registered projections.
 pub struct ExecutionPipeline {

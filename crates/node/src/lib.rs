@@ -9,7 +9,13 @@
 //! - [`network`]: [`run_pbft_cluster`] / [`run_poa_cluster`] — simulate
 //!   an N-validator network end to end and report per-replica execution
 //!   digests; agreement on request order yields byte-identical derived
-//!   state on every replica.
+//!   state on every replica. Cluster runs carry a
+//!   [`FaultPlan`](tn_consensus::fault::FaultPlan): scheduled crashes,
+//!   partitions, loss windows, and byzantine modes, with per-replica
+//!   fault reports and quarantine verdicts in the result.
+//! - [`statesync`]: [`catch_up`] — a recovered
+//!   replica fetches missing canonical blocks from peers at the agreed
+//!   digest, verifying each before applying.
 //! - [`workload`]: scripted, replayable platform traffic for cluster
 //!   runs.
 //!
@@ -30,9 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod network;
+pub mod statesync;
 pub mod validator;
 pub mod workload;
 
-pub use network::{run_pbft_cluster, run_poa_cluster, ClusterConfig, ClusterRun, NodeReport};
+pub use network::{
+    run_pbft_cluster, run_poa_cluster, ClusterConfig, ClusterRun, ClusterVerdict, FaultReport,
+    NodeReport, RecoveryReport, ReplicaVerdict,
+};
+pub use statesync::{catch_up, CatchupReport, SyncError};
 pub use validator::{BatchOutcome, NodeError, ValidatorNode};
 pub use workload::{extract_post_bootstrap, scripted_workload};

@@ -9,15 +9,17 @@
 //! contract storage, same projection digests.
 
 use tn_chain::prelude::Transaction;
-use tn_consensus::harness::{
-    order_payloads_pbft_traced, order_payloads_poa_traced, CommittedPayloads,
-};
+use tn_consensus::fault::FaultPlan;
+use tn_consensus::harness::{order_payloads_pbft_faulted, order_payloads_poa_faulted, OrderingRun};
+use tn_consensus::pbft::PbftConfig;
+use tn_consensus::poa::PoaConfig;
 use tn_consensus::sim::NetworkConfig;
 use tn_core::platform::PlatformConfig;
 use tn_crypto::Hash256;
 use tn_telemetry::{Snapshot, TelemetrySink};
 use tn_trace::{Trace, TraceSink, Tracer};
 
+use crate::statesync::{catch_up, CatchupReport};
 use crate::validator::{encode_payloads, NodeError, ValidatorNode};
 
 /// Cluster construction parameters.
@@ -29,6 +31,16 @@ pub struct ClusterConfig {
     pub platform: PlatformConfig,
     /// Simulated network model.
     pub net: NetworkConfig,
+    /// PBFT tuning (view timeout, batching, checkpoint interval),
+    /// threaded down to every replica.
+    pub pbft: PbftConfig,
+    /// PoA tuning (slot duration, batch size), threaded down to every
+    /// validator.
+    pub poa: PoaConfig,
+    /// Declarative fault schedule: crashes/restarts, partitions + heals,
+    /// loss windows, per-replica byzantine modes, corrupted payload
+    /// injection. Empty (fault-free) by default.
+    pub faults: FaultPlan,
     /// Ticks between request injections.
     pub interarrival: u64,
     /// Simulation horizon.
@@ -45,6 +57,9 @@ impl Default for ClusterConfig {
             n_validators: 4,
             platform: PlatformConfig::default(),
             net: NetworkConfig::default(),
+            pbft: PbftConfig::default(),
+            poa: PoaConfig::default(),
+            faults: FaultPlan::default(),
             interarrival: 5,
             max_time: 2_000_000,
             tracing: false,
@@ -65,6 +80,9 @@ pub struct NodeReport {
     pub included: usize,
     /// Included transactions whose execution failed.
     pub failed: usize,
+    /// Ordered payloads that did not decode as transactions (corrupted
+    /// injections land here, identically on every honest replica).
+    pub undecodable: usize,
     /// Replica-wide execution digest.
     pub execution_digest: Hash256,
     /// Per-projection digests.
@@ -72,6 +90,63 @@ pub struct NodeReport {
     /// The replica's metrics at the end of the run (block imports,
     /// consensus phase histograms, mempool admissions, contract gas).
     pub metrics: Snapshot,
+}
+
+/// How one replica's final state relates to the cluster's quorum digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaVerdict {
+    /// Reports the quorum digest.
+    Agreed,
+    /// Was behind, recovered and state-synced to the quorum digest.
+    CaughtUp,
+    /// Behind the quorum but on its chain (a crashed replica's prefix) —
+    /// reconcilable by catch-up.
+    Lagging,
+    /// Holds state irreconcilable with the quorum (or no quorum exists):
+    /// its head is not on the agreed chain. Such a replica must not be
+    /// trusted until re-synced from scratch.
+    Quarantined,
+}
+
+/// What the crash-recovery path did for one restarted replica.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Size of the ledger snapshot the replica restarted from.
+    pub snapshot_bytes: usize,
+    /// True when the restored pipeline reproduced the pre-restart
+    /// execution digest (projections rebuilt via the replay path).
+    pub digest_intact: bool,
+    /// The state-sync pass that closed the gap to the quorum digest, if
+    /// one ran (`None` when no quorum existed to sync towards).
+    pub catchup: Option<CatchupReport>,
+}
+
+/// Per-replica fault/recovery outcome.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Replica id.
+    pub replica: usize,
+    /// The fault plan crashed this replica at some point.
+    pub crashed: bool,
+    /// The fault plan restarted it after a crash.
+    pub revived: bool,
+    /// The fault plan gave it a byzantine mode.
+    pub byzantine: bool,
+    /// Crash-recovery details for revived replicas.
+    pub recovery: Option<RecoveryReport>,
+    /// Final relation to the quorum digest.
+    pub verdict: ReplicaVerdict,
+}
+
+/// Cluster-wide convergence outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterVerdict {
+    /// Every replica reports the quorum digest (after recovery).
+    Converged,
+    /// A quorum agrees, but some replicas lag or are quarantined.
+    Partial,
+    /// No `2f+1` quorum of replicas shares an execution digest.
+    Diverged,
 }
 
 /// The outcome of an N-validator run.
@@ -83,6 +158,20 @@ pub struct ClusterRun {
     pub injected: usize,
     /// Per-replica reports, in id order.
     pub reports: Vec<NodeReport>,
+    /// Per-replica fault/recovery outcomes, in id order.
+    pub fault_reports: Vec<FaultReport>,
+    /// Cluster-wide convergence verdict.
+    pub verdict: ClusterVerdict,
+    /// Consensus-layer messages delivered.
+    pub delivered_messages: u64,
+    /// Consensus-layer messages silently dropped (loss + crash +
+    /// partition).
+    pub dropped_messages: u64,
+    /// Partition-blocked messages (subset of dropped).
+    pub partitioned_messages: u64,
+    /// Simulation tick of the last consensus commit on any replica — the
+    /// cluster's convergence time for the injected workload.
+    pub last_commit: u64,
     /// The replicas themselves (for replay audits and state queries).
     pub nodes: Vec<ValidatorNode>,
     /// The merged causal trace across all replicas, when
@@ -104,14 +193,56 @@ impl ClusterRun {
     pub fn is_consistent(&self) -> bool {
         self.agreed_digest().is_some()
     }
+
+    /// The digest shared by at least `2f + 1` replicas (`f = (n-1)/3`),
+    /// or `None` when no such quorum exists. Unlike
+    /// [`ClusterRun::agreed_digest`] this tolerates up to `f` faulty
+    /// replicas — it is the digest a client should trust.
+    pub fn quorum_digest(&self) -> Option<Hash256> {
+        quorum_digest_of(&self.reports)
+    }
+
+    /// Replicas whose state is irreconcilable with the quorum.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.fault_reports
+            .iter()
+            .filter(|r| r.verdict == ReplicaVerdict::Quarantined)
+            .map(|r| r.replica)
+            .collect()
+    }
+}
+
+/// The digest shared by `>= 2f + 1` of the reports, `f = (n-1)/3`.
+fn quorum_digest_of(reports: &[NodeReport]) -> Option<Hash256> {
+    let n = reports.len();
+    if n == 0 {
+        return None;
+    }
+    let quorum = 2 * ((n - 1) / 3) + 1;
+    let mut counts: Vec<(Hash256, usize)> = Vec::new();
+    for r in reports {
+        match counts.iter_mut().find(|(d, _)| *d == r.execution_digest) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((r.execution_digest, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .find(|&(_, c)| c >= quorum)
+        .map(|(d, _)| d)
 }
 
 fn run_cluster(
     protocol: &'static str,
     config: &ClusterConfig,
     txs: &[Transaction],
-    order: impl FnOnce(&[TelemetrySink], &[TraceSink]) -> Vec<CommittedPayloads>,
+    order: impl FnOnce(&[TelemetrySink], &[TraceSink]) -> Result<OrderingRun, String>,
 ) -> Result<ClusterRun, NodeError> {
+    config.net.validate().map_err(NodeError::Config)?;
+    config
+        .faults
+        .validate(config.n_validators)
+        .map_err(NodeError::Config)?;
     // Nodes are created before consensus runs so each replica's PBFT/PoA
     // metrics record into the matching node's registry.
     let mut nodes: Vec<ValidatorNode> = (0..config.n_validators)
@@ -137,33 +268,165 @@ fn run_cluster(
             let _ = node.submit(tx.clone());
         }
     }
+    // Fault accounting onto the affected replicas' own registries.
+    for id in config.faults.crashed_replicas() {
+        nodes[id].telemetry_sink().incr("node.fault.crashes");
+    }
+    for (id, node) in nodes.iter().enumerate() {
+        if config.faults.byz_mode_of(id) != tn_consensus::pbft::ByzMode::Honest
+            || config.faults.poa_mode_of(id) != tn_consensus::poa::PoaMode::Honest
+        {
+            node.telemetry_sink().incr("node.fault.byzantine");
+        }
+    }
     let sinks: Vec<TelemetrySink> = nodes.iter().map(ValidatorNode::telemetry_sink).collect();
-    let views = order(&sinks, &trace_sinks);
+    let ordering = order(&sinks, &trace_sinks).map_err(NodeError::Config)?;
     let mut reports = Vec::with_capacity(nodes.len());
-    for (node, batches) in nodes.iter_mut().zip(views) {
+    for (node, batches) in nodes.iter_mut().zip(&ordering.views) {
         let mut included = 0usize;
         let mut failed = 0usize;
-        let n_batches = batches.len();
+        let mut undecodable = 0usize;
         for batch in batches {
-            let out = node.apply_committed_batch(&batch)?;
+            let out = node.apply_committed_batch(batch)?;
             included += out.included;
             failed += out.failed;
+            undecodable += out.undecodable;
         }
         reports.push(NodeReport {
             id: node.id(),
             height: node.height(),
-            batches: n_batches,
+            batches: batches.len(),
             included,
             failed,
+            undecodable,
             execution_digest: node.execution_digest(),
             projection_digests: node.projection_digests(),
             metrics: node.metrics_snapshot(),
         });
     }
+
+    // Crash-recovery phase: each replica the plan crashed *and restarted*
+    // goes through the real restart path — snapshot its ledger, rebuild
+    // the pipeline from the snapshot (projections via replay), then
+    // state-sync the missed blocks from peers at the quorum digest.
+    let mut recoveries: Vec<Option<RecoveryReport>> = vec![None; config.n_validators];
+    for (id, _) in config.faults.revived_replicas() {
+        let quorum = quorum_digest_of(&reports);
+        let snapshot = nodes[id].snapshot();
+        let before = nodes[id].execution_digest();
+        let mut recovered = ValidatorNode::recover(id, &config.platform, &snapshot)?;
+        if let Some(sink) = trace_sinks.get(id) {
+            recovered.set_trace(sink.clone());
+        }
+        let digest_intact = recovered.execution_digest() == before;
+        let catchup = quorum.and_then(|target| {
+            let peer_ids: Vec<usize> = reports
+                .iter()
+                .filter(|r| r.id != id && r.execution_digest == target)
+                .map(|r| r.id)
+                .collect();
+            let peers: Vec<&ValidatorNode> = peer_ids.iter().map(|&i| &nodes[i]).collect();
+            catch_up(&mut recovered, &peers, target).ok()
+        });
+        // The recovered node replaces the in-memory one; refresh its
+        // report (batches = post-bootstrap blocks on its final chain).
+        let batches = recovered.height().saturating_sub(1) as usize;
+        let included = recovered
+            .blocks_after(1)
+            .iter()
+            .map(|b| b.transactions.len())
+            .sum();
+        reports[id] = NodeReport {
+            id,
+            height: recovered.height(),
+            batches,
+            included,
+            failed: reports[id].failed,
+            undecodable: reports[id].undecodable,
+            execution_digest: recovered.execution_digest(),
+            projection_digests: recovered.projection_digests(),
+            metrics: recovered.metrics_snapshot(),
+        };
+        recoveries[id] = Some(RecoveryReport {
+            snapshot_bytes: snapshot.len(),
+            digest_intact,
+            catchup,
+        });
+        nodes[id] = recovered;
+    }
+
+    // Verdicts: relate every replica to the post-recovery quorum digest.
+    let quorum = quorum_digest_of(&reports);
+    let quorum_holder = quorum.and_then(|q| {
+        reports
+            .iter()
+            .find(|r| r.execution_digest == q)
+            .map(|r| r.id)
+    });
+    let fault_reports: Vec<FaultReport> = (0..config.n_validators)
+        .map(|id| {
+            let verdict = match quorum {
+                Some(q) if reports[id].execution_digest == q => {
+                    if recoveries[id].is_some() {
+                        ReplicaVerdict::CaughtUp
+                    } else {
+                        ReplicaVerdict::Agreed
+                    }
+                }
+                Some(_) => {
+                    // Behind-but-on-chain replicas are reconcilable; a
+                    // replica whose head is off the agreed chain is not.
+                    let on_chain = quorum_holder
+                        .map(|h| nodes[h].has_block(&nodes[id].head_id()))
+                        .unwrap_or(false);
+                    if on_chain {
+                        ReplicaVerdict::Lagging
+                    } else {
+                        ReplicaVerdict::Quarantined
+                    }
+                }
+                // No quorum: nothing to reconcile against.
+                None => ReplicaVerdict::Quarantined,
+            };
+            FaultReport {
+                replica: id,
+                crashed: config.faults.crashed_replicas().contains(&id),
+                revived: config
+                    .faults
+                    .revived_replicas()
+                    .iter()
+                    .any(|&(r, _)| r == id),
+                byzantine: config.faults.byz_mode_of(id) != tn_consensus::pbft::ByzMode::Honest
+                    || config.faults.poa_mode_of(id) != tn_consensus::poa::PoaMode::Honest,
+                recovery: recoveries[id].clone(),
+                verdict,
+            }
+        })
+        .collect();
+    let verdict = match quorum {
+        None => ClusterVerdict::Diverged,
+        Some(_) => {
+            if fault_reports
+                .iter()
+                .all(|r| matches!(r.verdict, ReplicaVerdict::Agreed | ReplicaVerdict::CaughtUp))
+            {
+                ClusterVerdict::Converged
+            } else {
+                ClusterVerdict::Partial
+            }
+        }
+    };
+
     Ok(ClusterRun {
         protocol,
         injected: txs.len(),
         reports,
+        fault_reports,
+        verdict,
+        delivered_messages: ordering.delivered,
+        dropped_messages: ordering.dropped,
+        partitioned_messages: ordering.partitioned,
+        last_commit: ordering.last_commit,
         nodes,
         trace: tracer.map(|t| t.collect()),
     })
@@ -181,12 +444,14 @@ pub fn run_pbft_cluster(
 ) -> Result<ClusterRun, NodeError> {
     let payloads = encode_payloads(txs);
     run_cluster("pbft", config, txs, |sinks, traces| {
-        order_payloads_pbft_traced(
+        order_payloads_pbft_faulted(
             config.n_validators,
             &payloads,
             config.interarrival,
             config.net.clone(),
             config.max_time,
+            &config.pbft,
+            &config.faults,
             sinks,
             traces,
         )
@@ -205,12 +470,14 @@ pub fn run_poa_cluster(
 ) -> Result<ClusterRun, NodeError> {
     let payloads = encode_payloads(txs);
     run_cluster("poa", config, txs, |sinks, traces| {
-        order_payloads_poa_traced(
+        order_payloads_poa_faulted(
             config.n_validators,
             &payloads,
             config.interarrival,
             config.net.clone(),
             config.max_time,
+            &config.poa,
+            &config.faults,
             sinks,
             traces,
         )
@@ -230,12 +497,18 @@ mod tests {
         let run = run_pbft_cluster(&config, &txs)
             .map_err(|e| format!("pbft cluster failed to apply a committed batch: {e}"))?;
         assert_eq!(run.reports.len(), 4);
-        let agreed = run.agreed_digest().expect("replicas diverged");
-        for report in &run.reports {
+        assert_eq!(run.verdict, ClusterVerdict::Converged);
+        let agreed = match run.quorum_digest() {
+            Some(d) => d,
+            None => return Err("no quorum digest in a fault-free run".into()),
+        };
+        for (report, fr) in run.reports.iter().zip(&run.fault_reports) {
             assert_eq!(report.execution_digest, agreed);
             assert_eq!(report.projection_digests, run.reports[0].projection_digests);
             assert!(report.included > 0);
+            assert_eq!(fr.verdict, ReplicaVerdict::Agreed);
         }
+        assert!(run.quarantined().is_empty());
         // Every replica passes the ledger-replay audit.
         for node in &run.nodes {
             node.verify_replay()
@@ -252,8 +525,16 @@ mod tests {
             .map_err(|e| format!("pbft cluster failed to apply a committed batch: {e}"))?;
         let poa = run_poa_cluster(&config, &txs)
             .map_err(|e| format!("poa cluster failed to apply a committed batch: {e}"))?;
-        let pbft_digest = pbft.agreed_digest().expect("pbft agreement");
-        let poa_digest = poa.agreed_digest().expect("poa agreement");
+        assert_eq!(pbft.verdict, ClusterVerdict::Converged);
+        assert_eq!(poa.verdict, ClusterVerdict::Converged);
+        let pbft_digest = match pbft.quorum_digest() {
+            Some(d) => d,
+            None => return Err("pbft quorum missing".into()),
+        };
+        let poa_digest = match poa.quorum_digest() {
+            Some(d) => d,
+            None => return Err("poa quorum missing".into()),
+        };
         // Same batches in the same order would give identical digests;
         // protocols may batch differently, so compare the derived
         // *projection* content instead: both must admit the same facts.
@@ -394,6 +675,188 @@ mod tests {
         let run =
             run_pbft_cluster(&config, &txs).map_err(|e| format!("pbft cluster failed: {e}"))?;
         assert!(run.trace.is_none());
+        Ok(())
+    }
+
+    #[test]
+    fn invalid_network_config_is_a_config_error() {
+        let config = ClusterConfig {
+            net: NetworkConfig {
+                drop_prob: f64::NAN,
+                ..NetworkConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let err = run_pbft_cluster(&config, &[]);
+        assert!(matches!(err, Err(NodeError::Config(_))), "{err:?}");
+
+        let config = ClusterConfig {
+            faults: FaultPlan {
+                crashes: vec![tn_consensus::fault::CrashFault {
+                    replica: 99,
+                    at: 0,
+                    restart_at: None,
+                }],
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let err = run_poa_cluster(&config, &[]);
+        assert!(matches!(err, Err(NodeError::Config(_))), "{err:?}");
+    }
+
+    #[test]
+    fn crashed_replica_within_f_survivors_agree_and_replay() -> Result<(), String> {
+        let config = ClusterConfig {
+            faults: FaultPlan {
+                crashes: vec![tn_consensus::fault::CrashFault {
+                    replica: 3,
+                    at: 100,
+                    restart_at: None,
+                }],
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        let run = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("crash-within-f cluster failed: {e}"))?;
+        let quorum = match run.quorum_digest() {
+            Some(d) => d,
+            None => return Err("survivors lost quorum".into()),
+        };
+        for id in 0..3 {
+            assert_eq!(run.reports[id].execution_digest, quorum);
+            assert_eq!(run.fault_reports[id].verdict, ReplicaVerdict::Agreed);
+            run.nodes[id]
+                .verify_replay()
+                .map_err(|e| format!("replay audit failed on survivor {id}: {e}"))?;
+        }
+        // The crashed replica holds a prefix of the agreed chain: behind,
+        // reconcilable, not quarantined.
+        assert!(run.fault_reports[3].crashed);
+        assert_eq!(run.fault_reports[3].verdict, ReplicaVerdict::Lagging);
+        assert_eq!(run.verdict, ClusterVerdict::Partial);
+        assert!(run.quarantined().is_empty());
+        assert!(run.dropped_messages > 0, "crash must cost messages");
+        Ok(())
+    }
+
+    #[test]
+    fn revived_replica_catches_up_to_the_agreed_digest() -> Result<(), String> {
+        let config = ClusterConfig {
+            faults: FaultPlan {
+                crashes: vec![tn_consensus::fault::CrashFault {
+                    replica: 2,
+                    at: 100,
+                    restart_at: Some(100_000),
+                }],
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        let run = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("crash-revive cluster failed: {e}"))?;
+        assert_eq!(run.verdict, ClusterVerdict::Converged);
+        let quorum = match run.quorum_digest() {
+            Some(d) => d,
+            None => return Err("no quorum after recovery".into()),
+        };
+        assert_eq!(run.reports[2].execution_digest, quorum);
+        assert_eq!(run.fault_reports[2].verdict, ReplicaVerdict::CaughtUp);
+        let recovery = run.fault_reports[2]
+            .recovery
+            .as_ref()
+            .ok_or("revived replica has no recovery report")?;
+        assert!(recovery.digest_intact, "restore must reproduce the digest");
+        let catchup = recovery
+            .catchup
+            .as_ref()
+            .ok_or("revived replica ran no catch-up")?;
+        assert!(catchup.converged);
+        assert!(
+            catchup.blocks_applied > 0,
+            "catch-up must fetch the missed blocks"
+        );
+        // The recovered replica passes the replay audit on the synced chain.
+        run.nodes[2]
+            .verify_replay()
+            .map_err(|e| format!("replay audit failed after catch-up: {e}"))?;
+        Ok(())
+    }
+
+    #[test]
+    fn more_than_f_corrupt_replicas_divergence_is_reported_not_panicked() -> Result<(), String> {
+        let config = ClusterConfig {
+            faults: FaultPlan {
+                byz_modes: vec![
+                    (2, tn_consensus::pbft::ByzMode::CorruptExec),
+                    (3, tn_consensus::pbft::ByzMode::CorruptExec),
+                ],
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        let run = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("byzantine cluster failed: {e}"))?;
+        // 2 of 4 corrupt: the 2f+1 = 3 quorum cannot form. The run reports
+        // divergence instead of panicking.
+        assert_eq!(run.verdict, ClusterVerdict::Diverged);
+        assert!(run.quorum_digest().is_none());
+        assert_ne!(
+            run.reports[0].execution_digest, run.reports[2].execution_digest,
+            "corrupt replicas must actually diverge"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn within_f_corrupt_replica_is_quarantined() -> Result<(), String> {
+        let config = ClusterConfig {
+            faults: FaultPlan {
+                byz_modes: vec![(3, tn_consensus::pbft::ByzMode::CorruptExec)],
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        let run = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("quarantine cluster failed: {e}"))?;
+        assert_eq!(run.verdict, ClusterVerdict::Partial);
+        assert_eq!(run.quarantined(), vec![3]);
+        assert_eq!(run.fault_reports[3].verdict, ReplicaVerdict::Quarantined);
+        assert!(run.fault_reports[3].byzantine);
+        let quorum = match run.quorum_digest() {
+            Some(d) => d,
+            None => return Err("honest majority lost quorum".into()),
+        };
+        for id in 0..3 {
+            assert_eq!(run.reports[id].execution_digest, quorum);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn equivocating_poa_leader_splits_the_cluster() -> Result<(), String> {
+        let config = ClusterConfig {
+            faults: FaultPlan {
+                poa_modes: vec![(0, tn_consensus::poa::PoaMode::EquivocatingLeader)],
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        let run = run_poa_cluster(&config, &txs)
+            .map_err(|e| format!("equivocating poa cluster failed: {e}"))?;
+        // A PoA leader that equivocates splits the non-BFT protocol; the
+        // run must *report* the damage (diverged or a quarantined split),
+        // never panic.
+        assert!(
+            run.verdict != ClusterVerdict::Converged,
+            "equivocation cannot yield full convergence"
+        );
         Ok(())
     }
 }

@@ -1,0 +1,268 @@
+//! State-sync catch-up: closing a recovered replica's gap from peers.
+//!
+//! A replica that was down for k batches holds a prefix (PBFT) or a
+//! holed fork (PoA) of the cluster's canonical chain. [`catch_up`]
+//! fetches the missing canonical blocks from a peer that holds the
+//! agreed execution digest, verifies each one against the local chain
+//! before applying (linkage first, then the full structural, signature
+//! and state verification that block import performs), and reports
+//! whether the replica converged. Fork choice handles the PoA case: the synced
+//! branch overtakes the local one and the projections are rebuilt onto
+//! it.
+
+use std::error::Error;
+use std::fmt;
+
+use tn_crypto::Hash256;
+use tn_trace::{lanes, TraceId};
+
+use crate::validator::ValidatorNode;
+
+/// Errors that end a catch-up attempt before convergence.
+#[derive(Debug)]
+pub enum SyncError {
+    /// No peer reported the target execution digest.
+    NoPeerAtTarget,
+    /// Every candidate peer was tried and the replica still does not
+    /// report the target digest.
+    NotConverged {
+        /// The digest the replica was syncing towards.
+        target: Hash256,
+        /// The digest it ended up with.
+        actual: Hash256,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::NoPeerAtTarget => {
+                write!(f, "no peer holds the target execution digest")
+            }
+            SyncError::NotConverged { target, actual } => write!(
+                f,
+                "catch-up exhausted all peers: at {actual}, target {target}"
+            ),
+        }
+    }
+}
+
+impl Error for SyncError {}
+
+/// What one catch-up pass did, for the cluster's fault report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatchupReport {
+    /// The recovering replica.
+    pub replica: usize,
+    /// The peer that served the blocks (the first at the target digest
+    /// that worked), if any.
+    pub peer: Option<usize>,
+    /// Replica chain height before catch-up.
+    pub from_height: u64,
+    /// Replica chain height after catch-up.
+    pub to_height: u64,
+    /// Canonical blocks fetched from peers across all attempts.
+    pub blocks_fetched: usize,
+    /// Blocks that passed verification and were applied.
+    pub blocks_applied: usize,
+    /// Blocks rejected by verification (tampered or mislinked).
+    pub rejected_blocks: usize,
+    /// True when the replica reports the target digest afterwards.
+    pub converged: bool,
+}
+
+/// Highest height at which `node` already holds a block of `peer`'s
+/// canonical chain — the point the two histories share. Blocks above it
+/// are what the replica is missing (or has forked away from).
+fn fork_height(node: &ValidatorNode, peer: &ValidatorNode) -> u64 {
+    let mut ids = peer.pipeline().store().canonical_chain(); // head first
+    ids.reverse();
+    let mut shared = 0u64;
+    for id in &ids {
+        if let Some(b) = peer.pipeline().store().block(id) {
+            if node.has_block(id) {
+                shared = b.header.height;
+            } else {
+                break;
+            }
+        }
+    }
+    shared
+}
+
+/// Catches `node` up to `target` — the cluster's agreed execution digest
+/// — by fetching missing canonical blocks from the first peer that holds
+/// the target, verifying each before applying. Peers not at the target
+/// are skipped; if a peer serves a block that fails verification the
+/// remaining candidates are tried. Records a `node.catchup` span (trace
+/// id derived from the target digest) and `node.catchup.*` counters on
+/// the recovering node.
+///
+/// # Errors
+///
+/// [`SyncError::NoPeerAtTarget`] when no peer reports `target`;
+/// [`SyncError::NotConverged`] when all candidates were tried and the
+/// node still reports a different digest. The successful report is also
+/// returned on convergence-without-work (the node was already at the
+/// target).
+pub fn catch_up(
+    node: &mut ValidatorNode,
+    peers: &[&ValidatorNode],
+    target: Hash256,
+) -> Result<CatchupReport, SyncError> {
+    let trace = node.trace_sink();
+    let t0 = trace.now_ns();
+    let telemetry = node.telemetry_sink();
+    let from_height = node.height();
+    let mut report = CatchupReport {
+        replica: node.id(),
+        peer: None,
+        from_height,
+        to_height: from_height,
+        blocks_fetched: 0,
+        blocks_applied: 0,
+        rejected_blocks: 0,
+        converged: node.execution_digest() == target,
+    };
+    let candidates: Vec<&&ValidatorNode> = peers
+        .iter()
+        .filter(|p| p.execution_digest() == target)
+        .collect();
+    if !report.converged && candidates.is_empty() {
+        return Err(SyncError::NoPeerAtTarget);
+    }
+    for peer in candidates {
+        if report.converged {
+            break;
+        }
+        telemetry.incr("node.catchup.peers_tried");
+        let base = fork_height(node, peer);
+        let blocks = peer.blocks_after(base);
+        report.blocks_fetched += blocks.len();
+        for block in blocks {
+            match node.apply_synced_block(block) {
+                Ok(()) => report.blocks_applied += 1,
+                Err(_) => {
+                    // Verification rejected it; everything after would
+                    // mislink, so move on to the next candidate.
+                    report.rejected_blocks += 1;
+                    telemetry.incr("node.catchup.blocks_rejected");
+                    break;
+                }
+            }
+        }
+        report.converged = node.execution_digest() == target;
+        if report.converged {
+            report.peer = Some(peer.id());
+        }
+    }
+    report.to_height = node.height();
+    if trace.is_enabled() {
+        let trace_id = TraceId::from_seed(target.as_bytes());
+        trace.complete(
+            trace_id,
+            "node.catchup",
+            0,
+            lanes::PIPELINE,
+            t0,
+            &[
+                ("from_height", report.from_height),
+                ("to_height", report.to_height),
+                ("applied", report.blocks_applied as u64),
+            ],
+        );
+    }
+    if report.converged {
+        Ok(report)
+    } else {
+        Err(SyncError::NotConverged {
+            target,
+            actual: node.execution_digest(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_core::platform::PlatformConfig;
+
+    fn advanced_node(id: usize, config: &PlatformConfig, batches: usize) -> ValidatorNode {
+        let mut node = ValidatorNode::new(id, config);
+        for i in 0..batches {
+            node.apply_committed_batch(&[vec![i as u8, 0xaa, 0xbb]])
+                .expect("batch");
+        }
+        node
+    }
+
+    #[test]
+    fn lagging_replica_converges_from_a_peer() {
+        let config = PlatformConfig::default();
+        let peer = advanced_node(0, &config, 4);
+        let target = peer.execution_digest();
+        let mut lagging = advanced_node(1, &config, 1);
+        assert_ne!(lagging.execution_digest(), target);
+        let report = catch_up(&mut lagging, &[&peer], target).expect("catch-up");
+        assert!(report.converged);
+        assert_eq!(report.peer, Some(0));
+        assert_eq!(report.blocks_applied, 3);
+        assert_eq!(report.rejected_blocks, 0);
+        assert_eq!(lagging.execution_digest(), target);
+        assert_eq!(
+            lagging
+                .metrics_snapshot()
+                .counter("node.catchup.blocks_applied"),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn peers_off_the_target_digest_are_not_trusted() {
+        let config = PlatformConfig::default();
+        let peer = advanced_node(0, &config, 2);
+        let mut node = advanced_node(1, &config, 1);
+        // Target digest that no peer holds: catch-up refuses to pick a
+        // source rather than syncing to the wrong history.
+        let bogus = Hash256::ZERO;
+        let err = catch_up(&mut node, &[&peer], bogus);
+        assert!(matches!(err, Err(SyncError::NoPeerAtTarget)), "{err:?}");
+        assert_eq!(node.height(), 2, "nothing was applied");
+    }
+
+    #[test]
+    fn tampered_blocks_are_rejected_and_counted() {
+        let config = PlatformConfig::default();
+        let peer = advanced_node(0, &config, 3);
+        let target = peer.execution_digest();
+        let mut node = advanced_node(1, &config, 1);
+        // Serve the peer's blocks with one tampered in the middle: the
+        // apply path must reject it (and everything after mislinks).
+        let mut blocks = peer.blocks_after(node.height());
+        blocks[0].header.timestamp += 1;
+        let mut applied = 0usize;
+        let mut rejected = 0usize;
+        for block in blocks {
+            match node.apply_synced_block(block) {
+                Ok(()) => applied += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        assert_eq!(applied, 0, "tampering invalidates the whole suffix");
+        assert_eq!(rejected, 2);
+        assert_ne!(node.execution_digest(), target);
+    }
+
+    #[test]
+    fn already_converged_replica_reports_a_no_op() {
+        let config = PlatformConfig::default();
+        let peer = advanced_node(0, &config, 2);
+        let mut node = advanced_node(1, &config, 2);
+        let target = peer.execution_digest();
+        assert_eq!(node.execution_digest(), target);
+        let report = catch_up(&mut node, &[&peer], target).expect("no-op catch-up");
+        assert!(report.converged);
+        assert_eq!(report.blocks_applied, 0);
+        assert_eq!(report.peer, None);
+    }
+}

@@ -14,23 +14,29 @@ use std::fmt;
 
 use tn_chain::codec::{Decodable, Encodable};
 use tn_chain::prelude::*;
-use tn_core::pipeline::{bootstrap, Bootstrap, ExecutionPipeline};
+use tn_core::pipeline::{bootstrap, restore_bootstrap, Bootstrap, ExecutionPipeline};
 use tn_core::platform::PlatformConfig;
 use tn_crypto::{Hash256, Keypair};
 use tn_telemetry::{Registry, Snapshot, TelemetrySink};
 use tn_trace::{lanes, span_id, TraceId, TraceSink};
 
-/// Errors from applying a committed batch.
+/// Errors from applying a committed batch or recovering a replica.
 #[derive(Debug)]
 pub enum NodeError {
     /// The block built from a batch failed chain import.
     Chain(ChainError),
+    /// A cluster or fault configuration was rejected before running.
+    Config(String),
+    /// A state-sync block failed verification against the local chain.
+    Sync(String),
 }
 
 impl fmt::Display for NodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NodeError::Chain(e) => write!(f, "chain error applying batch: {e}"),
+            NodeError::Config(e) => write!(f, "invalid cluster configuration: {e}"),
+            NodeError::Sync(e) => write!(f, "state-sync verification failed: {e}"),
         }
     }
 }
@@ -107,6 +113,51 @@ impl ValidatorNode {
             registry,
             trace: TraceSink::disabled(),
         }
+    }
+
+    /// Serializes this node's full ledger (genesis state plus every stored
+    /// block) into a restart-survivable snapshot; see
+    /// [`ValidatorNode::recover`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.pipeline.store().snapshot()
+    }
+
+    /// Restarts replica `id` from a persisted ledger `snapshot`: every
+    /// block is re-validated and re-executed, and the projections are
+    /// rebuilt from the restored chain via the replay path — a recovered
+    /// node reports exactly the execution digest it had when the snapshot
+    /// was taken. Counts `node.fault.recoveries` in the fresh registry.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Chain`] when the snapshot fails to decode or a
+    /// restored block fails re-validation (a damaged ledger).
+    pub fn recover(
+        id: usize,
+        config: &PlatformConfig,
+        snapshot: &[u8],
+    ) -> Result<ValidatorNode, NodeError> {
+        let Bootstrap {
+            validator,
+            mut pipeline,
+            ..
+        } = restore_bootstrap(config, snapshot)?;
+        let registry = Registry::new();
+        pipeline.set_telemetry(registry.sink());
+        let mut mempool = Mempool::new(config.mempool_capacity);
+        mempool.set_telemetry(registry.sink());
+        mempool.set_sig_cache(pipeline.store().sig_cache());
+        let next_timestamp = pipeline.store().height() + 1;
+        registry.sink().incr("node.fault.recoveries");
+        Ok(ValidatorNode {
+            id,
+            proposer: validator,
+            pipeline,
+            next_timestamp,
+            mempool,
+            registry,
+            trace: TraceSink::disabled(),
+        })
     }
 
     /// Routes this node's execution spans — mempool admission, pipeline
@@ -210,6 +261,60 @@ impl ValidatorNode {
         &self.pipeline
     }
 
+    /// Id of the canonical head block.
+    pub fn head_id(&self) -> Hash256 {
+        self.pipeline.store().head_id()
+    }
+
+    /// True when the node's store holds `id` (canonical or fork).
+    pub fn has_block(&self, id: &Hash256) -> bool {
+        self.pipeline.store().block(id).is_some()
+    }
+
+    /// Canonical blocks strictly above `height`, lowest first — what a
+    /// peer serves to a catching-up replica.
+    pub fn blocks_after(&self, height: u64) -> Vec<Block> {
+        let mut ids = self.pipeline.store().canonical_chain();
+        ids.reverse(); // genesis first
+        ids.iter()
+            .filter_map(|id| self.pipeline.store().block(id))
+            .filter(|b| b.header.height > height)
+            .cloned()
+            .collect()
+    }
+
+    /// Applies one peer-fetched block during state-sync catch-up. The
+    /// block's linkage is checked first (its parent must already be in
+    /// the store); the import itself then re-verifies structure,
+    /// signatures, and post-state digests, so a tampered block is
+    /// rejected before it can touch the ledger. Fork-choice runs on
+    /// import: once the synced branch outgrows the local one, the head
+    /// (and all projections) flip to it. Counts
+    /// `node.catchup.blocks_applied`.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Sync`] when the parent is unknown, [`NodeError::Chain`]
+    /// when verification rejects the block.
+    pub fn apply_synced_block(&mut self, block: Block) -> Result<(), NodeError> {
+        if self.has_block(&block.id()) {
+            return Ok(()); // already have it (shared prefix)
+        }
+        if !self.has_block(&block.header.parent) {
+            return Err(NodeError::Sync(format!(
+                "synced block at height {} links to unknown parent",
+                block.header.height
+            )));
+        }
+        let timestamp = block.header.timestamp;
+        self.pipeline.apply_block(block)?;
+        self.next_timestamp = self.next_timestamp.max(timestamp + 1);
+        self.mempool
+            .prune_committed(self.pipeline.store().head_state());
+        self.registry.sink().incr("node.catchup.blocks_applied");
+        Ok(())
+    }
+
     /// Current chain height.
     pub fn height(&self) -> u64 {
         self.pipeline.store().height()
@@ -235,6 +340,11 @@ impl ValidatorNode {
     pub fn verify_replay(&self) -> Result<Vec<(&'static str, Hash256)>, String> {
         self.pipeline.verify_replay()
     }
+
+    /// The node's execution-path span sink (for recovery-path spans).
+    pub(crate) fn trace_sink(&self) -> TraceSink {
+        self.trace.clone()
+    }
 }
 
 /// Encodes transactions into consensus request payloads.
@@ -253,6 +363,66 @@ mod tests {
         let b = ValidatorNode::new(1, &config);
         assert_eq!(a.execution_digest(), b.execution_digest());
         assert_eq!(a.height(), 1, "bootstrap commits the anchor block");
+    }
+
+    #[test]
+    fn snapshot_then_recover_preserves_the_digest() -> Result<(), String> {
+        let config = PlatformConfig::default();
+        let mut node = ValidatorNode::new(0, &config);
+        // Advance past bootstrap so the snapshot holds real history.
+        for batch in [vec![vec![1u8, 2, 3]], vec![vec![4u8, 5]]] {
+            node.apply_committed_batch(&batch)
+                .map_err(|e| format!("batch failed: {e}"))?;
+        }
+        let before = node.execution_digest();
+        let snapshot = node.snapshot();
+        let recovered = ValidatorNode::recover(0, &config, &snapshot)
+            .map_err(|e| format!("recover failed: {e}"))?;
+        assert_eq!(recovered.execution_digest(), before);
+        assert_eq!(recovered.height(), node.height());
+        recovered
+            .verify_replay()
+            .map_err(|e| format!("replay audit failed after recovery: {e}"))?;
+        assert_eq!(
+            recovered
+                .metrics_snapshot()
+                .counter("node.fault.recoveries"),
+            Some(1)
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn recover_rejects_a_damaged_snapshot() {
+        let config = PlatformConfig::default();
+        let node = ValidatorNode::new(0, &config);
+        let mut snapshot = node.snapshot();
+        let mid = snapshot.len() / 2;
+        snapshot[mid] ^= 0xff;
+        assert!(ValidatorNode::recover(0, &config, &snapshot).is_err());
+    }
+
+    #[test]
+    fn synced_block_with_unknown_parent_is_rejected() -> Result<(), String> {
+        let config = PlatformConfig::default();
+        let mut peer = ValidatorNode::new(0, &config);
+        peer.apply_committed_batch(&[vec![1u8, 2, 3]])
+            .map_err(|e| format!("batch failed: {e}"))?;
+        peer.apply_committed_batch(&[vec![4u8, 5, 6]])
+            .map_err(|e| format!("batch failed: {e}"))?;
+        let mut node = ValidatorNode::new(1, &config);
+        let blocks = peer.blocks_after(node.height());
+        assert_eq!(blocks.len(), 2);
+        // Skipping the first block leaves the second without a parent.
+        let err = node.apply_synced_block(blocks[1].clone());
+        assert!(matches!(err, Err(NodeError::Sync(_))), "{err:?}");
+        // In order, both apply and the digests converge.
+        for b in blocks {
+            node.apply_synced_block(b)
+                .map_err(|e| format!("sync apply failed: {e}"))?;
+        }
+        assert_eq!(node.execution_digest(), peer.execution_digest());
+        Ok(())
     }
 
     #[test]

@@ -24,4 +24,11 @@ echo "== exp18 smoke (distributed tracing + Perfetto export)"
 cargo run -q --release --offline -p tn-bench --bin exp18_trace_critical_path -- --quick
 test -s results/e18_trace.json || { echo "missing results/e18_trace.json"; exit 1; }
 
+echo "== exp19 smoke (fault-injection matrix)"
+# The bin asserts the fault-tolerance invariants itself: ≤f crashes keep a
+# quorum on one digest, a revived replica catches up, >f corrupt replicas
+# are a detected divergence. --quick runs the core scenarios only and
+# leaves results/e19.json untouched.
+cargo run -q --release --offline -p tn-bench --bin exp19_fault_matrix -- --quick
+
 echo "All checks passed."
