@@ -62,6 +62,16 @@ pub enum ChainError {
         /// Namespace being written.
         namespace: String,
     },
+    /// The storage backend failed (I/O, corruption, protocol misuse).
+    Storage(String),
+    /// The operation needed block history that compaction has pruned.
+    HistoryPruned {
+        /// Lowest height still materialized in storage.
+        first: u64,
+    },
+    /// A checkpoint blob was missing, malformed, or inconsistent with the
+    /// stored chain.
+    Checkpoint(String),
 }
 
 impl fmt::Display for ChainError {
@@ -111,6 +121,11 @@ impl fmt::Display for ChainError {
                     "account not authorized to anchor namespace {namespace:?}"
                 )
             }
+            ChainError::Storage(msg) => write!(f, "storage backend error: {msg}"),
+            ChainError::HistoryPruned { first } => {
+                write!(f, "block history below height {first} has been compacted")
+            }
+            ChainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -120,5 +135,11 @@ impl Error for ChainError {}
 impl From<DecodeError> for ChainError {
     fn from(e: DecodeError) -> Self {
         ChainError::Decode(e)
+    }
+}
+
+impl From<tn_storage::StorageError> for ChainError {
+    fn from(e: tn_storage::StorageError) -> Self {
+        ChainError::Storage(e.to_string())
     }
 }

@@ -57,6 +57,7 @@
 #![deny(missing_docs)]
 
 pub mod block;
+pub mod checkpoint;
 pub mod codec;
 pub mod error;
 pub mod mempool;
@@ -67,6 +68,7 @@ pub mod store;
 pub mod transaction;
 
 pub use block::{Block, BlockHeader};
+pub use checkpoint::ChainCheckpoint;
 pub use error::ChainError;
 pub use mempool::Mempool;
 pub use observer::{projection_root, BlockObserver};

@@ -41,6 +41,27 @@ pub trait BlockObserver {
     /// replay after a reorg.
     fn reset(&mut self);
 
+    /// Serializes the observer's derived state for inclusion in a storage
+    /// checkpoint. Observers returning `None` (the default) are rebuilt by
+    /// replaying block history on recovery instead.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state previously produced by
+    /// [`save_state`](BlockObserver::save_state).
+    ///
+    /// # Errors
+    ///
+    /// A message describing the failure; the default implementation always
+    /// fails (no checkpoint support).
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!(
+            "projection {} cannot load checkpoints",
+            self.name()
+        ))
+    }
+
     /// Downcast support (the store owns observers as trait objects).
     fn as_any(&self) -> &dyn Any;
 

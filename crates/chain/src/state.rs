@@ -347,6 +347,40 @@ impl Decodable for State {
     }
 }
 
+impl Encodable for Receipt {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_hash(&self.tx_id)
+            .put_bool(self.success)
+            .put_u64(self.gas_used)
+            .put_bytes(&self.output)
+            .put_bool(self.error.is_some());
+        if let Some(err) = &self.error {
+            enc.put_str(err);
+        }
+    }
+}
+
+impl Decodable for Receipt {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let tx_id = dec.get_hash()?;
+        let success = dec.get_bool()?;
+        let gas_used = dec.get_u64()?;
+        let output = dec.get_bytes()?;
+        let error = if dec.get_bool()? {
+            Some(dec.get_str()?)
+        } else {
+            None
+        };
+        Ok(Receipt {
+            tx_id,
+            success,
+            gas_used,
+            output,
+            error,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,33 +1,127 @@
-//! The chain store: block storage, validation against parent state, and
-//! longest-chain fork choice.
+//! The chain store: block validation against parent state, longest-chain
+//! fork choice, and a bounded in-memory window over a durable
+//! [`Storage`] backend.
 //!
 //! In the full platform the consensus layer (PBFT) decides a single block
 //! per height, so forks never persist; the store nevertheless implements
 //! fork choice so it can also back the PoA baseline (where brief forks are
 //! possible) and so tests can exercise reorg behaviour.
+//!
+//! ## Storage layout
+//!
+//! The store keeps only a recent *window* of blocks fully materialized in
+//! memory (block, post-state, receipts — including fork branches). Every
+//! imported block is first made durable in the backend's write-ahead log;
+//! when a height falls `retention` blocks behind the head it is
+//! *finalized* into the backend (sealed into segment files on the disk
+//! backend, fork siblings discarded) and evicted from the window. The
+//! full height → id canonical map stays in memory (40 bytes per block),
+//! so canonical-chain walks never touch the backend.
+//!
+//! Historical queries against evicted blocks are served from the backend:
+//! blocks and receipts are read back directly, while historical *states*
+//! are reconstructed by replaying forward from the nearest checkpoint at
+//! or below the requested height. The replay uses [`NoExecutor`], which
+//! is sound because contract execution never writes chain [`State`] —
+//! the proposer path proves this invariant on every block (it builds
+//! state roots with `NoExecutor` that import then validates under the
+//! real executor).
+//!
+//! Checkpoints ([`ChainCheckpoint`]) bundle the head state with
+//! projection and executor extension blobs; a restarted replica restores
+//! the latest durable checkpoint and replays only the storage records
+//! past it ([`ChainStore::open_recovering`] + [`ChainStore::replay_tail`]),
+//! so restart cost is proportional to downtime, not chain length.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Instant;
 
 use tn_crypto::{Address, Hash256, Keypair};
 use tn_par::Pool;
+use tn_storage::{BlockRecord, HeadMeta, Key, Storage, StorageConfig, TxIndexEntry, TxLocation};
 use tn_telemetry::TelemetrySink;
 use tn_trace::{lanes, replica_span_id, span_id, TraceId, TraceSink};
 
 use crate::block::Block;
+use crate::checkpoint::ChainCheckpoint;
+use crate::codec::{Decodable, Decoder, Encodable, Encoder};
 use crate::error::ChainError;
 use crate::observer::{self, BlockObserver};
 use crate::sigcache::SigCache;
-use crate::state::{Receipt, State, TxExecutor};
-use crate::transaction::Transaction;
+use crate::state::{NoExecutor, Receipt, State, TxExecutor};
+use crate::transaction::{Payload, Transaction};
 
-/// A stored block together with its post-state and receipts.
+/// A windowed block together with its post-state and receipts.
 #[derive(Debug, Clone)]
 struct StoredBlock {
     block: Block,
     post_state: State,
     receipts: Vec<Receipt>,
+}
+
+fn encode_block(block: &Block) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    block.encode(&mut enc);
+    enc.finish()
+}
+
+fn decode_block(bytes: &[u8]) -> Result<Block, ChainError> {
+    let mut dec = Decoder::new(bytes);
+    let block = Block::decode(&mut dec)?;
+    dec.expect_end()?;
+    Ok(block)
+}
+
+fn encode_receipts(receipts: &[Receipt]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_varint(receipts.len() as u64);
+    for r in receipts {
+        r.encode(&mut enc);
+    }
+    enc.finish()
+}
+
+fn decode_receipts(bytes: &[u8]) -> Result<Vec<Receipt>, ChainError> {
+    let mut dec = Decoder::new(bytes);
+    let n = dec.get_varint()? as usize;
+    let mut receipts = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        receipts.push(Receipt::decode(&mut dec)?);
+    }
+    dec.expect_end()?;
+    Ok(receipts)
+}
+
+/// The account keys a transaction touches, for the backend's account
+/// index: always the sender, plus the transfer recipient or called
+/// contract.
+fn index_accounts(tx: &Transaction) -> Vec<Key> {
+    let mut accounts = vec![*tx.from.as_hash().as_bytes()];
+    match &tx.payload {
+        Payload::Transfer { to, .. } => accounts.push(*to.as_hash().as_bytes()),
+        Payload::ContractCall { contract, .. } => accounts.push(*contract.as_hash().as_bytes()),
+        _ => {}
+    }
+    accounts
+}
+
+fn block_record(block: &Block, receipts: &[Receipt]) -> BlockRecord {
+    BlockRecord {
+        height: block.header.height,
+        id: *block.id().as_bytes(),
+        parent: *block.header.parent.as_bytes(),
+        block_bytes: encode_block(block),
+        receipts_bytes: encode_receipts(receipts),
+        txs: block
+            .transactions
+            .iter()
+            .map(|tx| TxIndexEntry {
+                id: *tx.id().as_bytes(),
+                accounts: index_accounts(tx),
+            })
+            .collect(),
+    }
 }
 
 /// The block store and canonical-chain tracker.
@@ -37,7 +131,24 @@ struct StoredBlock {
 /// while reorgs reset them and replay the new canonical chain from
 /// genesis, so observers always reflect exactly the canonical history.
 pub struct ChainStore {
-    blocks: HashMap<Hash256, StoredBlock>,
+    /// Recent blocks (canonical and fork) fully materialized in memory.
+    /// Genesis stays pinned; everything else is evicted once finalized.
+    window: HashMap<Hash256, StoredBlock>,
+    /// Full canonical height → id map (covers genesis through head).
+    canonical: BTreeMap<u64, Hash256>,
+    backend: Box<dyn Storage>,
+    /// Window size in blocks; heights more than this far behind the head
+    /// are finalized into the backend and evicted.
+    retention: u64,
+    /// Periodic checkpoint spacing (0 = only explicit checkpoints).
+    checkpoint_interval: u64,
+    /// Run backend compaction after each checkpoint.
+    auto_compact: bool,
+    /// Height of the most recent checkpoint written (or restored).
+    last_checkpoint: u64,
+    /// True while `replay_tail` re-imports records the backend already
+    /// holds (suppresses re-appending them).
+    replaying: bool,
     /// Current head (tip of the canonical chain).
     head: Hash256,
     genesis: Hash256,
@@ -55,7 +166,9 @@ pub struct ChainStore {
 impl fmt::Debug for ChainStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ChainStore")
-            .field("blocks", &self.blocks.len())
+            .field("backend", &self.backend.kind())
+            .field("window", &self.window.len())
+            .field("canonical", &self.canonical.len())
             .field("head", &self.head)
             .field("genesis", &self.genesis)
             .field(
@@ -68,8 +181,39 @@ impl fmt::Debug for ChainStore {
 
 impl ChainStore {
     /// Creates a store holding only a genesis block that commits
-    /// `genesis_state`.
+    /// `genesis_state`, on the default in-memory backend.
     pub fn new(genesis_state: State, genesis_proposer: &Keypair) -> ChainStore {
+        Self::with_config(genesis_state, genesis_proposer, StorageConfig::default())
+            .expect("in-memory backend construction cannot fail")
+    }
+
+    /// Creates a store on the backend selected by `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] when the backend cannot be initialized
+    /// (e.g. the disk directory already contains data — use
+    /// [`ChainStore::open_recovering`] for that).
+    pub fn with_config(
+        genesis_state: State,
+        genesis_proposer: &Keypair,
+        config: StorageConfig,
+    ) -> Result<ChainStore, ChainError> {
+        let backend = config.build()?;
+        Self::with_backend(genesis_state, genesis_proposer, backend, &config)
+    }
+
+    /// Creates a store on an explicit (fresh) backend instance.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] when writing the genesis record fails.
+    pub fn with_backend(
+        genesis_state: State,
+        genesis_proposer: &Keypair,
+        backend: Box<dyn Storage>,
+        config: &StorageConfig,
+    ) -> Result<ChainStore, ChainError> {
         let block = Block::build(
             genesis_proposer,
             0,
@@ -78,9 +222,39 @@ impl ChainStore {
             0,
             Vec::new(),
         );
+        Self::from_genesis(block, genesis_state, backend, config)
+    }
+
+    /// Builds a store around an already-constructed genesis block,
+    /// persisting the genesis record and a genesis checkpoint.
+    fn from_genesis(
+        block: Block,
+        genesis_state: State,
+        mut backend: Box<dyn Storage>,
+        config: &StorageConfig,
+    ) -> Result<ChainStore, ChainError> {
         let id = block.id();
-        let mut blocks = HashMap::new();
-        blocks.insert(
+        let rec = block_record(&block, &[]);
+        backend.append_block(&rec)?;
+        backend.finalize(0, id.as_bytes())?;
+        backend.set_head(HeadMeta {
+            height: 0,
+            id: *id.as_bytes(),
+        })?;
+        // The genesis checkpoint anchors both historical state replay and
+        // crash recovery: `checkpoint_at_or_before` always finds at least
+        // this one, and recovery needs it to reconstruct the genesis
+        // state (block headers commit only the state root).
+        let cp = ChainCheckpoint {
+            height: 0,
+            head_id: id,
+            state: genesis_state.clone(),
+            extensions: Vec::new(),
+        };
+        backend.put_checkpoint(0, id.as_bytes(), &cp.to_bytes())?;
+        backend.flush()?;
+        let mut window = HashMap::new();
+        window.insert(
             id,
             StoredBlock {
                 block,
@@ -88,8 +262,17 @@ impl ChainStore {
                 receipts: Vec::new(),
             },
         );
-        ChainStore {
-            blocks,
+        let mut canonical = BTreeMap::new();
+        canonical.insert(0, id);
+        Ok(ChainStore {
+            window,
+            canonical,
+            backend,
+            retention: config.retention.max(1),
+            checkpoint_interval: config.checkpoint_interval,
+            auto_compact: config.compact,
+            last_checkpoint: 0,
+            replaying: false,
             head: id,
             genesis: id,
             observers: Vec::new(),
@@ -97,13 +280,210 @@ impl ChainStore {
             trace: TraceSink::disabled(),
             pool: Pool::auto(),
             sig_cache: SigCache::default(),
+        })
+    }
+
+    /// Reopens a store from an existing backend (typically
+    /// [`tn_storage::DiskBackend::open`]), restoring the newest usable
+    /// checkpoint. Returns the store positioned at the checkpoint block
+    /// together with the decoded checkpoint, so callers can restore
+    /// projection and executor state from its extensions before calling
+    /// [`ChainStore::replay_tail`].
+    ///
+    /// Checkpoint selection is defensive: a checkpoint whose blob fails
+    /// to decode, whose block is not durable, or whose state root does
+    /// not match the block header is skipped in favor of the next older
+    /// one (the genesis checkpoint is always a valid last resort).
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Checkpoint`] when no usable checkpoint exists;
+    /// [`ChainError::Storage`] on backend failures.
+    pub fn open_recovering(
+        mut backend: Box<dyn Storage>,
+        config: &StorageConfig,
+    ) -> Result<(ChainStore, ChainCheckpoint), ChainError> {
+        // Genesis: id from the always-written genesis checkpoint, block
+        // record by id (a freshly reopened disk backend holds it in the
+        // WAL live set, not in finalized-height lookups), state from the
+        // checkpoint (verified against the header's state root).
+        let genesis_raw = backend
+            .checkpoint_at_or_before(0)?
+            .ok_or_else(|| ChainError::Checkpoint("genesis checkpoint missing".into()))?;
+        let genesis_cp = ChainCheckpoint::from_bytes(&genesis_raw.blob)
+            .map_err(|e| ChainError::Checkpoint(format!("genesis checkpoint malformed: {e}")))?;
+        let genesis_rec = backend
+            .block_by_id(genesis_cp.head_id.as_bytes())?
+            .ok_or_else(|| ChainError::Checkpoint("genesis block missing from storage".into()))?;
+        let genesis_block = decode_block(&genesis_rec.block_bytes)?;
+        let genesis_id = genesis_block.id();
+        if genesis_block.header.height != 0
+            || genesis_cp.state.root() != genesis_block.header.state_root
+            || genesis_cp.head_id != genesis_id
+        {
+            return Err(ChainError::Checkpoint(
+                "genesis checkpoint does not match genesis block".into(),
+            ));
         }
+
+        // Canonical map from finalized history (id-only reads).
+        let frontier = backend.finalized_height();
+        let mut canonical = BTreeMap::new();
+        canonical.insert(0u64, genesis_id);
+        for h in 1..=frontier {
+            match backend.finalized_id(h)? {
+                Some(id) => {
+                    canonical.insert(h, Hash256::from_bytes(id));
+                }
+                None => break,
+            }
+        }
+
+        // Newest checkpoint whose block is durable and consistent AND
+        // whose ancestry walks back to the finalized frontier (a crash
+        // can lose finalize calls for heights the window had already
+        // evicted; torn storage can lose whole record ranges — a
+        // checkpoint stranded above such a hole is unusable, so selection
+        // falls back to the next older one). The surviving walk is the
+        // gap to re-finalize, ascending.
+        let mut at = u64::MAX;
+        let (cp, cp_block, cp_receipts, gap) = loop {
+            let Some(raw) = backend.checkpoint_at_or_before(at)? else {
+                return Err(ChainError::Checkpoint("no usable checkpoint".into()));
+            };
+            let candidate = ChainCheckpoint::from_bytes(&raw.blob).ok().and_then(|cp| {
+                let rec = backend.block_by_id(cp.head_id.as_bytes()).ok().flatten()?;
+                let block = decode_block(&rec.block_bytes).ok()?;
+                let receipts = decode_receipts(&rec.receipts_bytes).ok()?;
+                if block.header.state_root != cp.state.root() || block.header.height != cp.height {
+                    return None;
+                }
+                let mut gap = Vec::new();
+                let mut cur = cp.head_id;
+                let mut h = cp.height;
+                while h > frontier {
+                    let rec = backend.block_by_id(cur.as_bytes()).ok().flatten()?;
+                    if rec.height != h {
+                        return None;
+                    }
+                    gap.push((h, cur));
+                    cur = Hash256::from_bytes(rec.parent);
+                    h -= 1;
+                }
+                (canonical.get(&h) == Some(&cur)).then_some((cp, block, receipts, gap))
+            });
+            match candidate {
+                Some(found) => break found,
+                None if raw.height == 0 => {
+                    return Err(ChainError::Checkpoint("no usable checkpoint".into()));
+                }
+                None => at = raw.height - 1,
+            }
+        };
+        for &(h, id) in gap.iter().rev() {
+            backend.finalize(h, id.as_bytes())?;
+            canonical.insert(h, id);
+        }
+
+        let mut window = HashMap::new();
+        window.insert(
+            genesis_id,
+            StoredBlock {
+                block: genesis_block,
+                post_state: genesis_cp.state.clone(),
+                receipts: Vec::new(),
+            },
+        );
+        let head = cp.head_id;
+        if head != genesis_id {
+            window.insert(
+                head,
+                StoredBlock {
+                    block: cp_block,
+                    post_state: cp.state.clone(),
+                    receipts: cp_receipts,
+                },
+            );
+        }
+        let store = ChainStore {
+            window,
+            canonical,
+            backend,
+            retention: config.retention.max(1),
+            checkpoint_interval: config.checkpoint_interval,
+            auto_compact: config.compact,
+            last_checkpoint: cp.height,
+            replaying: false,
+            head,
+            genesis: genesis_id,
+            observers: Vec::new(),
+            telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
+            pool: Pool::auto(),
+            sig_cache: SigCache::default(),
+        };
+        Ok((store, cp))
+    }
+
+    /// Re-imports every storage record past the restored checkpoint (the
+    /// WAL tail plus any finalized blocks above it), re-validating and
+    /// re-executing each block. Observer projections restored via
+    /// [`ChainStore::register_observer_restored`] are fed the tail
+    /// live. Orphaned fork records (whose parents were discarded) are
+    /// skipped and counted. Returns the number of blocks replayed.
+    ///
+    /// # Errors
+    ///
+    /// Validation or storage errors on canonical records (a canonical
+    /// record that fails re-execution indicates corruption).
+    pub fn replay_tail(&mut self, executor: &mut dyn TxExecutor) -> Result<u64, ChainError> {
+        let _span = self.telemetry.span("chain.recover_replay_ns");
+        let records = self.backend.blocks_after(self.last_checkpoint)?;
+        let mut replayed = 0u64;
+        let mut orphaned = 0u64;
+        self.replaying = true;
+        for rec in records {
+            if self.window.contains_key(&Hash256::from_bytes(rec.id)) {
+                continue;
+            }
+            let block = match decode_block(&rec.block_bytes) {
+                Ok(b) => b,
+                Err(_) => {
+                    // A torn fork record past the last valid canonical
+                    // prefix; the WAL scan already truncated real tears,
+                    // so treat this as an orphan.
+                    orphaned += 1;
+                    continue;
+                }
+            };
+            match self.import(block, executor) {
+                Ok(_) => replayed += 1,
+                Err(ChainError::DuplicateBlock(_)) => {}
+                Err(
+                    ChainError::UnknownParent(_)
+                    | ChainError::BadHeight { .. }
+                    | ChainError::TimestampRegression,
+                ) => orphaned += 1,
+                Err(e) => {
+                    self.replaying = false;
+                    return Err(e);
+                }
+            }
+        }
+        self.replaying = false;
+        self.telemetry
+            .add("chain.recover.blocks_replayed", replayed);
+        self.telemetry
+            .add("chain.recover.orphans_skipped", orphaned);
+        Ok(replayed)
     }
 
     /// Routes the store's metrics (import latency, per-projection apply
-    /// time, reorg and replay counters) to `sink`. The default sink is
-    /// disabled, so an uninstrumented store records nothing.
+    /// time, reorg and replay counters, backend `storage.*` series) to
+    /// `sink`. The default sink is disabled, so an uninstrumented store
+    /// records nothing.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.backend.set_telemetry(sink.clone());
         self.telemetry = sink;
     }
 
@@ -152,9 +532,9 @@ impl ChainStore {
         self.head
     }
 
-    /// The canonical head block.
+    /// The canonical head block (always resident in the window).
     pub fn head(&self) -> &Block {
-        &self.blocks[&self.head].block
+        &self.window[&self.head].block
     }
 
     /// Height of the canonical head.
@@ -164,27 +544,154 @@ impl ChainStore {
 
     /// State after the canonical head.
     pub fn head_state(&self) -> &State {
-        &self.blocks[&self.head].post_state
+        &self.window[&self.head].post_state
     }
 
-    /// Looks up a block by id.
-    pub fn block(&self, id: &Hash256) -> Option<&Block> {
-        self.blocks.get(id).map(|s| &s.block)
+    /// A shared reference to the storage backend.
+    pub fn storage(&self) -> &dyn Storage {
+        &*self.backend
     }
 
-    /// Post-state of an arbitrary stored block.
-    pub fn state_of(&self, id: &Hash256) -> Option<&State> {
-        self.blocks.get(id).map(|s| &s.post_state)
+    /// Backend name (`"mem"`, `"disk"`).
+    pub fn storage_kind(&self) -> &'static str {
+        self.backend.kind()
     }
 
-    /// Receipts of an arbitrary stored block.
-    pub fn receipts_of(&self, id: &Hash256) -> Option<&[Receipt]> {
-        self.blocks.get(id).map(|s| s.receipts.as_slice())
+    /// Consumes the store, returning its backend (used by recovery tests
+    /// and tooling to reopen the same storage).
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] when the final flush fails.
+    pub fn into_backend(mut self) -> Result<Box<dyn Storage>, ChainError> {
+        self.backend.flush()?;
+        Ok(self.backend)
     }
 
-    /// Number of stored blocks (including genesis and non-canonical forks).
+    /// Number of blocks currently materialized in the in-memory window
+    /// (bounded by `retention` plus fork branches, regardless of chain
+    /// length).
+    pub fn resident_blocks(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Looks up a block by id — from the window, or read back from the
+    /// backend for evicted history.
+    pub fn block(&self, id: &Hash256) -> Option<Block> {
+        if let Some(sb) = self.window.get(id) {
+            return Some(sb.block.clone());
+        }
+        let rec = self.backend.block_by_id(id.as_bytes()).ok().flatten()?;
+        decode_block(&rec.block_bytes).ok()
+    }
+
+    /// Post-state of an arbitrary canonical block. Windowed blocks answer
+    /// from memory; evicted heights are reconstructed by replaying from
+    /// the nearest checkpoint at or below the height (sound with
+    /// [`NoExecutor`]: contract execution never writes chain state).
+    /// Returns `None` for unknown ids and for evicted non-canonical
+    /// blocks (whose states are discarded with the fork).
+    pub fn state_of(&self, id: &Hash256) -> Option<State> {
+        if let Some(sb) = self.window.get(id) {
+            return Some(sb.post_state.clone());
+        }
+        let rec = self.backend.block_by_id(id.as_bytes()).ok().flatten()?;
+        if self.canonical.get(&rec.height) != Some(id) {
+            return None;
+        }
+        self.state_at_height(rec.height)
+    }
+
+    /// Reconstructs the canonical state at `height` from checkpoint +
+    /// forward replay.
+    fn state_at_height(&self, height: u64) -> Option<State> {
+        let _span = self.telemetry.span("chain.state_replay_ns");
+        let raw = self
+            .backend
+            .checkpoint_at_or_before(height)
+            .ok()
+            .flatten()?;
+        let cp = ChainCheckpoint::from_bytes(&raw.blob).ok()?;
+        let mut state = cp.state;
+        let mut replayed = 0u64;
+        for h in cp.height + 1..=height {
+            let rec = self.backend.block_by_height(h).ok().flatten()?;
+            let block = decode_block(&rec.block_bytes).ok()?;
+            for tx in &block.transactions {
+                state
+                    .apply_prechecked(tx, &block.header.proposer, &mut NoExecutor)
+                    .ok()?;
+            }
+            replayed += 1;
+        }
+        self.telemetry.add("chain.state_replay_blocks", replayed);
+        Some(state)
+    }
+
+    /// Receipts of an arbitrary stored block (window or backend).
+    pub fn receipts_of(&self, id: &Hash256) -> Option<Vec<Receipt>> {
+        if let Some(sb) = self.window.get(id) {
+            return Some(sb.receipts.clone());
+        }
+        let rec = self.backend.block_by_id(id.as_bytes()).ok().flatten()?;
+        decode_receipts(&rec.receipts_bytes).ok()
+    }
+
+    /// Location (height, intra-block index) of a canonical transaction,
+    /// covering both finalized history (backend index) and the recent
+    /// window.
+    pub fn tx_location(&self, tx: &Hash256) -> Option<TxLocation> {
+        if let Ok(Some(loc)) = self.backend.tx_location(tx.as_bytes()) {
+            return Some(loc);
+        }
+        let frontier = self.backend.finalized_height();
+        for (&h, id) in self.canonical.range(frontier + 1..) {
+            let sb = self.window.get(id)?;
+            for (i, t) in sb.block.transactions.iter().enumerate() {
+                if t.id() == *tx {
+                    return Some(TxLocation {
+                        height: h,
+                        index: i as u32,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Ids of canonical transactions touching `account` (sender,
+    /// transfer recipient, or called contract), in chain order.
+    pub fn account_txs(&self, account: &Address) -> Vec<Hash256> {
+        let key = *account.as_hash().as_bytes();
+        let mut out: Vec<Hash256> = self
+            .backend
+            .account_txs(&key)
+            .unwrap_or_default()
+            .into_iter()
+            .map(Hash256::from_bytes)
+            .collect();
+        let frontier = self.backend.finalized_height();
+        for (_, id) in self.canonical.range(frontier + 1..) {
+            if let Some(sb) = self.window.get(id) {
+                for tx in &sb.block.transactions {
+                    if index_accounts(tx).contains(&key) {
+                        out.push(tx.id());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of blocks known: the canonical chain plus windowed fork
+    /// blocks (evicted forks are forgotten).
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        let fork_blocks = self
+            .window
+            .values()
+            .filter(|sb| self.canonical.get(&sb.block.header.height) != Some(&sb.block.id()))
+            .count();
+        self.canonical.len() + fork_blocks
     }
 
     /// Always false: the store always holds at least genesis.
@@ -192,9 +699,9 @@ impl ChainStore {
         false
     }
 
-    /// Validates `block` against its parent and, if valid, stores it and
-    /// re-evaluates fork choice (longest chain; ties broken by smaller
-    /// block id for determinism).
+    /// Validates `block` against its parent and, if valid, makes it
+    /// durable, stores it in the window and re-evaluates fork choice
+    /// (longest chain; ties broken by smaller block id for determinism).
     ///
     /// # Errors
     ///
@@ -249,7 +756,11 @@ impl ChainStore {
         executor: &mut dyn TxExecutor,
     ) -> Result<Vec<Receipt>, ChainError> {
         let id = block.id();
-        if self.blocks.contains_key(&id) {
+        // During tail replay every record is, by definition, already in
+        // the backend — only the window counts as "seen" then.
+        if self.window.contains_key(&id)
+            || (!self.replaying && matches!(self.backend.block_by_id(id.as_bytes()), Ok(Some(_))))
+        {
             return Err(ChainError::DuplicateBlock(id));
         }
         let trace = self.trace.clone();
@@ -283,7 +794,7 @@ impl ChainStore {
             );
         }
         let parent = self
-            .blocks
+            .window
             .get(&block.header.parent)
             .ok_or(ChainError::UnknownParent(block.header.parent))?;
         let expected_height = parent.block.header.height + 1;
@@ -330,9 +841,16 @@ impl ChainStore {
         if state.root() != block.header.state_root {
             return Err(ChainError::BadStateRoot);
         }
+        // Durability before visibility: the record reaches the WAL before
+        // the window or fork choice can see the block. During tail replay
+        // the backend already holds the record.
+        if !self.replaying {
+            self.backend
+                .append_block(&block_record(&block, &receipts))?;
+        }
         let height = block.header.height;
         let parent_id = block.header.parent;
-        self.blocks.insert(
+        self.window.insert(
             id,
             StoredBlock {
                 block,
@@ -349,65 +867,255 @@ impl ChainStore {
         // Keep projections in lock-step with the canonical chain.
         if self.head == id {
             if parent_id == old_head {
-                let timed = self.telemetry.is_enabled();
-                let telemetry = self.telemetry.clone();
-                let mut observers = std::mem::take(&mut self.observers);
-                let stored = &self.blocks[&id];
-                let p0 = trace.now_ns();
-                let projections_span =
-                    replica_span_id(block_trace, "chain.projections", trace.replica());
-                for ob in observers.iter_mut() {
-                    let o0 = trace.now_ns();
-                    if timed {
-                        let started = Instant::now();
-                        ob.on_block(&stored.block, &stored.receipts);
-                        telemetry.observe(
-                            &format!("chain.projection.{}.apply_ns", ob.name()),
-                            started.elapsed().as_nanos() as u64,
-                        );
-                    } else {
-                        ob.on_block(&stored.block, &stored.receipts);
-                    }
-                    trace.complete(
-                        block_trace,
-                        format!("projection.{}", ob.name()),
-                        projections_span,
-                        lanes::PROJECTION,
-                        o0,
-                        &[],
-                    );
-                }
-                if !observers.is_empty() {
-                    trace.complete(
-                        block_trace,
-                        "chain.projections",
-                        import_span,
-                        lanes::PROJECTION,
-                        p0,
-                        &[("projections", observers.len() as u64)],
-                    );
-                }
-                self.observers = observers;
+                self.canonical.insert(height, id);
             } else {
                 // Reorg: the new head is not a child of the old one.
                 self.telemetry.incr("chain.reorgs");
+                self.rewrite_canonical();
+            }
+            self.backend.set_head(HeadMeta {
+                height,
+                id: *id.as_bytes(),
+            })?;
+            if parent_id == old_head {
+                self.notify_observers(&id, block_trace, import_span, &trace);
+            } else {
                 self.rebuild_observers();
             }
+            self.evict_and_finalize()?;
         }
         Ok(receipts)
+    }
+
+    /// Feeds the newly-canonical head block to every registered observer.
+    fn notify_observers(
+        &mut self,
+        id: &Hash256,
+        block_trace: TraceId,
+        import_span: u64,
+        trace: &TraceSink,
+    ) {
+        let timed = self.telemetry.is_enabled();
+        let telemetry = self.telemetry.clone();
+        let mut observers = std::mem::take(&mut self.observers);
+        let stored = &self.window[id];
+        let p0 = trace.now_ns();
+        let projections_span = replica_span_id(block_trace, "chain.projections", trace.replica());
+        for ob in observers.iter_mut() {
+            let o0 = trace.now_ns();
+            if timed {
+                let started = Instant::now();
+                ob.on_block(&stored.block, &stored.receipts);
+                telemetry.observe(
+                    &format!("chain.projection.{}.apply_ns", ob.name()),
+                    started.elapsed().as_nanos() as u64,
+                );
+            } else {
+                ob.on_block(&stored.block, &stored.receipts);
+            }
+            trace.complete(
+                block_trace,
+                format!("projection.{}", ob.name()),
+                projections_span,
+                lanes::PROJECTION,
+                o0,
+                &[],
+            );
+        }
+        if !observers.is_empty() {
+            trace.complete(
+                block_trace,
+                "chain.projections",
+                import_span,
+                lanes::PROJECTION,
+                p0,
+                &[("projections", observers.len() as u64)],
+            );
+        }
+        self.observers = observers;
+    }
+
+    /// Rewrites the canonical map after a reorg: walks the new head's
+    /// ancestry (all within the window — reorg depth is bounded by the
+    /// retention window) down to the fork point.
+    fn rewrite_canonical(&mut self) {
+        let mut cur = self.head;
+        loop {
+            let Some(sb) = self.window.get(&cur) else {
+                // Ancestry left the window: impossible for a legal reorg
+                // (fork parents below the finalized frontier are rejected
+                // as UnknownParent), so this indicates a logic error.
+                self.telemetry
+                    .event("chain.reorg_below_window", String::new);
+                break;
+            };
+            let h = sb.block.header.height;
+            if self.canonical.get(&h) == Some(&cur) {
+                break;
+            }
+            self.canonical.insert(h, cur);
+            if h == 0 {
+                break;
+            }
+            cur = sb.block.header.parent;
+        }
+        // Drop stale entries above the new head (only possible if the old
+        // branch was longer, which fork choice forbids — kept for safety).
+        let head_height = self.height();
+        self.canonical.split_off(&(head_height + 1));
+    }
+
+    /// Finalizes heights that fell out of the retention window into the
+    /// backend and evicts them (and any losing fork siblings) from
+    /// memory. Genesis stays pinned.
+    fn evict_and_finalize(&mut self) -> Result<(), ChainError> {
+        let head_height = self.height();
+        let bound = head_height.saturating_sub(self.retention);
+        if bound == 0 {
+            return Ok(());
+        }
+        let frontier = self.backend.finalized_height();
+        for h in (frontier + 1)..=bound {
+            let id = *self
+                .canonical
+                .get(&h)
+                .expect("canonical map covers every height up to head");
+            self.backend.finalize(h, id.as_bytes())?;
+        }
+        let genesis = self.genesis;
+        self.window
+            .retain(|id, sb| sb.block.header.height > bound || *id == genesis);
+        Ok(())
+    }
+
+    /// True when the configured checkpoint interval has elapsed since the
+    /// last checkpoint.
+    pub fn checkpoint_due(&self) -> bool {
+        self.checkpoint_interval > 0
+            && self.height()
+                >= self
+                    .last_checkpoint
+                    .saturating_add(self.checkpoint_interval)
+    }
+
+    /// Writes a checkpoint at the current head: the head state plus the
+    /// save-states of every registered observer and the caller-provided
+    /// `extras` (e.g. the executor's contract registry). The WAL is
+    /// flushed first so the checkpointed block is durable before the
+    /// checkpoint that references it. Runs backend compaction afterwards
+    /// when the store was configured with `compact`. Returns the
+    /// checkpoint height.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] on backend write failures.
+    pub fn checkpoint_now(&mut self, extras: Vec<(String, Vec<u8>)>) -> Result<u64, ChainError> {
+        let _span = self.telemetry.span("chain.checkpoint_ns");
+        self.backend.flush()?;
+        let height = self.height();
+        let head_id = self.head;
+        let mut extensions: Vec<(String, Vec<u8>)> = self
+            .observers
+            .iter()
+            .filter_map(|ob| ob.save_state().map(|bytes| (ob.name().to_string(), bytes)))
+            .collect();
+        extensions.extend(extras);
+        let cp = ChainCheckpoint {
+            height,
+            head_id,
+            state: self.head_state().clone(),
+            extensions,
+        };
+        self.backend
+            .put_checkpoint(height, head_id.as_bytes(), &cp.to_bytes())?;
+        self.last_checkpoint = height;
+        self.telemetry.incr("chain.checkpoints");
+        if self.auto_compact {
+            self.backend.compact()?;
+        }
+        Ok(height)
+    }
+
+    /// Writes a checkpoint if one is due (see
+    /// [`ChainStore::checkpoint_due`]); returns its height when written.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] on backend write failures.
+    pub fn maybe_checkpoint(
+        &mut self,
+        extras: Vec<(String, Vec<u8>)>,
+    ) -> Result<Option<u64>, ChainError> {
+        if self.checkpoint_due() {
+            Ok(Some(self.checkpoint_now(extras)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Forces buffered backend writes (WAL, head metadata) to durable
+    /// storage.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] on fsync failure.
+    pub fn flush(&mut self) -> Result<(), ChainError> {
+        self.backend.flush()?;
+        Ok(())
+    }
+
+    /// Reads the canonical block and receipts at `height` (window first,
+    /// then backend).
+    fn canonical_block_and_receipts(
+        &self,
+        height: u64,
+        id: &Hash256,
+    ) -> Result<(Block, Vec<Receipt>), ChainError> {
+        if let Some(sb) = self.window.get(id) {
+            return Ok((sb.block.clone(), sb.receipts.clone()));
+        }
+        let rec = self
+            .backend
+            .block_by_height(height)?
+            .ok_or(ChainError::HistoryPruned {
+                first: self.backend.first_height(),
+            })?;
+        Ok((
+            decode_block(&rec.block_bytes)?,
+            decode_receipts(&rec.receipts_bytes)?,
+        ))
+    }
+
+    /// Walks the canonical chain genesis-first, feeding each block to
+    /// `f`. Evicted heights are read back from the backend.
+    fn for_each_canonical(&self, f: &mut dyn FnMut(&Block, &[Receipt])) -> Result<(), ChainError> {
+        for (&h, id) in self.canonical.iter() {
+            let (block, receipts) = self.canonical_block_and_receipts(h, id)?;
+            f(&block, &receipts);
+        }
+        Ok(())
     }
 
     /// Registers a projection. The existing canonical history (genesis
     /// first) is replayed into it, so observers registered after blocks
     /// were imported still see the complete canonical sequence.
+    ///
+    /// # Panics
+    ///
+    /// When canonical history cannot be read back from the backend
+    /// (compaction pruned it, or the disk is corrupt).
     pub fn register_observer(&mut self, mut observer: Box<dyn BlockObserver>) {
         observer.reset();
-        let mut ids = self.canonical_chain();
-        ids.reverse();
-        for id in &ids {
-            let stored = &self.blocks[id];
-            observer.on_block(&stored.block, &stored.receipts);
-        }
+        self.for_each_canonical(&mut |block, receipts| observer.on_block(block, receipts))
+            .expect("canonical history readable (compaction disables observer replay)");
+        self.observers.push(observer);
+    }
+
+    /// Registers a projection whose state was already restored from a
+    /// checkpoint extension — no reset, no history replay. The caller
+    /// must follow with [`ChainStore::replay_tail`] so the projection
+    /// catches up with blocks past the checkpoint.
+    pub fn register_observer_restored(&mut self, observer: Box<dyn BlockObserver>) {
         self.observers.push(observer);
     }
 
@@ -445,21 +1153,24 @@ impl ChainStore {
     /// Replays the canonical chain from genesis into an external set of
     /// (fresh or stale) observers. This is the audit path: digests of
     /// the replayed observers must match the live registered ones.
+    ///
+    /// # Panics
+    ///
+    /// When canonical history cannot be read back from the backend
+    /// (compaction pruned it, or the disk is corrupt).
     pub fn replay_into(&self, observers: &mut [Box<dyn BlockObserver>]) {
         let _span = self.telemetry.span("chain.replay_ns");
         self.telemetry.incr("chain.replays");
         for ob in observers.iter_mut() {
             ob.reset();
         }
-        let mut ids = self.canonical_chain();
-        ids.reverse();
-        for id in &ids {
-            let stored = &self.blocks[id];
+        self.for_each_canonical(&mut |block, receipts| {
             for ob in observers.iter_mut() {
-                ob.on_block(&stored.block, &stored.receipts);
+                ob.on_block(block, receipts);
             }
             self.telemetry.incr("chain.replay_blocks");
-        }
+        })
+        .expect("canonical history readable (compaction disables audit replay)");
     }
 
     /// Resets every observer and replays the canonical chain (used after
@@ -506,31 +1217,21 @@ impl ChainStore {
         )
     }
 
-    /// Walks the canonical chain from head back to genesis, returning block
-    /// ids (head first).
+    /// The canonical chain as block ids, head first down to genesis.
     pub fn canonical_chain(&self) -> Vec<Hash256> {
-        let mut out = Vec::new();
-        let mut cur = self.head;
-        loop {
-            out.push(cur);
-            let b = &self.blocks[&cur].block;
-            if b.header.height == 0 {
-                break;
-            }
-            cur = b.header.parent;
-        }
-        out
+        self.canonical.values().rev().copied().collect()
     }
 
     /// Iterates all transactions on the canonical chain in execution order
     /// (genesis-era first). Used by the indexing layers (supply-chain graph,
-    /// ratings ledger).
-    pub fn canonical_transactions(&self) -> Vec<&Transaction> {
-        let mut ids = self.canonical_chain();
-        ids.reverse();
-        ids.iter()
-            .flat_map(|id| self.blocks[id].block.transactions.iter())
-            .collect()
+    /// ratings ledger). Evicted blocks are read back from the backend.
+    pub fn canonical_transactions(&self) -> Vec<Transaction> {
+        let mut out = Vec::new();
+        self.for_each_canonical(&mut |block, _| {
+            out.extend(block.transactions.iter().cloned());
+        })
+        .expect("canonical history readable (compaction disables full iteration)");
+        out
     }
 
     /// Convenience accessor: the balance of `addr` at the head state.
@@ -538,37 +1239,49 @@ impl ChainStore {
         self.head_state().balance(addr)
     }
 
-    /// Serializes the full chain — genesis state, genesis block, and every
-    /// stored block — into one snapshot blob (see [`ChainStore::restore`]).
+    /// Serializes the chain — genesis state, genesis block, the full
+    /// canonical chain and any windowed fork blocks — into one snapshot
+    /// blob (see [`ChainStore::restore`]). Evicted fork blocks are not
+    /// included (they can never become canonical again).
     pub fn snapshot(&self) -> Vec<u8> {
-        use crate::codec::{Encodable, Encoder};
         let mut enc = Encoder::new();
-        let genesis = &self.blocks[&self.genesis];
+        let genesis = &self.window[&self.genesis];
         genesis.post_state.encode(&mut enc);
         genesis.block.encode(&mut enc);
-        // Non-genesis blocks in height order (parents before children).
-        let mut blocks: Vec<&StoredBlock> = self
-            .blocks
-            .values()
-            .filter(|b| b.block.header.height > 0)
-            .collect();
-        blocks.sort_by_key(|b| (b.block.header.height, b.block.id()));
+        let mut blocks: Vec<Block> = Vec::with_capacity(self.canonical.len());
+        for (&h, id) in self.canonical.iter() {
+            if h == 0 {
+                continue;
+            }
+            blocks.push(
+                self.block(id)
+                    .expect("canonical block readable (compaction disables snapshots)"),
+            );
+        }
+        for sb in self.window.values() {
+            let h = sb.block.header.height;
+            if h > 0 && self.canonical.get(&h) != Some(&sb.block.id()) {
+                blocks.push(sb.block.clone());
+            }
+        }
+        // Height order (parents before children), deterministic tie-break.
+        blocks.sort_by_key(|b| (b.header.height, b.id()));
         enc.put_varint(blocks.len() as u64);
-        for b in blocks {
-            b.block.encode(&mut enc);
+        for b in &blocks {
+            b.encode(&mut enc);
         }
         enc.finish()
     }
 
     /// Restores a chain from a snapshot, re-validating and re-executing
     /// every block against `executor` (so the restored state is recomputed,
-    /// never trusted from the snapshot).
+    /// never trusted from the snapshot). The restored store runs on a
+    /// fresh in-memory backend.
     ///
     /// # Errors
     ///
     /// Decode errors or any validation error hit during replay.
     pub fn restore(bytes: &[u8], executor: &mut dyn TxExecutor) -> Result<ChainStore, ChainError> {
-        use crate::codec::{Decodable, Decoder};
         let mut dec = Decoder::new(bytes);
         let genesis_state = State::decode(&mut dec)?;
         let genesis_block = Block::decode(&mut dec)?;
@@ -578,26 +1291,9 @@ impl ChainStore {
         {
             return Err(ChainError::BadStateRoot);
         }
-        let id = genesis_block.id();
-        let mut blocks = HashMap::new();
-        blocks.insert(
-            id,
-            StoredBlock {
-                block: genesis_block,
-                post_state: genesis_state,
-                receipts: Vec::new(),
-            },
-        );
-        let mut store = ChainStore {
-            blocks,
-            head: id,
-            genesis: id,
-            observers: Vec::new(),
-            telemetry: TelemetrySink::disabled(),
-            trace: TraceSink::disabled(),
-            pool: Pool::auto(),
-            sig_cache: SigCache::default(),
-        };
+        let config = StorageConfig::default();
+        let backend = config.build()?;
+        let mut store = Self::from_genesis(genesis_block, genesis_state, backend, &config)?;
         let n = dec.get_varint()?;
         if n > 10_000_000 {
             return Err(crate::codec::DecodeError::BadLength(n).into());
@@ -616,6 +1312,7 @@ mod tests {
     use super::*;
     use crate::state::NoExecutor;
     use crate::transaction::Payload;
+    use tn_storage::MemBackend;
 
     fn alice() -> Keypair {
         Keypair::from_seed(b"alice")
@@ -640,6 +1337,19 @@ mod tests {
                 data: vec![nonce as u8],
             },
         )
+    }
+
+    fn tight_config() -> StorageConfig {
+        StorageConfig {
+            retention: 4,
+            checkpoint_interval: 8,
+            ..StorageConfig::default()
+        }
+    }
+
+    fn tight_store() -> ChainStore {
+        let state = State::genesis([(alice().address(), 10_000)]);
+        ChainStore::with_config(state, &proposer(), tight_config()).expect("builds")
     }
 
     #[test]
@@ -835,6 +1545,114 @@ mod tests {
         assert_eq!(block.transactions[0].nonce, 0);
     }
 
+    #[test]
+    fn eviction_bounds_window_and_serves_old_queries() {
+        let mut store = tight_store();
+        let mut ids = Vec::new();
+        for i in 0..20u64 {
+            let block = store.propose(&proposer(), 10 + i, vec![blob(i)], &mut NoExecutor);
+            ids.push(block.id());
+            store.import(block, &mut NoExecutor).expect("imports");
+        }
+        // Window is bounded: retention blocks + pinned genesis.
+        assert!(
+            store.resident_blocks() <= 4 + 1,
+            "window holds {} blocks",
+            store.resident_blocks()
+        );
+        // Canonical map and chain walks still cover everything.
+        assert_eq!(store.canonical_chain().len(), 21);
+        assert_eq!(store.canonical_transactions().len(), 20);
+        // Evicted blocks, receipts and states answer from the backend.
+        let old = &ids[2];
+        let block = store.block(old).expect("old block readable");
+        assert_eq!(block.header.height, 3);
+        let receipts = store.receipts_of(old).expect("old receipts readable");
+        assert_eq!(receipts.len(), 1);
+        let state = store.state_of(old).expect("old state reconstructed");
+        assert_eq!(state.root(), block.header.state_root);
+        // Evicted duplicate still rejected as duplicate.
+        let dup = store.block(old).unwrap();
+        assert!(matches!(
+            store.import(dup, &mut NoExecutor),
+            Err(ChainError::DuplicateBlock(_))
+        ));
+    }
+
+    #[test]
+    fn tx_and_account_index_cover_window_and_finalized() {
+        let mut store = tight_store();
+        let mut tx_ids = Vec::new();
+        for i in 0..12u64 {
+            let tx = blob(i);
+            tx_ids.push(tx.id());
+            let block = store.propose(&proposer(), 10 + i, vec![tx], &mut NoExecutor);
+            store.import(block, &mut NoExecutor).expect("imports");
+        }
+        for (i, tx_id) in tx_ids.iter().enumerate() {
+            let loc = store.tx_location(tx_id).expect("tx located");
+            assert_eq!(loc.height, i as u64 + 1);
+            assert_eq!(loc.index, 0);
+        }
+        let by_account = store.account_txs(&alice().address());
+        assert_eq!(by_account, tx_ids);
+    }
+
+    #[test]
+    fn checkpoint_recovery_round_trip() {
+        let mut store = tight_store();
+        for i in 0..19u64 {
+            let block = store.propose(&proposer(), 10 + i, vec![blob(i)], &mut NoExecutor);
+            store.import(block, &mut NoExecutor).expect("imports");
+            store.maybe_checkpoint(Vec::new()).expect("checkpoints");
+        }
+        let head = store.head_id();
+        let height = store.height();
+        let root = store.head_state().root();
+        let chain = store.canonical_chain();
+
+        // "Crash": drop the store, keep the backend, reopen.
+        let backend = store.into_backend().expect("flushes");
+        let (mut recovered, cp) =
+            ChainStore::open_recovering(backend, &tight_config()).expect("recovers");
+        assert_eq!(cp.height, 16, "latest periodic checkpoint");
+        let replayed = recovered.replay_tail(&mut NoExecutor).expect("replays");
+        assert_eq!(replayed, height - cp.height, "restart cost ∝ tail length");
+        assert_eq!(recovered.head_id(), head);
+        assert_eq!(recovered.height(), height);
+        assert_eq!(recovered.head_state().root(), root);
+        assert_eq!(recovered.canonical_chain(), chain);
+
+        // The recovered store keeps working.
+        let block = recovered.propose(&proposer(), 99, vec![blob(19)], &mut NoExecutor);
+        recovered.import(block, &mut NoExecutor).expect("extends");
+        assert_eq!(recovered.height(), height + 1);
+    }
+
+    #[test]
+    fn recovery_without_periodic_checkpoints_replays_from_genesis() {
+        let cfg = StorageConfig {
+            retention: 4,
+            checkpoint_interval: 0,
+            ..StorageConfig::default()
+        };
+        let state = State::genesis([(alice().address(), 10_000)]);
+        let mut store =
+            ChainStore::with_backend(state, &proposer(), Box::new(MemBackend::new()), &cfg)
+                .expect("builds");
+        for i in 0..9u64 {
+            let block = store.propose(&proposer(), 10 + i, vec![blob(i)], &mut NoExecutor);
+            store.import(block, &mut NoExecutor).expect("imports");
+        }
+        let head = store.head_id();
+        let backend = store.into_backend().expect("flushes");
+        let (mut recovered, cp) = ChainStore::open_recovering(backend, &cfg).expect("recovers");
+        assert_eq!(cp.height, 0, "only the genesis checkpoint exists");
+        let replayed = recovered.replay_tail(&mut NoExecutor).expect("replays");
+        assert_eq!(replayed, 9);
+        assert_eq!(recovered.head_id(), head);
+    }
+
     /// Test projection: a running hash over observed `(block id, receipt
     /// successes)` — sensitive to both sequence and content.
     #[derive(Default)]
@@ -863,6 +1681,22 @@ mod tests {
         fn reset(&mut self) {
             self.acc.clear();
             self.blocks_seen = 0;
+        }
+
+        fn save_state(&self) -> Option<Vec<u8>> {
+            let mut out = self.acc.clone();
+            out.extend_from_slice(&(self.blocks_seen as u64).to_le_bytes());
+            Some(out)
+        }
+
+        fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+            if bytes.len() < 8 {
+                return Err("short".into());
+            }
+            let (acc, count) = bytes.split_at(bytes.len() - 8);
+            self.acc = acc.to_vec();
+            self.blocks_seen = u64::from_le_bytes(count.try_into().unwrap()) as usize;
+            Ok(())
         }
 
         fn as_any(&self) -> &dyn std::any::Any {
@@ -966,5 +1800,35 @@ mod tests {
                 2
             );
         }
+    }
+
+    #[test]
+    fn restored_observer_continues_through_tail_replay() {
+        let mut store = tight_store();
+        store.register_observer(Box::new(ChainTrace::default()));
+        for i in 0..19u64 {
+            let block = store.propose(&proposer(), 10 + i, vec![blob(i)], &mut NoExecutor);
+            store.import(block, &mut NoExecutor).expect("imports");
+            store.maybe_checkpoint(Vec::new()).expect("checkpoints");
+        }
+        let live_digest = store.projection_digests()[0].1;
+
+        let backend = store.into_backend().expect("flushes");
+        let (mut recovered, cp) =
+            ChainStore::open_recovering(backend, &tight_config()).expect("recovers");
+        let mut trace = ChainTrace::default();
+        trace
+            .load_state(cp.extension("trace").expect("projection saved"))
+            .expect("loads");
+        recovered.register_observer_restored(Box::new(trace));
+        recovered.replay_tail(&mut NoExecutor).expect("replays");
+        assert_eq!(recovered.projection_digests()[0].1, live_digest);
+        assert_eq!(
+            recovered
+                .observer::<ChainTrace>("trace")
+                .unwrap()
+                .blocks_seen,
+            20
+        );
     }
 }

@@ -34,6 +34,23 @@ pub trait BuiltinContract: Send + fmt::Debug {
 
     /// Typed mutable access for in-process platform code.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Serializes the contract's persistent state for a chain checkpoint.
+    /// `None` means the contract does not participate in checkpoints (a
+    /// restarted node then rebuilds it by replaying from genesis).
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by [`BuiltinContract::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// A message when the blob is malformed or the contract does not
+    /// support checkpoints.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!("contract {} cannot load checkpoints", self.name()))
+    }
 }
 
 fn bad_input(e: impl fmt::Display) -> String {
@@ -146,6 +163,66 @@ impl BuiltinContract for NewsroomRegistry {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut e = Encoder::new();
+        e.put_varint(self.platforms.len() as u64);
+        for (id, p) in &self.platforms {
+            e.put_u64(*id).put_hash(p.owner.as_hash()).put_str(&p.name);
+        }
+        e.put_varint(self.rooms.len() as u64);
+        for (id, r) in &self.rooms {
+            e.put_u64(*id).put_u64(r.platform).put_str(&r.topic);
+            // HashSet order is nondeterministic; sort so identical state
+            // always serializes to identical bytes.
+            let mut js: Vec<&Address> = r.journalists.iter().collect();
+            js.sort();
+            e.put_varint(js.len() as u64);
+            for j in js {
+                e.put_hash(j.as_hash());
+            }
+        }
+        e.put_u64(self.next_platform).put_u64(self.next_room);
+        Some(e.finish())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut dec = Decoder::new(bytes);
+        let mut platforms = BTreeMap::new();
+        let n = dec.get_varint().map_err(bad_input)?;
+        for _ in 0..n {
+            let id = dec.get_u64().map_err(bad_input)?;
+            let owner = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+            let name = dec.get_str().map_err(bad_input)?;
+            platforms.insert(id, PlatformRecord { owner, name });
+        }
+        let mut rooms = BTreeMap::new();
+        let n = dec.get_varint().map_err(bad_input)?;
+        for _ in 0..n {
+            let id = dec.get_u64().map_err(bad_input)?;
+            let platform = dec.get_u64().map_err(bad_input)?;
+            let topic = dec.get_str().map_err(bad_input)?;
+            let j = dec.get_varint().map_err(bad_input)?;
+            let mut journalists = HashSet::new();
+            for _ in 0..j {
+                journalists.insert(Address::from_hash(dec.get_hash().map_err(bad_input)?));
+            }
+            rooms.insert(
+                id,
+                RoomRecord {
+                    platform,
+                    topic,
+                    journalists,
+                },
+            );
+        }
+        self.next_platform = dec.get_u64().map_err(bad_input)?;
+        self.next_room = dec.get_u64().map_err(bad_input)?;
+        dec.expect_end().map_err(bad_input)?;
+        self.platforms = platforms;
+        self.rooms = rooms;
+        Ok(())
     }
 
     fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String> {
@@ -333,6 +410,55 @@ impl BuiltinContract for RankingContract {
         self
     }
 
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut e = Encoder::new();
+        e.put_hash(self.owner.as_hash());
+        let mut items: Vec<(&Hash256, &BTreeMap<Address, u8>)> = self.ratings.iter().collect();
+        items.sort_by_key(|(h, _)| **h);
+        e.put_varint(items.len() as u64);
+        for (item, rs) in items {
+            e.put_hash(item).put_varint(rs.len() as u64);
+            for (who, score) in rs {
+                e.put_hash(who.as_hash()).put_u8(*score);
+            }
+        }
+        let mut reps: Vec<(&Address, &u64)> = self.reputation.iter().collect();
+        reps.sort_by_key(|(a, _)| **a);
+        e.put_varint(reps.len() as u64);
+        for (who, rep) in reps {
+            e.put_hash(who.as_hash()).put_u64(*rep);
+        }
+        Some(e.finish())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut dec = Decoder::new(bytes);
+        let owner = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+        let mut ratings = HashMap::new();
+        let n = dec.get_varint().map_err(bad_input)?;
+        for _ in 0..n {
+            let item = dec.get_hash().map_err(bad_input)?;
+            let m = dec.get_varint().map_err(bad_input)?;
+            let mut rs = BTreeMap::new();
+            for _ in 0..m {
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                rs.insert(who, dec.get_u8().map_err(bad_input)?);
+            }
+            ratings.insert(item, rs);
+        }
+        let mut reputation = HashMap::new();
+        let n = dec.get_varint().map_err(bad_input)?;
+        for _ in 0..n {
+            let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+            reputation.insert(who, dec.get_u64().map_err(bad_input)?);
+        }
+        dec.expect_end().map_err(bad_input)?;
+        self.owner = owner;
+        self.ratings = ratings;
+        self.reputation = reputation;
+        Ok(())
+    }
+
     fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String> {
         let mut dec = Decoder::new(input);
         let op = dec.get_u8().map_err(bad_input)?;
@@ -455,6 +581,33 @@ impl BuiltinContract for IncentiveContract {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut e = Encoder::new();
+        e.put_hash(self.owner.as_hash());
+        let mut bals: Vec<(&Address, &u64)> = self.balances.iter().collect();
+        bals.sort_by_key(|(a, _)| **a);
+        e.put_varint(bals.len() as u64);
+        for (who, bal) in bals {
+            e.put_hash(who.as_hash()).put_u64(*bal);
+        }
+        Some(e.finish())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut dec = Decoder::new(bytes);
+        let owner = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+        let mut balances = HashMap::new();
+        let n = dec.get_varint().map_err(bad_input)?;
+        for _ in 0..n {
+            let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+            balances.insert(who, dec.get_u64().map_err(bad_input)?);
+        }
+        dec.expect_end().map_err(bad_input)?;
+        self.owner = owner;
+        self.balances = balances;
+        Ok(())
     }
 
     fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String> {
@@ -588,6 +741,62 @@ impl BuiltinContract for FactDbAdmission {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut e = Encoder::new();
+        e.put_hash(self.owner.as_hash())
+            .put_u64(self.threshold as u64);
+        let mut checkers: Vec<&Address> = self.checkers.iter().collect();
+        checkers.sort();
+        e.put_varint(checkers.len() as u64);
+        for c in checkers {
+            e.put_hash(c.as_hash());
+        }
+        let mut records: Vec<(&Hash256, &HashSet<Address>)> = self.attestations.iter().collect();
+        records.sort_by_key(|(h, _)| **h);
+        e.put_varint(records.len() as u64);
+        for (record, who) in records {
+            e.put_hash(record);
+            let mut who: Vec<&Address> = who.iter().collect();
+            who.sort();
+            e.put_varint(who.len() as u64);
+            for w in who {
+                e.put_hash(w.as_hash());
+            }
+        }
+        Some(e.finish())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut dec = Decoder::new(bytes);
+        let owner = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+        let threshold = dec.get_u64().map_err(bad_input)? as usize;
+        if threshold == 0 {
+            return Err("admission threshold must be positive".into());
+        }
+        let mut checkers = HashSet::new();
+        let n = dec.get_varint().map_err(bad_input)?;
+        for _ in 0..n {
+            checkers.insert(Address::from_hash(dec.get_hash().map_err(bad_input)?));
+        }
+        let mut attestations = HashMap::new();
+        let n = dec.get_varint().map_err(bad_input)?;
+        for _ in 0..n {
+            let record = dec.get_hash().map_err(bad_input)?;
+            let m = dec.get_varint().map_err(bad_input)?;
+            let mut who = HashSet::new();
+            for _ in 0..m {
+                who.insert(Address::from_hash(dec.get_hash().map_err(bad_input)?));
+            }
+            attestations.insert(record, who);
+        }
+        dec.expect_end().map_err(bad_input)?;
+        self.owner = owner;
+        self.threshold = threshold;
+        self.checkers = checkers;
+        self.attestations = attestations;
+        Ok(())
     }
 
     fn call(&mut self, caller: &Address, input: &[u8]) -> Result<Vec<u8>, String> {

@@ -336,7 +336,7 @@ mod tests {
         ids.reverse();
         for id in ids {
             let block = p.store().block(&id).expect("canonical");
-            client.submit_block_header(block).expect("valid header");
+            client.submit_block_header(&block).expect("valid header");
         }
         client
     }
@@ -356,7 +356,7 @@ mod tests {
         let chain = p.store().canonical_chain();
         // Submit genesis, then skip a block: link broken.
         let genesis = p.store().block(chain.last().unwrap()).unwrap();
-        client.submit_block_header(genesis).unwrap();
+        client.submit_block_header(&genesis).unwrap();
         let head = p.store().head();
         assert!(matches!(
             client.submit_block_header(head),

@@ -18,6 +18,7 @@ use tn_contracts::executor::ContractRegistry;
 use tn_crypto::{Address, Hash256, Keypair};
 use tn_factdb::db::FactualDatabase;
 use tn_factdb::record::FactRecord;
+use tn_storage::{Storage, StorageConfig};
 use tn_supplychain::graph::SupplyChainGraph;
 use tn_supplychain::index::IndexStats;
 use tn_telemetry::TelemetrySink;
@@ -28,6 +29,10 @@ use crate::projections::{
     names, FactProjection, HeadlineProjection, IdentityProjection, SupplyChainProjection,
 };
 use crate::roles::IdentityRegistry;
+
+/// Checkpoint-extension key under which the pipeline stores the contract
+/// registry's serialized state (distinct from every projection name).
+pub const REGISTRY_EXTENSION: &str = "contracts.registry";
 
 /// Well-known addresses of the four governance built-in contracts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +97,17 @@ pub struct Bootstrap {
 /// for governor and validator, the four governance contracts, the seeded
 /// factual corpus, and one committed block anchoring the corpus root.
 pub fn bootstrap(config: &PlatformConfig) -> Bootstrap {
+    try_bootstrap(config).expect("storage backend initialization")
+}
+
+/// [`bootstrap`], surfacing storage-backend initialization failures (a
+/// disk-backed replica's directory may be unwritable or already in use)
+/// instead of panicking.
+///
+/// # Errors
+///
+/// [`ChainError::Storage`] when the configured backend cannot be created.
+pub fn try_bootstrap(config: &PlatformConfig) -> Result<Bootstrap, ChainError> {
     let governor = Keypair::from_seed(b"tn-platform-governor");
     let validator = Keypair::from_seed(b"tn-platform-validator");
     let genesis = State::genesis([
@@ -101,13 +117,14 @@ pub fn bootstrap(config: &PlatformConfig) -> Bootstrap {
     let seed_corpus: Vec<FactRecord> = tn_factdb::corpus::generate_corpus(&config.factdb_seed)
         .into_iter()
         .collect();
-    let mut pipeline = ExecutionPipeline::new(
+    let mut pipeline = ExecutionPipeline::with_storage(
         genesis,
         &validator,
         governor.address(),
         config.fact_threshold,
         seed_corpus,
-    );
+        config.storage.clone(),
+    )?;
     pipeline.set_verify_workers(config.verify_workers);
     let root = pipeline.factdb().root();
     let anchor = Transaction::signed(
@@ -122,11 +139,55 @@ pub fn bootstrap(config: &PlatformConfig) -> Bootstrap {
     pipeline
         .commit_batch(&validator, 1, vec![anchor])
         .expect("genesis anchor block");
-    Bootstrap {
+    Ok(Bootstrap {
         governor,
         validator,
         pipeline,
-    }
+    })
+}
+
+/// Reopens a disk-backed replica from its storage directory: re-derives
+/// the well-known governance keys and seed corpus, restores the newest
+/// checkpoint, and replays the durable WAL tail. Returns the bootstrap
+/// and the number of tail blocks replayed — the measure that recovery
+/// cost is proportional to blocks since the last checkpoint.
+///
+/// # Errors
+///
+/// [`ChainError::Checkpoint`] when `config` selects the in-memory
+/// backend (there is nothing on disk to recover) or the stored state is
+/// unusable; [`ChainError::Storage`] on backend failures.
+pub fn recover_bootstrap(config: &PlatformConfig) -> Result<(Bootstrap, u64), ChainError> {
+    let governor = Keypair::from_seed(b"tn-platform-governor");
+    let validator = Keypair::from_seed(b"tn-platform-validator");
+    let seed_corpus: Vec<FactRecord> = tn_factdb::corpus::generate_corpus(&config.factdb_seed)
+        .into_iter()
+        .collect();
+    let dir = match &config.storage.backend {
+        tn_storage::BackendKind::Disk(dir) => dir.clone(),
+        tn_storage::BackendKind::Mem => {
+            return Err(ChainError::Checkpoint(
+                "recovery requires a disk storage backend".into(),
+            ))
+        }
+    };
+    let backend = Box::new(tn_storage::DiskBackend::open(&dir, &config.storage)?);
+    let (mut pipeline, replayed) = ExecutionPipeline::recover(
+        backend,
+        &config.storage,
+        governor.address(),
+        config.fact_threshold,
+        seed_corpus,
+    )?;
+    pipeline.set_verify_workers(config.verify_workers);
+    Ok((
+        Bootstrap {
+            governor,
+            validator,
+            pipeline,
+        },
+        replayed,
+    ))
 }
 
 /// Rebuilds a replica from a [`ChainStore::snapshot`] taken by a node of
@@ -194,18 +255,105 @@ impl ExecutionPipeline {
         fact_threshold: usize,
         seed_corpus: Vec<FactRecord>,
     ) -> ExecutionPipeline {
+        Self::with_storage(
+            genesis,
+            validator,
+            governor,
+            fact_threshold,
+            seed_corpus,
+            StorageConfig::default(),
+        )
+        .expect("in-memory storage cannot fail to initialize")
+    }
+
+    /// [`ExecutionPipeline::new`] on an explicit storage configuration —
+    /// the entry point for disk-backed replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] when the backend cannot be initialized
+    /// (e.g. the disk directory already holds data; use
+    /// [`ExecutionPipeline::recover`] for that).
+    pub fn with_storage(
+        genesis: State,
+        validator: &Keypair,
+        governor: Address,
+        fact_threshold: usize,
+        seed_corpus: Vec<FactRecord>,
+        storage: StorageConfig,
+    ) -> Result<ExecutionPipeline, ChainError> {
         let (registry, addrs) = install_builtins(governor, fact_threshold);
-        let mut store = ChainStore::new(genesis, validator);
+        let mut store = ChainStore::with_config(genesis, validator, storage)?;
         for projection in projection_set(seed_corpus, addrs.admission, fact_threshold) {
             store.register_observer(projection);
         }
-        ExecutionPipeline {
+        Ok(ExecutionPipeline {
             store,
             registry,
             addrs,
             telemetry: TelemetrySink::disabled(),
             trace: TraceSink::disabled(),
+        })
+    }
+
+    /// Reopens a pipeline from an existing storage backend: restores the
+    /// newest usable checkpoint (chain state, contract registry, all four
+    /// projections), then replays the durable WAL tail through full
+    /// re-execution. Returns the pipeline and the number of replayed
+    /// blocks — recovery work is proportional to blocks since the last
+    /// checkpoint, not to chain length. The construction parameters must
+    /// match the ones the stored chain was built with.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Checkpoint`] when checkpointed state is unusable,
+    /// [`ChainError::Storage`] on backend failures.
+    pub fn recover(
+        backend: Box<dyn Storage>,
+        config: &StorageConfig,
+        governor: Address,
+        fact_threshold: usize,
+        seed_corpus: Vec<FactRecord>,
+    ) -> Result<(ExecutionPipeline, u64), ChainError> {
+        let (mut store, cp) = ChainStore::open_recovering(backend, config)?;
+        let (mut registry, addrs) = install_builtins(governor, fact_threshold);
+        if let Some(bytes) = cp.extension(REGISTRY_EXTENSION) {
+            registry.load_state(bytes).map_err(ChainError::Checkpoint)?;
+        } else if cp.height != 0 {
+            return Err(ChainError::Checkpoint(
+                "checkpoint missing contract-registry state".into(),
+            ));
         }
+        for mut projection in projection_set(seed_corpus, addrs.admission, fact_threshold) {
+            match cp.extension(projection.name()) {
+                Some(bytes) => {
+                    projection
+                        .load_state(bytes)
+                        .map_err(ChainError::Checkpoint)?;
+                    store.register_observer_restored(projection);
+                }
+                // The genesis checkpoint (written before observers are
+                // registered) has no extensions; fresh projections are
+                // correct there because the tail replay starts at
+                // height 1.
+                None if cp.height == 0 => store.register_observer_restored(projection),
+                None => {
+                    return Err(ChainError::Checkpoint(format!(
+                        "checkpoint missing projection '{}'",
+                        projection.name()
+                    )))
+                }
+            }
+        }
+        let mut pipeline = ExecutionPipeline {
+            store,
+            registry,
+            addrs,
+            telemetry: TelemetrySink::disabled(),
+            trace: TraceSink::disabled(),
+        };
+        let replayed = pipeline.store.replay_tail(&mut pipeline.registry)?;
+        Ok((pipeline, replayed))
     }
 
     /// Routes pipeline metrics to `sink` and forwards it to the chain
@@ -336,7 +484,35 @@ impl ExecutionPipeline {
             ],
         );
         self.telemetry.incr("pipeline.batches_committed");
+        self.maybe_checkpoint()?;
         Ok((block, receipts))
+    }
+
+    /// Writes a storage checkpoint if one is due (per the configured
+    /// interval), bundling the contract registry's serialized state with
+    /// every projection's save-state; returns its height when written.
+    /// The commit paths call this automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] on backend write failures.
+    pub fn maybe_checkpoint(&mut self) -> Result<Option<u64>, ChainError> {
+        if !self.store.checkpoint_due() {
+            return Ok(None);
+        }
+        let extras = vec![(REGISTRY_EXTENSION.to_string(), self.registry.save_state())];
+        self.store.checkpoint_now(extras).map(Some)
+    }
+
+    /// Forces a storage checkpoint at the current head regardless of the
+    /// interval (node shutdown, tests).
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Storage`] on backend write failures.
+    pub fn checkpoint_now(&mut self) -> Result<u64, ChainError> {
+        let extras = vec![(REGISTRY_EXTENSION.to_string(), self.registry.save_state())];
+        self.store.checkpoint_now(extras)
     }
 
     /// Imports a block produced elsewhere (a peer validator) through the
@@ -346,7 +522,9 @@ impl ExecutionPipeline {
     ///
     /// Chain-level import errors.
     pub fn apply_block(&mut self, block: Block) -> Result<Vec<Receipt>, ChainError> {
-        self.store.import(block, &mut self.registry)
+        let receipts = self.store.import(block, &mut self.registry)?;
+        self.maybe_checkpoint()?;
+        Ok(receipts)
     }
 
     // --- digests ---------------------------------------------------------

@@ -32,6 +32,7 @@ use tn_crypto::{Address, Hash256, Keypair};
 use tn_factdb::corpus::CorpusConfig;
 use tn_factdb::db::FactualDatabase;
 use tn_factdb::record::FactRecord;
+use tn_storage::StorageConfig;
 use tn_supplychain::graph::{SupplyChainGraph, TraceResult};
 use tn_supplychain::index::{IndexStats, NewsEvent};
 use tn_supplychain::ops::PropagationOp;
@@ -127,6 +128,10 @@ pub struct PlatformConfig {
     /// hashing). `0` means "use the machine's available parallelism".
     /// Results are byte-identical for every worker count.
     pub verify_workers: usize,
+    /// Storage-engine configuration: backend selection (in-memory or
+    /// on-disk), in-memory retention window, checkpoint cadence,
+    /// segment/fsync sizing, and compaction.
+    pub storage: StorageConfig,
 }
 
 impl Default for PlatformConfig {
@@ -143,6 +148,7 @@ impl Default for PlatformConfig {
             weights: PlatformRankWeights::default(),
             mempool_capacity: 100_000,
             verify_workers: 0,
+            storage: StorageConfig::default(),
         }
     }
 }

@@ -20,7 +20,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use tn_chain::codec::Decodable;
+use tn_chain::codec::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use tn_chain::observer::BlockObserver;
 use tn_chain::{blob_tags, Block, Payload, Receipt};
 use tn_crypto::sha256::tagged_hash;
@@ -156,6 +156,62 @@ impl AdmissionLedger {
             }
         }
     }
+
+    /// Appends the candidate/attester/admitted sets to a checkpoint
+    /// encoder. The admission address and threshold are construction-time
+    /// configuration, re-supplied by whoever rebuilds the projection, so
+    /// they are not serialized.
+    fn save_into(&self, e: &mut Encoder) {
+        e.put_varint(self.candidates.len() as u64);
+        for rec in self.candidates.values() {
+            e.put_bytes(&rec.to_bytes());
+        }
+        e.put_varint(self.attesters.len() as u64);
+        for (id, who) in &self.attesters {
+            e.put_hash(id).put_varint(who.len() as u64);
+            for a in who {
+                e.put_hash(a.as_hash());
+            }
+        }
+        e.put_varint(self.admitted.len() as u64);
+        for id in &self.admitted {
+            e.put_hash(id);
+        }
+    }
+
+    /// Restores the sets written by [`save_into`](AdmissionLedger::save_into),
+    /// leaving the ledger untouched on error.
+    fn load_from(&mut self, dec: &mut Decoder<'_>) -> Result<(), String> {
+        let err = |e: DecodeError| format!("malformed admission ledger: {e}");
+        let mut candidates = BTreeMap::new();
+        let n = dec.get_varint().map_err(err)?;
+        for _ in 0..n {
+            let raw = dec.get_bytes().map_err(err)?;
+            let rec = FactRecord::from_bytes(&raw)
+                .map_err(|e| format!("malformed candidate record: {e}"))?;
+            candidates.insert(rec.id(), rec);
+        }
+        let mut attesters = BTreeMap::new();
+        let n = dec.get_varint().map_err(err)?;
+        for _ in 0..n {
+            let id = dec.get_hash().map_err(err)?;
+            let m = dec.get_varint().map_err(err)?;
+            let mut who = BTreeSet::new();
+            for _ in 0..m {
+                who.insert(Address::from_hash(dec.get_hash().map_err(err)?));
+            }
+            attesters.insert(id, who);
+        }
+        let mut admitted = BTreeSet::new();
+        let n = dec.get_varint().map_err(err)?;
+        for _ in 0..n {
+            admitted.insert(dec.get_hash().map_err(err)?);
+        }
+        self.candidates = candidates;
+        self.attesters = attesters;
+        self.admitted = admitted;
+        Ok(())
+    }
 }
 
 /// Rebuilds the supply-chain graph from canonical news events, with
@@ -242,6 +298,42 @@ impl BlockObserver for SupplyChainProjection {
         }
     }
 
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut e = Encoder::new();
+        e.put_bytes(&self.graph.to_bytes());
+        for n in [
+            self.stats.indexed,
+            self.stats.malformed,
+            self.stats.rejected,
+            self.stats.ignored,
+        ] {
+            e.put_varint(n as u64);
+        }
+        self.ledger.save_into(&mut e);
+        Some(e.finish())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let err = |e: DecodeError| format!("malformed supply-chain checkpoint: {e}");
+        let mut dec = Decoder::new(bytes);
+        let raw = dec.get_bytes().map_err(err)?;
+        let graph = SupplyChainGraph::from_bytes(&raw)?;
+        let mut stats = IndexStats::default();
+        for field in [
+            &mut stats.indexed,
+            &mut stats.malformed,
+            &mut stats.rejected,
+            &mut stats.ignored,
+        ] {
+            *field = dec.get_varint().map_err(err)? as usize;
+        }
+        self.ledger.load_from(&mut dec)?;
+        dec.expect_end().map_err(err)?;
+        self.graph = graph;
+        self.stats = stats;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -295,6 +387,15 @@ impl BlockObserver for IdentityProjection {
 
     fn reset(&mut self) {
         self.registry = IdentityRegistry::new();
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.registry.to_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.registry = IdentityRegistry::from_bytes(bytes)?;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -396,6 +497,48 @@ impl BlockObserver for FactProjection {
         }
     }
 
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // The database is fully reconstructible from its append-ordered
+        // record log, so that is all the checkpoint carries for it.
+        let mut e = Encoder::new();
+        e.put_varint(self.db.len() as u64);
+        for rec in self.db.iter() {
+            e.put_bytes(&rec.to_bytes());
+        }
+        self.ledger.save_into(&mut e);
+        e.put_varint(self.newly_admitted.len() as u64);
+        for id in &self.newly_admitted {
+            e.put_hash(id);
+        }
+        Some(e.finish())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let err = |e: DecodeError| format!("malformed factdb checkpoint: {e}");
+        let mut dec = Decoder::new(bytes);
+        let n = dec.get_varint().map_err(err)?;
+        let mut db = FactualDatabase::new();
+        for _ in 0..n {
+            let raw = dec.get_bytes().map_err(err)?;
+            let rec =
+                FactRecord::from_bytes(&raw).map_err(|e| format!("malformed fact record: {e}"))?;
+            db.append(rec)
+                .map_err(|e| format!("fact record replay rejected: {e}"))?;
+        }
+        let mut ledger = self.ledger.clone();
+        ledger.load_from(&mut dec)?;
+        let m = dec.get_varint().map_err(err)?;
+        let mut newly_admitted = Vec::with_capacity((m as usize).min(1024));
+        for _ in 0..m {
+            newly_admitted.push(dec.get_hash().map_err(err)?);
+        }
+        dec.expect_end().map_err(err)?;
+        self.db = db;
+        self.ledger = ledger;
+        self.newly_admitted = newly_admitted;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -467,6 +610,31 @@ impl BlockObserver for HeadlineProjection {
             data.extend_from_slice(headline.as_bytes());
         }
         tagged_hash("TN/proj-headlines", &data)
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut entries: Vec<_> = self.headlines.iter().collect();
+        entries.sort_by_key(|(id, _)| **id);
+        let mut e = Encoder::new();
+        e.put_varint(entries.len() as u64);
+        for (id, headline) in entries {
+            e.put_hash(id).put_str(headline);
+        }
+        Some(e.finish())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let err = |e: DecodeError| format!("malformed headline checkpoint: {e}");
+        let mut dec = Decoder::new(bytes);
+        let n = dec.get_varint().map_err(err)?;
+        let mut headlines = HashMap::new();
+        for _ in 0..n {
+            let id = dec.get_hash().map_err(err)?;
+            headlines.insert(id, dec.get_str().map_err(err)?);
+        }
+        dec.expect_end().map_err(err)?;
+        self.headlines = headlines;
+        Ok(())
     }
 
     fn reset(&mut self) {
@@ -650,5 +818,77 @@ mod tests {
         assert!(fp.ledger().is_candidate(&record(9).id()));
         let hp = a[3].as_any().downcast_ref::<HeadlineProjection>().unwrap();
         assert_eq!(hp.len(), 1);
+    }
+
+    #[test]
+    fn projection_checkpoints_round_trip() {
+        // Drive every projection with real payloads, checkpoint each one,
+        // load the bytes into a fresh instance, and require digest
+        // equality — the property the storage-recovery path depends on.
+        let author = Keypair::from_seed(b"author");
+        let validator = Keypair::from_seed(b"validator");
+        let admission_addr = Keypair::from_seed(b"admission").address();
+        let genesis = State::genesis([(author.address(), 10_000)]);
+        let mut store = ChainStore::new(genesis, &validator);
+
+        let identity = IdentityRecord {
+            name: "Jane".into(),
+            roles: vec![crate::roles::Role::ContentCreator],
+        };
+        let event = tn_supplychain::index::NewsEvent {
+            headline: "A headline".into(),
+            content: "Original story text.".into(),
+            topic: "energy".into(),
+            room: 1,
+            parents: vec![],
+            published_at: 1,
+        };
+        let txs = vec![
+            Transaction::signed(
+                &author,
+                0,
+                1,
+                Payload::Blob {
+                    tag: blob_tags::IDENTITY,
+                    data: identity.to_bytes(),
+                },
+            ),
+            Transaction::signed(&author, 1, 1, event.into_payload()),
+            Transaction::signed(
+                &author,
+                2,
+                1,
+                Payload::Blob {
+                    tag: blob_tags::FACT_PROPOSE,
+                    data: record(9).to_bytes(),
+                },
+            ),
+        ];
+        let block = store.propose(&validator, 1, txs, &mut NoExecutor);
+        store.import(block, &mut NoExecutor).unwrap();
+
+        let seed = vec![record(100), record(101)];
+        let fresh = || -> Vec<Box<dyn BlockObserver>> {
+            vec![
+                Box::new(SupplyChainProjection::new(seed.clone(), admission_addr, 2)),
+                Box::new(IdentityProjection::new()),
+                Box::new(FactProjection::new(seed.clone(), admission_addr, 2)),
+                Box::new(HeadlineProjection::new()),
+            ]
+        };
+        let mut live = fresh();
+        store.replay_into(&mut live);
+        let mut restored = fresh();
+        for (src, dst) in live.iter().zip(restored.iter_mut()) {
+            let bytes = src.save_state().expect("projections support checkpoints");
+            dst.load_state(&bytes).expect("load succeeds");
+            assert_eq!(src.digest(), dst.digest(), "projection {}", src.name());
+            // A second save of the restored state is byte-identical.
+            assert_eq!(dst.save_state().unwrap(), bytes, "{}", src.name());
+            // Trailing garbage is rejected, not silently ignored.
+            let mut bad = bytes.clone();
+            bad.push(0xFF);
+            assert!(dst.load_state(&bad).is_err(), "{}", src.name());
+        }
     }
 }

@@ -158,6 +158,48 @@ impl IdentityRegistry {
         tagged_hash("TN/identity-registry", &data)
     }
 
+    /// Serializes the registry (addresses sorted) for a chain checkpoint.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut entries: Vec<_> = self.entries.iter().collect();
+        entries.sort_by_key(|(addr, _)| **addr);
+        let mut e = Encoder::new();
+        e.put_varint(entries.len() as u64);
+        for (addr, (name, roles)) in entries {
+            e.put_hash(addr.as_hash())
+                .put_str(name)
+                .put_varint(roles.len() as u64);
+            for r in roles {
+                e.put_u8(r.tag());
+            }
+        }
+        e.finish()
+    }
+
+    /// Restores a registry from [`IdentityRegistry::to_bytes`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// A message when the blob is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<IdentityRegistry, String> {
+        let err = |e: DecodeError| format!("malformed identity registry: {e}");
+        let mut dec = Decoder::new(bytes);
+        let mut reg = IdentityRegistry::new();
+        let n = dec.get_varint().map_err(err)?;
+        for _ in 0..n {
+            let who = Address::from_hash(dec.get_hash().map_err(err)?);
+            let name = dec.get_str().map_err(err)?;
+            let m = dec.get_varint().map_err(err)?;
+            let mut roles = Vec::with_capacity((m as usize).min(Role::ALL.len()));
+            for _ in 0..m {
+                let t = dec.get_u8().map_err(err)?;
+                roles.push(Role::from_tag(t).ok_or_else(|| format!("unknown role tag {t}"))?);
+            }
+            reg.register(who, &name, &roles);
+        }
+        dec.expect_end().map_err(err)?;
+        Ok(reg)
+    }
+
     /// Number of verified identities.
     pub fn len(&self) -> usize {
         self.entries.len()

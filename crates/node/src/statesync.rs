@@ -254,6 +254,54 @@ mod tests {
     }
 
     #[test]
+    fn reopened_replica_catches_up_from_peers() -> Result<(), String> {
+        // Kill a disk-backed replica, let the cluster advance, reopen it
+        // from its storage directory (checkpoint + WAL tail), then close
+        // the remaining gap from a live peer — the full restart story.
+        struct TempDir(std::path::PathBuf);
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+        let tmp = TempDir(
+            std::env::temp_dir().join(format!("tn-node-sync-reopen-{}", std::process::id())),
+        );
+        let _ = std::fs::remove_dir_all(&tmp.0);
+        let mut config = PlatformConfig::default();
+        config.storage.backend = tn_storage::BackendKind::Disk(tmp.0.clone());
+        config.storage.checkpoint_interval = 4;
+        config.storage.fsync_interval = 1;
+        let mut node = ValidatorNode::new(0, &config);
+        let mut peer = ValidatorNode::new(1, &PlatformConfig::default());
+        for i in 0..6u8 {
+            let batch = vec![vec![i, 0xaa]];
+            node.apply_committed_batch(&batch)
+                .map_err(|e| format!("batch failed: {e}"))?;
+            peer.apply_committed_batch(&batch)
+                .map_err(|e| format!("peer batch failed: {e}"))?;
+        }
+        drop(node); // crash without a shutdown checkpoint
+        for i in 6..9u8 {
+            peer.apply_committed_batch(&[vec![i, 0xaa]])
+                .map_err(|e| format!("peer batch failed: {e}"))?;
+        }
+        let target = peer.execution_digest();
+        let (mut reopened, replayed) =
+            ValidatorNode::reopen(0, &config).map_err(|e| format!("reopen failed: {e}"))?;
+        assert!(
+            replayed <= config.storage.checkpoint_interval,
+            "tail replay ({replayed}) must be bounded by the checkpoint interval"
+        );
+        let report = catch_up(&mut reopened, &[&peer], target)
+            .map_err(|e| format!("catch-up failed: {e}"))?;
+        assert!(report.converged);
+        assert_eq!(report.blocks_applied, 3, "only the downtime gap is fetched");
+        assert_eq!(reopened.execution_digest(), target);
+        Ok(())
+    }
+
+    #[test]
     fn already_converged_replica_reports_a_no_op() {
         let config = PlatformConfig::default();
         let peer = advanced_node(0, &config, 2);

@@ -14,7 +14,9 @@ use std::fmt;
 
 use tn_chain::codec::{Decodable, Encodable};
 use tn_chain::prelude::*;
-use tn_core::pipeline::{bootstrap, restore_bootstrap, Bootstrap, ExecutionPipeline};
+use tn_core::pipeline::{
+    bootstrap, recover_bootstrap, restore_bootstrap, Bootstrap, ExecutionPipeline,
+};
 use tn_core::platform::PlatformConfig;
 use tn_crypto::{Hash256, Keypair};
 use tn_telemetry::{Registry, Snapshot, TelemetrySink};
@@ -160,6 +162,60 @@ impl ValidatorNode {
         })
     }
 
+    /// Restarts replica `id` from its on-disk storage directory (the
+    /// `config.storage` backend must be [`Disk`](tn_storage::BackendKind)):
+    /// restores the newest durable checkpoint — chain state, contract
+    /// registry, and all four projections — then replays only the WAL
+    /// tail written since it. Unlike [`ValidatorNode::recover`], which
+    /// re-executes the full snapshotted ledger, reopening costs time
+    /// proportional to blocks since the last checkpoint, not to chain
+    /// length. Returns the node and the number of tail blocks replayed.
+    /// Counts `node.fault.recoveries` in the fresh registry.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Chain`] when the directory holds no usable storage or
+    /// checkpointed state fails to load.
+    pub fn reopen(id: usize, config: &PlatformConfig) -> Result<(ValidatorNode, u64), NodeError> {
+        let (
+            Bootstrap {
+                validator,
+                mut pipeline,
+                ..
+            },
+            replayed,
+        ) = recover_bootstrap(config)?;
+        let registry = Registry::new();
+        pipeline.set_telemetry(registry.sink());
+        let mut mempool = Mempool::new(config.mempool_capacity);
+        mempool.set_telemetry(registry.sink());
+        mempool.set_sig_cache(pipeline.store().sig_cache());
+        let next_timestamp = pipeline.store().height() + 1;
+        registry.sink().incr("node.fault.recoveries");
+        Ok((
+            ValidatorNode {
+                id,
+                proposer: validator,
+                pipeline,
+                next_timestamp,
+                mempool,
+                registry,
+                trace: TraceSink::disabled(),
+            },
+            replayed,
+        ))
+    }
+
+    /// Forces a storage checkpoint at the current head (clean shutdown:
+    /// the next [`ValidatorNode::reopen`] then replays zero blocks).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Chain`] on backend write failures.
+    pub fn checkpoint(&mut self) -> Result<u64, NodeError> {
+        Ok(self.pipeline.checkpoint_now()?)
+    }
+
     /// Routes this node's execution spans — mempool admission, pipeline
     /// commit, block verify/execute, per-tx apply, projections — to
     /// `sink`. Hand the same replica's sink to its consensus node so the
@@ -279,7 +335,6 @@ impl ValidatorNode {
         ids.iter()
             .filter_map(|id| self.pipeline.store().block(id))
             .filter(|b| b.header.height > height)
-            .cloned()
             .collect()
     }
 
@@ -389,6 +444,124 @@ mod tests {
                 .counter("node.fault.recoveries"),
             Some(1)
         );
+        Ok(())
+    }
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!("tn-node-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn disk_config(dir: &std::path::Path) -> PlatformConfig {
+        let mut config = PlatformConfig::default();
+        config.storage.backend = tn_storage::BackendKind::Disk(dir.to_path_buf());
+        config.storage.checkpoint_interval = 4;
+        config.storage.fsync_interval = 1;
+        config
+    }
+
+    #[test]
+    fn disk_reopen_replays_only_the_wal_tail() -> Result<(), String> {
+        let tmp = TempDir::new("reopen");
+        let config = disk_config(&tmp.0);
+        let mut node = ValidatorNode::new(0, &config);
+        for i in 0..10u8 {
+            node.apply_committed_batch(&[vec![i]])
+                .map_err(|e| format!("batch failed: {e}"))?;
+        }
+        let before = node.execution_digest();
+        let height = node.height();
+        drop(node); // kill without a shutdown checkpoint
+        let (reopened, replayed) =
+            ValidatorNode::reopen(0, &config).map_err(|e| format!("reopen failed: {e}"))?;
+        assert_eq!(reopened.height(), height);
+        assert_eq!(reopened.execution_digest(), before);
+        // Heights 1..=11 with a checkpoint every 4 blocks: the last
+        // checkpoint landed at 8, so only the 3-block tail replays.
+        assert_eq!(
+            replayed,
+            height - 8,
+            "tail replay should skip checkpointed history"
+        );
+        reopened
+            .verify_replay()
+            .map_err(|e| format!("replay audit failed after reopen: {e}"))?;
+        assert_eq!(
+            reopened.metrics_snapshot().counter("node.fault.recoveries"),
+            Some(1)
+        );
+        // The disk backend reports how many WAL records it re-read.
+        assert!(
+            reopened
+                .metrics_snapshot()
+                .counter("storage.wal.replays")
+                .unwrap_or(0)
+                > 0,
+            "reopen must surface WAL replay work in telemetry"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn clean_shutdown_checkpoint_makes_reopen_replay_free() -> Result<(), String> {
+        let tmp = TempDir::new("clean-shutdown");
+        let config = disk_config(&tmp.0);
+        let mut node = ValidatorNode::new(0, &config);
+        for i in 0..5u8 {
+            node.apply_committed_batch(&[vec![i]])
+                .map_err(|e| format!("batch failed: {e}"))?;
+        }
+        node.checkpoint()
+            .map_err(|e| format!("checkpoint failed: {e}"))?;
+        let before = node.execution_digest();
+        drop(node);
+        let (reopened, replayed) =
+            ValidatorNode::reopen(0, &config).map_err(|e| format!("reopen failed: {e}"))?;
+        assert_eq!(replayed, 0, "clean shutdown leaves no tail");
+        assert_eq!(reopened.execution_digest(), before);
+        Ok(())
+    }
+
+    #[test]
+    fn reopened_node_keeps_committing() -> Result<(), String> {
+        // A reopened replica is a full peer: it must keep producing
+        // blocks that a never-crashed replica accepts byte-for-byte.
+        let tmp = TempDir::new("continue");
+        let config = disk_config(&tmp.0);
+        let mut witness = ValidatorNode::new(1, &PlatformConfig::default());
+        let mut node = ValidatorNode::new(0, &config);
+        for i in 0..6u8 {
+            let batch = vec![vec![i]];
+            node.apply_committed_batch(&batch)
+                .map_err(|e| format!("batch failed: {e}"))?;
+            witness
+                .apply_committed_batch(&batch)
+                .map_err(|e| format!("witness batch failed: {e}"))?;
+        }
+        drop(node);
+        let (mut reopened, _) =
+            ValidatorNode::reopen(0, &config).map_err(|e| format!("reopen failed: {e}"))?;
+        for i in 6..9u8 {
+            let batch = vec![vec![i]];
+            reopened
+                .apply_committed_batch(&batch)
+                .map_err(|e| format!("post-reopen batch failed: {e}"))?;
+            witness
+                .apply_committed_batch(&batch)
+                .map_err(|e| format!("witness batch failed: {e}"))?;
+        }
+        assert_eq!(reopened.execution_digest(), witness.execution_digest());
         Ok(())
     }
 

@@ -111,7 +111,7 @@ pub fn extract_post_bootstrap(platform: &Platform) -> Vec<Transaction> {
     ids.iter()
         .filter_map(|id| store.block(id))
         .filter(|b| b.header.height >= 2)
-        .flat_map(|b| b.transactions.iter().cloned())
+        .flat_map(|b| b.transactions)
         .collect()
 }
 

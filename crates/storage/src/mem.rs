@@ -1,0 +1,318 @@
+//! The in-memory backend: the platform's original behavior, extracted.
+//!
+//! Everything lives in process maps; "durability" is a no-op. The backend
+//! still implements the full finalize/checkpoint protocol so the chain
+//! layer behaves identically over both backends (the round-trip property
+//! tests depend on that), and so memory stays bounded: finalized blocks
+//! keep only their [`BlockRecord`] — the chain layer drops its per-block
+//! `State` clones when it finalizes a height.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tn_telemetry::TelemetrySink;
+
+use crate::record::{BlockRecord, HeadMeta, Key, TxLocation};
+use crate::{Checkpoint, CompactStats, Storage, StorageError};
+
+/// In-memory storage backend.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    /// Un-finalized records in append order (the "WAL").
+    wal: Vec<BlockRecord>,
+    /// Finalized canonical records by height.
+    finalized: BTreeMap<u64, BlockRecord>,
+    /// id → height for finalized records.
+    by_id: HashMap<Key, u64>,
+    head: Option<HeadMeta>,
+    checkpoints: BTreeMap<u64, (Key, Vec<u8>)>,
+    tx_index: HashMap<Key, TxLocation>,
+    account_index: HashMap<Key, Vec<Key>>,
+    first_height: u64,
+    telemetry: TelemetrySink,
+}
+
+impl MemBackend {
+    /// New empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Storage for MemBackend {
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+
+    fn append_block(&mut self, rec: &BlockRecord) -> Result<(), StorageError> {
+        let _span = self.telemetry.span("storage.append_ns");
+        if self.by_id.contains_key(&rec.id) || self.wal.iter().any(|r| r.id == rec.id) {
+            return Err(StorageError::Invalid(format!(
+                "duplicate block id at height {}",
+                rec.height
+            )));
+        }
+        self.wal.push(rec.clone());
+        Ok(())
+    }
+
+    fn finalize(&mut self, height: u64, id: &Key) -> Result<(), StorageError> {
+        let frontier = self.finalized_height();
+        if height <= frontier && !self.finalized.is_empty() {
+            return Err(StorageError::Invalid(format!(
+                "finalize height {height} not above frontier {frontier}"
+            )));
+        }
+        let pos = self
+            .wal
+            .iter()
+            .position(|r| r.id == *id && r.height == height)
+            .ok_or_else(|| {
+                StorageError::Invalid(format!("finalize of unknown block at height {height}"))
+            })?;
+        let rec = self.wal.remove(pos);
+        // Competing fork records at or below the frontier can never become
+        // canonical; discard them.
+        self.wal.retain(|r| r.height > height);
+        for (i, tx) in rec.txs.iter().enumerate() {
+            self.tx_index.insert(
+                tx.id,
+                TxLocation {
+                    height,
+                    index: i as u32,
+                },
+            );
+            for account in &tx.accounts {
+                self.account_index.entry(*account).or_default().push(tx.id);
+            }
+        }
+        self.by_id.insert(rec.id, height);
+        if self.finalized.is_empty() {
+            self.first_height = height;
+        }
+        self.finalized.insert(height, rec);
+        Ok(())
+    }
+
+    fn finalized_height(&self) -> u64 {
+        self.finalized.keys().next_back().copied().unwrap_or(0)
+    }
+
+    fn first_height(&self) -> u64 {
+        if self.finalized.is_empty() {
+            0
+        } else {
+            self.first_height
+        }
+    }
+
+    fn block_by_id(&self, id: &Key) -> Result<Option<BlockRecord>, StorageError> {
+        if let Some(h) = self.by_id.get(id) {
+            return Ok(self.finalized.get(h).cloned());
+        }
+        Ok(self.wal.iter().find(|r| r.id == *id).cloned())
+    }
+
+    fn block_by_height(&self, height: u64) -> Result<Option<BlockRecord>, StorageError> {
+        Ok(self.finalized.get(&height).cloned())
+    }
+
+    fn finalized_id(&self, height: u64) -> Result<Option<Key>, StorageError> {
+        Ok(self.finalized.get(&height).map(|r| r.id))
+    }
+
+    fn blocks_after(&self, height: u64) -> Result<Vec<BlockRecord>, StorageError> {
+        let mut out: Vec<BlockRecord> = self
+            .finalized
+            .range(height + 1..)
+            .map(|(_, r)| r.clone())
+            .collect();
+        out.extend(self.wal.iter().filter(|r| r.height > height).cloned());
+        Ok(out)
+    }
+
+    fn head(&self) -> Result<Option<HeadMeta>, StorageError> {
+        Ok(self.head)
+    }
+
+    fn set_head(&mut self, head: HeadMeta) -> Result<(), StorageError> {
+        self.head = Some(head);
+        Ok(())
+    }
+
+    fn tx_location(&self, tx: &Key) -> Result<Option<TxLocation>, StorageError> {
+        Ok(self.tx_index.get(tx).copied())
+    }
+
+    fn account_txs(&self, account: &Key) -> Result<Vec<Key>, StorageError> {
+        Ok(self.account_index.get(account).cloned().unwrap_or_default())
+    }
+
+    fn put_checkpoint(&mut self, height: u64, id: &Key, blob: &[u8]) -> Result<(), StorageError> {
+        let _span = self.telemetry.span("storage.snapshot_ns");
+        self.checkpoints.insert(height, (*id, blob.to_vec()));
+        Ok(())
+    }
+
+    fn latest_checkpoint(&self) -> Result<Option<Checkpoint>, StorageError> {
+        Ok(self
+            .checkpoints
+            .iter()
+            .next_back()
+            .map(|(&height, (id, blob))| Checkpoint {
+                height,
+                id: *id,
+                blob: blob.clone(),
+            }))
+    }
+
+    fn checkpoint_at_or_before(&self, height: u64) -> Result<Option<Checkpoint>, StorageError> {
+        Ok(self
+            .checkpoints
+            .range(..=height)
+            .next_back()
+            .map(|(&h, (id, blob))| Checkpoint {
+                height: h,
+                id: *id,
+                blob: blob.clone(),
+            }))
+    }
+
+    fn compact(&mut self) -> Result<CompactStats, StorageError> {
+        let _span = self.telemetry.span("storage.compact_ns");
+        let Some((&ckpt_height, _)) = self.checkpoints.iter().next_back() else {
+            return Ok(CompactStats::default());
+        };
+        let prune: Vec<u64> = self
+            .finalized
+            .range(..ckpt_height)
+            .map(|(&h, _)| h)
+            .collect();
+        let mut stats = CompactStats::default();
+        for h in prune {
+            if let Some(rec) = self.finalized.remove(&h) {
+                self.by_id.remove(&rec.id);
+                stats.blocks_pruned += 1;
+            }
+        }
+        if let Some(&first) = self.finalized.keys().next() {
+            self.first_height = first;
+        }
+        Ok(stats)
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TxIndexEntry;
+
+    fn rec(height: u64, tag: u8) -> BlockRecord {
+        BlockRecord {
+            height,
+            id: [tag; 32],
+            parent: [tag.wrapping_sub(1); 32],
+            block_bytes: vec![tag],
+            receipts_bytes: vec![],
+            txs: vec![TxIndexEntry {
+                id: [tag ^ 0xFF; 32],
+                accounts: vec![[0x11; 32]],
+            }],
+        }
+    }
+
+    #[test]
+    fn append_finalize_lookup() {
+        let mut s = MemBackend::new();
+        s.append_block(&rec(1, 1)).unwrap();
+        s.append_block(&rec(2, 2)).unwrap();
+        assert_eq!(s.finalized_height(), 0);
+        s.finalize(1, &[1; 32]).unwrap();
+        assert_eq!(s.finalized_height(), 1);
+        assert_eq!(s.block_by_height(1).unwrap().unwrap().id, [1; 32]);
+        assert_eq!(s.block_by_id(&[2; 32]).unwrap().unwrap().height, 2);
+        assert_eq!(
+            s.tx_location(&[1 ^ 0xFF; 32]).unwrap(),
+            Some(TxLocation {
+                height: 1,
+                index: 0
+            })
+        );
+        assert_eq!(s.account_txs(&[0x11; 32]).unwrap(), vec![[1 ^ 0xFF; 32]]);
+    }
+
+    #[test]
+    fn duplicate_append_rejected() {
+        let mut s = MemBackend::new();
+        s.append_block(&rec(1, 1)).unwrap();
+        assert!(matches!(
+            s.append_block(&rec(1, 1)),
+            Err(StorageError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn finalize_drops_fork_siblings() {
+        let mut s = MemBackend::new();
+        s.append_block(&rec(1, 1)).unwrap();
+        s.append_block(&rec(1, 9)).unwrap(); // fork sibling
+        s.append_block(&rec(2, 2)).unwrap();
+        s.finalize(1, &[1; 32]).unwrap();
+        assert!(s.block_by_id(&[9; 32]).unwrap().is_none());
+        assert_eq!(s.blocks_after(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn blocks_after_orders_finalized_then_wal() {
+        let mut s = MemBackend::new();
+        for h in 1..=4 {
+            s.append_block(&rec(h, h as u8)).unwrap();
+        }
+        s.finalize(1, &[1; 32]).unwrap();
+        s.finalize(2, &[2; 32]).unwrap();
+        let heights: Vec<u64> = s
+            .blocks_after(1)
+            .unwrap()
+            .iter()
+            .map(|r| r.height)
+            .collect();
+        assert_eq!(heights, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn checkpoints_and_compaction() {
+        let mut s = MemBackend::new();
+        for h in 1..=6 {
+            s.append_block(&rec(h, h as u8)).unwrap();
+            s.finalize(h, &[h as u8; 32]).unwrap();
+        }
+        s.put_checkpoint(0, &[0; 32], b"genesis").unwrap();
+        s.put_checkpoint(4, &[4; 32], b"mid").unwrap();
+        assert_eq!(s.latest_checkpoint().unwrap().unwrap().height, 4);
+        assert_eq!(s.checkpoint_at_or_before(3).unwrap().unwrap().height, 0);
+        let stats = s.compact().unwrap();
+        assert_eq!(stats.blocks_pruned, 3);
+        assert_eq!(s.first_height(), 4);
+        assert!(s.block_by_height(3).unwrap().is_none());
+        assert!(s.block_by_height(5).unwrap().is_some());
+    }
+
+    #[test]
+    fn head_round_trip() {
+        let mut s = MemBackend::new();
+        assert_eq!(s.head().unwrap(), None);
+        let h = HeadMeta {
+            height: 3,
+            id: [3; 32],
+        };
+        s.set_head(h).unwrap();
+        assert_eq!(s.head().unwrap(), Some(h));
+    }
+}

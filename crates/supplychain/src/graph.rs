@@ -406,6 +406,96 @@ impl SupplyChainGraph {
             Ok(None) // the item IS a root
         }
     }
+
+    /// Serializes the graph (all nodes with their recorded edges, in
+    /// insertion order) for a chain checkpoint. Modification degrees are
+    /// stored as recorded — [`SupplyChainGraph::from_bytes`] restores them
+    /// without recomputation, so the round trip is exact.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use tn_chain::codec::Encoder;
+        let mut e = Encoder::new();
+        e.put_varint(self.order.len() as u64);
+        for item in self.iter() {
+            e.put_hash(&item.id)
+                .put_hash(item.author.as_hash())
+                .put_str(&item.content)
+                .put_str(&item.topic)
+                .put_u64(item.room)
+                .put_u64(item.published_at)
+                .put_bool(item.is_fact_root)
+                .put_varint(item.parents.len() as u64);
+            for p in &item.parents {
+                e.put_hash(&p.id)
+                    .put_u8(p.op.tag())
+                    .put_u64(p.modification.to_bits());
+            }
+        }
+        e.finish()
+    }
+
+    /// Restores a graph from [`SupplyChainGraph::to_bytes`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// A message when the blob is malformed (decode error, unknown op
+    /// tag, or an edge to a node that does not precede it).
+    pub fn from_bytes(bytes: &[u8]) -> Result<SupplyChainGraph, String> {
+        use tn_chain::codec::Decoder;
+        let err = |e: tn_chain::codec::DecodeError| format!("malformed graph state: {e}");
+        let mut dec = Decoder::new(bytes);
+        let mut graph = SupplyChainGraph::new();
+        let n = dec.get_varint().map_err(err)?;
+        for _ in 0..n {
+            let id = dec.get_hash().map_err(err)?;
+            let author = Address::from_hash(dec.get_hash().map_err(err)?);
+            let content = dec.get_str().map_err(err)?;
+            let topic = dec.get_str().map_err(err)?;
+            let room = dec.get_u64().map_err(err)?;
+            let published_at = dec.get_u64().map_err(err)?;
+            let is_fact_root = dec.get_bool().map_err(err)?;
+            let np = dec.get_varint().map_err(err)?;
+            let mut parents = Vec::with_capacity((np as usize).min(1 << 10));
+            for _ in 0..np {
+                let pid = dec.get_hash().map_err(err)?;
+                let op = PropagationOp::from_tag(dec.get_u8().map_err(err)?)
+                    .ok_or_else(|| "unknown propagation op tag".to_string())?;
+                let modification = f64::from_bits(dec.get_u64().map_err(err)?);
+                if !graph.items.contains_key(&pid) {
+                    return Err(format!("edge to unknown parent {}", pid.short()));
+                }
+                parents.push(ParentRef {
+                    id: pid,
+                    op,
+                    modification,
+                });
+            }
+            if graph.items.contains_key(&id) {
+                return Err(format!("duplicate node {}", id.short()));
+            }
+            for p in &parents {
+                graph.children.entry(p.id).or_default().push(id);
+            }
+            if is_fact_root {
+                graph.roots.insert(id);
+            }
+            graph.items.insert(
+                id,
+                NewsItem {
+                    id,
+                    author,
+                    content,
+                    topic,
+                    room,
+                    parents,
+                    is_fact_root,
+                    published_at,
+                },
+            );
+            graph.order.push(id);
+        }
+        dec.expect_end().map_err(err)?;
+        Ok(graph)
+    }
 }
 
 #[cfg(test)]
@@ -746,6 +836,41 @@ mod tests {
         let all = g.trace_all();
         assert_eq!(all.len(), 5);
         assert!(all.iter().all(|(_, t)| t.reaches_root));
+    }
+
+    #[test]
+    fn serialization_round_trip_preserves_digest() {
+        let (mut g, root) = graph_with_root();
+        let a = g
+            .insert(
+                addr(b"a"),
+                FACT,
+                "energy",
+                1,
+                vec![(root, PropagationOp::Relay)],
+                1,
+            )
+            .unwrap();
+        let modified = format!("{FACT} Shocking new claims emerge.");
+        g.insert(
+            addr(b"b"),
+            &modified,
+            "energy",
+            2,
+            vec![(a, PropagationOp::Insert)],
+            2,
+        )
+        .unwrap();
+
+        let bytes = g.to_bytes();
+        let restored = SupplyChainGraph::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.digest(), g.digest());
+        assert_eq!(restored.len(), g.len());
+        assert_eq!(restored.root_count(), g.root_count());
+        assert_eq!(restored.edge_count(), g.edge_count());
+        assert_eq!(restored.children_of(&root), g.children_of(&root));
+        // Truncation and bit flips are rejected, never silently accepted.
+        assert!(SupplyChainGraph::from_bytes(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub struct IndexStats {
 pub fn index_chain(store: &ChainStore, graph: &mut SupplyChainGraph) -> IndexStats {
     let mut stats = IndexStats::default();
     for tx in store.canonical_transactions() {
-        index_transaction(tx, graph, &mut stats);
+        index_transaction(&tx, graph, &mut stats);
     }
     stats
 }

@@ -2,6 +2,12 @@
 //! and watch the trace-based ranking separate them.
 //!
 //! Run with: `cargo run -p tn-examples --bin quickstart`
+//!
+//! Pass `--backend disk` to run the same flow on the durable storage
+//! engine (segmented block log + CRC-framed WAL in `./quickstart-data`,
+//! recreated each run): after the flow, the example reopens the ledger
+//! from disk and shows the recovered replica reporting the exact same
+//! execution digest.
 
 use tn_core::platform::{Platform, PlatformConfig, PlatformError};
 use tn_core::roles::Role;
@@ -9,10 +15,22 @@ use tn_crypto::Keypair;
 use tn_supplychain::ops::PropagationOp;
 
 fn main() -> Result<(), PlatformError> {
+    let args: Vec<String> = std::env::args().collect();
+    let disk = args
+        .windows(2)
+        .any(|w| w[0] == "--backend" && w[1] == "disk");
+    let data_dir = std::path::PathBuf::from("quickstart-data");
+    let mut config = PlatformConfig::default();
+    if disk {
+        let _ = std::fs::remove_dir_all(&data_dir);
+        config.storage.backend = tn_storage::BackendKind::Disk(data_dir.clone());
+        println!("backend: disk ({})", data_dir.display());
+    }
+
     // 1. Boot a platform. This seeds a 50-record factual database (the
     //    paper's "library of speech records") and anchors its Merkle root
     //    on-chain.
-    let mut platform = Platform::new(PlatformConfig::default());
+    let mut platform = Platform::new(config.clone());
     println!(
         "booted: height={} factdb={} records, anchored root={}",
         platform.height(),
@@ -91,5 +109,24 @@ fn main() -> Result<(), PlatformError> {
     );
 
     println!("chain height at exit: {}", platform.height());
+
+    // 7. Durability (disk backend only): drop the platform without any
+    //    shutdown ceremony, then reopen the ledger from its storage
+    //    directory — genesis checkpoint + WAL tail replay — and check it
+    //    recovered the exact pre-exit state.
+    if disk {
+        let height = platform.height();
+        let digest = platform.pipeline().execution_digest();
+        drop(platform);
+        let (bootstrap, replayed) =
+            tn_core::pipeline::recover_bootstrap(&config).expect("reopen from disk");
+        assert_eq!(bootstrap.pipeline.store().height(), height);
+        assert_eq!(bootstrap.pipeline.execution_digest(), digest);
+        println!(
+            "reopened from {}: height={height}, {replayed} blocks replayed, digest matches",
+            data_dir.display()
+        );
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
     Ok(())
 }

@@ -31,4 +31,10 @@ echo "== exp19 smoke (fault-injection matrix)"
 # leaves results/e19.json untouched.
 cargo run -q --release --offline -p tn-bench --bin exp19_fault_matrix -- --quick
 
+echo "== exp20 smoke (durable storage: kill-and-restart recovery)"
+# Runs entirely in a temp dir (removed on exit) and writes no artifacts;
+# the bin asserts exact digest recovery, tail-bounded replay, and that
+# recovery time scales with blocks-since-checkpoint, not chain length.
+cargo run -q --release --offline -p tn-bench --bin exp20_durable_storage -- --quick
+
 echo "All checks passed."
