@@ -27,7 +27,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use tn_bench::{banner, f, Report};
+use tn_bench::{banner, f, write_bench_snapshot, MachineSpec, Report};
 use tn_core::platform::PlatformConfig;
 use tn_node::validator::ValidatorNode;
 use tn_storage::BackendKind;
@@ -177,10 +177,14 @@ fn throughput_cell(
 }
 
 /// Everything `BENCH_e20.json` records: the recovery matrix plus the
-/// backend throughput sweep, in one machine-readable perf snapshot.
+/// backend throughput sweep, in one machine-readable perf snapshot
+/// following the `docs/BENCHMARKS.md` contract.
 #[derive(Debug, Serialize)]
 struct BenchSnapshot {
     bench: &'static str,
+    /// Schema version of this snapshot (see docs/BENCHMARKS.md).
+    schema: u32,
+    machine: MachineSpec,
     recovery: Vec<RecoveryRow>,
     throughput: Vec<ThroughputRow>,
 }
@@ -273,16 +277,12 @@ fn main() {
 
     let snapshot = BenchSnapshot {
         bench: "e20_durable_storage",
+        schema: 1,
+        machine: MachineSpec::current(),
         recovery,
         throughput,
     };
-    match serde_json::to_string_pretty(&snapshot) {
-        Ok(json) => match std::fs::write("BENCH_e20.json", json) {
-            Ok(()) => println!("\n[written BENCH_e20.json]"),
-            Err(e) => eprintln!("warning: could not write BENCH_e20.json: {e}"),
-        },
-        Err(e) => eprintln!("warning: could not serialize BENCH_e20.json: {e}"),
-    }
+    write_bench_snapshot("e20", &snapshot);
     let BenchSnapshot { recovery, .. } = snapshot;
     Report::new(
         "E20",

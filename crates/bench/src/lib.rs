@@ -48,6 +48,46 @@ impl<R: Serialize> Report<R> {
     }
 }
 
+/// The host a `BENCH_*.json` perf snapshot was measured on.
+///
+/// Every snapshot in the perf trajectory carries one of these so deltas
+/// are only ever read between points taken on a comparable machine (see
+/// `docs/BENCHMARKS.md`).
+#[derive(Debug, Serialize)]
+pub struct MachineSpec {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: &'static str,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: &'static str,
+    /// Logical CPUs visible to the process.
+    pub cpus: usize,
+}
+
+impl MachineSpec {
+    /// Captures the current host.
+    pub fn current() -> MachineSpec {
+        MachineSpec {
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Serializes `snapshot` as pretty JSON into the repo-root perf file
+/// `BENCH_<id>.json` (the `docs/BENCHMARKS.md` trajectory). Failures
+/// warn instead of panicking — a perf snapshot must never fail a run.
+pub fn write_bench_snapshot<S: Serialize>(id: &str, snapshot: &S) {
+    let path = format!("BENCH_{id}.json");
+    match serde_json::to_string_pretty(snapshot) {
+        Ok(json) => match fs::write(&path, json) {
+            Ok(()) => println!("\n[written {path}]"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not serialize {path}: {e}"),
+    }
+}
+
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!("=== {id}: {title} ===\n");

@@ -109,6 +109,55 @@ impl Default for PlatformRankWeights {
     }
 }
 
+/// Front-door gateway parameters: admission rate limiting, bounded
+/// ingress queueing, and batched mempool ingest.
+///
+/// The struct itself is plain data — `tn-gateway` validates it at
+/// construction (a zero-capacity queue or zero-size ingest batch is a
+/// typed configuration error there, never a silent stall; `workers == 0`
+/// is clamped to one lane, mirroring `tn-par`). It lives here so a single
+/// [`PlatformConfig`] describes a complete front-door deployment and can
+/// be threaded through bootstrap alongside storage and verify settings.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Ingress lanes (bounded queues) the gateway shards clients across.
+    /// `0` is clamped to one lane at gateway construction.
+    pub workers: usize,
+    /// Capacity of each ingress lane in transactions. Zero is rejected at
+    /// gateway construction: an unfillable queue would shed everything.
+    pub queue_capacity: usize,
+    /// Token-bucket sustained admission rate per client, in requests per
+    /// second. Zero disables rate limiting (admission is queue-bounded
+    /// only).
+    pub rate_per_client: u64,
+    /// Token-bucket burst depth per client, in requests. Clamped up to at
+    /// least one whenever rate limiting is enabled.
+    pub burst_per_client: u64,
+    /// Maximum transactions moved per mempool-ingest call when a lane
+    /// drains. Zero is rejected at gateway construction: a zero-size
+    /// batch would never drain an admitted transaction.
+    pub ingest_batch: usize,
+    /// Mempool-occupancy watermark that pauses lane draining: while the
+    /// node's mempool holds at least this many transactions, admitted
+    /// work waits in the bounded ingress lanes instead of growing the
+    /// mempool without bound (so overload sheds at the door, visibly).
+    /// Zero disables the gate.
+    pub mempool_watermark: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 4,
+            queue_capacity: 4_096,
+            rate_per_client: 200,
+            burst_per_client: 50,
+            ingest_batch: 256,
+            mempool_watermark: 8_192,
+        }
+    }
+}
+
 /// Platform construction parameters.
 #[derive(Debug, Clone)]
 pub struct PlatformConfig {
@@ -132,6 +181,10 @@ pub struct PlatformConfig {
     /// on-disk), in-memory retention window, checkpoint cadence,
     /// segment/fsync sizing, and compaction.
     pub storage: StorageConfig,
+    /// Front-door gateway configuration: admission rate limits, ingress
+    /// queue bounds, and mempool ingest batching (consumed by
+    /// `tn-gateway`).
+    pub gateway: GatewayConfig,
 }
 
 impl Default for PlatformConfig {
@@ -149,6 +202,7 @@ impl Default for PlatformConfig {
             mempool_capacity: 100_000,
             verify_workers: 0,
             storage: StorageConfig::default(),
+            gateway: GatewayConfig::default(),
         }
     }
 }

@@ -67,6 +67,18 @@ pub struct BatchOutcome {
     pub failed: usize,
 }
 
+/// Outcome of one batched mempool ingest (see
+/// [`ValidatorNode::submit_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestOutcome {
+    /// Transactions the mempool admitted.
+    pub accepted: usize,
+    /// Transactions the mempool rejected (duplicate, full, bad nonce,
+    /// signature) — each rejection is still counted in
+    /// `mempool.rejected`, exactly as for single-transaction submits.
+    pub rejected: usize,
+}
+
 /// One validator replica: a deterministic pipeline advanced batch by
 /// batch in consensus order.
 #[derive(Debug)]
@@ -259,6 +271,48 @@ impl ValidatorNode {
         &self.mempool
     }
 
+    /// Admission-checks a batch of transactions against the current head
+    /// state in one pass — the gateway's batched-ingest entry point.
+    /// Rejections are per-transaction and never abort the batch; counts
+    /// `node.ingest.batches` and observes `node.ingest.batch_size` on top
+    /// of the usual per-transaction mempool metrics.
+    pub fn submit_batch(&mut self, txs: Vec<Transaction>) -> IngestOutcome {
+        let size = txs.len() as u64;
+        let mut out = IngestOutcome::default();
+        for tx in txs {
+            match self.mempool.insert(tx, self.pipeline.store().head_state()) {
+                Ok(()) => out.accepted += 1,
+                Err(_) => out.rejected += 1,
+            }
+        }
+        self.registry.sink().incr("node.ingest.batches");
+        self.registry.sink().observe("node.ingest.batch_size", size);
+        out
+    }
+
+    /// Builds and imports the next block from the mempool's ready
+    /// transactions (up to `max_txs`, fee-prioritised, nonce-ordered) —
+    /// local block production for single-node and gateway-driven
+    /// deployments, running the exact consensus-batch commit path.
+    /// Returns `None` without advancing the chain when no transaction is
+    /// ready.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Chain`] when the built block fails import.
+    pub fn produce_block_from_mempool(
+        &mut self,
+        max_txs: usize,
+    ) -> Result<Option<BatchOutcome>, NodeError> {
+        let txs = self
+            .mempool
+            .select(self.pipeline.store().head_state(), max_txs);
+        if txs.is_empty() {
+            return Ok(None);
+        }
+        self.commit_txs(txs, 0).map(Some)
+    }
+
     /// Applies one consensus-committed batch of payloads: decodes them as
     /// transactions, builds the next block, and imports it through the
     /// executor + projection path.
@@ -271,7 +325,6 @@ impl ValidatorNode {
         &mut self,
         payloads: &[Vec<u8>],
     ) -> Result<BatchOutcome, NodeError> {
-        let t0 = self.trace.now_ns();
         let mut txs = Vec::with_capacity(payloads.len());
         let mut undecodable = 0usize;
         for p in payloads {
@@ -280,6 +333,19 @@ impl ValidatorNode {
                 Err(_) => undecodable += 1,
             }
         }
+        self.commit_txs(txs, undecodable)
+    }
+
+    /// Shared commit tail of [`ValidatorNode::apply_committed_batch`] and
+    /// [`ValidatorNode::produce_block_from_mempool`]: builds the next
+    /// block from already-decoded transactions, imports it, records the
+    /// cluster-once `tx.commit` spans, and prunes the mempool.
+    fn commit_txs(
+        &mut self,
+        txs: Vec<Transaction>,
+        undecodable: usize,
+    ) -> Result<BatchOutcome, NodeError> {
+        let t0 = self.trace.now_ns();
         let decoded = txs.len();
         let timestamp = self.next_timestamp;
         let (block, receipts) = self.pipeline.commit_batch(&self.proposer, timestamp, txs)?;
@@ -595,6 +661,60 @@ mod tests {
                 .map_err(|e| format!("sync apply failed: {e}"))?;
         }
         assert_eq!(node.execution_digest(), peer.execution_digest());
+        Ok(())
+    }
+
+    #[test]
+    fn submit_batch_counts_accepts_and_rejects() -> Result<(), String> {
+        use crate::workload::scripted_workload;
+        let config = PlatformConfig::default();
+        let mut node = ValidatorNode::new(0, &config);
+        let txs = scripted_workload(&config);
+        let n = txs.len();
+        let out = node.submit_batch(txs.clone());
+        assert_eq!(out.accepted, n);
+        assert_eq!(out.rejected, 0);
+        // Resubmitting the same batch: every tx is now a duplicate.
+        let out = node.submit_batch(txs);
+        assert_eq!(out.accepted, 0);
+        assert_eq!(out.rejected, n);
+        let snap = node.metrics_snapshot();
+        assert_eq!(snap.counter("node.ingest.batches"), Some(2));
+        assert_eq!(snap.counter("mempool.admitted"), Some(n as u64));
+        assert_eq!(snap.counter("mempool.rejected"), Some(n as u64));
+        Ok(())
+    }
+
+    #[test]
+    fn produce_block_from_mempool_commits_ready_txs() -> Result<(), String> {
+        use crate::workload::scripted_workload;
+        let config = PlatformConfig::default();
+        let mut node = ValidatorNode::new(0, &config);
+        assert_eq!(
+            node.produce_block_from_mempool(100)
+                .map_err(|e| format!("empty produce failed: {e}"))?,
+            None,
+            "an empty mempool must not advance the chain"
+        );
+        let txs = scripted_workload(&config);
+        let n = txs.len();
+        node.submit_batch(txs);
+        let mut included = 0usize;
+        let mut blocks = 0usize;
+        while let Some(out) = node
+            .produce_block_from_mempool(8)
+            .map_err(|e| format!("produce failed: {e}"))?
+        {
+            assert!(out.included <= 8);
+            included += out.included;
+            blocks += 1;
+            assert!(blocks <= n, "production must terminate");
+        }
+        assert_eq!(included, n, "every admitted tx eventually commits");
+        assert!(node.mempool().is_empty());
+        assert_eq!(node.height(), 1 + blocks as u64);
+        node.verify_replay()
+            .map_err(|e| format!("replay audit failed after mempool production: {e}"))?;
         Ok(())
     }
 

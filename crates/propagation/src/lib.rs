@@ -11,6 +11,8 @@
 //!   generators.
 //! - [`cascade`]: independent-cascade and SIR spreading with account-type
 //!   amplification, flagging multipliers and source blocking.
+//! - [`popularity`]: Zipf-skewed item popularity for reader/ranker load
+//!   generation.
 //! - [`race`]: the fake-vs-factual race under platform interventions.
 //!
 //! # Example
@@ -29,6 +31,7 @@
 
 pub mod cascade;
 pub mod network;
+pub mod popularity;
 pub mod race;
 
 pub use cascade::{
@@ -36,4 +39,5 @@ pub use cascade::{
     CascadeConfig, CascadeResult, SirConfig,
 };
 pub use network::{barabasi_albert, erdos_renyi, watts_strogatz, SocialGraph};
+pub use popularity::ZipfSampler;
 pub use race::{run_race, Intervention, RaceConfig, RaceResult};

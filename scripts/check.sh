@@ -37,4 +37,10 @@ echo "== exp20 smoke (durable storage: kill-and-restart recovery)"
 # recovery time scales with blocks-since-checkpoint, not chain length.
 cargo run -q --release --offline -p tn-bench --bin exp20_durable_storage -- --quick
 
+echo "== exp21 smoke (open-loop gateway sweep)"
+# Two sweep points plus the determinism check: the same workload replayed
+# twice must yield identical admit/shed verdict streams and byte-identical
+# replica digests. Writes no artifacts.
+cargo run -q --release --offline -p tn-bench --bin exp21_open_loop -- --quick
+
 echo "All checks passed."
