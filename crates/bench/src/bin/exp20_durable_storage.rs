@@ -230,8 +230,9 @@ fn main() {
 
     // Proportionality check on the measurements themselves: at the same
     // tail size, doubling the chain must not double recovery time. Kept
-    // loose (3x) so CI jitter never trips it; the recorded rows carry
-    // the real signal.
+    // loose (3x over an 8ms jitter floor: quick-mode recoveries are a
+    // few ms, where one scheduler hiccup can triple the reading); the
+    // recorded rows carry the real signal.
     let ms_at = |chain: u64, tail: u64| {
         recovery
             .iter()
@@ -245,7 +246,7 @@ fn main() {
     };
     if let (Some(short), Some(long)) = (short, long) {
         assert!(
-            long < short.max(1.0) * 3.0,
+            long < short.max(8.0) * 3.0,
             "recovery scaled with chain length ({short:.1}ms -> {long:.1}ms), not with the tail"
         );
     }

@@ -1,0 +1,445 @@
+//! E22: batched Schnorr verification with Pippenger MSM on the cold
+//! import path.
+//!
+//! E17 established that the verified-tx cache makes warm imports nearly
+//! free; what remains is the **cold** path — state-sync catch-up, replay
+//! after restart, and any block whose transactions never passed through
+//! the local mempool. There, every signature pays an elliptic-curve
+//! verification. This experiment measures the batch-crypto stack that
+//! attacks exactly that cost:
+//!
+//! - **MSM kernels** (Part A): per-point cost of the shared-pass
+//!   multi-scalar multiplication (`tn_crypto::msm`) vs one independent
+//!   window multiplication per point, across batch sizes.
+//! - **Single verification** (Part B): the no-inversion two-term form
+//!   (`s·G + (−e)·P + (−R) == ∞`, fixed-base window table + 4-bit Straus
+//!   window, identity test free in Jacobian coordinates) vs the previous
+//!   affine-comparison form (generic ladder for `e·P` plus a field
+//!   inversion to normalize).
+//! - **Cold import** (Part C): full block structural verification —
+//!   batching off (per-tx scan, exactly the pre-E22 path) vs batching on
+//!   (one random-linear-combination equation per 512-tx chunk). The
+//!   headline gate: batched cold verification sustains ≥ 4× the per-tx
+//!   scan's txs/s on single-signer blocks (the repo's own workload
+//!   shape).
+//! - **Counters** (Part D): a cold import observed through the
+//!   `chain.verify.batch.*` and `chain.sigcache.*` counters — batching
+//!   preserves the one-EC-verify-per-tx accounting.
+//!
+//! Run with `--quick` for a CI-sized smoke run.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use tn_bench::{banner, f, write_bench_snapshot, MachineSpec, Report};
+use tn_chain::block::{BatchVerifyPolicy, BATCH_CHUNKS_COUNTER, BATCH_TXS_COUNTER};
+use tn_chain::prelude::*;
+use tn_chain::sigcache::{HIT_COUNTER, MISS_COUNTER};
+use tn_crypto::ec::{mul_generator, Affine, Jacobian};
+use tn_crypto::field::{self, neg_mod, reduce};
+use tn_crypto::msm::{msm, mul_window, pippenger_window};
+use tn_crypto::sha256::tagged_hash;
+use tn_crypto::u256::U256;
+use tn_crypto::{Keypair, Signature};
+use tn_par::Pool;
+use tn_telemetry::{Registry, TelemetrySink};
+use tn_trace::TraceSink;
+
+/// One measured configuration.
+#[derive(Debug, Serialize)]
+struct Row {
+    /// Which part of the experiment the row belongs to.
+    section: &'static str,
+    /// Human-readable configuration label.
+    label: String,
+    /// Points / signatures / transactions per measured operation.
+    n: usize,
+    /// Wall-time per operation, milliseconds.
+    ms: f64,
+    /// Per-item cost, microseconds.
+    us_per_item: f64,
+    /// Items per second.
+    per_s: f64,
+    /// Speedup vs the section's baseline row.
+    speedup: f64,
+}
+
+/// Perf-trajectory snapshot (`BENCH_e22.json`, schema in
+/// `docs/BENCHMARKS.md`).
+#[derive(Debug, Serialize)]
+struct BenchSnapshot {
+    bench: &'static str,
+    schema: u32,
+    machine: MachineSpec,
+    /// Cold verification throughput, per-tx scan (txs/s).
+    scan_txs_per_s: f64,
+    /// Cold verification throughput, batched (txs/s).
+    batch_txs_per_s: f64,
+    /// Batched / scan throughput ratio (the headline gate, ≥ 4 expected
+    /// on single-signer blocks at full size).
+    cold_import_speedup: f64,
+    /// Per-point MSM cost at the largest swept size, microseconds.
+    msm_us_per_point: f64,
+    /// Single no-inversion verification cost, microseconds.
+    single_verify_us: f64,
+}
+
+fn deterministic_pairs(n: usize) -> Vec<(Affine, U256)> {
+    (0..n)
+        .map(|i| {
+            let k = U256::from_be_bytes(
+                tagged_hash("e22/scalar", &(i as u64).to_be_bytes()).as_bytes(),
+            );
+            let p =
+                U256::from_be_bytes(tagged_hash("e22/point", &(i as u64).to_be_bytes()).as_bytes());
+            (mul_generator(&p), k)
+        })
+        .collect()
+}
+
+fn make_block(txs: usize, signers: usize) -> Block {
+    let keys: Vec<Keypair> = (0..signers.max(1))
+        .map(|i| Keypair::from_seed(format!("e22 signer {i}").as_bytes()))
+        .collect();
+    let validator = Keypair::from_seed(b"e22 validator");
+    let funded: Vec<(tn_crypto::Address, u64)> =
+        keys.iter().map(|k| (k.address(), 1_000_000)).collect();
+    let store = ChainStore::new(State::genesis(funded), &validator);
+    let txs: Vec<Transaction> = (0..txs)
+        .map(|i| {
+            Transaction::signed(
+                &keys[i % keys.len()],
+                (i / keys.len()) as u64,
+                1,
+                Payload::Blob {
+                    tag: blob_tags::NEWS_PUBLISH,
+                    data: vec![0u8; 128],
+                },
+            )
+        })
+        .collect();
+    store.propose(&validator, 1, txs, &mut NoExecutor)
+}
+
+/// Cold structural verification wall-time (no cache, so every rep pays
+/// the full signature cost) under `policy`.
+fn time_cold_verify(block: &Block, pool: &Pool, policy: BatchVerifyPolicy, reps: usize) -> f64 {
+    let sink = TelemetrySink::disabled();
+    let trace = TraceSink::disabled();
+    block
+        .verify_structure_policy(pool, None, &sink, &trace, 0, policy)
+        .expect("valid block");
+    let started = Instant::now();
+    for _ in 0..reps {
+        block
+            .verify_structure_policy(pool, None, &sink, &trace, 0, policy)
+            .expect("valid block");
+    }
+    started.elapsed().as_secs_f64() * 1_000.0 / reps as f64
+}
+
+/// The pre-E22 verification shape: `s·G` from the fixed-base table,
+/// `(−e)·P` by the generic double-and-add ladder, then an affine
+/// normalization (one field inversion) to compare coordinates.
+fn verify_affine_baseline(
+    pubkey: &Affine,
+    r_x: &U256,
+    parity_odd: bool,
+    e: &U256,
+    s: &U256,
+) -> bool {
+    let neg_e = neg_mod(&reduce(e, &field::n()), &field::n());
+    let rp = tn_crypto::ec::mul_generator_jacobian(s)
+        .add(&Jacobian::from_affine(pubkey).mul_scalar(&neg_e))
+        .to_affine();
+    match rp {
+        Affine::Infinity => false,
+        Affine::Point { x, y } => x == *r_x && y.is_odd() == parity_odd,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(
+        "E22",
+        "Batch Schnorr verification: MSM kernels, no-inversion verify, cold import",
+    );
+    println!("available parallelism: {}\n", Pool::auto().workers());
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Part A: MSM per-point cost vs independent per-point multiplication.
+    println!("Part A: multi-scalar multiplication\n");
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>9}",
+        "kernel", "points", "ms/op", "us/point", "speedup"
+    );
+    let sizes: &[usize] = if quick {
+        &[16, 128]
+    } else {
+        &[16, 128, 1024, 4096]
+    };
+    let mut msm_us_per_point = 0.0;
+    for &n in sizes {
+        let ps = deterministic_pairs(n);
+        let reps = if quick { 1 } else { 2.max(512 / n) };
+        // Baseline: one window multiplication per point (what n separate
+        // verifications would pay for their variable-base halves).
+        let started = Instant::now();
+        for _ in 0..reps {
+            let mut acc = Jacobian::infinity();
+            for (p, k) in &ps {
+                acc = acc.add(&mul_window(p, k));
+            }
+            std::hint::black_box(acc);
+        }
+        let per_point_ms = started.elapsed().as_secs_f64() * 1_000.0 / reps as f64;
+        let started = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(msm(&ps));
+        }
+        let msm_ms = started.elapsed().as_secs_f64() * 1_000.0 / reps as f64;
+        let kernel = if n < tn_crypto::msm::STRAUS_CUTOFF {
+            "straus".to_string()
+        } else {
+            format!("pippenger c={}", pippenger_window(n))
+        };
+        for (label, ms, speedup) in [
+            ("per-point windows".to_string(), per_point_ms, 1.0),
+            (kernel, msm_ms, per_point_ms / msm_ms),
+        ] {
+            println!(
+                "{:<22} {:>8} {:>12} {:>12} {:>9}",
+                label,
+                n,
+                f(ms),
+                f(ms * 1_000.0 / n as f64),
+                f(speedup)
+            );
+            rows.push(Row {
+                section: "msm",
+                label,
+                n,
+                ms,
+                us_per_item: ms * 1_000.0 / n as f64,
+                per_s: n as f64 / (ms / 1_000.0),
+                speedup,
+            });
+        }
+        msm_us_per_point = msm_ms * 1_000.0 / n as f64;
+    }
+
+    // Part B: single verification — no-inversion two-term form vs the
+    // affine-comparison baseline.
+    println!("\nPart B: single Schnorr verification\n");
+    let kp = Keypair::from_seed(b"e22 single");
+    let msg = tn_crypto::sha256::sha256(b"e22 message");
+    let sig = kp.sign(&msg);
+    let muls = if quick { 40 } else { 300 };
+    let started = Instant::now();
+    for _ in 0..muls {
+        assert!(kp.public().verify(std::hint::black_box(&msg), &sig));
+    }
+    let new_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    // Reconstruct the baseline from the signature's public parts.
+    let Signature {
+        r_x,
+        r_parity_odd,
+        s,
+    } = sig;
+    let (r_x, s_scalar) = (U256::from_be_bytes(&r_x), U256::from_be_bytes(&s));
+    let mut compressed = [0u8; 33];
+    compressed[0] = if r_parity_odd { 0x03 } else { 0x02 };
+    compressed[1..].copy_from_slice(&sig.r_x);
+    let r_point = Affine::from_compressed(&compressed).expect("valid R");
+    let pk_point = Affine::from_compressed(&kp.public().to_compressed()).expect("valid P");
+    // e = H_tag(challenge) — recompute it the way verify does, through a
+    // throwaway call; here we only need *a* scalar of full width, and the
+    // exact challenge keeps the baseline's work identical.
+    let e = {
+        let mut data = Vec::with_capacity(98);
+        data.extend_from_slice(&sig.r_x);
+        data.push(r_parity_odd as u8);
+        data.extend_from_slice(&kp.public().to_compressed());
+        data.extend_from_slice(msg.as_bytes());
+        reduce(
+            &U256::from_be_bytes(tagged_hash("TN/challenge", &data).as_bytes()),
+            &field::n(),
+        )
+    };
+    // Sanity: the baseline must accept the valid signature before we race it.
+    assert!(r_point.y_is_even() != r_parity_odd);
+    assert!(verify_affine_baseline(
+        &pk_point,
+        &r_x,
+        r_parity_odd,
+        &e,
+        &s_scalar
+    ));
+    let started = Instant::now();
+    for _ in 0..muls {
+        std::hint::black_box(verify_affine_baseline(
+            &pk_point,
+            std::hint::black_box(&r_x),
+            r_parity_odd,
+            &e,
+            &s_scalar,
+        ));
+    }
+    let old_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    println!(
+        "{muls} verifications: no-inversion {} ms, affine baseline {} ms ({}x)",
+        f(new_ms),
+        f(old_ms),
+        f(old_ms / new_ms)
+    );
+    let single_verify_us = new_ms * 1_000.0 / muls as f64;
+    rows.push(Row {
+        section: "single_verify",
+        label: "affine-comparison baseline".into(),
+        n: muls,
+        ms: old_ms / muls as f64,
+        us_per_item: old_ms * 1_000.0 / muls as f64,
+        per_s: muls as f64 / (old_ms / 1_000.0),
+        speedup: 1.0,
+    });
+    rows.push(Row {
+        section: "single_verify",
+        label: "no-inversion two-term".into(),
+        n: muls,
+        ms: new_ms / muls as f64,
+        us_per_item: single_verify_us,
+        per_s: muls as f64 / (new_ms / 1_000.0),
+        speedup: old_ms / new_ms,
+    });
+
+    // Part C: cold import — the headline gate.
+    println!("\nPart C: cold block verification (batching off vs on)\n");
+    println!(
+        "{:<26} {:>7} {:>10} {:>12} {:>9}",
+        "configuration", "txs", "ms/block", "txs/s", "speedup"
+    );
+    let block_txs = if quick { 96 } else { 1024 };
+    let reps = if quick { 1 } else { 3 };
+    let pool = Pool::auto();
+    let mut scan_tps = 0.0;
+    let mut batch_tps = 0.0;
+    let mut speedup_single = 0.0;
+    for (label, signers) in [("single signer", 1usize), ("distinct signers", block_txs)] {
+        let block = make_block(block_txs, signers);
+        let scan_ms = time_cold_verify(&block, &pool, BatchVerifyPolicy::disabled(), reps);
+        let batch_ms = time_cold_verify(&block, &pool, BatchVerifyPolicy::default(), reps);
+        let speedup = scan_ms / batch_ms;
+        for (mode, ms, sp) in [
+            ("per-tx scan", scan_ms, 1.0),
+            ("batched", batch_ms, speedup),
+        ] {
+            let full = format!("{label}, {mode}");
+            println!(
+                "{:<26} {:>7} {:>10} {:>12} {:>9}",
+                full,
+                block_txs,
+                f(ms),
+                f(block_txs as f64 / (ms / 1_000.0)),
+                f(sp)
+            );
+            rows.push(Row {
+                section: "cold_import",
+                label: full,
+                n: block_txs,
+                ms,
+                us_per_item: ms * 1_000.0 / block_txs as f64,
+                per_s: block_txs as f64 / (ms / 1_000.0),
+                speedup: sp,
+            });
+        }
+        if signers == 1 {
+            scan_tps = block_txs as f64 / (scan_ms / 1_000.0);
+            batch_tps = block_txs as f64 / (batch_ms / 1_000.0);
+            speedup_single = speedup;
+        }
+    }
+    if !quick {
+        assert!(
+            speedup_single >= 4.0,
+            "batched cold verification must be ≥ 4x the per-tx scan \
+             (measured {speedup_single:.2}x)"
+        );
+    }
+
+    // Part D: counters through a real import — batching preserves the
+    // one-EC-verify-per-tx accounting.
+    println!("\nPart D: batch counters through a cold import\n");
+    let registry = Registry::new();
+    let alice = Keypair::from_seed(b"e22 signer 0");
+    let validator = Keypair::from_seed(b"e22 validator");
+    let mut store = ChainStore::new(State::genesis([(alice.address(), 1_000_000)]), &validator);
+    store.set_telemetry(registry.sink());
+    let k = if quick { 64u64 } else { 256 };
+    let txs: Vec<Transaction> = (0..k)
+        .map(|i| {
+            Transaction::signed(
+                &alice,
+                i,
+                1,
+                Payload::Blob {
+                    tag: blob_tags::NEWS_PUBLISH,
+                    data: vec![0u8; 128],
+                },
+            )
+        })
+        .collect();
+    // Proposing warms the cache; import another replica's view cold by
+    // clearing it first.
+    let block = store.propose(&validator, 1, txs, &mut NoExecutor);
+    store.set_sig_cache(SigCache::new(1 << 16));
+    store.import(block, &mut NoExecutor).expect("imports");
+    let snap = registry.snapshot();
+    let batch_txs = snap.counter(BATCH_TXS_COUNTER).unwrap_or(0);
+    let chunks = snap.counter(BATCH_CHUNKS_COUNTER).unwrap_or(0);
+    println!(
+        "cold import of {k} txs: {batch_txs} batch-verified in {chunks} chunk(s), \
+         {} misses, {} hits",
+        snap.counter(MISS_COUNTER).unwrap_or(0),
+        snap.counter(HIT_COUNTER).unwrap_or(0),
+    );
+    assert_eq!(
+        batch_txs, k,
+        "every cold tx goes through the batch equation"
+    );
+    rows.push(Row {
+        section: "counters",
+        label: format!("{batch_txs} batch txs / {chunks} chunks"),
+        n: k as usize,
+        ms: 0.0,
+        us_per_item: 0.0,
+        per_s: 0.0,
+        speedup: 0.0,
+    });
+
+    // CI smokes assert invariants only; humans commit numbers (the
+    // BENCH contract, docs/BENCHMARKS.md rule 4).
+    if quick {
+        return;
+    }
+
+    Report::new(
+        "E22",
+        "Batch Schnorr verification: MSM kernels, no-inversion single verify, cold import speedup",
+        rows,
+    )
+    .write_json();
+
+    let snapshot = BenchSnapshot {
+        bench: "e22_batch_verify",
+        schema: 1,
+        machine: MachineSpec::current(),
+        scan_txs_per_s: scan_tps,
+        batch_txs_per_s: batch_tps,
+        cold_import_speedup: speedup_single,
+        msm_us_per_point,
+        single_verify_us,
+    };
+    write_bench_snapshot("e22", &snapshot);
+}

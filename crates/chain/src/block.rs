@@ -2,7 +2,7 @@
 
 use tn_crypto::merkle::{leaf_hash, merkle_root, merkle_root_of_leaves_par};
 use tn_crypto::sha256::tagged_hash;
-use tn_crypto::{Address, Hash256, Keypair, PublicKey, Signature};
+use tn_crypto::{verify_batch, Address, BatchItem, Hash256, Keypair, PublicKey, Signature};
 use tn_par::Pool;
 use tn_telemetry::TelemetrySink;
 use tn_trace::{lanes, TraceId, TraceSink};
@@ -11,6 +11,60 @@ use crate::codec::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use crate::error::ChainError;
 use crate::sigcache::SigCache;
 use crate::transaction::Transaction;
+
+/// Telemetry counter: chunks whose batched signature equation verified.
+pub const BATCH_CHUNKS_COUNTER: &str = "chain.verify.batch.chunks";
+/// Telemetry counter: transactions verified through the batch equation
+/// (cache hits are counted by `chain.sigcache.hit` instead).
+pub const BATCH_TXS_COUNTER: &str = "chain.verify.batch.txs";
+/// Telemetry counter: batched verifications that failed and fell back to
+/// the per-transaction scan (only invalid blocks take this path).
+pub const BATCH_FALLBACK_COUNTER: &str = "chain.verify.batch.fallback";
+
+/// Policy for the batched-Schnorr fast path on block verification.
+///
+/// `chunk` is the number of transactions folded into one batched
+/// signature equation. It is a **consensus-visible constant in spirit**:
+/// chunk boundaries (and hence the Fiat–Shamir transcripts) depend only on
+/// this value, never on the worker count, so replicas with different
+/// parallelism compute bit-identical batch equations. Accept/reject
+/// outcomes are identical for *any* chunk value — a failing batch falls
+/// back to the sequential-semantics per-transaction scan — so the knob
+/// only moves performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchVerifyPolicy {
+    /// Whether the batch fast path runs at all.
+    pub enabled: bool,
+    /// Transactions per batched equation (clamped to ≥ 1 at use sites).
+    pub chunk: usize,
+}
+
+impl BatchVerifyPolicy {
+    /// Default transactions per batch equation. Large enough that the
+    /// Pippenger bucket MSM amortises well, small enough that several
+    /// chunks exist to spread over verify workers at realistic block
+    /// sizes.
+    pub const DEFAULT_CHUNK: usize = 512;
+
+    /// Batching off: every transaction pays an individual verification.
+    pub fn disabled() -> BatchVerifyPolicy {
+        BatchVerifyPolicy {
+            enabled: false,
+            chunk: Self::DEFAULT_CHUNK,
+        }
+    }
+}
+
+impl Default for BatchVerifyPolicy {
+    /// Batching on with [`BatchVerifyPolicy::DEFAULT_CHUNK`] transactions
+    /// per equation.
+    fn default() -> Self {
+        BatchVerifyPolicy {
+            enabled: true,
+            chunk: Self::DEFAULT_CHUNK,
+        }
+    }
+}
 
 /// A block header: the hash-linked, proposer-signed commitment to a batch
 /// of transactions and the resulting state.
@@ -206,6 +260,53 @@ impl Block {
         trace: &TraceSink,
         parent: u64,
     ) -> Result<(), ChainError> {
+        self.verify_structure_policy(
+            pool,
+            cache,
+            telemetry,
+            trace,
+            parent,
+            BatchVerifyPolicy::default(),
+        )
+    }
+
+    /// [`Block::verify_structure_traced`] with an explicit
+    /// [`BatchVerifyPolicy`].
+    ///
+    /// With batching enabled (and tracing disabled — per-transaction
+    /// spans require per-transaction verification), transactions are split
+    /// into fixed-size chunks and each chunk's signatures are folded into
+    /// one random-linear-combination Schnorr equation seeded by the block
+    /// id and chunk index ([`tn_crypto::verify_batch`]). Chunks fan out
+    /// over `pool` via [`Pool::map_chunks`], so the equations themselves
+    /// are independent of the worker count. Per chunk, cached
+    /// transactions are skipped (bumping `chain.sigcache.hit`) and the
+    /// rest are batch-verified (bumping `chain.sigcache.miss` and
+    /// [`BATCH_TXS_COUNTER`], then populating the cache) — so across
+    /// admission → proposal → import each signature still pays at most
+    /// one EC verification, exactly like the per-transaction path.
+    ///
+    /// A valid block is **never** rejected by batching (each term of a
+    /// batched equation is the identity precisely when that signature
+    /// verifies). When any chunk fails — which implies some transaction
+    /// is invalid, up to the 2⁻¹²⁸ soundness error — the whole
+    /// transaction list is rescanned with the pool's first-error
+    /// `try_check`, so the reported error is byte-identical to the
+    /// sequential scan's lowest-index failure for every pool × chunk
+    /// configuration ([`BATCH_FALLBACK_COUNTER`] records the rescan).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Block::verify_structure`].
+    pub fn verify_structure_policy(
+        &self,
+        pool: &Pool,
+        cache: Option<&SigCache>,
+        telemetry: &TelemetrySink,
+        trace: &TraceSink,
+        parent: u64,
+        policy: BatchVerifyPolicy,
+    ) -> Result<(), ChainError> {
         if self.proposer_key.address() != self.header.proposer {
             return Err(ChainError::AddressMismatch);
         }
@@ -217,6 +318,13 @@ impl Block {
         }
         if Block::compute_tx_root_par(&self.transactions, pool) != self.header.tx_root {
             return Err(ChainError::BadTxRoot);
+        }
+        if policy.enabled
+            && !trace.is_enabled()
+            && !self.transactions.is_empty()
+            && self.batch_verify_txs(pool, cache, telemetry, policy.chunk)
+        {
+            return Ok(());
         }
         let bounds = if trace.is_enabled() {
             pool.chunk_bounds(self.transactions.len())
@@ -246,6 +354,79 @@ impl Block {
             result
         })
         .map_err(|(_, err)| err)
+    }
+
+    /// Runs the batched signature check over all transactions in
+    /// fixed-size chunks fanned out over `pool`. Returns `true` when every
+    /// chunk's equation holds — in which case sigcache/batch counters are
+    /// bumped and `cache` is populated — and `false` otherwise, deciding
+    /// nothing (the caller rescans per-transaction for the exact error).
+    ///
+    /// Counters are only touched for *successful* chunks, so on the
+    /// all-valid path each transaction is counted exactly once (hit or
+    /// miss). A failing batch implies an invalid block, where per-import
+    /// counter totals are not part of the one-verify-per-tx contract.
+    fn batch_verify_txs(
+        &self,
+        pool: &Pool,
+        cache: Option<&SigCache>,
+        telemetry: &TelemetrySink,
+        chunk: usize,
+    ) -> bool {
+        let block_id = self.id();
+        let ok = pool
+            .map_chunks(&self.transactions, chunk, |ci, txs| {
+                let mut items: Vec<BatchItem> = Vec::with_capacity(txs.len());
+                let mut ids = Vec::with_capacity(txs.len());
+                let mut hits = 0u64;
+                for tx in txs {
+                    if tx.pubkey.address() != tx.from {
+                        return false;
+                    }
+                    let id = tx.id();
+                    if cache.is_some_and(|c| c.contains(&id)) {
+                        hits += 1;
+                        continue;
+                    }
+                    let digest =
+                        Transaction::signing_digest(&tx.from, tx.nonce, tx.fee, &tx.payload);
+                    items.push((tx.pubkey, digest, tx.signature));
+                    ids.push(id);
+                }
+                // The Fiat–Shamir seed binds the block id and chunk index:
+                // replicas chunking the same block derive bit-identical
+                // batch coefficients regardless of worker count.
+                let mut seed = [0u8; 40];
+                seed[..32].copy_from_slice(block_id.as_bytes());
+                seed[32..].copy_from_slice(&(ci as u64).to_be_bytes());
+                if !verify_batch(&items, &seed) {
+                    return false;
+                }
+                if cache.is_some() {
+                    if hits > 0 {
+                        telemetry.add(crate::sigcache::HIT_COUNTER, hits);
+                    }
+                    if !ids.is_empty() {
+                        telemetry.add(crate::sigcache::MISS_COUNTER, ids.len() as u64);
+                    }
+                }
+                if !ids.is_empty() {
+                    telemetry.add(BATCH_TXS_COUNTER, ids.len() as u64);
+                }
+                telemetry.incr(BATCH_CHUNKS_COUNTER);
+                if let Some(cache) = cache {
+                    for id in ids {
+                        cache.insert(id);
+                    }
+                }
+                true
+            })
+            .into_iter()
+            .all(|chunk_ok| chunk_ok);
+        if !ok {
+            telemetry.incr(BATCH_FALLBACK_COUNTER);
+        }
+        ok
     }
 }
 
@@ -506,6 +687,97 @@ mod tests {
             block.verify_structure_with(&pool, Some(&cache), &sink),
             Ok(())
         );
+    }
+
+    #[test]
+    fn batch_policy_matches_sequential_verdicts() {
+        // Valid and corrupted blocks must produce identical results for
+        // every worker count × chunk size, batching on or off.
+        for corrupt in [false, true] {
+            for count in [0usize, 1, 5, 33] {
+                let mut block = block_with_txs(count);
+                if corrupt && count > 0 {
+                    block.transactions[count / 2].fee ^= 1;
+                    let proposer = Keypair::from_seed(b"proposer");
+                    block.header.tx_root = Block::compute_tx_root(&block.transactions);
+                    block.signature = proposer.sign(&block.header.digest());
+                }
+                let seq = block.verify_structure();
+                for workers in [1usize, 3, 8] {
+                    for chunk in [1usize, 4, 16, 512] {
+                        let got = block.verify_structure_policy(
+                            &Pool::new(workers),
+                            None,
+                            &TelemetrySink::disabled(),
+                            &tn_trace::TraceSink::disabled(),
+                            0,
+                            BatchVerifyPolicy {
+                                enabled: true,
+                                chunk,
+                            },
+                        );
+                        assert_eq!(
+                            got, seq,
+                            "corrupt={corrupt} count={count} workers={workers} chunk={chunk}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_verify_populates_cache_and_counters() {
+        let block = block_with_txs(16);
+        let cache = crate::sigcache::SigCache::new(64);
+        let registry = tn_telemetry::Registry::new();
+        let sink = registry.sink();
+        let pool = Pool::new(4);
+        let policy = BatchVerifyPolicy {
+            enabled: true,
+            chunk: 4,
+        };
+        let trace = tn_trace::TraceSink::disabled();
+        block
+            .verify_structure_policy(&pool, Some(&cache), &sink, &trace, 0, policy)
+            .expect("valid");
+        let snap = registry.snapshot();
+        assert_eq!(cache.len(), 16, "every tx cached after batch verify");
+        assert_eq!(snap.counter(crate::sigcache::MISS_COUNTER), Some(16));
+        assert_eq!(snap.counter(BATCH_TXS_COUNTER), Some(16));
+        assert_eq!(snap.counter(BATCH_CHUNKS_COUNTER), Some(4));
+        assert_eq!(snap.counter(crate::sigcache::HIT_COUNTER), None);
+        assert_eq!(snap.counter(BATCH_FALLBACK_COUNTER), None);
+        // Second pass: all txs served from the cache, no new misses.
+        block
+            .verify_structure_policy(&pool, Some(&cache), &sink, &trace, 0, policy)
+            .expect("valid");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(crate::sigcache::MISS_COUNTER), Some(16));
+        assert_eq!(snap.counter(crate::sigcache::HIT_COUNTER), Some(16));
+        assert_eq!(snap.counter(BATCH_TXS_COUNTER), Some(16));
+    }
+
+    #[test]
+    fn failed_batch_falls_back_and_counts() {
+        let mut block = block_with_txs(8);
+        block.transactions[3].fee ^= 1;
+        let proposer = Keypair::from_seed(b"proposer");
+        block.header.tx_root = Block::compute_tx_root(&block.transactions);
+        block.signature = proposer.sign(&block.header.digest());
+        let registry = tn_telemetry::Registry::new();
+        let sink = registry.sink();
+        let got = block.verify_structure_policy(
+            &Pool::new(2),
+            None,
+            &sink,
+            &tn_trace::TraceSink::disabled(),
+            0,
+            BatchVerifyPolicy::default(),
+        );
+        assert_eq!(got, block.verify_structure());
+        assert!(got.is_err());
+        assert_eq!(registry.snapshot().counter(BATCH_FALLBACK_COUNTER), Some(1));
     }
 
     #[test]

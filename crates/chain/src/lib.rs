@@ -67,7 +67,7 @@ pub mod state;
 pub mod store;
 pub mod transaction;
 
-pub use block::{Block, BlockHeader};
+pub use block::{BatchVerifyPolicy, Block, BlockHeader};
 pub use checkpoint::ChainCheckpoint;
 pub use error::ChainError;
 pub use mempool::Mempool;
@@ -79,7 +79,7 @@ pub use transaction::{blob_tags, Payload, Transaction};
 
 /// Common imports for downstream crates.
 pub mod prelude {
-    pub use crate::block::{Block, BlockHeader};
+    pub use crate::block::{BatchVerifyPolicy, Block, BlockHeader};
     pub use crate::codec::{Decodable, Decoder, Encodable, Encoder};
     pub use crate::error::ChainError;
     pub use crate::mempool::Mempool;

@@ -43,7 +43,7 @@ use tn_storage::{BlockRecord, HeadMeta, Key, Storage, StorageConfig, TxIndexEntr
 use tn_telemetry::TelemetrySink;
 use tn_trace::{lanes, replica_span_id, span_id, TraceId, TraceSink};
 
-use crate::block::Block;
+use crate::block::{BatchVerifyPolicy, Block};
 use crate::checkpoint::ChainCheckpoint;
 use crate::codec::{Decodable, Decoder, Encodable, Encoder};
 use crate::error::ChainError;
@@ -161,6 +161,8 @@ pub struct ChainStore {
     /// Verified-transaction cache shared with the mempool and proposer so
     /// each signature pays for at most one EC verification per process.
     sig_cache: SigCache,
+    /// Batched-Schnorr policy applied during block verification.
+    batch_policy: BatchVerifyPolicy,
 }
 
 impl fmt::Debug for ChainStore {
@@ -280,6 +282,7 @@ impl ChainStore {
             trace: TraceSink::disabled(),
             pool: Pool::auto(),
             sig_cache: SigCache::default(),
+            batch_policy: BatchVerifyPolicy::default(),
         })
     }
 
@@ -421,6 +424,7 @@ impl ChainStore {
             trace: TraceSink::disabled(),
             pool: Pool::auto(),
             sig_cache: SigCache::default(),
+            batch_policy: BatchVerifyPolicy::default(),
         };
         Ok((store, cp))
     }
@@ -520,6 +524,19 @@ impl ChainStore {
     /// admission-time verification pre-warms block import.
     pub fn sig_cache(&self) -> SigCache {
         self.sig_cache.clone()
+    }
+
+    /// Sets the batched-Schnorr policy used during block verification.
+    /// Accept/reject outcomes are identical for every policy (a failing
+    /// batch falls back to the per-transaction scan); the policy only
+    /// moves import cost.
+    pub fn set_batch_policy(&mut self, policy: BatchVerifyPolicy) {
+        self.batch_policy = policy;
+    }
+
+    /// The batched-Schnorr policy currently applied during verification.
+    pub fn batch_policy(&self) -> BatchVerifyPolicy {
+        self.batch_policy
     }
 
     /// The genesis block id.
@@ -774,12 +791,13 @@ impl ChainStore {
             let _verify = self.telemetry.span("chain.verify_ns");
             let v0 = trace.now_ns();
             let verify_span = replica_span_id(block_trace, "chain.verify", trace.replica());
-            block.verify_structure_traced(
+            block.verify_structure_policy(
                 &self.pool,
                 Some(&self.sig_cache),
                 &self.telemetry,
                 &trace,
                 verify_span,
+                self.batch_policy,
             )?;
             trace.complete(
                 block_trace,

@@ -126,6 +126,7 @@ pub fn try_bootstrap(config: &PlatformConfig) -> Result<Bootstrap, ChainError> {
         config.storage.clone(),
     )?;
     pipeline.set_verify_workers(config.verify_workers);
+    pipeline.set_verify_batch_chunk(config.verify_batch_chunk);
     let root = pipeline.factdb().root();
     let anchor = Transaction::signed(
         &governor,
@@ -180,6 +181,7 @@ pub fn recover_bootstrap(config: &PlatformConfig) -> Result<(Bootstrap, u64), Ch
         seed_corpus,
     )?;
     pipeline.set_verify_workers(config.verify_workers);
+    pipeline.set_verify_batch_chunk(config.verify_batch_chunk);
     Ok((
         Bootstrap {
             governor,
@@ -216,6 +218,7 @@ pub fn restore_bootstrap(
         seed_corpus,
     )?;
     pipeline.set_verify_workers(config.verify_workers);
+    pipeline.set_verify_batch_chunk(config.verify_batch_chunk);
     Ok(Bootstrap {
         governor,
         validator,
@@ -388,6 +391,24 @@ impl ExecutionPipeline {
             tn_par::Pool::new(workers)
         };
         self.store.set_verify_pool(pool);
+    }
+
+    /// Configures the batched-Schnorr chunk size for block verification.
+    /// `0` disables batching; any other value is the number of
+    /// transactions folded into one batch equation. Accept/reject
+    /// outcomes are identical for every setting (a failing batch falls
+    /// back to the per-transaction scan), so this is purely a
+    /// throughput knob.
+    pub fn set_verify_batch_chunk(&mut self, chunk: usize) {
+        let policy = if chunk == 0 {
+            tn_chain::BatchVerifyPolicy::disabled()
+        } else {
+            tn_chain::BatchVerifyPolicy {
+                enabled: true,
+                chunk,
+            }
+        };
+        self.store.set_batch_policy(policy);
     }
 
     /// Restores a pipeline from a [`ChainStore::snapshot`]: every block is

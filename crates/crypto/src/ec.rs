@@ -193,6 +193,52 @@ impl Jacobian {
         }
     }
 
+    /// Mixed addition of an affine point (`Z₂ = 1`): the same result as
+    /// [`Jacobian::add`] on the lifted point, but with the `Z₂`-dependent
+    /// field multiplications eliminated (8M + 3S instead of 12M + 4S).
+    /// This is the inner-loop operation of the multi-scalar kernels in
+    /// [`crate::msm`], where the input points are affine by construction.
+    pub fn add_affine(&self, other: &Affine) -> Jacobian {
+        let Affine::Point { x: x2, y: y2 } = other else {
+            return *self;
+        };
+        if self.is_infinity() {
+            return Jacobian::from_affine(other);
+        }
+        let p = field::p();
+        let z1z1 = sqr_mod(&self.z, &p);
+        let u2 = mul_mod(x2, &z1z1, &p);
+        let s2 = mul_mod(y2, &mul_mod(&z1z1, &self.z, &p), &p);
+        if self.x == u2 {
+            return if self.y == s2 {
+                self.double()
+            } else {
+                Jacobian::infinity()
+            };
+        }
+        let h = sub_mod(&u2, &self.x, &p);
+        let r = sub_mod(&s2, &self.y, &p);
+        let h2 = sqr_mod(&h, &p);
+        let h3 = mul_mod(&h2, &h, &p);
+        let u1h2 = mul_mod(&self.x, &h2, &p);
+        let x3 = sub_mod(
+            &sub_mod(&sqr_mod(&r, &p), &h3, &p),
+            &add_mod(&u1h2, &u1h2, &p),
+            &p,
+        );
+        let y3 = sub_mod(
+            &mul_mod(&r, &sub_mod(&u1h2, &x3, &p), &p),
+            &mul_mod(&self.y, &h3, &p),
+            &p,
+        );
+        let z3 = mul_mod(&h, &self.z, &p);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
     /// General Jacobian point addition.
     pub fn add(&self, other: &Jacobian) -> Jacobian {
         if self.is_infinity() {
@@ -368,6 +414,29 @@ mod tests {
                 .to_affine();
             assert_eq!(lhs, rhs);
         }
+    }
+
+    #[test]
+    fn mixed_addition_matches_general_addition() {
+        // add_affine must agree with add on distinct points, equal points
+        // (doubling), negations (infinity) and identity operands.
+        let a = mul_generator(&U256::from_u64(5));
+        let b = mul_generator(&U256::from_u64(9));
+        let aj = Jacobian::from_affine(&a);
+        assert_eq!(
+            aj.add_affine(&b).to_affine(),
+            aj.add(&Jacobian::from_affine(&b)).to_affine()
+        );
+        assert_eq!(aj.add_affine(&a).to_affine(), aj.double().to_affine());
+        assert!(aj.add_affine(&a.negate()).is_infinity());
+        assert_eq!(aj.add_affine(&Affine::Infinity).to_affine(), a);
+        assert_eq!(Jacobian::infinity().add_affine(&b).to_affine(), b);
+        // A non-one Z1 (from a prior addition) still reduces correctly.
+        let c = aj.add(&Jacobian::from_affine(&b)); // Z != 1
+        assert_eq!(
+            c.add_affine(&a).to_affine(),
+            c.add(&Jacobian::from_affine(&a)).to_affine()
+        );
     }
 
     #[test]

@@ -67,6 +67,11 @@ impl PublicKey {
         verify_digest(&self.0, msg, sig)
     }
 
+    /// The underlying curve point (for the batch-verification kernels).
+    pub(crate) fn as_affine(&self) -> &Affine {
+        &self.0
+    }
+
     /// SEC1 compressed encoding (33 bytes).
     pub fn to_compressed(&self) -> [u8; 33] {
         self.0.to_compressed()

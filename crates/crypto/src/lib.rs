@@ -16,6 +16,9 @@
 //!   primes, using the special form of the field prime for fast reduction.
 //! - [`ec`]: secp256k1 elliptic-curve group operations in Jacobian
 //!   coordinates.
+//! - [`msm`]: variable-base multi-scalar multiplication (Straus for small
+//!   batches, Pippenger buckets for large ones) backing batch signature
+//!   verification.
 //! - [`schnorr`]: Schnorr signatures over secp256k1 (BIP340-flavoured, but
 //!   simplified: the nonce is derived deterministically from the secret key
 //!   and message).
@@ -57,6 +60,7 @@ pub mod hex;
 pub mod history;
 pub mod keys;
 pub mod merkle;
+pub mod msm;
 pub mod schnorr;
 pub mod sha256;
 pub mod u256;
@@ -65,4 +69,4 @@ pub use hash::Hash256;
 pub use history::{ConsistencyProof, HistoryTree, InclusionProof};
 pub use keys::{Address, Keypair, PublicKey, SecretKey};
 pub use merkle::{MerkleProof, MerkleTree};
-pub use schnorr::Signature;
+pub use schnorr::{batch_coefficients, verify_batch, BatchItem, Signature};

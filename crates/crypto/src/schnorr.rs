@@ -8,11 +8,15 @@
 //! - signature is `(R.x, parity(R.y), s)` with `s = k + e·d mod n`;
 //! - verification recomputes `R' = s·G − e·P` and checks coordinates.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
-use crate::ec::{mul_generator, mul_generator_jacobian, Affine, Jacobian};
-use crate::field::{self, add_mod, mul_mod, reduce};
+use crate::ec::{generator, mul_generator, mul_generator_jacobian, Affine};
+use crate::field::{self, add_mod, mul_mod, neg_mod, reduce};
 use crate::hash::Hash256;
+use crate::keys::PublicKey;
+use crate::msm::{msm, mul_window};
 use crate::sha256::tagged_hash;
 use crate::u256::U256;
 
@@ -103,32 +107,155 @@ pub(crate) fn sign_digest(d: &U256, pubkey: &Affine, msg: &Hash256) -> Signature
     }
 }
 
-/// Verifies `sig` over `msg` against `pubkey`.
-pub(crate) fn verify_digest(pubkey: &Affine, msg: &Hash256, sig: &Signature) -> bool {
+/// A signature parsed and lifted for verification: the reconstructed
+/// nonce point, the recomputed challenge, and the validated scalars.
+struct Prepared {
+    r: Affine,
+    e: U256,
+    s: U256,
+}
+
+/// Range-checks `sig`, reconstructs `R` from its x coordinate and parity,
+/// and recomputes the challenge. `None` exactly when [`verify_digest`]
+/// would reject before reaching the group equation.
+fn prepare(pubkey: &Affine, msg: &Hash256, sig: &Signature) -> Option<Prepared> {
     let n = field::n();
     let p = field::p();
     let s = U256::from_be_bytes(&sig.s);
     let r_x = U256::from_be_bytes(&sig.r_x);
     if s >= n || r_x >= p {
-        return false;
+        return None;
     }
     if matches!(pubkey, Affine::Infinity) {
-        return false;
+        return None;
     }
-    // Reconstruct R from its x coordinate and parity, recompute the
-    // challenge, then check s·G == R + e·P.
     let mut compressed = [0u8; 33];
     compressed[0] = if sig.r_parity_odd { 0x03 } else { 0x02 };
     compressed[1..].copy_from_slice(&sig.r_x);
     let r = match Affine::from_compressed(&compressed) {
         Some(pt @ Affine::Point { .. }) => pt,
-        _ => return false,
+        _ => return None,
     };
     let e = challenge(&r, pubkey, msg);
-    // Fixed-base window table for s·G; generic ladder only for e·P.
-    let lhs = mul_generator_jacobian(&s);
-    let rhs = Jacobian::from_affine(&r).add(&Jacobian::from_affine(pubkey).mul_scalar(&e));
-    lhs.to_affine() == rhs.to_affine()
+    Some(Prepared { r, e, s })
+}
+
+/// Verifies `sig` over `msg` against `pubkey`.
+///
+/// The group equation `s·G == R + e·P` is checked as
+/// `s·G + (−e)·P + (−R) == ∞`: `s·G` comes from the fixed-base window
+/// table, `(−e)·P` from the variable-base 4-bit window
+/// ([`crate::msm::mul_window`]), and the identity test is free in
+/// Jacobian coordinates — no field inversion anywhere on the path.
+pub(crate) fn verify_digest(pubkey: &Affine, msg: &Hash256, sig: &Signature) -> bool {
+    let Some(Prepared { r, e, s }) = prepare(pubkey, msg, sig) else {
+        return false;
+    };
+    let neg_e = neg_mod(&e, &field::n());
+    mul_generator_jacobian(&s)
+        .add(&mul_window(pubkey, &neg_e))
+        .add_affine(&r.negate())
+        .is_infinity()
+}
+
+/// One batch-verification entry: public key, message digest, signature.
+pub type BatchItem = (PublicKey, Hash256, Signature);
+
+/// Nonzero 128-bit Fiat–Shamir coefficients, one per batch item.
+///
+/// Every coefficient is bound to the whole batch: a transcript hash
+/// commits to `seed` and to each item's signature, public key and message;
+/// `zᵢ` is then the tagged hash of the transcript and the item index,
+/// truncated to 128 bits (and bumped to 1 in the 2⁻¹²⁸ zero case).
+/// The derivation is pure — replicas hashing the same `seed` and items
+/// compute bit-identical coefficients, which keeps the batched check a
+/// deterministic function of block contents. Public so cross-replica
+/// determinism is directly testable.
+pub fn batch_coefficients(items: &[BatchItem], seed: &[u8]) -> Vec<U256> {
+    let mut transcript = Vec::with_capacity(seed.len() + items.len() * (65 + 33 + 32));
+    transcript.extend_from_slice(seed);
+    for (pubkey, msg, sig) in items {
+        transcript.extend_from_slice(&sig.to_bytes());
+        transcript.extend_from_slice(&pubkey.to_compressed());
+        transcript.extend_from_slice(msg.as_bytes());
+    }
+    let root = tagged_hash("TN/batch", &transcript);
+    (0..items.len())
+        .map(|i| {
+            let mut data = [0u8; 40];
+            data[..32].copy_from_slice(root.as_bytes());
+            data[32..].copy_from_slice(&(i as u64).to_be_bytes());
+            let h = tagged_hash("TN/batchcoef", &data);
+            let wide = U256::from_be_bytes(h.as_bytes());
+            let z = U256::from_limbs([wide.limbs()[0], wide.limbs()[1], 0, 0]);
+            if z.is_zero() {
+                U256::ONE
+            } else {
+                z
+            }
+        })
+        .collect()
+}
+
+/// Verifies a batch of Schnorr signatures with one multi-scalar check.
+///
+/// Accepts exactly when every item would pass [`PublicKey::verify`]
+/// individually, up to the 2⁻¹²⁸ soundness error of the random linear
+/// combination: with coefficients `zᵢ` from [`batch_coefficients`], the
+/// batch is valid iff
+///
+/// ```text
+/// (Σ zᵢ·sᵢ)·G − Σ zᵢ·Rᵢ − Σ (zᵢ·eᵢ)·Pᵢ == ∞
+/// ```
+///
+/// Each term of the sum is the identity exactly when item `i` satisfies
+/// its own verification equation, so a batch of valid signatures is
+/// **never** rejected; an invalid item can only slip through if the
+/// adversary predicts the Fiat–Shamir coefficients, which requires
+/// breaking the hash. The whole right-hand side is one MSM
+/// ([`crate::msm::msm`]) with duplicate points coalesced — repeated
+/// signers (the common case in a block) collapse to a single point with
+/// an accumulated scalar. Any malformed item (out-of-range scalar,
+/// off-curve nonce, infinity key) fails the batch immediately; callers
+/// fall back to per-item verification to localize the failure.
+pub fn verify_batch(items: &[BatchItem], seed: &[u8]) -> bool {
+    match items {
+        [] => return true,
+        [(pubkey, msg, sig)] => return pubkey.verify(msg, sig),
+        _ => {}
+    }
+    let mut prepared = Vec::with_capacity(items.len());
+    for (pubkey, msg, sig) in items {
+        match prepare(pubkey.as_affine(), msg, sig) {
+            Some(p) => prepared.push(p),
+            None => return false,
+        }
+    }
+    let zs = batch_coefficients(items, seed);
+    let n = field::n();
+    // Coalesce duplicate points: one MSM pair per distinct point, scalars
+    // accumulated mod n (sound because the curve group has prime order n).
+    let mut pairs: Vec<(Affine, U256)> = Vec::with_capacity(2 * items.len() + 1);
+    let mut slots: HashMap<[u8; 33], usize> = HashMap::with_capacity(2 * items.len() + 1);
+    let mut accumulate = |pairs: &mut Vec<(Affine, U256)>, point: &Affine, scalar: U256| {
+        let key = point.to_compressed();
+        match slots.get(&key) {
+            Some(&i) => pairs[i].1 = add_mod(&pairs[i].1, &reduce(&scalar, &n), &n),
+            None => {
+                slots.insert(key, pairs.len());
+                pairs.push((*point, scalar));
+            }
+        }
+    };
+    let mut sg = U256::ZERO; // Σ z_i·s_i mod n
+    for ((pubkey, _, _), (p, z)) in items.iter().zip(prepared.iter().zip(zs.iter())) {
+        sg = add_mod(&sg, &mul_mod(z, &p.s, &n), &n);
+        accumulate(&mut pairs, &p.r, *z);
+        accumulate(&mut pairs, pubkey.as_affine(), mul_mod(z, &p.e, &n));
+    }
+    // Fold −(Σ z_i·s_i)·G into the same MSM; valid ⟺ the total is ∞.
+    accumulate(&mut pairs, &generator(), neg_mod(&sg, &n));
+    msm(&pairs).is_infinity()
 }
 
 #[cfg(test)]
@@ -215,5 +342,105 @@ mod tests {
         let mut sig = kp.sign(&msg);
         sig.s = [0xffu8; 32]; // >= n
         assert!(!kp.public().verify(&msg, &sig));
+    }
+
+    /// Batch of `n` items signed by `signers` distinct keys (round-robin).
+    fn make_batch(n: usize, signers: usize) -> Vec<BatchItem> {
+        let keys: Vec<Keypair> = (0..signers)
+            .map(|i| Keypair::from_seed(format!("batch signer {i}").as_bytes()))
+            .collect();
+        (0..n)
+            .map(|i| {
+                let kp = &keys[i % signers];
+                let msg = sha256(format!("batch message {i}").as_bytes());
+                (*kp.public(), msg, kp.sign(&msg))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_accepts_valid_signatures() {
+        // Straus-sized and Pippenger-sized batches, few and many signers.
+        for (n, signers) in [(0, 1), (1, 1), (2, 2), (7, 3), (64, 4), (80, 80)] {
+            let items = make_batch(n, signers.max(1));
+            assert!(verify_batch(&items, b"seed"), "n={n} signers={signers}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_any_corrupted_item() {
+        let mut items = make_batch(9, 3);
+        items[4].2.s[31] ^= 1;
+        assert!(!verify_batch(&items, b"seed"));
+
+        let mut items = make_batch(9, 3);
+        items[0].2.r_x[0] ^= 1;
+        assert!(!verify_batch(&items, b"seed"));
+
+        let mut items = make_batch(9, 3);
+        items[8].1 = sha256(b"swapped message");
+        assert!(!verify_batch(&items, b"seed"));
+    }
+
+    #[test]
+    fn batch_rejects_malformed_item() {
+        let mut items = make_batch(5, 2);
+        items[2].2.s = [0xffu8; 32]; // >= n: prepare() fails
+        assert!(!verify_batch(&items, b"seed"));
+    }
+
+    #[test]
+    fn batch_matches_individual_verdicts() {
+        for corrupt_at in [None, Some(0), Some(3), Some(6)] {
+            let mut items = make_batch(7, 2);
+            if let Some(i) = corrupt_at {
+                items[i].2.s[30] ^= 0x40;
+            }
+            let individual = items.iter().all(|(pk, m, s)| pk.verify(m, s));
+            assert_eq!(
+                verify_batch(&items, b"seed"),
+                individual,
+                "corrupt_at={corrupt_at:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_single_signer_coalesces_correctly() {
+        // All items share one public key: the coalesced MSM has just two
+        // distinct variable points besides G, exercising scalar
+        // accumulation mod n.
+        let items = make_batch(33, 1);
+        assert!(verify_batch(&items, b"seed"));
+        let mut bad = items;
+        bad[17].2.s[31] ^= 2;
+        assert!(!verify_batch(&bad, b"seed"));
+    }
+
+    #[test]
+    fn batch_coefficients_deterministic_and_seed_bound() {
+        let items = make_batch(6, 2);
+        let a = batch_coefficients(&items, b"block id");
+        let b = batch_coefficients(&items, b"block id");
+        assert_eq!(a, b, "same inputs must give identical coefficients");
+        let c = batch_coefficients(&items, b"other block");
+        assert_ne!(a, c, "coefficients must bind the seed");
+        // 128-bit truncation: high limbs clear, coefficients nonzero.
+        for z in &a {
+            assert_eq!(z.limbs()[2], 0);
+            assert_eq!(z.limbs()[3], 0);
+            assert!(!z.is_zero());
+        }
+    }
+
+    #[test]
+    fn batch_coefficients_bind_item_order() {
+        let items = make_batch(4, 4);
+        let mut swapped = items.clone();
+        swapped.swap(1, 2);
+        assert_ne!(
+            batch_coefficients(&items, b"s"),
+            batch_coefficients(&swapped, b"s")
+        );
     }
 }

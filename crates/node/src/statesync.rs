@@ -302,6 +302,63 @@ mod tests {
     }
 
     #[test]
+    fn catch_up_imports_through_the_batched_verifier() {
+        // Multi-transaction blocks synced into a cold replica must take
+        // the batched-Schnorr path: every synced transaction is counted
+        // by `chain.verify.batch.txs`, no batch ever falls back, and the
+        // replica still converges to the peer's exact digest.
+        use tn_chain::codec::Encodable;
+        use tn_chain::prelude::{Payload, Transaction};
+        let config = PlatformConfig::default();
+        let mut peer = ValidatorNode::new(0, &config);
+        // Real signed transactions from the funded governor account
+        // (nonce 0 was spent on the bootstrap anchor).
+        let governor = tn_crypto::Keypair::from_seed(b"tn-platform-governor");
+        let mut nonce = 1u64;
+        for i in 0..3u8 {
+            let batch: Vec<Vec<u8>> = (0..5u8)
+                .map(|j| {
+                    let tx = Transaction::signed(
+                        &governor,
+                        nonce,
+                        config.fee,
+                        Payload::Blob {
+                            tag: 1,
+                            data: vec![i, j],
+                        },
+                    );
+                    nonce += 1;
+                    tx.to_bytes()
+                })
+                .collect();
+            peer.apply_committed_batch(&batch).expect("batch");
+        }
+        let target = peer.execution_digest();
+        let mut lagging = ValidatorNode::new(1, &config);
+        let synced_txs: u64 = peer
+            .blocks_after(lagging.height())
+            .iter()
+            .map(|b| b.transactions.len() as u64)
+            .sum();
+        assert!(synced_txs >= 15, "expected multi-tx sync blocks");
+        let report = catch_up(&mut lagging, &[&peer], target).expect("catch-up");
+        assert!(report.converged);
+        assert_eq!(lagging.execution_digest(), target);
+        let snap = lagging.metrics_snapshot();
+        assert_eq!(
+            snap.counter(tn_chain::block::BATCH_TXS_COUNTER),
+            Some(synced_txs),
+            "every synced tx batch-verified"
+        );
+        assert_eq!(snap.counter(tn_chain::block::BATCH_FALLBACK_COUNTER), None);
+        assert_eq!(
+            snap.counter(tn_chain::sigcache::MISS_COUNTER),
+            Some(synced_txs),
+            "batch verification still counts one miss per cold tx"
+        );
+    }
+
+    #[test]
     fn already_converged_replica_reports_a_no_op() {
         let config = PlatformConfig::default();
         let peer = advanced_node(0, &config, 2);

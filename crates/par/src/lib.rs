@@ -154,6 +154,26 @@ impl Pool {
         chunks.into_iter().flatten().collect()
     }
 
+    /// Order-preserving parallel map over **fixed-size chunks** of a
+    /// slice: `f` receives each chunk's index and contents, and the
+    /// per-chunk results come back in chunk order.
+    ///
+    /// Chunk boundaries depend only on `chunk_size` (clamped to ≥ 1) —
+    /// never on the worker count — so anything derived from a chunk's
+    /// contents (e.g. a batched signature equation) is bit-identical
+    /// across machines with different parallelism. The chunks themselves
+    /// are distributed over the workers like any other work list.
+    pub fn map_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        self.map_index(chunks.len(), |i| f(i, chunks[i]))
+    }
+
     /// Order-preserving parallel map that consumes its input, for work
     /// units the workers must own (e.g. contract state moved out of a
     /// registry).
@@ -366,6 +386,33 @@ mod tests {
             });
             assert_eq!(got, Err((17, "bad 17".to_string())), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn map_chunks_partitioning_is_worker_independent() {
+        let items: Vec<u32> = (0..103).collect();
+        // Expected: per-chunk (index, sum) pairs from a sequential chunking.
+        let expect: Vec<(usize, u32)> = items
+            .chunks(10)
+            .enumerate()
+            .map(|(i, c)| (i, c.iter().sum()))
+            .collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = Pool::new(workers).map_chunks(&items, 10, |i, c| (i, c.iter().sum::<u32>()));
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_edge_sizes() {
+        let items: Vec<u8> = (0..7).collect();
+        let pool = Pool::new(4);
+        // Zero chunk size clamps to one (7 singleton chunks).
+        assert_eq!(pool.map_chunks(&items, 0, |_, c| c.len()), vec![1; 7]);
+        // Chunk larger than the list: one chunk with everything.
+        assert_eq!(pool.map_chunks(&items, 100, |_, c| c.len()), vec![7]);
+        // Empty input: no chunks at all.
+        assert!(pool.map_chunks(&[] as &[u8], 4, |_, c| c.len()).is_empty());
     }
 
     #[test]

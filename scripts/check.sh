@@ -43,4 +43,10 @@ echo "== exp21 smoke (open-loop gateway sweep)"
 # replica digests. Writes no artifacts.
 cargo run -q --release --offline -p tn-bench --bin exp21_open_loop -- --quick
 
+echo "== exp22 smoke (batch Schnorr verification on the cold import path)"
+# The bin asserts batch==sequential verdicts, byte-identical replica
+# digests across batch configurations, and the one-EC-verify-per-tx
+# cache contract; --quick runs small sizes and writes no artifacts.
+cargo run -q --release --offline -p tn-bench --bin exp22_batch_verify -- --quick
+
 echo "All checks passed."
