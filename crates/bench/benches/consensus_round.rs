@@ -6,6 +6,9 @@ use tn_consensus::harness::{
     order_payloads_pbft_instrumented, order_payloads_pbft_traced, run_pbft, run_poa, Workload,
 };
 use tn_consensus::sim::NetworkConfig;
+use tn_monitor::MonitorConfig;
+use tn_node::network::{run_pbft_cluster, ClusterConfig};
+use tn_node::workload::scripted_workload;
 use tn_telemetry::{Registry, TelemetrySink};
 use tn_trace::{TraceSink, Tracer};
 
@@ -142,9 +145,39 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The full 4-replica cluster run (consensus + per-replica execution)
+/// with the health plane disabled and enabled. The monitor samples the
+/// registry once per committed block and evaluates the built-in rule
+/// set; the acceptance bar is ≤ 5% over the unmonitored run.
+fn bench_monitor_overhead(c: &mut Criterion) {
+    let disabled = ClusterConfig::default();
+    let enabled = ClusterConfig {
+        monitor: Some(MonitorConfig::default()),
+        ..ClusterConfig::default()
+    };
+    let txs = scripted_workload(&disabled.platform);
+    let mut group = c.benchmark_group("pbft_cluster_monitor");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let run = run_pbft_cluster(&disabled, &txs).expect("cluster");
+            assert!(run.health.is_none());
+        })
+    });
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let run = run_pbft_cluster(&enabled, &txs).expect("cluster");
+            let health = run.health.expect("rollup");
+            assert_eq!(health.replicas.len(), 4);
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pbft, bench_poa, bench_telemetry_overhead, bench_trace_overhead
+    targets = bench_pbft, bench_poa, bench_telemetry_overhead, bench_trace_overhead,
+        bench_monitor_overhead
 }
 criterion_main!(benches);

@@ -1,0 +1,674 @@
+//! E23: health plane — monitor overhead, fault-detection latency, and
+//! the gateway shed SLO joining the E21 knee.
+//!
+//! E19 proved the cluster *survives* faults; E23 asks whether an
+//! operator would *notice* them. Every replica carries a `tn-monitor`
+//! `ReplicaMonitor`: a ring-buffer time series sampled from the
+//! replica's telemetry registry at each committed block, a declarative
+//! SLO rule engine (thresholds, ratios, multi-window burn rates) with
+//! alert hysteresis, and a per-replica health state machine rolled up
+//! into a cluster verdict by cross-replica digest comparison.
+//!
+//! Three parts:
+//!
+//! - **A (overhead + determinism)**: the same fault-free PBFT cluster
+//!   run with the monitor off and on. Digests must be byte-identical —
+//!   monitoring only reads snapshots — and the wall-clock overhead is
+//!   recorded (the acceptance bar, ≤ 5%, is tracked by the
+//!   `consensus_round` Criterion group; here it is a recorded point).
+//! - **B (detection matrix)**: the E19 fault cells re-run under the
+//!   monitor. Each cell machine-checks that the *expected alert class*
+//!   fired on the *expected replica* and records the detection tick
+//!   (block height of the first `Firing` transition). The clean
+//!   baseline must produce zero alerts and zero false `Quarantined`
+//!   verdicts. Two cells use [`MonitorConfig::extra_rules`] to watch
+//!   fault counters the built-ins don't (partitions, byzantine flags),
+//!   exercising the declarative rule API end to end.
+//! - **C (shed SLO vs the knee)**: the E21 open-loop sweep with the
+//!   monitor attached to the validator. Below the drain ceiling
+//!   (256 tx / 20 ms ≈ 12.8k tps) the shed burn-rate SLO must stay
+//!   quiet; past the knee the gateway sheds far beyond the 1% error
+//!   budget and the burn-rate alert must fire.
+//!
+//! Full runs write `results/e23.json` plus the repo-root
+//! `BENCH_e23.json` perf snapshot (schema in `docs/BENCHMARKS.md`);
+//! `--quick` is a CI smoke run that asserts the invariants on a reduced
+//! matrix and writes nothing.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use tn_bench::{banner, f, write_bench_snapshot, MachineSpec, Report};
+use tn_consensus::fault::{CrashFault, DropWindow, FaultPlan, PartitionFault};
+use tn_consensus::pbft::ByzMode;
+use tn_core::platform::PlatformConfig;
+use tn_gateway::{build_workload, run_open_loop, LoadProfile, OpenLoopConfig};
+use tn_monitor::{
+    ClusterHealthVerdict, Cmp, HealthState, MonitorConfig, Query, Severity, SloRule, Transition,
+    RULE_CATCHUP, RULE_DIVERGENCE, RULE_LAG, RULE_MSG_DROPS, RULE_RESTART, RULE_SHED_BURN,
+    RULE_UNDECODABLE,
+};
+use tn_node::network::{run_pbft_cluster, ClusterConfig, ClusterRun};
+use tn_node::workload::scripted_workload;
+
+/// Part A: the monitored run against the unmonitored baseline.
+#[derive(Debug, Serialize)]
+struct Overhead {
+    /// Timed repetitions per mode (min taken).
+    reps: usize,
+    /// Fastest unmonitored cluster run, milliseconds.
+    base_ms: f64,
+    /// Fastest monitored cluster run, milliseconds.
+    monitored_ms: f64,
+    /// (monitored − base) / base, percent. Recorded, not asserted: the
+    /// hard ≤ 5% gate lives in the `consensus_round` Criterion group.
+    overhead_pct: f64,
+    /// Execution digests byte-identical with monitoring on and off.
+    digests_identical: bool,
+    /// Registry snapshots taken across all four replicas.
+    windows_sampled: u64,
+}
+
+/// Part B: one fault cell of the detection matrix.
+#[derive(Debug, Serialize)]
+struct DetectionRow {
+    scenario: &'static str,
+    /// Alert rules this fault class must fire ("-" for the baseline).
+    expected_rules: String,
+    /// Every expected rule fired on the expected replica(s).
+    fired: bool,
+    /// Replica of the first firing of the first expected rule.
+    detect_replica: Option<usize>,
+    /// Monitor tick (block height) of that first firing — the
+    /// detection latency in committed blocks.
+    detection_tick: Option<u64>,
+    /// Quorum-chain height at the final rollup, for scale.
+    final_height: u64,
+    /// Rolled-up cluster verdict at the end of the run.
+    verdict: &'static str,
+    /// Replicas the rollup quarantined.
+    quarantined: usize,
+    /// Replicas the rollup marked lagging.
+    lagging: usize,
+}
+
+/// Part C: one offered-load point with the shed SLO attached.
+#[derive(Debug, Serialize)]
+struct SloPoint {
+    offered_tps: f64,
+    committed_tps: f64,
+    p99_ms: f64,
+    /// Writes shed at the door / writes offered.
+    shed_ratio: f64,
+    /// The gateway shed burn-rate alert fired during the run.
+    burn_alert_fired: bool,
+    /// Monitor tick of the first burn-rate firing.
+    detection_tick: Option<u64>,
+}
+
+/// Everything `BENCH_e23.json` records (and the single row of
+/// `results/e23.json`).
+#[derive(Debug, Serialize)]
+struct BenchSnapshot {
+    bench: &'static str,
+    /// Schema version of this snapshot (see docs/BENCHMARKS.md).
+    schema: u32,
+    machine: MachineSpec,
+    overhead: Overhead,
+    detection: Vec<DetectionRow>,
+    slo: Vec<SloPoint>,
+}
+
+/// What a fault cell must make the monitor say.
+enum Expect {
+    /// No alerts, no non-Healthy replica: the false-positive guard.
+    Clean,
+    /// Every listed rule fires; `replica` pins where (None = every
+    /// replica must fire it).
+    Rules {
+        rules: &'static [&'static str],
+        replica: Option<usize>,
+    },
+    /// No quorum: every replica quarantined, verdict Critical.
+    Critical { rule: &'static str },
+}
+
+struct Cell {
+    name: &'static str,
+    /// Included in `--quick` smoke runs.
+    quick: bool,
+    plan: FaultPlan,
+    /// Extra declarative rules for fault counters the built-ins skip.
+    extra: Vec<SloRule>,
+    expect: Expect,
+    /// Replicas the rollup may quarantine in this cell.
+    allowed_quarantine: &'static [usize],
+}
+
+/// Watches a counter the built-in rule set ignores: fires when `counter`
+/// is non-zero over the last two windows.
+fn watch_counter(name: &'static str, counter: &'static str) -> SloRule {
+    SloRule {
+        name: name.into(),
+        query: Query::Sum {
+            counter: counter.into(),
+            windows: 2,
+        },
+        cmp: Cmp::Above,
+        threshold: 0.0,
+        for_windows: 1,
+        clear_windows: 2,
+        severity: Severity::Warn,
+    }
+}
+
+fn crash(replica: usize, at: u64, restart_at: Option<u64>) -> FaultPlan {
+    FaultPlan {
+        crashes: vec![CrashFault {
+            replica,
+            at,
+            restart_at,
+        }],
+        ..FaultPlan::default()
+    }
+}
+
+const RULE_PARTITIONS: &str = "consensus-partitions";
+const RULE_BYZ_FLAGGED: &str = "byzantine-flagged";
+
+fn cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            name: "baseline",
+            quick: true,
+            plan: FaultPlan::default(),
+            extra: vec![],
+            expect: Expect::Clean,
+            allowed_quarantine: &[],
+        },
+        Cell {
+            name: "crash-backup",
+            quick: true,
+            plan: crash(3, 100, None),
+            extra: vec![],
+            expect: Expect::Rules {
+                rules: &[RULE_LAG],
+                replica: Some(3),
+            },
+            allowed_quarantine: &[],
+        },
+        Cell {
+            name: "crash-primary",
+            quick: false,
+            plan: crash(0, 100, None),
+            extra: vec![],
+            expect: Expect::Rules {
+                rules: &[RULE_LAG],
+                replica: Some(0),
+            },
+            allowed_quarantine: &[],
+        },
+        Cell {
+            name: "crash-revive",
+            quick: true,
+            plan: crash(2, 100, Some(100_000)),
+            extra: vec![],
+            expect: Expect::Rules {
+                rules: &[RULE_RESTART, RULE_CATCHUP],
+                replica: Some(2),
+            },
+            allowed_quarantine: &[],
+        },
+        Cell {
+            name: "partition-heal",
+            quick: false,
+            plan: FaultPlan {
+                partitions: vec![PartitionFault {
+                    at: 50,
+                    groups: vec![vec![0, 1], vec![2, 3]],
+                    heal_at: Some(2_000),
+                }],
+                ..FaultPlan::default()
+            },
+            // The simulator accounts partition-blocked messages on
+            // replica 0's sink under `sim.msg.partitioned`, which no
+            // built-in rule watches: a declarative extra rule does.
+            extra: vec![watch_counter(RULE_PARTITIONS, "sim.msg.partitioned")],
+            expect: Expect::Rules {
+                rules: &[RULE_PARTITIONS],
+                replica: Some(0),
+            },
+            allowed_quarantine: &[],
+        },
+        Cell {
+            name: "byz-equivocate",
+            quick: false,
+            plan: FaultPlan {
+                byz_modes: vec![(0, ByzMode::EquivocatingPrimary)],
+                ..FaultPlan::default()
+            },
+            // The runner flags byzantine replicas on their own registry
+            // (`node.fault.byzantine`); an extra rule surfaces the flag.
+            extra: vec![watch_counter(RULE_BYZ_FLAGGED, "node.fault.byzantine")],
+            expect: Expect::Rules {
+                rules: &[RULE_BYZ_FLAGGED],
+                replica: Some(0),
+            },
+            allowed_quarantine: &[0],
+        },
+        Cell {
+            name: "corrupt-exec-1",
+            quick: true,
+            plan: FaultPlan {
+                byz_modes: vec![(3, ByzMode::CorruptExec)],
+                ..FaultPlan::default()
+            },
+            extra: vec![],
+            expect: Expect::Rules {
+                rules: &[RULE_DIVERGENCE],
+                replica: Some(3),
+            },
+            allowed_quarantine: &[3],
+        },
+        Cell {
+            name: "corrupt-exec-2",
+            quick: true,
+            plan: FaultPlan {
+                byz_modes: vec![(2, ByzMode::CorruptExec), (3, ByzMode::CorruptExec)],
+                ..FaultPlan::default()
+            },
+            extra: vec![],
+            expect: Expect::Critical {
+                rule: RULE_DIVERGENCE,
+            },
+            allowed_quarantine: &[0, 1, 2, 3],
+        },
+        Cell {
+            name: "drop-window-0.3",
+            quick: false,
+            plan: FaultPlan {
+                drop_windows: vec![DropWindow {
+                    from: 100,
+                    until: 600,
+                    drop_prob: 0.3,
+                }],
+                ..FaultPlan::default()
+            },
+            extra: vec![],
+            expect: Expect::Rules {
+                rules: &[RULE_MSG_DROPS],
+                replica: Some(0),
+            },
+            allowed_quarantine: &[],
+        },
+        Cell {
+            name: "corrupt-payloads",
+            quick: true,
+            plan: FaultPlan {
+                corrupt_payloads: 3,
+                ..FaultPlan::default()
+            },
+            extra: vec![],
+            expect: Expect::Rules {
+                rules: &[RULE_UNDECODABLE],
+                replica: None,
+            },
+            allowed_quarantine: &[],
+        },
+    ]
+}
+
+/// First `Firing` transition of `rule` across the cluster's timelines.
+fn first_firing(run: &ClusterRun, rule: &str) -> Option<(usize, u64)> {
+    run.nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(id, n)| {
+            n.monitor().and_then(|m| {
+                m.engine()
+                    .timeline()
+                    .iter()
+                    .find(|a| a.rule == rule && a.transition == Transition::Firing)
+                    .map(|a| (id, a.tick))
+            })
+        })
+        .min_by_key(|&(_, tick)| tick)
+}
+
+/// Whether `rule` ever fired on replica `id`.
+fn fired_on(run: &ClusterRun, rule: &str, id: usize) -> bool {
+    run.nodes[id].monitor().is_some_and(|m| {
+        m.engine()
+            .timeline()
+            .iter()
+            .any(|a| a.rule == rule && a.transition == Transition::Firing)
+    })
+}
+
+fn run_cell(cell: &Cell) -> DetectionRow {
+    let config = ClusterConfig {
+        faults: cell.plan.clone(),
+        monitor: Some(MonitorConfig {
+            extra_rules: cell.extra.clone(),
+            ..MonitorConfig::default()
+        }),
+        ..ClusterConfig::default()
+    };
+    let txs = scripted_workload(&config.platform);
+    let run = run_pbft_cluster(&config, &txs).expect("monitored cluster");
+    let health = run.health.as_ref().expect("rollup present");
+    let final_height = run.reports.iter().map(|r| r.height).max().unwrap_or(0);
+
+    // No cell may quarantine a replica its fault plan left honest.
+    for (id, state) in health.replicas.iter().enumerate() {
+        if *state == HealthState::Quarantined {
+            assert!(
+                cell.allowed_quarantine.contains(&id),
+                "{}: false Quarantined on replica {id}",
+                cell.name
+            );
+        }
+    }
+
+    let (expected_rules, fired, detect) = match &cell.expect {
+        Expect::Clean => {
+            assert_eq!(
+                health.verdict,
+                ClusterHealthVerdict::Healthy,
+                "clean baseline must roll up Healthy"
+            );
+            let stray: Vec<String> = run
+                .nodes
+                .iter()
+                .filter_map(|n| n.monitor())
+                .flat_map(|m| m.engine().timeline())
+                .filter(|a| a.transition == Transition::Firing)
+                .map(|a| a.rule.clone())
+                .collect();
+            assert!(stray.is_empty(), "baseline fired alerts: {stray:?}");
+            ("-".to_string(), true, None)
+        }
+        Expect::Rules { rules, replica } => {
+            for rule in *rules {
+                match replica {
+                    Some(id) => assert!(
+                        fired_on(&run, rule, *id),
+                        "{}: {rule} did not fire on replica {id}",
+                        cell.name
+                    ),
+                    None => {
+                        for id in 0..run.nodes.len() {
+                            assert!(
+                                fired_on(&run, rule, id),
+                                "{}: {rule} did not fire on replica {id}",
+                                cell.name
+                            );
+                        }
+                    }
+                }
+            }
+            (rules.join("+"), true, first_firing(&run, rules[0]))
+        }
+        Expect::Critical { rule } => {
+            assert_eq!(health.verdict, ClusterHealthVerdict::Critical);
+            assert!(health.quorum_digest.is_none(), "no quorum can exist");
+            for id in 0..run.nodes.len() {
+                assert!(fired_on(&run, rule, id), "{rule} missing on replica {id}");
+            }
+            (rule.to_string(), true, first_firing(&run, rule))
+        }
+    };
+
+    DetectionRow {
+        scenario: cell.name,
+        expected_rules,
+        fired,
+        detect_replica: detect.map(|(id, _)| id),
+        detection_tick: detect.map(|(_, tick)| tick),
+        final_height,
+        verdict: health.verdict.label(),
+        quarantined: health
+            .replicas
+            .iter()
+            .filter(|&&h| h == HealthState::Quarantined)
+            .count(),
+        lagging: health
+            .replicas
+            .iter()
+            .filter(|&&h| h == HealthState::Lagging)
+            .count(),
+    }
+}
+
+/// Part A: time the same fault-free cluster with the monitor off/on.
+fn measure_overhead(reps: usize) -> Overhead {
+    let base_config = ClusterConfig::default();
+    let mon_config = ClusterConfig {
+        monitor: Some(MonitorConfig::default()),
+        ..ClusterConfig::default()
+    };
+    let txs = scripted_workload(&base_config.platform);
+
+    let mut base_ms = f64::INFINITY;
+    let mut monitored_ms = f64::INFINITY;
+    let mut digests_identical = true;
+    let mut windows_sampled = 0u64;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let base = run_pbft_cluster(&base_config, &txs).expect("base cluster");
+        base_ms = base_ms.min(started.elapsed().as_secs_f64() * 1e3);
+
+        let started = Instant::now();
+        let mon = run_pbft_cluster(&mon_config, &txs).expect("monitored cluster");
+        monitored_ms = monitored_ms.min(started.elapsed().as_secs_f64() * 1e3);
+
+        digests_identical &= base
+            .reports
+            .iter()
+            .zip(&mon.reports)
+            .all(|(a, b)| a.execution_digest == b.execution_digest);
+        windows_sampled = mon
+            .nodes
+            .iter()
+            .filter_map(|n| n.monitor())
+            .map(|m| m.tsdb().samples_total())
+            .sum();
+    }
+    assert!(digests_identical, "monitoring must not perturb execution");
+    Overhead {
+        reps,
+        base_ms,
+        monitored_ms,
+        overhead_pct: (monitored_ms - base_ms) / base_ms * 100.0,
+        digests_identical,
+        windows_sampled,
+    }
+}
+
+/// Part C: one E21-style open-loop point with the shed SLO attached.
+fn slo_point(config: &PlatformConfig, wl: &tn_gateway::Workload, offered_tps: f64) -> SloPoint {
+    // Session aborts are off: E21 measures cooperative clients that back
+    // off after a shed, which keeps the *run-level* shed ratio under the
+    // 1% budget even past the knee. The SLO exists for the other client
+    // population — retriers that never back off — so part C keeps every
+    // session submitting and lets the door shed sustained overload.
+    let run = run_open_loop(
+        config,
+        wl,
+        &OpenLoopConfig {
+            offered_tps,
+            block_max_txs: 256,
+            abort_shed_sessions: false,
+            monitor: Some(MonitorConfig::default()),
+            ..OpenLoopConfig::default()
+        },
+    )
+    .expect("open-loop run");
+    let r = &run.report;
+    let shed = r.shed_rate_limit + r.shed_queue_full;
+    let monitor = run.node.monitor().expect("monitor enabled");
+    let firing = monitor
+        .engine()
+        .timeline()
+        .iter()
+        .find(|a| a.rule == RULE_SHED_BURN && a.transition == Transition::Firing)
+        .map(|a| a.tick);
+    SloPoint {
+        offered_tps,
+        committed_tps: r.committed_tps,
+        p99_ms: r.p99_ms,
+        shed_ratio: if r.writes_offered > 0 {
+            shed as f64 / r.writes_offered as f64
+        } else {
+            0.0
+        },
+        burn_alert_fired: firing.is_some(),
+        detection_tick: firing,
+    }
+}
+
+fn main() {
+    banner(
+        "E23",
+        "Health plane: monitor overhead, fault-detection latency, shed SLO at the knee",
+    );
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // Part A ---------------------------------------------------------
+    let overhead = measure_overhead(if quick { 1 } else { 3 });
+    println!(
+        "[overhead] base {} ms, monitored {} ms ({}%), {} windows sampled, digests identical: {}",
+        f(overhead.base_ms),
+        f(overhead.monitored_ms),
+        f(overhead.overhead_pct),
+        overhead.windows_sampled,
+        overhead.digests_identical,
+    );
+
+    // Part B ---------------------------------------------------------
+    println!(
+        "\n{:<16} {:<34} {:>5} {:>7} {:>11} {:>7} {:<9} {:>4} {:>4}",
+        "scenario",
+        "expected",
+        "fired",
+        "replica",
+        "detect_tick",
+        "height",
+        "verdict",
+        "quar",
+        "lag"
+    );
+    let mut detection = Vec::new();
+    for cell in cells() {
+        if quick && !cell.quick {
+            continue;
+        }
+        let row = run_cell(&cell);
+        println!(
+            "{:<16} {:<34} {:>5} {:>7} {:>11} {:>7} {:<9} {:>4} {:>4}",
+            row.scenario,
+            row.expected_rules,
+            row.fired,
+            row.detect_replica
+                .map_or_else(|| "-".into(), |r| r.to_string()),
+            row.detection_tick
+                .map_or_else(|| "-".into(), |t| t.to_string()),
+            row.final_height,
+            row.verdict,
+            row.quarantined,
+            row.lagging,
+        );
+        detection.push(row);
+    }
+
+    // Part C ---------------------------------------------------------
+    let mut config = PlatformConfig::default();
+    config.gateway.rate_per_client = 5_000;
+    config.gateway.burst_per_client = 500;
+    config.gateway.queue_capacity = 256;
+    config.gateway.mempool_watermark = 1_024;
+    let profile = if quick {
+        LoadProfile {
+            submitters: 2,
+            rankers: 4,
+            readers: 2,
+            seed_articles: 6,
+            write_events: 80,
+            read_events: 20,
+            ..LoadProfile::default()
+        }
+    } else {
+        LoadProfile {
+            write_events: 3_000,
+            read_events: 1_000,
+            ..LoadProfile::default()
+        }
+    };
+    let wl = build_workload(&config, &profile);
+    let sweep: &[f64] = if quick {
+        &[400.0]
+    } else {
+        &[2_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0]
+    };
+    println!(
+        "\n{:>11} {:>13} {:>8} {:>10} {:>6} {:>11}",
+        "offered_tps", "committed_tps", "p99_ms", "shed_ratio", "burn", "detect_tick"
+    );
+    let mut slo = Vec::new();
+    for &offered in sweep {
+        let p = slo_point(&config, &wl, offered);
+        println!(
+            "{:>11} {:>13} {:>8} {:>10} {:>6} {:>11}",
+            p.offered_tps,
+            f(p.committed_tps),
+            f(p.p99_ms),
+            f(p.shed_ratio),
+            p.burn_alert_fired,
+            p.detection_tick
+                .map_or_else(|| "-".into(), |t| t.to_string()),
+        );
+        slo.push(p);
+    }
+    // The SLO must join the knee: quiet inside the error budget, firing
+    // past the drain ceiling.
+    let below = &slo[0];
+    assert!(
+        !below.burn_alert_fired,
+        "shed SLO false-fired at {} tps (shed ratio {})",
+        below.offered_tps, below.shed_ratio
+    );
+    if !quick {
+        let above = slo.last().expect("sweep has points");
+        assert!(
+            above.burn_alert_fired,
+            "shed SLO silent past the knee at {} tps (shed ratio {})",
+            above.offered_tps, above.shed_ratio
+        );
+    }
+
+    println!("\nInvariants held: digests byte-identical with monitoring on/off; every fault");
+    println!("cell fired its expected alert class on the expected replica; zero false");
+    println!("Quarantined on the clean baseline; the shed SLO is quiet below the knee.");
+
+    if quick {
+        println!("\n[--quick: invariants asserted, no artifacts written]");
+        return;
+    }
+
+    let snapshot = BenchSnapshot {
+        bench: "e23_health_plane",
+        schema: 1,
+        machine: MachineSpec::current(),
+        overhead,
+        detection,
+        slo,
+    };
+    write_bench_snapshot("e23", &snapshot);
+    Report::new(
+        "E23",
+        "Health plane: monitor overhead, detection latency per fault class, shed SLO",
+        vec![snapshot],
+    )
+    .write_json();
+}

@@ -38,8 +38,9 @@ use std::time::Instant;
 
 use tn_core::platform::PlatformConfig;
 use tn_crypto::Hash256;
+use tn_monitor::MonitorConfig;
 use tn_node::validator::{encode_payloads, ValidatorNode};
-use tn_telemetry::TelemetrySink;
+use tn_telemetry::{Histogram, TelemetrySink};
 use tn_trace::TraceSink;
 
 use crate::gateway::{AdmitVerdict, Gateway};
@@ -62,6 +63,11 @@ pub struct OpenLoopConfig {
     pub abort_shed_sessions: bool,
     /// Seed for the arrival schedule.
     pub seed: u64,
+    /// Attach the live health plane to the validator: each committed
+    /// block samples the registry, so the gateway's shed counters feed
+    /// the burn-rate SLO. `None` (the default) runs unmonitored; the
+    /// verdict stream and digest are identical either way.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl Default for OpenLoopConfig {
@@ -73,6 +79,7 @@ impl Default for OpenLoopConfig {
             block_max_txs: 512,
             abort_shed_sessions: true,
             seed: 21,
+            monitor: None,
         }
     }
 }
@@ -141,16 +148,6 @@ pub struct OpenLoopRun {
     pub node: ValidatorNode,
 }
 
-/// Exact percentile from a sorted sample (nearest-rank on the sorted
-/// vector; returns 0 for an empty sample).
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 const NS_PER_MS: f64 = 1e6;
 
 /// Runs `workload` open-loop against a fresh single validator built from
@@ -203,6 +200,11 @@ pub fn run_open_loop_on(
     for chunk in workload.setup.chunks(64) {
         node.apply_committed_batch(&encode_payloads(chunk))?;
     }
+    // The health plane attaches after setup so the baseline window
+    // absorbs system traffic and the first client window starts clean.
+    if let Some(mc) = &olc.monitor {
+        node.enable_monitor(mc);
+    }
 
     let arrivals = schedule(workload, olc.offered_tps, olc.seed);
     let mut report = OpenLoopReport {
@@ -212,7 +214,10 @@ pub fn run_open_loop_on(
     let mut verdicts = Vec::new();
     let mut arrival_of: HashMap<Hash256, u64> = HashMap::new();
     let mut aborted_sessions: HashSet<u64> = HashSet::new();
-    let mut latencies: Vec<u64> = Vec::new();
+    // Commit latencies go through the shared power-of-two histogram so
+    // the report's percentiles use the same estimator as bench reports
+    // and tn-monitor latency rules (HistogramSnapshot::quantile).
+    let latencies = Histogram::new();
 
     let mut ai = 0usize;
     let mut next_ingest = olc.ingest_interval_ns.max(1);
@@ -297,7 +302,7 @@ pub fn run_open_loop_on(
                     for tx in &head.transactions {
                         report.committed += 1;
                         if let Some(arrived) = arrival_of.remove(&tx.id()) {
-                            latencies.push(server_free_ns.saturating_sub(arrived));
+                            latencies.observe(server_free_ns.saturating_sub(arrived));
                         }
                     }
                 }
@@ -319,16 +324,12 @@ pub fn run_open_loop_on(
         }
     }
 
-    latencies.sort_unstable();
-    report.p50_ms = percentile(&latencies, 0.50) as f64 / NS_PER_MS;
-    report.p99_ms = percentile(&latencies, 0.99) as f64 / NS_PER_MS;
-    report.p999_ms = percentile(&latencies, 0.999) as f64 / NS_PER_MS;
-    report.max_ms = latencies.last().copied().unwrap_or(0) as f64 / NS_PER_MS;
-    report.mean_ms = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / NS_PER_MS
-    };
+    let lat = latencies.snapshot();
+    report.p50_ms = lat.quantile(0.50) as f64 / NS_PER_MS;
+    report.p99_ms = lat.quantile(0.99) as f64 / NS_PER_MS;
+    report.p999_ms = lat.quantile(0.999) as f64 / NS_PER_MS;
+    report.max_ms = lat.max as f64 / NS_PER_MS;
+    report.mean_ms = lat.mean() / NS_PER_MS;
     let span_ns = last_finish.saturating_sub(first_arrival.unwrap_or(0));
     report.committed_tps = if span_ns > 0 {
         report.committed as f64 * 1e9 / span_ns as f64
@@ -429,5 +430,66 @@ mod tests {
         assert_eq!(a.verdicts, b.verdicts);
         assert_eq!(a.node.execution_digest(), b.node.execution_digest());
         assert_eq!(a.report.committed, b.report.committed);
+    }
+
+    #[test]
+    fn shed_burn_alert_fires_under_overload_and_not_under_light_load() {
+        // Light load within the error budget: monitoring changes nothing
+        // and no SLO fires.
+        let config = PlatformConfig::default();
+        let wl = build_workload(&config, &quick_profile());
+        let light_olc = OpenLoopConfig {
+            offered_tps: 200.0,
+            ..OpenLoopConfig::default()
+        };
+        let plain = run_open_loop(&config, &wl, &light_olc).unwrap();
+        let light = run_open_loop(
+            &config,
+            &wl,
+            &OpenLoopConfig {
+                monitor: Some(MonitorConfig::default()),
+                ..light_olc
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.verdicts, light.verdicts);
+        assert_eq!(plain.node.execution_digest(), light.node.execution_digest());
+        let monitor = light.node.monitor().expect("monitor enabled");
+        assert!(
+            !monitor
+                .engine()
+                .timeline()
+                .iter()
+                .any(|a| a.rule == tn_monitor::RULE_SHED_BURN),
+            "no shed-burn alert within the error budget"
+        );
+
+        // A hammered gateway burns the shed budget: the burn-rate SLO
+        // must fire on the node's own monitor.
+        let mut tight = PlatformConfig::default();
+        tight.gateway.rate_per_client = 50;
+        tight.gateway.burst_per_client = 5;
+        let wl = build_workload(&tight, &quick_profile());
+        let run = run_open_loop(
+            &tight,
+            &wl,
+            &OpenLoopConfig {
+                offered_tps: 5_000.0,
+                monitor: Some(MonitorConfig::default()),
+                ..OpenLoopConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(run.report.shed_rate_limit > 0, "overload must shed");
+        let monitor = run.node.monitor().expect("monitor enabled");
+        assert!(
+            monitor
+                .engine()
+                .timeline()
+                .iter()
+                .any(|a| a.rule == tn_monitor::RULE_SHED_BURN),
+            "shed-burn SLO must fire under overload: {:?}",
+            monitor.engine().timeline()
+        );
     }
 }

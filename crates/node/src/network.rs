@@ -16,6 +16,7 @@ use tn_consensus::poa::PoaConfig;
 use tn_consensus::sim::NetworkConfig;
 use tn_core::platform::PlatformConfig;
 use tn_crypto::Hash256;
+use tn_monitor::{assess_cluster, timeline_json, ClusterHealth, MonitorConfig, ReplicaMonitor};
 use tn_telemetry::{Snapshot, TelemetrySink};
 use tn_trace::{Trace, TraceSink, Tracer};
 
@@ -49,6 +50,12 @@ pub struct ClusterConfig {
     /// [`Trace`] in the run. Off by default: disabled tracing is a single
     /// branch per span site.
     pub tracing: bool,
+    /// Enable the live health plane on every replica: each commit
+    /// samples the replica's registry into its [`ReplicaMonitor`], and
+    /// the run ends with a cluster rollup ([`ClusterRun::health`]).
+    /// `None` (the default) runs unmonitored. Monitoring only reads
+    /// metric snapshots, so digests are byte-identical either way.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -63,6 +70,7 @@ impl Default for ClusterConfig {
             interarrival: 5,
             max_time: 2_000_000,
             tracing: false,
+            monitor: None,
         }
     }
 }
@@ -177,6 +185,11 @@ pub struct ClusterRun {
     /// The merged causal trace across all replicas, when
     /// [`ClusterConfig::tracing`] was on.
     pub trace: Option<Trace>,
+    /// The monitor's cluster rollup, when [`ClusterConfig::monitor`] was
+    /// on: per-replica health states and the cluster-wide verdict as the
+    /// health plane saw them — independently of the ground-truth
+    /// [`ReplicaVerdict`]s computed by the runner.
+    pub health: Option<ClusterHealth>,
 }
 
 impl ClusterRun {
@@ -209,6 +222,19 @@ impl ClusterRun {
             .filter(|r| r.verdict == ReplicaVerdict::Quarantined)
             .map(|r| r.replica)
             .collect()
+    }
+
+    /// The merged cluster alert-timeline artifact (every replica's alert
+    /// transitions in tick order plus the rollup verdict), when the run
+    /// was monitored.
+    pub fn health_timeline(&self) -> Option<String> {
+        let health = self.health.as_ref()?;
+        let monitors: Vec<&ReplicaMonitor> = self
+            .nodes
+            .iter()
+            .filter_map(ValidatorNode::monitor)
+            .collect();
+        Some(timeline_json(&monitors, health))
     }
 }
 
@@ -259,6 +285,14 @@ fn run_cluster(
     for (id, node) in nodes.iter_mut().enumerate() {
         if let Some(sink) = trace_sinks.get(id) {
             node.set_trace(sink.clone());
+        }
+    }
+    // The health plane attaches before ingest so the first sampled
+    // window attributes admission-time metrics (sigcache misses, mempool
+    // rejects) instead of folding them into the baseline.
+    if let Some(mc) = &config.monitor {
+        for node in nodes.iter_mut() {
+            node.enable_monitor(mc);
         }
     }
     // Client ingest: every transaction is admission-checked at every
@@ -353,6 +387,12 @@ fn run_cluster(
             catchup,
         });
         nodes[id] = recovered;
+        // Re-attach the monitor to the recovered node: its baseline
+        // sample sees `node.fault.recoveries` and the catch-up counters,
+        // so the restart/catch-up alerts fire on the first window.
+        if let Some(mc) = &config.monitor {
+            nodes[id].enable_monitor(mc);
+        }
     }
 
     // Verdicts: relate every replica to the post-recovery quorum digest.
@@ -417,6 +457,26 @@ fn run_cluster(
         }
     };
 
+    // Health-plane rollup: one final sample per replica (catching
+    // post-commit counters like simulator drops), then cross-replica
+    // digest comparison at the maximum committed height.
+    let health = config.monitor.as_ref().map(|_| {
+        for node in nodes.iter_mut() {
+            node.monitor_tick();
+        }
+        let heights: Vec<u64> = reports.iter().map(|r| r.height).collect();
+        let digests: Vec<Vec<u8>> = reports
+            .iter()
+            .map(|r| r.execution_digest.as_bytes().to_vec())
+            .collect();
+        let tick = heights.iter().copied().max().unwrap_or(0);
+        let mut monitors: Vec<&mut ReplicaMonitor> = nodes
+            .iter_mut()
+            .filter_map(ValidatorNode::monitor_mut)
+            .collect();
+        assess_cluster(tick, &mut monitors, &heights, &digests)
+    });
+
     Ok(ClusterRun {
         protocol,
         injected: txs.len(),
@@ -429,6 +489,7 @@ fn run_cluster(
         last_commit: ordering.last_commit,
         nodes,
         trace: tracer.map(|t| t.collect()),
+        health,
     })
 }
 
@@ -856,6 +917,122 @@ mod tests {
         assert!(
             run.verdict != ClusterVerdict::Converged,
             "equivocation cannot yield full convergence"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn monitored_clean_cluster_is_healthy_and_digest_identical() -> Result<(), String> {
+        let plain_config = ClusterConfig::default();
+        let txs = scripted_workload(&plain_config.platform);
+        let plain = run_pbft_cluster(&plain_config, &txs)
+            .map_err(|e| format!("unmonitored cluster failed: {e}"))?;
+        let monitored_config = ClusterConfig {
+            monitor: Some(tn_monitor::MonitorConfig::default()),
+            ..ClusterConfig::default()
+        };
+        let monitored = run_pbft_cluster(&monitored_config, &txs)
+            .map_err(|e| format!("monitored cluster failed: {e}"))?;
+        // Monitoring only reads metric snapshots: the ledgers are
+        // byte-identical with the health plane on or off.
+        for (a, b) in plain.reports.iter().zip(&monitored.reports) {
+            assert_eq!(a.execution_digest, b.execution_digest);
+            assert_eq!(a.projection_digests, b.projection_digests);
+        }
+        assert!(plain.health.is_none());
+        let health = monitored
+            .health
+            .as_ref()
+            .ok_or("monitored run lost its rollup")?;
+        // Zero false quarantines on a fault-free baseline.
+        assert_eq!(health.verdict, tn_monitor::ClusterHealthVerdict::Healthy);
+        for (id, state) in health.replicas.iter().enumerate() {
+            assert_eq!(
+                *state,
+                tn_monitor::HealthState::Healthy,
+                "false positive on clean replica {id}"
+            );
+        }
+        assert!(health.quorum_digest.is_some());
+        // The timeline artifact exists and passes the exposition lint.
+        let timeline = monitored.health_timeline().ok_or("no timeline")?;
+        assert!(timeline.contains("\"verdict\":\"healthy\""));
+        for node in &monitored.nodes {
+            let monitor = node.monitor().ok_or("monitor missing on replica")?;
+            tn_monitor::lint_prometheus(&tn_monitor::prometheus_text(monitor))
+                .map_err(|e| format!("prometheus lint failed: {e}"))?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn monitor_flags_corrupt_replica_as_quarantined() -> Result<(), String> {
+        let config = ClusterConfig {
+            monitor: Some(tn_monitor::MonitorConfig::default()),
+            faults: FaultPlan {
+                byz_modes: vec![(3, tn_consensus::pbft::ByzMode::CorruptExec)],
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        let run = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("monitored corrupt cluster failed: {e}"))?;
+        let health = run.health.as_ref().ok_or("no rollup")?;
+        // The health plane independently reaches the ground-truth verdict:
+        // the corrupt replica is quarantined, the honest ones stay healthy.
+        assert_eq!(health.replicas[3], tn_monitor::HealthState::Quarantined);
+        for id in 0..3 {
+            assert_eq!(health.replicas[id], tn_monitor::HealthState::Healthy);
+        }
+        assert_eq!(health.verdict, tn_monitor::ClusterHealthVerdict::Degraded);
+        // The divergence alert is on the quarantined replica's timeline.
+        let monitor = run.nodes[3].monitor().ok_or("monitor missing")?;
+        assert!(monitor
+            .engine()
+            .timeline()
+            .iter()
+            .any(|a| a.rule == tn_monitor::RULE_DIVERGENCE));
+        Ok(())
+    }
+
+    #[test]
+    fn monitor_sees_restart_and_catchup_on_revived_replica() -> Result<(), String> {
+        let config = ClusterConfig {
+            monitor: Some(tn_monitor::MonitorConfig::default()),
+            faults: FaultPlan {
+                crashes: vec![tn_consensus::fault::CrashFault {
+                    replica: 2,
+                    at: 100,
+                    restart_at: Some(100_000),
+                }],
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let txs = scripted_workload(&config.platform);
+        let run = run_pbft_cluster(&config, &txs)
+            .map_err(|e| format!("monitored crash-revive cluster failed: {e}"))?;
+        assert_eq!(run.verdict, ClusterVerdict::Converged);
+        let health = run.health.as_ref().ok_or("no rollup")?;
+        // The revived replica converged, so the rollup must not
+        // quarantine it; the restart and catch-up alerts degrade it.
+        assert_ne!(health.replicas[2], tn_monitor::HealthState::Quarantined);
+        let monitor = run.nodes[2].monitor().ok_or("monitor missing")?;
+        let fired: Vec<&str> = monitor
+            .engine()
+            .timeline()
+            .iter()
+            .filter(|a| a.transition == tn_monitor::Transition::Firing)
+            .map(|a| a.rule.as_str())
+            .collect();
+        assert!(
+            fired.contains(&tn_monitor::RULE_RESTART),
+            "restart alert missing: {fired:?}"
+        );
+        assert!(
+            fired.contains(&tn_monitor::RULE_CATCHUP),
+            "catch-up alert missing: {fired:?}"
         );
         Ok(())
     }

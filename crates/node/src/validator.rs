@@ -19,6 +19,7 @@ use tn_core::pipeline::{
 };
 use tn_core::platform::PlatformConfig;
 use tn_crypto::{Hash256, Keypair};
+use tn_monitor::{Alert, HealthState, MonitorConfig, ReplicaMonitor};
 use tn_telemetry::{Registry, Snapshot, TelemetrySink};
 use tn_trace::{lanes, span_id, TraceId, TraceSink};
 
@@ -97,6 +98,9 @@ pub struct ValidatorNode {
     /// Span sink for the execution path (disabled unless the cluster run
     /// enables tracing).
     trace: TraceSink,
+    /// Live health plane: samples the registry at every commit and
+    /// evaluates SLO rules (None unless the deployment enables it).
+    monitor: Option<ReplicaMonitor>,
 }
 
 impl ValidatorNode {
@@ -126,6 +130,7 @@ impl ValidatorNode {
             mempool,
             registry,
             trace: TraceSink::disabled(),
+            monitor: None,
         }
     }
 
@@ -171,6 +176,7 @@ impl ValidatorNode {
             mempool,
             registry,
             trace: TraceSink::disabled(),
+            monitor: None,
         })
     }
 
@@ -213,6 +219,7 @@ impl ValidatorNode {
                 mempool,
                 registry,
                 trace: TraceSink::disabled(),
+                monitor: None,
             },
             replayed,
         ))
@@ -253,6 +260,55 @@ impl ValidatorNode {
     /// A point-in-time copy of this node's metrics.
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.registry.snapshot()
+    }
+
+    /// Enables the live health plane on this replica: from now on every
+    /// committed block samples the registry into a [`ReplicaMonitor`]
+    /// (logical tick = block height) and evaluates the built-in SLO
+    /// rules. The monitor only reads snapshots — execution, and
+    /// therefore every digest, is unaffected.
+    pub fn enable_monitor(&mut self, config: &MonitorConfig) {
+        let mut monitor = ReplicaMonitor::new(self.id, config);
+        // Baseline sample so pre-enable activity (bootstrap, recovery
+        // counters) lands in the first window instead of the first
+        // post-enable commit's.
+        monitor.sample(self.height(), self.registry.snapshot());
+        self.monitor = Some(monitor);
+    }
+
+    /// The replica's health plane, if enabled.
+    pub fn monitor(&self) -> Option<&ReplicaMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Mutable access to the health plane (cluster rollups escalate
+    /// replica state through it), if enabled.
+    pub fn monitor_mut(&mut self) -> Option<&mut ReplicaMonitor> {
+        self.monitor.as_mut()
+    }
+
+    /// Current health verdict: the monitor's state when enabled,
+    /// [`HealthState::Healthy`] otherwise (an unmonitored replica has
+    /// nothing to report).
+    pub fn health(&self) -> HealthState {
+        self.monitor
+            .as_ref()
+            .map(|m| m.health())
+            .unwrap_or(HealthState::Healthy)
+    }
+
+    /// Samples the registry into the monitor at the current height and
+    /// returns the alert transitions it produced (empty when the monitor
+    /// is disabled). Runs automatically at every commit; callers may also
+    /// invoke it on quiet replicas (e.g. a crashed node's last state).
+    pub fn monitor_tick(&mut self) -> Vec<Alert> {
+        match self.monitor.as_mut() {
+            Some(monitor) => {
+                let tick = self.pipeline.store().height();
+                monitor.sample(tick, self.registry.snapshot())
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Admission-checks `tx` against the current head state and queues it
@@ -369,6 +425,12 @@ impl ValidatorNode {
         // Committed transactions (and stale rivals) leave the ingest queue.
         self.mempool
             .prune_committed(self.pipeline.store().head_state());
+        if undecodable > 0 {
+            self.registry
+                .sink()
+                .add("node.batch.undecodable", undecodable as u64);
+        }
+        self.monitor_tick();
         Ok(BatchOutcome {
             height: block.header.height,
             included: block.transactions.len(),

@@ -111,10 +111,16 @@ impl HistogramSnapshot {
 
     /// Estimated value at quantile `q` in `[0, 1]`.
     ///
-    /// Walks the buckets to the one containing the target rank and returns
-    /// that bucket's inclusive upper bound, clamped to the observed
-    /// min/max — so the estimate is within a factor of two of the true
-    /// quantile, and exact at the tails.
+    /// Walks the buckets to the one containing the target rank and
+    /// interpolates linearly within that bucket's `[2^(i-1), 2^i)` range
+    /// by the rank's position among the bucket's samples, clamped to the
+    /// observed min/max. Under a roughly uniform within-bucket
+    /// distribution the estimate is close to the true quantile instead of
+    /// biased a factor of two high, and it remains exact at the tails.
+    ///
+    /// This is the **one** percentile estimator in the codebase: bench
+    /// reports, the open-loop harness, and `tn-monitor` latency rules all
+    /// call it, so their numbers are comparable by construction.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -122,11 +128,20 @@ impl HistogramSnapshot {
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                return upper.clamp(self.min, self.max);
+            if n > 0 && seen + n >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                let pos = (rank - seen) as f64 / n as f64;
+                let est = lower as f64 + pos * (upper - lower) as f64;
+                return (est as u64).clamp(self.min, self.max);
             }
+            seen += n;
         }
         self.max
     }
@@ -209,6 +224,36 @@ mod tests {
         assert!((500..=1023).contains(&p50), "p50 = {p50}");
         let p99 = snap.p99();
         assert!((990..=1000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn interpolation_tracks_uniform_data_closely() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // Linear interpolation within the bucket lands near the true
+        // quantile, not at the bucket's upper bound.
+        assert!(
+            (snap.p50() as i64 - 500).unsigned_abs() <= 15,
+            "p50 = {}",
+            snap.p50()
+        );
+        assert!((snap.quantile(0.25) as i64 - 250).unsigned_abs() <= 15);
+        // Tails stay exact via the min/max clamp.
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_handles_top_bucket_without_overflow() {
+        let h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX - 1);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+        assert!(snap.p50() >= 1u64 << 63);
     }
 
     #[test]

@@ -144,6 +144,25 @@ impl Snapshot {
     /// benches and experiment bins want. Events are the retained ones
     /// recorded after the baseline (`seq >= baseline.events_total`), and
     /// `events_total` becomes the number recorded in the window.
+    ///
+    /// # Restrictions (intentional — this is an attribution view)
+    ///
+    /// - **Zero-delta series are dropped.** A counter or histogram that
+    ///   existed but did not move between the snapshots is absent from
+    ///   the result, indistinguishable from a series that never existed.
+    ///   Consumers that must tell "known but quiet" apart from "unknown"
+    ///   — notably `tn-monitor`'s `Tsdb`, whose SLO rules would otherwise
+    ///   silently skip a series that went quiet — must diff consecutive
+    ///   cumulative snapshots themselves and track the name set across
+    ///   samples, as `Tsdb::sample` does.
+    /// - **Evicted events are unrecoverable.** The ring retains the most
+    ///   recent `256` events; if more than that were recorded in the
+    ///   window, `events` holds only the retained tail while
+    ///   `events_total` still counts the whole window. `events_total >
+    ///   events.len()` is therefore the overflow signal.
+    /// - **Histogram `min`/`max` bound, not measure, the window.** See
+    ///   [`HistogramSnapshot::delta`]: extrema of the window alone are
+    ///   not recoverable from two cumulative snapshots.
     pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
         let counters = self
             .counters

@@ -49,4 +49,12 @@ echo "== exp22 smoke (batch Schnorr verification on the cold import path)"
 # cache contract; --quick runs small sizes and writes no artifacts.
 cargo run -q --release --offline -p tn-bench --bin exp22_batch_verify -- --quick
 
+echo "== exp23 smoke (health plane: fault detection + monitor overhead)"
+# The bin asserts the detection contract itself: the clean baseline stays
+# Healthy with zero quarantines, each quick fault cell fires its expected
+# alert class on the expected replica, and monitored digests are
+# byte-identical to unmonitored runs. --quick runs the core cells and one
+# below-knee SLO point, and writes no artifacts.
+cargo run -q --release --offline -p tn-bench --bin exp23_health_plane -- --quick
+
 echo "All checks passed."

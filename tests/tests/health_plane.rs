@@ -1,0 +1,219 @@
+//! The live health plane, end to end: a monitored PBFT cluster under a
+//! compound fault plan must (a) leave execution byte-identical to the
+//! unmonitored run, (b) fire the expected alert classes on the expected
+//! replicas with a deterministic, replayable timeline, and (c) expose
+//! artifacts — Prometheus text, JSON dumps, the merged alert timeline —
+//! that pass the exposition lint and parse as valid JSON.
+//!
+//! This is the operator's-eye counterpart of `replicated_platform.rs`:
+//! that test proves the replicas *agree*; this one proves an observer
+//! wired only to the telemetry plane can tell when they don't.
+
+use tn_consensus::fault::{CrashFault, FaultPlan};
+use tn_consensus::pbft::ByzMode;
+use tn_monitor::{
+    json_dump, lint_prometheus, prometheus_text, ClusterHealthVerdict, HealthState, MonitorConfig,
+    Transition, RULE_CATCHUP, RULE_DIVERGENCE, RULE_RESTART, RULE_UNDECODABLE,
+};
+use tn_node::network::{run_pbft_cluster, ClusterConfig, ClusterRun};
+use tn_node::workload::scripted_workload;
+
+/// A compound plan the cluster can tolerate (f = 1 of n = 4): one
+/// replica crashes and revives while corrupted payloads ride the
+/// request stream. (Adding a corrupt-execution replica on top would
+/// leave only 2 replicas on the digest — no quorum — which is the
+/// `corrupt_exec_plan` scenario below.)
+fn compound_plan() -> FaultPlan {
+    FaultPlan {
+        crashes: vec![CrashFault {
+            replica: 2,
+            at: 100,
+            restart_at: Some(100_000),
+        }],
+        corrupt_payloads: 2,
+        ..FaultPlan::default()
+    }
+}
+
+/// One corrupt-execution replica, within f.
+fn corrupt_exec_plan() -> FaultPlan {
+    FaultPlan {
+        byz_modes: vec![(3, ByzMode::CorruptExec)],
+        ..FaultPlan::default()
+    }
+}
+
+fn monitored_run(plan: FaultPlan) -> ClusterRun {
+    let config = ClusterConfig {
+        faults: plan,
+        monitor: Some(MonitorConfig::default()),
+        ..ClusterConfig::default()
+    };
+    let txs = scripted_workload(&config.platform);
+    run_pbft_cluster(&config, &txs).expect("monitored cluster")
+}
+
+fn fired_rules(run: &ClusterRun, replica: usize) -> Vec<String> {
+    run.nodes[replica]
+        .monitor()
+        .expect("monitor enabled")
+        .engine()
+        .timeline()
+        .iter()
+        .filter(|a| a.transition == Transition::Firing)
+        .map(|a| a.rule.clone())
+        .collect()
+}
+
+#[test]
+fn compound_faults_fire_the_expected_alerts_per_replica() {
+    let run = monitored_run(compound_plan());
+    let health = run.health.as_ref().expect("rollup");
+
+    // Replica 2 went through the real restart path: restart + catch-up
+    // alerts, and the rollup must NOT quarantine it — it reconverged.
+    assert_ne!(health.replicas[2], HealthState::Quarantined);
+    let revived = fired_rules(&run, 2);
+    assert!(revived.iter().any(|r| r == RULE_RESTART), "{revived:?}");
+    assert!(revived.iter().any(|r| r == RULE_CATCHUP), "{revived:?}");
+
+    // Corrupted payloads were ordered for everyone: the undecodable
+    // alert fires on every replica that applied them live.
+    for id in [0usize, 1, 3] {
+        assert!(
+            fired_rules(&run, id).iter().any(|r| r == RULE_UNDECODABLE),
+            "undecodable alert missing on replica {id}"
+        );
+        assert_ne!(health.replicas[id], HealthState::Quarantined);
+    }
+
+    // Everything is within f: degraded while alerts fire, not critical.
+    assert_eq!(health.verdict, ClusterHealthVerdict::Degraded);
+}
+
+#[test]
+fn corrupt_execution_is_quarantined_by_the_digest_rollup() {
+    let run = monitored_run(corrupt_exec_plan());
+    let health = run.health.as_ref().expect("rollup");
+
+    // The corrupt replica is quarantined with the divergence alert on
+    // its own timeline; the honest majority stays healthy.
+    assert_eq!(health.replicas[3], HealthState::Quarantined);
+    assert!(fired_rules(&run, 3).iter().any(|r| r == RULE_DIVERGENCE));
+    for id in 0..3 {
+        assert_eq!(health.replicas[id], HealthState::Healthy);
+    }
+    assert_eq!(health.verdict, ClusterHealthVerdict::Degraded);
+}
+
+#[test]
+fn monitoring_is_deterministic_and_side_effect_free() {
+    let plan = compound_plan();
+    let a = monitored_run(plan.clone());
+    let b = monitored_run(plan);
+
+    // Same plan, same workload: the alert timelines replay exactly.
+    for id in 0..a.nodes.len() {
+        let ta: Vec<_> = a.nodes[id]
+            .monitor()
+            .expect("monitor")
+            .engine()
+            .timeline()
+            .iter()
+            .map(|al| (al.rule.clone(), al.tick, al.transition))
+            .collect();
+        let tb: Vec<_> = b.nodes[id]
+            .monitor()
+            .expect("monitor")
+            .engine()
+            .timeline()
+            .iter()
+            .map(|al| (al.rule.clone(), al.tick, al.transition))
+            .collect();
+        assert_eq!(ta, tb, "replica {id} timeline must replay");
+    }
+
+    // And the monitored run matches the unmonitored one bit-for-bit.
+    let unmonitored_config = ClusterConfig {
+        faults: compound_plan(),
+        ..ClusterConfig::default()
+    };
+    let txs = scripted_workload(&unmonitored_config.platform);
+    let plain = run_pbft_cluster(&unmonitored_config, &txs).expect("unmonitored cluster");
+    for (pa, pb) in plain.reports.iter().zip(&a.reports) {
+        assert_eq!(pa.execution_digest, pb.execution_digest);
+        assert_eq!(pa.projection_digests, pb.projection_digests);
+    }
+}
+
+/// A strict JSON well-formedness scan (the vendored serde_json is
+/// serialize-only): strings with escapes, balanced braces/brackets, and
+/// nothing outside them. Rejects trailing garbage and unclosed nesting.
+fn assert_well_formed_json(text: &str) {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut seen_any = false;
+    for c in text.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                depth += 1;
+                seen_any = true;
+            }
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced closer in {text:.80}");
+            }
+            _ => {
+                assert!(
+                    depth > 0 || c.is_whitespace(),
+                    "token outside the document: {c:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        seen_any && depth == 0 && !in_string,
+        "unclosed JSON document"
+    );
+}
+
+#[test]
+fn exposition_artifacts_lint_and_are_well_formed() {
+    let run = monitored_run(compound_plan());
+
+    for node in &run.nodes {
+        let monitor = node.monitor().expect("monitor enabled");
+        // Prometheus text passes the line-format lint on every replica.
+        let text = prometheus_text(monitor);
+        lint_prometheus(&text).expect("prometheus lint");
+        assert!(text.contains("tn_replica_health"));
+        // The JSON dump is well-formed and carries the health state.
+        let dump = json_dump(monitor);
+        assert_well_formed_json(&dump);
+        assert!(dump.contains(&format!("\"replica\":{}", node.id())));
+        assert!(dump.contains(&format!("\"health\":\"{}\"", node.health().label())));
+    }
+
+    // The merged cluster timeline is well-formed and carries the rollup
+    // verdict, every replica's state, and the compound plan's events.
+    let timeline = run.health_timeline().expect("timeline artifact");
+    assert_well_formed_json(&timeline);
+    assert!(timeline.contains("\"verdict\":\"degraded\""));
+    assert!(timeline.contains(tn_monitor::RULE_RESTART));
+    assert!(
+        timeline.contains("\"transition\":\"firing\""),
+        "compound faults must leave events on the merged timeline"
+    );
+}
