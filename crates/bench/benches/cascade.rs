@@ -32,6 +32,7 @@ fn bench_cascade(c: &mut Criterion) {
                     &[],
                     &CascadeConfig::default(),
                 )
+                .unwrap()
             })
         });
     }

@@ -121,6 +121,7 @@ fn main() {
                     receptivity,
                     &cfg,
                 )
+                .expect("masks cover the graph")
                 .total_reach;
             }
             total as f64 / 24.0

@@ -205,7 +205,7 @@ fn main() {
                 ledger.record(&v.voter, v.factual);
             }
             if decay < 1.0 {
-                ledger.decay_all(decay);
+                ledger.decay_all(decay).expect("decay factor in (0, 1]");
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

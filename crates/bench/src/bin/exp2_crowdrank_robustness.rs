@@ -9,7 +9,7 @@
 //! Run: `cargo run -p tn-bench --release --bin exp2_crowdrank_robustness`
 
 use serde::Serialize;
-use tn_bench::{banner, Report};
+use tn_bench::{banner, write_bench_snapshot, MachineSpec, Report};
 use tn_crowdrank::sim::{run, SimConfig, Strategy};
 
 #[derive(Debug, Serialize)]
@@ -21,6 +21,16 @@ struct Row {
     weighted_late_accuracy: f64,
     honest_weight: f64,
     malicious_weight: f64,
+}
+
+/// The machine-readable artifact (`BENCH_e2.json`), under the
+/// docs/BENCHMARKS.md envelope contract.
+#[derive(Debug, Serialize)]
+struct BenchSnapshot {
+    bench: &'static str,
+    schema: u32,
+    machine: MachineSpec,
+    rows: Vec<Row>,
 }
 
 fn main() {
@@ -78,5 +88,12 @@ fn main() {
          mechanism that stays accurate through the 50% mark — the paper's case for \
          accountability over anonymous majorities."
     );
-    Report::new("E2", "crowd-ranking robustness", rows).write_json();
+    let snapshot = BenchSnapshot {
+        bench: "e2_crowdrank_robustness",
+        schema: 1,
+        machine: MachineSpec::current(),
+        rows,
+    };
+    write_bench_snapshot("e2", &snapshot);
+    Report::new("E2", "crowd-ranking robustness", vec![snapshot]).write_json();
 }

@@ -71,7 +71,7 @@ fn main() {
     let mut rows = Vec::new();
     for (net_name, graph) in &networks {
         for (label, config, intervention) in &scenarios {
-            let r = run_race(graph, config, *intervention);
+            let r = run_race(graph, config, *intervention).expect("valid race config");
             rows.push(Row {
                 network: net_name,
                 intervention: label.clone(),

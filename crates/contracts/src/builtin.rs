@@ -344,10 +344,21 @@ pub fn newsroom_revoke(room: u64, who: &Address) -> Vec<u8> {
 /// and blockchain crowd sourcing").
 ///
 /// Operations:
-/// - `0` SubmitRating(item: hash, score: u8 ≤ 100) — last write per caller wins
+/// - `0` SubmitRating(item: hash, score: u8 ≤ 100) — last write per caller wins;
+///   rejected for quarantined callers while a defense policy is active
 /// - `1` GetRanking(item) → (count u64, weighted mean ×10⁻⁴ u64)
 /// - `2` SetReputation(who: hash, rep u64) — owner only
 /// - `3` GetRating(item, who: hash) → score byte (0xff when absent)
+/// - `4` SetPolicy(min_bond u64, decay_bps u64, slash_bps u64) — owner only;
+///   activates the adversarial-participant defenses (E24)
+/// - `5` GrantStake(who: hash, amount u64) — owner only (admission grant)
+/// - `6` PostBond(amount u64) — moves the caller's free stake into its bond
+/// - `7` RecordOutcome(item: hash, factual u8) — owner only; decays every
+///   rater's reputation toward the prior, bumps/penalizes by confirmed
+///   agreement, and slashes the bonds of contradicted raters
+/// - `8` Quarantine(who: hash) — owner only
+/// - `9` Unquarantine(who: hash) — owner only
+/// - `10` GetStake(who: hash) → (free u64, bonded u64)
 #[derive(Debug)]
 pub struct RankingContract {
     owner: Address,
@@ -355,10 +366,43 @@ pub struct RankingContract {
     ratings: HashMap<Hash256, BTreeMap<Address, u8>>,
     /// Reputation weights (default 100).
     reputation: HashMap<Address, u64>,
+    /// Active defense policy (`None` = legacy weighting, no gates).
+    policy: Option<DefensePolicy>,
+    /// Grantable/bondable stake per rater.
+    free_stake: HashMap<Address, u64>,
+    /// Bonded stake per rater (the sybil admission cost at risk).
+    bonded_stake: HashMap<Address, u64>,
+    /// Slashed stake accumulator (conservation: granted = free + bonded
+    /// + treasury).
+    treasury: u64,
+    /// Quarantined raters: zero weight, submissions rejected.
+    quarantined: HashSet<Address>,
 }
 
 /// Default reputation weight for unknown raters.
 pub const DEFAULT_REPUTATION: u64 = 100;
+
+/// Reputation ceiling under an active defense policy.
+pub const REPUTATION_CAP: u64 = 1_000;
+
+/// Reputation gained per confirmed-correct rating.
+pub const REPUTATION_STEP_UP: u64 = 20;
+
+/// Reputation lost per confirmed-wrong rating (harsher than the gain, so
+/// turncoats fall faster than they climbed).
+pub const REPUTATION_STEP_DOWN: u64 = 40;
+
+/// On-chain defense parameters (op `4`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefensePolicy {
+    /// Minimum bonded stake for a rating to carry weight.
+    pub min_bond: u64,
+    /// Basis points of a rater's *deviation from the default reputation*
+    /// kept per recorded outcome (e.g. 9000 = 90 % — old behaviour fades).
+    pub decay_bps: u64,
+    /// Basis points of the bond slashed per contradicted rating.
+    pub slash_bps: u64,
+}
 
 impl RankingContract {
     /// Creates the contract with `owner` allowed to set reputations.
@@ -367,6 +411,11 @@ impl RankingContract {
             owner,
             ratings: HashMap::new(),
             reputation: HashMap::new(),
+            policy: None,
+            free_stake: HashMap::new(),
+            bonded_stake: HashMap::new(),
+            treasury: 0,
+            quarantined: HashSet::new(),
         }
     }
 
@@ -377,6 +426,42 @@ impl RankingContract {
             .unwrap_or(DEFAULT_REPUTATION)
     }
 
+    /// The active defense policy, if any.
+    pub fn policy(&self) -> Option<DefensePolicy> {
+        self.policy
+    }
+
+    /// `(free, bonded)` stake of a rater.
+    pub fn stake(&self, who: &Address) -> (u64, u64) {
+        (
+            self.free_stake.get(who).copied().unwrap_or(0),
+            self.bonded_stake.get(who).copied().unwrap_or(0),
+        )
+    }
+
+    /// Accumulated slashed stake.
+    pub fn treasury(&self) -> u64 {
+        self.treasury
+    }
+
+    /// True when `who` is quarantined.
+    pub fn is_quarantined(&self, who: &Address) -> bool {
+        self.quarantined.contains(who)
+    }
+
+    /// A rater's current aggregation weight: its reputation, gated to
+    /// zero by quarantine or an unmet bond when a policy is active.
+    pub fn vote_weight(&self, who: &Address) -> u64 {
+        if let Some(policy) = &self.policy {
+            if self.quarantined.contains(who)
+                || self.bonded_stake.get(who).copied().unwrap_or(0) < policy.min_bond
+            {
+                return 0;
+            }
+        }
+        self.rep(who)
+    }
+
     /// Computes `(rating count, weighted mean score in 1e-4 units)`.
     pub fn ranking(&self, item: &Hash256) -> (u64, u64) {
         let Some(rs) = self.ratings.get(item) else {
@@ -385,7 +470,7 @@ impl RankingContract {
         let mut weight_sum: u128 = 0;
         let mut score_sum: u128 = 0;
         for (who, score) in rs {
-            let w = self.rep(who) as u128;
+            let w = self.vote_weight(who) as u128;
             weight_sum += w;
             score_sum += w * (*score as u128);
         }
@@ -394,6 +479,50 @@ impl RankingContract {
         }
         let mean_e4 = (score_sum * 10_000 / weight_sum) as u64;
         (rs.len() as u64, mean_e4)
+    }
+
+    /// Applies one confirmed outcome to every rater of `item`: decay
+    /// toward the prior first, then a bump (agreed) or a penalty plus a
+    /// bond slash (contradicted). Score 50 is neutral and untouched.
+    fn record_outcome(&mut self, item: &Hash256, factual: bool) -> u64 {
+        let Some(policy) = self.policy else {
+            return 0;
+        };
+        let Some(rs) = self.ratings.get(item) else {
+            return 0;
+        };
+        let raters: Vec<(Address, u8)> = rs.iter().map(|(a, s)| (*a, *s)).collect();
+        let mut slashed_total = 0u64;
+        for (who, score) in raters {
+            if score == 50 {
+                continue;
+            }
+            let says_factual = score > 50;
+            let agreed = says_factual == factual;
+            // Exponential forgetting in integer space: keep decay_bps of
+            // the deviation from the prior.
+            let prior = DEFAULT_REPUTATION as i128;
+            let rep = self.rep(&who) as i128;
+            let decayed = prior + (rep - prior) * policy.decay_bps.min(10_000) as i128 / 10_000;
+            let updated = if agreed {
+                (decayed + REPUTATION_STEP_UP as i128).min(REPUTATION_CAP as i128)
+            } else {
+                (decayed - REPUTATION_STEP_DOWN as i128).max(0)
+            };
+            self.reputation.insert(who, updated as u64);
+            if !agreed {
+                let bonded = self.bonded_stake.entry(who).or_insert(0);
+                if *bonded > 0 {
+                    let cut =
+                        ((*bonded as u128 * policy.slash_bps.min(10_000) as u128) / 10_000) as u64;
+                    let cut = cut.max(1).min(*bonded);
+                    *bonded -= cut;
+                    self.treasury += cut;
+                    slashed_total += cut;
+                }
+            }
+        }
+        slashed_total
     }
 }
 
@@ -428,6 +557,34 @@ impl BuiltinContract for RankingContract {
         for (who, rep) in reps {
             e.put_hash(who.as_hash()).put_u64(*rep);
         }
+        match &self.policy {
+            None => {
+                e.put_u8(0);
+            }
+            Some(p) => {
+                e.put_u8(1)
+                    .put_u64(p.min_bond)
+                    .put_u64(p.decay_bps)
+                    .put_u64(p.slash_bps);
+            }
+        }
+        let put_stake_map = |e: &mut Encoder, map: &HashMap<Address, u64>| {
+            let mut entries: Vec<(&Address, &u64)> = map.iter().collect();
+            entries.sort_by_key(|(a, _)| **a);
+            e.put_varint(entries.len() as u64);
+            for (who, amount) in entries {
+                e.put_hash(who.as_hash()).put_u64(*amount);
+            }
+        };
+        put_stake_map(&mut e, &self.free_stake);
+        put_stake_map(&mut e, &self.bonded_stake);
+        e.put_u64(self.treasury);
+        let mut quarantined: Vec<&Address> = self.quarantined.iter().collect();
+        quarantined.sort();
+        e.put_varint(quarantined.len() as u64);
+        for who in quarantined {
+            e.put_hash(who.as_hash());
+        }
         Some(e.finish())
     }
 
@@ -452,10 +609,41 @@ impl BuiltinContract for RankingContract {
             let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
             reputation.insert(who, dec.get_u64().map_err(bad_input)?);
         }
+        let policy = match dec.get_u8().map_err(bad_input)? {
+            0 => None,
+            1 => Some(DefensePolicy {
+                min_bond: dec.get_u64().map_err(bad_input)?,
+                decay_bps: dec.get_u64().map_err(bad_input)?,
+                slash_bps: dec.get_u64().map_err(bad_input)?,
+            }),
+            other => return Err(format!("bad policy tag {other}")),
+        };
+        let get_stake_map = |dec: &mut Decoder| -> Result<HashMap<Address, u64>, String> {
+            let n = dec.get_varint().map_err(bad_input)?;
+            let mut map = HashMap::new();
+            for _ in 0..n {
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                map.insert(who, dec.get_u64().map_err(bad_input)?);
+            }
+            Ok(map)
+        };
+        let free_stake = get_stake_map(&mut dec)?;
+        let bonded_stake = get_stake_map(&mut dec)?;
+        let treasury = dec.get_u64().map_err(bad_input)?;
+        let mut quarantined = HashSet::new();
+        let n = dec.get_varint().map_err(bad_input)?;
+        for _ in 0..n {
+            quarantined.insert(Address::from_hash(dec.get_hash().map_err(bad_input)?));
+        }
         dec.expect_end().map_err(bad_input)?;
         self.owner = owner;
         self.ratings = ratings;
         self.reputation = reputation;
+        self.policy = policy;
+        self.free_stake = free_stake;
+        self.bonded_stake = bonded_stake;
+        self.treasury = treasury;
+        self.quarantined = quarantined;
         Ok(())
     }
 
@@ -468,6 +656,9 @@ impl BuiltinContract for RankingContract {
                 let score = dec.get_u8().map_err(bad_input)?;
                 if score > 100 {
                     return Err(format!("score {score} out of range 0..=100"));
+                }
+                if self.policy.is_some() && self.quarantined.contains(caller) {
+                    return Err("caller is quarantined".into());
                 }
                 self.ratings.entry(item).or_default().insert(*caller, score);
                 Ok(Vec::new())
@@ -500,6 +691,77 @@ impl BuiltinContract for RankingContract {
                     .unwrap_or(0xff);
                 Ok(vec![score])
             }
+            4 => {
+                if *caller != self.owner {
+                    return Err("only the owner may set the defense policy".into());
+                }
+                self.policy = Some(DefensePolicy {
+                    min_bond: dec.get_u64().map_err(bad_input)?,
+                    decay_bps: dec.get_u64().map_err(bad_input)?,
+                    slash_bps: dec.get_u64().map_err(bad_input)?,
+                });
+                Ok(Vec::new())
+            }
+            5 => {
+                if *caller != self.owner {
+                    return Err("only the owner may grant stake".into());
+                }
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                let amount = dec.get_u64().map_err(bad_input)?;
+                if amount == 0 {
+                    return Err("grant amount must be positive".into());
+                }
+                *self.free_stake.entry(who).or_insert(0) += amount;
+                Ok(Vec::new())
+            }
+            6 => {
+                let amount = dec.get_u64().map_err(bad_input)?;
+                if amount == 0 {
+                    return Err("bond amount must be positive".into());
+                }
+                let free = self.free_stake.entry(*caller).or_insert(0);
+                if *free < amount {
+                    return Err(format!(
+                        "insufficient free stake: have {free}, need {amount}"
+                    ));
+                }
+                *free -= amount;
+                *self.bonded_stake.entry(*caller).or_insert(0) += amount;
+                Ok(Vec::new())
+            }
+            7 => {
+                if *caller != self.owner {
+                    return Err("only the owner may record outcomes".into());
+                }
+                let item = dec.get_hash().map_err(bad_input)?;
+                let factual = dec.get_u8().map_err(bad_input)? != 0;
+                let slashed = self.record_outcome(&item, factual);
+                Ok(slashed.to_le_bytes().to_vec())
+            }
+            8 => {
+                if *caller != self.owner {
+                    return Err("only the owner may quarantine".into());
+                }
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                self.quarantined.insert(who);
+                Ok(Vec::new())
+            }
+            9 => {
+                if *caller != self.owner {
+                    return Err("only the owner may unquarantine".into());
+                }
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                self.quarantined.remove(&who);
+                Ok(Vec::new())
+            }
+            10 => {
+                let who = Address::from_hash(dec.get_hash().map_err(bad_input)?);
+                let (free, bonded) = self.stake(&who);
+                let mut out = Vec::with_capacity(16);
+                out.extend_from_slice(&free.to_le_bytes());
+                out.extend_from_slice(&bonded.to_le_bytes());
+                Ok(out)
+            }
             other => Err(format!("unknown ranking op {other}")),
         }
     }
@@ -528,6 +790,69 @@ pub fn ranking_set_reputation(who: &Address, rep: u64) -> Vec<u8> {
 
 /// Decodes a `GetRanking` output into `(count, weighted mean ×1e-4)`.
 pub fn decode_ranking(out: &[u8]) -> Option<(u64, u64)> {
+    if out.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(out[..8].try_into().ok()?),
+        u64::from_le_bytes(out[8..].try_into().ok()?),
+    ))
+}
+
+/// Encodes a `SetPolicy` input (op 4).
+pub fn ranking_set_policy(policy: &DefensePolicy) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(4)
+        .put_u64(policy.min_bond)
+        .put_u64(policy.decay_bps)
+        .put_u64(policy.slash_bps);
+    e.finish()
+}
+
+/// Encodes a `GrantStake` input (op 5).
+pub fn ranking_grant_stake(who: &Address, amount: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(5).put_hash(who.as_hash()).put_u64(amount);
+    e.finish()
+}
+
+/// Encodes a `PostBond` input (op 6).
+pub fn ranking_post_bond(amount: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(6).put_u64(amount);
+    e.finish()
+}
+
+/// Encodes a `RecordOutcome` input (op 7).
+pub fn ranking_record_outcome(item: &Hash256, factual: bool) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(7).put_hash(item).put_u8(u8::from(factual));
+    e.finish()
+}
+
+/// Encodes a `Quarantine` input (op 8).
+pub fn ranking_quarantine(who: &Address) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(8).put_hash(who.as_hash());
+    e.finish()
+}
+
+/// Encodes an `Unquarantine` input (op 9).
+pub fn ranking_unquarantine(who: &Address) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(9).put_hash(who.as_hash());
+    e.finish()
+}
+
+/// Encodes a `GetStake` input (op 10).
+pub fn ranking_get_stake(who: &Address) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(10).put_hash(who.as_hash());
+    e.finish()
+}
+
+/// Decodes a `GetStake` output into `(free, bonded)`.
+pub fn decode_stake(out: &[u8]) -> Option<(u64, u64)> {
     if out.len() != 16 {
         return None;
     }
@@ -1028,5 +1353,150 @@ mod tests {
     #[should_panic(expected = "threshold must be positive")]
     fn admission_zero_threshold_panics() {
         let _ = FactDbAdmission::new(addr(b"x"), 0);
+    }
+
+    #[test]
+    fn ranking_defense_policy_gates_weight_on_bond_and_quarantine() {
+        let owner = addr(b"platform");
+        let mut rk = RankingContract::new(owner);
+        let honest = addr(b"honest");
+        let sybil = addr(b"sybil");
+        let item = sha256(b"contested");
+
+        // Legacy mode: both votes carry the default weight.
+        rk.call(&honest, &ranking_submit(&item, 80)).unwrap();
+        rk.call(&sybil, &ranking_submit(&item, 0)).unwrap();
+        assert_eq!(rk.ranking(&item), (2, 40_0000));
+
+        // Policy on: nobody bonded yet, so all weights collapse to zero.
+        let policy = DefensePolicy {
+            min_bond: 50,
+            decay_bps: 9_000,
+            slash_bps: 2_500,
+        };
+        assert!(rk.call(&honest, &ranking_set_policy(&policy)).is_err());
+        rk.call(&owner, &ranking_set_policy(&policy)).unwrap();
+        assert_eq!(rk.policy(), Some(policy));
+        assert_eq!(rk.ranking(&item), (2, 0));
+
+        // Honest bonds; sybil does not → only the honest vote counts.
+        assert!(rk
+            .call(&honest, &ranking_grant_stake(&honest, 100))
+            .is_err());
+        rk.call(&owner, &ranking_grant_stake(&honest, 100)).unwrap();
+        assert!(rk.call(&honest, &ranking_post_bond(200)).is_err());
+        rk.call(&honest, &ranking_post_bond(100)).unwrap();
+        assert_eq!(rk.stake(&honest), (0, 100));
+        assert_eq!(rk.ranking(&item), (2, 80_0000));
+
+        // Quarantine zeroes the honest vote too; unquarantine restores.
+        rk.call(&owner, &ranking_quarantine(&honest)).unwrap();
+        assert!(rk.is_quarantined(&honest));
+        assert_eq!(rk.ranking(&item), (2, 0));
+        assert!(rk.call(&honest, &ranking_submit(&item, 90)).is_err());
+        rk.call(&owner, &ranking_unquarantine(&honest)).unwrap();
+        assert_eq!(rk.ranking(&item), (2, 80_0000));
+
+        let out = rk.call(&sybil, &ranking_get_stake(&honest)).unwrap();
+        assert_eq!(decode_stake(&out), Some((0, 100)));
+    }
+
+    #[test]
+    fn ranking_record_outcome_decays_and_slashes() {
+        let owner = addr(b"platform");
+        let mut rk = RankingContract::new(owner);
+        let right = addr(b"right");
+        let wrong = addr(b"wrong");
+        let neutral = addr(b"neutral");
+        let item = sha256(b"checked story");
+
+        rk.call(
+            &owner,
+            &ranking_set_policy(&DefensePolicy {
+                min_bond: 50,
+                decay_bps: 9_000,
+                slash_bps: 2_500,
+            }),
+        )
+        .unwrap();
+        for who in [&right, &wrong, &neutral] {
+            rk.call(&owner, &ranking_grant_stake(who, 100)).unwrap();
+            rk.call(who, &ranking_post_bond(100)).unwrap();
+        }
+        rk.call(&right, &ranking_submit(&item, 90)).unwrap();
+        rk.call(&wrong, &ranking_submit(&item, 10)).unwrap();
+        rk.call(&neutral, &ranking_submit(&item, 50)).unwrap();
+
+        let out = rk
+            .call(&owner, &ranking_record_outcome(&item, true))
+            .unwrap();
+        let slashed = u64::from_le_bytes(out.try_into().unwrap());
+        assert_eq!(slashed, 25, "25% of the wrong rater's 100 bond");
+        // Agreed: default 100 decays to 100, +20. Contradicted: -40.
+        assert_eq!(rk.vote_weight(&right), 120);
+        assert_eq!(rk.vote_weight(&wrong), 60);
+        assert_eq!(rk.vote_weight(&neutral), 100, "score 50 is untouched");
+        assert_eq!(rk.stake(&wrong), (0, 75));
+        assert_eq!(rk.treasury(), 25);
+
+        // Repeated contradictions drain the bond below min_bond → weight 0.
+        for _ in 0..6 {
+            rk.call(&owner, &ranking_record_outcome(&item, true))
+                .unwrap();
+        }
+        assert!(rk.stake(&wrong).1 < 50, "bond {:?}", rk.stake(&wrong));
+        assert_eq!(rk.vote_weight(&wrong), 0);
+        // Stake conservation: grants = free + bonded + treasury.
+        let circulating: u64 = [&right, &wrong, &neutral]
+            .iter()
+            .map(|w| {
+                let (f, b) = rk.stake(w);
+                f + b
+            })
+            .sum::<u64>()
+            + rk.treasury();
+        assert_eq!(circulating, 300);
+
+        // Outcome recording is a no-op without a policy.
+        let mut legacy = RankingContract::new(owner);
+        legacy.call(&right, &ranking_submit(&item, 10)).unwrap();
+        let out = legacy
+            .call(&owner, &ranking_record_outcome(&item, true))
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 0);
+        assert_eq!(legacy.vote_weight(&right), DEFAULT_REPUTATION);
+    }
+
+    #[test]
+    fn ranking_defense_state_roundtrips_through_checkpoint() {
+        let owner = addr(b"platform");
+        let mut rk = RankingContract::new(owner);
+        let a = addr(b"a");
+        let item = sha256(b"story");
+        rk.call(
+            &owner,
+            &ranking_set_policy(&DefensePolicy {
+                min_bond: 10,
+                decay_bps: 9_500,
+                slash_bps: 1_000,
+            }),
+        )
+        .unwrap();
+        rk.call(&owner, &ranking_grant_stake(&a, 40)).unwrap();
+        rk.call(&a, &ranking_post_bond(15)).unwrap();
+        rk.call(&a, &ranking_submit(&item, 20)).unwrap();
+        rk.call(&owner, &ranking_record_outcome(&item, true))
+            .unwrap();
+        rk.call(&owner, &ranking_quarantine(&a)).unwrap();
+
+        let blob = rk.save_state().unwrap();
+        let mut restored = RankingContract::new(addr(b"other"));
+        restored.load_state(&blob).unwrap();
+        assert_eq!(restored.save_state().unwrap(), blob);
+        assert_eq!(restored.policy(), rk.policy());
+        assert_eq!(restored.stake(&a), rk.stake(&a));
+        assert_eq!(restored.treasury(), rk.treasury());
+        assert!(restored.is_quarantined(&a));
+        assert_eq!(restored.ranking(&item), rk.ranking(&item));
     }
 }

@@ -48,7 +48,8 @@ pub mod parallel;
 pub mod vm;
 
 pub use builtin::{
-    BuiltinContract, FactDbAdmission, IncentiveContract, NewsroomRegistry, RankingContract,
+    BuiltinContract, DefensePolicy, FactDbAdmission, IncentiveContract, NewsroomRegistry,
+    RankingContract,
 };
 pub use executor::{builtin_address, contract_address, ContractEntry, ContractRegistry};
 pub use parallel::{execute_parallel, CallTask, TaskResult};

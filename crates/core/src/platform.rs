@@ -916,6 +916,141 @@ impl Platform {
         )
     }
 
+    // --- Adversarial-participant defenses ---------------------------------
+
+    /// The governor activates the ranking contract's defense policy
+    /// (minimum bond to vote, reputation decay, slashing on contradicted
+    /// votes). Applies from the next produced block.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the call cannot be enqueued.
+    pub fn set_ranking_policy(
+        &mut self,
+        policy: &tn_contracts::builtin::DefensePolicy,
+    ) -> Result<(), PlatformError> {
+        let governor = self.governor.clone();
+        let input = tn_contracts::builtin::ranking_set_policy(policy);
+        let contract = self.pipeline.addrs().ranking;
+        self.enqueue(
+            &governor,
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
+    }
+
+    /// The governor grants free ranking stake to a verified participant
+    /// (the admission cost a sybil must sink before voting carries
+    /// weight).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the call cannot be enqueued.
+    pub fn grant_ranking_stake(&mut self, who: &Address, amount: u64) -> Result<(), PlatformError> {
+        let governor = self.governor.clone();
+        let input = tn_contracts::builtin::ranking_grant_stake(who, amount);
+        let contract = self.pipeline.addrs().ranking;
+        self.enqueue(
+            &governor,
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
+    }
+
+    /// A participant bonds free stake so their ratings carry weight
+    /// under an active defense policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the call cannot be enqueued.
+    pub fn post_ranking_bond(
+        &mut self,
+        staker: &Keypair,
+        amount: u64,
+    ) -> Result<(), PlatformError> {
+        let input = tn_contracts::builtin::ranking_post_bond(amount);
+        let contract = self.pipeline.addrs().ranking;
+        self.enqueue(
+            staker,
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
+    }
+
+    /// The governor records a confirmed fact-check outcome for an item:
+    /// raters who agreed gain reputation, contradicted raters lose
+    /// reputation and part of their bond (slashed to the treasury).
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the call cannot be enqueued.
+    pub fn record_rating_outcome(
+        &mut self,
+        item: &Hash256,
+        factual: bool,
+    ) -> Result<(), PlatformError> {
+        let governor = self.governor.clone();
+        let input = tn_contracts::builtin::ranking_record_outcome(item, factual);
+        let contract = self.pipeline.addrs().ranking;
+        self.enqueue(
+            &governor,
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 50_000,
+            },
+        )
+    }
+
+    /// The governor quarantines a rater: new submissions are rejected and
+    /// already-stored ratings stop counting toward rankings until
+    /// [`Platform::unquarantine_rater`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the call cannot be enqueued.
+    pub fn quarantine_rater(&mut self, who: &Address) -> Result<(), PlatformError> {
+        let governor = self.governor.clone();
+        let input = tn_contracts::builtin::ranking_quarantine(who);
+        let contract = self.pipeline.addrs().ranking;
+        self.enqueue(
+            &governor,
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
+    }
+
+    /// The governor lifts a rater's quarantine.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::Mempool`] when the call cannot be enqueued.
+    pub fn unquarantine_rater(&mut self, who: &Address) -> Result<(), PlatformError> {
+        let governor = self.governor.clone();
+        let input = tn_contracts::builtin::ranking_unquarantine(who);
+        let contract = self.pipeline.addrs().ranking;
+        self.enqueue(
+            &governor,
+            Payload::ContractCall {
+                contract,
+                input,
+                gas_limit: 10_000,
+            },
+        )
+    }
+
     // --- Management Act enforcement ---------------------------------------
 
     /// Enforces the "AI Blockchain Platform Management Act" (§V): scans the
@@ -1126,6 +1261,55 @@ mod tests {
         let rated = p.rank_item(&item).unwrap();
         assert!(rated.crowd > neutral.crowd);
         assert!(rated.rank > neutral.rank);
+    }
+
+    #[test]
+    fn defense_policy_bond_quarantine_flow() {
+        let (mut p, journo, rid) = with_room();
+        let bot = kp("ring-bot");
+        p.register_identity(&bot, "Ring Bot", &[Role::Consumer])
+            .unwrap();
+        p.produce_block().unwrap();
+        let item = p
+            .publish_news(&journo, rid, "topic", "text", vec![])
+            .unwrap();
+        p.set_ranking_policy(&tn_contracts::builtin::DefensePolicy {
+            min_bond: 50,
+            decay_bps: 9_000,
+            slash_bps: 2_500,
+        })
+        .unwrap();
+        p.grant_ranking_stake(&journo.address(), 200).unwrap();
+        p.grant_ranking_stake(&bot.address(), 200).unwrap();
+        p.produce_block().unwrap();
+        p.post_ranking_bond(&journo, 100).unwrap();
+        p.post_ranking_bond(&bot, 100).unwrap();
+        p.produce_block().unwrap();
+
+        // Both bonded raters carry weight.
+        p.submit_rating(&journo, &item, 80).unwrap();
+        p.submit_rating(&bot, &item, 97).unwrap();
+        p.produce_block().unwrap();
+        let (count, _) = p.ranking_contract().ranking(&item);
+        assert_eq!(count, 2);
+
+        // Quarantining the bot zeroes its stored rating's weight.
+        p.quarantine_rater(&bot.address()).unwrap();
+        p.produce_block().unwrap();
+        assert!(p.ranking_contract().is_quarantined(&bot.address()));
+        // The stored rating stays on-chain but its weight drops to zero:
+        // the mean collapses to the honest rater's 80.
+        let (count, mean_e4) = p.ranking_contract().ranking(&item);
+        assert_eq!(count, 2);
+        assert_eq!(mean_e4, 80 * 10_000);
+
+        // A confirmed not-factual outcome slashes the contradicted bot.
+        let (_, bonded_before) = p.ranking_contract().stake(&bot.address());
+        p.record_rating_outcome(&item, false).unwrap();
+        p.produce_block().unwrap();
+        let (_, bonded_after) = p.ranking_contract().stake(&bot.address());
+        assert!(bonded_after < bonded_before);
+        assert!(p.ranking_contract().treasury() > 0);
     }
 
     #[test]

@@ -67,6 +67,87 @@ impl Validator {
     }
 }
 
+/// What a campaign participant is rating right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignTarget {
+    /// The fake article the campaign is amplifying.
+    FakeItem,
+    /// The competing factual article the campaign wants buried.
+    FactualItem,
+    /// An uncontested background article (campaign-irrelevant).
+    Background,
+}
+
+/// Adversarial participant roles for end-to-end misinformation campaigns
+/// (E24). Unlike [`Behavior`] — which emits boolean votes for the in-crate
+/// simulation — a role emits 0–100 *scores* for the on-chain ranking
+/// contract, and its behaviour can change over time (turncoats flip).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignRole {
+    /// Rates factual content high and fake content low, with per-vote
+    /// noise (so honest vote vectors never look coordinated).
+    HonestRanker,
+    /// Coordinated bot: amplifies the fake item and smears the factual
+    /// one with *scripted identical scores* every round — the exact-vote
+    /// fingerprint the coordination detector keys on.
+    RingBot {
+        /// The scripted score for the fake item (factual gets `100 - s`).
+        script_score: u8,
+    },
+    /// Reputation-farming sybil: behaves like an honest ranker until
+    /// `flip_round`, then joins the bot ring.
+    TurncoatSybil {
+        /// First round of ring behaviour.
+        flip_round: usize,
+        /// Ring script score after the flip.
+        script_score: u8,
+    },
+    /// An established honest ranker who was bribed: honest on everything
+    /// except the fake campaign item, which it boosts with individually
+    /// distinct scores (evading exact-vote ring detection).
+    BribedRanker,
+}
+
+impl CampaignRole {
+    /// The participant's 0–100 rating for `target` at `round`.
+    pub fn score<R: Rng>(&self, target: CampaignTarget, round: usize, rng: &mut R) -> u8 {
+        let honest = |rng: &mut R| match target {
+            CampaignTarget::FakeItem => rng.gen_range(2..=38),
+            CampaignTarget::FactualItem => rng.gen_range(62..=98),
+            CampaignTarget::Background => rng.gen_range(40..=90),
+        };
+        let ring = |script: u8| match target {
+            CampaignTarget::FakeItem => script,
+            CampaignTarget::FactualItem => 100 - script,
+            CampaignTarget::Background => 50,
+        };
+        match *self {
+            CampaignRole::HonestRanker => honest(rng),
+            CampaignRole::RingBot { script_score } => ring(script_score),
+            CampaignRole::TurncoatSybil {
+                flip_round,
+                script_score,
+            } => {
+                if round >= flip_round {
+                    ring(script_score)
+                } else {
+                    honest(rng)
+                }
+            }
+            CampaignRole::BribedRanker => match target {
+                CampaignTarget::FakeItem => rng.gen_range(88..=100),
+                _ => honest(rng),
+            },
+        }
+    }
+
+    /// True when the role is attacker-controlled (for false-positive
+    /// accounting: honest rankers must never be quarantined).
+    pub fn is_adversarial(&self) -> bool {
+        !matches!(self, CampaignRole::HonestRanker)
+    }
+}
+
 /// Deterministically assigns items to the strategic campaign set by hash
 /// prefix, so all strategic validators target the *same* items (a
 /// coordinated campaign).
@@ -144,6 +225,51 @@ mod tests {
         assert_eq!(in_campaign(&item, 0.5), in_campaign(&item, 0.5));
         assert!(in_campaign(&item, 1.0));
         assert!(!in_campaign(&item, 0.0));
+    }
+
+    #[test]
+    fn ring_bots_share_exact_scores_honest_do_not() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bot = CampaignRole::RingBot { script_score: 97 };
+        for round in 0..10 {
+            assert_eq!(bot.score(CampaignTarget::FakeItem, round, &mut rng), 97);
+            assert_eq!(bot.score(CampaignTarget::FactualItem, round, &mut rng), 3);
+        }
+        // Honest scores land on the right side of 50 but vary.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let s = CampaignRole::HonestRanker.score(CampaignTarget::FakeItem, 0, &mut rng);
+            assert!(s < 50);
+            seen.insert(s);
+        }
+        assert!(seen.len() > 5, "honest noise should spread: {seen:?}");
+    }
+
+    #[test]
+    fn turncoat_flips_at_round() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = CampaignRole::TurncoatSybil {
+            flip_round: 5,
+            script_score: 96,
+        };
+        for round in 0..5 {
+            assert!(t.score(CampaignTarget::FakeItem, round, &mut rng) < 50);
+        }
+        for round in 5..10 {
+            assert_eq!(t.score(CampaignTarget::FakeItem, round, &mut rng), 96);
+        }
+        assert!(t.is_adversarial());
+        assert!(!CampaignRole::HonestRanker.is_adversarial());
+    }
+
+    #[test]
+    fn bribed_boosts_only_the_fake_item() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = CampaignRole::BribedRanker;
+        for round in 0..20 {
+            assert!(b.score(CampaignTarget::FakeItem, round, &mut rng) >= 88);
+            assert!(b.score(CampaignTarget::FactualItem, round, &mut rng) > 50);
+        }
     }
 
     #[test]

@@ -12,10 +12,32 @@
 //!   history needed) — the "AI algorithm" flavour of aggregation.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use tn_crypto::{Address, Hash256};
 
 use crate::reputation::ReputationLedger;
+
+/// Typed aggregation failure. Aggregators run on the replica path against
+/// adversary-supplied votes, so malformed input must surface as an error
+/// a caller can handle — never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateError {
+    /// `truth_discovery` was asked to run zero EM iterations.
+    ZeroIterations,
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateError::ZeroIterations => {
+                write!(f, "truth discovery needs at least one iteration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
 
 /// One truthfulness vote: `true` = the validator believes the item is
 /// factual.
@@ -139,14 +161,16 @@ pub fn evidence_weighted(votes: &[Vote], ledger: &ReputationLedger, k: f64) -> V
 ///
 /// Returns the decisions and the inferred per-validator accuracies.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `iterations == 0`.
+/// [`AggregateError::ZeroIterations`] if `iterations == 0`.
 pub fn truth_discovery(
     votes: &[Vote],
     iterations: usize,
-) -> (Vec<Decision>, HashMap<Address, f64>) {
-    assert!(iterations > 0, "need at least one iteration");
+) -> Result<(Vec<Decision>, HashMap<Address, f64>), AggregateError> {
+    if iterations == 0 {
+        return Err(AggregateError::ZeroIterations);
+    }
     let by_item = group_by_item(votes);
     let mut accuracy: HashMap<Address, f64> = votes.iter().map(|v| (v.voter, 0.7)).collect();
     let mut beliefs: HashMap<Hash256, f64> = HashMap::new(); // P(factual)
@@ -191,7 +215,7 @@ pub fn truth_discovery(
         })
         .collect();
     out.sort_by_key(|d| d.item);
-    (out, accuracy)
+    Ok((out, accuracy))
 }
 
 #[cfg(test)]
@@ -341,7 +365,7 @@ mod tests {
                 });
             }
         }
-        let (decisions, accuracy) = truth_discovery(&votes, 10);
+        let (decisions, accuracy) = truth_discovery(&votes, 10).unwrap();
         for (i, t) in truths.iter().enumerate() {
             let d = decisions.iter().find(|d| d.item == item(i as u8)).unwrap();
             assert_eq!(d.factual, *t, "item {i}");
@@ -378,7 +402,7 @@ mod tests {
                 });
             }
         }
-        let (decisions, _) = truth_discovery(&votes, 15);
+        let (decisions, _) = truth_discovery(&votes, 15).unwrap();
         let correct = truths
             .iter()
             .enumerate()
@@ -398,13 +422,15 @@ mod tests {
     fn empty_votes_empty_decisions() {
         assert!(majority(&[]).is_empty());
         assert!(reputation_weighted(&[], &ReputationLedger::new()).is_empty());
-        let (d, a) = truth_discovery(&[], 3);
+        let (d, a) = truth_discovery(&[], 3).unwrap();
         assert!(d.is_empty() && a.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "at least one iteration")]
-    fn zero_iterations_panics() {
-        truth_discovery(&[], 0);
+    fn zero_iterations_is_typed_error() {
+        assert_eq!(
+            truth_discovery(&[], 0).unwrap_err(),
+            AggregateError::ZeroIterations
+        );
     }
 }

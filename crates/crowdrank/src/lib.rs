@@ -9,7 +9,11 @@
 //! - [`reputation`]: Beta-posterior validator reputation with decay.
 //! - [`aggregate`]: majority (baseline), reputation-weighted voting, and
 //!   EM truth discovery.
-//! - [`adversary`]: honest/random/malicious/strategic validator models.
+//! - [`adversary`]: honest/random/malicious/strategic validator models,
+//!   plus the campaign participant roles (bot rings, turncoat sybils,
+//!   bribed rankers) driven end-to-end by E24.
+//! - [`defense`]: stake bonds with slashing, stake-weighted aggregation
+//!   with quarantine, and sliding-window coordination detection.
 //! - [`sim`]: the round-based simulation with incentive economics that
 //!   powers the E2 robustness experiment.
 //!
@@ -27,12 +31,18 @@
 
 pub mod adversary;
 pub mod aggregate;
+pub mod defense;
 pub mod reputation;
 pub mod sim;
 
-pub use adversary::{Behavior, Validator};
+pub use adversary::{Behavior, CampaignRole, CampaignTarget, Validator};
 pub use aggregate::{
-    evidence_weighted, majority, reputation_weighted, truth_discovery, Decision, Vote,
+    evidence_weighted, majority, reputation_weighted, truth_discovery, AggregateError, Decision,
+    Vote,
 };
-pub use reputation::{Reputation, ReputationLedger};
+pub use defense::{
+    stake_weighted, CoordinationDetector, CoordinationReport, DefenseConfig, DefenseError,
+    ObservedVote, StakeLedger,
+};
+pub use reputation::{Reputation, ReputationError, ReputationLedger};
 pub use sim::{run, SimConfig, SimResult, Strategy};

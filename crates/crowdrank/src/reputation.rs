@@ -11,8 +11,29 @@
 //! §IV that E2 tests).
 
 use std::collections::HashMap;
+use std::fmt;
 
 use tn_crypto::Address;
+
+/// Typed reputation-update failure. Reputation maintenance runs on the
+/// replica path, so a bad parameter must be reportable, not a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReputationError {
+    /// A decay factor outside `(0, 1]`.
+    BadDecayFactor(f64),
+}
+
+impl fmt::Display for ReputationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReputationError::BadDecayFactor(v) => {
+                write!(f, "decay factor must be in (0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReputationError {}
 
 /// One validator's reputation state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,16 +77,17 @@ impl Reputation {
     /// behaviour fades and reformed (or newly corrupted) validators
     /// converge to their current behaviour.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0.0 < factor <= 1.0`.
-    pub fn decay(&mut self, factor: f64) {
-        assert!(
-            factor > 0.0 && factor <= 1.0,
-            "decay factor must be in (0, 1]"
-        );
+    /// [`ReputationError::BadDecayFactor`] unless `0.0 < factor <= 1.0`
+    /// (NaN included). The state is untouched on error.
+    pub fn decay(&mut self, factor: f64) -> Result<(), ReputationError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(ReputationError::BadDecayFactor(factor));
+        }
         self.alpha = 1.0 + (self.alpha - 1.0) * factor;
         self.beta = 1.0 + (self.beta - 1.0) * factor;
+        Ok(())
     }
 }
 
@@ -108,10 +130,20 @@ impl ReputationLedger {
     }
 
     /// Applies decay to every validator.
-    pub fn decay_all(&mut self, factor: f64) {
-        for rep in self.entries.values_mut() {
-            rep.decay(factor);
+    ///
+    /// # Errors
+    ///
+    /// [`ReputationError::BadDecayFactor`] unless `0.0 < factor <= 1.0`;
+    /// no entry is modified on error.
+    pub fn decay_all(&mut self, factor: f64) -> Result<(), ReputationError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(ReputationError::BadDecayFactor(factor));
         }
+        for rep in self.entries.values_mut() {
+            // Factor already validated, so per-entry decay cannot fail.
+            let _ = rep.decay(factor);
+        }
+        Ok(())
     }
 
     /// Number of validators with recorded history.
@@ -176,22 +208,37 @@ mod tests {
             r.record(true);
         }
         let w_before = r.weight();
-        r.decay(0.5);
+        r.decay(0.5).unwrap();
         let w_after = r.weight();
         assert!(w_after < w_before);
         assert!(w_after > 0.5);
         // Full decay resets to prior.
         let mut r2 = r;
         for _ in 0..60 {
-            r2.decay(0.1);
+            r2.decay(0.1).unwrap();
         }
         assert!((r2.weight() - 0.5).abs() < 0.01);
     }
 
     #[test]
-    #[should_panic(expected = "decay factor")]
-    fn bad_decay_panics() {
-        Reputation::default().decay(0.0);
+    fn bad_decay_is_typed_error_and_leaves_state() {
+        let mut r = Reputation::default();
+        for _ in 0..5 {
+            r.record(true);
+        }
+        let before = r;
+        for bad in [0.0, -1.0, 1.5, f64::NAN] {
+            assert!(matches!(
+                r.decay(bad),
+                Err(ReputationError::BadDecayFactor(_))
+            ));
+            assert_eq!(r, before, "state must be untouched on error");
+        }
+        let mut ledger = ReputationLedger::new();
+        ledger.record(&addr(1), true);
+        let w = ledger.weight(&addr(1));
+        assert!(ledger.decay_all(0.0).is_err());
+        assert_eq!(ledger.weight(&addr(1)), w);
     }
 
     #[test]
@@ -216,7 +263,7 @@ mod tests {
             ledger.record(&addr(1), true);
         }
         let before = ledger.weight(&addr(1));
-        ledger.decay_all(0.5);
+        ledger.decay_all(0.5).unwrap();
         assert!(ledger.weight(&addr(1)) < before);
     }
 }

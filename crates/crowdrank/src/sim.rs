@@ -170,7 +170,11 @@ pub fn run(config: &SimConfig, strategy: Strategy) -> SimResult {
         let decisions: Vec<Decision> = match strategy {
             Strategy::Majority => majority(&votes),
             Strategy::ReputationWeighted => reputation_weighted(&votes, &ledger),
-            Strategy::TruthDiscovery => truth_discovery(&votes, 10).0,
+            // 10 iterations is statically nonzero, so the error arm is
+            // unreachable; an empty decision set is the safe fallback.
+            Strategy::TruthDiscovery => truth_discovery(&votes, 10)
+                .map(|(d, _)| d)
+                .unwrap_or_default(),
         };
         let decided: HashMap<Hash256, bool> =
             decisions.iter().map(|d| (d.item, d.factual)).collect();

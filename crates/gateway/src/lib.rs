@@ -41,19 +41,27 @@
 use std::error::Error;
 use std::fmt;
 
+pub mod campaign;
 pub mod gateway;
 pub mod limiter;
 pub mod loadgen;
 pub mod openloop;
 pub mod queue;
 
+pub use campaign::{
+    build_campaign_workload, campaign_policy, participant_id, run_campaign, AttackKind,
+    CampaignOutcome, CampaignProfile, CampaignWorkload, RULE_PARTICIPANT_QUARANTINE,
+};
 pub use gateway::{AdmitVerdict, DrainReport, Gateway, GatewayStats};
 pub use limiter::RateLimiter;
 pub use loadgen::{
     build_workload, schedule, Arrival, ClientProfile, LoadProfile, Persona, Request, RequestKind,
     Workload,
 };
-pub use openloop::{run_open_loop, run_open_loop_on, OpenLoopConfig, OpenLoopReport, OpenLoopRun};
+pub use openloop::{
+    run_open_loop, run_open_loop_hooked, run_open_loop_on, OpenLoopConfig, OpenLoopReport,
+    OpenLoopRun,
+};
 pub use queue::IngressLane;
 
 /// Gateway-layer errors.

@@ -183,12 +183,42 @@ pub fn run_open_loop(
 ///
 /// As [`run_open_loop`].
 pub fn run_open_loop_on(
+    node: ValidatorNode,
+    gw_config: &tn_core::platform::GatewayConfig,
+    telemetry: TelemetrySink,
+    trace: TraceSink,
+    workload: &Workload,
+    olc: &OpenLoopConfig,
+) -> Result<OpenLoopRun, GatewayError> {
+    run_open_loop_hooked(
+        node,
+        gw_config,
+        telemetry,
+        trace,
+        workload,
+        olc,
+        &mut |_| {},
+    )
+}
+
+/// [`run_open_loop_on`] with a per-block hook: after every produced
+/// block, `hook` runs with mutable access to the node — it can inspect
+/// the new head, drive an external monitor off the node's registry, and
+/// inject governance transactions (e.g. quarantine verdicts) that enter
+/// the mempool for the *next* block, exactly as a live oracle would.
+/// The hook never runs on idle block ticks.
+///
+/// # Errors
+///
+/// As [`run_open_loop`].
+pub fn run_open_loop_hooked(
     mut node: ValidatorNode,
     gw_config: &tn_core::platform::GatewayConfig,
     telemetry: TelemetrySink,
     trace: TraceSink,
     workload: &Workload,
     olc: &OpenLoopConfig,
+    hook: &mut dyn FnMut(&mut ValidatorNode),
 ) -> Result<OpenLoopRun, GatewayError> {
     let mut gw = Gateway::new(gw_config)?;
     gw.set_telemetry(telemetry);
@@ -305,6 +335,7 @@ pub fn run_open_loop_on(
                             latencies.observe(server_free_ns.saturating_sub(arrived));
                         }
                     }
+                    hook(&mut node);
                 }
                 None => {
                     idle_block_ticks += 1;

@@ -60,6 +60,12 @@ pub struct MonitorConfig {
     /// WAL records replayed per rule window tolerated before the replay
     /// spike alert fires.
     pub wal_replay_max: u64,
+    /// Misinformation-campaign SLO error budget: fraction of submitted
+    /// crowd votes that may look coordinated before budget burns.
+    pub campaign_budget: f64,
+    /// Burn-rate multiple over [`MonitorConfig::campaign_budget`] that
+    /// fires the campaign alert.
+    pub campaign_burn_threshold: f64,
     /// Extra caller-defined rules appended to the built-ins.
     pub extra_rules: Vec<SloRule>,
 }
@@ -74,6 +80,8 @@ impl Default for MonitorConfig {
             sigcache_floor: 0.25,
             msg_drop_max: 0,
             wal_replay_max: 0,
+            campaign_budget: 0.05,
+            campaign_burn_threshold: 4.0,
             extra_rules: Vec::new(),
         }
     }
@@ -102,6 +110,9 @@ pub const RULE_RESTART: &str = "replica-restarted";
 pub const RULE_MSG_DROPS: &str = "consensus-drops";
 /// Rule name for undecodable consensus payloads reaching execution.
 pub const RULE_UNDECODABLE: &str = "undecodable-payloads";
+/// Rule name for the misinformation-campaign burn-rate SLO over
+/// coordinated crowd votes.
+pub const RULE_CAMPAIGN_BURN: &str = "crowdrank-campaign-burn";
 
 /// The built-in rule set over the platform's metric names (series that a
 /// deployment does not record simply never fire).
@@ -200,6 +211,21 @@ pub fn builtin_rules(config: &MonitorConfig) -> Vec<SloRule> {
             severity: Severity::Warn,
         },
         SloRule {
+            name: RULE_CAMPAIGN_BURN.into(),
+            query: Query::BurnRate {
+                bad: vec!["crowdrank.votes.coordinated".into()],
+                total: vec!["crowdrank.votes.total".into()],
+                budget: config.campaign_budget,
+                short_windows: 2,
+                long_windows: 8,
+            },
+            cmp: Cmp::Above,
+            threshold: config.campaign_burn_threshold,
+            for_windows: 1,
+            clear_windows: 2,
+            severity: Severity::Warn,
+        },
+        SloRule {
             name: RULE_UNDECODABLE.into(),
             query: Query::Sum {
                 counter: "node.batch.undecodable".into(),
@@ -291,6 +317,22 @@ impl ReplicaMonitor {
         });
         self.cluster_state = self.cluster_state.max(state);
         self.recompute(tick);
+    }
+
+    /// Records a participant-level fact (e.g. a crowd-rank quarantine
+    /// verdict) as an externally detected alert on this replica's
+    /// timeline. Unlike [`ReplicaMonitor::apply_cluster_fact`], the
+    /// replica's own health is untouched: a quarantined *participant*
+    /// does not make the replica less trustworthy — the timeline just
+    /// documents the enforcement next to the rule alerts that led to it.
+    pub fn record_participant_fact(&mut self, tick: u64, rule: &str, value: f64) {
+        self.engine.push_external(Alert {
+            rule: rule.into(),
+            tick,
+            transition: Transition::Firing,
+            value,
+            severity: Severity::Warn,
+        });
     }
 
     /// Clears the cluster-rollup override (a later rollup found the

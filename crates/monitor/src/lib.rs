@@ -15,7 +15,9 @@
 //!    state machine (`Healthy → Degraded → Lagging → Quarantined`)
 //!    driven by the built-in rule set plus cross-replica rollup facts
 //!    (height lag, digest divergence), rolled up into a
-//!    [`ClusterHealth`] verdict.
+//!    [`ClusterHealth`] verdict. [`ParticipantLedger`] applies the same
+//!    escalation-ladder idea to crowd *participants* flagged by
+//!    coordination detection (`Trusted → Watched → Quarantined`).
 //! 4. [`expo`] — Prometheus text exposition (with a line-format lint)
 //!    and JSON dumps of series, alerts, and health, plus the merged
 //!    cluster alert-timeline artifact.
@@ -30,14 +32,17 @@
 
 pub mod expo;
 pub mod health;
+pub mod participants;
 pub mod rules;
 pub mod tsdb;
 
 pub use expo::{json_dump, lint_prometheus, prometheus_text, timeline_json};
 pub use health::{
     assess_cluster, builtin_rules, ClusterHealth, ClusterHealthVerdict, HealthState, MonitorConfig,
-    ReplicaMonitor, RULE_CATCHUP, RULE_COMMIT_LATENCY, RULE_DIVERGENCE, RULE_LAG, RULE_MSG_DROPS,
-    RULE_RESTART, RULE_SHED_BURN, RULE_SIGCACHE, RULE_UNDECODABLE, RULE_WAL_REPLAY,
+    ReplicaMonitor, RULE_CAMPAIGN_BURN, RULE_CATCHUP, RULE_COMMIT_LATENCY, RULE_DIVERGENCE,
+    RULE_LAG, RULE_MSG_DROPS, RULE_RESTART, RULE_SHED_BURN, RULE_SIGCACHE, RULE_UNDECODABLE,
+    RULE_WAL_REPLAY,
 };
+pub use participants::{ParticipantLedger, ParticipantPolicy, ParticipantVerdict};
 pub use rules::{Alert, AlertState, Cmp, Query, RuleEngine, Severity, SloRule, Transition};
 pub use tsdb::{Tsdb, Window};

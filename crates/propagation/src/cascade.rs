@@ -6,10 +6,61 @@
 //! aggressively than humans — and Facebook's flagging intervention cuts a
 //! flagged story's reshare odds by ~80 % \[26, 27\].
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::network::SocialGraph;
+
+/// Typed cascade-input failure. Cascades run against adversary-shaped
+/// inputs on experiment and replica-adjacent paths, so mismatched masks
+/// must surface as errors a caller can handle — never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CascadeError {
+    /// `accounts` does not cover every graph node.
+    AccountsLen {
+        /// Number of graph nodes.
+        graph: usize,
+        /// Number of account entries supplied.
+        accounts: usize,
+    },
+    /// A nonempty `blocked` mask of the wrong size.
+    BlockedMaskLen {
+        /// Number of graph nodes.
+        graph: usize,
+        /// Mask length supplied.
+        mask: usize,
+    },
+    /// A nonempty `receptivity` mask of the wrong size.
+    ReceptivityMaskLen {
+        /// Number of graph nodes.
+        graph: usize,
+        /// Mask length supplied.
+        mask: usize,
+    },
+}
+
+impl fmt::Display for CascadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CascadeError::AccountsLen { graph, accounts } => {
+                write!(
+                    f,
+                    "accounts must cover the graph: {graph} nodes, {accounts} accounts"
+                )
+            }
+            CascadeError::BlockedMaskLen { graph, mask } => {
+                write!(f, "blocked mask size {mask} != graph size {graph}")
+            }
+            CascadeError::ReceptivityMaskLen { graph, mask } => {
+                write!(f, "receptivity mask size {mask} != graph size {graph}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CascadeError {}
 
 /// Account type of a network node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,13 +152,18 @@ pub struct CascadeResult {
 /// with probability `base_prob × sharer-amplification ×
 /// share_multiplier`, clamped to `[0, 1]`. `blocked` nodes never activate
 /// or share (the source-blocking intervention).
+///
+/// # Errors
+///
+/// [`CascadeError`] when `accounts` or a nonempty `blocked` mask does
+/// not cover the graph.
 pub fn independent_cascade(
     graph: &SocialGraph,
     accounts: &[AccountKind],
     seeds: &[usize],
     blocked: &[bool],
     config: &CascadeConfig,
-) -> CascadeResult {
+) -> Result<CascadeResult, CascadeError> {
     independent_cascade_with_receptivity(graph, accounts, seeds, blocked, &[], config)
 }
 
@@ -119,6 +175,11 @@ pub fn independent_cascade(
 /// skeptical (< 1). An empty slice means uniform receptivity 1.0.
 /// Personalized interventions (E12) work by *changing* specific nodes'
 /// receptivity rather than throttling the story globally.
+///
+/// # Errors
+///
+/// [`CascadeError`] when `accounts` or a nonempty mask does not cover
+/// the graph.
 pub fn independent_cascade_with_receptivity(
     graph: &SocialGraph,
     accounts: &[AccountKind],
@@ -126,16 +187,25 @@ pub fn independent_cascade_with_receptivity(
     blocked: &[bool],
     receptivity: &[f64],
     config: &CascadeConfig,
-) -> CascadeResult {
-    assert_eq!(graph.len(), accounts.len(), "accounts must cover the graph");
-    assert!(
-        blocked.is_empty() || blocked.len() == graph.len(),
-        "blocked mask size"
-    );
-    assert!(
-        receptivity.is_empty() || receptivity.len() == graph.len(),
-        "receptivity mask size"
-    );
+) -> Result<CascadeResult, CascadeError> {
+    if graph.len() != accounts.len() {
+        return Err(CascadeError::AccountsLen {
+            graph: graph.len(),
+            accounts: accounts.len(),
+        });
+    }
+    if !blocked.is_empty() && blocked.len() != graph.len() {
+        return Err(CascadeError::BlockedMaskLen {
+            graph: graph.len(),
+            mask: blocked.len(),
+        });
+    }
+    if !receptivity.is_empty() && receptivity.len() != graph.len() {
+        return Err(CascadeError::ReceptivityMaskLen {
+            graph: graph.len(),
+            mask: receptivity.len(),
+        });
+    }
     let is_blocked = |v: usize| !blocked.is_empty() && blocked[v];
     let recept = |v: usize| {
         if receptivity.is_empty() {
@@ -183,11 +253,11 @@ pub fn independent_cascade_with_receptivity(
         .iter()
         .position(|&r| r >= half)
         .unwrap_or(reach_over_time.len().saturating_sub(1));
-    CascadeResult {
+    Ok(CascadeResult {
         reach_over_time,
         total_reach: total,
         half_reach_round,
-    }
+    })
 }
 
 /// SIR epidemic spreading: susceptible → infected → recovered, as an
@@ -287,7 +357,8 @@ mod tests {
     #[test]
     fn cascade_reaches_beyond_seeds() {
         let (g, accounts) = setup();
-        let r = independent_cascade(&g, &accounts, &[0, 1], &[], &CascadeConfig::default());
+        let r =
+            independent_cascade(&g, &accounts, &[0, 1], &[], &CascadeConfig::default()).unwrap();
         assert!(r.total_reach > 2, "reach {}", r.total_reach);
         assert_eq!(*r.reach_over_time.last().unwrap(), r.total_reach);
         // Monotone non-decreasing series.
@@ -301,7 +372,7 @@ mod tests {
             base_prob: 0.0,
             ..CascadeConfig::default()
         };
-        let r = independent_cascade(&g, &accounts, &[5], &[], &cfg);
+        let r = independent_cascade(&g, &accounts, &[5], &[], &cfg).unwrap();
         assert_eq!(r.total_reach, 1);
     }
 
@@ -315,8 +386,8 @@ mod tests {
             ..CascadeConfig::default()
         };
         let seeds: Vec<usize> = (0..5).collect();
-        let no_bots = independent_cascade(&g, &humans, &seeds, &[], &cfg);
-        let with_bots = independent_cascade(&g, &bots, &seeds, &[], &cfg);
+        let no_bots = independent_cascade(&g, &humans, &seeds, &[], &cfg).unwrap();
+        let with_bots = independent_cascade(&g, &bots, &seeds, &[], &cfg).unwrap();
         assert!(
             with_bots.total_reach as f64 > 1.3 * no_bots.total_reach as f64,
             "bots {} vs humans {}",
@@ -329,7 +400,8 @@ mod tests {
     fn flagging_multiplier_shrinks_reach() {
         let (g, accounts) = setup();
         let seeds: Vec<usize> = (0..5).collect();
-        let normal = independent_cascade(&g, &accounts, &seeds, &[], &CascadeConfig::default());
+        let normal =
+            independent_cascade(&g, &accounts, &seeds, &[], &CascadeConfig::default()).unwrap();
         let flagged = independent_cascade(
             &g,
             &accounts,
@@ -339,7 +411,8 @@ mod tests {
                 share_multiplier: 0.2,
                 ..CascadeConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             (flagged.total_reach as f64) < 0.6 * normal.total_reach as f64,
             "flagged {} vs normal {}",
@@ -354,15 +427,16 @@ mod tests {
         let mut blocked = vec![false; g.len()];
         blocked[0] = true;
         blocked[1] = true;
-        let r = independent_cascade(&g, &accounts, &[0, 1], &blocked, &CascadeConfig::default());
+        let r = independent_cascade(&g, &accounts, &[0, 1], &blocked, &CascadeConfig::default())
+            .unwrap();
         assert_eq!(r.total_reach, 0);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (g, accounts) = setup();
-        let a = independent_cascade(&g, &accounts, &[0], &[], &CascadeConfig::default());
-        let b = independent_cascade(&g, &accounts, &[0], &[], &CascadeConfig::default());
+        let a = independent_cascade(&g, &accounts, &[0], &[], &CascadeConfig::default()).unwrap();
+        let b = independent_cascade(&g, &accounts, &[0], &[], &CascadeConfig::default()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -400,7 +474,8 @@ mod tests {
     fn receptivity_scales_adoption() {
         let (g, accounts) = setup();
         let seeds: Vec<usize> = (0..5).collect();
-        let uniform = independent_cascade(&g, &accounts, &seeds, &[], &CascadeConfig::default());
+        let uniform =
+            independent_cascade(&g, &accounts, &seeds, &[], &CascadeConfig::default()).unwrap();
         // Everyone half as receptive → smaller reach.
         let half = vec![0.5; g.len()];
         let damped = independent_cascade_with_receptivity(
@@ -410,7 +485,8 @@ mod tests {
             &[],
             &half,
             &CascadeConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(damped.total_reach < uniform.total_reach);
         // Zero receptivity stops everything beyond the seeds.
         let zero = vec![0.0; g.len()];
@@ -421,7 +497,8 @@ mod tests {
             &[],
             &zero,
             &CascadeConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(dead.total_reach, seeds.len());
         // Empty mask equals uniform 1.0.
         let ones = vec![1.0; g.len()];
@@ -432,14 +509,44 @@ mod tests {
             &[],
             &ones,
             &CascadeConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(explicit, uniform);
+    }
+
+    #[test]
+    fn mismatched_masks_are_typed_errors() {
+        let (g, accounts) = setup();
+        let cfg = CascadeConfig::default();
+        assert_eq!(
+            independent_cascade(&g, &accounts[..10], &[0], &[], &cfg).unwrap_err(),
+            CascadeError::AccountsLen {
+                graph: 800,
+                accounts: 10
+            }
+        );
+        assert_eq!(
+            independent_cascade(&g, &accounts, &[0], &[false; 3], &cfg).unwrap_err(),
+            CascadeError::BlockedMaskLen {
+                graph: 800,
+                mask: 3
+            }
+        );
+        assert_eq!(
+            independent_cascade_with_receptivity(&g, &accounts, &[0], &[], &[1.0; 7], &cfg)
+                .unwrap_err(),
+            CascadeError::ReceptivityMaskLen {
+                graph: 800,
+                mask: 7
+            }
+        );
     }
 
     #[test]
     fn half_reach_round_sane() {
         let (g, accounts) = setup();
-        let r = independent_cascade(&g, &accounts, &[0, 1], &[], &CascadeConfig::default());
+        let r =
+            independent_cascade(&g, &accounts, &[0, 1], &[], &CascadeConfig::default()).unwrap();
         assert!(r.half_reach_round < r.reach_over_time.len());
         let at_half = r.reach_over_time[r.half_reach_round];
         assert!(at_half * 2 >= r.total_reach);

@@ -22,7 +22,7 @@
 //! use tn_propagation::race::{run_race, Intervention, RaceConfig};
 //!
 //! let g = barabasi_albert(500, 3, 7);
-//! let result = run_race(&g, &RaceConfig::default(), Intervention::None);
+//! let result = run_race(&g, &RaceConfig::default(), Intervention::None).unwrap();
 //! assert!(result.fake.total_reach > 0);
 //! ```
 
@@ -36,7 +36,7 @@ pub mod race;
 
 pub use cascade::{
     assign_accounts, independent_cascade, independent_cascade_with_receptivity, sir, AccountKind,
-    CascadeConfig, CascadeResult, SirConfig,
+    CascadeConfig, CascadeError, CascadeResult, SirConfig,
 };
 pub use network::{barabasi_albert, erdos_renyi, watts_strogatz, SocialGraph};
 pub use popularity::ZipfSampler;

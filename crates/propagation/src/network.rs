@@ -102,11 +102,14 @@ impl SocialGraph {
                 for &nb in &self.adj[v] {
                     *votes.entry(labels[nb]).or_insert(0) += 1;
                 }
+                // `adj[v]` is nonempty here, so `votes` always has an
+                // entry; keeping the current label is the non-panicking
+                // fallback either way.
                 let best = votes
                     .iter()
                     .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))
                     .map(|(l, _)| *l)
-                    .expect("nonempty votes");
+                    .unwrap_or(labels[v]);
                 if labels[v] != best {
                     labels[v] = best;
                     changed = true;

@@ -7,7 +7,7 @@
 //! chosen platform intervention.
 
 use crate::cascade::{
-    assign_accounts, independent_cascade, AccountKind, CascadeConfig, CascadeResult,
+    assign_accounts, independent_cascade, AccountKind, CascadeConfig, CascadeError, CascadeResult,
 };
 use crate::network::SocialGraph;
 
@@ -95,11 +95,16 @@ pub struct RaceResult {
 /// The fake story spreads with bot amplification (bots are its vector);
 /// the factual story spreads among humans only (bots do not amplify
 /// facts), optionally boosted by platform certification.
+///
+/// # Errors
+///
+/// Propagates [`CascadeError`] from the underlying cascades (impossible
+/// for masks built here, but surfaced rather than unwrapped).
 pub fn run_race(
     graph: &SocialGraph,
     config: &RaceConfig,
     intervention: Intervention,
-) -> RaceResult {
+) -> Result<RaceResult, CascadeError> {
     let n = graph.len();
     let accounts = assign_accounts(n, config.bot_fraction, config.cyborg_fraction, config.seed);
 
@@ -143,7 +148,7 @@ pub fn run_race(
                 max_rounds: config.rounds,
                 seed: config.seed,
             },
-        ),
+        )?,
         Intervention::RankingSuppression { multiplier } => independent_cascade(
             graph,
             &accounts,
@@ -155,7 +160,7 @@ pub fn run_race(
                 max_rounds: config.rounds,
                 seed: config.seed,
             },
-        ),
+        )?,
         Intervention::Flagging { delay, multiplier } => two_phase_cascade(
             graph,
             &accounts,
@@ -189,15 +194,15 @@ pub fn run_race(
             max_rounds: config.rounds,
             seed: config.seed ^ 0xFAC7,
         },
-    );
+    )?;
 
     let ratio = factual.total_reach as f64 / fake.total_reach.max(1) as f64;
-    RaceResult {
+    Ok(RaceResult {
         factual_wins: factual.total_reach > fake.total_reach,
         factual_to_fake_ratio: ratio,
         fake,
         factual,
-    }
+    })
 }
 
 /// Runs a cascade whose parameters change after `delay` rounds: phase 1
@@ -284,7 +289,7 @@ mod tests {
     #[test]
     fn baseline_fake_outpaces_factual() {
         // Status quo: bot-amplified, influencer-seeded fake news wins.
-        let r = run_race(&graph(), &RaceConfig::default(), Intervention::None);
+        let r = run_race(&graph(), &RaceConfig::default(), Intervention::None).unwrap();
         assert!(
             r.fake.total_reach > r.factual.total_reach,
             "fake {} vs factual {}",
@@ -303,7 +308,7 @@ mod tests {
             seed: 9,
             ..RaceConfig::default()
         };
-        let none = run_race(&g, &cfg, Intervention::None);
+        let none = run_race(&g, &cfg, Intervention::None).unwrap();
         let flagged = run_race(
             &g,
             &cfg,
@@ -311,7 +316,8 @@ mod tests {
                 delay: 3,
                 multiplier: 0.2,
             },
-        );
+        )
+        .unwrap();
         assert!(
             (flagged.fake.total_reach as f64) < 0.8 * none.fake.total_reach as f64,
             "flagged {} vs none {}",
@@ -330,7 +336,8 @@ mod tests {
                 delay: 1,
                 multiplier: 0.2,
             },
-        );
+        )
+        .unwrap();
         let late = run_race(
             &g,
             &RaceConfig::default(),
@@ -338,7 +345,8 @@ mod tests {
                 delay: 10,
                 multiplier: 0.2,
             },
-        );
+        )
+        .unwrap();
         assert!(
             early.fake.total_reach <= late.fake.total_reach,
             "early {} vs late {}",
@@ -360,7 +368,8 @@ mod tests {
             &g,
             &cfg,
             Intervention::RankingSuppression { multiplier: 0.25 },
-        );
+        )
+        .unwrap();
         assert!(
             r.factual_wins,
             "factual {} vs fake {}",
@@ -372,20 +381,21 @@ mod tests {
     #[test]
     fn source_blocking_limits_spread() {
         let g = graph();
-        let none = run_race(&g, &RaceConfig::default(), Intervention::None);
+        let none = run_race(&g, &RaceConfig::default(), Intervention::None).unwrap();
         let blocked = run_race(
             &g,
             &RaceConfig::default(),
             Intervention::SourceBlocking { delay: 2 },
-        );
+        )
+        .unwrap();
         assert!(blocked.fake.total_reach <= none.fake.total_reach);
     }
 
     #[test]
     fn deterministic() {
         let g = graph();
-        let a = run_race(&g, &RaceConfig::default(), Intervention::None);
-        let b = run_race(&g, &RaceConfig::default(), Intervention::None);
+        let a = run_race(&g, &RaceConfig::default(), Intervention::None).unwrap();
+        let b = run_race(&g, &RaceConfig::default(), Intervention::None).unwrap();
         assert_eq!(a, b);
     }
 
@@ -399,7 +409,8 @@ mod tests {
                 delay: 3,
                 multiplier: 0.2,
             },
-        );
+        )
+        .unwrap();
         // Two-phase cascade reports one entry per round plus the seed row.
         assert_eq!(
             r.fake.reach_over_time.len(),

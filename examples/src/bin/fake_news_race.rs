@@ -50,7 +50,7 @@ fn main() {
         "scenario", "fake", "factual", "ratio", "factual wins"
     );
     for (label, config, intervention) in scenarios {
-        let r = run_race(&graph, &config, intervention);
+        let r = run_race(&graph, &config, intervention).expect("valid race config");
         println!(
             "{:<42} {:>10} {:>10} {:>8.2} {:>12}",
             label,
@@ -62,7 +62,7 @@ fn main() {
     }
 
     // Reach-over-time curves for the bookend scenarios.
-    let none = run_race(&graph, &base, Intervention::None);
+    let none = run_race(&graph, &base, Intervention::None).expect("valid race config");
     let full = run_race(
         &graph,
         &RaceConfig {
@@ -70,7 +70,8 @@ fn main() {
             ..base
         },
         Intervention::RankingSuppression { multiplier: 0.25 },
-    );
+    )
+    .expect("valid race config");
     println!("\nreach over time (every 5 rounds):");
     println!(
         "{:>5} {:>12} {:>14} {:>12} {:>14}",

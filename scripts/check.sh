@@ -57,4 +57,18 @@ echo "== exp23 smoke (health plane: fault detection + monitor overhead)"
 # below-knee SLO point, and writes no artifacts.
 cargo run -q --release --offline -p tn-bench --bin exp23_health_plane -- --quick
 
+echo "== exp24 smoke (misinformation-campaign matrix: participant defenses)"
+# The bin machine-checks the damage bounds itself: clean cell silent,
+# defended rings alerted + quarantined with the fake score bounded and
+# zero honest quarantines, undefended rings detected but unbounded,
+# bribery bounded by slashing alone, and every cell byte-identical
+# across two replicas. --quick runs a 4-cell matrix and writes only the
+# Prometheus alert artifact, which must contain the campaign series.
+cargo run -q --release --offline -p tn-bench --bin exp24_campaign_matrix -- --quick
+test -s results/e24_alerts.prom || { echo "missing results/e24_alerts.prom"; exit 1; }
+grep -q "crowdrank" results/e24_alerts.prom || {
+  echo "campaign series missing from results/e24_alerts.prom"
+  exit 1
+}
+
 echo "All checks passed."

@@ -3,8 +3,9 @@
 //! Supports exactly what the workspace's property tests use: the
 //! `proptest!` macro (with optional `#![proptest_config(...)]`),
 //! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
-//! `prop_assume!`, `any::<T>()`, integer-range strategies, a small
-//! regex-pattern string strategy (`"[chars]{m,n}"` and `"\\PC{m,n}"`),
+//! `prop_assume!`, `any::<T>()`, integer- and float-range strategies,
+//! tuple strategies (arity 2–4), a small regex-pattern string strategy
+//! (`"[chars]{m,n}"` and `"\\PC{m,n}"`),
 //! `proptest::collection::vec`, and `.prop_map`. Cases are generated
 //! deterministically (seeded from the test name); there is no shrinking —
 //! a failing case panics with the assertion text.
@@ -162,6 +163,45 @@ pub mod strategy {
         )*};
     }
     impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + u * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let u = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.sample_value(rng),)*)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
 
     /// Regex-pattern string strategy. Supports the two shapes the
     /// workspace uses: a character class `[...]{m,n}` and printable
